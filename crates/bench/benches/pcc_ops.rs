@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the PCC's hardware-critical operations.
+//!
+//! §3.2.1 argues PCC operation latency is negligible because consecutive
+//! page-table walks are hundreds of cycles apart; these benches measure
+//! the software model's per-operation cost (hit bump, miss+LFU eviction,
+//! ranked dump, shootdown invalidation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpage_pcc::Pcc;
+use hpage_types::{PageSize, PccConfig, Vpn};
+use std::hint::black_box;
+
+fn region(i: u64) -> Vpn {
+    Vpn::new(i, PageSize::Huge2M)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcc_ops");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("record_walk_hit", |b| {
+        let mut pcc = Pcc::new(PccConfig::paper_2m(), PageSize::Huge2M);
+        for i in 0..128 {
+            pcc.record_walk(region(i), true);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 128;
+            black_box(pcc.record_walk(region(i), true))
+        });
+    });
+
+    g.bench_function("record_walk_miss_evict", |b| {
+        let mut pcc = Pcc::new(PccConfig::paper_2m(), PageSize::Huge2M);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(pcc.record_walk(region(i), true))
+        });
+    });
+
+    g.bench_function("record_walk_filtered", |b| {
+        let mut pcc = Pcc::new(PccConfig::paper_2m(), PageSize::Huge2M);
+        b.iter(|| black_box(pcc.record_walk(region(7), false)));
+    });
+
+    g.bench_function("dump_128", |b| {
+        let mut pcc = Pcc::new(PccConfig::paper_2m(), PageSize::Huge2M);
+        for i in 0..128 {
+            for _ in 0..=(i % 17) {
+                pcc.record_walk(region(i), true);
+            }
+        }
+        b.iter(|| black_box(pcc.dump()));
+    });
+
+    g.bench_function("invalidate_present", |b| {
+        let mut pcc = Pcc::new(PccConfig::paper_2m(), PageSize::Huge2M);
+        b.iter(|| {
+            pcc.record_walk(region(5), true);
+            black_box(pcc.invalidate(region(5)))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Simulator-throughput benchmarks: accesses per second through the
+//! TLB+PCC pipeline, and the component costs (hierarchy lookup, page
+//! table walk). A trace-driven simulator's usefulness is bounded by
+//! these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpage_sim::{PolicyChoice, ProcessSpec, Simulation};
+use hpage_tlb::{PageTable, TlbHierarchy};
+use hpage_trace::{Pattern, SyntheticBuilder};
+use hpage_types::{PageSize, Pfn, SystemConfig, TlbConfig, VirtAddr, Vpn};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+
+    // End-to-end pipeline: 200k random accesses per iteration.
+    const N: u64 = 200_000;
+    let mut b = SyntheticBuilder::new("tput", 1);
+    let arr = b.array(8, (16 << 20) / 8);
+    b.phase(arr, Pattern::UniformRandom { count: N }, 0);
+    let w = b.build();
+    g.throughput(Throughput::Elements(N));
+    g.sample_size(10);
+    for policy in [PolicyChoice::BasePages, PolicyChoice::pcc_default()] {
+        let label = policy.label();
+        g.bench_function(format!("pipeline_{label}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    Simulation::new(SystemConfig::tiny(), policy.clone())
+                        .run(&[ProcessSpec::new(&w)]),
+                )
+            })
+        });
+    }
+
+    // Component: TLB hierarchy lookup hit path.
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tlb_hierarchy_hit", |bench| {
+        let mut tlb = TlbHierarchy::new(TlbConfig::paper());
+        let pt_fill = |i: u64| hpage_tlb::Translation {
+            vpn: Vpn::new(i, PageSize::Base4K),
+            pfn: Pfn::new(i, PageSize::Base4K),
+        };
+        for i in 0..32 {
+            tlb.fill(pt_fill(i));
+        }
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 1) % 32;
+            black_box(tlb.lookup(VirtAddr::new(i << 12)))
+        });
+    });
+
+    // Component: hardware page-table walk (warm table).
+    g.bench_function("page_table_walk", |bench| {
+        let mut pt = PageTable::new();
+        for i in 0..1024u64 {
+            pt.map(Vpn::new(i, PageSize::Base4K), Pfn::new(i, PageSize::Base4K))
+                .unwrap();
+        }
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(pt.walk(VirtAddr::new(i << 12)).unwrap())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

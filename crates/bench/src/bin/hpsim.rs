@@ -1,0 +1,340 @@
+//! `hpsim` — run one simulation configuration and print its report.
+//!
+//! ```text
+//! hpsim --app bfs --policy pcc --budget-pct 4
+//! hpsim --app canneal --policy linux --frag 90
+//! hpsim --app pr --policy pcc --threads 4 --selection round-robin
+//! hpsim --app sssp --policy pcc --schedule-out run.sched
+//! hpsim --app sssp --policy replay --schedule-in run.sched
+//! hpsim --app bfs --trace-out bfs.hpt      # dump the access trace
+//! ```
+//!
+//! Profile selection follows `repro`: `HPAGE_PROFILE=test|scaled|paper`,
+//! `HPAGE_SCALE=<log2 vertices>`.
+
+use hpage_bench::profile_from_env;
+use hpage_os::{read_schedule, write_schedule, PromotionBudget};
+use hpage_perf::{fmt_pct, fmt_speedup, TextTable};
+use hpage_sim::{PolicyChoice, ProcessSpec, Simulation};
+use hpage_trace::{instantiate, AnyWorkload, AppId, Dataset, RecordedWorkload, TraceWriter, Workload};
+use hpage_types::{ProcessId, PromotionPolicyKind};
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::exit;
+
+const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|dedup|mcf>
+             [--dataset kronecker|twitter|web] [--policy base|ideal|linux|hawkeye|pcc|victim|replay]
+             [--selection highest-frequency|round-robin] [--demotion] [--bias <pid,...>]
+             [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
+             [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE] [--trace-in FILE]
+             [--trace-info FILE]
+environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
+
+fn die(msg: &str) -> ! {
+    eprintln!("hpsim: {msg}\n{USAGE}");
+    exit(2)
+}
+
+struct Options {
+    app: AppId,
+    dataset: Dataset,
+    policy: String,
+    selection: PromotionPolicyKind,
+    demotion: bool,
+    bias: Vec<ProcessId>,
+    threads: u32,
+    frag: u8,
+    budget_pct: Option<u64>,
+    seed: u64,
+    max_accesses: Option<u64>,
+    schedule_out: Option<String>,
+    schedule_in: Option<String>,
+    trace_out: Option<String>,
+    trace_in: Option<String>,
+    trace_info: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        app: AppId::Bfs,
+        dataset: Dataset::Kronecker,
+        policy: "pcc".into(),
+        selection: PromotionPolicyKind::HighestFrequency,
+        demotion: false,
+        bias: Vec::new(),
+        threads: 1,
+        frag: 0,
+        budget_pct: None,
+        seed: 0xC0FFEE,
+        max_accesses: None,
+        schedule_out: None,
+        schedule_in: None,
+        trace_out: None,
+        trace_in: None,
+        trace_info: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| die("missing argument value"))
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" => {
+                opts.app = match value(&mut i).to_lowercase().as_str() {
+                    "bfs" => AppId::Bfs,
+                    "sssp" => AppId::Sssp,
+                    "pr" | "pagerank" => AppId::PageRank,
+                    "canneal" => AppId::Canneal,
+                    "omnetpp" => AppId::Omnetpp,
+                    "xalancbmk" => AppId::Xalancbmk,
+                    "dedup" => AppId::Dedup,
+                    "mcf" => AppId::Mcf,
+                    other => die(&format!("unknown app '{other}'")),
+                }
+            }
+            "--dataset" => {
+                opts.dataset = match value(&mut i).to_lowercase().as_str() {
+                    "kronecker" | "kron" => Dataset::Kronecker,
+                    "twitter" => Dataset::Twitter,
+                    "web" | "sd1" => Dataset::Web,
+                    other => die(&format!("unknown dataset '{other}'")),
+                }
+            }
+            "--policy" => opts.policy = value(&mut i).to_lowercase(),
+            "--selection" => {
+                opts.selection = match value(&mut i).to_lowercase().as_str() {
+                    "highest-frequency" | "hf" => PromotionPolicyKind::HighestFrequency,
+                    "round-robin" | "rr" => PromotionPolicyKind::RoundRobin,
+                    other => die(&format!("unknown selection '{other}'")),
+                }
+            }
+            "--demotion" => opts.demotion = true,
+            "--bias" => {
+                opts.bias = value(&mut i)
+                    .split(',')
+                    .map(|t| {
+                        ProcessId(t.trim().parse().unwrap_or_else(|_| die("bad --bias pid")))
+                    })
+                    .collect()
+            }
+            "--threads" => {
+                opts.threads = value(&mut i).parse().unwrap_or_else(|_| die("bad --threads"))
+            }
+            "--frag" => opts.frag = value(&mut i).parse().unwrap_or_else(|_| die("bad --frag")),
+            "--budget-pct" => {
+                opts.budget_pct =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| die("bad --budget-pct")))
+            }
+            "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| die("bad --seed")),
+            "--max-accesses" => {
+                opts.max_accesses =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| die("bad --max-accesses")))
+            }
+            "--schedule-out" => opts.schedule_out = Some(value(&mut i)),
+            "--schedule-in" => opts.schedule_in = Some(value(&mut i)),
+            "--trace-out" => opts.trace_out = Some(value(&mut i)),
+            "--trace-in" => opts.trace_in = Some(value(&mut i)),
+            "--trace-info" => opts.trace_info = Some(value(&mut i)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0)
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    opts
+}
+
+enum AnyOrRecorded {
+    Builtin(AnyWorkload),
+    Recorded(RecordedWorkload),
+}
+
+impl AnyOrRecorded {
+    fn as_workload(&self) -> &dyn Workload {
+        match self {
+            AnyOrRecorded::Builtin(w) => w,
+            AnyOrRecorded::Recorded(w) => w,
+        }
+    }
+}
+
+fn trace_info(path: &str) -> ! {
+    use hpage_trace::ReuseAnalyzer;
+    let file = File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+    let w = RecordedWorkload::from_reader(path, std::io::BufReader::new(file))
+        .unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+    let mut analyzer = ReuseAnalyzer::new();
+    analyzer.observe_all(w.trace());
+    let (friendly, hubs, low) = analyzer.class_counts();
+    let total = (friendly + hubs + low).max(1);
+    let mut t = TextTable::new(["property", "value"]);
+    t.row(["records".into(), w.len().to_string()]);
+    t.row(["footprint".into(), format!("{} KiB", w.footprint_bytes() >> 10)]);
+    t.row([
+        "2MiB regions touched".into(),
+        (w.footprint_bytes().div_ceil(2 << 20)).to_string(),
+    ]);
+    t.row(["contiguous extents".into(), w.regions().len().to_string()]);
+    t.row([
+        "TLB-friendly pages".into(),
+        format!("{friendly} ({:.1}%)", 100.0 * friendly as f64 / total as f64),
+    ]);
+    t.row([
+        "HUB pages".into(),
+        format!("{hubs} ({:.1}%)", 100.0 * hubs as f64 / total as f64),
+    ]);
+    t.row([
+        "low-reuse pages".into(),
+        format!("{low} ({:.1}%)", 100.0 * low as f64 / total as f64),
+    ]);
+    t.row([
+        "HUB regions".into(),
+        analyzer.hub_regions().len().to_string(),
+    ]);
+    println!("{path}\n\n{t}");
+    exit(0)
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(path) = &opts.trace_info {
+        trace_info(path);
+    }
+    let profile = profile_from_env();
+    let holder = match &opts.trace_in {
+        Some(path) => {
+            let file = File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            let w = RecordedWorkload::from_reader(
+                format!("recorded:{path}"),
+                std::io::BufReader::new(file),
+            )
+            .unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+            AnyOrRecorded::Recorded(w)
+        }
+        None => AnyOrRecorded::Builtin(instantiate(
+            opts.app,
+            opts.dataset,
+            profile.workloads,
+            opts.seed,
+        )),
+    };
+    let workload = holder.as_workload();
+    let footprint = workload.footprint_bytes();
+
+    if let Some(path) = &opts.trace_out {
+        let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+        let mut writer = TraceWriter::new(BufWriter::new(file))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        let cap = opts.max_accesses.or(profile.max_accesses_per_core).unwrap_or(u64::MAX);
+        writer
+            .write_all(workload.trace().take(cap as usize))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        let n = writer.records();
+        writer.finish().unwrap_or_else(|e| die(&format!("flush {path}: {e}")));
+        println!("wrote {n} accesses of {} to {path}", workload.name());
+        return;
+    }
+
+    let policy = match opts.policy.as_str() {
+        "base" | "4k" => PolicyChoice::BasePages,
+        "ideal" | "2m" => PolicyChoice::IdealHuge,
+        "linux" | "thp" => PolicyChoice::LinuxThp,
+        "hawkeye" => PolicyChoice::HawkEye,
+        "pcc" => PolicyChoice::Pcc {
+            selection: opts.selection,
+            demotion: opts.demotion,
+            bias: opts.bias.clone(),
+        },
+        "victim" => PolicyChoice::VictimCache { entries: 128 },
+        "replay" => {
+            let path = opts
+                .schedule_in
+                .as_ref()
+                .unwrap_or_else(|| die("--policy replay needs --schedule-in"));
+            let file = File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            let schedule =
+                read_schedule(file).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+            PolicyChoice::Replay(schedule)
+        }
+        other => die(&format!("unknown policy '{other}'")),
+    };
+
+    let sized = profile.clone().sized_for(footprint);
+    let timing = sized.system.timing;
+    let mut sim = Simulation::new(sized.system.clone(), policy);
+    if let Some(n) = opts.max_accesses.or(profile.max_accesses_per_core) {
+        sim = sim.with_max_accesses_per_core(n);
+    }
+    if opts.frag > 0 {
+        sim = sim.with_fragmentation(opts.frag, opts.seed);
+    }
+    if let Some(pct) = opts.budget_pct {
+        sim = sim.with_budget(PromotionBudget::percent_of_footprint(pct, footprint));
+    }
+
+    // Baseline for the speedup column.
+    let mut base_sim = Simulation::new(sized.system.clone(), PolicyChoice::BasePages);
+    if let Some(n) = opts.max_accesses.or(profile.max_accesses_per_core) {
+        base_sim = base_sim.with_max_accesses_per_core(n);
+    }
+    let spec = || [ProcessSpec::with_threads(workload, opts.threads)];
+    let base = base_sim.run(&spec());
+    let report = sim.run(&spec());
+
+    println!(
+        "{} on {} ({} MiB footprint, {} threads, {}% fragmented)\n",
+        workload.name(),
+        opts.dataset.name(),
+        footprint >> 20,
+        opts.threads,
+        opts.frag
+    );
+    let mut t = TextTable::new(["metric", "baseline (4KB)", &report.policy]);
+    let a = &report.aggregate;
+    let b = &base.aggregate;
+    t.row(["accesses".into(), b.accesses.to_string(), a.accesses.to_string()]);
+    t.row([
+        "PTW rate".into(),
+        fmt_pct(b.walk_ratio()),
+        fmt_pct(a.walk_ratio()),
+    ]);
+    t.row([
+        "faults (base/huge)".into(),
+        format!("{}/{}", b.faults_base, b.faults_huge),
+        format!("{}/{}", a.faults_base, a.faults_huge),
+    ]);
+    t.row(["promotions".into(), "0".into(), a.promotions.to_string()]);
+    t.row(["demotions".into(), "0".into(), a.demotions.to_string()]);
+    t.row([
+        "huge pages at end".into(),
+        base.huge_pages_at_end.to_string(),
+        report.huge_pages_at_end.to_string(),
+    ]);
+    t.row([
+        "memory bloat".into(),
+        format!("{} KiB", base.bloat_bytes.iter().sum::<u64>() >> 10),
+        format!("{} KiB", report.bloat_bytes.iter().sum::<u64>() >> 10),
+    ]);
+    t.row([
+        "speedup".into(),
+        fmt_speedup(1.0),
+        fmt_speedup(report.speedup_over(&base, &timing)),
+    ]);
+    println!("{t}");
+
+    if let Some(path) = &opts.schedule_out {
+        let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+        write_schedule(&report.schedule, BufWriter::new(file))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!(
+            "wrote {} promotion events to {path} (replay with --policy replay --schedule-in)",
+            report.schedule.len()
+        );
+    }
+}

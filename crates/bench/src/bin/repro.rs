@@ -1,0 +1,202 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation as terminal tables.
+//!
+//! ```text
+//! repro --all                     # everything (scaled profile)
+//! repro --figure 5                # one figure
+//! repro --table 1                 # one table
+//! repro --table storage           # the §3.2.1 storage arithmetic
+//! HPAGE_PROFILE=test repro --all  # fast smoke run
+//! HPAGE_SCALE=20 repro --figure 5 # bigger graphs
+//! ```
+
+use hpage_bench::*;
+use hpage_sim::Fig9Config;
+use hpage_trace::AppId;
+
+const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--json 1|6|7|ablation|datasets]
+environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let profile = profile_from_env();
+    let sweep: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 100];
+    let quick_sweep: &[u64] = &[0, 1, 4, 16, 100];
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => {
+                println!("{}", render_table1());
+                println!("{}", render_table2(&profile));
+                println!("{}", render_storage());
+                println!("{}", render_fig1(&profile, &AppId::ALL));
+                println!("{}", render_fig2(&profile, AppId::Bfs, 2_000_000));
+                println!("{}", render_fig5(&profile, &AppId::ALL, sweep));
+                println!(
+                    "{}",
+                    render_fig6(
+                        &fig6_profile(&profile),
+                        &AppId::GRAPH,
+                        &[4, 8, 16, 32, 64, 128, 256, 512, 1024]
+                    )
+                );
+                println!("{}", render_fig7(&profile, &AppId::GRAPH, 90));
+                println!(
+                    "{}",
+                    render_fig8(&profile, &AppId::GRAPH, &[2, 4, 8], quick_sweep)
+                );
+                println!(
+                    "{}",
+                    render_fig9(
+                        &profile,
+                        Fig9Config {
+                            app_a: AppId::PageRank,
+                            app_b: AppId::Mcf
+                        },
+                        quick_sweep
+                    )
+                );
+                println!(
+                    "{}",
+                    render_fig9(
+                        &profile,
+                        Fig9Config {
+                            app_a: AppId::PageRank,
+                            app_b: AppId::Sssp
+                        },
+                        quick_sweep
+                    )
+                );
+                println!("{}", render_ablation(&profile, AppId::Bfs));
+                println!("{}", render_timeline(&profile, AppId::Bfs));
+            }
+            "--figure" => {
+                i += 1;
+                let which = args.get(i).map(String::as_str).unwrap_or("");
+                match which {
+                    "1" => println!("{}", render_fig1(&profile, &AppId::ALL)),
+                    "2" => println!("{}", render_fig2(&profile, AppId::Bfs, 2_000_000)),
+                    "5" => println!("{}", render_fig5(&profile, &AppId::ALL, sweep)),
+                    "6" => println!(
+                        "{}",
+                        render_fig6(
+                            &fig6_profile(&profile),
+                            &AppId::GRAPH,
+                            &[4, 8, 16, 32, 64, 128, 256, 512, 1024]
+                        )
+                    ),
+                    "7" => println!("{}", render_fig7(&profile, &AppId::GRAPH, 90)),
+                    "8" => println!(
+                        "{}",
+                        render_fig8(&profile, &AppId::GRAPH, &[2, 4, 8], quick_sweep)
+                    ),
+                    "9a" => println!(
+                        "{}",
+                        render_fig9(
+                            &profile,
+                            Fig9Config {
+                                app_a: AppId::PageRank,
+                                app_b: AppId::Mcf
+                            },
+                            quick_sweep
+                        )
+                    ),
+                    "9b" => println!(
+                        "{}",
+                        render_fig9(
+                            &profile,
+                            Fig9Config {
+                                app_a: AppId::PageRank,
+                                app_b: AppId::Sssp
+                            },
+                            quick_sweep
+                        )
+                    ),
+                    other => {
+                        eprintln!("unknown figure '{other}'\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--ablation" => {
+                println!("{}", render_ablation(&profile, AppId::Omnetpp));
+                println!("{}", render_ablation(&profile, AppId::Bfs));
+            }
+            "--datasets" => {
+                println!("{}", render_datasets(&profile, &AppId::GRAPH));
+            }
+            "--timeline" => {
+                println!("{}", render_timeline(&profile, AppId::Bfs));
+            }
+            "--json" => {
+                i += 1;
+                let which = args.get(i).map(String::as_str).unwrap_or("");
+                match which {
+                    "1" => println!(
+                        "{}",
+                        hpage_bench::json::fig1_json(&hpage_sim::fig1_page_sizes(
+                            &profile,
+                            &AppId::ALL
+                        ))
+                    ),
+                    "6" => println!(
+                        "{}",
+                        hpage_bench::json::fig6_json(&hpage_sim::fig6_pcc_size(
+                            &fig6_profile(&profile),
+                            &AppId::GRAPH,
+                            &[4, 16, 64, 128, 512]
+                        ))
+                    ),
+                    "7" => println!(
+                        "{}",
+                        hpage_bench::json::fig7_json(
+                            &hpage_sim::fig7_fragmentation(&profile, &AppId::GRAPH, 90),
+                            90
+                        )
+                    ),
+                    "ablation" => println!(
+                        "{}",
+                        hpage_bench::json::ablation_json(
+                            "BFS",
+                            &hpage_sim::ablation_design_choices(&profile, AppId::Bfs)
+                        )
+                    ),
+                    "datasets" => println!(
+                        "{}",
+                        hpage_bench::json::datasets_json(&hpage_sim::dataset_sweep(
+                            &profile,
+                            &AppId::GRAPH
+                        ))
+                    ),
+                    other => {
+                        eprintln!("unknown json target '{other}'\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--table" => {
+                i += 1;
+                let which = args.get(i).map(String::as_str).unwrap_or("");
+                match which {
+                    "1" => println!("{}", render_table1()),
+                    "2" => println!("{}", render_table2(&profile)),
+                    "storage" => println!("{}", render_storage()),
+                    other => {
+                        eprintln!("unknown table '{other}'\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+}

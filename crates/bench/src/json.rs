@@ -1,0 +1,236 @@
+//! Minimal JSON emission for experiment results (`repro --json`).
+//!
+//! Hand-rolled rather than pulling in serde: the output values are flat
+//! records of numbers and short ASCII identifiers, so a tiny writer
+//! keeps the dependency tree lean.
+
+use hpage_perf::UtilityCurve;
+use hpage_sim::{AblationRow, DatasetRow, Fig1Row, Fig6Row, Fig7Row};
+
+/// Escapes a string for JSON (the identifiers used here are ASCII, but
+/// be correct anyway).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON value fragment.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Serializes Fig. 1 rows.
+pub fn fig1_json(rows: &[Fig1Row]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"app\":\"{}\",\"miss_4k\":{},\"miss_2m\":{},\"miss_linux\":{},\
+                 \"speedup_2m\":{},\"speedup_linux\":{}}}",
+                esc(&r.app),
+                num(r.miss_4k),
+                num(r.miss_2m),
+                num(r.miss_linux),
+                num(r.speedup_2m),
+                num(r.speedup_linux)
+            )
+        })
+        .collect();
+    format!("{{\"figure\":\"1\",\"rows\":[{}]}}", items.join(","))
+}
+
+/// Serializes a set of utility curves (Fig. 5/8 bodies).
+pub fn curves_json(figure: &str, curves: &[UtilityCurve]) -> String {
+    let items: Vec<String> = curves
+        .iter()
+        .map(|c| {
+            let points: Vec<String> = c
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"percent\":{},\"speedup\":{},\"walk_ratio\":{},\"thps\":{}}}",
+                        p.percent,
+                        num(p.speedup),
+                        num(p.walk_ratio),
+                        p.huge_pages_used
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"app\":\"{}\",\"policy\":\"{}\",\"points\":[{}]}}",
+                esc(&c.app),
+                esc(&c.policy),
+                points.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"{}\",\"curves\":[{}]}}",
+        esc(figure),
+        items.join(",")
+    )
+}
+
+/// Serializes Fig. 6 rows.
+pub fn fig6_json(rows: &[Fig6Row]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"app\":\"{}\",\"pcc_entries\":{},\"speedup\":{}}}",
+                esc(&r.app),
+                r.pcc_entries,
+                num(r.speedup)
+            )
+        })
+        .collect();
+    format!("{{\"figure\":\"6\",\"rows\":[{}]}}", items.join(","))
+}
+
+/// Serializes Fig. 7 rows.
+pub fn fig7_json(rows: &[Fig7Row], frag_pct: u8) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"app\":\"{}\",\"hawkeye\":{},\"linux\":{},\"pcc\":{},\"pcc_demote\":{}}}",
+                esc(&r.app),
+                num(r.hawkeye),
+                num(r.linux),
+                num(r.pcc),
+                num(r.pcc_demote)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":\"7\",\"fragmentation_pct\":{frag_pct},\"rows\":[{}]}}",
+        items.join(",")
+    )
+}
+
+/// Serializes ablation rows.
+pub fn ablation_json(app: &str, rows: &[AblationRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"variant\":\"{}\",\"speedup\":{},\"walk_ratio\":{},\"promotions\":{}}}",
+                esc(&r.variant),
+                num(r.speedup),
+                num(r.walk_ratio),
+                r.promotions
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ablation\":\"{}\",\"rows\":[{}]}}",
+        esc(app),
+        items.join(",")
+    )
+}
+
+/// Serializes dataset-sweep rows.
+pub fn datasets_json(rows: &[DatasetRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"app\":\"{}\",\"dataset\":\"{}\",\"dbg_sorted\":{},\
+                 \"base_walk_ratio\":{},\"pcc_speedup_4pct\":{},\"ideal_speedup\":{}}}",
+                esc(&r.app),
+                esc(&r.dataset),
+                r.dbg_sorted,
+                num(r.base_walk_ratio),
+                num(r.pcc_speedup_4pct),
+                num(r.ideal_speedup)
+            )
+        })
+        .collect();
+    format!("{{\"sweep\":\"datasets\",\"rows\":[{}]}}", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_perf::UtilityPoint;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fig1_shape() {
+        let rows = vec![Fig1Row {
+            app: "BFS".into(),
+            miss_4k: 0.295,
+            miss_2m: 0.0,
+            miss_linux: 0.294,
+            speedup_2m: 2.54,
+            speedup_linux: 1.0,
+        }];
+        let j = fig1_json(&rows);
+        assert!(j.starts_with("{\"figure\":\"1\""));
+        assert!(j.contains("\"app\":\"BFS\""));
+        assert!(j.contains("\"speedup_2m\":2.540000"));
+    }
+
+    #[test]
+    fn curves_shape() {
+        let mut c = UtilityCurve::new("BFS", "pcc");
+        c.points.push(UtilityPoint {
+            percent: 4,
+            speedup: 2.21,
+            walk_ratio: 0.029,
+            huge_pages_used: 2,
+        });
+        let j = curves_json("5", &[c]);
+        assert!(j.contains("\"percent\":4"));
+        assert!(j.contains("\"thps\":2"));
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(2.5), "2.500000");
+    }
+
+    #[test]
+    fn json_parses_as_json() {
+        // Sanity with a tiny hand validator: balanced braces/brackets and
+        // no raw control characters.
+        let rows = vec![Fig6Row {
+            app: "PR\"x".into(),
+            pcc_entries: 128,
+            speedup: 2.49,
+        }];
+        let j = fig6_json(&rows);
+        let mut depth: i64 = 0;
+        for c in j.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                c => assert!((c as u32) >= 0x20, "raw control char in JSON"),
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+}

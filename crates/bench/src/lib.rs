@@ -1,0 +1,450 @@
+//! Shared harness for the `repro` binary and the Criterion benches:
+//! profile selection and table rendering for every figure/table of the
+//! paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use hpage_perf::{ascii_plot, fmt_pct, fmt_speedup, TextTable};
+use hpage_sim::{
+    ablation_design_choices, dataset_geomean, dataset_sweep, fig1_page_sizes, fig2_reuse,
+    fig5_utility, fig6_pcc_size, fig7_fragmentation, fig8_multithread, fig9_multiprocess,
+    Fig9Config, SimProfile,
+};
+use hpage_trace::{paper_table1, AppId};
+
+/// Resolves the experiment profile from the environment:
+/// `HPAGE_PROFILE=test|scaled|paper` (default `scaled`) and
+/// `HPAGE_SCALE=<log2 vertices>` to override the graph scale.
+pub fn profile_from_env() -> SimProfile {
+    let mut profile = match std::env::var("HPAGE_PROFILE").as_deref() {
+        Ok("test") => SimProfile::test(),
+        Ok("paper") => SimProfile::paper(),
+        _ => SimProfile::scaled(),
+    };
+    if let Ok(scale) = std::env::var("HPAGE_SCALE") {
+        if let Ok(n) = scale.parse::<u32>() {
+            profile = profile.with_graph_scale(n);
+        }
+    }
+    profile
+}
+
+/// A fast profile for Criterion benches (each bench iteration runs a
+/// whole experiment, so windows are kept short).
+pub fn bench_profile() -> SimProfile {
+    let mut p = SimProfile::test();
+    p.max_accesses_per_core = Some(300_000);
+    p
+}
+
+/// Renders Fig. 1 (page-size potential) as a table.
+pub fn render_fig1(profile: &SimProfile, apps: &[AppId]) -> String {
+    let rows = fig1_page_sizes(profile, apps);
+    let mut t = TextTable::new([
+        "app",
+        "TLB miss% (4KB)",
+        "TLB miss% (2MB)",
+        "TLB miss% (THP@50%frag)",
+        "speedup (2MB)",
+        "speedup (THP@50%frag)",
+    ]);
+    for r in &rows {
+        t.row([
+            r.app.clone(),
+            fmt_pct(r.miss_4k),
+            fmt_pct(r.miss_2m),
+            fmt_pct(r.miss_linux),
+            fmt_speedup(r.speedup_2m),
+            fmt_speedup(r.speedup_linux),
+        ]);
+    }
+    let geo = hpage_sim::fig1_geomean_2m(&rows)
+        .map(|g| format!("geomean 2MB speedup: {}", fmt_speedup(g)))
+        .unwrap_or_default();
+    format!("Fig. 1 — page size potential vs Linux THP under fragmentation\n{t}\n{geo}\n")
+}
+
+/// Renders Fig. 2 (reuse-distance classes) as a table.
+pub fn render_fig2(profile: &SimProfile, app: AppId, window: u64) -> String {
+    let s = fig2_reuse(profile, app, window);
+    let mut t = TextTable::new(["class", "4KB pages", "share"]);
+    let total = (s.tlb_friendly + s.hubs + s.low_reuse).max(1);
+    for (name, n) in [
+        ("TLB-friendly", s.tlb_friendly),
+        ("HUB (promotion candidates)", s.hubs),
+        ("low-reuse", s.low_reuse),
+    ] {
+        t.row([
+            name.to_string(),
+            n.to_string(),
+            fmt_pct(n as f64 / total as f64),
+        ]);
+    }
+    format!(
+        "Fig. 2 — page reuse-distance classes for {} ({} accesses)\n{t}\nHUB pages span {} 2MiB regions\n",
+        s.app, window, s.hub_regions
+    )
+}
+
+/// Renders Fig. 5 (utility curves) for the given apps.
+pub fn render_fig5(profile: &SimProfile, apps: &[AppId], sweep: &[u64]) -> String {
+    let mut out =
+        String::from("Fig. 5 — utility curves (speedup / PTW% at N% footprint promoted)\n");
+    for &app in apps {
+        let (curves, linux50, linux90, ideal) = fig5_utility(profile, app, sweep);
+        let mut t = TextTable::new(["policy / %footprint", "speedup", "PTW rate", "THPs"]);
+        for curve in &curves {
+            for p in &curve.points {
+                t.row([
+                    format!("{} @{}%", curve.policy, p.percent),
+                    fmt_speedup(p.speedup),
+                    fmt_pct(p.walk_ratio),
+                    p.huge_pages_used.to_string(),
+                ]);
+            }
+        }
+        t.row([
+            "linux-thp @50% frag".into(),
+            fmt_speedup(linux50.0),
+            fmt_pct(linux50.1),
+            "-".into(),
+        ]);
+        t.row([
+            "linux-thp @90% frag".into(),
+            fmt_speedup(linux90.0),
+            fmt_pct(linux90.1),
+            "-".into(),
+        ]);
+        t.row([
+            "max perf with THPs".into(),
+            fmt_speedup(ideal.0),
+            fmt_pct(ideal.1),
+            "-".into(),
+        ]);
+        out.push_str(&format!(
+            "\n[{}]\n{t}\n{}",
+            app.name(),
+            ascii_plot(&curves, 54, 12)
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 6 (PCC size sensitivity).
+///
+/// The sweep needs the HUB working set to exceed the small PCC sizes or
+/// every size looks equal; callers should pass a profile with a graph
+/// scale ~3 above the default (see `fig6_profile`).
+pub fn render_fig6(profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> String {
+    let rows = fig6_pcc_size(profile, apps, sizes);
+    let mut t = TextTable::new(["app", "PCC entries", "speedup"]);
+    for r in &rows {
+        let label = match r.pcc_entries {
+            0 => "baseline (no PCC)".to_string(),
+            u32::MAX => "ideal (all THPs)".to_string(),
+            n => n.to_string(),
+        };
+        t.row([r.app.clone(), label, fmt_speedup(r.speedup)]);
+    }
+    format!("Fig. 6 — PCC size sensitivity (promotion cap 32% of footprint)\n{t}")
+}
+
+/// The profile used for the Fig. 6 sensitivity sweep: the base profile
+/// with the graph scale raised so the number of HUB regions (and the
+/// per-interval promotion opportunity) exceeds the small PCC sizes —
+/// the regime where the paper's knee at ~128 entries is visible.
+pub fn fig6_profile(base: &SimProfile) -> SimProfile {
+    let bumped = base.workloads.graph_scale.saturating_add(3).min(24);
+    base.clone().with_graph_scale(bumped)
+}
+
+/// Renders Fig. 7 (fragmented-memory policy comparison).
+pub fn render_fig7(profile: &SimProfile, apps: &[AppId], frag: u8) -> String {
+    let rows = fig7_fragmentation(profile, apps, frag);
+    let mut t = TextTable::new(["app", "hawkeye", "linux-thp", "pcc", "pcc+demote"]);
+    for r in &rows {
+        t.row([
+            r.app.clone(),
+            fmt_speedup(r.hawkeye),
+            fmt_speedup(r.linux),
+            fmt_speedup(r.pcc),
+            fmt_speedup(r.pcc_demote),
+        ]);
+    }
+    format!("Fig. 7 — speedups with {frag}% fragmented memory\n{t}")
+}
+
+/// Renders Fig. 8 (multithread selection policies).
+pub fn render_fig8(
+    profile: &SimProfile,
+    apps: &[AppId],
+    threads: &[u32],
+    sweep: &[u64],
+) -> String {
+    let rows = fig8_multithread(profile, apps, threads, sweep);
+    let mut t = TextTable::new(["app", "threads", "policy", "%footprint", "speedup", "ideal"]);
+    for r in &rows {
+        for p in &r.curve.points {
+            t.row([
+                r.app.clone(),
+                r.threads.to_string(),
+                r.policy.to_string(),
+                format!("{}%", p.percent),
+                fmt_speedup(p.speedup),
+                fmt_speedup(r.ideal_speedup),
+            ]);
+        }
+    }
+    format!("Fig. 8 — multithreaded selection policies\n{t}")
+}
+
+/// Renders one Fig. 9 case study.
+pub fn render_fig9(profile: &SimProfile, config: Fig9Config, sweep: &[u64]) -> String {
+    let (rows, ideal) = fig9_multiprocess(profile, config, sweep);
+    let col_a = format!("{} speedup", config.app_a.name());
+    let col_b = format!("{} speedup", config.app_b.name());
+    let mut t = TextTable::new(["policy", "%footprint", &col_a, &col_b, "THPs"]);
+    for r in &rows {
+        t.row([
+            r.policy.to_string(),
+            format!("{}%", r.percent),
+            fmt_speedup(r.speedups.0),
+            fmt_speedup(r.speedups.1),
+            r.huge_pages.to_string(),
+        ]);
+    }
+    format!(
+        "Fig. 9 — multiprocess {} + {} (ideal: {} / {})\n{t}",
+        config.app_a.name(),
+        config.app_b.name(),
+        fmt_speedup(ideal.0),
+        fmt_speedup(ideal.1)
+    )
+}
+
+/// Renders the time-to-benefit timeline: the per-interval PTW rate of
+/// the PCC vs HawkEye vs baseline on one app — the paper's "the PCC
+/// identifies HUBs faster" claim (§5.1) in timeline form.
+pub fn render_timeline(profile: &SimProfile, app: AppId) -> String {
+    use hpage_os::PromotionBudget;
+    use hpage_sim::{PolicyChoice, ProcessSpec, Simulation};
+    use hpage_trace::{instantiate, Dataset, Workload};
+    let w = instantiate(app, Dataset::Kronecker, profile.workloads, 0xC0FFEE);
+    let sized = profile.clone().sized_for(w.footprint_bytes());
+    let run = |policy: PolicyChoice| {
+        let mut sim = Simulation::new(sized.system.clone(), policy)
+            .with_budget(PromotionBudget::UNLIMITED);
+        if let Some(n) = profile.max_accesses_per_core {
+            sim = sim.with_max_accesses_per_core(n);
+        }
+        sim.run(&[ProcessSpec::new(&w)])
+    };
+    let base = run(PolicyChoice::BasePages);
+    let pcc = run(PolicyChoice::pcc_default());
+    let hawkeye = run(PolicyChoice::HawkEye);
+    let intervals = base
+        .interval_walk_rates
+        .len()
+        .min(pcc.interval_walk_rates.len())
+        .min(hawkeye.interval_walk_rates.len());
+    let mut t = TextTable::new(["interval", "baseline PTW", "hawkeye PTW", "pcc PTW"]);
+    for i in 0..intervals {
+        t.row([
+            i.to_string(),
+            fmt_pct(base.interval_walk_rates[i]),
+            fmt_pct(hawkeye.interval_walk_rates[i]),
+            fmt_pct(pcc.interval_walk_rates[i]),
+        ]);
+    }
+    format!(
+        "Time-to-benefit — per-interval PTW rate on {} (the PCC collapses it          within the first intervals; scan-limited policies lag)
+{t}",
+        w.name()
+    )
+}
+
+/// Renders the design-choice ablation table (DESIGN.md's ablation
+/// targets: cold-miss filter, decay, replacement, PWC alternative).
+pub fn render_ablation(profile: &SimProfile, app: AppId) -> String {
+    let rows = ablation_design_choices(profile, app);
+    let mut t = TextTable::new(["variant", "speedup", "PTW rate", "promotions"]);
+    for r in &rows {
+        t.row([
+            r.variant.clone(),
+            fmt_speedup(r.speedup),
+            fmt_pct(r.walk_ratio),
+            r.promotions.to_string(),
+        ]);
+    }
+    format!("Ablations — PCC design choices on {}
+{t}", app.name())
+}
+
+/// Renders the multi-dataset sweep (Table 1's inputs across sorted and
+/// unsorted variants, with the paper's geomean summary).
+pub fn render_datasets(profile: &SimProfile, apps: &[AppId]) -> String {
+    let rows = dataset_sweep(profile, apps);
+    let mut t = TextTable::new([
+        "app",
+        "dataset",
+        "variant",
+        "base PTW%",
+        "pcc@4% speedup",
+        "ideal",
+    ]);
+    for r in &rows {
+        t.row([
+            r.app.clone(),
+            r.dataset.clone(),
+            if r.dbg_sorted { "dbg-sorted" } else { "unsorted" }.to_string(),
+            fmt_pct(r.base_walk_ratio),
+            fmt_speedup(r.pcc_speedup_4pct),
+            fmt_speedup(r.ideal_speedup),
+        ]);
+    }
+    let geo = dataset_geomean(&rows)
+        .map(|g| format!("geomean pcc@4% speedup: {}", fmt_speedup(g)))
+        .unwrap_or_default();
+    format!("Dataset sweep — graph kernels across Table 1 networks
+{t}
+{geo}
+")
+}
+
+/// Renders Table 1 (evaluation applications and inputs).
+pub fn render_table1() -> String {
+    let mut t = TextTable::new(["application", "input", "paper footprint"]);
+    for r in paper_table1() {
+        t.row([
+            r.app.name().to_string(),
+            r.input.to_string(),
+            format!("{} MB", r.paper_footprint_bytes >> 20),
+        ]);
+    }
+    format!("Table 1 — evaluation applications and inputs (paper values)\n{t}")
+}
+
+/// Renders Table 2 (system parameters) from the active profile.
+pub fn render_table2(profile: &SimProfile) -> String {
+    let s = &profile.system;
+    let mut t = TextTable::new(["parameter", "value"]);
+    let tlb = |l: hpage_types::TlbLevelConfig| format!("{} entries, {}-way", l.entries, l.ways);
+    t.row(["L1 D-TLB 4KB".to_string(), tlb(s.tlb.l1_4k)]);
+    t.row(["L1 D-TLB 2MB".to_string(), tlb(s.tlb.l1_2m)]);
+    t.row(["L1 D-TLB 1GB".to_string(), tlb(s.tlb.l1_1g)]);
+    t.row(["L2 TLB (unified)".to_string(), tlb(s.tlb.l2)]);
+    t.row([
+        "2MB PCC (per core)".to_string(),
+        format!(
+            "{} entries, fully associative, {}-bit tags, {}-bit counters",
+            s.pcc_2m.entries, s.pcc_2m.tag_bits, s.pcc_2m.counter_bits
+        ),
+    ]);
+    t.row([
+        "promotion cadence".to_string(),
+        format!(
+            "up to {} promotions every {} accesses",
+            s.regions_to_promote, s.promotion_interval_accesses
+        ),
+    ]);
+    t.row([
+        "physical memory".to_string(),
+        format!("{} MiB", s.phys_mem_bytes >> 20),
+    ]);
+    format!("Table 2 — system parameters (active profile)\n{t}")
+}
+
+/// Renders the §3.2.1 PCC storage arithmetic.
+pub fn render_storage() -> String {
+    let p2m = hpage_types::PccConfig::paper_2m();
+    let p1g = hpage_types::PccConfig::paper_1g();
+    let mut t = TextTable::new(["structure", "entry bits", "entries", "bytes"]);
+    t.row([
+        "2MB PCC".to_string(),
+        p2m.entry_bits().to_string(),
+        p2m.entries.to_string(),
+        p2m.storage_bytes().to_string(),
+    ]);
+    t.row([
+        "1GB PCC".to_string(),
+        p1g.entry_bits().to_string(),
+        p1g.entries.to_string(),
+        p1g.storage_bytes().to_string(),
+    ]);
+    let total = p2m.storage_bytes() + p1g.storage_bytes();
+    format!(
+        "§3.2.1 — PCC storage arithmetic\n{t}\ntotal {total} B = {} TLB entries at 16 B/entry \
+         (vs 64K base pages identifiable as candidates)\n",
+        total / 16
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        assert!(render_table1().contains("Kronecker 25"));
+        assert!(render_storage().contains("768"));
+        assert!(render_storage().contains("50 TLB entries"));
+        let t2 = render_table2(&SimProfile::paper());
+        assert!(t2.contains("1024 entries, 8-way"));
+        assert!(t2.contains("128 entries, fully associative"));
+    }
+
+    #[test]
+    fn profile_from_env_defaults_are_valid() {
+        let p = profile_from_env();
+        p.system.validate().unwrap();
+        bench_profile().system.validate().unwrap();
+    }
+
+    #[test]
+    fn fig2_renders_quickly() {
+        let mut p = SimProfile::test();
+        p.max_accesses_per_core = Some(100_000);
+        let s = render_fig2(&p, AppId::Bfs, 100_000);
+        assert!(s.contains("HUB"));
+    }
+
+    fn micro_profile() -> SimProfile {
+        let mut p = SimProfile::test();
+        p.max_accesses_per_core = Some(150_000);
+        p.workloads.graph_scale = 10;
+        p
+    }
+
+    #[test]
+    fn fig7_render_contains_policies() {
+        let s = render_fig7(&micro_profile(), &[AppId::Dedup], 90);
+        assert!(s.contains("hawkeye"));
+        assert!(s.contains("pcc+demote"));
+        assert!(s.contains("dedup"));
+    }
+
+    #[test]
+    fn fig9_render_contains_both_apps() {
+        let s = render_fig9(
+            &micro_profile(),
+            Fig9Config {
+                app_a: AppId::Dedup,
+                app_b: AppId::Mcf,
+            },
+            &[0, 100],
+        );
+        assert!(s.contains("dedup speedup"));
+        assert!(s.contains("mcf speedup"));
+        assert!(s.contains("round-robin"));
+    }
+
+    #[test]
+    fn fig6_render_labels_extremes() {
+        let s = render_fig6(&micro_profile(), &[AppId::Dedup], &[4]);
+        assert!(s.contains("baseline (no PCC)"));
+        assert!(s.contains("ideal (all THPs)"));
+    }
+}

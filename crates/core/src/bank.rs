@@ -1,0 +1,252 @@
+//! Per-core PCC banks (§3.2.2: "Per Core vs Shared PCCs").
+//!
+//! The paper chooses one local PCC per core: each core's TLB hierarchy
+//! feeds its own PCC, and the OS is responsible for aggregating the
+//! per-core candidate lists before promoting. [`PccBank`] models the set of
+//! per-core PCCs of one machine and provides the aggregation views the OS
+//! promotion engine consumes.
+
+use crate::cache::{Candidate, Pcc, PccEvent, ReplacementPolicy};
+use hpage_types::{CoreId, PageSize, PccConfig, Vpn};
+
+/// A candidate tagged with the core whose PCC reported it, as seen by the
+/// OS when it aggregates multiple per-core PCC dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreCandidate {
+    /// The core whose PCC tracked this region.
+    pub core: CoreId,
+    /// The region and its frequency.
+    pub candidate: Candidate,
+}
+
+impl core::fmt::Display for CoreCandidate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.core, self.candidate)
+    }
+}
+
+/// The per-core PCCs of a simulated machine, all tracking the same
+/// granularity.
+#[derive(Debug, Clone)]
+pub struct PccBank {
+    pccs: Vec<Pcc>,
+}
+
+impl PccBank {
+    /// Creates `cores` identical PCCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or the config/granularity are invalid (see
+    /// [`Pcc::new`]).
+    pub fn new(cores: u32, config: PccConfig, granularity: PageSize) -> Self {
+        Self::with_replacement(cores, config, granularity, ReplacementPolicy::default())
+    }
+
+    /// Creates `cores` identical PCCs with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PccBank::new`].
+    pub fn with_replacement(
+        cores: u32,
+        config: PccConfig,
+        granularity: PageSize,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(cores > 0, "a PCC bank needs at least one core");
+        PccBank {
+            pccs: (0..cores)
+                .map(|_| Pcc::with_replacement(config, granularity, policy))
+                .collect(),
+        }
+    }
+
+    /// Number of cores (= number of PCCs).
+    pub fn cores(&self) -> u32 {
+        self.pccs.len() as u32
+    }
+
+    /// The PCC of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn pcc(&self, core: CoreId) -> &Pcc {
+        &self.pccs[core.0 as usize]
+    }
+
+    /// Mutable access to the PCC of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn pcc_mut(&mut self, core: CoreId) -> &mut Pcc {
+        &mut self.pccs[core.0 as usize]
+    }
+
+    /// Reports a walk observed on `core` (see [`Pcc::record_walk`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or the region granularity is wrong.
+    pub fn record_walk(&mut self, core: CoreId, region: Vpn, access_bit_was_set: bool) -> PccEvent {
+        self.pcc_mut(core).record_walk(region, access_bit_was_set)
+    }
+
+    /// Invalidates `region` in *every* PCC — a TLB shootdown is broadcast
+    /// to all cores, so all PCC copies of the region must go (§3.3).
+    /// Returns the number of PCCs that held the region.
+    pub fn invalidate_all(&mut self, region: Vpn) -> usize {
+        self.pccs
+            .iter_mut()
+            .filter_map(|p| p.invalidate(region).then_some(()))
+            .count()
+    }
+
+    /// Aggregated dump of all PCCs in "highest frequency first" order — the
+    /// OS view used by the highest-PCC-frequency promotion policy.
+    pub fn dump_by_frequency(&self) -> Vec<CoreCandidate> {
+        let mut all: Vec<CoreCandidate> = self
+            .pccs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, pcc)| {
+                pcc.dump().into_iter().map(move |candidate| CoreCandidate {
+                    core: CoreId(i as u32),
+                    candidate,
+                })
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            b.candidate
+                .frequency
+                .cmp(&a.candidate.frequency)
+                .then_with(|| a.core.0.cmp(&b.core.0))
+                .then_with(|| a.candidate.region.index().cmp(&b.candidate.region.index()))
+        });
+        all
+    }
+
+    /// Aggregated dump interleaving the per-core ranked lists round-robin
+    /// (core 0's best, core 1's best, …, core 0's second, …) — the OS view
+    /// used by the round-robin promotion policy, which distributes huge
+    /// pages evenly across threads.
+    pub fn dump_round_robin(&self) -> Vec<CoreCandidate> {
+        let per_core: Vec<Vec<Candidate>> = self.pccs.iter().map(|p| p.dump()).collect();
+        let longest = per_core.iter().map(Vec::len).max().unwrap_or(0);
+        let mut out = Vec::new();
+        for rank in 0..longest {
+            for (i, list) in per_core.iter().enumerate() {
+                if let Some(c) = list.get(rank) {
+                    out.push(CoreCandidate {
+                        core: CoreId(i as u32),
+                        candidate: *c,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of candidates tracked across all cores.
+    pub fn total_candidates(&self) -> usize {
+        self.pccs.iter().map(Pcc::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(i: u64) -> Vpn {
+        Vpn::new(i, PageSize::Huge2M)
+    }
+
+    fn bank(cores: u32) -> PccBank {
+        PccBank::new(
+            cores,
+            PccConfig::paper_2m().with_entries(8),
+            PageSize::Huge2M,
+        )
+    }
+
+    #[test]
+    fn walks_stay_core_local() {
+        let mut b = bank(2);
+        b.record_walk(CoreId(0), region(1), true);
+        b.record_walk(CoreId(0), region(1), true);
+        assert_eq!(b.pcc(CoreId(0)).frequency_of(region(1)), Some(1));
+        assert_eq!(b.pcc(CoreId(1)).frequency_of(region(1)), None);
+    }
+
+    #[test]
+    fn shootdown_broadcasts_to_all_cores() {
+        let mut b = bank(3);
+        for c in 0..3 {
+            b.record_walk(CoreId(c), region(7), true);
+        }
+        assert_eq!(b.invalidate_all(region(7)), 3);
+        assert_eq!(b.total_candidates(), 0);
+    }
+
+    #[test]
+    fn frequency_dump_is_globally_sorted() {
+        let mut b = bank(2);
+        // Core 0: region 1 with freq 3. Core 1: region 2 with freq 5.
+        for _ in 0..4 {
+            b.record_walk(CoreId(0), region(1), true);
+        }
+        for _ in 0..6 {
+            b.record_walk(CoreId(1), region(2), true);
+        }
+        let dump = b.dump_by_frequency();
+        assert_eq!(dump[0].candidate.region, region(2));
+        assert_eq!(dump[0].core, CoreId(1));
+        assert_eq!(dump[1].candidate.region, region(1));
+        assert!(dump
+            .windows(2)
+            .all(|w| w[0].candidate.frequency >= w[1].candidate.frequency));
+    }
+
+    #[test]
+    fn round_robin_interleaves_cores() {
+        let mut b = bank(2);
+        // Core 0 tracks regions 1,2; core 1 tracks regions 11,12.
+        for r in [1u64, 1, 1, 2] {
+            b.record_walk(CoreId(0), region(r), true);
+        }
+        for r in [11u64, 11, 12] {
+            b.record_walk(CoreId(1), region(r), true);
+        }
+        let rr = b.dump_round_robin();
+        let cores: Vec<u32> = rr.iter().map(|c| c.core.0).collect();
+        assert_eq!(cores, vec![0, 1, 0, 1]);
+        // First entries are each core's top candidate.
+        assert_eq!(rr[0].candidate.region, region(1));
+        assert_eq!(rr[1].candidate.region, region(11));
+    }
+
+    #[test]
+    fn round_robin_handles_uneven_lists() {
+        let mut b = bank(2);
+        b.record_walk(CoreId(0), region(1), true);
+        let rr = b.dump_round_robin();
+        assert_eq!(rr.len(), 1);
+        assert_eq!(rr[0].core, CoreId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = bank(0);
+    }
+
+    #[test]
+    fn display_includes_core() {
+        let mut b = bank(1);
+        b.record_walk(CoreId(0), region(1), true);
+        let d = b.dump_by_frequency();
+        assert!(d[0].to_string().starts_with("core0"));
+    }
+}

@@ -1,0 +1,560 @@
+//! The single-PCC structure (Fig. 3, right side, of the paper).
+
+use core::fmt;
+use hpage_types::{PageSize, PccConfig, Vpn};
+
+/// Victim-selection policy for a full PCC (§3.2.1).
+///
+/// The paper uses LFU with LRU as the tiebreaker and notes that pure LRU
+/// performs similarly at 128 entries because evicted entries usually all
+/// have frequency 0. Both are provided so the claim can be tested
+/// (ablation bench `ablation_replacement`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Evict the least-frequently-used entry; break ties by least recently
+    /// used. The paper's default.
+    #[default]
+    LfuWithLruTiebreak,
+    /// Evict the least-recently-used entry regardless of frequency.
+    Lru,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplacementPolicy::LfuWithLruTiebreak => write!(f, "LFU+LRU"),
+            ReplacementPolicy::Lru => write!(f, "LRU"),
+        }
+    }
+}
+
+/// Outcome of reporting one page-table walk to the PCC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PccEvent {
+    /// The walk was a cold miss (region's accessed bit not yet set) and the
+    /// access-bit filter dropped it.
+    FilteredColdMiss,
+    /// The region was already tracked; its frequency was incremented
+    /// to the contained value.
+    Hit(u64),
+    /// The region was inserted into a free slot with frequency 0.
+    Inserted,
+    /// The region was inserted after evicting the contained victim region.
+    InsertedWithEviction(Vpn),
+}
+
+/// One entry of a PCC dump: a huge-page-region promotion candidate and its
+/// observed page-table-walk frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// The huge-page-aligned virtual region (the PCC tag).
+    pub region: Vpn,
+    /// The frequency counter value at dump time.
+    pub frequency: u64,
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} freq={}", self.region, self.frequency)
+    }
+}
+
+/// Counters describing everything a PCC instance has done. Useful for
+/// experiments and for asserting hardware-behaviour invariants in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PccStats {
+    /// Page-table walks reported to the PCC (post-TLB-hierarchy misses).
+    pub walks_reported: u64,
+    /// Walks dropped by the cold-miss access-bit filter.
+    pub cold_filtered: u64,
+    /// Walks that hit an existing entry.
+    pub hits: u64,
+    /// Insertions of new regions.
+    pub insertions: u64,
+    /// Evictions caused by insertions into a full PCC.
+    pub evictions: u64,
+    /// Invalidations triggered by TLB shootdowns (promotions etc.).
+    pub invalidations: u64,
+    /// Times the decay function halved all counters.
+    pub decays: u64,
+}
+
+/// A single promotion candidate cache (fully associative).
+///
+/// The structure tracks `config.entries` huge-page-aligned regions at one
+/// granularity (2 MiB or 1 GiB). The frequency field is an N-bit saturating
+/// counter; when any counter saturates, all counters are halved so their
+/// relative order is maintained (the paper's decay function).
+#[derive(Debug, Clone)]
+pub struct Pcc {
+    config: PccConfig,
+    granularity: PageSize,
+    policy: ReplacementPolicy,
+    entries: Vec<Entry>,
+    clock: u64,
+    stats: PccStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    region_index: u64,
+    frequency: u64,
+    last_used: u64,
+}
+
+impl Pcc {
+    /// Creates a PCC tracking regions of `granularity` with the paper's
+    /// default LFU(+LRU) replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`PccConfig::validate`]) or
+    /// `granularity` is the base page size — the PCC tracks huge-page
+    /// regions only.
+    pub fn new(config: PccConfig, granularity: PageSize) -> Self {
+        Pcc::with_replacement(config, granularity, ReplacementPolicy::default())
+    }
+
+    /// Creates a PCC with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Pcc::new`].
+    pub fn with_replacement(
+        config: PccConfig,
+        granularity: PageSize,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        config.validate().expect("invalid PCC config");
+        assert!(
+            granularity.is_huge(),
+            "the PCC tracks huge-page regions, not base pages"
+        );
+        Pcc {
+            entries: Vec::with_capacity(config.entries as usize),
+            config,
+            granularity,
+            policy,
+            clock: 0,
+            stats: PccStats::default(),
+        }
+    }
+
+    /// The configuration this PCC was built with.
+    pub fn config(&self) -> &PccConfig {
+        &self.config
+    }
+
+    /// The region granularity (2 MiB or 1 GiB) this PCC tracks.
+    pub fn granularity(&self) -> PageSize {
+        self.granularity
+    }
+
+    /// The replacement policy in effect.
+    pub fn replacement_policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Number of regions currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no regions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of regions (the configured entry count).
+    pub fn capacity(&self) -> usize {
+        self.config.entries as usize
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &PccStats {
+        &self.stats
+    }
+
+    /// Reports a hardware page-table walk for an address inside `region`.
+    ///
+    /// `access_bit_was_set` is the value of the page-table accessed bit
+    /// covering the region *before* this walk set it (PMD bit for 2 MiB,
+    /// PUD bit for 1 GiB — steps 3/6 of Fig. 3). When the configured
+    /// cold-miss filter is on and the bit was clear, the walk is ignored so
+    /// cold first-touch misses cannot pollute the PCC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region.size()` differs from this PCC's granularity.
+    pub fn record_walk(&mut self, region: Vpn, access_bit_was_set: bool) -> PccEvent {
+        assert_eq!(
+            region.size(),
+            self.granularity,
+            "region granularity must match the PCC's"
+        );
+        self.stats.walks_reported += 1;
+        self.clock += 1;
+
+        if self.config.access_bit_filter && !access_bit_was_set {
+            self.stats.cold_filtered += 1;
+            return PccEvent::FilteredColdMiss;
+        }
+
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.region_index == region.index())
+        {
+            // Hit: bump the saturating counter, decaying first if needed.
+            if self.entries[pos].frequency >= self.config.counter_max() {
+                if self.config.decay_on_saturation {
+                    self.decay();
+                } else {
+                    // Saturate: stay at max, refresh recency.
+                    self.entries[pos].last_used = self.clock;
+                    self.stats.hits += 1;
+                    return PccEvent::Hit(self.entries[pos].frequency);
+                }
+            }
+            self.entries[pos].frequency += 1;
+            self.entries[pos].last_used = self.clock;
+            self.stats.hits += 1;
+            return PccEvent::Hit(self.entries[pos].frequency);
+        }
+
+        // Miss: insert, evicting a victim when full.
+        let evicted = if self.entries.len() == self.capacity() {
+            let victim = self.select_victim();
+            let v = self.entries.swap_remove(victim);
+            self.stats.evictions += 1;
+            Some(Vpn::new(v.region_index, self.granularity))
+        } else {
+            None
+        };
+        self.entries.push(Entry {
+            region_index: region.index(),
+            frequency: 0,
+            last_used: self.clock,
+        });
+        self.stats.insertions += 1;
+        match evicted {
+            Some(v) => PccEvent::InsertedWithEviction(v),
+            None => PccEvent::Inserted,
+        }
+    }
+
+    fn select_victim(&self) -> usize {
+        debug_assert!(!self.entries.is_empty());
+        let mut best = 0usize;
+        for i in 1..self.entries.len() {
+            let (a, b) = (&self.entries[i], &self.entries[best]);
+            let worse = match self.policy {
+                ReplacementPolicy::LfuWithLruTiebreak => (a.frequency, a.last_used)
+                    .cmp(&(b.frequency, b.last_used))
+                    .is_lt(),
+                ReplacementPolicy::Lru => a.last_used < b.last_used,
+            };
+            if worse {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn decay(&mut self) {
+        for e in &mut self.entries {
+            e.frequency /= 2;
+        }
+        self.stats.decays += 1;
+    }
+
+    /// Removes `region` from the PCC if present, returning whether it was
+    /// tracked. Invoked on TLB shootdowns: when the OS promotes a candidate
+    /// (or migrates its pages) the shootdown invalidates the PCC entry so
+    /// no stale candidate survives (§3.3, Fig. 4 step C).
+    pub fn invalidate(&mut self, region: Vpn) -> bool {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.region_index == region.index() && region.size() == self.granularity)
+        {
+            self.entries.swap_remove(pos);
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the tracked frequency of `region`, if present.
+    pub fn frequency_of(&self, region: Vpn) -> Option<u64> {
+        if region.size() != self.granularity {
+            return None;
+        }
+        self.entries
+            .iter()
+            .find(|e| e.region_index == region.index())
+            .map(|e| e.frequency)
+    }
+
+    /// Dumps the PCC contents as a priority list — highest frequency first,
+    /// most recently used first among equals — exactly the order the OS
+    /// reads from the designated memory region in Fig. 4.
+    pub fn dump(&self) -> Vec<Candidate> {
+        let mut snapshot: Vec<&Entry> = self.entries.iter().collect();
+        snapshot.sort_by(|a, b| {
+            (b.frequency, b.last_used).cmp(&(a.frequency, a.last_used))
+        });
+        snapshot
+            .into_iter()
+            .map(|e| Candidate {
+                region: Vpn::new(e.region_index, self.granularity),
+                frequency: e.frequency,
+            })
+            .collect()
+    }
+
+    /// Iterates over tracked candidates in unspecified order (cheaper than
+    /// [`dump`](Self::dump) when ranking is not needed).
+    pub fn iter(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.entries.iter().map(|e| Candidate {
+            region: Vpn::new(e.region_index, self.granularity),
+            frequency: e.frequency,
+        })
+    }
+
+    /// Clears all entries (e.g. on context switch in a per-process PCC
+    /// virtualisation model). Statistics are preserved.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_types::VirtAddr;
+
+    fn region(i: u64) -> Vpn {
+        Vpn::new(i, PageSize::Huge2M)
+    }
+
+    fn small_pcc(entries: u32) -> Pcc {
+        Pcc::new(PccConfig::paper_2m().with_entries(entries), PageSize::Huge2M)
+    }
+
+    #[test]
+    fn insert_hit_sequence() {
+        let mut pcc = small_pcc(4);
+        assert_eq!(pcc.record_walk(region(1), true), PccEvent::Inserted);
+        assert_eq!(pcc.record_walk(region(1), true), PccEvent::Hit(1));
+        assert_eq!(pcc.record_walk(region(1), true), PccEvent::Hit(2));
+        assert_eq!(pcc.frequency_of(region(1)), Some(2));
+        assert_eq!(pcc.len(), 1);
+    }
+
+    #[test]
+    fn cold_miss_filter_drops_first_touch() {
+        let mut pcc = small_pcc(4);
+        assert_eq!(pcc.record_walk(region(9), false), PccEvent::FilteredColdMiss);
+        assert!(pcc.is_empty());
+        assert_eq!(pcc.stats().cold_filtered, 1);
+        // With the bit set, it is admitted.
+        assert_eq!(pcc.record_walk(region(9), true), PccEvent::Inserted);
+    }
+
+    #[test]
+    fn filter_disabled_admits_cold_misses() {
+        let cfg = PccConfig {
+            access_bit_filter: false,
+            ..PccConfig::paper_2m().with_entries(4)
+        };
+        let mut pcc = Pcc::new(cfg, PageSize::Huge2M);
+        assert_eq!(pcc.record_walk(region(9), false), PccEvent::Inserted);
+        assert_eq!(pcc.stats().cold_filtered, 0);
+    }
+
+    #[test]
+    fn lfu_eviction_prefers_lowest_frequency() {
+        let mut pcc = small_pcc(2);
+        pcc.record_walk(region(1), true);
+        pcc.record_walk(region(1), true); // freq 1
+        pcc.record_walk(region(2), true); // freq 0
+        // PCC full; inserting region 3 must evict region 2 (lowest freq).
+        match pcc.record_walk(region(3), true) {
+            PccEvent::InsertedWithEviction(v) => assert_eq!(v, region(2)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(pcc.frequency_of(region(1)).is_some());
+        assert!(pcc.frequency_of(region(2)).is_none());
+    }
+
+    #[test]
+    fn lfu_tiebreak_is_lru() {
+        let mut pcc = small_pcc(2);
+        pcc.record_walk(region(1), true); // freq 0, older
+        pcc.record_walk(region(2), true); // freq 0, newer
+        match pcc.record_walk(region(3), true) {
+            PccEvent::InsertedWithEviction(v) => assert_eq!(v, region(1)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_lru_ignores_frequency() {
+        let mut pcc = Pcc::with_replacement(
+            PccConfig::paper_2m().with_entries(2),
+            PageSize::Huge2M,
+            ReplacementPolicy::Lru,
+        );
+        pcc.record_walk(region(1), true);
+        pcc.record_walk(region(1), true);
+        pcc.record_walk(region(1), true); // freq 2, but oldest after next line
+        pcc.record_walk(region(2), true); // freq 0, most recent
+        // LRU evicts region 1 even though it is the most frequent.
+        match pcc.record_walk(region(3), true) {
+            PccEvent::InsertedWithEviction(v) => assert_eq!(v, region(1)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decay_halves_all_counters_on_saturation() {
+        let cfg = PccConfig {
+            counter_bits: 3, // max = 7
+            ..PccConfig::paper_2m().with_entries(4)
+        };
+        let mut pcc = Pcc::new(cfg, PageSize::Huge2M);
+        pcc.record_walk(region(1), true);
+        for _ in 0..7 {
+            pcc.record_walk(region(1), true); // reach 7 (saturated)
+        }
+        pcc.record_walk(region(2), true);
+        pcc.record_walk(region(2), true); // region2 freq = 1
+        assert_eq!(pcc.frequency_of(region(1)), Some(7));
+        // Next hit on region 1 saturates -> all halved (7->3, 1->0), then +1.
+        pcc.record_walk(region(1), true);
+        assert_eq!(pcc.frequency_of(region(1)), Some(4));
+        assert_eq!(pcc.frequency_of(region(2)), Some(0));
+        assert_eq!(pcc.stats().decays, 1);
+        // Relative order is preserved.
+        let dump = pcc.dump();
+        assert_eq!(dump[0].region, region(1));
+    }
+
+    #[test]
+    fn no_decay_saturates_flat() {
+        let cfg = PccConfig {
+            counter_bits: 2, // max = 3
+            decay_on_saturation: false,
+            ..PccConfig::paper_2m().with_entries(4)
+        };
+        let mut pcc = Pcc::new(cfg, PageSize::Huge2M);
+        for _ in 0..10 {
+            pcc.record_walk(region(1), true);
+        }
+        assert_eq!(pcc.frequency_of(region(1)), Some(3));
+        assert_eq!(pcc.stats().decays, 0);
+    }
+
+    #[test]
+    fn dump_orders_by_frequency_desc() {
+        let mut pcc = small_pcc(8);
+        for (r, n) in [(1u64, 3), (2, 5), (3, 1)] {
+            for _ in 0..=n {
+                pcc.record_walk(region(r), true);
+            }
+        }
+        let dump = pcc.dump();
+        assert_eq!(
+            dump.iter().map(|c| c.region.index()).collect::<Vec<_>>(),
+            vec![2, 1, 3]
+        );
+        assert!(dump.windows(2).all(|w| w[0].frequency >= w[1].frequency));
+    }
+
+    #[test]
+    fn invalidate_on_shootdown() {
+        let mut pcc = small_pcc(4);
+        pcc.record_walk(region(1), true);
+        assert!(pcc.invalidate(region(1)));
+        assert!(!pcc.invalidate(region(1)));
+        assert!(pcc.is_empty());
+        assert_eq!(pcc.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_wrong_granularity_is_noop() {
+        let mut pcc = small_pcc(4);
+        pcc.record_walk(region(1), true);
+        assert!(!pcc.invalidate(Vpn::new(1, PageSize::Huge1G)));
+        assert_eq!(pcc.len(), 1);
+    }
+
+    #[test]
+    fn clear_preserves_stats() {
+        let mut pcc = small_pcc(4);
+        pcc.record_walk(region(1), true);
+        pcc.clear();
+        assert!(pcc.is_empty());
+        assert_eq!(pcc.stats().insertions, 1);
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut pcc = small_pcc(3);
+        for i in 0..100 {
+            pcc.record_walk(region(i), true);
+            assert!(pcc.len() <= 3);
+        }
+        assert_eq!(pcc.len(), 3);
+        assert_eq!(pcc.stats().evictions, 97);
+    }
+
+    #[test]
+    #[should_panic(expected = "huge-page regions")]
+    fn base_page_granularity_rejected() {
+        let _ = Pcc::new(PccConfig::paper_2m(), PageSize::Base4K);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must match")]
+    fn mismatched_region_size_panics() {
+        let mut pcc = small_pcc(4);
+        pcc.record_walk(Vpn::new(1, PageSize::Huge1G), true);
+    }
+
+    #[test]
+    fn vpn_tag_matches_paper_prefix_semantics() {
+        // The tag is the 2MB virtual address prefix: two addresses in the
+        // same 2MB region must collapse to the same PCC entry.
+        let mut pcc = small_pcc(4);
+        let a = VirtAddr::new(0x4000_0000).vpn(PageSize::Huge2M);
+        let b = VirtAddr::new(0x4000_0000 + 0x1F_FFFF).vpn(PageSize::Huge2M);
+        assert_eq!(a, b);
+        pcc.record_walk(a, true);
+        assert_eq!(pcc.record_walk(b, true), PccEvent::Hit(1));
+        assert_eq!(pcc.len(), 1);
+    }
+
+    #[test]
+    fn one_gb_pcc_geometry() {
+        let pcc = Pcc::new(PccConfig::paper_1g(), PageSize::Huge1G);
+        assert_eq!(pcc.capacity(), 8);
+        assert_eq!(pcc.granularity(), PageSize::Huge1G);
+    }
+
+    #[test]
+    fn display_impls() {
+        let c = Candidate {
+            region: region(1),
+            frequency: 5,
+        };
+        assert!(c.to_string().contains("freq=5"));
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(
+            ReplacementPolicy::LfuWithLruTiebreak.to_string(),
+            "LFU+LRU"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The **Promotion Candidate Cache (PCC)** — the core contribution of
+//! *"Architectural Support for Optimizing Huge Page Selection Within the
+//! OS"* (MICRO 2023).
+//!
+//! The PCC is a small, fully-associative hardware structure placed after
+//! the last-level TLB. Whenever a memory access misses the whole TLB
+//! hierarchy and triggers a hardware page-table walk, the walker checks the
+//! *accessed* bit of the page-table entry covering the huge-page-aligned
+//! region (the PMD entry for 2 MiB regions). If the bit was already set —
+//! i.e. this is not a cold first touch — the walk is reported to the PCC,
+//! which tracks the region's page-table-walk frequency in an 8-bit
+//! saturating counter. Regions with the highest counters are the best huge
+//! page promotion candidates ("HUBs": High-reUse TLB-sensitive data), and
+//! the OS periodically reads a ranked dump of the PCC to decide what to
+//! promote (Fig. 4 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use hpage_pcc::{Pcc, PccEvent};
+//! use hpage_types::{PageSize, PccConfig, VirtAddr};
+//!
+//! let mut pcc = Pcc::new(PccConfig::paper_2m(), PageSize::Huge2M);
+//! let hot = VirtAddr::new(0x8A31_4000_0000).vpn(PageSize::Huge2M);
+//!
+//! // First walk to a never-before-accessed region is filtered out
+//! // (cold-miss filter driven by the page-table accessed bit).
+//! assert_eq!(pcc.record_walk(hot, false), PccEvent::FilteredColdMiss);
+//!
+//! // Subsequent walks (accessed bit already set) are tracked.
+//! pcc.record_walk(hot, true);
+//! pcc.record_walk(hot, true);
+//! let dump = pcc.dump();
+//! assert_eq!(dump[0].region, hot);
+//! assert_eq!(dump[0].frequency, 1); // inserted at 0, bumped once
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod cache;
+
+pub use bank::{CoreCandidate, PccBank};
+pub use cache::{Candidate, Pcc, PccEvent, PccStats, ReplacementPolicy};
+
+/// Decides whether a 1 GiB promotion is preferable to 2 MiB promotions for
+/// a region, per §3.2.3 of the paper: if the frequency of a 2 MiB PCC entry
+/// is at least 512× less than the corresponding 1 GiB PCC entry's
+/// frequency, the 1 GiB page size is the better fit.
+///
+/// `freq_2m` is the frequency of one 2 MiB entry inside the 1 GiB region;
+/// `freq_1g` is the 1 GiB PCC entry's frequency.
+///
+/// ```
+/// use hpage_pcc::prefer_1g_promotion;
+/// assert!(prefer_1g_promotion(1, 512));
+/// assert!(!prefer_1g_promotion(2, 512));
+/// assert!(prefer_1g_promotion(0, 1));
+/// ```
+pub fn prefer_1g_promotion(freq_2m: u64, freq_1g: u64) -> bool {
+    if freq_1g == 0 {
+        return false;
+    }
+    match freq_2m.checked_mul(512) {
+        Some(scaled) => scaled <= freq_1g,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefer_1g_boundary() {
+        assert!(prefer_1g_promotion(0, 1));
+        assert!(prefer_1g_promotion(1, 512));
+        assert!(!prefer_1g_promotion(1, 511));
+        assert!(!prefer_1g_promotion(0, 0));
+        // Overflow-safe.
+        assert!(!prefer_1g_promotion(u64::MAX, u64::MAX));
+    }
+}

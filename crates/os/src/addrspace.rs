@@ -1,0 +1,534 @@
+//! A process address space: the page table plus the promotion/demotion
+//! mechanics the OS performs on it.
+
+use crate::physmem::PhysicalMemory;
+use hpage_types::{HpageError, PageSize, ProcessId, VirtAddr, Vpn};
+use hpage_tlb::{PageTable, Translation};
+use std::collections::HashMap;
+
+/// How a page fault was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Backed with a 4 KiB base page.
+    Base(Translation),
+    /// Backed synchronously with a 2 MiB huge page (Linux's THP
+    /// fault-time allocation).
+    Huge(Translation),
+}
+
+impl FaultOutcome {
+    /// The installed translation.
+    pub fn translation(&self) -> Translation {
+        match self {
+            FaultOutcome::Base(t) | FaultOutcome::Huge(t) => *t,
+        }
+    }
+}
+
+/// Result of a successful promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionOutcome {
+    /// The region that became a huge page.
+    pub region: Vpn,
+    /// Base pages migrated by compaction to free the huge frame.
+    pub pages_migrated: u64,
+    /// Base pages that were mapped in the region before promotion (data
+    /// copy volume).
+    pub pages_collapsed: u64,
+}
+
+/// Per-address-space OS statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddressSpaceStats {
+    /// Page faults served with base pages.
+    pub base_faults: u64,
+    /// Page faults served with huge pages.
+    pub huge_faults: u64,
+    /// Huge-page promotions performed.
+    pub promotions: u64,
+    /// Huge-page demotions performed.
+    pub demotions: u64,
+    /// Distinct 4 KiB pages actually touched (faulted on). The gap
+    /// between resident and touched bytes is the paper's memory *bloat*:
+    /// greedy huge-page faulting maps 2 MiB for a single touched page.
+    pub pages_touched: u64,
+}
+
+/// A simulated process address space.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    pid: ProcessId,
+    page_table: PageTable,
+    /// 2 MiB regions promoted by the OS (vs. faulted-in huge), with the
+    /// access-count timestamp of the promotion — the record the OS keeps
+    /// to drive demotion decisions.
+    promoted: HashMap<u64, u64>,
+    stats: AddressSpaceStats,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for `pid`.
+    pub fn new(pid: ProcessId) -> Self {
+        AddressSpace {
+            pid,
+            page_table: PageTable::new(),
+            promoted: HashMap::new(),
+            stats: AddressSpaceStats::default(),
+        }
+    }
+
+    /// The owning process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The page table (hardware walks go through this).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable page table access (the walker needs it to set A-bits).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// Per-space statistics.
+    pub fn stats(&self) -> &AddressSpaceStats {
+        &self.stats
+    }
+
+    /// 2 MiB regions currently mapped huge (in ascending order).
+    pub fn huge_regions(&self) -> Vec<Vpn> {
+        let mut v: Vec<Vpn> = self
+            .page_table
+            .mapped_2m_regions()
+            .into_iter()
+            .filter(|r| self.page_table.is_huge_mapped(*r))
+            .collect();
+        v.sort_by_key(|r| r.index());
+        v
+    }
+
+    /// Regions promoted by the OS (subset of [`huge_regions`]) with their
+    /// promotion timestamps.
+    pub fn promoted_regions(&self) -> Vec<(Vpn, u64)> {
+        let mut v: Vec<(Vpn, u64)> = self
+            .promoted
+            .iter()
+            .map(|(&i, &t)| (Vpn::new(i, PageSize::Huge2M), t))
+            .collect();
+        v.sort_by_key(|(r, _)| r.index());
+        v
+    }
+
+    /// Handles a page fault at `va`. When `prefer_huge` (Linux THP's
+    /// synchronous policy), a 2 MiB frame is attempted first (without
+    /// compaction — fault latency matters) and the fault falls back to a
+    /// base page when none is available. As in Linux, the huge path only
+    /// applies when the whole PMD range is still empty; a region that
+    /// already holds base pages keeps faulting base pages (khugepaged
+    /// collapses it later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::OutOfMemory`] when no base frame is free
+    /// either.
+    pub fn fault(
+        &mut self,
+        va: VirtAddr,
+        prefer_huge: bool,
+        phys: &mut PhysicalMemory,
+    ) -> Result<FaultOutcome, HpageError> {
+        debug_assert!(self.page_table.translate(va).is_none(), "fault on mapped va");
+        self.stats.pages_touched += 1;
+        let region = va.vpn(PageSize::Huge2M);
+        if prefer_huge && self.page_table.mapped_base_pages_in(region) == 0 {
+            if let Ok(huge) = phys.alloc_huge(false) {
+                self.page_table.map(region, huge.pfn)?;
+                self.stats.huge_faults += 1;
+                return Ok(FaultOutcome::Huge(Translation {
+                    vpn: region,
+                    pfn: huge.pfn,
+                }));
+            }
+        }
+        let pfn = phys.alloc_base()?;
+        let vpn = va.vpn(PageSize::Base4K);
+        self.page_table.map(vpn, pfn)?;
+        self.stats.base_faults += 1;
+        Ok(FaultOutcome::Base(Translation { vpn, pfn }))
+    }
+
+    /// Promotes `region` to a huge page: allocates a 2 MiB frame
+    /// (compacting if allowed), collapses the region's base mappings into
+    /// one PMD leaf, and frees the old base frames. `now` is the
+    /// simulation timestamp recorded for demotion bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// * [`HpageError::InvalidRemap`] — the region is already huge.
+    /// * [`HpageError::Unmapped`] — nothing is mapped in the region.
+    /// * [`HpageError::OutOfMemory`] — no huge frame available.
+    pub fn promote(
+        &mut self,
+        region: Vpn,
+        allow_compaction: bool,
+        now: u64,
+        phys: &mut PhysicalMemory,
+    ) -> Result<PromotionOutcome, HpageError> {
+        if self.page_table.is_huge_mapped(region) {
+            return Err(HpageError::InvalidRemap {
+                reason: format!("{region} is already huge"),
+            });
+        }
+        if self.page_table.mapped_base_pages_in(region) == 0 {
+            return Err(HpageError::Unmapped {
+                addr: region.base().raw(),
+            });
+        }
+        let huge = phys.alloc_huge(allow_compaction)?;
+        let old = self.page_table.promote_2m(region, huge.pfn)?;
+        for pfn in &old {
+            phys.free_base(*pfn);
+        }
+        self.promoted.insert(region.index(), now);
+        self.stats.promotions += 1;
+        Ok(PromotionOutcome {
+            region,
+            pages_migrated: huge.pages_migrated,
+            pages_collapsed: old.len() as u64,
+        })
+    }
+
+    /// Promotes an entire 1 GiB region to a gigantic page (§3.2.3): the
+    /// region's mix of base and 2 MiB mappings is collectively replaced
+    /// by one PUD leaf. Frames are released back to physical memory.
+    ///
+    /// # Errors
+    ///
+    /// * [`HpageError::OutOfMemory`] — no aligned gigabyte could be freed.
+    /// * [`HpageError::InvalidRemap`] / [`HpageError::Unmapped`] — see
+    ///   [`hpage_tlb::PageTable::promote_1g`].
+    pub fn promote_1g(
+        &mut self,
+        region: Vpn,
+        allow_compaction: bool,
+        now: u64,
+        phys: &mut PhysicalMemory,
+    ) -> Result<PromotionOutcome, HpageError> {
+        if region.size() != PageSize::Huge1G {
+            return Err(HpageError::InvalidRemap {
+                reason: "promote_1g requires a 1GB region".into(),
+            });
+        }
+        if self.page_table.translate(region.base()).map(|t| t.size())
+            == Some(PageSize::Huge1G)
+        {
+            return Err(HpageError::InvalidRemap {
+                reason: format!("{region} is already a 1GB page"),
+            });
+        }
+        let giant = phys.alloc_giant(allow_compaction)?;
+        let (bases, huges) = match self.page_table.promote_1g(region, giant.pfn) {
+            Ok(freed) => freed,
+            Err(e) => {
+                phys.free_giant(giant.pfn);
+                return Err(e);
+            }
+        };
+        let collapsed = bases.len() as u64 + 512 * huges.len() as u64;
+        for pfn in bases {
+            phys.free_base(pfn);
+        }
+        for pfn in huges {
+            phys.free_huge(pfn);
+        }
+        // Constituent 2MB promotions are superseded.
+        for sub in region.split(PageSize::Huge2M) {
+            self.promoted.remove(&sub.index());
+        }
+        let _ = now;
+        self.stats.promotions += 1;
+        Ok(PromotionOutcome {
+            region,
+            pages_migrated: giant.pages_migrated,
+            pages_collapsed: collapsed,
+        })
+    }
+
+    /// Demotes a huge `region` back to base pages. The data stays
+    /// resident: the huge frame is split in place into 512 base frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::Unmapped`] if the region is not huge-mapped.
+    pub fn demote(&mut self, region: Vpn, phys: &mut PhysicalMemory) -> Result<(), HpageError> {
+        if !self.page_table.is_huge_mapped(region) {
+            return Err(HpageError::Unmapped {
+                addr: region.base().raw(),
+            });
+        }
+        // Split the frame first so the PFNs exist before remapping.
+        let t = self
+            .page_table
+            .translate(region.base())
+            .expect("huge-mapped region must translate");
+        let frames = phys.split_huge_in_place(t.pfn);
+        self.page_table.demote_2m(region, &frames)?;
+        self.promoted.remove(&region.index());
+        self.stats.demotions += 1;
+        Ok(())
+    }
+
+    /// Whether `region` was promoted by the OS (as opposed to faulted in
+    /// huge or still base-mapped).
+    pub fn is_promoted(&self, region: Vpn) -> bool {
+        self.promoted.contains_key(&region.index())
+    }
+
+    /// Resident bytes: memory currently committed to this address space
+    /// (base pages + whole huge pages).
+    pub fn resident_bytes(&self) -> u64 {
+        let mut bytes = 0u64;
+        for region in self.page_table.mapped_2m_regions() {
+            if self.page_table.is_huge_mapped(region) {
+                bytes += PageSize::Huge2M.bytes();
+            } else {
+                bytes += self.page_table.mapped_base_pages_in(region) * PageSize::Base4K.bytes();
+            }
+        }
+        bytes
+    }
+
+    /// Memory bloat: resident bytes beyond what faults actually touched
+    /// (§1: "aggressive use of huge pages can bloat an application's
+    /// memory footprint"). Promotions of touched regions do not count as
+    /// bloat reduction/increase of touched pages — bloat measures
+    /// residency the application never asked for.
+    pub fn bloat_bytes(&self) -> u64 {
+        self.resident_bytes()
+            .saturating_sub(self.stats.pages_touched * PageSize::Base4K.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB2: u64 = PageSize::Huge2M.bytes();
+
+    fn setup() -> (AddressSpace, PhysicalMemory) {
+        (
+            AddressSpace::new(ProcessId(1)),
+            PhysicalMemory::new(16 * MB2),
+        )
+    }
+
+    fn region(i: u64) -> Vpn {
+        Vpn::new(i, PageSize::Huge2M)
+    }
+
+    #[test]
+    fn base_fault_maps_page() {
+        let (mut a, mut pm) = setup();
+        let va = VirtAddr::new(0x40_0000);
+        let out = a.fault(va, false, &mut pm).unwrap();
+        assert!(matches!(out, FaultOutcome::Base(_)));
+        assert_eq!(
+            a.page_table().mapping_size(va),
+            Some(PageSize::Base4K)
+        );
+        assert_eq!(a.stats().base_faults, 1);
+        assert_eq!(pm.free_frames(), 16 * 512 - 1);
+    }
+
+    #[test]
+    fn huge_fault_maps_region() {
+        let (mut a, mut pm) = setup();
+        let va = VirtAddr::new(0x40_1234);
+        let out = a.fault(va, true, &mut pm).unwrap();
+        assert!(matches!(out, FaultOutcome::Huge(_)));
+        assert_eq!(a.page_table().mapping_size(va), Some(PageSize::Huge2M));
+        // The whole region translates, not just the faulting page.
+        assert!(a
+            .page_table()
+            .translate(VirtAddr::new(0x40_0000))
+            .is_some());
+        assert_eq!(a.stats().huge_faults, 1);
+    }
+
+    #[test]
+    fn huge_fault_skips_partially_mapped_regions() {
+        // Linux's THP fault path requires an empty PMD range: once a
+        // region holds base pages, further faults in it stay base even
+        // when huge frames are available.
+        let (mut a, mut pm) = setup();
+        let r = region(32);
+        a.fault(r.base(), false, &mut pm).unwrap(); // base page first
+        let out = a
+            .fault(r.base().offset(0x1000), true, &mut pm)
+            .unwrap();
+        assert!(matches!(out, FaultOutcome::Base(_)));
+        assert!(!a.page_table().is_huge_mapped(r));
+    }
+
+    #[test]
+    fn huge_fault_falls_back_when_no_huge_frame() {
+        let mut a = AddressSpace::new(ProcessId(1));
+        let mut pm = PhysicalMemory::new(2 * MB2);
+        pm.fragment(100, 1); // no huge-capable blocks
+        let out = a.fault(VirtAddr::new(0x40_0000), true, &mut pm).unwrap();
+        assert!(matches!(out, FaultOutcome::Base(_)));
+    }
+
+    #[test]
+    fn promote_collapses_and_frees_base_frames() {
+        let (mut a, mut pm) = setup();
+        let r = region(32);
+        for page in r.split(PageSize::Base4K).take(20) {
+            a.fault(page.base(), false, &mut pm).unwrap();
+        }
+        let free_before = pm.free_frames();
+        let out = a.promote(r, true, 123, &mut pm).unwrap();
+        assert_eq!(out.pages_collapsed, 20);
+        assert!(a.is_promoted(r));
+        assert_eq!(a.promoted_regions(), vec![(r, 123)]);
+        // 20 base frames returned, 512 consumed by the huge frame.
+        assert_eq!(pm.free_frames(), free_before + 20 - 512);
+        assert!(a.page_table().is_huge_mapped(r));
+    }
+
+    #[test]
+    fn promote_errors() {
+        let (mut a, mut pm) = setup();
+        let r = region(32);
+        assert!(matches!(
+            a.promote(r, true, 0, &mut pm),
+            Err(HpageError::Unmapped { .. })
+        ));
+        a.fault(r.base(), true, &mut pm).unwrap();
+        assert!(matches!(
+            a.promote(r, true, 0, &mut pm),
+            Err(HpageError::InvalidRemap { .. })
+        ));
+    }
+
+    #[test]
+    fn promote_oom_when_fragmented() {
+        let mut a = AddressSpace::new(ProcessId(1));
+        let mut pm = PhysicalMemory::new(4 * MB2);
+        pm.fragment(100, 1);
+        let r = region(32);
+        a.fault(r.base(), false, &mut pm).unwrap();
+        assert!(matches!(
+            a.promote(r, true, 0, &mut pm),
+            Err(HpageError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn demote_splits_in_place() {
+        let (mut a, mut pm) = setup();
+        let r = region(32);
+        a.fault(r.base(), false, &mut pm).unwrap();
+        a.promote(r, true, 5, &mut pm).unwrap();
+        a.demote(r, &mut pm).unwrap();
+        assert!(!a.is_promoted(r));
+        assert!(!a.page_table().is_huge_mapped(r));
+        assert_eq!(a.page_table().mapped_base_pages_in(r), 512);
+        assert_eq!(a.stats().demotions, 1);
+        // Demoting again fails.
+        assert!(a.demote(r, &mut pm).is_err());
+    }
+
+    #[test]
+    fn demote_then_repromote() {
+        let (mut a, mut pm) = setup();
+        let r = region(32);
+        a.fault(r.base(), false, &mut pm).unwrap();
+        a.promote(r, true, 1, &mut pm).unwrap();
+        a.demote(r, &mut pm).unwrap();
+        let out = a.promote(r, true, 2, &mut pm).unwrap();
+        assert_eq!(out.pages_collapsed, 512);
+        assert!(a.is_promoted(r));
+    }
+
+    #[test]
+    fn promote_1g_collapses_region() {
+        let mut a = AddressSpace::new(ProcessId(1));
+        // 3 GiB of memory: room for one aligned clean gigabyte plus data.
+        let mut pm = PhysicalMemory::new(3 << 30);
+        let giant = Vpn::new(8, PageSize::Huge1G);
+        let subs: Vec<Vpn> = giant.split(PageSize::Huge2M).collect();
+        // Fault some base pages and promote one subregion to 2MB first.
+        a.fault(subs[0].base(), false, &mut pm).unwrap();
+        a.fault(subs[1].base(), false, &mut pm).unwrap();
+        a.promote(subs[0], true, 1, &mut pm).unwrap();
+        assert!(a.is_promoted(subs[0]));
+        let out = a.promote_1g(giant, true, 2, &mut pm).unwrap();
+        assert_eq!(out.pages_collapsed, 512 + 1);
+        assert_eq!(
+            a.page_table().mapping_size(giant.base()),
+            Some(PageSize::Huge1G)
+        );
+        // The superseded 2MB promotion record is gone.
+        assert!(!a.is_promoted(subs[0]));
+        // Promoting again fails.
+        assert!(a.promote_1g(giant, true, 3, &mut pm).is_err());
+    }
+
+    #[test]
+    fn promote_1g_oom_rolls_back_nothing() {
+        let mut a = AddressSpace::new(ProcessId(1));
+        let mut pm = PhysicalMemory::new(64 * MB2); // < 1 GiB
+        let giant = Vpn::new(8, PageSize::Huge1G);
+        a.fault(giant.base(), false, &mut pm).unwrap();
+        assert!(matches!(
+            a.promote_1g(giant, true, 0, &mut pm),
+            Err(HpageError::OutOfMemory { .. })
+        ));
+        // Mapping intact.
+        assert_eq!(
+            a.page_table().mapping_size(giant.base()),
+            Some(PageSize::Base4K)
+        );
+    }
+
+    #[test]
+    fn bloat_measures_untouched_residency() {
+        let (mut a, mut pm) = setup();
+        // Greedy huge fault: one touch commits 2 MiB.
+        a.fault(VirtAddr::new(0x40_0000), true, &mut pm).unwrap();
+        assert_eq!(a.stats().pages_touched, 1);
+        assert_eq!(a.resident_bytes(), PageSize::Huge2M.bytes());
+        assert_eq!(
+            a.bloat_bytes(),
+            PageSize::Huge2M.bytes() - PageSize::Base4K.bytes()
+        );
+        // Base faults commit exactly what is touched: zero bloat.
+        let (mut b, mut pm2) = setup();
+        for i in 0..10u64 {
+            b.fault(VirtAddr::new(0x40_0000 + i * 0x1000), false, &mut pm2)
+                .unwrap();
+        }
+        assert_eq!(b.bloat_bytes(), 0);
+        // Promotion of a sparsely-touched region creates bloat too.
+        b.promote(region(2), true, 0, &mut pm2).unwrap();
+        assert_eq!(
+            b.bloat_bytes(),
+            PageSize::Huge2M.bytes() - 10 * PageSize::Base4K.bytes()
+        );
+    }
+
+    #[test]
+    fn huge_regions_lists_both_faulted_and_promoted() {
+        let (mut a, mut pm) = setup();
+        a.fault(region(10).base(), true, &mut pm).unwrap(); // faulted huge
+        a.fault(region(20).base(), false, &mut pm).unwrap();
+        a.promote(region(20), true, 0, &mut pm).unwrap(); // promoted
+        let regions = a.huge_regions();
+        assert_eq!(regions, vec![region(10), region(20)]);
+        assert!(!a.is_promoted(region(10)));
+        assert!(a.is_promoted(region(20)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Text serialization for [`PromotionSchedule`] — the paper's candidate
+//! trace file, one promotion per line:
+//!
+//! ```text
+//! # hpage promotion schedule v1
+//! <at_access> <pid> <2MB region index>
+//! ```
+
+use crate::engine::{PromotionSchedule, ScheduledPromotion};
+use hpage_types::{PageSize, ProcessId, Vpn};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+const HEADER: &str = "# hpage promotion schedule v1";
+
+/// Writes `schedule` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_schedule<W: Write>(schedule: &PromotionSchedule, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "{HEADER}")?;
+    for ev in schedule.events() {
+        writeln!(
+            writer,
+            "{} {} {}",
+            ev.at_access,
+            ev.process.0,
+            ev.region.index()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a schedule written by [`write_schedule`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad header or malformed line, or any I/O
+/// error from `reader`.
+pub fn read_schedule<R: Read>(reader: R) -> io::Result<PromotionSchedule> {
+    let mut lines = BufReader::new(reader).lines();
+    match lines.next() {
+        Some(Ok(h)) if h.trim() == HEADER => {}
+        Some(Ok(other)) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad schedule header: {other:?}"),
+            ))
+        }
+        Some(Err(e)) => return Err(e),
+        None => {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "empty schedule file",
+            ))
+        }
+    }
+    let mut events = Vec::new();
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u64> {
+            tok.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "short schedule line"))?
+                .parse::<u64>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        };
+        let at_access = parse(parts.next())?;
+        let pid = parse(parts.next())?;
+        let region = parse(parts.next())?;
+        if parts.next().is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing fields on schedule line",
+            ));
+        }
+        events.push(ScheduledPromotion {
+            at_access,
+            process: ProcessId(pid as u32),
+            region: Vpn::new(region, PageSize::Huge2M),
+        });
+    }
+    Ok(PromotionSchedule::new(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PromotionSchedule {
+        PromotionSchedule::new(vec![
+            ScheduledPromotion {
+                at_access: 1_000_000,
+                process: ProcessId(0),
+                region: Vpn::new(0x8A314, PageSize::Huge2M),
+            },
+            ScheduledPromotion {
+                at_access: 2_000_000,
+                process: ProcessId(1),
+                region: Vpn::new(0x23BF, PageSize::Huge2M),
+            },
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let back = read_schedule(buf.as_slice()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let text = format!("{HEADER}\n\n# comment\n5 0 7\n");
+        let s = read_schedule(text.as_bytes()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.events()[0].at_access, 5);
+        assert_eq!(s.events()[0].region.index(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(read_schedule(&b""[..]).is_err());
+        assert!(read_schedule(&b"wrong header\n"[..]).is_err());
+        let text = format!("{HEADER}\n1 2\n");
+        assert!(read_schedule(text.as_bytes()).is_err());
+        let text = format!("{HEADER}\n1 2 3 4\n");
+        assert!(read_schedule(text.as_bytes()).is_err());
+        let text = format!("{HEADER}\nx y z\n");
+        assert!(read_schedule(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_schedule_roundtrip() {
+        let s = PromotionSchedule::default();
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        assert_eq!(read_schedule(buf.as_slice()).unwrap(), s);
+    }
+}

@@ -1,0 +1,151 @@
+//! Performance-utility curves (the paper's Fig. 5/8/9 data structure).
+
+/// One point of a utility curve: performance when huge pages are limited
+/// to `percent`% of the application footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityPoint {
+    /// Percent of the footprint backed by huge pages (0, 1, 2, 4, …, 64,
+    /// 100 in the paper's sweeps).
+    pub percent: u64,
+    /// Speedup over the 4 KiB baseline.
+    pub speedup: f64,
+    /// Page-table-walk rate (fraction of accesses) at this point.
+    pub walk_ratio: f64,
+    /// Huge pages actually promoted/allocated at this point.
+    pub huge_pages_used: u64,
+}
+
+/// A labelled utility curve for one app under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityCurve {
+    /// Application name.
+    pub app: String,
+    /// Policy name ("pcc", "hawkeye", …).
+    pub policy: String,
+    /// Points in ascending `percent` order.
+    pub points: Vec<UtilityPoint>,
+}
+
+impl UtilityCurve {
+    /// The paper's sweep of footprint percentages.
+    pub const PAPER_SWEEP: [u64; 9] = [0, 1, 2, 4, 8, 16, 32, 64, 100];
+
+    /// Creates an empty curve.
+    pub fn new(app: impl Into<String>, policy: impl Into<String>) -> Self {
+        UtilityCurve {
+            app: app.into(),
+            policy: policy.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The speedup at `percent`, if measured.
+    pub fn speedup_at(&self, percent: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.percent == percent)
+            .map(|p| p.speedup)
+    }
+
+    /// The smallest sweep percentage whose speedup reaches `fraction` of
+    /// the curve's peak speedup — the paper's "promote 4% of the
+    /// footprint to get >75% of peak" headline metric. `None` when the
+    /// curve is empty.
+    pub fn percent_reaching(&self, fraction: f64) -> Option<u64> {
+        let peak = self
+            .points
+            .iter()
+            .map(|p| p.speedup)
+            .fold(f64::NAN, f64::max);
+        if !peak.is_finite() {
+            return None;
+        }
+        // "Fraction of peak" interpolates between baseline (1.0) and peak.
+        let target = 1.0 + (peak - 1.0) * fraction;
+        self.points
+            .iter()
+            .find(|p| p.speedup >= target - 1e-12)
+            .map(|p| p.percent)
+    }
+
+    /// Whether speedups are (weakly) monotonic in promoted footprint —
+    /// holds for well-behaved utility curves modulo promotion overheads.
+    pub fn is_monotonic(&self, tolerance: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].speedup >= w[0].speedup - tolerance)
+    }
+}
+
+/// Geometric mean of a nonempty slice; returns `None` when empty or any
+/// value is non-positive.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> UtilityCurve {
+        let mut c = UtilityCurve::new("BFS", "pcc");
+        for (pct, s) in [(0u64, 1.0), (1, 1.15), (2, 1.22), (4, 1.28), (8, 1.30), (100, 1.32)] {
+            c.points.push(UtilityPoint {
+                percent: pct,
+                speedup: s,
+                walk_ratio: 0.1,
+                huge_pages_used: pct,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn speedup_lookup() {
+        let c = curve();
+        assert_eq!(c.speedup_at(4), Some(1.28));
+        assert_eq!(c.speedup_at(3), None);
+    }
+
+    #[test]
+    fn percent_reaching_paper_metric() {
+        let c = curve();
+        // Peak 1.32; 75% of the way is 1.24 — first reached at 4%.
+        assert_eq!(c.percent_reaching(0.75), Some(4));
+        // 100% of peak only at the end.
+        assert_eq!(c.percent_reaching(1.0), Some(100));
+        // 0% of peak: the baseline point qualifies.
+        assert_eq!(c.percent_reaching(0.0), Some(0));
+        assert_eq!(UtilityCurve::new("x", "y").percent_reaching(0.5), None);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let mut c = curve();
+        assert!(c.is_monotonic(0.0));
+        c.points[3].speedup = 1.0;
+        assert!(!c.is_monotonic(0.01));
+        assert!(c.is_monotonic(0.5));
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[2.0, 0.0]), None);
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geomean(&[1.3]).unwrap();
+        assert!((g - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_sweep_values() {
+        assert_eq!(UtilityCurve::PAPER_SWEEP.len(), 9);
+        assert_eq!(UtilityCurve::PAPER_SWEEP[0], 0);
+        assert_eq!(*UtilityCurve::PAPER_SWEEP.last().unwrap(), 100);
+    }
+}

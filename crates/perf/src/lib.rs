@@ -1,0 +1,28 @@
+//! Analytic performance model and evaluation-reporting helpers.
+//!
+//! The paper measures wall-clock runtime on a real Xeon; our substrate is
+//! a functional simulator, so time is reconstructed from event counts:
+//!
+//! ```text
+//! cycles = accesses · base_cpi
+//!        + (L1-TLB misses) · lat_L2TLB
+//!        + Σ walks · lat_walk · levels/4
+//!        + promotions · promotion_cost + migrated_pages · migrate_cost
+//! ```
+//!
+//! Speedups are cycle ratios against the 4 KiB-only baseline, which is
+//! what the paper's figures plot. The model preserves *relative* ordering
+//! and rough magnitudes; EXPERIMENTS.md records paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curve;
+mod model;
+mod plot;
+mod report;
+
+pub use curve::{geomean, UtilityCurve, UtilityPoint};
+pub use plot::ascii_plot;
+pub use model::RunCounters;
+pub use report::{fmt_pct, fmt_speedup, TextTable};

@@ -1,0 +1,157 @@
+//! Terminal line plots for utility curves — a lightweight way to *see*
+//! the paper's figures in a terminal next to the numeric tables.
+
+use crate::curve::UtilityCurve;
+
+/// Renders one or more utility curves as an ASCII plot. The x-axis is
+/// the point index (sweep order), the y-axis is speedup. Each curve is
+/// drawn with its own glyph; a legend follows.
+///
+/// ```
+/// use hpage_perf::{ascii_plot, UtilityCurve, UtilityPoint};
+/// let mut c = UtilityCurve::new("BFS", "pcc");
+/// for (pct, s) in [(0u64, 1.0), (4, 2.2), (100, 2.3)] {
+///     c.points.push(UtilityPoint { percent: pct, speedup: s, walk_ratio: 0.0, huge_pages_used: 0 });
+/// }
+/// let plot = ascii_plot(&[c], 40, 10);
+/// assert!(plot.contains("pcc"));
+/// ```
+pub fn ascii_plot(curves: &[UtilityCurve], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(8);
+    let height = height.max(4);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut max_points = 0usize;
+    for c in curves {
+        for p in &c.points {
+            lo = lo.min(p.speedup);
+            hi = hi.max(p.speedup);
+        }
+        max_points = max_points.max(c.points.len());
+    }
+    if !lo.is_finite() || max_points == 0 {
+        return String::from("(no data)\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (ci, curve) in curves.iter().enumerate() {
+        let glyph = GLYPHS[ci % GLYPHS.len()];
+        for (i, p) in curve.points.iter().enumerate() {
+            let x = if max_points == 1 {
+                0
+            } else {
+                i * (width - 1) / (max_points - 1)
+            };
+            let yf = (p.speedup - lo) / (hi - lo);
+            let y = ((1.0 - yf) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[y.min(height - 1)][x];
+            // On collision, later curves overwrite — noted in the legend.
+            *cell = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (row_idx, row) in grid.iter().enumerate() {
+        let label = if row_idx == 0 {
+            format!("{hi:>6.2}x")
+        } else if row_idx == height - 1 {
+            format!("{lo:>6.2}x")
+        } else {
+            "       ".to_string()
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // X labels: first and last sweep percents of the longest curve.
+    if let Some(longest) = curves.iter().max_by_key(|c| c.points.len()) {
+        if let (Some(first), Some(last)) = (longest.points.first(), longest.points.last()) {
+            out.push_str(&format!(
+                "        {}%{}{}%\n",
+                first.percent,
+                " ".repeat(width.saturating_sub(6)),
+                last.percent
+            ));
+        }
+    }
+    for (ci, curve) in curves.iter().enumerate() {
+        out.push_str(&format!(
+            "        {} {} ({})\n",
+            GLYPHS[ci % GLYPHS.len()],
+            curve.policy,
+            curve.app
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::UtilityPoint;
+
+    fn curve(policy: &str, speedups: &[f64]) -> UtilityCurve {
+        let mut c = UtilityCurve::new("app", policy);
+        for (i, &s) in speedups.iter().enumerate() {
+            c.points.push(UtilityPoint {
+                percent: i as u64,
+                speedup: s,
+                walk_ratio: 0.0,
+                huge_pages_used: 0,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn plot_contains_axis_and_legend() {
+        let p = ascii_plot(&[curve("pcc", &[1.0, 1.5, 2.0])], 30, 8);
+        assert!(p.contains("2.00x"));
+        assert!(p.contains("1.00x"));
+        assert!(p.contains("* pcc (app)"));
+        assert!(p.contains('+'));
+    }
+
+    #[test]
+    fn rising_curve_rises() {
+        let p = ascii_plot(&[curve("pcc", &[1.0, 2.0])], 20, 6);
+        let rows: Vec<&str> = p.lines().collect();
+        // The high point is on an earlier (upper) row than the low point.
+        // Only grid rows (containing the axis '|'), not the legend.
+        let star_rows: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains('|') && r.contains('*'))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(star_rows.len(), 2);
+        // First star row (top) corresponds to the 2.0 point.
+        assert!(star_rows[0] < star_rows[1]);
+    }
+
+    #[test]
+    fn multiple_curves_get_distinct_glyphs() {
+        let p = ascii_plot(
+            &[curve("pcc", &[1.0, 2.0]), curve("hawkeye", &[1.0, 1.2])],
+            20,
+            6,
+        );
+        assert!(p.contains('*'));
+        assert!(p.contains('o'));
+        assert!(p.contains("hawkeye"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(ascii_plot(&[], 20, 6), "(no data)\n");
+        let flat = ascii_plot(&[curve("pcc", &[1.0, 1.0])], 20, 6);
+        assert!(flat.contains("pcc")); // flat curve does not divide by zero
+        let single = ascii_plot(&[curve("pcc", &[1.3])], 20, 6);
+        assert!(single.contains('*'));
+    }
+}

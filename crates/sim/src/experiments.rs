@@ -1,0 +1,862 @@
+//! Experiment drivers: one function per figure of the paper's
+//! evaluation. Each runs the required simulation configurations and
+//! returns structured results; `hpage-bench`'s `repro` binary renders
+//! them as tables.
+
+use crate::profile::SimProfile;
+use crate::simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
+use hpage_os::PromotionBudget;
+use hpage_perf::{geomean, UtilityCurve, UtilityPoint};
+use hpage_trace::{instantiate, AnyWorkload, AppId, Dataset, ReuseAnalyzer, Workload};
+#[allow(unused_imports)]
+use hpage_trace::WorkloadScale;
+use hpage_types::PromotionPolicyKind;
+
+/// Default RNG seed for experiment workloads.
+const SEED: u64 = 0xC0FFEE;
+
+fn workload_for(profile: &SimProfile, app: AppId) -> AnyWorkload {
+    instantiate(app, Dataset::Kronecker, profile.workloads, SEED)
+}
+
+fn simulation(profile: &SimProfile, policy: PolicyChoice, footprint: u64) -> Simulation {
+    let sized = profile.clone().sized_for(footprint);
+    let mut sim = Simulation::new(sized.system, policy);
+    if let Some(n) = profile.max_accesses_per_core {
+        sim = sim.with_max_accesses_per_core(n);
+    }
+    sim
+}
+
+fn run_single(
+    profile: &SimProfile,
+    w: &AnyWorkload,
+    policy: PolicyChoice,
+    frag_pct: u8,
+    budget: PromotionBudget,
+) -> SimReport {
+    let mut sim =
+        simulation(profile, policy, w.footprint_bytes()).with_budget(budget);
+    if frag_pct > 0 {
+        sim = sim.with_fragmentation(frag_pct, SEED);
+    }
+    sim.run(&[ProcessSpec::new(w)])
+}
+
+// ---------------------------------------------------------------------
+// Fig. 1 — page-size potential and Linux THP under fragmentation
+// ---------------------------------------------------------------------
+
+/// One application's Fig. 1 measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Application name.
+    pub app: String,
+    /// Last-level TLB miss rate with 4 KiB pages only.
+    pub miss_4k: f64,
+    /// Miss rate with everything backed by 2 MiB pages.
+    pub miss_2m: f64,
+    /// Miss rate under Linux THP with 50%-fragmented memory.
+    pub miss_linux: f64,
+    /// Speedup of all-2 MiB over the 4 KiB baseline.
+    pub speedup_2m: f64,
+    /// Speedup of Linux THP (50% frag) over the baseline.
+    pub speedup_linux: f64,
+}
+
+/// Reproduces Fig. 1: TLB miss rate and speedup for 100% 4 KiB pages vs.
+/// 100% 2 MiB pages vs. Linux THP with 50% fragmented memory, across the
+/// eight evaluation applications.
+pub fn fig1_page_sizes(profile: &SimProfile, apps: &[AppId]) -> Vec<Fig1Row> {
+    let timing = profile.system.timing;
+    apps.iter()
+        .map(|&app| {
+            let w = workload_for(profile, app);
+            let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+            let ideal = run_single(profile, &w, PolicyChoice::IdealHuge, 0, PromotionBudget::UNLIMITED);
+            let linux = run_single(profile, &w, PolicyChoice::LinuxThp, 50, PromotionBudget::UNLIMITED);
+            Fig1Row {
+                app: app.name().to_string(),
+                miss_4k: base.aggregate.walk_ratio(),
+                miss_2m: ideal.aggregate.walk_ratio(),
+                miss_linux: linux.aggregate.walk_ratio(),
+                speedup_2m: ideal.speedup_over(&base, &timing),
+                speedup_linux: linux.speedup_over(&base, &timing),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2 — reuse-distance characterisation
+// ---------------------------------------------------------------------
+
+/// Summary of the Fig. 2 reuse-distance scatter for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Summary {
+    /// Workload name.
+    pub app: String,
+    /// 4 KiB pages classified TLB-friendly.
+    pub tlb_friendly: u64,
+    /// 4 KiB pages classified HUB (the promotion candidates).
+    pub hubs: u64,
+    /// 4 KiB pages classified low-reuse.
+    pub low_reuse: u64,
+    /// Number of distinct 2 MiB regions containing HUB pages.
+    pub hub_regions: u64,
+    /// Sample scatter points `(reuse_4k, reuse_2m)` for HUB pages.
+    pub hub_samples: Vec<(f64, f64)>,
+}
+
+/// Reproduces Fig. 2: classifies every 4 KiB page of a BFS run by its
+/// reuse distance at 4 KiB vs. 2 MiB granularity. `max_accesses` bounds
+/// the analysis window.
+pub fn fig2_reuse(profile: &SimProfile, app: AppId, max_accesses: u64) -> Fig2Summary {
+    let w = workload_for(profile, app);
+    let mut analyzer = ReuseAnalyzer::new();
+    for access in w.trace().take(max_accesses as usize) {
+        analyzer.observe(&access);
+    }
+    let (tlb_friendly, hubs, low_reuse) = analyzer.class_counts();
+    let hub_regions = analyzer.hub_regions().len() as u64;
+    let hub_samples: Vec<(f64, f64)> = analyzer
+        .profiles()
+        .iter()
+        .filter(|p| p.class == hpage_trace::ReuseClass::Hub)
+        .filter_map(|p| Some((p.reuse_4k?, p.reuse_2m?)))
+        .take(32)
+        .collect();
+    Fig2Summary {
+        app: w.name().to_string(),
+        tlb_friendly,
+        hubs,
+        low_reuse,
+        hub_regions,
+        hub_samples,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 — single-thread utility curves: PCC vs HawkEye vs Linux
+// ---------------------------------------------------------------------
+
+/// Reproduces Fig. 5 for one application: the speedup / PTW-rate utility
+/// curves of the PCC and HawkEye across the footprint sweep, plus the
+/// Linux THP (50%/90% fragmented) and max-THP reference points. Returns
+/// `(curves, linux50, linux90, ideal)` where the references are
+/// `(speedup, walk_ratio)` pairs.
+pub fn fig5_utility(
+    profile: &SimProfile,
+    app: AppId,
+    sweep: &[u64],
+) -> (Vec<UtilityCurve>, (f64, f64), (f64, f64), (f64, f64)) {
+    let timing = profile.system.timing;
+    let w = workload_for(profile, app);
+    let footprint = w.footprint_bytes();
+    let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+
+    let mut curves = Vec::new();
+    for (policy, label) in [
+        (PolicyChoice::pcc_default(), "pcc"),
+        (PolicyChoice::HawkEye, "hawkeye"),
+    ] {
+        let mut curve = UtilityCurve::new(app.name(), label);
+        for &pct in sweep {
+            let report = if pct == 0 {
+                base.clone()
+            } else {
+                let budget = if pct >= 100 {
+                    PromotionBudget::UNLIMITED
+                } else {
+                    PromotionBudget::percent_of_footprint(pct, footprint)
+                };
+                run_single(profile, &w, policy.clone(), 0, budget)
+            };
+            curve.points.push(UtilityPoint {
+                percent: pct,
+                speedup: report.speedup_over(&base, &timing),
+                walk_ratio: report.aggregate.walk_ratio(),
+                huge_pages_used: report.huge_pages_at_end,
+            });
+        }
+        curves.push(curve);
+    }
+
+    let linux50 = run_single(profile, &w, PolicyChoice::LinuxThp, 50, PromotionBudget::UNLIMITED);
+    let linux90 = run_single(profile, &w, PolicyChoice::LinuxThp, 90, PromotionBudget::UNLIMITED);
+    let ideal = run_single(profile, &w, PolicyChoice::IdealHuge, 0, PromotionBudget::UNLIMITED);
+    (
+        curves,
+        (linux50.speedup_over(&base, &timing), linux50.aggregate.walk_ratio()),
+        (linux90.speedup_over(&base, &timing), linux90.aggregate.walk_ratio()),
+        (ideal.speedup_over(&base, &timing), ideal.aggregate.walk_ratio()),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — PCC size sensitivity
+// ---------------------------------------------------------------------
+
+/// One bar of Fig. 6: an application's speedup with a given PCC size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Application name.
+    pub app: String,
+    /// PCC entry count (0 encodes the no-PCC baseline; `u32::MAX` the
+    /// all-huge ideal).
+    pub pcc_entries: u32,
+    /// Speedup over the 4 KiB baseline.
+    pub speedup: f64,
+}
+
+/// Reproduces Fig. 6: sweeps the PCC size over `sizes` (the paper uses
+/// 4..=1024 in powers of two) for each graph application, with the
+/// promotion footprint capped at 32% as in the paper.
+pub fn fig6_pcc_size(profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> Vec<Fig6Row> {
+    let timing = profile.system.timing;
+    let mut rows = Vec::new();
+    for &app in apps {
+        let w = workload_for(profile, app);
+        let footprint = w.footprint_bytes();
+        let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+        rows.push(Fig6Row {
+            app: app.name().to_string(),
+            pcc_entries: 0,
+            speedup: 1.0,
+        });
+        for &entries in sizes {
+            let mut p = profile.clone();
+            p.system.pcc_2m = p.system.pcc_2m.with_entries(entries);
+            let report = run_single(
+                &p,
+                &w,
+                PolicyChoice::pcc_default(),
+                0,
+                PromotionBudget::percent_of_footprint(32, footprint),
+            );
+            rows.push(Fig6Row {
+                app: app.name().to_string(),
+                pcc_entries: entries,
+                speedup: report.speedup_over(&base, &timing),
+            });
+        }
+        let ideal = run_single(profile, &w, PolicyChoice::IdealHuge, 0, PromotionBudget::UNLIMITED);
+        rows.push(Fig6Row {
+            app: app.name().to_string(),
+            pcc_entries: u32::MAX,
+            speedup: ideal.speedup_over(&base, &timing),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — 90% fragmentation comparison (with demotion)
+// ---------------------------------------------------------------------
+
+/// One application's Fig. 7 comparison under 90%-fragmented memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Application name.
+    pub app: String,
+    /// HawkEye speedup over the baseline.
+    pub hawkeye: f64,
+    /// Linux THP speedup.
+    pub linux: f64,
+    /// 128-entry PCC speedup.
+    pub pcc: f64,
+    /// PCC with demotion enabled.
+    pub pcc_demote: f64,
+}
+
+/// Reproduces Fig. 7: baseline/HawkEye/Linux THP/PCC/PCC+demotion with
+/// `frag_pct`% fragmented memory (the paper plots 90%; §5.1.1 also
+/// reports 50%).
+pub fn fig7_fragmentation(profile: &SimProfile, apps: &[AppId], frag_pct: u8) -> Vec<Fig7Row> {
+    let timing = profile.system.timing;
+    apps.iter()
+        .map(|&app| {
+            let w = workload_for(profile, app);
+            let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+            let run = |policy: PolicyChoice| {
+                run_single(profile, &w, policy, frag_pct, PromotionBudget::UNLIMITED)
+                    .speedup_over(&base, &timing)
+            };
+            Fig7Row {
+                app: app.name().to_string(),
+                hawkeye: run(PolicyChoice::HawkEye),
+                linux: run(PolicyChoice::LinuxThp),
+                pcc: run(PolicyChoice::pcc_default()),
+                pcc_demote: run(PolicyChoice::Pcc {
+                    selection: PromotionPolicyKind::HighestFrequency,
+                    demotion: true,
+                    bias: vec![],
+                }),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — multithread OS selection policies
+// ---------------------------------------------------------------------
+
+/// One multithread utility measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Application name.
+    pub app: String,
+    /// Thread count (one core per thread).
+    pub threads: u32,
+    /// OS candidate-selection policy.
+    pub policy: PromotionPolicyKind,
+    /// Utility curve over the footprint sweep.
+    pub curve: UtilityCurve,
+    /// Speedup with everything huge (the per-thread-count ceiling).
+    pub ideal_speedup: f64,
+}
+
+/// Reproduces Fig. 8: parallel graph workloads at each thread count,
+/// comparing highest-PCC-frequency against round-robin candidate
+/// selection across the per-core PCCs.
+pub fn fig8_multithread(
+    profile: &SimProfile,
+    apps: &[AppId],
+    thread_counts: &[u32],
+    sweep: &[u64],
+) -> Vec<Fig8Row> {
+    let timing = profile.system.timing;
+    let mut rows = Vec::new();
+    for &app in apps {
+        let w = workload_for(profile, app);
+        let footprint = w.footprint_bytes();
+        for &threads in thread_counts {
+            let spec = || [ProcessSpec::with_threads(&w, threads)];
+            let base = simulation(profile, PolicyChoice::BasePages, footprint).run(&spec());
+            let ideal = simulation(profile, PolicyChoice::IdealHuge, footprint).run(&spec());
+            for policy in [
+                PromotionPolicyKind::HighestFrequency,
+                PromotionPolicyKind::RoundRobin,
+            ] {
+                let mut curve = UtilityCurve::new(app.name(), policy.to_string());
+                for &pct in sweep {
+                    let report = if pct == 0 {
+                        base.clone()
+                    } else {
+                        let budget = if pct >= 100 {
+                            PromotionBudget::UNLIMITED
+                        } else {
+                            PromotionBudget::percent_of_footprint(pct, footprint)
+                        };
+                        simulation(
+                            profile,
+                            PolicyChoice::Pcc {
+                                selection: policy,
+                                demotion: false,
+                                bias: vec![],
+                            },
+                            footprint,
+                        )
+                        .with_budget(budget)
+                        .run(&spec())
+                    };
+                    curve.points.push(UtilityPoint {
+                        percent: pct,
+                        speedup: report.speedup_over(&base, &timing),
+                        walk_ratio: report.aggregate.walk_ratio(),
+                        huge_pages_used: report.huge_pages_at_end,
+                    });
+                }
+                rows.push(Fig8Row {
+                    app: app.name().to_string(),
+                    threads,
+                    policy,
+                    curve,
+                    ideal_speedup: ideal.speedup_over(&base, &timing),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9 — multiprocess studies
+// ---------------------------------------------------------------------
+
+/// Configuration of one Fig. 9 case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig9Config {
+    /// First application (PR in both of the paper's studies).
+    pub app_a: AppId,
+    /// Second application (mcf in 9a, SSSP in 9b).
+    pub app_b: AppId,
+}
+
+/// One multiprocess measurement point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// OS candidate-selection policy.
+    pub policy: PromotionPolicyKind,
+    /// Percent of the combined footprint backed by huge pages.
+    pub percent: u64,
+    /// Per-process speedups `(app_a, app_b)`.
+    pub speedups: (f64, f64),
+    /// Huge pages used by the whole system at this point.
+    pub huge_pages: u64,
+}
+
+/// Reproduces Fig. 9: two single-threaded applications on two cores
+/// sharing physical memory, swept over the combined-footprint budget
+/// under both OS selection policies. Returns the rows plus the
+/// per-process ideal speedups.
+pub fn fig9_multiprocess(
+    profile: &SimProfile,
+    config: Fig9Config,
+    sweep: &[u64],
+) -> (Vec<Fig9Row>, (f64, f64)) {
+    let timing = profile.system.timing;
+    let wa = workload_for(profile, config.app_a);
+    let wb = workload_for(profile, config.app_b);
+    let footprint = wa.footprint_bytes() + wb.footprint_bytes();
+    let spec = || [ProcessSpec::new(&wa), ProcessSpec::new(&wb)];
+    let base = simulation(profile, PolicyChoice::BasePages, footprint).run(&spec());
+    let ideal = simulation(profile, PolicyChoice::IdealHuge, footprint).run(&spec());
+    let ideal_speedups = (
+        ideal.process_speedup_over(&base, 0, &timing),
+        ideal.process_speedup_over(&base, 1, &timing),
+    );
+
+    let mut rows = Vec::new();
+    for policy in [
+        PromotionPolicyKind::HighestFrequency,
+        PromotionPolicyKind::RoundRobin,
+    ] {
+        for &pct in sweep {
+            let report = if pct == 0 {
+                base.clone()
+            } else {
+                let budget = if pct >= 100 {
+                    PromotionBudget::UNLIMITED
+                } else {
+                    PromotionBudget::percent_of_footprint(pct, footprint)
+                };
+                simulation(
+                    profile,
+                    PolicyChoice::Pcc {
+                        selection: policy,
+                        demotion: false,
+                        bias: vec![],
+                    },
+                    footprint,
+                )
+                .with_budget(budget)
+                .run(&spec())
+            };
+            rows.push(Fig9Row {
+                policy,
+                percent: pct,
+                speedups: (
+                    report.process_speedup_over(&base, 0, &timing),
+                    report.process_speedup_over(&base, 1, &timing),
+                ),
+                huge_pages: report.huge_pages_at_end,
+            });
+        }
+    }
+    (rows, ideal_speedups)
+}
+
+/// Geomean speedup over a set of Fig. 1 rows (convenience for the
+/// paper's "geomean 1.3×" summary).
+pub fn fig1_geomean_2m(rows: &[Fig1Row]) -> Option<f64> {
+    geomean(&rows.iter().map(|r| r.speedup_2m).collect::<Vec<_>>())
+}
+
+// ---------------------------------------------------------------------
+// Dataset sweep (Table 1's inputs; the paper reports the geomean of
+// DBG-sorted and unsorted variants of each network)
+// ---------------------------------------------------------------------
+
+/// One (app, dataset, variant) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRow {
+    /// Application name.
+    pub app: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Whether the graph was DBG-sorted.
+    pub dbg_sorted: bool,
+    /// Baseline PTW rate.
+    pub base_walk_ratio: f64,
+    /// PCC speedup at a 4% footprint budget.
+    pub pcc_speedup_4pct: f64,
+    /// All-THP ideal speedup.
+    pub ideal_speedup: f64,
+}
+
+/// Runs the graph kernels across all three Table 1 networks in sorted
+/// and unsorted variants (6 datasets per kernel, as in §4) and reports
+/// the PCC's 4%-budget speedup against the ideal.
+pub fn dataset_sweep(profile: &SimProfile, apps: &[AppId]) -> Vec<DatasetRow> {
+    let timing = profile.system.timing;
+    let mut rows = Vec::new();
+    for &app in apps {
+        for dataset in Dataset::ALL {
+            for dbg_sorted in [false, true] {
+                let mut scale = profile.workloads;
+                scale.dbg_sorted = dbg_sorted;
+                let w = instantiate(app, dataset, scale, SEED);
+                let footprint = w.footprint_bytes();
+                let sized = profile.clone().sized_for(footprint);
+                let run = |policy: PolicyChoice, budget: PromotionBudget| {
+                    let mut sim =
+                        Simulation::new(sized.system.clone(), policy).with_budget(budget);
+                    if let Some(n) = profile.max_accesses_per_core {
+                        sim = sim.with_max_accesses_per_core(n);
+                    }
+                    sim.run(&[ProcessSpec::new(&w)])
+                };
+                let base = run(PolicyChoice::BasePages, PromotionBudget::UNLIMITED);
+                let pcc = run(
+                    PolicyChoice::pcc_default(),
+                    PromotionBudget::percent_of_footprint(4, footprint),
+                );
+                let ideal = run(PolicyChoice::IdealHuge, PromotionBudget::UNLIMITED);
+                rows.push(DatasetRow {
+                    app: app.name().to_string(),
+                    dataset: dataset.name().to_string(),
+                    dbg_sorted,
+                    base_walk_ratio: base.aggregate.walk_ratio(),
+                    pcc_speedup_4pct: pcc.speedup_over(&base, &timing),
+                    ideal_speedup: ideal.speedup_over(&base, &timing),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Geomean of the PCC 4%-budget speedups over a set of dataset rows
+/// (the paper's per-kernel summary statistic).
+pub fn dataset_geomean(rows: &[DatasetRow]) -> Option<f64> {
+    geomean(&rows.iter().map(|r| r.pcc_speedup_4pct).collect::<Vec<_>>())
+}
+
+// ---------------------------------------------------------------------
+// Design-choice ablations (DESIGN.md's ablation targets)
+// ---------------------------------------------------------------------
+
+/// One ablation variant's end-to-end quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Speedup over the 4 KiB baseline.
+    pub speedup: f64,
+    /// Residual PTW rate.
+    pub walk_ratio: f64,
+    /// Promotions performed.
+    pub promotions: u64,
+}
+
+/// Quantifies the PCC's design choices on one application: the cold-miss
+/// access-bit filter, counter decay, the replacement policy, and the
+/// §5.4.1 PWC alternative (which shortens walks but promotes nothing).
+pub fn ablation_design_choices(profile: &SimProfile, app: AppId) -> Vec<AblationRow> {
+    use hpage_pcc::ReplacementPolicy;
+    let timing = profile.system.timing;
+    let w = workload_for(profile, app);
+    let footprint = w.footprint_bytes();
+    let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+    let mut rows = Vec::new();
+    let mut push = |name: &str, report: SimReport| {
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            speedup: report.speedup_over(&base, &timing),
+            walk_ratio: report.aggregate.walk_ratio(),
+            promotions: report.aggregate.promotions,
+        });
+    };
+
+    // Paper configuration.
+    push(
+        "pcc (paper)",
+        run_single(profile, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+    );
+    // No cold-miss filter.
+    let mut p = profile.clone();
+    p.system.pcc_2m.access_bit_filter = false;
+    push(
+        "no cold-miss filter",
+        run_single(&p, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+    );
+    // No decay.
+    let mut p = profile.clone();
+    p.system.pcc_2m.decay_on_saturation = false;
+    push(
+        "no counter decay",
+        run_single(&p, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+    );
+    // Pure LRU replacement.
+    let sized = profile.clone().sized_for(footprint);
+    let mut sim = Simulation::new(sized.system, PolicyChoice::pcc_default())
+        .with_replacement(ReplacementPolicy::Lru);
+    if let Some(n) = profile.max_accesses_per_core {
+        sim = sim.with_max_accesses_per_core(n);
+    }
+    push("pure-LRU replacement", sim.run(&[ProcessSpec::new(&w)]));
+    // PWC instead of a PCC: walks get cheaper, misses stay.
+    let mut p = profile.clone();
+    p.system.pwc = Some(hpage_types::PwcConfig::typical());
+    push(
+        "PWC only (no promotion)",
+        run_single(&p, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED),
+    );
+    // PWC *and* PCC together (complementary, as §5.4.1 concludes).
+    push(
+        "PWC + PCC",
+        run_single(&p, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+    );
+    // §5.4.1's other alternative: an L2-TLB victim cache as the
+    // candidate source, small and PCC-sized.
+    push(
+        "victim cache (8 entries)",
+        run_single(
+            profile,
+            &w,
+            PolicyChoice::VictimCache { entries: 8 },
+            0,
+            PromotionBudget::UNLIMITED,
+        ),
+    );
+    push(
+        "victim cache (128 entries)",
+        run_single(
+            profile,
+            &w,
+            PolicyChoice::VictimCache { entries: 128 },
+            0,
+            PromotionBudget::UNLIMITED,
+        ),
+    );
+    // Cache-model cross-check: with a physically-indexed data cache and
+    // issue-only base cost, the PCC's relative benefit persists (the
+    // timing model's constant-base-cost simplification is not load-
+    // bearing for the paper's conclusions).
+    {
+        let mut p = profile.clone();
+        p.system.timing = p.system.timing.with_cache_model();
+        let run_cached = |policy: PolicyChoice| {
+            let sized = p.clone().sized_for(footprint);
+            let mut sim = Simulation::new(sized.system.clone(), policy)
+                .with_cache(hpage_cache::CacheConfig::typical_per_core());
+            if let Some(n) = p.max_accesses_per_core {
+                sim = sim.with_max_accesses_per_core(n);
+            }
+            sim.run(&[ProcessSpec::new(&w)])
+        };
+        let cached_base = run_cached(PolicyChoice::BasePages);
+        let cached_pcc = run_cached(PolicyChoice::pcc_default());
+        rows.push(AblationRow {
+            variant: "pcc (with cache model)".to_string(),
+            speedup: cached_pcc.speedup_over(&cached_base, &p.system.timing),
+            walk_ratio: cached_pcc.aggregate.walk_ratio(),
+            promotions: cached_pcc.aggregate.promotions,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> SimProfile {
+        let mut p = SimProfile::test();
+        p.max_accesses_per_core = Some(1_500_000);
+        p
+    }
+
+    #[test]
+    fn fig1_shapes_hold_for_extremes() {
+        let rows = fig1_page_sizes(&profile(), &[AppId::Canneal, AppId::Dedup]);
+        assert_eq!(rows.len(), 2);
+        let canneal = &rows[0];
+        let dedup = &rows[1];
+        // canneal (random over 96MB) is TLB-hostile; 2MB pages help a lot.
+        assert!(canneal.miss_4k > 0.05, "canneal miss {:.3}", canneal.miss_4k);
+        assert!(canneal.miss_2m < canneal.miss_4k / 2.0);
+        assert!(canneal.speedup_2m > 1.1);
+        // dedup is TLB-friendly; huge pages change little.
+        assert!(dedup.miss_4k < 0.02, "dedup miss {:.3}", dedup.miss_4k);
+        assert!(dedup.speedup_2m < canneal.speedup_2m);
+    }
+
+    #[test]
+    fn fig2_bfs_finds_hubs() {
+        let s = fig2_reuse(&profile(), AppId::Bfs, 300_000);
+        assert!(s.tlb_friendly + s.hubs + s.low_reuse > 0);
+        assert!(s.app.starts_with("BFS"));
+    }
+
+    #[test]
+    fn fig5_pcc_beats_hawkeye_and_curve_rises() {
+        let (curves, linux50, _linux90, ideal) =
+            fig5_utility(&profile(), AppId::Canneal, &[0, 8, 100]);
+        let pcc = &curves[0];
+        let hawkeye = &curves[1];
+        assert_eq!(pcc.policy, "pcc");
+        // Curves start at 1.0 and rise.
+        assert!((pcc.speedup_at(0).unwrap() - 1.0).abs() < 1e-9);
+        assert!(pcc.speedup_at(100).unwrap() > 1.05);
+        // PCC at the full sweep is at least as good as HawkEye (it
+        // promotes far more candidates per interval).
+        assert!(
+            pcc.speedup_at(8).unwrap() >= hawkeye.speedup_at(8).unwrap() - 0.02,
+            "pcc {:?} vs hawkeye {:?}",
+            pcc.speedup_at(8),
+            hawkeye.speedup_at(8)
+        );
+        // Ideal bounds everything (within noise of promotion overheads).
+        assert!(ideal.0 >= pcc.speedup_at(100).unwrap() - 0.05);
+        // Linux at 50% fragmentation is below ideal.
+        assert!(linux50.0 <= ideal.0 + 1e-9);
+    }
+
+    #[test]
+    fn fig6_more_entries_never_much_worse() {
+        let rows = fig6_pcc_size(&profile(), &[AppId::Canneal], &[4, 64]);
+        // rows: baseline(0), 4, 64, ideal(MAX)
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].pcc_entries, 0);
+        let s4 = rows[1].speedup;
+        let s64 = rows[2].speedup;
+        assert!(s64 >= s4 - 0.03, "64-entry {s64} vs 4-entry {s4}");
+        assert_eq!(rows[3].pcc_entries, u32::MAX);
+    }
+
+    #[test]
+    fn fig7_pcc_beats_linux_under_fragmentation() {
+        // omnetpp's Zipf skew is where candidate *selection* matters:
+        // with only 10% of blocks huge-capable, promoting the hot head
+        // beats Linux's first-touch greed.
+        let rows = fig7_fragmentation(&profile(), &[AppId::Omnetpp], 90);
+        let r = &rows[0];
+        assert!(
+            r.pcc >= r.linux - 0.01,
+            "pcc {:.3} should beat linux {:.3} at 90% frag",
+            r.pcc,
+            r.linux
+        );
+        // At test scale both scanners cover the whole (small) footprint,
+        // so PCC vs HawkEye is within noise here; the strict ordering the
+        // paper reports emerges at bench scale, where HawkEye's 4096-page
+        // scan budget starves it (asserted in the repro harness).
+        assert!(
+            r.pcc >= r.hawkeye - 0.05,
+            "pcc {:.3} vs hawkeye {:.3}",
+            r.pcc,
+            r.hawkeye
+        );
+        assert!(r.pcc_demote >= r.pcc - 0.05);
+    }
+
+    #[test]
+    fn fig8_runs_both_policies() {
+        let rows = fig8_multithread(&profile(), &[AppId::Canneal], &[2], &[0, 8]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 2);
+        assert!(rows[0].ideal_speedup >= 1.0);
+        assert_ne!(rows[0].policy, rows[1].policy);
+        for r in &rows {
+            assert!(r.curve.speedup_at(8).unwrap() >= 0.95);
+        }
+    }
+
+    #[test]
+    fn fig9_tlb_sensitive_process_gains_more() {
+        let cfg = Fig9Config {
+            app_a: AppId::Omnetpp, // TLB-hostile
+            app_b: AppId::Dedup,   // TLB-friendly
+        };
+        let (rows, ideal) = fig9_multiprocess(&profile(), cfg, &[0, 100]);
+        assert_eq!(rows.len(), 4);
+        // At the full sweep under highest-frequency, omnetpp speeds up
+        // while dedup stays roughly flat (the paper's mcf analogue).
+        let hf_full = rows
+            .iter()
+            .find(|r| r.policy == PromotionPolicyKind::HighestFrequency && r.percent == 100)
+            .unwrap();
+        assert!(hf_full.speedups.0 > 1.03, "omnetpp {:?}", hf_full.speedups);
+        assert!(
+            (hf_full.speedups.1 - 1.0).abs() < 0.08,
+            "dedup {:?}",
+            hf_full.speedups
+        );
+        assert!(ideal.0 > ideal.1);
+        assert!(hf_full.huge_pages > 0);
+    }
+
+    #[test]
+    fn dataset_sweep_covers_variants() {
+        let mut p = profile();
+        p.max_accesses_per_core = Some(300_000);
+        p.workloads.graph_scale = 12;
+        let rows = dataset_sweep(&p, &[AppId::Bfs]);
+        assert_eq!(rows.len(), 6); // 3 datasets x {sorted, unsorted}
+        assert!(rows.iter().any(|r| r.dbg_sorted));
+        assert!(rows.iter().any(|r| r.dataset == "Twitter"));
+        let g = dataset_geomean(&rows).unwrap();
+        assert!(g > 0.5 && g < 10.0);
+    }
+
+    #[test]
+    fn ablation_rows_cover_variants() {
+        let rows = ablation_design_choices(&profile(), AppId::Omnetpp);
+        assert_eq!(rows.len(), 9);
+        let cached = rows
+            .iter()
+            .find(|r| r.variant == "pcc (with cache model)")
+            .unwrap();
+        assert!(cached.speedup > 1.0, "PCC benefit persists under the cache model");
+        let get = |name: &str| rows.iter().find(|r| r.variant == name).unwrap();
+        let paper = get("pcc (paper)");
+        assert!(paper.speedup > 1.0);
+        // PWC alone promotes nothing but still helps via cheaper walks.
+        let pwc = get("PWC only (no promotion)");
+        assert_eq!(pwc.promotions, 0);
+        assert!(pwc.speedup > 1.0);
+        assert!((pwc.walk_ratio - rows[0].walk_ratio).abs() < 1.0); // defined
+        // PWC+PCC is at least as good as PWC alone.
+        let both = get("PWC + PCC");
+        assert!(both.speedup >= pwc.speedup - 0.02);
+        // LFU/LRU near-equivalence (the paper's §3.2.1 claim).
+        let lru = get("pure-LRU replacement");
+        assert!((lru.speedup - paper.speedup).abs() < 0.25);
+    }
+
+    #[test]
+    fn fig1_geomean_helper() {
+        let rows = vec![
+            Fig1Row {
+                app: "a".into(),
+                miss_4k: 0.2,
+                miss_2m: 0.05,
+                miss_linux: 0.15,
+                speedup_2m: 2.0,
+                speedup_linux: 1.1,
+            },
+            Fig1Row {
+                app: "b".into(),
+                miss_4k: 0.1,
+                miss_2m: 0.02,
+                miss_linux: 0.08,
+                speedup_2m: 1.0,
+                speedup_linux: 1.0,
+            },
+        ];
+        let g = fig1_geomean_2m(&rows).unwrap();
+        assert!((g - (2.0f64).sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! End-to-end simulation of the paper's system: workload traces through
+//! per-core TLB hierarchies and PCCs, OS promotion policies, and the
+//! experiment drivers that regenerate every figure of the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use hpage_sim::{PolicyChoice, ProcessSpec, Simulation};
+//! use hpage_trace::{Pattern, SyntheticBuilder, Workload};
+//! use hpage_types::SystemConfig;
+//!
+//! // A TLB-hostile workload: random accesses over 8 MiB.
+//! let mut b = SyntheticBuilder::new("demo", 7);
+//! let arr = b.array(8, (8 << 20) / 8);
+//! b.phase(arr, Pattern::UniformRandom { count: 200_000 }, 0);
+//! let workload = b.build();
+//!
+//! let base = Simulation::new(SystemConfig::tiny(), PolicyChoice::BasePages)
+//!     .run(&[ProcessSpec::new(&workload)]);
+//! let pcc = Simulation::new(SystemConfig::tiny(), PolicyChoice::pcc_default())
+//!     .run(&[ProcessSpec::new(&workload)]);
+//! assert!(pcc.aggregate.walks < base.aggregate.walks);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiments;
+mod profile;
+mod simulation;
+
+pub use experiments::{
+    ablation_design_choices, dataset_geomean, dataset_sweep, fig1_geomean_2m, fig1_page_sizes,
+    fig2_reuse, fig5_utility, fig6_pcc_size, fig7_fragmentation, fig8_multithread,
+    fig9_multiprocess, AblationRow, DatasetRow, Fig1Row, Fig2Summary, Fig6Row, Fig7Row,
+    Fig8Row, Fig9Config, Fig9Row,
+};
+pub use profile::SimProfile;
+pub use simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};

@@ -1,0 +1,906 @@
+//! The end-to-end simulation loop: workload traces drive per-core TLB
+//! hierarchies; misses walk the page tables and update the per-core PCCs;
+//! the OS promotion engine runs every interval; shootdowns flow back into
+//! TLBs and PCCs (the full datapath of the paper's Figs. 3–4).
+
+use hpage_os::{
+    BasePagesPolicy, HawkEyePolicy, HugePagePolicy, IdealHugePolicy, LinuxThpPolicy, OsState,
+    PccPolicy, PhysicalMemory, PromotionBudget, PromotionSchedule, ReplayPolicy,
+    ScheduledPromotion,
+};
+use hpage_cache::{CacheConfig, CacheHierarchy, CacheOutcome};
+use hpage_pcc::{Candidate, PccBank, ReplacementPolicy};
+use hpage_perf::RunCounters;
+use hpage_tlb::{PageWalkCache, TlbHierarchy, TlbOutcome};
+use hpage_trace::Workload;
+use hpage_types::{
+    CoreId, PageSize, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig,
+};
+
+/// Which huge-page management policy a run uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// 4 KiB base pages only (the paper's baseline).
+    BasePages,
+    /// Everything huge at fault time (the "Max. Perf. with THPs" line).
+    IdealHuge,
+    /// Linux THP: greedy synchronous allocation + khugepaged.
+    LinuxThp,
+    /// HawkEye access-coverage promotion.
+    HawkEye,
+    /// The paper's PCC-driven promotion.
+    Pcc {
+        /// OS candidate-selection across per-core PCCs.
+        selection: PromotionPolicyKind,
+        /// Enable PCC-guided demotion under memory pressure (§3.3.3).
+        demotion: bool,
+        /// Processes to prioritise (`promotion_bias_process`).
+        bias: Vec<ProcessId>,
+    },
+    /// Replay a promotion schedule recorded by an earlier (offline PCC)
+    /// run — the second step of the paper's §4 methodology.
+    Replay(PromotionSchedule),
+    /// The §5.4.1 design alternative: identify candidates from L2-TLB
+    /// *evictions* (a victim cache) instead of page-table walks. Uses a
+    /// victim-fed candidate cache of `entries` entries per core with the
+    /// same OS consumption path as the PCC.
+    VictimCache {
+        /// Victim-cache entries per core.
+        entries: u32,
+    },
+}
+
+impl PolicyChoice {
+    /// The paper's default PCC configuration (highest frequency, no
+    /// demotion, no bias).
+    pub fn pcc_default() -> Self {
+        PolicyChoice::Pcc {
+            selection: PromotionPolicyKind::HighestFrequency,
+            demotion: false,
+            bias: Vec::new(),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyChoice::BasePages => "base-4k".into(),
+            PolicyChoice::IdealHuge => "ideal-2m".into(),
+            PolicyChoice::LinuxThp => "linux-thp".into(),
+            PolicyChoice::HawkEye => "hawkeye".into(),
+            PolicyChoice::Pcc {
+                selection, demotion, ..
+            } => {
+                let mut s = format!("pcc-{selection}");
+                if *demotion {
+                    s.push_str("+demote");
+                }
+                s
+            }
+            PolicyChoice::Replay(_) => "replay".into(),
+            PolicyChoice::VictimCache { entries } => format!("victim-cache-{entries}"),
+        }
+    }
+
+    fn build(&self, config: &SystemConfig) -> Box<dyn HugePagePolicy> {
+        match self {
+            PolicyChoice::BasePages => Box::new(BasePagesPolicy),
+            PolicyChoice::IdealHuge => Box::new(IdealHugePolicy),
+            PolicyChoice::LinuxThp => Box::new(
+                LinuxThpPolicy::new().with_pages_per_scan(config.scanner_pages_per_interval),
+            ),
+            PolicyChoice::HawkEye => Box::new(
+                HawkEyePolicy::new().with_pages_per_scan(config.scanner_pages_per_interval),
+            ),
+            PolicyChoice::Pcc {
+                selection,
+                demotion,
+                bias,
+            } => Box::new(
+                PccPolicy::new(*selection, config.regions_to_promote)
+                    .with_bias(bias.clone())
+                    .with_demotion(*demotion),
+            ),
+            PolicyChoice::Replay(schedule) => Box::new(ReplayPolicy::new(schedule.clone())),
+            // The victim-cache alternative reuses the PCC's OS consumption
+            // path; only the hardware feed differs.
+            PolicyChoice::VictimCache { .. } => Box::new(PccPolicy::new(
+                PromotionPolicyKind::HighestFrequency,
+                config.regions_to_promote,
+            )),
+        }
+    }
+
+    fn uses_pcc(&self) -> bool {
+        matches!(self, PolicyChoice::Pcc { .. })
+    }
+
+    fn uses_victim_cache(&self) -> Option<u32> {
+        match self {
+            PolicyChoice::VictimCache { entries } => Some(*entries),
+            _ => None,
+        }
+    }
+}
+
+/// One process in a run: a workload executed by `threads` threads (one
+/// core each).
+pub struct ProcessSpec<'w> {
+    /// The workload to execute.
+    pub workload: &'w dyn Workload,
+    /// Thread count (vertex/stream partitioning is the workload's).
+    pub threads: u32,
+}
+
+impl<'w> ProcessSpec<'w> {
+    /// Single-threaded process.
+    pub fn new(workload: &'w dyn Workload) -> Self {
+        ProcessSpec {
+            workload,
+            threads: 1,
+        }
+    }
+
+    /// Multi-threaded process.
+    pub fn with_threads(workload: &'w dyn Workload, threads: u32) -> Self {
+        assert!(threads > 0, "a process needs at least one thread");
+        ProcessSpec { workload, threads }
+    }
+}
+
+/// Everything measured by one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Policy label.
+    pub policy: String,
+    /// Aggregate counters over all cores/processes.
+    pub aggregate: RunCounters,
+    /// Counters per process (promotions/faults attributed to the owning
+    /// process; TLB events attributed via the cores it ran on).
+    pub per_process: Vec<RunCounters>,
+    /// 2 MiB frames in use when the run ended (the paper's "Number of
+    /// THPs" axis in Fig. 9).
+    pub huge_pages_at_end: u64,
+    /// Huge-page promotion attempts that failed for lack of frames.
+    pub promotion_failures: u64,
+    /// Final ranked contents of the 1 GiB PCCs, aggregated across cores
+    /// (empty unless `SystemConfig::pcc_1g` is set). The OS can compare
+    /// these with the 2 MiB candidates via
+    /// [`hpage_pcc::prefer_1g_promotion`] (§3.2.3).
+    pub candidates_1g: Vec<Candidate>,
+    /// The promotion schedule of this run (every promotion with its
+    /// timestamp) — feed it to [`PolicyChoice::Replay`] to reproduce the
+    /// paper's offline-simulate-then-replay methodology.
+    pub schedule: PromotionSchedule,
+    /// Page-table-walk rate per promotion interval, in interval order —
+    /// the time-to-benefit curve (§5.4.2: "the PCC can identify HUBs
+    /// within a few seconds"). Entry `i` covers the i-th interval of
+    /// accesses.
+    pub interval_walk_rates: Vec<f64>,
+    /// Memory bloat at run end, per process: resident bytes beyond what
+    /// faults touched (the §1 THP-bloat problem; greedy fault-time huge
+    /// allocation inflates this, targeted promotion does not).
+    pub bloat_bytes: Vec<u64>,
+}
+
+impl SimReport {
+    /// Aggregate speedup over a baseline run under `timing`.
+    pub fn speedup_over(&self, baseline: &SimReport, timing: &TimingConfig) -> f64 {
+        self.aggregate.speedup_over(&baseline.aggregate, timing)
+    }
+
+    /// Per-process speedup over the same process in a baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is out of range in either report.
+    pub fn process_speedup_over(
+        &self,
+        baseline: &SimReport,
+        process: usize,
+        timing: &TimingConfig,
+    ) -> f64 {
+        self.per_process[process].speedup_over(&baseline.per_process[process], timing)
+    }
+}
+
+/// Configures and runs simulations.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SystemConfig,
+    policy: PolicyChoice,
+    fragmentation_pct: u8,
+    fragmentation_seed: u64,
+    budget: PromotionBudget,
+    replacement: ReplacementPolicy,
+    max_accesses_per_core: Option<u64>,
+    cache: Option<CacheConfig>,
+}
+
+impl Simulation {
+    /// Creates a simulation of `config` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(config: SystemConfig, policy: PolicyChoice) -> Self {
+        config.validate().expect("invalid system config");
+        Simulation {
+            config,
+            policy,
+            fragmentation_pct: 0,
+            fragmentation_seed: 0xF4A6,
+            budget: PromotionBudget::UNLIMITED,
+            replacement: ReplacementPolicy::default(),
+            max_accesses_per_core: None,
+            cache: None,
+        }
+    }
+
+    /// Fragments physical memory before the run (the paper's 50%/90%
+    /// scenarios).
+    #[must_use]
+    pub fn with_fragmentation(mut self, percent: u8, seed: u64) -> Self {
+        self.fragmentation_pct = percent;
+        self.fragmentation_seed = seed;
+        self
+    }
+
+    /// Caps total promotions (the utility-curve budget).
+    #[must_use]
+    pub fn with_budget(mut self, budget: PromotionBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the PCC replacement policy (ablation).
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: ReplacementPolicy) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Truncates each core's trace after `n` accesses (simulation
+    /// window).
+    #[must_use]
+    pub fn with_max_accesses_per_core(mut self, n: u64) -> Self {
+        self.max_accesses_per_core = Some(n);
+        self
+    }
+
+    /// Enables the optional physically-indexed data-cache hierarchy
+    /// (per-core L1D + L2, shared LLC). Pair with a timing config from
+    /// [`TimingConfig::with_cache_model`] or memory time is charged
+    /// twice.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs the simulation over `processes`, assigning one core per
+    /// thread in specification order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty.
+    pub fn run(&self, processes: &[ProcessSpec<'_>]) -> SimReport {
+        assert!(!processes.is_empty(), "need at least one process");
+        let total_cores: u32 = processes.iter().map(|p| p.threads).sum();
+
+        // Core placement: process p's threads occupy consecutive cores.
+        let mut core_process: Vec<usize> = Vec::with_capacity(total_cores as usize);
+        for (pi, spec) in processes.iter().enumerate() {
+            core_process.extend(std::iter::repeat_n(pi, spec.threads as usize));
+        }
+
+        let mut phys = PhysicalMemory::new(self.config.phys_mem_bytes);
+        if self.fragmentation_pct > 0 {
+            phys.fragment(self.fragmentation_pct, self.fragmentation_seed);
+        }
+        let mut os = OsState::new(phys, processes.len() as u32, core_process.clone());
+        let mut policy = self.policy.build(&self.config);
+        let prefer_huge = policy.fault_prefers_huge();
+
+        let mut tlbs: Vec<TlbHierarchy> = (0..total_cores)
+            .map(|_| TlbHierarchy::new(self.config.tlb))
+            .collect();
+        let mut bank = self.policy.uses_pcc().then(|| {
+            PccBank::with_replacement(
+                total_cores,
+                self.config.pcc_2m,
+                PageSize::Huge2M,
+                self.replacement,
+            )
+        });
+        // A victim cache is structurally a PCC bank fed by L2 evictions
+        // with no accessed-bit filter (evictions are evidence of prior
+        // residence, so the cold-miss problem does not arise).
+        let victim_entries = self.policy.uses_victim_cache();
+        if let Some(entries) = victim_entries {
+            let cfg = hpage_types::PccConfig {
+                access_bit_filter: false,
+                ..self.config.pcc_2m.with_entries(entries)
+            };
+            bank = Some(PccBank::with_replacement(
+                total_cores,
+                cfg,
+                PageSize::Huge2M,
+                self.replacement,
+            ));
+        }
+        let mut bank_1g = match (self.policy.uses_pcc(), self.config.pcc_1g) {
+            (true, Some(cfg)) => Some(PccBank::with_replacement(
+                total_cores,
+                cfg,
+                PageSize::Huge1G,
+                self.replacement,
+            )),
+            _ => None,
+        };
+        let mut pwcs: Option<Vec<PageWalkCache>> = self.config.pwc.map(|c| {
+            (0..total_cores)
+                .map(|_| PageWalkCache::new(c.pml4e_entries, c.pdpte_entries, c.pde_entries))
+                .collect()
+        });
+        let mut caches: Option<CacheHierarchy> =
+            self.cache.map(|c| CacheHierarchy::new(c, total_cores));
+
+        // Per-core trace iterators.
+        let mut traces: Vec<Box<dyn Iterator<Item = hpage_types::MemoryAccess> + '_>> = Vec::new();
+        for spec in processes {
+            for t in 0..spec.threads {
+                let iter = spec.workload.thread_trace(t, spec.threads);
+                traces.push(match self.max_accesses_per_core {
+                    Some(n) => Box::new(iter.take(n as usize)),
+                    None => iter,
+                });
+            }
+        }
+
+        let mut per_core = vec![RunCounters::default(); total_cores as usize];
+        let mut per_process = vec![RunCounters::default(); processes.len()];
+        let mut budget = self.budget;
+        let mut total_accesses: u64 = 0;
+        let mut next_interval = self.config.promotion_interval_accesses;
+        let mut promotion_failures = 0u64;
+        let mut schedule = PromotionSchedule::default();
+        let mut interval_walk_rates: Vec<f64> = Vec::new();
+        let mut interval_accesses_mark = 0u64;
+        let mut interval_walks_mark = 0u64;
+        let mut live: Vec<bool> = vec![true; total_cores as usize];
+        let mut live_count = total_cores as usize;
+
+        const CHUNK: u32 = 256;
+        while live_count > 0 {
+            for core in 0..total_cores as usize {
+                if !live[core] {
+                    continue;
+                }
+                let pid = core_process[core];
+                for _ in 0..CHUNK {
+                    let Some(access) = traces[core].next() else {
+                        live[core] = false;
+                        live_count -= 1;
+                        break;
+                    };
+                    total_accesses += 1;
+                    let counters = &mut per_core[core];
+                    counters.accesses += 1;
+                    let mut data_translation = None;
+                    match tlbs[core].lookup(access.addr) {
+                        TlbOutcome::L1Hit(t) => {
+                            counters.l1_hits += 1;
+                            data_translation = Some(t);
+                        }
+                        TlbOutcome::L2Hit(t) => {
+                            counters.l2_hits += 1;
+                            data_translation = Some(t);
+                        }
+                        TlbOutcome::Miss => {
+                            let space = &mut os.spaces[pid];
+                            let walk = match space.page_table_mut().walk(access.addr) {
+                                Ok(w) => w,
+                                Err(_) => {
+                                    // Page fault: the policy decides the
+                                    // fault size; then the walk succeeds.
+                                    match space.fault(access.addr, prefer_huge, &mut os.phys) {
+                                        Ok(out) => {
+                                            match out {
+                                                hpage_os::FaultOutcome::Base(_) => {
+                                                    per_process[pid].faults_base += 1
+                                                }
+                                                hpage_os::FaultOutcome::Huge(_) => {
+                                                    per_process[pid].faults_huge += 1
+                                                }
+                                            }
+                                            space
+                                                .page_table_mut()
+                                                .walk(access.addr)
+                                                .expect("freshly mapped address walks")
+                                        }
+                                        Err(e) => panic!(
+                                            "physical memory exhausted at access {total_accesses}: {e}"
+                                        ),
+                                    }
+                                }
+                            };
+                            data_translation = Some(walk.translation);
+                            counters.walks += 1;
+                            let effective_levels = match pwcs.as_mut() {
+                                Some(pwcs) => {
+                                    pwcs[core].walk(access.addr, walk.levels_referenced)
+                                }
+                                None => walk.levels_referenced,
+                            };
+                            counters.walk_levels += u64::from(effective_levels);
+                            let l2_victim = tlbs[core].fill(walk.translation);
+                            if let Some(bank) = bank.as_mut() {
+                                match victim_entries {
+                                    None => {
+                                        if walk.translation.size() != PageSize::Huge1G {
+                                            bank.record_walk(
+                                                CoreId(core as u32),
+                                                access.addr.vpn(PageSize::Huge2M),
+                                                walk.pmd_accessed_before,
+                                            );
+                                        }
+                                    }
+                                    Some(_) => {
+                                        if let Some(victim) = l2_victim {
+                                            bank.record_walk(
+                                                CoreId(core as u32),
+                                                victim
+                                                    .vpn
+                                                    .base()
+                                                    .vpn(PageSize::Huge2M),
+                                                true,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(bank_1g) = bank_1g.as_mut() {
+                                bank_1g.record_walk(
+                                    CoreId(core as u32),
+                                    access.addr.vpn(PageSize::Huge1G),
+                                    walk.pud_accessed_before,
+                                );
+                            }
+                        }
+                    }
+                    // Optional data-cache model: physically indexed, so
+                    // the translation just resolved decides placement.
+                    if let (Some(caches), Some(t)) = (caches.as_mut(), data_translation) {
+                        let offset = access.addr.page_offset(t.size());
+                        let paddr =
+                            hpage_types::PhysAddr::new(t.pfn.base().raw() + offset);
+                        let counters = &mut per_core[core];
+                        match caches.access(core, paddr) {
+                            CacheOutcome::L1 => {}
+                            CacheOutcome::L2 => counters.cache_l2_hits += 1,
+                            CacheOutcome::Llc => counters.cache_llc_hits += 1,
+                            CacheOutcome::Memory => counters.cache_memory += 1,
+                        }
+                    }
+                }
+            }
+
+            // Promotion interval(s) elapsed?
+            while total_accesses >= next_interval {
+                next_interval += self.config.promotion_interval_accesses;
+                let walks_now: u64 = per_core.iter().map(|c| c.walks).sum();
+                let da = total_accesses - interval_accesses_mark;
+                let dw = walks_now - interval_walks_mark;
+                if da > 0 {
+                    interval_walk_rates.push(dw as f64 / da as f64);
+                }
+                interval_accesses_mark = total_accesses;
+                interval_walks_mark = walks_now;
+                let report =
+                    policy.run_interval(&mut os, bank.as_mut(), total_accesses, &mut budget);
+                promotion_failures += report.failures;
+                for (pid, outcome) in &report.promotions {
+                    let p = pid.0 as usize;
+                    per_process[p].promotions += 1;
+                    per_process[p].pages_migrated += outcome.pages_migrated;
+                    per_process[p].pages_collapsed += outcome.pages_collapsed;
+                    schedule.push(ScheduledPromotion {
+                        at_access: total_accesses,
+                        process: *pid,
+                        region: outcome.region,
+                    });
+                }
+                for (pid, _) in &report.demotions {
+                    per_process[pid.0 as usize].demotions += 1;
+                }
+                for (pid, region) in report.shootdown_regions() {
+                    for (core, tlb) in tlbs.iter_mut().enumerate() {
+                        if core_process[core] == pid.0 as usize {
+                            tlb.shootdown(region);
+                            if let Some(pwcs) = pwcs.as_mut() {
+                                pwcs[core].invalidate_region(region);
+                            }
+                            per_process[pid.0 as usize].shootdowns += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Attribute per-core TLB events to the owning process.
+        for (core, counters) in per_core.iter().enumerate() {
+            let p = core_process[core];
+            per_process[p] = per_process[p].merged(counters);
+        }
+        let aggregate = per_process
+            .iter()
+            .fold(RunCounters::default(), |acc, c| acc.merged(c));
+        let candidates_1g = bank_1g
+            .map(|b| {
+                b.dump_by_frequency()
+                    .into_iter()
+                    .map(|c| c.candidate)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let bloat_bytes: Vec<u64> = os.spaces.iter().map(|s| s.bloat_bytes()).collect();
+        SimReport {
+            policy: self.policy.label(),
+            aggregate,
+            per_process,
+            huge_pages_at_end: os.phys.huge_blocks_in_use(),
+            promotion_failures,
+            candidates_1g,
+            schedule,
+            interval_walk_rates,
+            bloat_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_trace::{Pattern, SyntheticBuilder, SyntheticWorkload};
+
+    /// A TLB-hostile workload: uniform random accesses over `mb` MiB,
+    /// far beyond the tiny TLB's reach.
+    fn random_workload(mb: u64, accesses: u64, seed: u64) -> SyntheticWorkload {
+        let mut b = SyntheticBuilder::new("rand", seed);
+        let a = b.array(8, mb * (1 << 20) / 8);
+        b.phase(a, Pattern::UniformRandom { count: accesses }, 0);
+        b.build()
+    }
+
+    /// A TLB-friendly workload: pure sequential streaming.
+    fn seq_workload(mb: u64, accesses: u64) -> SyntheticWorkload {
+        let mut b = SyntheticBuilder::new("seq", 0);
+        let a = b.array(8, mb * (1 << 20) / 8);
+        b.phase(a, Pattern::Sequential { stride: 1, count: accesses }, 0);
+        b.build()
+    }
+
+    fn tiny_sim(policy: PolicyChoice) -> Simulation {
+        Simulation::new(hpage_types::SystemConfig::tiny(), policy)
+    }
+
+    #[test]
+    fn baseline_counts_all_accesses() {
+        let w = random_workload(8, 100_000, 1);
+        let report = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
+        assert_eq!(report.aggregate.accesses, 100_000);
+        assert!(report.aggregate.walks > 0);
+        assert_eq!(report.aggregate.promotions, 0);
+        assert_eq!(report.huge_pages_at_end, 0);
+        // Hits + misses account for every access.
+        let a = &report.aggregate;
+        assert_eq!(a.l1_hits + a.l2_hits + a.walks, a.accesses);
+    }
+
+    #[test]
+    fn sequential_workload_is_tlb_friendly() {
+        let w = seq_workload(8, 100_000);
+        let report = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
+        // One walk per new page (plus cold start), everything else hits.
+        assert!(report.aggregate.walk_ratio() < 0.01);
+    }
+
+    #[test]
+    fn ideal_huge_eliminates_most_walks() {
+        let w = random_workload(8, 100_000, 1);
+        let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
+        let ideal = tiny_sim(PolicyChoice::IdealHuge).run(&[ProcessSpec::new(&w)]);
+        assert!(ideal.aggregate.walks * 5 < base.aggregate.walks);
+        assert!(ideal.per_process[0].faults_huge > 0);
+        assert!(ideal.huge_pages_at_end > 0);
+        let t = TimingConfig::paper();
+        assert!(ideal.speedup_over(&base, &t) > 1.05);
+    }
+
+    #[test]
+    fn pcc_policy_promotes_hot_regions() {
+        let w = random_workload(8, 400_000, 1);
+        let report = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        assert!(report.aggregate.promotions > 0, "PCC should promote");
+        assert!(report.huge_pages_at_end > 0);
+        // Promotions reduce walks versus baseline.
+        let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
+        assert!(report.aggregate.walks < base.aggregate.walks);
+    }
+
+    #[test]
+    fn budget_caps_promotions() {
+        let w = random_workload(8, 400_000, 1);
+        let report = tiny_sim(PolicyChoice::pcc_default())
+            .with_budget(PromotionBudget::regions(2))
+            .run(&[ProcessSpec::new(&w)]);
+        assert!(report.aggregate.promotions <= 2);
+    }
+
+    #[test]
+    fn fragmentation_blocks_linux_thp() {
+        let w = random_workload(8, 200_000, 1);
+        let free = tiny_sim(PolicyChoice::LinuxThp).run(&[ProcessSpec::new(&w)]);
+        let frag = tiny_sim(PolicyChoice::LinuxThp)
+            .with_fragmentation(100, 7)
+            .run(&[ProcessSpec::new(&w)]);
+        assert!(free.huge_pages_at_end > 0);
+        assert_eq!(frag.huge_pages_at_end, 0);
+        assert!(frag.aggregate.walks > free.aggregate.walks);
+    }
+
+    #[test]
+    fn hawkeye_promotes_but_slower_than_pcc() {
+        let w = random_workload(16, 600_000, 3);
+        let hawkeye = tiny_sim(PolicyChoice::HawkEye).run(&[ProcessSpec::new(&w)]);
+        let pcc = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        assert!(hawkeye.aggregate.promotions > 0);
+        // The PCC identifies candidates faster (more promotions early,
+        // fewer residual walks).
+        assert!(pcc.aggregate.walks <= hawkeye.aggregate.walks);
+    }
+
+    #[test]
+    fn multithread_run_places_cores() {
+        let w = random_workload(8, 60_000, 2);
+        let report =
+            tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::with_threads(&w, 4)]);
+        // 4 threads × 60k accesses each.
+        assert_eq!(report.aggregate.accesses, 240_000);
+        assert_eq!(report.per_process.len(), 1);
+    }
+
+    #[test]
+    fn multiprocess_reports_per_process() {
+        let w1 = random_workload(8, 100_000, 2);
+        let w2 = seq_workload(8, 100_000);
+        let report = tiny_sim(PolicyChoice::pcc_default())
+            .run(&[ProcessSpec::new(&w1), ProcessSpec::new(&w2)]);
+        assert_eq!(report.per_process.len(), 2);
+        assert_eq!(report.per_process[0].accesses, 100_000);
+        assert_eq!(report.per_process[1].accesses, 100_000);
+        // The random process walks far more than the sequential one.
+        assert!(report.per_process[0].walks > 10 * report.per_process[1].walks);
+    }
+
+    #[test]
+    fn max_accesses_truncates() {
+        let w = random_workload(8, 100_000, 1);
+        let report = tiny_sim(PolicyChoice::BasePages)
+            .with_max_accesses_per_core(10_000)
+            .run(&[ProcessSpec::new(&w)]);
+        assert_eq!(report.aggregate.accesses, 10_000);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let w = random_workload(8, 150_000, 9);
+        let r1 = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        let r2 = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(PolicyChoice::BasePages.label(), "base-4k");
+        assert_eq!(PolicyChoice::pcc_default().label(), "pcc-highest-pcc-frequency");
+        let demote = PolicyChoice::Pcc {
+            selection: PromotionPolicyKind::RoundRobin,
+            demotion: true,
+            bias: vec![],
+        };
+        assert_eq!(demote.label(), "pcc-round-robin+demote");
+    }
+
+    #[test]
+    fn shootdowns_recorded_on_promotion() {
+        let w = random_workload(8, 400_000, 1);
+        let report = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        assert!(report.aggregate.shootdowns >= report.aggregate.promotions);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_run_panics() {
+        let _ = tiny_sim(PolicyChoice::BasePages).run(&[]);
+    }
+
+    #[test]
+    fn offline_record_then_replay_matches() {
+        // The paper's two-step methodology: an offline PCC simulation
+        // records the candidate trace; a second run without PCC hardware
+        // replays it and gets the same promotions and TLB behaviour.
+        let w = random_workload(8, 400_000, 1);
+        let offline = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        assert!(!offline.schedule.is_empty());
+        let replayed = tiny_sim(PolicyChoice::Replay(offline.schedule.clone()))
+            .run(&[ProcessSpec::new(&w)]);
+        assert_eq!(replayed.policy, "replay");
+        assert_eq!(
+            replayed.aggregate.promotions,
+            offline.aggregate.promotions
+        );
+        // Identical promotion schedule => identical regions promoted, so
+        // the TLB behaviour matches exactly (same deterministic trace).
+        assert_eq!(replayed.aggregate.walks, offline.aggregate.walks);
+        assert_eq!(replayed.schedule, offline.schedule);
+    }
+
+    #[test]
+    fn pwc_shortens_walks_but_not_misses() {
+        // §5.4.1: PWCs reduce walk *latency* (levels referenced) yet do
+        // not reduce TLB miss counts — the PCC is still needed.
+        let w = random_workload(8, 200_000, 1);
+        let mut cfg = hpage_types::SystemConfig::tiny();
+        let no_pwc = Simulation::new(cfg.clone(), PolicyChoice::BasePages)
+            .run(&[ProcessSpec::new(&w)]);
+        cfg.pwc = Some(hpage_types::PwcConfig::typical());
+        let with_pwc = Simulation::new(cfg, PolicyChoice::BasePages)
+            .run(&[ProcessSpec::new(&w)]);
+        assert_eq!(with_pwc.aggregate.walks, no_pwc.aggregate.walks);
+        assert!(
+            with_pwc.aggregate.walk_levels < no_pwc.aggregate.walk_levels / 2,
+            "pwc {} vs no-pwc {}",
+            with_pwc.aggregate.walk_levels,
+            no_pwc.aggregate.walk_levels
+        );
+        let t = TimingConfig::paper();
+        assert!(with_pwc.aggregate.cycles(&t) < no_pwc.aggregate.cycles(&t));
+    }
+
+    #[test]
+    fn cache_model_counts_and_charges() {
+        let w = random_workload(8, 150_000, 1);
+        let mut cfg = hpage_types::SystemConfig::tiny();
+        cfg.timing = cfg.timing.with_cache_model();
+        let timing = cfg.timing;
+        let no_cache = Simulation::new(cfg.clone(), PolicyChoice::BasePages)
+            .run(&[ProcessSpec::new(&w)]);
+        assert_eq!(no_cache.aggregate.cache_memory, 0);
+        let cached = Simulation::new(cfg, PolicyChoice::BasePages)
+            .with_cache(hpage_cache::CacheConfig::tiny())
+            .run(&[ProcessSpec::new(&w)]);
+        // Every access is classified; random over 8MiB >> tiny LLC means
+        // plenty of memory accesses.
+        let a = &cached.aggregate;
+        assert!(a.cache_memory > 0);
+        assert!(
+            a.cache_l2_hits + a.cache_llc_hits + a.cache_memory <= a.accesses
+        );
+        assert!(a.cycles(&timing) > no_cache.aggregate.cycles(&timing));
+    }
+
+    #[test]
+    fn cache_model_sees_streaming_vs_looping() {
+        // Sequential streaming misses per line; looping in a small buffer
+        // hits. This is the workload-dependent memory time the constant
+        // base-cost model cannot express.
+        let stream = seq_workload(8, 100_000);
+        let mut b = hpage_trace::SyntheticBuilder::new("loop", 0);
+        let arr = b.array(8, 128); // 1KB: fits L1D
+        b.phase(
+            arr,
+            hpage_trace::Pattern::Sequential { stride: 1, count: 100_000 },
+            0,
+        );
+        let looping = b.build();
+        let run = |w: &dyn hpage_trace::Workload| {
+            Simulation::new(hpage_types::SystemConfig::tiny(), PolicyChoice::BasePages)
+                .with_cache(hpage_cache::CacheConfig::tiny())
+                .run(&[ProcessSpec::new(w)])
+        };
+        let s = run(&stream);
+        let l = run(&looping);
+        assert!(s.aggregate.cache_memory * 5 > s.aggregate.accesses / 8,
+            "streaming misses every line: {}", s.aggregate.cache_memory);
+        assert!(l.aggregate.cache_memory < l.aggregate.accesses / 100,
+            "looping should hit: {}", l.aggregate.cache_memory);
+    }
+
+    #[test]
+    fn greedy_huge_faulting_bloats_sparse_workloads() {
+        // A sparse touch pattern: one access per 2MB region stride.
+        let mut b = hpage_trace::SyntheticBuilder::new("sparse", 1);
+        let arr = b.array(1 << 21, 32); // 32 elements, one per region
+        b.phase(
+            arr,
+            hpage_trace::Pattern::Sequential { stride: 1, count: 32 },
+            0,
+        );
+        let w = b.build();
+        let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
+        let greedy = tiny_sim(PolicyChoice::IdealHuge).run(&[ProcessSpec::new(&w)]);
+        assert_eq!(base.bloat_bytes[0], 0, "base pages commit only touched memory");
+        // Greedy huge faulting commits ~2MB per touched page.
+        assert!(
+            greedy.bloat_bytes[0] > 30 * ((2 << 20) - 4096),
+            "greedy bloat {} too small",
+            greedy.bloat_bytes[0]
+        );
+    }
+
+    #[test]
+    fn interval_walk_rates_show_time_to_benefit() {
+        // With the PCC, the walk rate drops sharply after the first
+        // promotion interval — the paper's "identifies HUBs within a few
+        // seconds" claim in timeline form.
+        let w = random_workload(8, 400_000, 1);
+        let report = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        let rates = &report.interval_walk_rates;
+        assert!(rates.len() >= 4, "expected several intervals, got {}", rates.len());
+        let first = rates[0];
+        let late = rates[rates.len() - 1];
+        assert!(
+            late < first / 2.0,
+            "walk rate should collapse after early promotions: {first:.3} -> {late:.3}"
+        );
+        // The baseline's rate stays flat.
+        let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
+        let b = &base.interval_walk_rates;
+        assert!(b[b.len() - 1] > b[0] * 0.5);
+    }
+
+    #[test]
+    fn victim_cache_alternative_promotes_but_less_precisely() {
+        // §5.4.1: a victim cache can surface candidates, but a small one
+        // gets polluted by sparsely-accessed data. Both sizes must
+        // promote; the PCC must be at least as effective as the small
+        // victim cache.
+        let w = random_workload(16, 600_000, 5);
+        let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
+        let pcc = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        let vc_small = tiny_sim(PolicyChoice::VictimCache { entries: 4 })
+            .run(&[ProcessSpec::new(&w)]);
+        let vc_big = tiny_sim(PolicyChoice::VictimCache { entries: 128 })
+            .run(&[ProcessSpec::new(&w)]);
+        assert_eq!(vc_small.policy, "victim-cache-4");
+        assert!(vc_big.aggregate.promotions > 0);
+        assert!(pcc.aggregate.walks <= vc_small.aggregate.walks);
+        assert!(vc_big.aggregate.walks <= base.aggregate.walks);
+    }
+
+    #[test]
+    fn one_gb_pcc_tracks_giant_regions() {
+        let w = random_workload(8, 200_000, 1);
+        let mut cfg = hpage_types::SystemConfig::tiny();
+        cfg.pcc_1g = Some(hpage_types::PccConfig::paper_1g());
+        let report = Simulation::new(cfg, PolicyChoice::pcc_default())
+            .run(&[ProcessSpec::new(&w)]);
+        // The whole 8MiB workload lives in one or two 1GiB regions.
+        assert!(!report.candidates_1g.is_empty());
+        assert!(report.candidates_1g.len() <= 2);
+        assert_eq!(
+            report.candidates_1g[0].region.size(),
+            hpage_types::PageSize::Huge1G
+        );
+        // The 1GB region's frequency dwarfs any single 2MB region's —
+        // exactly the §3.2.3 comparison (prefer 1GB only if ≥512x).
+        assert!(report.candidates_1g[0].frequency > 0);
+    }
+}

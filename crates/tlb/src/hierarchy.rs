@@ -1,0 +1,343 @@
+//! The per-core two-level TLB hierarchy of the paper's Table 2.
+
+use crate::table::Translation;
+use crate::tlb::SetAssocTlb;
+use hpage_types::{PageSize, TlbConfig, VirtAddr, Vpn};
+
+/// Where a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit in the L1 D-TLB; carries the cached translation.
+    L1Hit(Translation),
+    /// Missed L1, hit the unified L2 TLB (entry is promoted into the
+    /// matching L1 on the way back); carries the cached translation.
+    L2Hit(Translation),
+    /// Missed the whole hierarchy: the hardware must walk the page table.
+    Miss,
+}
+
+impl TlbOutcome {
+    /// The translation, when the lookup hit.
+    pub fn translation(&self) -> Option<Translation> {
+        match self {
+            TlbOutcome::L1Hit(t) | TlbOutcome::L2Hit(t) => Some(*t),
+            TlbOutcome::Miss => None,
+        }
+    }
+}
+
+/// Aggregate statistics for the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbHierarchyStats {
+    /// Total address lookups.
+    pub accesses: u64,
+    /// Lookups satisfied by any L1 structure.
+    pub l1_hits: u64,
+    /// Lookups satisfied by the L2 TLB.
+    pub l2_hits: u64,
+    /// Lookups that missed everywhere (page-table walks).
+    pub walks: u64,
+}
+
+impl TlbHierarchyStats {
+    /// Fraction of accesses missing the whole hierarchy, in `[0, 1]`.
+    /// This is the paper's "TLB miss %" / "PTW %" metric.
+    pub fn walk_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.walks as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of accesses missing the L1 (hitting L2 or walking).
+    pub fn l1_miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.l2_hits + self.walks) as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A core's data-TLB hierarchy: split-size L1 (4 KiB / 2 MiB / 1 GiB) in
+/// front of a unified L2 that holds 4 KiB and 2 MiB entries (Haswell's STLB
+/// does not cache 1 GiB translations; configurable).
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    config: TlbConfig,
+    l1_4k: SetAssocTlb,
+    l1_2m: SetAssocTlb,
+    l1_1g: SetAssocTlb,
+    l2: SetAssocTlb,
+    stats: TlbHierarchyStats,
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy from a [`TlbConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level's geometry is invalid.
+    pub fn new(config: TlbConfig) -> Self {
+        TlbHierarchy {
+            l1_4k: SetAssocTlb::new(config.l1_4k),
+            l1_2m: SetAssocTlb::new(config.l1_2m),
+            l1_1g: SetAssocTlb::new(config.l1_1g),
+            l2: SetAssocTlb::new(config.l2),
+            config,
+            stats: TlbHierarchyStats::default(),
+        }
+    }
+
+    /// The configuration the hierarchy was built with.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &TlbHierarchyStats {
+        &self.stats
+    }
+
+    fn l1_for(&mut self, size: PageSize) -> &mut SetAssocTlb {
+        match size {
+            PageSize::Base4K => &mut self.l1_4k,
+            PageSize::Huge2M => &mut self.l1_2m,
+            PageSize::Huge1G => &mut self.l1_1g,
+        }
+    }
+
+    /// Looks up `va`. On an L2 hit the entry is promoted into the L1 of
+    /// its size. On [`TlbOutcome::Miss`] the caller must walk the page
+    /// table and call [`fill`](Self::fill) with the result.
+    pub fn lookup(&mut self, va: VirtAddr) -> TlbOutcome {
+        self.stats.accesses += 1;
+        // Probe the split L1s: an address can only be resident at the page
+        // size it is currently mapped with, so probe all three.
+        for size in PageSize::ALL {
+            let vpn = va.vpn(size);
+            if let Some(t) = self.l1_for(size).probe(vpn) {
+                self.l1_for(size).lookup(vpn); // refresh recency + stats
+                self.stats.l1_hits += 1;
+                return TlbOutcome::L1Hit(t);
+            }
+        }
+        // L2: unified over 4K + 2M (and optionally 1G).
+        let mut l2_sizes: &[PageSize] = &[PageSize::Base4K, PageSize::Huge2M];
+        if self.config.l2_holds_1g {
+            l2_sizes = &PageSize::ALL;
+        }
+        for &size in l2_sizes {
+            let vpn = va.vpn(size);
+            if let Some(t) = self.l2.probe(vpn) {
+                self.l2.lookup(vpn);
+                self.stats.l2_hits += 1;
+                // Promote into the L1 for this size.
+                self.l1_for(size).insert(t);
+                return TlbOutcome::L2Hit(t);
+            }
+        }
+        self.stats.walks += 1;
+        TlbOutcome::Miss
+    }
+
+    /// Installs a translation returned by a page-table walk into the L1 of
+    /// its size and (when the size is cached there) the L2. Returns the
+    /// translation evicted from the L2, if any — the signal a §5.4.1
+    /// victim cache would capture.
+    pub fn fill(&mut self, translation: Translation) -> Option<Translation> {
+        let size = translation.size();
+        self.l1_for(size).insert(translation);
+        if size != PageSize::Huge1G || self.config.l2_holds_1g {
+            self.l2.insert(translation)
+        } else {
+            None
+        }
+    }
+
+    /// TLB shootdown for a huge region: removes every overlapping entry
+    /// from all levels (stale base-page translations after promotion, or a
+    /// stale huge translation after demotion). Returns total removed.
+    pub fn shootdown(&mut self, region: Vpn) -> usize {
+        self.l1_4k.invalidate_region(region)
+            + self.l1_2m.invalidate_region(region)
+            + self.l1_1g.invalidate_region(region)
+            + self.l2.invalidate_region(region)
+    }
+
+    /// Flushes every level (e.g. on context switch).
+    pub fn flush(&mut self) {
+        self.l1_4k.flush();
+        self.l1_2m.flush();
+        self.l1_1g.flush();
+        self.l2.flush();
+    }
+
+    /// Total resident entries across all levels.
+    pub fn resident_entries(&self) -> usize {
+        self.l1_4k.len() + self.l1_2m.len() + self.l1_1g.len() + self.l2.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_types::Pfn;
+
+    fn t4k(i: u64) -> Translation {
+        Translation {
+            vpn: Vpn::new(i, PageSize::Base4K),
+            pfn: Pfn::new(i, PageSize::Base4K),
+        }
+    }
+
+    fn t2m(i: u64) -> Translation {
+        Translation {
+            vpn: Vpn::new(i, PageSize::Huge2M),
+            pfn: Pfn::new(i, PageSize::Huge2M),
+        }
+    }
+
+    fn hierarchy() -> TlbHierarchy {
+        TlbHierarchy::new(TlbConfig::tiny())
+    }
+
+    #[test]
+    fn miss_then_fill_then_l1_hit() {
+        let mut h = hierarchy();
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(h.lookup(va), TlbOutcome::Miss);
+        let t = Translation {
+            vpn: va.vpn(PageSize::Base4K),
+            pfn: Pfn::new(1, PageSize::Base4K),
+        };
+        h.fill(t);
+        let hit = h.lookup(va);
+        assert_eq!(hit, TlbOutcome::L1Hit(t));
+        assert_eq!(hit.translation(), Some(t));
+        assert_eq!(TlbOutcome::Miss.translation(), None);
+        assert_eq!(h.stats().accesses, 2);
+        assert_eq!(h.stats().walks, 1);
+        assert_eq!(h.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1() {
+        let mut h = hierarchy();
+        // Fill enough 4K entries mapping to the same L1 set to evict the
+        // first from L1 while it survives in the larger L2.
+        let l1_sets = TlbConfig::tiny().l1_4k.sets() as u64;
+        let target = t4k(0);
+        h.fill(target);
+        for k in 1..=4 {
+            h.fill(t4k(k * l1_sets)); // same L1 set as index 0
+        }
+        // Index 0 must be gone from L1 (4 ways) but present in L2.
+        let outcome = h.lookup(target.vpn.base());
+        assert_eq!(outcome, TlbOutcome::L2Hit(target));
+        // Promotion: next access is an L1 hit.
+        assert_eq!(h.lookup(target.vpn.base()), TlbOutcome::L1Hit(target));
+    }
+
+    #[test]
+    fn huge_entry_hits_at_2m_l1() {
+        let mut h = hierarchy();
+        h.fill(t2m(3));
+        let inside = Vpn::new(3, PageSize::Huge2M).base().offset(0x10_0000);
+        assert_eq!(h.lookup(inside), TlbOutcome::L1Hit(t2m(3)));
+    }
+
+    #[test]
+    fn one_gb_entries_skip_l2_by_default() {
+        let mut h = hierarchy();
+        let g = Translation {
+            vpn: Vpn::new(2, PageSize::Huge1G),
+            pfn: Pfn::new(2, PageSize::Huge1G),
+        };
+        h.fill(g);
+        // Present in the 1G L1 only.
+        assert_eq!(h.resident_entries(), 1);
+        assert_eq!(h.lookup(VirtAddr::new(2 << 30)), TlbOutcome::L1Hit(g));
+    }
+
+    #[test]
+    fn one_gb_entries_fill_l2_when_enabled() {
+        let mut cfg = TlbConfig::tiny();
+        cfg.l2_holds_1g = true;
+        let mut h = TlbHierarchy::new(cfg);
+        let g = Translation {
+            vpn: Vpn::new(2, PageSize::Huge1G),
+            pfn: Pfn::new(2, PageSize::Huge1G),
+        };
+        h.fill(g);
+        assert_eq!(h.resident_entries(), 2);
+    }
+
+    #[test]
+    fn shootdown_clears_all_levels() {
+        let mut h = hierarchy();
+        let region = Vpn::new(1, PageSize::Huge2M);
+        // A base page inside the region, in both L1 and L2.
+        h.fill(t4k(512));
+        assert!(h.shootdown(region) >= 2);
+        assert_eq!(h.lookup(t4k(512).vpn.base()), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn shootdown_removes_huge_translation_on_demotion() {
+        let mut h = hierarchy();
+        h.fill(t2m(1));
+        let removed = h.shootdown(Vpn::new(1, PageSize::Huge2M));
+        assert_eq!(removed, 2); // L1-2M + L2 copies
+        assert_eq!(h.lookup(t2m(1).vpn.base()), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn flush_resets_contents_not_stats() {
+        let mut h = hierarchy();
+        h.fill(t4k(1));
+        h.lookup(t4k(1).vpn.base());
+        h.flush();
+        assert_eq!(h.resident_entries(), 0);
+        assert_eq!(h.stats().accesses, 1);
+    }
+
+    #[test]
+    fn walk_ratio_math() {
+        let mut h = hierarchy();
+        let va = VirtAddr::new(0x8000);
+        h.lookup(va); // miss
+        h.fill(Translation {
+            vpn: va.vpn(PageSize::Base4K),
+            pfn: Pfn::new(8, PageSize::Base4K),
+        });
+        h.lookup(va); // hit
+        assert!((h.stats().walk_ratio() - 0.5).abs() < 1e-12);
+        assert!((h.stats().l1_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_config_constructs() {
+        let h = TlbHierarchy::new(TlbConfig::paper());
+        assert_eq!(h.config().l2.entries, 1024);
+    }
+
+    #[test]
+    fn fill_reports_l2_victims() {
+        let mut h = hierarchy();
+        let l2_sets = TlbConfig::tiny().l2.sets() as u64;
+        // Fill one L2 set past its 8 ways: the 9th fill evicts the LRU.
+        let mut victim = None;
+        for k in 0..9u64 {
+            victim = h.fill(t4k(k * l2_sets));
+        }
+        assert_eq!(victim, Some(t4k(0)));
+        // 1GB fills (not cached in L2 by default) never report victims.
+        let g = Translation {
+            vpn: Vpn::new(5, PageSize::Huge1G),
+            pfn: Pfn::new(5, PageSize::Huge1G),
+        };
+        assert_eq!(h.fill(g), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! Functional simulator of a core's virtual-memory translation hardware:
+//! a split-size L1 data TLB, a unified L2 TLB, and a 4-level x86-64 radix
+//! page table with per-level *accessed* bits walked by a hardware page
+//! table walker.
+//!
+//! This is the substrate the PCC (in `hpage-pcc`) plugs into: the walker
+//! reports, for every page-table walk, whether the PUD (1 GiB) and PMD
+//! (2 MiB) accessed bits covering the address were already set — the
+//! signal the PCC's cold-miss filter uses (Fig. 3 of the paper).
+//!
+//! The model is *functional*, not cycle-accurate: it counts hits, misses
+//! and walks; `hpage-perf` converts those counts into time.
+//!
+//! # Example
+//!
+//! ```
+//! use hpage_tlb::{PageTable, TlbHierarchy, TlbOutcome};
+//! use hpage_types::{PageSize, Pfn, TlbConfig, VirtAddr};
+//!
+//! let mut pt = PageTable::new();
+//! let va = VirtAddr::new(0x20_0000);
+//! pt.map(va.vpn(PageSize::Base4K), Pfn::new(7, PageSize::Base4K))?;
+//!
+//! let mut tlb = TlbHierarchy::new(TlbConfig::paper());
+//! assert_eq!(tlb.lookup(va), TlbOutcome::Miss);          // cold TLB
+//! let walk = pt.walk(va)?;                                // hardware walk
+//! assert!(!walk.pmd_accessed_before);                     // first touch
+//! tlb.fill(walk.translation);
+//! assert_eq!(tlb.lookup(va), TlbOutcome::L1Hit(walk.translation));
+//! # Ok::<(), hpage_types::HpageError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod pwc;
+mod table;
+mod tlb;
+
+pub use hierarchy::{TlbHierarchy, TlbHierarchyStats, TlbOutcome};
+pub use pwc::{PageWalkCache, PwcStats};
+pub use table::{PageTable, Translation, WalkResult};
+pub use tlb::{SetAssocTlb, TlbStats};

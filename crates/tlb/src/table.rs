@@ -1,0 +1,874 @@
+//! A 4-level x86-64-style radix page table with per-level accessed bits.
+//!
+//! The model keeps only what the simulation needs: present mappings at
+//! 4 KiB / 2 MiB / 1 GiB granularity, and the *accessed* bits the hardware
+//! walker sets at the PUD (1 GiB) and PMD (2 MiB) levels — the bits the
+//! PCC's cold-miss filter reads (steps 3 and 6 of the paper's Fig. 3).
+
+use hpage_types::{HpageError, PageSize, Pfn, VirtAddr, Vpn};
+use std::collections::HashMap;
+
+/// A resolved virtual-to-physical translation at the mapped page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Translation {
+    /// The virtual page (at the mapping's page size).
+    pub vpn: Vpn,
+    /// The physical frame backing it.
+    pub pfn: Pfn,
+}
+
+impl Translation {
+    /// The page size of the mapping.
+    pub fn size(&self) -> PageSize {
+        self.vpn.size()
+    }
+}
+
+/// Result of one hardware page-table walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkResult {
+    /// The translation found by the walk.
+    pub translation: Translation,
+    /// Whether the PUD-level (1 GiB region) accessed bit was already set
+    /// before this walk. Drives the 1 GiB PCC's cold-miss filter.
+    pub pud_accessed_before: bool,
+    /// Whether the PMD-level (2 MiB region) accessed bit was already set
+    /// before this walk. Drives the 2 MiB PCC's cold-miss filter. For a
+    /// 1 GiB mapping there is no PMD level; the field is `false`.
+    pub pmd_accessed_before: bool,
+    /// Number of page-table levels the walker had to reference
+    /// (2 for a 1 GiB leaf at the PUD, 3 for a 2 MiB leaf at the PMD,
+    /// 4 for a 4 KiB leaf at the PTE — counting from the PGD).
+    pub levels_referenced: u8,
+}
+
+#[derive(Debug, Clone)]
+struct PudEntry {
+    accessed: bool,
+    kind: PudKind,
+}
+
+#[derive(Debug, Clone)]
+enum PudKind {
+    /// 1 GiB leaf mapping.
+    Huge1G(Pfn),
+    /// Points to a PMD table; keys are global 2 MiB region indices.
+    Table(HashMap<u64, PmdEntry>),
+}
+
+#[derive(Debug, Clone)]
+struct PmdEntry {
+    accessed: bool,
+    kind: PmdKind,
+}
+
+#[derive(Debug, Clone)]
+enum PmdKind {
+    /// 2 MiB leaf mapping.
+    Huge2M(Pfn),
+    /// Points to a PTE table; keys are global 4 KiB page indices.
+    Table(HashMap<u64, PteEntry>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PteEntry {
+    accessed: bool,
+    pfn: Pfn,
+}
+
+/// A process's page table.
+///
+/// Mappings can be installed at any of the three page sizes;
+/// [`promote_2m`](Self::promote_2m) and [`demote_2m`](Self::demote_2m)
+/// implement the remappings the OS performs during huge page promotion
+/// and demotion.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    /// Keys are global 1 GiB region indices.
+    puds: HashMap<u64, PudEntry>,
+    walks: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Total hardware walks performed against this table.
+    pub fn walk_count(&self) -> u64 {
+        self.walks
+    }
+
+    /// Installs a mapping of `vpn` to `pfn` (page sizes must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::InvalidRemap`] if the sizes differ or any part
+    /// of the region is already mapped.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn) -> Result<(), HpageError> {
+        if vpn.size() != pfn.size() {
+            return Err(HpageError::InvalidRemap {
+                reason: format!("vpn size {} != pfn size {}", vpn.size(), pfn.size()),
+            });
+        }
+        if self.translate(vpn.base()).is_some() {
+            return Err(HpageError::InvalidRemap {
+                reason: format!("{vpn} is already mapped"),
+            });
+        }
+        let pud_idx = vpn.containing(PageSize::Huge1G).index();
+        match vpn.size() {
+            PageSize::Huge1G => {
+                if self.puds.contains_key(&pud_idx) {
+                    return Err(HpageError::InvalidRemap {
+                        reason: format!("{vpn} overlaps existing mappings"),
+                    });
+                }
+                self.puds.insert(
+                    pud_idx,
+                    PudEntry {
+                        accessed: false,
+                        kind: PudKind::Huge1G(pfn),
+                    },
+                );
+            }
+            PageSize::Huge2M => {
+                let pud = self.pud_table(pud_idx)?;
+                if pud.contains_key(&vpn.index()) {
+                    return Err(HpageError::InvalidRemap {
+                        reason: format!("{vpn} overlaps existing base mappings"),
+                    });
+                }
+                pud.insert(
+                    vpn.index(),
+                    PmdEntry {
+                        accessed: false,
+                        kind: PmdKind::Huge2M(pfn),
+                    },
+                );
+            }
+            PageSize::Base4K => {
+                let pmd_idx = vpn.containing(PageSize::Huge2M).index();
+                let pud = self.pud_table(pud_idx)?;
+                let pmd = pud.entry(pmd_idx).or_insert_with(|| PmdEntry {
+                    accessed: false,
+                    kind: PmdKind::Table(HashMap::new()),
+                });
+                match &mut pmd.kind {
+                    PmdKind::Table(ptes) => {
+                        ptes.insert(
+                            vpn.index(),
+                            PteEntry {
+                                accessed: false,
+                                pfn,
+                            },
+                        );
+                    }
+                    PmdKind::Huge2M(_) => {
+                        return Err(HpageError::InvalidRemap {
+                            reason: format!("{vpn} lies inside an existing 2MB mapping"),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn pud_table(&mut self, pud_idx: u64) -> Result<&mut HashMap<u64, PmdEntry>, HpageError> {
+        let pud = self.puds.entry(pud_idx).or_insert_with(|| PudEntry {
+            accessed: false,
+            kind: PudKind::Table(HashMap::new()),
+        });
+        match &mut pud.kind {
+            PudKind::Table(t) => Ok(t),
+            PudKind::Huge1G(_) => Err(HpageError::InvalidRemap {
+                reason: "region lies inside an existing 1GB mapping".into(),
+            }),
+        }
+    }
+
+    /// Removes the mapping containing `vpn.base()` at exactly `vpn`'s size.
+    /// Returns the physical frame it pointed to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::Unmapped`] if no mapping of that size covers
+    /// the address.
+    pub fn unmap(&mut self, vpn: Vpn) -> Result<Pfn, HpageError> {
+        let err = || HpageError::Unmapped {
+            addr: vpn.base().raw(),
+        };
+        let pud_idx = vpn.containing(PageSize::Huge1G).index();
+        match vpn.size() {
+            PageSize::Huge1G => match self.puds.remove(&pud_idx) {
+                Some(PudEntry {
+                    kind: PudKind::Huge1G(pfn),
+                    ..
+                }) => Ok(pfn),
+                Some(other) => {
+                    self.puds.insert(pud_idx, other);
+                    Err(err())
+                }
+                None => Err(err()),
+            },
+            PageSize::Huge2M => {
+                let pud = self.puds.get_mut(&pud_idx).ok_or_else(err)?;
+                let PudKind::Table(pmds) = &mut pud.kind else {
+                    return Err(err());
+                };
+                match pmds.remove(&vpn.index()) {
+                    Some(PmdEntry {
+                        kind: PmdKind::Huge2M(pfn),
+                        ..
+                    }) => Ok(pfn),
+                    Some(other) => {
+                        pmds.insert(vpn.index(), other);
+                        Err(err())
+                    }
+                    None => Err(err()),
+                }
+            }
+            PageSize::Base4K => {
+                let pmd_idx = vpn.containing(PageSize::Huge2M).index();
+                let pud = self.puds.get_mut(&pud_idx).ok_or_else(err)?;
+                let PudKind::Table(pmds) = &mut pud.kind else {
+                    return Err(err());
+                };
+                let pmd = pmds.get_mut(&pmd_idx).ok_or_else(err)?;
+                let PmdKind::Table(ptes) = &mut pmd.kind else {
+                    return Err(err());
+                };
+                ptes.remove(&vpn.index()).map(|p| p.pfn).ok_or_else(err)
+            }
+        }
+    }
+
+    /// Resolves `va` without touching accessed bits (an "OS peek", unlike
+    /// the hardware [`walk`](Self::walk)).
+    pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
+        let pud_idx = va.vpn(PageSize::Huge1G).index();
+        let pud = self.puds.get(&pud_idx)?;
+        match &pud.kind {
+            PudKind::Huge1G(pfn) => Some(Translation {
+                vpn: va.vpn(PageSize::Huge1G),
+                pfn: *pfn,
+            }),
+            PudKind::Table(pmds) => {
+                let pmd_idx = va.vpn(PageSize::Huge2M).index();
+                let pmd = pmds.get(&pmd_idx)?;
+                match &pmd.kind {
+                    PmdKind::Huge2M(pfn) => Some(Translation {
+                        vpn: va.vpn(PageSize::Huge2M),
+                        pfn: *pfn,
+                    }),
+                    PmdKind::Table(ptes) => {
+                        let pte_idx = va.vpn(PageSize::Base4K).index();
+                        ptes.get(&pte_idx).map(|pte| Translation {
+                            vpn: va.vpn(PageSize::Base4K),
+                            pfn: pte.pfn,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// The page size of the mapping covering `va`, if any.
+    pub fn mapping_size(&self, va: VirtAddr) -> Option<PageSize> {
+        self.translate(va).map(|t| t.size())
+    }
+
+    /// Performs a hardware page-table walk for `va`: resolves the
+    /// translation, reports the prior state of the PUD/PMD accessed bits,
+    /// and sets every accessed bit on the walked path (Intel semantics:
+    /// the walker sets A-bits at each level it references).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::Unmapped`] for an unmapped address (a page
+    /// fault in the real system; the OS layer handles it and retries).
+    pub fn walk(&mut self, va: VirtAddr) -> Result<WalkResult, HpageError> {
+        let err = || HpageError::Unmapped { addr: va.raw() };
+        let pud_idx = va.vpn(PageSize::Huge1G).index();
+        let pud = self.puds.get_mut(&pud_idx).ok_or_else(err)?;
+        let pud_accessed_before = pud.accessed;
+        match &mut pud.kind {
+            PudKind::Huge1G(pfn) => {
+                let pfn = *pfn;
+                pud.accessed = true;
+                self.walks += 1;
+                Ok(WalkResult {
+                    translation: Translation {
+                        vpn: va.vpn(PageSize::Huge1G),
+                        pfn,
+                    },
+                    pud_accessed_before,
+                    pmd_accessed_before: false,
+                    levels_referenced: 2,
+                })
+            }
+            PudKind::Table(pmds) => {
+                let pmd_idx = va.vpn(PageSize::Huge2M).index();
+                let pmd = pmds.get_mut(&pmd_idx).ok_or_else(err)?;
+                let pmd_accessed_before = pmd.accessed;
+                let result = match &mut pmd.kind {
+                    PmdKind::Huge2M(pfn) => WalkResult {
+                        translation: Translation {
+                            vpn: va.vpn(PageSize::Huge2M),
+                            pfn: *pfn,
+                        },
+                        pud_accessed_before,
+                        pmd_accessed_before,
+                        levels_referenced: 3,
+                    },
+                    PmdKind::Table(ptes) => {
+                        let pte_idx = va.vpn(PageSize::Base4K).index();
+                        let pte = ptes.get_mut(&pte_idx).ok_or_else(err)?;
+                        pte.accessed = true;
+                        WalkResult {
+                            translation: Translation {
+                                vpn: va.vpn(PageSize::Base4K),
+                                pfn: pte.pfn,
+                            },
+                            pud_accessed_before,
+                            pmd_accessed_before,
+                            levels_referenced: 4,
+                        }
+                    }
+                };
+                pmd.accessed = true;
+                pud.accessed = true;
+                self.walks += 1;
+                Ok(result)
+            }
+        }
+    }
+
+    /// Replaces the 4 KiB mappings of a fully- or partially-mapped 2 MiB
+    /// region with a single 2 MiB leaf pointing at `new_pfn` — the page
+    /// table side of huge page promotion. Returns the base-page frames
+    /// that were unmapped (the OS copies their data into the huge frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::InvalidRemap`] if the region is already huge
+    /// or [`HpageError::Unmapped`] if no base page in it is mapped.
+    pub fn promote_2m(&mut self, region: Vpn, new_pfn: Pfn) -> Result<Vec<Pfn>, HpageError> {
+        if region.size() != PageSize::Huge2M || new_pfn.size() != PageSize::Huge2M {
+            return Err(HpageError::InvalidRemap {
+                reason: "promote_2m requires 2MB vpn and pfn".into(),
+            });
+        }
+        let pud_idx = region.containing(PageSize::Huge1G).index();
+        let pud = self.puds.get_mut(&pud_idx).ok_or(HpageError::Unmapped {
+            addr: region.base().raw(),
+        })?;
+        let PudKind::Table(pmds) = &mut pud.kind else {
+            return Err(HpageError::InvalidRemap {
+                reason: "region lies inside a 1GB mapping".into(),
+            });
+        };
+        let pmd = pmds.get_mut(&region.index()).ok_or(HpageError::Unmapped {
+            addr: region.base().raw(),
+        })?;
+        match &mut pmd.kind {
+            PmdKind::Huge2M(_) => Err(HpageError::InvalidRemap {
+                reason: format!("{region} is already a huge page"),
+            }),
+            PmdKind::Table(ptes) => {
+                if ptes.is_empty() {
+                    return Err(HpageError::Unmapped {
+                        addr: region.base().raw(),
+                    });
+                }
+                let old: Vec<Pfn> = ptes.values().map(|p| p.pfn).collect();
+                pmd.kind = PmdKind::Huge2M(new_pfn);
+                pmd.accessed = false; // fresh leaf: hardware will set it
+                Ok(old)
+            }
+        }
+    }
+
+    /// Replaces everything mapped inside a 1 GiB region with a single
+    /// PUD leaf pointing at `new_pfn` — the page-table side of 1 GiB
+    /// promotion (§3.2.3: a candidate comprising both 4 KiB and 2 MiB
+    /// mappings is collectively promoted). Returns the base frames and
+    /// 2 MiB frames that were unmapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::InvalidRemap`] on size mismatches or if the
+    /// region is already a 1 GiB leaf, and [`HpageError::Unmapped`] if
+    /// nothing is mapped inside the region.
+    pub fn promote_1g(
+        &mut self,
+        region: Vpn,
+        new_pfn: Pfn,
+    ) -> Result<(Vec<Pfn>, Vec<Pfn>), HpageError> {
+        if region.size() != PageSize::Huge1G || new_pfn.size() != PageSize::Huge1G {
+            return Err(HpageError::InvalidRemap {
+                reason: "promote_1g requires 1GB vpn and pfn".into(),
+            });
+        }
+        let Some(pud) = self.puds.get(&region.index()) else {
+            return Err(HpageError::Unmapped {
+                addr: region.base().raw(),
+            });
+        };
+        let PudKind::Table(pmds) = &pud.kind else {
+            return Err(HpageError::InvalidRemap {
+                reason: format!("{region} is already a 1GB page"),
+            });
+        };
+        if pmds.is_empty() {
+            return Err(HpageError::Unmapped {
+                addr: region.base().raw(),
+            });
+        }
+        let mut base_frames = Vec::new();
+        let mut huge_frames = Vec::new();
+        for pmd in pmds.values() {
+            match &pmd.kind {
+                PmdKind::Huge2M(pfn) => huge_frames.push(*pfn),
+                PmdKind::Table(ptes) => base_frames.extend(ptes.values().map(|p| p.pfn)),
+            }
+        }
+        self.puds.insert(
+            region.index(),
+            PudEntry {
+                accessed: false,
+                kind: PudKind::Huge1G(new_pfn),
+            },
+        );
+        Ok((base_frames, huge_frames))
+    }
+
+    /// Splits a 2 MiB huge mapping back into 512 base-page mappings onto
+    /// `base_pfns` — the page table side of huge page demotion. Returns
+    /// the huge frame that was unmapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::InvalidRemap`] if `base_pfns` is not 512
+    /// 4 KiB frames, or [`HpageError::Unmapped`] if the region is not a
+    /// huge mapping.
+    pub fn demote_2m(&mut self, region: Vpn, base_pfns: &[Pfn]) -> Result<Pfn, HpageError> {
+        if region.size() != PageSize::Huge2M {
+            return Err(HpageError::InvalidRemap {
+                reason: "demote_2m requires a 2MB vpn".into(),
+            });
+        }
+        if base_pfns.len() != 512 || base_pfns.iter().any(|p| p.size() != PageSize::Base4K) {
+            return Err(HpageError::InvalidRemap {
+                reason: "demote_2m requires exactly 512 4KB pfns".into(),
+            });
+        }
+        let pud_idx = region.containing(PageSize::Huge1G).index();
+        let pud = self.puds.get_mut(&pud_idx).ok_or(HpageError::Unmapped {
+            addr: region.base().raw(),
+        })?;
+        let PudKind::Table(pmds) = &mut pud.kind else {
+            return Err(HpageError::InvalidRemap {
+                reason: "region lies inside a 1GB mapping".into(),
+            });
+        };
+        let pmd = pmds.get_mut(&region.index()).ok_or(HpageError::Unmapped {
+            addr: region.base().raw(),
+        })?;
+        let PmdKind::Huge2M(huge_pfn) = pmd.kind else {
+            return Err(HpageError::Unmapped {
+                addr: region.base().raw(),
+            });
+        };
+        let ptes: HashMap<u64, PteEntry> = region
+            .split(PageSize::Base4K)
+            .zip(base_pfns.iter())
+            .map(|(vpn, pfn)| {
+                (
+                    vpn.index(),
+                    PteEntry {
+                        accessed: false,
+                        pfn: *pfn,
+                    },
+                )
+            })
+            .collect();
+        pmd.kind = PmdKind::Table(ptes);
+        pmd.accessed = false;
+        Ok(huge_pfn)
+    }
+
+    /// Number of mapped 4 KiB pages inside a 2 MiB region (512 if the
+    /// region is a huge mapping). Used by utilization-based policies
+    /// (khugepaged, HawkEye).
+    pub fn mapped_base_pages_in(&self, region: Vpn) -> u64 {
+        assert_eq!(region.size(), PageSize::Huge2M);
+        let pud_idx = region.containing(PageSize::Huge1G).index();
+        match self.puds.get(&pud_idx).map(|p| &p.kind) {
+            Some(PudKind::Huge1G(_)) => 512,
+            Some(PudKind::Table(pmds)) => match pmds.get(&region.index()).map(|p| &p.kind) {
+                Some(PmdKind::Huge2M(_)) => 512,
+                Some(PmdKind::Table(ptes)) => ptes.len() as u64,
+                None => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Number of 4 KiB pages in `region` whose PTE accessed bit is set —
+    /// HawkEye's *access coverage* metric for one huge page region.
+    pub fn accessed_base_pages_in(&self, region: Vpn) -> u64 {
+        assert_eq!(region.size(), PageSize::Huge2M);
+        let pud_idx = region.containing(PageSize::Huge1G).index();
+        match self.puds.get(&pud_idx).map(|p| &p.kind) {
+            Some(PudKind::Huge1G(_)) => 512,
+            Some(PudKind::Table(pmds)) => match pmds.get(&region.index()).map(|p| &p.kind) {
+                Some(PmdKind::Huge2M(e)) => {
+                    let _ = e;
+                    // For a huge leaf, coverage is its own A-bit times 512.
+                    if pmds.get(&region.index()).map(|p| p.accessed) == Some(true) {
+                        512
+                    } else {
+                        0
+                    }
+                }
+                Some(PmdKind::Table(ptes)) => {
+                    ptes.values().filter(|p| p.accessed).count() as u64
+                }
+                None => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Clears the PTE accessed bits of every 4 KiB page inside `region`
+    /// (software scanners reset A-bits between measurement intervals).
+    pub fn clear_accessed_in(&mut self, region: Vpn) {
+        assert_eq!(region.size(), PageSize::Huge2M);
+        let pud_idx = region.containing(PageSize::Huge1G).index();
+        if let Some(pud) = self.puds.get_mut(&pud_idx) {
+            if let PudKind::Table(pmds) = &mut pud.kind {
+                if let Some(pmd) = pmds.get_mut(&region.index()) {
+                    pmd.accessed = false;
+                    if let PmdKind::Table(ptes) = &mut pmd.kind {
+                        for pte in ptes.values_mut() {
+                            pte.accessed = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates over every 2 MiB region that currently has at least one
+    /// mapping (huge or base), in ascending region order. This is the VMA
+    /// scan order khugepaged and HawkEye traverse.
+    pub fn mapped_2m_regions(&self) -> Vec<Vpn> {
+        let mut regions: Vec<Vpn> = Vec::new();
+        for (pud_idx, pud) in &self.puds {
+            match &pud.kind {
+                PudKind::Huge1G(_) => {
+                    regions.extend(
+                        Vpn::new(*pud_idx, PageSize::Huge1G).split(PageSize::Huge2M),
+                    );
+                }
+                PudKind::Table(pmds) => {
+                    regions.extend(pmds.keys().map(|i| Vpn::new(*i, PageSize::Huge2M)));
+                }
+            }
+        }
+        regions.sort_by_key(|v| v.index());
+        regions
+    }
+
+    /// Whether the mapping covering `region` is a 2 MiB (or larger) leaf.
+    pub fn is_huge_mapped(&self, region: Vpn) -> bool {
+        assert_eq!(region.size(), PageSize::Huge2M);
+        matches!(
+            self.mapping_size(region.base()),
+            Some(PageSize::Huge2M) | Some(PageSize::Huge1G)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4k(i: u64) -> Vpn {
+        Vpn::new(i, PageSize::Base4K)
+    }
+    fn p4k(i: u64) -> Pfn {
+        Pfn::new(i, PageSize::Base4K)
+    }
+    fn v2m(i: u64) -> Vpn {
+        Vpn::new(i, PageSize::Huge2M)
+    }
+    fn p2m(i: u64) -> Pfn {
+        Pfn::new(i, PageSize::Huge2M)
+    }
+
+    #[test]
+    fn map_translate_roundtrip_all_sizes() {
+        let mut pt = PageTable::new();
+        pt.map(v4k(5), p4k(50)).unwrap();
+        pt.map(v2m(1000), p2m(99)).unwrap();
+        pt.map(Vpn::new(3, PageSize::Huge1G), Pfn::new(2, PageSize::Huge1G))
+            .unwrap();
+
+        let t = pt.translate(v4k(5).base()).unwrap();
+        assert_eq!(t.pfn, p4k(50));
+        assert_eq!(t.size(), PageSize::Base4K);
+
+        let t = pt.translate(v2m(1000).base().offset(0x12345)).unwrap();
+        assert_eq!(t.pfn, p2m(99));
+        assert_eq!(t.size(), PageSize::Huge2M);
+
+        let t = pt
+            .translate(VirtAddr::new(3 << 30).offset(123 << 12))
+            .unwrap();
+        assert_eq!(t.size(), PageSize::Huge1G);
+    }
+
+    #[test]
+    fn translate_unmapped_is_none() {
+        let pt = PageTable::new();
+        assert!(pt.translate(VirtAddr::new(0x1000)).is_none());
+        assert!(pt.mapping_size(VirtAddr::new(0x1000)).is_none());
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(v4k(5), p4k(50)).unwrap();
+        assert!(pt.map(v4k(5), p4k(51)).is_err());
+        // 2MB over existing 4K in the same region also rejected.
+        let region = v4k(5).containing(PageSize::Huge2M);
+        assert!(pt.map(region, p2m(7)).is_err());
+        // 4K inside an existing 2MB mapping rejected.
+        pt.map(v2m(1000), p2m(99)).unwrap();
+        let inner = v2m(1000).split(PageSize::Base4K).nth(3).unwrap();
+        assert!(pt.map(inner, p4k(1)).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut pt = PageTable::new();
+        assert!(pt.map(v4k(1), p2m(1)).is_err());
+    }
+
+    #[test]
+    fn walk_sets_and_reports_access_bits() {
+        let mut pt = PageTable::new();
+        pt.map(v4k(0x200), p4k(1)).unwrap(); // inside 2MB region 1
+        let va = v4k(0x200).base();
+
+        let w1 = pt.walk(va).unwrap();
+        assert!(!w1.pmd_accessed_before);
+        assert!(!w1.pud_accessed_before);
+        assert_eq!(w1.levels_referenced, 4);
+
+        let w2 = pt.walk(va).unwrap();
+        assert!(w2.pmd_accessed_before);
+        assert!(w2.pud_accessed_before);
+        assert_eq!(pt.walk_count(), 2);
+    }
+
+    #[test]
+    fn pmd_access_bit_shared_within_region() {
+        let mut pt = PageTable::new();
+        // Two different base pages in the same 2MB region.
+        pt.map(v4k(0x200), p4k(1)).unwrap();
+        pt.map(v4k(0x201), p4k(2)).unwrap();
+        pt.walk(v4k(0x200).base()).unwrap();
+        // The sibling page's walk sees the PMD bit already set: this is
+        // exactly what lets the PCC admit the region as warm.
+        let w = pt.walk(v4k(0x201).base()).unwrap();
+        assert!(w.pmd_accessed_before);
+    }
+
+    #[test]
+    fn walk_2m_leaf_reports_three_levels() {
+        let mut pt = PageTable::new();
+        pt.map(v2m(4), p2m(9)).unwrap();
+        let w = pt.walk(v2m(4).base().offset(0x1234)).unwrap();
+        assert_eq!(w.levels_referenced, 3);
+        assert_eq!(w.translation.size(), PageSize::Huge2M);
+        assert!(!w.pmd_accessed_before);
+        let w2 = pt.walk(v2m(4).base()).unwrap();
+        assert!(w2.pmd_accessed_before);
+    }
+
+    #[test]
+    fn walk_1g_leaf_reports_two_levels() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn::new(2, PageSize::Huge1G), Pfn::new(5, PageSize::Huge1G))
+            .unwrap();
+        let w = pt.walk(VirtAddr::new(2 << 30)).unwrap();
+        assert_eq!(w.levels_referenced, 2);
+        assert!(!w.pud_accessed_before);
+        let w2 = pt.walk(VirtAddr::new((2 << 30) + 4096)).unwrap();
+        assert!(w2.pud_accessed_before);
+    }
+
+    #[test]
+    fn walk_unmapped_errors() {
+        let mut pt = PageTable::new();
+        assert!(matches!(
+            pt.walk(VirtAddr::new(0x5000)),
+            Err(HpageError::Unmapped { addr: 0x5000 })
+        ));
+    }
+
+    #[test]
+    fn promote_replaces_base_pages() {
+        let mut pt = PageTable::new();
+        let region = v2m(3);
+        let pages: Vec<Vpn> = region.split(PageSize::Base4K).collect();
+        for (i, page) in pages.iter().enumerate().take(10) {
+            pt.map(*page, p4k(100 + i as u64)).unwrap();
+        }
+        let old = pt.promote_2m(region, p2m(77)).unwrap();
+        assert_eq!(old.len(), 10);
+        assert!(pt.is_huge_mapped(region));
+        // All 512 pages now translate via the huge leaf.
+        for page in &pages {
+            let t = pt.translate(page.base()).unwrap();
+            assert_eq!(t.size(), PageSize::Huge2M);
+            assert_eq!(t.pfn, p2m(77));
+        }
+    }
+
+    #[test]
+    fn promote_rejects_empty_or_huge() {
+        let mut pt = PageTable::new();
+        assert!(pt.promote_2m(v2m(3), p2m(1)).is_err()); // nothing mapped
+        pt.map(v2m(3), p2m(1)).unwrap();
+        assert!(pt.promote_2m(v2m(3), p2m(2)).is_err()); // already huge
+    }
+
+    #[test]
+    fn demote_splits_huge_page() {
+        let mut pt = PageTable::new();
+        pt.map(v2m(3), p2m(7)).unwrap();
+        let frames: Vec<Pfn> = (0..512).map(p4k).collect();
+        let huge = pt.demote_2m(v2m(3), &frames).unwrap();
+        assert_eq!(huge, p2m(7));
+        assert!(!pt.is_huge_mapped(v2m(3)));
+        assert_eq!(pt.mapped_base_pages_in(v2m(3)), 512);
+        let t = pt.translate(v2m(3).base().offset(5 << 12)).unwrap();
+        assert_eq!(t.pfn, p4k(5));
+    }
+
+    #[test]
+    fn demote_validates_inputs() {
+        let mut pt = PageTable::new();
+        pt.map(v2m(3), p2m(7)).unwrap();
+        assert!(pt.demote_2m(v2m(3), &[p4k(0); 10]).is_err());
+        assert!(pt.demote_2m(v2m(4), &vec![p4k(0); 512]).is_err());
+    }
+
+    #[test]
+    fn promote_demote_roundtrip() {
+        let mut pt = PageTable::new();
+        let region = v2m(3);
+        for (i, page) in region.split(PageSize::Base4K).enumerate() {
+            pt.map(page, p4k(i as u64)).unwrap();
+        }
+        pt.promote_2m(region, p2m(9)).unwrap();
+        let frames: Vec<Pfn> = (0..512).map(p4k).collect();
+        pt.demote_2m(region, &frames).unwrap();
+        assert_eq!(pt.mapped_base_pages_in(region), 512);
+        pt.promote_2m(region, p2m(10)).unwrap();
+        assert!(pt.is_huge_mapped(region));
+    }
+
+    #[test]
+    fn coverage_counts_accessed_pages() {
+        let mut pt = PageTable::new();
+        let region = v2m(3);
+        let pages: Vec<Vpn> = region.split(PageSize::Base4K).take(8).collect();
+        for (i, page) in pages.iter().enumerate() {
+            pt.map(*page, p4k(i as u64)).unwrap();
+        }
+        assert_eq!(pt.accessed_base_pages_in(region), 0);
+        pt.walk(pages[0].base()).unwrap();
+        pt.walk(pages[3].base()).unwrap();
+        assert_eq!(pt.accessed_base_pages_in(region), 2);
+        assert_eq!(pt.mapped_base_pages_in(region), 8);
+        pt.clear_accessed_in(region);
+        assert_eq!(pt.accessed_base_pages_in(region), 0);
+        // Clearing also resets the PMD bit (next walk is "cold" again).
+        let w = pt.walk(pages[0].base()).unwrap();
+        assert!(!w.pmd_accessed_before);
+    }
+
+    #[test]
+    fn mapped_regions_sorted() {
+        let mut pt = PageTable::new();
+        pt.map(v2m(9), p2m(1)).unwrap();
+        pt.map(v4k(0x200), p4k(1)).unwrap(); // region 1
+        pt.map(v2m(4), p2m(2)).unwrap();
+        let regions = pt.mapped_2m_regions();
+        assert_eq!(
+            regions.iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![1, 4, 9]
+        );
+    }
+
+    #[test]
+    fn promote_1g_collapses_mixed_mappings() {
+        let mut pt = PageTable::new();
+        let giant = Vpn::new(2, PageSize::Huge1G);
+        let subregions: Vec<Vpn> = giant.split(PageSize::Huge2M).collect();
+        // Mixed state: one 2MB leaf + a few base pages elsewhere.
+        pt.map(subregions[0], p2m(40)).unwrap();
+        for (i, page) in subregions[3].split(PageSize::Base4K).take(5).enumerate() {
+            pt.map(page, p4k(50 + i as u64)).unwrap();
+        }
+        let (bases, huges) = pt
+            .promote_1g(giant, Pfn::new(9, PageSize::Huge1G))
+            .unwrap();
+        assert_eq!(bases.len(), 5);
+        assert_eq!(huges, vec![p2m(40)]);
+        // Every address in the gigabyte now translates via the PUD leaf.
+        let t = pt.translate(subregions[100].base()).unwrap();
+        assert_eq!(t.size(), PageSize::Huge1G);
+        // Re-promotion fails (already 1GB).
+        assert!(pt
+            .promote_1g(giant, Pfn::new(10, PageSize::Huge1G))
+            .is_err());
+        // Empty region fails.
+        assert!(pt
+            .promote_1g(Vpn::new(7, PageSize::Huge1G), Pfn::new(1, PageSize::Huge1G))
+            .is_err());
+    }
+
+    #[test]
+    fn unmap_all_sizes() {
+        let mut pt = PageTable::new();
+        pt.map(v4k(5), p4k(50)).unwrap();
+        assert_eq!(pt.unmap(v4k(5)).unwrap(), p4k(50));
+        assert!(pt.translate(v4k(5).base()).is_none());
+        assert!(pt.unmap(v4k(5)).is_err());
+
+        pt.map(v2m(8), p2m(3)).unwrap();
+        assert_eq!(pt.unmap(v2m(8)).unwrap(), p2m(3));
+
+        let g = Vpn::new(1, PageSize::Huge1G);
+        pt.map(g, Pfn::new(1, PageSize::Huge1G)).unwrap();
+        assert_eq!(pt.unmap(g).unwrap(), Pfn::new(1, PageSize::Huge1G));
+    }
+
+    #[test]
+    fn unmap_wrong_size_keeps_mapping() {
+        let mut pt = PageTable::new();
+        pt.map(v2m(8), p2m(3)).unwrap();
+        // Unmapping at 4K size fails and must not destroy the 2MB leaf.
+        let inner = v2m(8).split(PageSize::Base4K).next().unwrap();
+        assert!(pt.unmap(inner).is_err());
+        assert!(pt.is_huge_mapped(v2m(8)));
+    }
+}

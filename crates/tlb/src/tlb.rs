@@ -1,0 +1,377 @@
+//! A set-associative TLB with LRU replacement.
+
+use crate::table::Translation;
+use hpage_types::{PageSize, TlbLevelConfig, VirtAddr, Vpn};
+
+/// Hit/miss counters for one TLB structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found a matching entry.
+    pub hits: u64,
+    /// Lookups that found no matching entry.
+    pub misses: u64,
+    /// Entries displaced by fills into full sets.
+    pub evictions: u64,
+    /// Entries removed by invalidations (shootdowns).
+    pub invalidations: u64,
+}
+
+impl TlbStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when there were no lookups.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    translation: Translation,
+    last_used: u64,
+}
+
+/// One set-associative translation lookaside buffer.
+///
+/// A TLB may hold entries of several page sizes (the unified L2 on Intel
+/// parts holds 4 KiB and 2 MiB translations); the set index is derived
+/// from the VPN at each entry's own page size and the match requires both
+/// index and size to agree.
+#[derive(Debug, Clone)]
+pub struct SetAssocTlb {
+    sets: Vec<Vec<Slot>>,
+    ways: u32,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl SetAssocTlb {
+    /// Creates a TLB with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see
+    /// [`TlbLevelConfig::validate`]).
+    pub fn new(config: TlbLevelConfig) -> Self {
+        config.validate().expect("invalid TLB geometry");
+        SetAssocTlb {
+            sets: vec![Vec::with_capacity(config.ways as usize); config.sets() as usize],
+            ways: config.ways,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Total entries currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    fn set_index(&self, vpn: Vpn) -> usize {
+        (vpn.index() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up the translation for `vpn` (VPN at a specific page size).
+    /// Updates recency on a hit and the hit/miss statistics always.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Translation> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.translation.vpn == vpn) {
+            slot.last_used = clock;
+            self.stats.hits += 1;
+            Some(slot.translation)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Checks whether `vpn` is resident without updating recency or
+    /// statistics.
+    pub fn probe(&self, vpn: Vpn) -> Option<Translation> {
+        let idx = self.set_index(vpn);
+        self.sets[idx]
+            .iter()
+            .find(|s| s.translation.vpn == vpn)
+            .map(|s| s.translation)
+    }
+
+    /// Inserts a translation, evicting the LRU slot of its set when full.
+    /// Returns the evicted translation, if any. Re-inserting a resident
+    /// VPN refreshes its payload and recency without eviction.
+    pub fn insert(&mut self, translation: Translation) -> Option<Translation> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways as usize;
+        let idx = self.set_index(translation.vpn);
+        let set = &mut self.sets[idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.translation.vpn == translation.vpn) {
+            slot.translation = translation;
+            slot.last_used = clock;
+            return None;
+        }
+        let evicted = if set.len() == ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("set is full, so nonempty");
+            let victim = set.swap_remove(lru);
+            self.stats.evictions += 1;
+            Some(victim.translation)
+        } else {
+            None
+        };
+        set.push(Slot {
+            translation,
+            last_used: clock,
+        });
+        evicted
+    }
+
+    /// Removes the entry for exactly `vpn`, returning whether it existed.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|s| s.translation.vpn == vpn) {
+            set.swap_remove(pos);
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every entry whose page overlaps the huge region `region`
+    /// (a TLB shootdown for a promotion/demotion invalidates stale
+    /// translations of all sizes within the region). Returns the number
+    /// removed.
+    pub fn invalidate_region(&mut self, region: Vpn) -> usize {
+        let start = region.base().raw();
+        let end = start + region.size().bytes();
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|s| {
+                let base = s.translation.vpn.base().raw();
+                let span = s.translation.size().bytes();
+                // Keep entries that do not overlap [start, end).
+                base + span <= start || base >= end
+            });
+            removed += before - set.len();
+        }
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
+    /// Empties the TLB (full flush).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Resolves a raw virtual address by probing at each page size this
+    /// TLB could hold, smallest first. Convenience for unified TLBs.
+    pub fn lookup_addr(&mut self, va: VirtAddr, sizes: &[PageSize]) -> Option<Translation> {
+        for &size in sizes {
+            if self.probe(va.vpn(size)).is_some() {
+                return self.lookup(va.vpn(size));
+            }
+        }
+        // Count a single miss for the failed lookup.
+        self.clock += 1;
+        self.stats.misses += 1;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_types::Pfn;
+
+    fn tr(i: u64) -> Translation {
+        Translation {
+            vpn: Vpn::new(i, PageSize::Base4K),
+            pfn: Pfn::new(i + 1000, PageSize::Base4K),
+        }
+    }
+
+    fn tlb(entries: u32, ways: u32) -> SetAssocTlb {
+        SetAssocTlb::new(TlbLevelConfig::new(entries, ways))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = tlb(8, 4);
+        t.insert(tr(3));
+        assert_eq!(t.lookup(tr(3).vpn), Some(tr(3)));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut t = tlb(8, 4);
+        assert!(t.lookup(Vpn::new(1, PageSize::Base4K)).is_none());
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2 sets, 2 ways: indices 0,2,4 map to set 0.
+        let mut t = tlb(4, 2);
+        t.insert(tr(0));
+        t.insert(tr(2));
+        t.lookup(tr(0).vpn); // make 0 the MRU
+        let evicted = t.insert(tr(4));
+        assert_eq!(evicted, Some(tr(2)));
+        assert!(t.probe(tr(0).vpn).is_some());
+        assert!(t.probe(tr(4).vpn).is_some());
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut t = tlb(4, 2);
+        t.insert(tr(0));
+        assert_eq!(t.insert(tr(0)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn different_sizes_do_not_alias() {
+        let mut t = tlb(8, 8);
+        let a = Translation {
+            vpn: Vpn::new(1, PageSize::Base4K),
+            pfn: Pfn::new(1, PageSize::Base4K),
+        };
+        let b = Translation {
+            vpn: Vpn::new(1, PageSize::Huge2M),
+            pfn: Pfn::new(1, PageSize::Huge2M),
+        };
+        t.insert(a);
+        t.insert(b);
+        assert_eq!(t.lookup(a.vpn), Some(a));
+        assert_eq!(t.lookup(b.vpn), Some(b));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_exact() {
+        let mut t = tlb(8, 4);
+        t.insert(tr(3));
+        assert!(t.invalidate(tr(3).vpn));
+        assert!(!t.invalidate(tr(3).vpn));
+        assert!(t.probe(tr(3).vpn).is_none());
+    }
+
+    #[test]
+    fn invalidate_region_removes_contained_base_pages() {
+        let mut t = tlb(1024, 8);
+        let region = Vpn::new(1, PageSize::Huge2M); // covers 4K pages 512..1024
+        t.insert(tr(512));
+        t.insert(tr(1023));
+        t.insert(tr(1024)); // outside
+        let removed = t.invalidate_region(region);
+        assert_eq!(removed, 2);
+        assert!(t.probe(tr(1024).vpn).is_some());
+    }
+
+    #[test]
+    fn invalidate_region_removes_huge_entry_itself() {
+        let mut t = tlb(8, 8);
+        let huge = Translation {
+            vpn: Vpn::new(1, PageSize::Huge2M),
+            pfn: Pfn::new(1, PageSize::Huge2M),
+        };
+        t.insert(huge);
+        assert_eq!(t.invalidate_region(huge.vpn), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn invalidate_region_removes_overlapping_1g_entry() {
+        let mut t = tlb(8, 8);
+        let giant = Translation {
+            vpn: Vpn::new(0, PageSize::Huge1G),
+            pfn: Pfn::new(0, PageSize::Huge1G),
+        };
+        t.insert(giant);
+        // Shooting down a 2MB region inside the 1GB page must remove it.
+        assert_eq!(t.invalidate_region(Vpn::new(5, PageSize::Huge2M)), 1);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = tlb(8, 4);
+        t.insert(tr(1));
+        t.insert(tr(2));
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lookup_addr_probes_sizes() {
+        let mut t = tlb(8, 8);
+        let huge = Translation {
+            vpn: Vpn::new(3, PageSize::Huge2M),
+            pfn: Pfn::new(3, PageSize::Huge2M),
+        };
+        t.insert(huge);
+        let va = huge.vpn.base().offset(0x1234);
+        let sizes = [PageSize::Base4K, PageSize::Huge2M];
+        assert_eq!(t.lookup_addr(va, &sizes), Some(huge));
+        // A miss at all sizes counts one miss.
+        let misses_before = t.stats().misses;
+        assert!(t.lookup_addr(VirtAddr::new(0xdead_beef_000), &sizes).is_none());
+        assert_eq!(t.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut t = tlb(16, 4);
+        for i in 0..1000 {
+            t.insert(tr(i));
+            assert!(t.len() <= 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TLB geometry")]
+    fn invalid_geometry_panics() {
+        let _ = tlb(7, 2);
+    }
+}

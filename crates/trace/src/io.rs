@@ -1,0 +1,288 @@
+//! Compact binary trace files.
+//!
+//! The paper's two-step methodology moves data between the offline
+//! simulation and the replay run through trace files (§4: "the PCC
+//! candidate addresses as well as the time when they are promoted are
+//! recorded in a trace file"). This module provides the equivalent for
+//! raw access traces: a delta/varint-encoded binary format that makes
+//! captured workload traces small enough to store and share, plus a
+//! streaming reader that plugs into anything accepting an access
+//! iterator.
+//!
+//! Format (`HPT1` magic, little-endian varints):
+//!
+//! ```text
+//! "HPT1"
+//! repeat {
+//!     header byte: bit0 = is_write, bits1.. reserved 0
+//!     zigzag varint: delta of the address from the previous record
+//! }
+//! ```
+
+use hpage_types::{AccessKind, MemoryAccess, VirtAddr};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"HPT1";
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> io::Result<Option<u64>> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && first => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        first = false;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        v |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(v));
+        }
+        shift += 7;
+    }
+}
+
+/// Streams accesses into `writer` in `HPT1` format.
+///
+/// A mut reference can be passed as the writer (see the standard
+/// library's blanket `Write for &mut W` impl).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    writer: W,
+    prev_addr: u64,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the file header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut writer: W) -> io::Result<Self> {
+        writer.write_all(MAGIC)?;
+        Ok(TraceWriter {
+            writer,
+            prev_addr: 0,
+            records: 0,
+        })
+    }
+
+    /// Appends one access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, access: &MemoryAccess) -> io::Result<()> {
+        let header = u8::from(access.kind == AccessKind::Write);
+        self.writer.write_all(&[header])?;
+        let delta = access.addr.raw() as i64 - self.prev_addr as i64;
+        write_varint(&mut self.writer, zigzag(delta))?;
+        self.prev_addr = access.addr.raw();
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Appends every access of an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_all<I: IntoIterator<Item = MemoryAccess>>(&mut self, trace: I) -> io::Result<()> {
+        for a in trace {
+            self.write(&a)?;
+        }
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+/// Streaming reader over an `HPT1` trace. Implements
+/// `Iterator<Item = io::Result<MemoryAccess>>`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    reader: R,
+    prev_addr: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the magic does not match, or any I/O
+    /// error from the reader.
+    pub fn new(mut reader: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an HPT1 trace file",
+            ));
+        }
+        Ok(TraceReader {
+            reader,
+            prev_addr: 0,
+        })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<MemoryAccess>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut header = [0u8; 1];
+        match self.reader.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => return Some(Err(e)),
+        }
+        let delta = match read_varint(&mut self.reader) {
+            Ok(Some(v)) => unzigzag(v),
+            Ok(None) => {
+                return Some(Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated record",
+                )))
+            }
+            Err(e) => return Some(Err(e)),
+        };
+        let addr = (self.prev_addr as i64).wrapping_add(delta) as u64;
+        self.prev_addr = addr;
+        let access = if header[0] & 1 == 1 {
+            MemoryAccess::write(VirtAddr::new(addr))
+        } else {
+            MemoryAccess::read(VirtAddr::new(addr))
+        };
+        Some(Ok(access))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthScale, SyntheticWorkload};
+    use crate::workload::Workload;
+
+    fn roundtrip(accesses: &[MemoryAccess]) -> Vec<MemoryAccess> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.write_all(accesses.iter().copied()).unwrap();
+        assert_eq!(w.records(), accesses.len() as u64);
+        w.finish().unwrap();
+        TraceReader::new(buf.as_slice())
+            .unwrap()
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn mixed_roundtrip() {
+        let accesses = vec![
+            MemoryAccess::read(VirtAddr::new(0x1000)),
+            MemoryAccess::write(VirtAddr::new(0x0FFF)), // negative delta
+            MemoryAccess::read(VirtAddr::new(u64::MAX / 2)),
+            MemoryAccess::write(VirtAddr::new(0)),
+        ];
+        assert_eq!(roundtrip(&accesses), accesses);
+    }
+
+    #[test]
+    fn workload_trace_roundtrip_and_compression() {
+        let w: SyntheticWorkload = crate::synth::dedup(SynthScale::TEST, 3);
+        let accesses: Vec<MemoryAccess> = w.trace().take(50_000).collect();
+        let mut buf = Vec::new();
+        let mut tw = TraceWriter::new(&mut buf).unwrap();
+        tw.write_all(accesses.iter().copied()).unwrap();
+        tw.finish().unwrap();
+        // Sequential-heavy traces compress far below 9 bytes/record.
+        assert!(
+            buf.len() < accesses.len() * 4,
+            "trace file {} bytes for {} records",
+            buf.len(),
+            accesses.len()
+        );
+        let back: Vec<MemoryAccess> = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .collect::<io::Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(back, accesses);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceReader::new(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.write(&MemoryAccess::read(VirtAddr::new(0xABCDEF))).unwrap();
+        w.finish().unwrap();
+        buf.pop(); // chop the varint's last byte
+        let items: Vec<io::Result<MemoryAccess>> =
+            TraceReader::new(buf.as_slice()).unwrap().collect();
+        assert!(items.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), Some(v));
+        }
+        assert_eq!(unzigzag(zigzag(-5)), -5);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+}

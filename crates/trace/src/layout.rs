@@ -1,0 +1,184 @@
+//! Virtual address-space layout for workload data structures.
+//!
+//! Each workload lays its arrays out in a deterministic virtual address
+//! space (the paper disables ASLR via `randomize_va_space=0` for the same
+//! reason: promoted regions must be identifiable across runs). Arrays are
+//! 2 MiB-aligned and separated by an unmapped guard gap so that distinct
+//! data structures never share a huge-page region.
+
+use hpage_types::{PageSize, Region, VirtAddr};
+
+/// Start of the simulated heap. Chosen high enough to be far from a null
+/// page yet small enough that 40-bit PCC tags (2 MiB prefixes of a
+/// sub-61-bit VA space) never truncate.
+pub const HEAP_BASE: u64 = 0x1000_0000_0000;
+
+/// An array of fixed-size elements placed at a known virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayLayout {
+    base: VirtAddr,
+    element_bytes: u64,
+    len: u64,
+}
+
+impl ArrayLayout {
+    /// Creates an array layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element_bytes` is zero.
+    pub fn new(base: VirtAddr, element_bytes: u64, len: u64) -> Self {
+        assert!(element_bytes > 0, "elements must have nonzero size");
+        ArrayLayout {
+            base,
+            element_bytes,
+            len,
+        }
+    }
+
+    /// Base virtual address of element 0.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of one element in bytes.
+    pub fn element_bytes(&self) -> u64 {
+        self.element_bytes
+    }
+
+    /// Total size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.element_bytes * self.len
+    }
+
+    /// The virtual address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `i >= len`.
+    pub fn addr_of(&self, i: u64) -> VirtAddr {
+        debug_assert!(i < self.len, "array index {i} out of bounds {}", self.len);
+        self.base.offset(i * self.element_bytes)
+    }
+
+    /// The region spanned by the whole array.
+    pub fn region(&self) -> Region {
+        Region::new(self.base, self.byte_len())
+    }
+}
+
+/// Sequentially assigns 2 MiB-aligned base addresses to arrays, leaving an
+/// unmapped 2 MiB guard region between consecutive arrays.
+#[derive(Debug, Clone)]
+pub struct AddressSpaceBuilder {
+    cursor: u64,
+    regions: Vec<Region>,
+}
+
+impl AddressSpaceBuilder {
+    /// Starts laying out at [`HEAP_BASE`].
+    pub fn new() -> Self {
+        AddressSpaceBuilder {
+            cursor: HEAP_BASE,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Reserves an array of `len` elements of `element_bytes` each.
+    pub fn array(&mut self, element_bytes: u64, len: u64) -> ArrayLayout {
+        let base = VirtAddr::new(self.cursor).align_up(PageSize::Huge2M);
+        let layout = ArrayLayout::new(base, element_bytes, len);
+        let end = base.raw() + layout.byte_len().max(1);
+        // Advance past the array plus one guard huge page.
+        self.cursor = VirtAddr::new(end)
+            .align_up(PageSize::Huge2M)
+            .raw()
+            + PageSize::Huge2M.bytes();
+        self.regions.push(layout.region());
+        layout
+    }
+
+    /// All regions reserved so far, in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total bytes of data reserved (excluding guard gaps) — the
+    /// workload's memory footprint.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.len()).sum()
+    }
+}
+
+impl Default for AddressSpaceBuilder {
+    fn default() -> Self {
+        AddressSpaceBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_are_2m_aligned_and_disjoint() {
+        let mut b = AddressSpaceBuilder::new();
+        let a1 = b.array(8, 1000);
+        let a2 = b.array(4, 5000);
+        assert!(a1.base().is_aligned(PageSize::Huge2M));
+        assert!(a2.base().is_aligned(PageSize::Huge2M));
+        // Guard gap: no shared 2MB region.
+        let last_a1 = a1.region().end().raw() - 1;
+        assert!(
+            VirtAddr::new(last_a1).vpn(PageSize::Huge2M)
+                < a2.base().vpn(PageSize::Huge2M)
+        );
+        assert_eq!(b.footprint_bytes(), 8 * 1000 + 4 * 5000);
+        assert_eq!(b.regions().len(), 2);
+    }
+
+    #[test]
+    fn addressing_is_linear() {
+        let a = ArrayLayout::new(VirtAddr::new(0x20_0000), 8, 10);
+        assert_eq!(a.addr_of(0).raw(), 0x20_0000);
+        assert_eq!(a.addr_of(3).raw(), 0x20_0000 + 24);
+        assert_eq!(a.byte_len(), 80);
+        assert_eq!(a.region().len(), 80);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_array_allowed() {
+        let mut b = AddressSpaceBuilder::new();
+        let a = b.array(8, 0);
+        assert!(a.is_empty());
+        assert_eq!(a.byte_len(), 0);
+        // A subsequent array still gets a distinct region.
+        let a2 = b.array(8, 10);
+        assert_ne!(a.base(), a2.base());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero size")]
+    fn zero_element_size_rejected() {
+        let _ = ArrayLayout::new(VirtAddr::new(0), 0, 10);
+    }
+
+    #[test]
+    fn heap_base_fits_40bit_2m_prefix() {
+        // 2MB prefix of the highest address we might lay out must fit in
+        // the PCC's 40-bit tag.
+        let prefix = VirtAddr::new(HEAP_BASE + (1 << 40)).vpn(PageSize::Huge2M);
+        assert!(prefix.index() < (1u64 << 40));
+    }
+}

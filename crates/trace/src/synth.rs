@@ -1,0 +1,658 @@
+//! Synthetic stand-ins for the PARSEC and SPEC CPU2017 workloads the
+//! paper evaluates (canneal, dedup, mcf, omnetpp, xalancbmk).
+//!
+//! Each preset composes primitive access patterns (sequential streams,
+//! uniform-random scatters, Zipf-skewed working sets, pointer chases)
+//! over a laid-out address space, parameterised to reproduce the TLB
+//! behaviour class the paper reports for the original application
+//! (see DESIGN.md's substitution table).
+
+use crate::layout::{AddressSpaceBuilder, ArrayLayout};
+use crate::workload::Workload;
+use hpage_types::{MemoryAccess, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A primitive access pattern over one array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Walk the array front-to-back with `stride` elements between
+    /// accesses, `count` accesses total (wraps around).
+    Sequential {
+        /// Elements skipped between consecutive accesses.
+        stride: u64,
+        /// Total accesses emitted.
+        count: u64,
+    },
+    /// `count` uniformly random element accesses.
+    UniformRandom {
+        /// Total accesses emitted.
+        count: u64,
+    },
+    /// `count` accesses with Zipf-distributed element popularity;
+    /// `exponent` ≥ 0 controls the skew (0 = uniform).
+    Zipf {
+        /// Total accesses emitted.
+        count: u64,
+        /// Zipf exponent (θ); typical workloads: 0.6–1.1.
+        exponent: f64,
+    },
+    /// A pointer chase: follow a fixed pseudo-random permutation through
+    /// the array for `count` hops.
+    PointerChase {
+        /// Total accesses emitted.
+        count: u64,
+    },
+}
+
+/// One phase of a synthetic workload: a pattern bound to an array index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Phase {
+    array: usize,
+    pattern: Pattern,
+    write_ratio_pct: u8,
+}
+
+/// A synthetic workload assembled from arrays and phases.
+///
+/// Phases are interleaved access-by-access in a round-robin over their
+/// remaining budgets, approximating the instruction-level mixing of real
+/// applications (a hash lookup between stream reads, etc.).
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    name: String,
+    seed: u64,
+    arrays: Vec<ArrayLayout>,
+    phases: Vec<Phase>,
+    regions: Vec<Region>,
+}
+
+/// Builder for [`SyntheticWorkload`].
+#[derive(Debug)]
+pub struct SyntheticBuilder {
+    name: String,
+    seed: u64,
+    asb: AddressSpaceBuilder,
+    arrays: Vec<ArrayLayout>,
+    phases: Vec<Phase>,
+}
+
+impl SyntheticBuilder {
+    /// Starts a synthetic workload named `name` with RNG `seed`.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        SyntheticBuilder {
+            name: name.into(),
+            seed,
+            asb: AddressSpaceBuilder::new(),
+            arrays: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Adds an array of `len` elements of `element_bytes`; returns its
+    /// index for use in [`phase`](Self::phase).
+    pub fn array(&mut self, element_bytes: u64, len: u64) -> usize {
+        let a = self.asb.array(element_bytes, len);
+        self.arrays.push(a);
+        self.arrays.len() - 1
+    }
+
+    /// Adds an access phase over `array` with `write_ratio_pct` percent of
+    /// accesses being writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` is out of range or `write_ratio_pct > 100`.
+    pub fn phase(&mut self, array: usize, pattern: Pattern, write_ratio_pct: u8) -> &mut Self {
+        assert!(array < self.arrays.len(), "array index out of range");
+        assert!(write_ratio_pct <= 100, "write ratio is a percentage");
+        self.phases.push(Phase {
+            array,
+            pattern,
+            write_ratio_pct,
+        });
+        self
+    }
+
+    /// Finalises the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phases were added.
+    pub fn build(self) -> SyntheticWorkload {
+        assert!(!self.phases.is_empty(), "a workload needs at least one phase");
+        SyntheticWorkload {
+            name: self.name,
+            seed: self.seed,
+            regions: self.asb.regions().to_vec(),
+            arrays: self.arrays,
+            phases: self.phases,
+        }
+    }
+}
+
+impl SyntheticWorkload {
+    /// The RNG seed (traces are deterministic in it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn regions(&self) -> Vec<Region> {
+        self.regions.clone()
+    }
+
+    fn thread_trace(
+        &self,
+        thread: u32,
+        threads: u32,
+    ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+        assert!(thread < threads, "bad thread index");
+        // Threads share the pattern but draw from distinct RNG streams.
+        Box::new(SynthTrace::new(self, self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(thread) + 1))))
+    }
+}
+
+struct PhaseState {
+    array: ArrayLayout,
+    pattern: Pattern,
+    write_ratio_pct: u8,
+    emitted: u64,
+    seq_pos: u64,
+    chase_pos: u64,
+}
+
+impl PhaseState {
+    fn budget(&self) -> u64 {
+        match self.pattern {
+            Pattern::Sequential { count, .. }
+            | Pattern::UniformRandom { count }
+            | Pattern::Zipf { count, .. }
+            | Pattern::PointerChase { count } => count,
+        }
+    }
+}
+
+struct SynthTrace<'w> {
+    phases: Vec<PhaseState>,
+    rng: StdRng,
+    _marker: core::marker::PhantomData<&'w ()>,
+}
+
+impl<'w> SynthTrace<'w> {
+    fn new(w: &'w SyntheticWorkload, seed: u64) -> Self {
+        let phases = w
+            .phases
+            .iter()
+            .map(|p| PhaseState {
+                array: w.arrays[p.array],
+                pattern: p.pattern,
+                write_ratio_pct: p.write_ratio_pct,
+                emitted: 0,
+                seq_pos: 0,
+                chase_pos: 0,
+            })
+            .collect();
+        SynthTrace {
+            phases,
+            rng: StdRng::seed_from_u64(seed),
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Draws a Zipf-distributed rank in `[0, n)` via inverse-CDF
+    /// approximation (harmonic weights `1/(k+1)^theta`).
+    fn zipf_index(rng: &mut StdRng, n: u64, theta: f64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        // Approximate inverse CDF of a bounded Pareto; exact enough for
+        // workload shaping. rank ~ n * u^(1/(1-theta)) for theta < 1;
+        // for theta >= 1 fall back to a rejection-free heavy-tail form.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let idx = if (theta - 1.0).abs() < 1e-9 {
+            // theta == 1: rank ~ exp(u * ln n)
+            (n as f64).powf(u) - 1.0
+        } else {
+            let inv = 1.0 / (1.0 - theta);
+            if theta < 1.0 {
+                (u * (n as f64).powf(1.0 - theta)).powf(inv) - 1.0
+            } else {
+                // theta > 1: heavier head; invert the tail CDF.
+                (u.powf(inv)).mul_add(n as f64, 0.0).min(n as f64 - 1.0)
+            }
+        };
+        (idx.max(0.0) as u64).min(n - 1)
+    }
+}
+
+impl Iterator for SynthTrace<'_> {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        // Weighted interleave: serve the phase that is proportionally the
+        // furthest behind, so phases deplete together and each phase's
+        // share of the stream matches its access budget.
+        let pick = self
+            .phases
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.emitted < p.budget() && !p.array.is_empty())
+            .max_by(|(_, a), (_, b)| {
+                let fa = (a.budget() - a.emitted) as f64 / a.budget() as f64;
+                let fb = (b.budget() - b.emitted) as f64 / b.budget() as f64;
+                fa.partial_cmp(&fb).expect("budgets are finite")
+            })
+            .map(|(i, _)| i);
+        {
+            let Some(i) = pick else { return None };
+            let p = &mut self.phases[i];
+            p.emitted += 1;
+            let n = p.array.len();
+            let idx = match p.pattern {
+                Pattern::Sequential { stride, .. } => {
+                    let idx = p.seq_pos % n;
+                    p.seq_pos = p.seq_pos.wrapping_add(stride.max(1));
+                    idx
+                }
+                Pattern::UniformRandom { .. } => self.rng.random_range(0..n),
+                Pattern::Zipf { exponent, .. } => Self::zipf_index(&mut self.rng, n, exponent),
+                Pattern::PointerChase { .. } => {
+                    // Multiplicative-congruential permutation walk.
+                    p.chase_pos = p
+                        .chase_pos
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    p.chase_pos % n
+                }
+            };
+            let addr = self.phases[i].array.addr_of(idx);
+            let is_write =
+                self.rng.random_range(0..100u8) < self.phases[i].write_ratio_pct;
+            Some(if is_write {
+                MemoryAccess::write(addr)
+            } else {
+                MemoryAccess::read(addr)
+            })
+        }
+    }
+}
+
+/// Scale knob for the synthetic presets: total accesses and footprints
+/// multiply with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthScale {
+    /// Footprint multiplier ×1 = test scale (tens of MiB).
+    pub footprint_mul: u64,
+    /// Access-count multiplier.
+    pub accesses_mul: u64,
+}
+
+impl SynthScale {
+    /// Tiny scale for unit tests.
+    pub const TEST: SynthScale = SynthScale {
+        footprint_mul: 1,
+        accesses_mul: 1,
+    };
+
+    /// Default benchmark scale.
+    pub const BENCH: SynthScale = SynthScale {
+        footprint_mul: 8,
+        accesses_mul: 8,
+    };
+}
+
+const MB: u64 = 1 << 20;
+
+/// `canneal` (PARSEC): simulated-annealing netlist swaps — uniformly
+/// random small-element reads over a large netlist, highly TLB-sensitive
+/// with a near-linear utility curve.
+pub fn canneal(scale: SynthScale, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("canneal", seed);
+    let elements = 96 * MB * scale.footprint_mul / 32;
+    let netlist = b.array(32, elements);
+    let locs = b.array(16, elements / 2);
+    b.phase(
+        netlist,
+        Pattern::UniformRandom {
+            count: 6_000_000 * scale.accesses_mul,
+        },
+        10,
+    );
+    b.phase(
+        locs,
+        Pattern::UniformRandom {
+            count: 2_000_000 * scale.accesses_mul,
+        },
+        30,
+    );
+    b.build()
+}
+
+/// `omnetpp` (SPEC): discrete-event network simulation — Zipf-skewed
+/// module/event accesses over a medium heap plus a sequential event log.
+pub fn omnetpp(scale: SynthScale, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("omnetpp", seed);
+    let heap = b.array(64, 48 * MB * scale.footprint_mul / 64);
+    let log = b.array(16, 8 * MB * scale.footprint_mul / 16);
+    b.phase(
+        heap,
+        Pattern::Zipf {
+            count: 6_000_000 * scale.accesses_mul,
+            exponent: 0.7,
+        },
+        25,
+    );
+    b.phase(
+        log,
+        Pattern::Sequential {
+            stride: 1,
+            count: 2_000_000 * scale.accesses_mul,
+        },
+        50,
+    );
+    b.build()
+}
+
+/// `xalancbmk` (SPEC): XSLT processing — pointer chasing through a DOM
+/// arena with Zipf-popular templates.
+pub fn xalancbmk(scale: SynthScale, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("xalancbmk", seed);
+    let dom = b.array(48, 64 * MB * scale.footprint_mul / 48);
+    let templates = b.array(64, 4 * MB * scale.footprint_mul / 64);
+    b.phase(
+        dom,
+        Pattern::PointerChase {
+            count: 5_000_000 * scale.accesses_mul,
+        },
+        5,
+    );
+    b.phase(
+        templates,
+        Pattern::Zipf {
+            count: 3_000_000 * scale.accesses_mul,
+            exponent: 1.0,
+        },
+        0,
+    );
+    b.build()
+}
+
+/// `dedup` (PARSEC): streaming compression — dominated by sequential
+/// chunk reads plus lookups in a hash table small enough to stay
+/// TLB-resident. Nearly TLB-insensitive (the paper's flat curve).
+pub fn dedup(scale: SynthScale, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("dedup", seed);
+    let stream = b.array(64, 96 * MB * scale.footprint_mul / 64);
+    // The hash table stays a sliver of the footprint so it remains
+    // TLB-resident (as the real dedup's hot table effectively is).
+    let table = b.array(32, 32 * 1024 * scale.footprint_mul / 32);
+    b.phase(
+        stream,
+        Pattern::Sequential {
+            stride: 1,
+            count: 7_000_000 * scale.accesses_mul,
+        },
+        20,
+    );
+    b.phase(
+        table,
+        Pattern::UniformRandom {
+            count: 1_000_000 * scale.accesses_mul,
+        },
+        40,
+    );
+    b.build()
+}
+
+/// `mcf` (SPEC): network-simplex — scattered arc accesses but with strong
+/// short-range locality after the benchmark's cache-oriented layout;
+/// low TLB sensitivity in the paper.
+pub fn mcf(scale: SynthScale, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("mcf", seed);
+    let arcs = b.array(64, 80 * MB * scale.footprint_mul / 64);
+    let nodes = b.array(64, 64 * 1024 * scale.footprint_mul / 64);
+    // Mostly strided sweeps (pricing loops) with a modest random component.
+    b.phase(
+        arcs,
+        Pattern::Sequential {
+            stride: 3,
+            count: 6_000_000 * scale.accesses_mul,
+        },
+        15,
+    );
+    b.phase(
+        nodes,
+        Pattern::Zipf {
+            count: 2_000_000 * scale.accesses_mul,
+            exponent: 0.9,
+        },
+        15,
+    );
+    b.build()
+}
+
+/// **Extension** (not in the paper's app set): GUPS / RandomAccess — the
+/// HPC kernel with pure uniform random 8-byte updates over a giant
+/// table. The most TLB-hostile pattern possible; every region is an
+/// equally good promotion candidate, so its utility curve is linear.
+pub fn gups(scale: SynthScale, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("gups", seed);
+    let table = b.array(8, 128 * MB * scale.footprint_mul / 8);
+    b.phase(
+        table,
+        Pattern::UniformRandom {
+            count: 8_000_000 * scale.accesses_mul,
+        },
+        50,
+    );
+    b.build()
+}
+
+/// **Extension**: a database-style hash join — a sequential probe-side
+/// scan against Zipf-skewed lookups into a build-side hash table that
+/// exceeds TLB reach. The class of workload whose THP pain the paper's
+/// introduction catalogues (databases often disable THP because greedy
+/// allocation bloats them; selective promotion is the fix).
+pub fn hashjoin(scale: SynthScale, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("hashjoin", seed);
+    let probe = b.array(32, 64 * MB * scale.footprint_mul / 32);
+    let build = b.array(64, 48 * MB * scale.footprint_mul / 64);
+    b.phase(
+        probe,
+        Pattern::Sequential {
+            stride: 1,
+            count: 3_000_000 * scale.accesses_mul,
+        },
+        0,
+    );
+    b.phase(
+        build,
+        Pattern::Zipf {
+            count: 3_000_000 * scale.accesses_mul,
+            exponent: 0.6,
+        },
+        5,
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_types::AccessKind;
+
+    fn assert_in_regions(w: &SyntheticWorkload, n: usize) {
+        let regions = w.regions();
+        for acc in w.trace().take(n) {
+            assert!(
+                regions.iter().any(|r| r.contains(acc.addr)),
+                "access {} outside layout",
+                acc.addr
+            );
+        }
+    }
+
+    #[test]
+    fn presets_construct_and_stay_in_bounds() {
+        for w in [
+            canneal(SynthScale::TEST, 1),
+            omnetpp(SynthScale::TEST, 1),
+            xalancbmk(SynthScale::TEST, 1),
+            dedup(SynthScale::TEST, 1),
+            mcf(SynthScale::TEST, 1),
+            gups(SynthScale::TEST, 1),
+            hashjoin(SynthScale::TEST, 1),
+        ] {
+            assert!(w.footprint_bytes() > 0);
+            assert_in_regions(&w, 20_000);
+        }
+    }
+
+    #[test]
+    fn trace_length_matches_budgets() {
+        let mut b = SyntheticBuilder::new("t", 0);
+        let a = b.array(8, 100);
+        b.phase(a, Pattern::Sequential { stride: 1, count: 50 }, 0);
+        b.phase(a, Pattern::UniformRandom { count: 30 }, 0);
+        let w = b.build();
+        assert_eq!(w.trace().count(), 80);
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let w1 = canneal(SynthScale::TEST, 7);
+        let w2 = canneal(SynthScale::TEST, 7);
+        let w3 = canneal(SynthScale::TEST, 8);
+        let t1: Vec<_> = w1.trace().take(1000).collect();
+        let t2: Vec<_> = w2.trace().take(1000).collect();
+        let t3: Vec<_> = w3.trace().take(1000).collect();
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn threads_get_distinct_streams() {
+        let w = canneal(SynthScale::TEST, 7);
+        let t0: Vec<_> = w.thread_trace(0, 2).take(500).collect();
+        let t1: Vec<_> = w.thread_trace(1, 2).take(500).collect();
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn write_ratio_honored_roughly() {
+        let mut b = SyntheticBuilder::new("t", 3);
+        let a = b.array(8, 1000);
+        b.phase(a, Pattern::UniformRandom { count: 10_000 }, 50);
+        let w = b.build();
+        let writes = w
+            .trace()
+            .filter(|a| a.kind == AccessKind::Write)
+            .count();
+        assert!((4000..6000).contains(&writes), "writes = {writes}");
+    }
+
+    #[test]
+    fn zipf_skews_head() {
+        let mut b = SyntheticBuilder::new("t", 3);
+        let a = b.array(8, 10_000);
+        b.phase(
+            a,
+            Pattern::Zipf {
+                count: 50_000,
+                exponent: 0.9,
+            },
+            0,
+        );
+        let w = b.build();
+        let base = w.regions()[0].start().raw();
+        let head = w
+            .trace()
+            .filter(|acc| (acc.addr.raw() - base) / 8 < 1000)
+            .count();
+        // Top 10% of elements should receive far more than 10% of accesses.
+        assert!(head > 15_000, "head accesses = {head}");
+    }
+
+    #[test]
+    fn sequential_walks_in_order() {
+        let mut b = SyntheticBuilder::new("t", 0);
+        let a = b.array(8, 16);
+        b.phase(a, Pattern::Sequential { stride: 1, count: 16 }, 0);
+        let w = b.build();
+        let addrs: Vec<u64> = w.trace().map(|a| a.addr.raw()).collect();
+        assert!(addrs.windows(2).all(|p| p[1] == p[0] + 8));
+    }
+
+    #[test]
+    fn pointer_chase_covers_array() {
+        let mut b = SyntheticBuilder::new("t", 0);
+        let a = b.array(8, 64);
+        b.phase(a, Pattern::PointerChase { count: 1000 }, 0);
+        let w = b.build();
+        let distinct: std::collections::HashSet<u64> =
+            w.trace().map(|a| a.addr.raw()).collect();
+        assert!(distinct.len() > 30, "chase visited {}", distinct.len());
+    }
+
+    #[test]
+    fn dedup_hash_table_is_tiny() {
+        let w = dedup(SynthScale::TEST, 1);
+        // Second region (the hash table) must be a small fraction of the
+        // stream so the workload stays TLB-insensitive.
+        let regions = w.regions();
+        assert!(regions[1].len() * 16 < regions[0].len());
+    }
+
+    #[test]
+    fn gups_is_maximally_tlb_hostile() {
+        // GUPS touches its whole table uniformly; in any window the
+        // distinct-page count approaches the access count until pages
+        // repeat.
+        let w = gups(SynthScale::TEST, 2);
+        let distinct: std::collections::HashSet<u64> = w
+            .trace()
+            .take(20_000)
+            .map(|a| a.addr.raw() >> 12)
+            .collect();
+        assert!(distinct.len() > 10_000, "gups should spread: {}", distinct.len());
+    }
+
+    #[test]
+    fn hashjoin_mixes_stream_and_skew() {
+        let w = hashjoin(SynthScale::TEST, 2);
+        let regions = w.regions();
+        assert_eq!(regions.len(), 2);
+        let mut in_probe = 0u64;
+        let mut in_build = 0u64;
+        for a in w.trace().take(50_000) {
+            if regions[0].contains(a.addr) {
+                in_probe += 1;
+            } else if regions[1].contains(a.addr) {
+                in_build += 1;
+            }
+        }
+        // Equal phase budgets => roughly even interleave.
+        assert!(in_probe > 15_000 && in_build > 15_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_build_panics() {
+        let b = SyntheticBuilder::new("t", 0);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "write ratio")]
+    fn bad_write_ratio_panics() {
+        let mut b = SyntheticBuilder::new("t", 0);
+        let a = b.array(8, 10);
+        b.phase(a, Pattern::UniformRandom { count: 1 }, 101);
+    }
+}

@@ -1,0 +1,79 @@
+//! The [`Workload`] abstraction: something that owns a virtual address
+//! space layout and can emit the memory-access trace of its execution.
+
+use hpage_types::{MemoryAccess, Region};
+
+/// A workload that can be traced.
+///
+/// Implementations are deterministic: the same workload produces the same
+/// trace every time, which is what lets the offline PCC simulation and the
+/// replayed promotion schedule agree on addresses (the paper pins
+/// `randomize_va_space=0` for exactly this property).
+pub trait Workload {
+    /// Short name ("BFS", "canneal", …) used in reports.
+    fn name(&self) -> &str;
+
+    /// The data regions the workload touches, in layout order. Their total
+    /// length is the memory footprint the paper's utility curves
+    /// normalise against.
+    fn regions(&self) -> Vec<Region>;
+
+    /// Total bytes of data (the paper's "footprint" column in Table 1).
+    fn footprint_bytes(&self) -> u64 {
+        self.regions().iter().map(|r| r.len()).sum()
+    }
+
+    /// The access trace of thread `thread` when the workload runs with
+    /// `threads` total threads. Single-threaded workloads may ignore the
+    /// arguments for `threads == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `thread >= threads` or the workload does
+    /// not support the requested thread count.
+    fn thread_trace(&self, thread: u32, threads: u32)
+        -> Box<dyn Iterator<Item = MemoryAccess> + '_>;
+
+    /// Convenience: the single-threaded trace.
+    fn trace(&self) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+        self.thread_trace(0, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_types::VirtAddr;
+
+    struct Dummy;
+
+    impl Workload for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn regions(&self) -> Vec<Region> {
+            vec![
+                Region::new(VirtAddr::new(0x1000), 100),
+                Region::new(VirtAddr::new(0x10_0000), 50),
+            ]
+        }
+        fn thread_trace(
+            &self,
+            thread: u32,
+            threads: u32,
+        ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+            assert!(thread < threads);
+            Box::new(std::iter::once(MemoryAccess::read(VirtAddr::new(0x1000))))
+        }
+    }
+
+    #[test]
+    fn footprint_sums_regions() {
+        assert_eq!(Dummy.footprint_bytes(), 150);
+    }
+
+    #[test]
+    fn trace_defaults_to_thread_zero() {
+        assert_eq!(Dummy.trace().count(), 1);
+    }
+}

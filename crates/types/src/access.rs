@@ -1,0 +1,123 @@
+//! Memory-access trace records.
+
+use crate::addr::VirtAddr;
+use core::fmt;
+
+/// Identifies a simulated hardware core (each core owns a TLB hierarchy and,
+/// in the PCC design, a per-core PCC).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u32);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifies a simulated software thread within a process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread{}", self.0)
+    }
+}
+
+/// Identifies a simulated process (its own virtual address space).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Whether an access reads or writes memory.
+///
+/// The TLB model treats both identically (data TLB), but workload
+/// generators record intent so downstream models (e.g. dirty-bit tracking
+/// in a demotion policy extension) can use it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    #[default]
+    Read,
+    /// A data store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One memory access in a workload trace.
+///
+/// Workload kernels in `hpage-trace` emit streams of these; the simulator
+/// feeds them through the TLB hierarchy of the core the thread runs on.
+///
+/// ```
+/// use hpage_types::{AccessKind, MemoryAccess, VirtAddr};
+/// let a = MemoryAccess::read(VirtAddr::new(0x1000));
+/// assert_eq!(a.kind, AccessKind::Read);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryAccess {
+    /// The virtual address touched.
+    pub addr: VirtAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemoryAccess {
+    /// Creates a read access.
+    pub const fn read(addr: VirtAddr) -> Self {
+        MemoryAccess {
+            addr,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a write access.
+    pub const fn write(addr: VirtAddr) -> Self {
+        MemoryAccess {
+            addr,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+impl fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}", self.kind, self.addr.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemoryAccess::read(VirtAddr::new(1));
+        let w = MemoryAccess::write(VirtAddr::new(1));
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(r.addr, w.addr);
+        assert_ne!(r, w);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(ThreadId(1).to_string(), "thread1");
+        assert_eq!(ProcessId(7).to_string(), "pid7");
+        assert_eq!(MemoryAccess::read(VirtAddr::new(16)).to_string(), "R 0x10");
+    }
+}

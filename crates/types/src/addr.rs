@@ -1,0 +1,516 @@
+//! Address and page-number newtypes.
+
+use core::fmt;
+
+/// The page sizes supported by the x86-64 architecture modelled here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB base page.
+    Base4K,
+    /// 2 MiB huge page (PMD-level mapping).
+    Huge2M,
+    /// 1 GiB gigantic page (PUD-level mapping).
+    Huge1G,
+}
+
+impl PageSize {
+    /// All page sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Base4K, PageSize::Huge2M, PageSize::Huge1G];
+
+    /// Size of a page in bytes.
+    ///
+    /// ```
+    /// use hpage_types::PageSize;
+    /// assert_eq!(PageSize::Base4K.bytes(), 4096);
+    /// assert_eq!(PageSize::Huge2M.bytes(), 2 * 1024 * 1024);
+    /// assert_eq!(PageSize::Huge1G.bytes(), 1024 * 1024 * 1024);
+    /// ```
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base4K => 1 << 12,
+            PageSize::Huge2M => 1 << 21,
+            PageSize::Huge1G => 1 << 30,
+        }
+    }
+
+    /// Number of low address bits covered by the page offset
+    /// (12, 21, or 30).
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Base4K => 12,
+            PageSize::Huge2M => 21,
+            PageSize::Huge1G => 30,
+        }
+    }
+
+    /// The next larger page size, if any.
+    ///
+    /// ```
+    /// use hpage_types::PageSize;
+    /// assert_eq!(PageSize::Base4K.promoted(), Some(PageSize::Huge2M));
+    /// assert_eq!(PageSize::Huge1G.promoted(), None);
+    /// ```
+    pub const fn promoted(self) -> Option<PageSize> {
+        match self {
+            PageSize::Base4K => Some(PageSize::Huge2M),
+            PageSize::Huge2M => Some(PageSize::Huge1G),
+            PageSize::Huge1G => None,
+        }
+    }
+
+    /// The next smaller page size, if any (the demotion target).
+    pub const fn demoted(self) -> Option<PageSize> {
+        match self {
+            PageSize::Base4K => None,
+            PageSize::Huge2M => Some(PageSize::Base4K),
+            PageSize::Huge1G => Some(PageSize::Huge2M),
+        }
+    }
+
+    /// Whether `self` is a huge page size (anything larger than the base
+    /// page).
+    pub const fn is_huge(self) -> bool {
+        !matches!(self, PageSize::Base4K)
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Base4K => write!(f, "4KB"),
+            PageSize::Huge2M => write!(f, "2MB"),
+            PageSize::Huge1G => write!(f, "1GB"),
+        }
+    }
+}
+
+/// A virtual address in a simulated process address space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number of this address at page size `size`.
+    ///
+    /// ```
+    /// use hpage_types::{PageSize, VirtAddr};
+    /// let va = VirtAddr::new(0x20_1234);
+    /// assert_eq!(va.vpn(PageSize::Base4K).index(), 0x201);
+    /// assert_eq!(va.vpn(PageSize::Huge2M).index(), 0x1);
+    /// ```
+    pub const fn vpn(self, size: PageSize) -> Vpn {
+        Vpn::new(self.0 >> size.shift(), size)
+    }
+
+    /// The offset of this address within its page of size `size`.
+    pub const fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// The address rounded down to the containing page boundary.
+    pub const fn align_down(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 & !(size.bytes() - 1))
+    }
+
+    /// The address rounded up to the next page boundary (identity when
+    /// already aligned). Saturates at `u64::MAX & !(size-1)`.
+    pub const fn align_up(self, size: PageSize) -> VirtAddr {
+        let mask = size.bytes() - 1;
+        VirtAddr(self.0.saturating_add(mask) & !mask)
+    }
+
+    /// Whether the address is aligned to `size`.
+    pub const fn is_aligned(self, size: PageSize) -> bool {
+        self.0 & (size.bytes() - 1) == 0
+    }
+
+    /// Returns `self + offset` as a new address.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA {:#014x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// A physical address in simulated system memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The physical frame number of this address at page size `size`.
+    pub const fn pfn(self, size: PageSize) -> Pfn {
+        Pfn::new(self.0 >> size.shift(), size)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA {:#014x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// A virtual page number: a page-aligned virtual region identified by its
+/// index and page size.
+///
+/// The paper's "2MB virtual address prefix" (the PCC tag) is exactly
+/// `va.vpn(PageSize::Huge2M)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vpn {
+    index: u64,
+    size: PageSize,
+}
+
+impl Vpn {
+    /// Creates a VPN from a page index and size.
+    pub const fn new(index: u64, size: PageSize) -> Self {
+        Vpn { index, size }
+    }
+
+    /// The page index (address >> shift).
+    pub const fn index(self) -> u64 {
+        self.index
+    }
+
+    /// The page size this VPN is expressed in.
+    pub const fn size(self) -> PageSize {
+        self.size
+    }
+
+    /// The base virtual address of the page.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr::new(self.index << self.size.shift())
+    }
+
+    /// This VPN re-expressed at a *larger or equal* page size (the
+    /// containing region).
+    ///
+    /// ```
+    /// use hpage_types::{PageSize, VirtAddr};
+    /// let base = VirtAddr::new(0x40_3000).vpn(PageSize::Base4K);
+    /// let huge = base.containing(PageSize::Huge2M);
+    /// assert_eq!(huge.index(), 0x2);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is smaller than `self.size()`.
+    pub fn containing(self, size: PageSize) -> Vpn {
+        assert!(
+            size.shift() >= self.size.shift(),
+            "containing() requires a larger or equal page size"
+        );
+        Vpn::new(self.index >> (size.shift() - self.size.shift()), size)
+    }
+
+    /// Iterator over the constituent VPNs at a *smaller or equal* page size.
+    ///
+    /// For a 2 MiB VPN this yields its 512 base-page VPNs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is larger than `self.size()`.
+    pub fn split(self, size: PageSize) -> impl Iterator<Item = Vpn> + Clone {
+        assert!(
+            size.shift() <= self.size.shift(),
+            "split() requires a smaller or equal page size"
+        );
+        let factor = 1u64 << (self.size.shift() - size.shift());
+        let start = self.index * factor;
+        (start..start + factor).map(move |i| Vpn::new(i, size))
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VPN[{}]{:#x}", self.size, self.index)
+    }
+}
+
+/// A physical frame number: a frame-aligned physical region identified by
+/// its index and page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pfn {
+    index: u64,
+    size: PageSize,
+}
+
+impl Pfn {
+    /// Creates a PFN from a frame index and size.
+    pub const fn new(index: u64, size: PageSize) -> Self {
+        Pfn { index, size }
+    }
+
+    /// The frame index (address >> shift).
+    pub const fn index(self) -> u64 {
+        self.index
+    }
+
+    /// The page size this PFN is expressed in.
+    pub const fn size(self) -> PageSize {
+        self.size
+    }
+
+    /// The base physical address of the frame.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.index << self.size.shift())
+    }
+
+    /// This PFN re-expressed at a larger or equal page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is smaller than `self.size()`.
+    pub fn containing(self, size: PageSize) -> Pfn {
+        assert!(
+            size.shift() >= self.size.shift(),
+            "containing() requires a larger or equal page size"
+        );
+        Pfn::new(self.index >> (size.shift() - self.size.shift()), size)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PFN[{}]{:#x}", self.size, self.index)
+    }
+}
+
+/// A half-open virtual address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    start: VirtAddr,
+    end: VirtAddr,
+}
+
+impl Region {
+    /// Creates a region from start address and length in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region would wrap the 64-bit address space.
+    pub fn new(start: VirtAddr, len: u64) -> Self {
+        let end = start
+            .raw()
+            .checked_add(len)
+            .expect("region wraps the address space");
+        Region {
+            start,
+            end: VirtAddr::new(end),
+        }
+    }
+
+    /// The inclusive start address.
+    pub const fn start(self) -> VirtAddr {
+        self.start
+    }
+
+    /// The exclusive end address.
+    pub const fn end(self) -> VirtAddr {
+        self.end
+    }
+
+    /// Length of the region in bytes.
+    pub const fn len(self) -> u64 {
+        self.end.raw() - self.start.raw()
+    }
+
+    /// Whether the region is empty.
+    pub const fn is_empty(self) -> bool {
+        self.start.raw() == self.end.raw()
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub const fn contains(self, addr: VirtAddr) -> bool {
+        addr.raw() >= self.start.raw() && addr.raw() < self.end.raw()
+    }
+
+    /// Number of pages of `size` needed to cover the region (counting
+    /// partially covered boundary pages).
+    pub fn page_count(self, size: PageSize) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let first = self.start.vpn(size).index();
+        let last = VirtAddr::new(self.end.raw() - 1).vpn(size).index();
+        last - first + 1
+    }
+
+    /// Iterator over the VPNs of `size` that intersect the region.
+    pub fn pages(self, size: PageSize) -> impl Iterator<Item = Vpn> + Clone {
+        let (first, count) = if self.is_empty() {
+            (0, 0)
+        } else {
+            (self.start.vpn(size).index(), self.page_count(size))
+        };
+        (first..first + count).map(move |i| Vpn::new(i, size))
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start.raw(), self.end.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_ordering_and_arithmetic() {
+        assert!(PageSize::Base4K < PageSize::Huge2M);
+        assert!(PageSize::Huge2M < PageSize::Huge1G);
+        for size in PageSize::ALL {
+            assert_eq!(1u64 << size.shift(), size.bytes());
+        }
+    }
+
+    #[test]
+    fn promote_demote_roundtrip() {
+        assert_eq!(
+            PageSize::Base4K.promoted().unwrap().demoted().unwrap(),
+            PageSize::Base4K
+        );
+        assert_eq!(
+            PageSize::Huge1G.demoted().unwrap().promoted().unwrap(),
+            PageSize::Huge1G
+        );
+    }
+
+    #[test]
+    fn virt_addr_vpn_and_offset() {
+        let va = VirtAddr::new(0x2012_3456);
+        assert_eq!(va.vpn(PageSize::Base4K).index(), 0x20123);
+        assert_eq!(va.page_offset(PageSize::Base4K), 0x456);
+        assert_eq!(
+            va.vpn(PageSize::Base4K).base().raw() + va.page_offset(PageSize::Base4K),
+            va.raw()
+        );
+    }
+
+    #[test]
+    fn align_helpers() {
+        let va = VirtAddr::new(0x3001);
+        assert_eq!(va.align_down(PageSize::Base4K).raw(), 0x3000);
+        assert_eq!(va.align_up(PageSize::Base4K).raw(), 0x4000);
+        let aligned = VirtAddr::new(0x4000);
+        assert_eq!(aligned.align_up(PageSize::Base4K), aligned);
+        assert!(aligned.is_aligned(PageSize::Base4K));
+        assert!(!va.is_aligned(PageSize::Base4K));
+    }
+
+    #[test]
+    fn vpn_containing_and_split() {
+        let base = VirtAddr::new(0x0060_0000).vpn(PageSize::Base4K); // 6 MiB
+        let huge = base.containing(PageSize::Huge2M);
+        assert_eq!(huge.index(), 3);
+        let children: Vec<_> = huge.split(PageSize::Base4K).collect();
+        assert_eq!(children.len(), 512);
+        assert_eq!(children[0], base);
+        assert_eq!(children[511].base().raw(), 0x0080_0000 - 0x1000);
+        // Every child maps back to the parent.
+        for c in children {
+            assert_eq!(c.containing(PageSize::Huge2M), huge);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger or equal")]
+    fn vpn_containing_smaller_panics() {
+        let huge = Vpn::new(1, PageSize::Huge2M);
+        let _ = huge.containing(PageSize::Base4K);
+    }
+
+    #[test]
+    fn split_identity() {
+        let v = Vpn::new(42, PageSize::Huge2M);
+        let same: Vec<_> = v.split(PageSize::Huge2M).collect();
+        assert_eq!(same, vec![v]);
+    }
+
+    #[test]
+    fn region_page_math() {
+        // 3 bytes spanning a page boundary cover 2 pages.
+        let r = Region::new(VirtAddr::new(0xFFF), 3);
+        assert_eq!(r.page_count(PageSize::Base4K), 2);
+        let pages: Vec<_> = r.pages(PageSize::Base4K).collect();
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].index(), 0);
+        assert_eq!(pages[1].index(), 1);
+
+        let empty = Region::new(VirtAddr::new(0x1000), 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.page_count(PageSize::Base4K), 0);
+        assert_eq!(empty.pages(PageSize::Base4K).count(), 0);
+    }
+
+    #[test]
+    fn region_contains() {
+        let r = Region::new(VirtAddr::new(0x1000), 0x1000);
+        assert!(r.contains(VirtAddr::new(0x1000)));
+        assert!(r.contains(VirtAddr::new(0x1FFF)));
+        assert!(!r.contains(VirtAddr::new(0x2000)));
+        assert!(!r.contains(VirtAddr::new(0xFFF)));
+        assert_eq!(r.len(), 0x1000);
+    }
+
+    #[test]
+    fn pfn_base_roundtrip() {
+        let pa = PhysAddr::new(0x1234_5000);
+        let pfn = pa.pfn(PageSize::Base4K);
+        assert_eq!(pfn.base(), pa);
+        assert_eq!(pfn.containing(PageSize::Huge2M).size(), PageSize::Huge2M);
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert!(!format!("{}", PageSize::Huge2M).is_empty());
+        assert!(!format!("{}", VirtAddr::new(0)).is_empty());
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", Vpn::new(0, PageSize::Base4K)).is_empty());
+        assert!(!format!("{}", Pfn::new(0, PageSize::Base4K)).is_empty());
+        assert!(!format!("{}", Region::new(VirtAddr::new(0), 1)).is_empty());
+    }
+}

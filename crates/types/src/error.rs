@@ -1,0 +1,123 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+/// An invalid configuration was supplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable reason the configuration was rejected.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Top-level error type for `hpage` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HpageError {
+    /// A configuration was invalid.
+    Config(ConfigError),
+    /// The simulated system ran out of physical memory.
+    OutOfMemory {
+        /// Bytes that were requested when the allocation failed.
+        requested: u64,
+    },
+    /// An operation referenced an unmapped virtual address.
+    Unmapped {
+        /// The raw virtual address that had no translation.
+        addr: u64,
+    },
+    /// A promotion or demotion request was invalid (e.g. region already at
+    /// the requested size).
+    InvalidRemap {
+        /// Explanation of why the remap was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HpageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HpageError::Config(e) => write!(f, "{e}"),
+            HpageError::OutOfMemory { requested } => {
+                write!(f, "out of physical memory (requested {requested} bytes)")
+            }
+            HpageError::Unmapped { addr } => {
+                write!(f, "virtual address {addr:#x} is not mapped")
+            }
+            HpageError::InvalidRemap { reason } => write!(f, "invalid remap: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HpageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HpageError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for HpageError {
+    fn from(e: ConfigError) -> Self {
+        HpageError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_messages() {
+        let e = ConfigError::new("bad ways");
+        assert_eq!(e.to_string(), "invalid configuration: bad ways");
+        assert_eq!(e.message(), "bad ways");
+
+        let e = HpageError::OutOfMemory { requested: 4096 };
+        assert!(e.to_string().contains("4096"));
+
+        let e = HpageError::Unmapped { addr: 0x1000 };
+        assert!(e.to_string().contains("0x1000"));
+
+        let e = HpageError::InvalidRemap {
+            reason: "already huge".into(),
+        };
+        assert!(e.to_string().contains("already huge"));
+    }
+
+    #[test]
+    fn config_error_is_source() {
+        let e: HpageError = ConfigError::new("x").into();
+        assert!(e.source().is_some());
+        assert!(HpageError::OutOfMemory { requested: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<HpageError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Datacenter scenario: physical memory is heavily fragmented (one
+//! unmovable page pinned in most 2 MiB blocks), so very few huge pages
+//! can be formed. Compare how Linux's greedy THP policy, HawkEye, and
+//! the PCC spend that scarce budget — the experiment behind the paper's
+//! Fig. 7.
+//!
+//! Run with `cargo run --release --example fragmented_memory`.
+
+use hpage::os::PromotionBudget;
+use hpage::perf::{fmt_pct, fmt_speedup, TextTable};
+use hpage::sim::{PolicyChoice, ProcessSpec, Simulation};
+use hpage::trace::{omnetpp, SynthScale, Workload};
+use hpage::types::SystemConfig;
+
+fn main() {
+    // omnetpp's Zipf-skewed heap: only a handful of regions are truly
+    // hot, so *which* regions get the scarce huge pages matters.
+    let workload = omnetpp(SynthScale::TEST, 11);
+    println!(
+        "workload: {} ({} MiB footprint)\n",
+        workload.name(),
+        workload.footprint_bytes() >> 20
+    );
+
+    // Memory nearly full: 1.5x the footprint, as in a loaded NUMA node.
+    let mut config = SystemConfig::tiny();
+    config.phys_mem_bytes = (workload.footprint_bytes() * 3 / 2).next_multiple_of(2 << 20);
+    let timing = config.timing;
+
+    for frag in [50u8, 90] {
+        let run = |policy: PolicyChoice| {
+            Simulation::new(config.clone(), policy)
+                .with_budget(PromotionBudget::UNLIMITED)
+                .with_fragmentation(frag, 0xF00D)
+                .with_max_accesses_per_core(2_000_000)
+                .run(&[ProcessSpec::new(&workload)])
+        };
+        let base = run(PolicyChoice::BasePages);
+        let mut table = TextTable::new(["policy", "huge pages", "PTW rate", "speedup"]);
+        for policy in [
+            PolicyChoice::LinuxThp,
+            PolicyChoice::HawkEye,
+            PolicyChoice::pcc_default(),
+        ] {
+            let report = run(policy);
+            table.row([
+                report.policy.clone(),
+                report.huge_pages_at_end.to_string(),
+                fmt_pct(report.aggregate.walk_ratio()),
+                fmt_speedup(report.speedup_over(&base, &timing)),
+            ]);
+        }
+        println!("--- {frag}% of memory fragmented ---");
+        println!("{table}");
+    }
+    println!(
+        "With most blocks pinned, Linux burns the few huge-capable blocks on \
+         whatever faults first; the PCC spends them on the regions with the \
+         most page-table walks."
+    );
+}

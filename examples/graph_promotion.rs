@@ -1,0 +1,74 @@
+//! Graph-analytics scenario: run BFS over a power-law (Kronecker) network
+//! and trace how the PCC's utility curve climbs as the OS is allowed to
+//! promote more of the footprint — the experiment behind the paper's
+//! headline "promote 4% of the footprint for >75% of peak performance".
+//!
+//! Run with `cargo run --release --example graph_promotion` (pass a graph
+//! scale as the first argument; default 15).
+
+use hpage::os::PromotionBudget;
+use hpage::perf::{fmt_pct, fmt_speedup, TextTable};
+use hpage::sim::{PolicyChoice, ProcessSpec, SimProfile, Simulation};
+use hpage::trace::{instantiate, AppId, Dataset, Workload};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let profile = SimProfile::test().with_graph_scale(scale);
+    let bfs = instantiate(AppId::Bfs, Dataset::Kronecker, profile.workloads, 42);
+    let footprint = bfs.footprint_bytes();
+    println!(
+        "BFS on Kronecker scale {scale}: {} MiB footprint, {} 2MiB regions\n",
+        footprint >> 20,
+        footprint.div_ceil(2 << 20)
+    );
+
+    let profile = profile.sized_for(footprint);
+    let timing = profile.system.timing;
+    let run = |policy: PolicyChoice, budget: PromotionBudget| {
+        let mut sim = Simulation::new(profile.system.clone(), policy).with_budget(budget);
+        if let Some(n) = profile.max_accesses_per_core {
+            sim = sim.with_max_accesses_per_core(n);
+        }
+        sim.run(&[ProcessSpec::new(&bfs)])
+    };
+
+    let base = run(PolicyChoice::BasePages, PromotionBudget::UNLIMITED);
+    let ideal = run(PolicyChoice::IdealHuge, PromotionBudget::UNLIMITED);
+    let peak = ideal.speedup_over(&base, &timing);
+
+    let mut table = TextTable::new(["footprint promoted", "speedup", "PTW rate", "% of peak"]);
+    table.row([
+        "0% (baseline)".to_string(),
+        fmt_speedup(1.0),
+        fmt_pct(base.aggregate.walk_ratio()),
+        "-".to_string(),
+    ]);
+    for pct in [1u64, 2, 4, 8, 16, 32, 64] {
+        let report = run(
+            PolicyChoice::pcc_default(),
+            PromotionBudget::percent_of_footprint(pct, footprint),
+        );
+        let speedup = report.speedup_over(&base, &timing);
+        let of_peak = if peak > 1.0 {
+            (speedup - 1.0) / (peak - 1.0)
+        } else {
+            1.0
+        };
+        table.row([
+            format!("{pct}%"),
+            fmt_speedup(speedup),
+            fmt_pct(report.aggregate.walk_ratio()),
+            fmt_pct(of_peak),
+        ]);
+    }
+    table.row([
+        "100% (all THPs)".to_string(),
+        fmt_speedup(peak),
+        fmt_pct(ideal.aggregate.walk_ratio()),
+        fmt_pct(1.0),
+    ]);
+    println!("{table}");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: simulate one TLB-hostile workload under the 4 KiB
+//! baseline, the PCC-driven promotion policy, and the all-huge ideal,
+//! then print the resulting TLB behaviour and modelled speedups.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hpage::os::PromotionBudget;
+use hpage::perf::{fmt_pct, fmt_speedup, TextTable};
+use hpage::sim::{PolicyChoice, ProcessSpec, SimReport, Simulation};
+use hpage::trace::{Pattern, SyntheticBuilder, Workload};
+use hpage::types::SystemConfig;
+
+fn main() {
+    // Build a workload the paper would classify as HUB-heavy: a Zipf
+    // working set over 64 MiB (sparse but reused) next to a sequential
+    // stream (TLB-friendly).
+    let mut b = SyntheticBuilder::new("zipf+stream", 7);
+    let hot = b.array(8, (64 << 20) / 8);
+    let stream = b.array(64, (32 << 20) / 64);
+    b.phase(hot, Pattern::Zipf { count: 3_000_000, exponent: 0.8 }, 10);
+    b.phase(stream, Pattern::Sequential { stride: 1, count: 1_000_000 }, 30);
+    let workload = b.build();
+    println!(
+        "workload: {} ({} MiB footprint)\n",
+        workload.name(),
+        workload.footprint_bytes() >> 20
+    );
+
+    let config = SystemConfig::tiny();
+    let timing = config.timing;
+    let run = |policy: PolicyChoice, budget: PromotionBudget| -> SimReport {
+        Simulation::new(config.clone(), policy)
+            .with_budget(budget)
+            .run(&[ProcessSpec::new(&workload)])
+    };
+
+    let base = run(PolicyChoice::BasePages, PromotionBudget::UNLIMITED);
+    // The PCC with a tight budget: only 4% of the footprint may go huge —
+    // the paper's headline operating point.
+    let budget = PromotionBudget::percent_of_footprint(4, workload.footprint_bytes());
+    let pcc = run(PolicyChoice::pcc_default(), budget);
+    let ideal = run(PolicyChoice::IdealHuge, PromotionBudget::UNLIMITED);
+
+    let mut table = TextTable::new(["policy", "PTW rate", "huge pages", "speedup"]);
+    for report in [&base, &pcc, &ideal] {
+        table.row([
+            report.policy.clone(),
+            fmt_pct(report.aggregate.walk_ratio()),
+            report.huge_pages_at_end.to_string(),
+            fmt_speedup(report.speedup_over(&base, &timing)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "PCC promoted {} regions ({} huge pages live at exit) and reached {} \
+         of the ideal-THP speedup with a 4% footprint budget.",
+        pcc.aggregate.promotions,
+        pcc.huge_pages_at_end,
+        fmt_pct(
+            (pcc.speedup_over(&base, &timing) - 1.0)
+                / (ideal.speedup_over(&base, &timing) - 1.0)
+        ),
+    );
+}

@@ -1,0 +1,66 @@
+//! Page-reuse-distance characterisation (the paper's §3.1 / Fig. 2):
+//! classify every 4 KiB page a BFS touches into TLB-friendly, HUB, or
+//! low-reuse, and show that the HUB regions found analytically are the
+//! same regions the PCC hardware surfaces.
+//!
+//! Run with `cargo run --release --example reuse_analysis`.
+
+use hpage::perf::TextTable;
+use hpage::sim::{PolicyChoice, ProcessSpec, SimProfile, Simulation};
+use hpage::trace::{instantiate, AppId, Dataset, ReuseAnalyzer, Workload};
+use hpage::types::PageSize;
+use std::collections::HashSet;
+
+fn main() {
+    let profile = SimProfile::scaled().with_graph_scale(16);
+    let bfs = instantiate(AppId::Bfs, Dataset::Kronecker, profile.workloads, 42);
+    let window = 2_000_000usize;
+
+    // Analytic pass: exact reuse distances at 4KB and 2MB granularity.
+    let mut analyzer = ReuseAnalyzer::new();
+    for a in bfs.trace().take(window) {
+        analyzer.observe(&a);
+    }
+    let (friendly, hubs, low) = analyzer.class_counts();
+    let total = (friendly + hubs + low).max(1);
+    let mut table = TextTable::new(["class", "4KB pages", "share"]);
+    for (name, n) in [
+        ("TLB-friendly", friendly),
+        ("HUB (promote these)", hubs),
+        ("low-reuse", low),
+    ] {
+        table.row([
+            name.to_string(),
+            n.to_string(),
+            format!("{:.1}%", 100.0 * n as f64 / total as f64),
+        ]);
+    }
+    println!("BFS on Kronecker-16, {window} accesses:\n\n{table}");
+    let analytic_hubs: Vec<_> = analyzer.hub_regions();
+    println!("HUB pages concentrate in {} 2MiB regions\n", analytic_hubs.len());
+
+    // Hardware pass: run the same window through the TLB+PCC pipeline
+    // and compare what the PCC would tell the OS.
+    let profile = profile.sized_for(bfs.footprint_bytes());
+    let report = Simulation::new(profile.system.clone(), PolicyChoice::pcc_default())
+        .with_max_accesses_per_core(window as u64)
+        .run(&[ProcessSpec::new(&bfs)]);
+    let promoted = report.schedule.len();
+    let promoted_regions: HashSet<u64> = report
+        .schedule
+        .events()
+        .iter()
+        .map(|e| e.region.index())
+        .collect();
+    let analytic_set: HashSet<u64> = analytic_hubs
+        .iter()
+        .map(|(r, _)| r.index())
+        .collect();
+    let overlap = promoted_regions.intersection(&analytic_set).count();
+    println!(
+        "The PCC promoted {promoted} regions; {overlap} of them are analytic HUB \
+         regions ({}% agreement with the reuse-distance oracle).",
+        if promoted == 0 { 0 } else { 100 * overlap / promoted }
+    );
+    let _ = PageSize::Huge2M;
+}

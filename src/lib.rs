@@ -1,0 +1,51 @@
+//! # hpage — huge-page selection with a Promotion Candidate Cache
+//!
+//! A from-scratch Rust reproduction of *"Architectural Support for
+//! Optimizing Huge Page Selection Within the OS"* (MICRO 2023): the
+//! promotion candidate cache (PCC) hardware structure, the TLB/page-table
+//! substrate it plugs into, an OS memory-management simulator with the
+//! Linux THP / khugepaged / HawkEye baselines, trace-generating workloads,
+//! and the experiment drivers that regenerate every figure of the paper's
+//! evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! namespace.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `hpage-types` | addresses, page sizes, configs |
+//! | [`cache`] | `hpage-cache` | optional physically-indexed data-cache hierarchy |
+//! | [`trace`] | `hpage-trace` | graphs, kernels, synthetic workloads, reuse analysis |
+//! | [`tlb`] | `hpage-tlb` | TLBs, page tables, hardware walker |
+//! | [`pcc`] | `hpage-pcc` | **the promotion candidate cache** |
+//! | [`os`] | `hpage-os` | physical memory, address spaces, policies |
+//! | [`perf`] | `hpage-perf` | timing model, utility curves |
+//! | [`sim`] | `hpage-sim` | end-to-end simulation + figure drivers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hpage::sim::{PolicyChoice, ProcessSpec, Simulation};
+//! use hpage::trace::{instantiate, AppId, Dataset, WorkloadScale};
+//! use hpage::types::SystemConfig;
+//!
+//! // A BFS over a power-law graph — the paper's flagship workload.
+//! let bfs = instantiate(AppId::Bfs, Dataset::Kronecker, WorkloadScale::TEST, 42);
+//!
+//! // Simulate it with the PCC recommending promotions to the OS.
+//! let report = Simulation::new(SystemConfig::tiny(), PolicyChoice::pcc_default())
+//!     .run(&[ProcessSpec::new(&bfs)]);
+//! assert!(report.aggregate.accesses > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hpage_cache as cache;
+pub use hpage_os as os;
+pub use hpage_pcc as pcc;
+pub use hpage_perf as perf;
+pub use hpage_sim as sim;
+pub use hpage_tlb as tlb;
+pub use hpage_trace as trace;
+pub use hpage_types as types;

@@ -1,0 +1,210 @@
+//! Integration tests exercising the full pipeline across crates:
+//! workload trace → TLB hierarchy → page-table walker → PCC → OS
+//! promotion engine → timing model.
+
+use hpage::os::PromotionBudget;
+use hpage::sim::{PolicyChoice, ProcessSpec, SimProfile, Simulation};
+use hpage::trace::{
+    instantiate, AppId, Dataset, Pattern, SyntheticBuilder, SyntheticWorkload, Workload,
+};
+use hpage::types::{PromotionPolicyKind, SystemConfig};
+
+fn zipf_workload(mb: u64, accesses: u64, seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("zipf", seed);
+    let a = b.array(8, mb * (1 << 20) / 8);
+    b.phase(
+        a,
+        Pattern::Zipf {
+            count: accesses,
+            exponent: 0.8,
+        },
+        5,
+    );
+    b.build()
+}
+
+#[test]
+fn pipeline_conservation_invariants() {
+    let w = zipf_workload(16, 300_000, 1);
+    let report = Simulation::new(SystemConfig::tiny(), PolicyChoice::pcc_default())
+        .run(&[ProcessSpec::new(&w)]);
+    let a = &report.aggregate;
+    // Every access is exactly one of: L1 hit, L2 hit, or walk.
+    assert_eq!(a.l1_hits + a.l2_hits + a.walks, a.accesses);
+    // Every touched page faulted exactly once; faults are a subset of
+    // walks.
+    assert!(a.faults_base + a.faults_huge <= a.walks);
+    // Walk levels are within [2, 4] per walk.
+    assert!(a.walk_levels >= 2 * a.walks && a.walk_levels <= 4 * a.walks);
+    // Each promotion shoots down at least one core's TLBs.
+    assert!(a.shootdowns >= a.promotions);
+}
+
+#[test]
+fn policy_ordering_on_skewed_workload() {
+    // The paper's central comparison at one operating point: with a tight
+    // promotion budget, PCC >= HawkEye >= nothing, and ideal bounds all.
+    let w = zipf_workload(32, 800_000, 2);
+    let config = SystemConfig::tiny();
+    let timing = config.timing;
+    let budget = PromotionBudget::percent_of_footprint(8, w.footprint_bytes());
+    let run = |policy: PolicyChoice| {
+        Simulation::new(config.clone(), policy)
+            .with_budget(budget)
+            .run(&[ProcessSpec::new(&w)])
+    };
+    let base = run(PolicyChoice::BasePages);
+    let hawkeye = run(PolicyChoice::HawkEye);
+    let pcc = run(PolicyChoice::pcc_default());
+    let ideal = Simulation::new(config.clone(), PolicyChoice::IdealHuge)
+        .run(&[ProcessSpec::new(&w)]);
+
+    let s_hawkeye = hawkeye.speedup_over(&base, &timing);
+    let s_pcc = pcc.speedup_over(&base, &timing);
+    let s_ideal = ideal.speedup_over(&base, &timing);
+    assert!(s_pcc > 1.02, "pcc should speed up: {s_pcc}");
+    assert!(
+        s_pcc >= s_hawkeye - 0.02,
+        "pcc {s_pcc} vs hawkeye {s_hawkeye}"
+    );
+    assert!(s_ideal >= s_pcc - 0.02, "ideal {s_ideal} vs pcc {s_pcc}");
+}
+
+#[test]
+fn graph_pipeline_at_tlb_pressure() {
+    // BFS at a scale where the footprint exceeds the scaled TLB reach:
+    // baseline walks are substantial and the PCC removes most of them.
+    let profile = SimProfile::scaled().with_graph_scale(18);
+    let w = instantiate(AppId::Bfs, Dataset::Kronecker, profile.workloads, 3);
+    let profile = profile.sized_for(w.footprint_bytes());
+    let run = |policy: PolicyChoice| {
+        Simulation::new(profile.system.clone(), policy)
+            .with_max_accesses_per_core(3_000_000)
+            .run(&[ProcessSpec::new(&w)])
+    };
+    let base = run(PolicyChoice::BasePages);
+    let pcc = run(PolicyChoice::pcc_default());
+    assert!(
+        base.aggregate.walk_ratio() > 0.05,
+        "baseline PTW rate too low: {}",
+        base.aggregate.walk_ratio()
+    );
+    assert!(
+        pcc.aggregate.walk_ratio() < base.aggregate.walk_ratio() / 2.0,
+        "pcc {} vs base {}",
+        pcc.aggregate.walk_ratio(),
+        base.aggregate.walk_ratio()
+    );
+    assert!(pcc.aggregate.promotions > 0);
+}
+
+#[test]
+fn multithreaded_graph_partitions_address_space() {
+    let profile = SimProfile::scaled().with_graph_scale(14);
+    let w = instantiate(AppId::PageRank, Dataset::Kronecker, profile.workloads, 4);
+    let profile = profile.sized_for(w.footprint_bytes());
+    for threads in [2u32, 4] {
+        let report = Simulation::new(profile.system.clone(), PolicyChoice::pcc_default())
+            .with_max_accesses_per_core(500_000)
+            .run(&[ProcessSpec::with_threads(&w, threads)]);
+        assert!(report.aggregate.accesses > 0);
+        assert_eq!(report.per_process.len(), 1);
+    }
+}
+
+#[test]
+fn multiprocess_isolation_of_address_spaces() {
+    // Two processes use identical virtual addresses; promotions in one
+    // must not affect the other's mappings.
+    let w1 = zipf_workload(16, 400_000, 7);
+    let w2 = zipf_workload(16, 400_000, 8);
+    // Same layout (same builder recipe) => same virtual regions.
+    assert_eq!(w1.regions(), w2.regions());
+    let mut config = SystemConfig::tiny();
+    config.phys_mem_bytes = 256 << 20;
+    let report = Simulation::new(config, PolicyChoice::pcc_default())
+        .run(&[ProcessSpec::new(&w1), ProcessSpec::new(&w2)]);
+    // Both processes see their own faults (same footprint => similar
+    // fault counts), proving page tables are separate.
+    let f0 = report.per_process[0].faults_base + report.per_process[0].faults_huge;
+    let f1 = report.per_process[1].faults_base + report.per_process[1].faults_huge;
+    assert!(f0 > 0 && f1 > 0);
+    assert!((f0 as i64 - f1 as i64).unsigned_abs() < f0 / 2);
+}
+
+#[test]
+fn round_robin_vs_highest_frequency_distribute_differently() {
+    // One hot process and one warm process: highest-frequency gives the
+    // hot one more promotions than round-robin does.
+    let hot = zipf_workload(32, 600_000, 9);
+    let warm = {
+        let mut b = SyntheticBuilder::new("warm", 10);
+        let a = b.array(8, (32 << 20) / 8);
+        b.phase(a, Pattern::Zipf { count: 150_000, exponent: 0.4 }, 5);
+        b.build()
+    };
+    let mut config = SystemConfig::tiny();
+    config.phys_mem_bytes = 256 << 20;
+    let budget = || PromotionBudget::regions(6);
+    let run = |selection| {
+        Simulation::new(
+            config.clone(),
+            PolicyChoice::Pcc {
+                selection,
+                demotion: false,
+                bias: vec![],
+            },
+        )
+        .with_budget(budget())
+        .run(&[ProcessSpec::new(&hot), ProcessSpec::new(&warm)])
+    };
+    let hf = run(PromotionPolicyKind::HighestFrequency);
+    let rr = run(PromotionPolicyKind::RoundRobin);
+    // Round-robin splits promotions more evenly than highest-frequency.
+    let spread = |r: &hpage::sim::SimReport| {
+        (r.per_process[0].promotions as i64 - r.per_process[1].promotions as i64).abs()
+    };
+    assert!(
+        spread(&rr) <= spread(&hf),
+        "rr spread {} vs hf spread {}",
+        spread(&rr),
+        spread(&hf)
+    );
+}
+
+#[test]
+fn fragmentation_degrades_gracefully() {
+    // Speedup under increasing fragmentation is monotonically
+    // non-increasing (fewer huge-capable blocks -> fewer promotions).
+    let w = zipf_workload(32, 500_000, 11);
+    let mut config = SystemConfig::tiny();
+    config.phys_mem_bytes = ((w.footprint_bytes() * 3 / 2) >> 21 << 21).max(64 << 20);
+    let timing = config.timing;
+    let base = Simulation::new(config.clone(), PolicyChoice::BasePages)
+        .run(&[ProcessSpec::new(&w)]);
+    let mut prev = f64::INFINITY;
+    for frag in [0u8, 50, 90, 100] {
+        let report = Simulation::new(config.clone(), PolicyChoice::pcc_default())
+            .with_fragmentation(frag, 13)
+            .run(&[ProcessSpec::new(&w)]);
+        let s = report.speedup_over(&base, &timing);
+        assert!(
+            s <= prev + 0.06,
+            "speedup should not grow with fragmentation: {s} after {prev} at {frag}%"
+        );
+        prev = s;
+    }
+}
+
+#[test]
+fn all_eight_apps_run_end_to_end() {
+    let profile = SimProfile::test();
+    for app in AppId::ALL {
+        let w = instantiate(app, Dataset::Kronecker, profile.workloads, 1);
+        let sized = profile.clone().sized_for(w.footprint_bytes());
+        let report = Simulation::new(sized.system, PolicyChoice::pcc_default())
+            .with_max_accesses_per_core(200_000)
+            .run(&[ProcessSpec::new(&w)]);
+        assert!(report.aggregate.accesses > 0, "{app} produced no accesses");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) over the core data structures'
+//! invariants: the PCC, the TLBs, the page table, and the physical
+//! memory accounting.
+
+use hpage::os::PhysicalMemory;
+use hpage::pcc::{Pcc, PccEvent, ReplacementPolicy};
+use hpage::tlb::{PageTable, SetAssocTlb, Translation};
+use hpage::types::{PageSize, PccConfig, Pfn, TlbLevelConfig, VirtAddr, Vpn};
+use proptest::prelude::*;
+
+fn region(i: u64) -> Vpn {
+    Vpn::new(i, PageSize::Huge2M)
+}
+
+proptest! {
+    /// The PCC never exceeds capacity, never double-tracks a region, and
+    /// its dump is always sorted by descending frequency — under any
+    /// interleaving of walks (hot/cold) and invalidations.
+    #[test]
+    fn pcc_capacity_and_ranking_invariants(
+        ops in prop::collection::vec((0u64..64, any::<bool>(), any::<bool>()), 1..600),
+        entries in 1u32..32,
+    ) {
+        let cfg = PccConfig::paper_2m().with_entries(entries);
+        let mut pcc = Pcc::new(cfg, PageSize::Huge2M);
+        for (r, warm, invalidate) in ops {
+            if invalidate {
+                pcc.invalidate(region(r));
+            } else {
+                pcc.record_walk(region(r), warm);
+            }
+            prop_assert!(pcc.len() <= entries as usize);
+            let dump = pcc.dump();
+            // No duplicate regions.
+            let mut seen = std::collections::HashSet::new();
+            for c in &dump {
+                prop_assert!(seen.insert(c.region.index()));
+                prop_assert!(c.frequency <= cfg.counter_max());
+            }
+            // Sorted by descending frequency.
+            prop_assert!(dump.windows(2).all(|w| w[0].frequency >= w[1].frequency));
+        }
+    }
+
+    /// With the cold-miss filter on, a region is only ever admitted via a
+    /// warm walk.
+    #[test]
+    fn pcc_filter_blocks_cold_admissions(rs in prop::collection::vec(0u64..32, 1..200)) {
+        let mut pcc = Pcc::new(PccConfig::paper_2m().with_entries(8), PageSize::Huge2M);
+        for r in rs {
+            let ev = pcc.record_walk(region(r), false);
+            prop_assert_eq!(ev, PccEvent::FilteredColdMiss);
+        }
+        prop_assert!(pcc.is_empty());
+    }
+
+    /// LFU+LRU and pure LRU agree when all frequencies are zero (the
+    /// paper's observation for why the simple policy suffices).
+    #[test]
+    fn replacement_policies_agree_at_zero_frequency(
+        rs in prop::collection::vec(0u64..1000, 1..300),
+    ) {
+        let cfg = PccConfig::paper_2m().with_entries(8);
+        let mut lfu = Pcc::with_replacement(cfg, PageSize::Huge2M, ReplacementPolicy::LfuWithLruTiebreak);
+        let mut lru = Pcc::with_replacement(cfg, PageSize::Huge2M, ReplacementPolicy::Lru);
+        // Feed each region exactly once (all frequencies stay 0).
+        let mut seen = std::collections::HashSet::new();
+        for r in rs {
+            if seen.insert(r) {
+                let e1 = lfu.record_walk(region(r), true);
+                let e2 = lru.record_walk(region(r), true);
+                prop_assert_eq!(e1, e2);
+            }
+        }
+        let d1: Vec<_> = lfu.dump();
+        let d2: Vec<_> = lru.dump();
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// TLB: contents after any op sequence never exceed capacity; a
+    /// lookup immediately after an insert hits; invalidation removes.
+    #[test]
+    fn tlb_invariants(
+        ops in prop::collection::vec((0u64..128, 0u8..3), 1..400),
+        entries_pow in 2u32..6,
+        ways_pow in 0u32..3,
+    ) {
+        let entries = 1u32 << entries_pow;
+        let ways = (1u32 << ways_pow).min(entries);
+        let mut tlb = SetAssocTlb::new(TlbLevelConfig::new(entries, ways));
+        for (page, op) in ops {
+            let t = Translation {
+                vpn: Vpn::new(page, PageSize::Base4K),
+                pfn: Pfn::new(page, PageSize::Base4K),
+            };
+            match op {
+                0 => {
+                    tlb.insert(t);
+                    prop_assert_eq!(tlb.probe(t.vpn), Some(t));
+                }
+                1 => {
+                    tlb.invalidate(t.vpn);
+                    prop_assert_eq!(tlb.probe(t.vpn), None);
+                }
+                _ => {
+                    let _ = tlb.lookup(t.vpn);
+                }
+            }
+            prop_assert!(tlb.len() <= entries as usize);
+        }
+    }
+
+    /// Page table: map/walk/unmap round-trips preserve translations, and
+    /// a promotion makes every constituent base page translate to the
+    /// same huge frame.
+    #[test]
+    fn page_table_roundtrip(pages in prop::collection::hash_set(0u64..512, 1..64)) {
+        let mut pt = PageTable::new();
+        let region = Vpn::new(3, PageSize::Huge2M);
+        let bases: Vec<Vpn> = region.split(PageSize::Base4K).collect();
+        for &p in &pages {
+            pt.map(bases[p as usize], Pfn::new(p, PageSize::Base4K)).unwrap();
+        }
+        prop_assert_eq!(pt.mapped_base_pages_in(region), pages.len() as u64);
+        for &p in &pages {
+            let t = pt.translate(bases[p as usize].base()).unwrap();
+            prop_assert_eq!(t.pfn.index(), p);
+        }
+        // Promote and verify.
+        let huge = Pfn::new(9, PageSize::Huge2M);
+        let old = pt.promote_2m(region, huge).unwrap();
+        prop_assert_eq!(old.len(), pages.len());
+        for &p in &pages {
+            let t = pt.translate(bases[p as usize].base()).unwrap();
+            prop_assert_eq!(t.pfn, huge);
+            prop_assert_eq!(t.size(), PageSize::Huge2M);
+        }
+    }
+
+    /// Physical memory conservation: free frames + used frames is
+    /// constant under any alloc/free sequence, and huge allocation
+    /// consumes exactly 512 frames of capacity.
+    #[test]
+    fn physmem_conservation(ops in prop::collection::vec(0u8..3, 1..200)) {
+        let mut pm = PhysicalMemory::new(16 << 21);
+        let total = pm.total_frames();
+        let mut base_pfns = Vec::new();
+        let mut huge_pfns = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    if let Ok(p) = pm.alloc_base() {
+                        base_pfns.push(p);
+                    }
+                }
+                1 => {
+                    if let Ok(h) = pm.alloc_huge(true) {
+                        huge_pfns.push(h.pfn);
+                    }
+                }
+                _ => {
+                    if let Some(p) = base_pfns.pop() {
+                        pm.free_base(p);
+                    } else if let Some(h) = huge_pfns.pop() {
+                        pm.free_huge(h);
+                    }
+                }
+            }
+            let used = base_pfns.len() as u64 + 512 * huge_pfns.len() as u64;
+            prop_assert_eq!(pm.free_frames() + used, total);
+        }
+    }
+
+    /// Address arithmetic: splitting any huge VPN into base pages and
+    /// taking each one's containing region is the identity.
+    #[test]
+    fn vpn_split_containing_roundtrip(idx in 0u64..(1 << 30)) {
+        let huge = Vpn::new(idx, PageSize::Huge2M);
+        for (i, base) in huge.split(PageSize::Base4K).enumerate().step_by(97) {
+            prop_assert_eq!(base.containing(PageSize::Huge2M), huge);
+            prop_assert_eq!(base.index(), idx * 512 + i as u64);
+        }
+        // Base address of the region is 2MiB-aligned.
+        prop_assert!(huge.base().is_aligned(PageSize::Huge2M));
+    }
+
+    /// The 2MB VPN of any address equals the 2MB VPN of its 4K page's
+    /// base — tag extraction is consistent at every granularity.
+    #[test]
+    fn prefix_consistency(raw in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(raw);
+        let via_page = va.vpn(PageSize::Base4K).base().vpn(PageSize::Huge2M);
+        prop_assert_eq!(va.vpn(PageSize::Huge2M), via_page);
+        prop_assert_eq!(
+            va.vpn(PageSize::Base4K).containing(PageSize::Huge1G),
+            va.vpn(PageSize::Huge1G)
+        );
+    }
+}
