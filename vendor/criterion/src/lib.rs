@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, dependency-free bench harness covering
+//! the slice of the `criterion` API its benches use: benchmark groups,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: every sample times `iters_per_sample` calls of
+//! the routine with `std::time::Instant` and the harness reports the
+//! median, minimum, and mean per-iteration time (plus throughput when
+//! configured). There is no warm-up analysis, outlier rejection, or
+//! HTML report — output is one summary line per benchmark, which is
+//! enough to compare runs of this repository's benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput units attributed to one iteration of a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Times one routine; handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-sample wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.id.clone();
+        self.run_one(&name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        // One untimed call to warm caches and pick an iteration count
+        // that keeps fast routines above timer resolution.
+        let warm_start = Instant::now();
+        b.sample_count = 1;
+        f(&mut b);
+        let warm = warm_start.elapsed();
+        let per_iter = warm.max(Duration::from_nanos(1));
+        b.iters_per_sample = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        b.sample_count = self.sample_size;
+        f(&mut b);
+        self.criterion.report(&self.name, id, &b, self.throughput);
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored; the
+    /// harness tolerates cargo-bench's `--bench` style flags).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+        let mut per_iter_ns: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, c| a.total_cmp(c));
+        if per_iter_ns.is_empty() {
+            return;
+        }
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let tput = match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / median)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{group}/{id:<40} time: [min {} median {} mean {}]{tput}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles bench functions into one runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("add", |b| b.iter(|| 1u64 + 2));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").id, "f/p");
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, dependency-free property-testing
+//! harness covering the slice of the `proptest 1.x` API it actually
+//! uses: the [`proptest!`] macro with `pat in strategy` arguments and
+//! an optional `#![proptest_config(..)]` header, range / tuple /
+//! [`collection::vec`] / [`collection::hash_set`] / [`any`]
+//! strategies, and the `prop_assert!` family.
+//!
+//! Unlike real proptest there is no shrinking: each test runs
+//! [`ProptestConfig::cases`] deterministic cases (seeded from the test
+//! name and case index), and a failing case panics with the ordinary
+//! assertion message. Deterministic seeding means failures reproduce
+//! exactly across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 stream used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a hash of a string, used to give each property its own seed
+/// stream. `const` so the macro can evaluate it at compile time.
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a natural "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy over a type's whole domain (`any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.clone().sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet`s; see [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A strategy for `HashSet<S::Value>` with a size drawn from
+    /// `size` (best effort: gives up growing after repeated duplicate
+    /// draws, but never returns fewer than `size.start` elements as
+    /// long as the element domain is large enough).
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let want = self.size.clone().sample(rng);
+            let mut out = HashSet::new();
+            let mut misses = 0usize;
+            while out.len() < want && misses < 64 + want * 16 {
+                if !out.insert(self.elem.sample(rng)) {
+                    misses += 1;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Namespace mirror matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no
+/// shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` running [`ProptestConfig::cases`] deterministic
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                const __SEED: u64 = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::new(
+                        __SEED ^ (__case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                    );
+                    $( let $pat = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+// Re-exports used by the macro expansion (kept at the root so
+// `$crate::Strategy` and `$crate::TestRng` resolve).
+const _: () = {
+    fn _surface_check(rng: &mut TestRng) {
+        let _: u64 = (0u64..10).sample(rng);
+        let _: (u32, bool) = ((0u32..4), any::<bool>()).sample(rng);
+        let _: Vec<u8> = collection::vec(0u8..3, 1..5).sample(rng);
+        let _: HashSet<u64> = collection::hash_set(0u64..512, 1..64).sample(rng);
+    }
+};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_domain() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let (a, b, c) = Strategy::sample(&((0u64..64), any::<bool>(), (0u8..3)), &mut rng);
+            assert!(a < 64);
+            let _ = b;
+            assert!(c < 3);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let v = Strategy::sample(&prop::collection::vec(0u64..64, 1..600), &mut rng);
+            assert!(!v.is_empty() && v.len() < 600);
+            let s = Strategy::sample(&prop::collection::hash_set(0u64..512, 1..64), &mut rng);
+            assert!(!s.is_empty() && s.len() < 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new(77);
+        let mut b = TestRng::new(77);
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::sample(&(0u64..(1 << 48)), &mut a),
+                Strategy::sample(&(0u64..(1 << 48)), &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn macro_smoke(x in 0u64..100, flips in prop::collection::vec(any::<bool>(), 1..10)) {
+            prop_assert!(x < 100);
+            prop_assert!(!flips.is_empty());
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(flips.len(), 0);
+        }
+    }
+}
