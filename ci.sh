@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — the same four checks the GitHub Actions workflow runs.
+# Everything is offline: dependencies are vendored under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

@@ -26,14 +26,18 @@ fn bench(c: &mut Criterion) {
         let mut system = profile.system.clone();
         system.pcc_2m.access_bit_filter = filter;
         system.pcc_2m.decay_on_saturation = decay;
-        g.bench_with_input(BenchmarkId::new("pcc_variant", name), &system, |b, system| {
-            b.iter(|| {
-                let report = Simulation::new(system.clone(), PolicyChoice::pcc_default())
-                    .with_max_accesses_per_core(profile.max_accesses_per_core.unwrap())
-                    .run(&[ProcessSpec::new(&workload)]);
-                black_box(report)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pcc_variant", name),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let report = Simulation::new(system.clone(), PolicyChoice::pcc_default())
+                        .with_max_accesses_per_core(profile.max_accesses_per_core.unwrap())
+                        .run(&[ProcessSpec::new(&workload)]);
+                    black_box(report)
+                })
+            },
+        );
     }
 
     // Replacement-policy ablation (paper §3.2.1: LFU+LRU vs LRU similar).
@@ -46,13 +50,11 @@ fn bench(c: &mut Criterion) {
             &policy,
             |b, &policy| {
                 b.iter(|| {
-                    let report = Simulation::new(
-                        profile.system.clone(),
-                        PolicyChoice::pcc_default(),
-                    )
-                    .with_replacement(policy)
-                    .with_max_accesses_per_core(profile.max_accesses_per_core.unwrap())
-                    .run(&[ProcessSpec::new(&workload)]);
+                    let report =
+                        Simulation::new(profile.system.clone(), PolicyChoice::pcc_default())
+                            .with_replacement(policy)
+                            .with_max_accesses_per_core(profile.max_accesses_per_core.unwrap())
+                            .run(&[ProcessSpec::new(&workload)]);
                     black_box(report)
                 })
             },

@@ -15,8 +15,10 @@
 use hpage_bench::profile_from_env;
 use hpage_os::{read_schedule, write_schedule, PromotionBudget};
 use hpage_perf::{fmt_pct, fmt_speedup, TextTable};
-use hpage_sim::{PolicyChoice, ProcessSpec, Simulation};
-use hpage_trace::{instantiate, AnyWorkload, AppId, Dataset, RecordedWorkload, TraceWriter, Workload};
+use hpage_sim::{JsonlSink, PolicyChoice, ProcessSpec, SimReport, Simulation};
+use hpage_trace::{
+    instantiate, AnyWorkload, AppId, Dataset, RecordedWorkload, TraceWriter, Workload,
+};
 use hpage_types::{ProcessId, PromotionPolicyKind};
 use std::fs::File;
 use std::io::BufWriter;
@@ -27,7 +29,11 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--selection highest-frequency|round-robin] [--demotion] [--bias <pid,...>]
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
              [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE] [--trace-in FILE]
-             [--trace-info FILE]
+             [--trace-info FILE] [--events FILE] [--metrics FILE] [--quiet|-q] [--verbose|-v]
+flight recorder: --events streams every simulation event (TLB hits, walks,
+             faults, PCC updates, promotions, shootdowns, interval snapshots)
+             as JSON Lines; --metrics writes the per-interval series as JSONL
+verbosity:   --quiet prints the results table only; -v adds the per-interval series
 environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
 
 fn die(msg: &str) -> ! {
@@ -52,6 +58,10 @@ struct Options {
     trace_out: Option<String>,
     trace_in: Option<String>,
     trace_info: Option<String>,
+    events: Option<String>,
+    metrics: Option<String>,
+    /// 0 = quiet (results table only), 1 = default, 2 = verbose.
+    verbosity: u8,
 }
 
 fn parse_args() -> Options {
@@ -72,6 +82,9 @@ fn parse_args() -> Options {
         trace_out: None,
         trace_in: None,
         trace_info: None,
+        events: None,
+        metrics: None,
+        verbosity: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -116,29 +129,39 @@ fn parse_args() -> Options {
             "--bias" => {
                 opts.bias = value(&mut i)
                     .split(',')
-                    .map(|t| {
-                        ProcessId(t.trim().parse().unwrap_or_else(|_| die("bad --bias pid")))
-                    })
+                    .map(|t| ProcessId(t.trim().parse().unwrap_or_else(|_| die("bad --bias pid"))))
                     .collect()
             }
             "--threads" => {
-                opts.threads = value(&mut i).parse().unwrap_or_else(|_| die("bad --threads"))
+                opts.threads = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --threads"))
             }
             "--frag" => opts.frag = value(&mut i).parse().unwrap_or_else(|_| die("bad --frag")),
             "--budget-pct" => {
-                opts.budget_pct =
-                    Some(value(&mut i).parse().unwrap_or_else(|_| die("bad --budget-pct")))
+                opts.budget_pct = Some(
+                    value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --budget-pct")),
+                )
             }
             "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| die("bad --seed")),
             "--max-accesses" => {
-                opts.max_accesses =
-                    Some(value(&mut i).parse().unwrap_or_else(|_| die("bad --max-accesses")))
+                opts.max_accesses = Some(
+                    value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --max-accesses")),
+                )
             }
             "--schedule-out" => opts.schedule_out = Some(value(&mut i)),
             "--schedule-in" => opts.schedule_in = Some(value(&mut i)),
             "--trace-out" => opts.trace_out = Some(value(&mut i)),
             "--trace-in" => opts.trace_in = Some(value(&mut i)),
             "--trace-info" => opts.trace_info = Some(value(&mut i)),
+            "--events" => opts.events = Some(value(&mut i)),
+            "--metrics" => opts.metrics = Some(value(&mut i)),
+            "--quiet" | "-q" => opts.verbosity = 0,
+            "--verbose" | "-v" => opts.verbosity = 2,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0)
@@ -175,7 +198,10 @@ fn trace_info(path: &str) -> ! {
     let total = (friendly + hubs + low).max(1);
     let mut t = TextTable::new(["property", "value"]);
     t.row(["records".into(), w.len().to_string()]);
-    t.row(["footprint".into(), format!("{} KiB", w.footprint_bytes() >> 10)]);
+    t.row([
+        "footprint".into(),
+        format!("{} KiB", w.footprint_bytes() >> 10),
+    ]);
     t.row([
         "2MiB regions touched".into(),
         (w.footprint_bytes().div_ceil(2 << 20)).to_string(),
@@ -183,7 +209,10 @@ fn trace_info(path: &str) -> ! {
     t.row(["contiguous extents".into(), w.regions().len().to_string()]);
     t.row([
         "TLB-friendly pages".into(),
-        format!("{friendly} ({:.1}%)", 100.0 * friendly as f64 / total as f64),
+        format!(
+            "{friendly} ({:.1}%)",
+            100.0 * friendly as f64 / total as f64
+        ),
     ]);
     t.row([
         "HUB pages".into(),
@@ -231,12 +260,17 @@ fn main() {
         let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
         let mut writer = TraceWriter::new(BufWriter::new(file))
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
-        let cap = opts.max_accesses.or(profile.max_accesses_per_core).unwrap_or(u64::MAX);
+        let cap = opts
+            .max_accesses
+            .or(profile.max_accesses_per_core)
+            .unwrap_or(u64::MAX);
         writer
             .write_all(workload.trace().take(cap as usize))
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         let n = writer.records();
-        writer.finish().unwrap_or_else(|e| die(&format!("flush {path}: {e}")));
+        writer
+            .finish()
+            .unwrap_or_else(|e| die(&format!("flush {path}: {e}")));
         println!("wrote {n} accesses of {} to {path}", workload.name());
         return;
     }
@@ -285,20 +319,45 @@ fn main() {
     }
     let spec = || [ProcessSpec::with_threads(workload, opts.threads)];
     let base = base_sim.run(&spec());
-    let report = sim.run(&spec());
+    // The instrumented run streams the flight recorder when requested;
+    // the baseline run is never recorded (it is only a speedup anchor).
+    let (report, event_counts): (SimReport, Option<(u64, Vec<(String, u64)>)>) = match &opts.events
+    {
+        Some(path) => {
+            let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+            let mut sink = JsonlSink::new(BufWriter::new(file));
+            let report = sim.run_recorded(&spec(), &mut sink);
+            let total = sink.total();
+            let counts = sink
+                .finish()
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            let counts = counts
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            (report, Some((total, counts)))
+        }
+        None => (sim.run(&spec()), None),
+    };
 
-    println!(
-        "{} on {} ({} MiB footprint, {} threads, {}% fragmented)\n",
-        workload.name(),
-        opts.dataset.name(),
-        footprint >> 20,
-        opts.threads,
-        opts.frag
-    );
+    if opts.verbosity >= 1 {
+        println!(
+            "{} on {} ({} MiB footprint, {} threads, {}% fragmented)\n",
+            workload.name(),
+            opts.dataset.name(),
+            footprint >> 20,
+            opts.threads,
+            opts.frag
+        );
+    }
     let mut t = TextTable::new(["metric", "baseline (4KB)", &report.policy]);
     let a = &report.aggregate;
     let b = &base.aggregate;
-    t.row(["accesses".into(), b.accesses.to_string(), a.accesses.to_string()]);
+    t.row([
+        "accesses".into(),
+        b.accesses.to_string(),
+        a.accesses.to_string(),
+    ]);
     t.row([
         "PTW rate".into(),
         fmt_pct(b.walk_ratio()),
@@ -327,6 +386,62 @@ fn main() {
         fmt_speedup(report.speedup_over(&base, &timing)),
     ]);
     println!("{t}");
+
+    if opts.verbosity >= 2 && !report.interval_series.is_empty() {
+        let mut t = TextTable::new([
+            "interval",
+            "PTW rate",
+            "L1 hit",
+            "L2 hit",
+            "promos",
+            "demos",
+            "PCC occ",
+            "huge",
+            "bloat KiB",
+        ]);
+        for (i, r) in report.interval_series.rows().iter().enumerate() {
+            t.row([
+                i.to_string(),
+                fmt_pct(r.walk_rate),
+                fmt_pct(r.l1_hit_rate),
+                fmt_pct(r.l2_hit_rate),
+                r.promotions.to_string(),
+                r.demotions.to_string(),
+                r.pcc_occupancy.to_string(),
+                r.huge_pages_resident.to_string(),
+                (r.bloat_bytes >> 10).to_string(),
+            ]);
+        }
+        println!("per-interval series ({})\n{t}", report.policy);
+    }
+
+    if let Some((total, counts)) = &event_counts {
+        if opts.verbosity >= 1 {
+            let mut t = TextTable::new(["event", "count"]);
+            for (kind, n) in counts {
+                t.row([kind.clone(), n.to_string()]);
+            }
+            println!(
+                "flight recorder: {total} events -> {}\n{t}",
+                opts.events.as_deref().unwrap_or_default()
+            );
+        }
+    }
+
+    if let Some(path) = &opts.metrics {
+        let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+        use std::io::Write;
+        let mut w = BufWriter::new(file);
+        w.write_all(report.interval_series.to_jsonl().as_bytes())
+            .and_then(|()| w.flush())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        if opts.verbosity >= 1 {
+            println!(
+                "wrote {} interval metric rows to {path}",
+                report.interval_series.len()
+            );
+        }
+    }
 
     if let Some(path) = &opts.schedule_out {
         let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));

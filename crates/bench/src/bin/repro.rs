@@ -14,11 +14,38 @@ use hpage_bench::*;
 use hpage_sim::Fig9Config;
 use hpage_trace::AppId;
 
-const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--json 1|6|7|ablation|datasets]
+const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--json 1|6|7|ablation|datasets] [--quiet|-q] [--verbose|-v]
+verbosity: progress notes go to stderr; --quiet silences them, -v adds per-section timing
 environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
 
+/// Runs one render step, with progress (and, verbosely, timing) on
+/// stderr so long `--all` runs are not silent.
+fn section<F: FnOnce() -> String>(verbosity: u8, label: &str, f: F) -> String {
+    if verbosity >= 1 {
+        eprintln!("repro: rendering {label}...");
+    }
+    let t0 = std::time::Instant::now();
+    let out = f();
+    if verbosity >= 2 {
+        eprintln!("repro: {label} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    out
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut verbosity: u8 = 1;
+    args.retain(|a| match a.as_str() {
+        "--quiet" | "-q" => {
+            verbosity = 0;
+            false
+        }
+        "--verbose" | "-v" => {
+            verbosity = 2;
+            false
+        }
+        _ => true,
+    });
     if args.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
@@ -31,49 +58,93 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--all" => {
-                println!("{}", render_table1());
-                println!("{}", render_table2(&profile));
-                println!("{}", render_storage());
-                println!("{}", render_fig1(&profile, &AppId::ALL));
-                println!("{}", render_fig2(&profile, AppId::Bfs, 2_000_000));
-                println!("{}", render_fig5(&profile, &AppId::ALL, sweep));
+                println!("{}", section(verbosity, "table 1", render_table1));
                 println!(
                     "{}",
-                    render_fig6(
+                    section(verbosity, "table 2", || render_table2(&profile))
+                );
+                println!("{}", section(verbosity, "storage table", render_storage));
+                println!(
+                    "{}",
+                    section(verbosity, "figure 1", || render_fig1(&profile, &AppId::ALL))
+                );
+                println!(
+                    "{}",
+                    section(verbosity, "figure 2", || render_fig2(
+                        &profile,
+                        AppId::Bfs,
+                        2_000_000
+                    ))
+                );
+                println!(
+                    "{}",
+                    section(verbosity, "figure 5", || render_fig5(
+                        &profile,
+                        &AppId::ALL,
+                        sweep
+                    ))
+                );
+                println!(
+                    "{}",
+                    section(verbosity, "figure 6", || render_fig6(
                         &fig6_profile(&profile),
                         &AppId::GRAPH,
                         &[4, 8, 16, 32, 64, 128, 256, 512, 1024]
-                    )
-                );
-                println!("{}", render_fig7(&profile, &AppId::GRAPH, 90));
-                println!(
-                    "{}",
-                    render_fig8(&profile, &AppId::GRAPH, &[2, 4, 8], quick_sweep)
+                    ))
                 );
                 println!(
                     "{}",
-                    render_fig9(
+                    section(verbosity, "figure 7", || render_fig7(
+                        &profile,
+                        &AppId::GRAPH,
+                        90
+                    ))
+                );
+                println!(
+                    "{}",
+                    section(verbosity, "figure 8", || render_fig8(
+                        &profile,
+                        &AppId::GRAPH,
+                        &[2, 4, 8],
+                        quick_sweep
+                    ))
+                );
+                println!(
+                    "{}",
+                    section(verbosity, "figure 9a", || render_fig9(
                         &profile,
                         Fig9Config {
                             app_a: AppId::PageRank,
                             app_b: AppId::Mcf
                         },
                         quick_sweep
-                    )
+                    ))
                 );
                 println!(
                     "{}",
-                    render_fig9(
+                    section(verbosity, "figure 9b", || render_fig9(
                         &profile,
                         Fig9Config {
                             app_a: AppId::PageRank,
                             app_b: AppId::Sssp
                         },
                         quick_sweep
-                    )
+                    ))
                 );
-                println!("{}", render_ablation(&profile, AppId::Bfs));
-                println!("{}", render_timeline(&profile, AppId::Bfs));
+                println!(
+                    "{}",
+                    section(verbosity, "ablation", || render_ablation(
+                        &profile,
+                        AppId::Bfs
+                    ))
+                );
+                println!(
+                    "{}",
+                    section(verbosity, "timeline", || render_timeline(
+                        &profile,
+                        AppId::Bfs
+                    ))
+                );
             }
             "--figure" => {
                 i += 1;
@@ -131,7 +202,13 @@ fn main() {
                 println!("{}", render_datasets(&profile, &AppId::GRAPH));
             }
             "--timeline" => {
-                println!("{}", render_timeline(&profile, AppId::Bfs));
+                println!(
+                    "{}",
+                    section(verbosity, "timeline", || render_timeline(
+                        &profile,
+                        AppId::Bfs
+                    ))
+                );
             }
             "--json" => {
                 i += 1;

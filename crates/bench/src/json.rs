@@ -1,38 +1,11 @@
 //! Minimal JSON emission for experiment results (`repro --json`).
 //!
-//! Hand-rolled rather than pulling in serde: the output values are flat
-//! records of numbers and short ASCII identifiers, so a tiny writer
-//! keeps the dependency tree lean.
+//! The escaping/number helpers live in [`hpage_obs::json`] — one
+//! implementation shared with the flight recorder's JSONL sink.
 
+use hpage_obs::json::{esc, num};
 use hpage_perf::UtilityCurve;
 use hpage_sim::{AblationRow, DatasetRow, Fig1Row, Fig6Row, Fig7Row};
-
-/// Escapes a string for JSON (the identifiers used here are ASCII, but
-/// be correct anyway).
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A JSON value fragment.
-fn num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".into()
-    }
-}
 
 /// Serializes Fig. 1 rows.
 pub fn fig1_json(rows: &[Fig1Row]) -> String {

@@ -178,12 +178,7 @@ pub fn render_fig7(profile: &SimProfile, apps: &[AppId], frag: u8) -> String {
 }
 
 /// Renders Fig. 8 (multithread selection policies).
-pub fn render_fig8(
-    profile: &SimProfile,
-    apps: &[AppId],
-    threads: &[u32],
-    sweep: &[u64],
-) -> String {
+pub fn render_fig8(profile: &SimProfile, apps: &[AppId], threads: &[u32], sweep: &[u64]) -> String {
     let rows = fig8_multithread(profile, apps, threads, sweep);
     let mut t = TextTable::new(["app", "threads", "policy", "%footprint", "speedup", "ideal"]);
     for r in &rows {
@@ -235,8 +230,8 @@ pub fn render_timeline(profile: &SimProfile, app: AppId) -> String {
     let w = instantiate(app, Dataset::Kronecker, profile.workloads, 0xC0FFEE);
     let sized = profile.clone().sized_for(w.footprint_bytes());
     let run = |policy: PolicyChoice| {
-        let mut sim = Simulation::new(sized.system.clone(), policy)
-            .with_budget(PromotionBudget::UNLIMITED);
+        let mut sim =
+            Simulation::new(sized.system.clone(), policy).with_budget(PromotionBudget::UNLIMITED);
         if let Some(n) = profile.max_accesses_per_core {
             sim = sim.with_max_accesses_per_core(n);
         }
@@ -246,21 +241,38 @@ pub fn render_timeline(profile: &SimProfile, app: AppId) -> String {
     let pcc = run(PolicyChoice::pcc_default());
     let hawkeye = run(PolicyChoice::HawkEye);
     let intervals = base
-        .interval_walk_rates
+        .interval_series
         .len()
-        .min(pcc.interval_walk_rates.len())
-        .min(hawkeye.interval_walk_rates.len());
-    let mut t = TextTable::new(["interval", "baseline PTW", "hawkeye PTW", "pcc PTW"]);
+        .min(pcc.interval_series.len())
+        .min(hawkeye.interval_series.len());
+    let mut t = TextTable::new([
+        "interval",
+        "base PTW",
+        "hawkeye PTW",
+        "pcc PTW",
+        "pcc L1 hit",
+        "pcc L2 hit",
+        "pcc promos",
+        "PCC occ",
+        "huge pages",
+    ]);
     for i in 0..intervals {
+        let p = &pcc.interval_series.rows()[i];
         t.row([
             i.to_string(),
-            fmt_pct(base.interval_walk_rates[i]),
-            fmt_pct(hawkeye.interval_walk_rates[i]),
-            fmt_pct(pcc.interval_walk_rates[i]),
+            fmt_pct(base.interval_series.rows()[i].walk_rate),
+            fmt_pct(hawkeye.interval_series.rows()[i].walk_rate),
+            fmt_pct(p.walk_rate),
+            fmt_pct(p.l1_hit_rate),
+            fmt_pct(p.l2_hit_rate),
+            p.promotions.to_string(),
+            p.pcc_occupancy.to_string(),
+            p.huge_pages_resident.to_string(),
         ]);
     }
     format!(
-        "Time-to-benefit — per-interval PTW rate on {} (the PCC collapses it          within the first intervals; scan-limited policies lag)
+        "Time-to-benefit — per-interval flight-recorder series on {} (the PCC
+collapses the PTW rate within the first intervals; scan-limited policies lag)
 {t}",
         w.name()
     )
@@ -279,8 +291,11 @@ pub fn render_ablation(profile: &SimProfile, app: AppId) -> String {
             r.promotions.to_string(),
         ]);
     }
-    format!("Ablations — PCC design choices on {}
-{t}", app.name())
+    format!(
+        "Ablations — PCC design choices on {}
+{t}",
+        app.name()
+    )
 }
 
 /// Renders the multi-dataset sweep (Table 1's inputs across sorted and
@@ -299,7 +314,12 @@ pub fn render_datasets(profile: &SimProfile, apps: &[AppId]) -> String {
         t.row([
             r.app.clone(),
             r.dataset.clone(),
-            if r.dbg_sorted { "dbg-sorted" } else { "unsorted" }.to_string(),
+            if r.dbg_sorted {
+                "dbg-sorted"
+            } else {
+                "unsorted"
+            }
+            .to_string(),
             fmt_pct(r.base_walk_ratio),
             fmt_speedup(r.pcc_speedup_4pct),
             fmt_speedup(r.ideal_speedup),
@@ -308,10 +328,12 @@ pub fn render_datasets(profile: &SimProfile, apps: &[AppId]) -> String {
     let geo = dataset_geomean(&rows)
         .map(|g| format!("geomean pcc@4% speedup: {}", fmt_speedup(g)))
         .unwrap_or_default();
-    format!("Dataset sweep — graph kernels across Table 1 networks
+    format!(
+        "Dataset sweep — graph kernels across Table 1 networks
 {t}
 {geo}
-")
+"
+    )
 }
 
 /// Renders Table 1 (evaluation applications and inputs).

@@ -94,7 +94,10 @@ impl CacheLevelConfig {
         if !self.line_bytes.is_power_of_two() {
             return Err(ConfigError::new("cache line size must be a power of two"));
         }
-        if self.bytes % (u64::from(self.ways) * u64::from(self.line_bytes)) != 0 {
+        if !self
+            .bytes
+            .is_multiple_of(u64::from(self.ways) * u64::from(self.line_bytes))
+        {
             return Err(ConfigError::new("ways*line must divide capacity"));
         }
         if self.sets() == 0 {

@@ -302,9 +302,7 @@ impl Pcc {
     /// reads from the designated memory region in Fig. 4.
     pub fn dump(&self) -> Vec<Candidate> {
         let mut snapshot: Vec<&Entry> = self.entries.iter().collect();
-        snapshot.sort_by(|a, b| {
-            (b.frequency, b.last_used).cmp(&(a.frequency, a.last_used))
-        });
+        snapshot.sort_by_key(|e| std::cmp::Reverse((e.frequency, e.last_used)));
         snapshot
             .into_iter()
             .map(|e| Candidate {
@@ -340,7 +338,10 @@ mod tests {
     }
 
     fn small_pcc(entries: u32) -> Pcc {
-        Pcc::new(PccConfig::paper_2m().with_entries(entries), PageSize::Huge2M)
+        Pcc::new(
+            PccConfig::paper_2m().with_entries(entries),
+            PageSize::Huge2M,
+        )
     }
 
     #[test]
@@ -356,7 +357,10 @@ mod tests {
     #[test]
     fn cold_miss_filter_drops_first_touch() {
         let mut pcc = small_pcc(4);
-        assert_eq!(pcc.record_walk(region(9), false), PccEvent::FilteredColdMiss);
+        assert_eq!(
+            pcc.record_walk(region(9), false),
+            PccEvent::FilteredColdMiss
+        );
         assert!(pcc.is_empty());
         assert_eq!(pcc.stats().cold_filtered, 1);
         // With the bit set, it is admitted.
@@ -380,7 +384,7 @@ mod tests {
         pcc.record_walk(region(1), true);
         pcc.record_walk(region(1), true); // freq 1
         pcc.record_walk(region(2), true); // freq 0
-        // PCC full; inserting region 3 must evict region 2 (lowest freq).
+                                          // PCC full; inserting region 3 must evict region 2 (lowest freq).
         match pcc.record_walk(region(3), true) {
             PccEvent::InsertedWithEviction(v) => assert_eq!(v, region(2)),
             other => panic!("expected eviction, got {other:?}"),
@@ -411,7 +415,7 @@ mod tests {
         pcc.record_walk(region(1), true);
         pcc.record_walk(region(1), true); // freq 2, but oldest after next line
         pcc.record_walk(region(2), true); // freq 0, most recent
-        // LRU evicts region 1 even though it is the most frequent.
+                                          // LRU evicts region 1 even though it is the most frequent.
         match pcc.record_walk(region(3), true) {
             PccEvent::InsertedWithEviction(v) => assert_eq!(v, region(1)),
             other => panic!("expected eviction, got {other:?}"),
@@ -552,9 +556,6 @@ mod tests {
         };
         assert!(c.to_string().contains("freq=5"));
         assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
-        assert_eq!(
-            ReplacementPolicy::LfuWithLruTiebreak.to_string(),
-            "LFU+LRU"
-        );
+        assert_eq!(ReplacementPolicy::LfuWithLruTiebreak.to_string(), "LFU+LRU");
     }
 }

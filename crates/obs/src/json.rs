@@ -1,0 +1,108 @@
+//! Minimal hand-rolled JSON emission helpers.
+//!
+//! Hand-rolled rather than pulling in serde: everything this workspace
+//! serializes is flat records of numbers and short ASCII identifiers,
+//! and the build environment is offline. These helpers are the single
+//! escaping implementation for the whole workspace (the bench crate's
+//! figure writers and the flight recorder's JSONL sink both use them).
+
+/// Escapes a string for embedding in a JSON string literal (the
+/// identifiers used here are ASCII, but be correct anyway).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON value fragment (`null` for non-finite
+/// values, which raw JSON cannot represent).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Asserts `s` is structurally sane JSON: balanced braces/brackets and
+/// no raw control characters. A tiny validator for tests — not a parser.
+///
+/// # Panics
+///
+/// Panics when the structure is unbalanced or a raw control character
+/// appears.
+pub fn assert_json_shape(s: &str) {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            assert!((c as u32) >= 0x20, "raw control char inside JSON string");
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            c => assert!((c as u32) >= 0x20, "raw control char in JSON"),
+        }
+        assert!(depth >= 0, "unbalanced JSON nesting");
+    }
+    assert!(!in_string, "unterminated JSON string");
+    assert_eq!(depth, 0, "unbalanced JSON nesting");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(esc("tab\there"), "tab\\there");
+        assert_eq!(esc("cr\rhere"), "cr\\rhere");
+        assert_eq!(esc("plain ascii_09"), "plain ascii_09");
+    }
+
+    #[test]
+    fn escaping_roundtrips_through_shape_check() {
+        // Hostile app labels (quotes, backslashes, control chars) must
+        // still produce structurally valid JSON.
+        for hostile in ["a\"b", "back\\slash", "new\nline", "\u{0}\u{1f}", "\"\\\""] {
+            let doc = format!("{{\"label\":\"{}\"}}", esc(hostile));
+            assert_json_shape(&doc);
+        }
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(2.5), "2.500000");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(0.0), "0.000000");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn shape_check_catches_imbalance() {
+        assert_json_shape("{\"a\":[1,2}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Recorder backends: the zero-cost null recorder, an in-memory buffer,
+//! and a streaming JSONL sink.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use crate::event::Event;
+
+/// A sink for flight-recorder events.
+///
+/// The simulator is generic over `R: Recorder`, so the default
+/// [`NullRecorder`] monomorphizes every `record` call to an inlined
+/// no-op — an uninstrumented run compiles to the same hot loop it had
+/// before this trait existed.
+///
+/// Implementors that buffer or serialize should override [`enabled`]
+/// to return `true`; callers use it to skip *constructing* expensive
+/// events (e.g. interval snapshots that walk the PCC bank).
+pub trait Recorder {
+    /// Whether this recorder actually keeps events. `false` lets call
+    /// sites skip building event payloads entirely.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one event at simulation time `at` (total accesses issued).
+    #[inline]
+    fn record(&mut self, at: u64, event: Event) {
+        let _ = (at, event);
+    }
+}
+
+/// The do-nothing recorder: the default for every simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// Buffers every event in memory; for tests and programmatic analysis.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    events: Vec<(u64, Event)>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded `(timestamp, event)` pairs, in arrival order.
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Per-kind event counts, ordered by kind name.
+    pub fn counts_by_kind(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for (_, ev) in &self.events {
+            *counts.entry(ev.kind()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the full buffer as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (at, ev) in &self.events {
+            out.push_str(&ev.to_jsonl(*at));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn record(&mut self, at: u64, event: Event) {
+        self.events.push((at, event));
+    }
+}
+
+/// Streams events as JSON Lines to any [`Write`] target.
+///
+/// Writes are line-buffered by the caller-supplied writer; I/O errors
+/// are captured rather than panicking mid-simulation and surfaced by
+/// [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    counts: BTreeMap<&'static str, u64>,
+    total: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`; the caller should hand in something buffered
+    /// (e.g. `BufWriter<File>`).
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            counts: BTreeMap::new(),
+            total: 0,
+            error: None,
+        }
+    }
+
+    /// Events written so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-kind event counts, ordered by kind name.
+    pub fn counts_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Flushes and returns the per-kind counts, or the first I/O error
+    /// encountered while streaming.
+    pub fn finish(mut self) -> std::io::Result<BTreeMap<&'static str, u64>> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.writer.flush()?;
+        Ok(self.counts)
+    }
+}
+
+impl<W: Write> Recorder for JsonlSink<W> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, at: u64, event: Event) {
+        if self.error.is_some() {
+            return;
+        }
+        *self.counts.entry(event.kind()).or_insert(0) += 1;
+        self.total += 1;
+        let line = event.to_jsonl(at);
+        if let Err(err) = writeln!(self.writer, "{line}") {
+            self.error = Some(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TlbLevel;
+    use crate::json::assert_json_shape;
+    use hpage_types::{CoreId, PageSize};
+
+    fn hit() -> Event {
+        Event::TlbHit {
+            core: CoreId(0),
+            level: TlbLevel::L1,
+            size: PageSize::Base4K,
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(1, hit()); // must be a harmless no-op
+    }
+
+    #[test]
+    fn memory_recorder_buffers_and_counts() {
+        let mut r = MemoryRecorder::new();
+        assert!(r.enabled());
+        r.record(1, hit());
+        r.record(2, hit());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.counts_by_kind().get("tlb_hit"), Some(&2));
+        let jsonl = r.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert_json_shape(line);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_streams_and_finishes() {
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        assert!(sink.enabled());
+        sink.record(5, hit());
+        sink.record(9, hit());
+        assert_eq!(sink.total(), 2);
+        let counts = sink.finish().expect("finish");
+        assert_eq!(counts.get("tlb_hit"), Some(&2));
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"at\":5,"));
+        for line in text.lines() {
+            assert_json_shape(line);
+        }
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_io_errors_at_finish() {
+        let mut sink = JsonlSink::new(FailingWriter);
+        sink.record(1, hit());
+        sink.record(2, hit()); // swallowed after first error
+        assert!(sink.finish().is_err());
+    }
+}

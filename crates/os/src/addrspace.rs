@@ -2,8 +2,8 @@
 //! mechanics the OS performs on it.
 
 use crate::physmem::PhysicalMemory;
-use hpage_types::{HpageError, PageSize, ProcessId, VirtAddr, Vpn};
 use hpage_tlb::{PageTable, Translation};
+use hpage_types::{HpageError, PageSize, ProcessId, VirtAddr, Vpn};
 use std::collections::HashMap;
 
 /// How a page fault was satisfied.
@@ -139,7 +139,10 @@ impl AddressSpace {
         prefer_huge: bool,
         phys: &mut PhysicalMemory,
     ) -> Result<FaultOutcome, HpageError> {
-        debug_assert!(self.page_table.translate(va).is_none(), "fault on mapped va");
+        debug_assert!(
+            self.page_table.translate(va).is_none(),
+            "fault on mapped va"
+        );
         self.stats.pages_touched += 1;
         let region = va.vpn(PageSize::Huge2M);
         if prefer_huge && self.page_table.mapped_base_pages_in(region) == 0 {
@@ -221,9 +224,7 @@ impl AddressSpace {
                 reason: "promote_1g requires a 1GB region".into(),
             });
         }
-        if self.page_table.translate(region.base()).map(|t| t.size())
-            == Some(PageSize::Huge1G)
-        {
+        if self.page_table.translate(region.base()).map(|t| t.size()) == Some(PageSize::Huge1G) {
             return Err(HpageError::InvalidRemap {
                 reason: format!("{region} is already a 1GB page"),
             });
@@ -334,10 +335,7 @@ mod tests {
         let va = VirtAddr::new(0x40_0000);
         let out = a.fault(va, false, &mut pm).unwrap();
         assert!(matches!(out, FaultOutcome::Base(_)));
-        assert_eq!(
-            a.page_table().mapping_size(va),
-            Some(PageSize::Base4K)
-        );
+        assert_eq!(a.page_table().mapping_size(va), Some(PageSize::Base4K));
         assert_eq!(a.stats().base_faults, 1);
         assert_eq!(pm.free_frames(), 16 * 512 - 1);
     }
@@ -350,10 +348,7 @@ mod tests {
         assert!(matches!(out, FaultOutcome::Huge(_)));
         assert_eq!(a.page_table().mapping_size(va), Some(PageSize::Huge2M));
         // The whole region translates, not just the faulting page.
-        assert!(a
-            .page_table()
-            .translate(VirtAddr::new(0x40_0000))
-            .is_some());
+        assert!(a.page_table().translate(VirtAddr::new(0x40_0000)).is_some());
         assert_eq!(a.stats().huge_faults, 1);
     }
 
@@ -365,9 +360,7 @@ mod tests {
         let (mut a, mut pm) = setup();
         let r = region(32);
         a.fault(r.base(), false, &mut pm).unwrap(); // base page first
-        let out = a
-            .fault(r.base().offset(0x1000), true, &mut pm)
-            .unwrap();
+        let out = a.fault(r.base().offset(0x1000), true, &mut pm).unwrap();
         assert!(matches!(out, FaultOutcome::Base(_)));
         assert!(!a.page_table().is_huge_mapped(r));
     }

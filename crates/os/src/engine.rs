@@ -42,7 +42,9 @@ impl OsState {
         );
         OsState {
             phys,
-            spaces: (0..processes).map(|i| AddressSpace::new(ProcessId(i))).collect(),
+            spaces: (0..processes)
+                .map(|i| AddressSpace::new(ProcessId(i)))
+                .collect(),
             core_process,
         }
     }
@@ -114,6 +116,10 @@ pub struct IntervalReport {
     pub sampling_invalidations: Vec<(ProcessId, Vpn)>,
     /// Promotion attempts that failed for lack of a huge frame.
     pub failures: u64,
+    /// Whether the interval stopped promoting because the promotion
+    /// budget ran out (distinct from `failures`, which count allocation
+    /// failures).
+    pub budget_exhausted: bool,
 }
 
 impl IntervalReport {
@@ -132,7 +138,7 @@ impl IntervalReport {
 /// A huge-page management policy.
 pub trait HugePagePolicy {
     /// Policy name for reports.
-    fn name(&self) -> &str;
+    fn name(&self) -> &'static str;
 
     /// Whether page faults should try to allocate a huge page
     /// synchronously (Linux THP's fault path).
@@ -180,7 +186,7 @@ fn execute_promotion(
 pub struct BasePagesPolicy;
 
 impl HugePagePolicy for BasePagesPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "base-4k"
     }
 
@@ -201,7 +207,7 @@ impl HugePagePolicy for BasePagesPolicy {
 pub struct IdealHugePolicy;
 
 impl HugePagePolicy for IdealHugePolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "ideal-2m"
     }
 
@@ -278,7 +284,7 @@ impl Default for LinuxThpPolicy {
 }
 
 impl HugePagePolicy for LinuxThpPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "linux-thp"
     }
 
@@ -295,8 +301,8 @@ impl HugePagePolicy for LinuxThpPolicy {
     ) -> IntervalReport {
         let mut report = IntervalReport::default();
         let region_scan_budget = (self.pages_per_scan / BASE_PAGES_PER_2M).max(1);
+        let scan_cap = usize::try_from(region_scan_budget).unwrap_or(usize::MAX);
         for p in 0..os.spaces.len() {
-            let mut scanned = 0u64;
             let regions = os.spaces[p].page_table().mapped_2m_regions();
             if regions.is_empty() {
                 continue;
@@ -306,12 +312,8 @@ impl HugePagePolicy for LinuxThpPolicy {
                 .iter()
                 .position(|r| r.index() >= *rotor)
                 .unwrap_or(0);
-            for k in 0..regions.len() {
-                if scanned >= region_scan_budget {
-                    break;
-                }
+            for k in 0..regions.len().min(scan_cap) {
                 let region = regions[(start + k) % regions.len()];
-                scanned += 1;
                 *rotor = region.index() + 1;
                 if os.spaces[p].page_table().is_huge_mapped(region) {
                     continue;
@@ -321,6 +323,7 @@ impl HugePagePolicy for LinuxThpPolicy {
                     continue;
                 }
                 if !budget.available() {
+                    report.budget_exhausted = true;
                     return report;
                 }
                 match execute_promotion(os, &mut pccs, p, region, now) {
@@ -401,7 +404,7 @@ impl Default for HawkEyePolicy {
 }
 
 impl HugePagePolicy for HawkEyePolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "hawkeye"
     }
 
@@ -417,23 +420,16 @@ impl HugePagePolicy for HawkEyePolicy {
         // worth of regions per process, clearing A-bits as we go (the
         // 1-second tracking interval).
         let region_scan_budget = (self.pages_per_scan / BASE_PAGES_PER_2M).max(1);
+        let scan_cap = usize::try_from(region_scan_budget).unwrap_or(usize::MAX);
         for p in 0..os.spaces.len() {
             let regions = os.spaces[p].page_table().mapped_2m_regions();
             if regions.is_empty() {
                 continue;
             }
             let rotor = *self.rotors.get(&p).unwrap_or(&0);
-            let start = regions
-                .iter()
-                .position(|r| r.index() >= rotor)
-                .unwrap_or(0);
-            let mut scanned = 0u64;
-            for k in 0..regions.len() {
-                if scanned >= region_scan_budget {
-                    break;
-                }
+            let start = regions.iter().position(|r| r.index() >= rotor).unwrap_or(0);
+            for k in 0..regions.len().min(scan_cap) {
                 let region = regions[(start + k) % regions.len()];
-                scanned += 1;
                 self.rotors.insert(p, region.index() + 1);
                 if os.spaces[p].page_table().is_huge_mapped(region) {
                     continue;
@@ -451,6 +447,7 @@ impl HugePagePolicy for HawkEyePolicy {
         'outer: for b in (0..10).rev() {
             while let Some(&(p, region)) = self.buckets[b].first() {
                 if promoted >= self.promotions_per_interval || !budget.available() {
+                    report.budget_exhausted = !budget.available();
                     break 'outer;
                 }
                 self.buckets[b].remove(0);
@@ -580,7 +577,7 @@ impl PccPolicy {
 }
 
 impl HugePagePolicy for PccPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "pcc"
     }
 
@@ -607,6 +604,7 @@ impl HugePagePolicy for PccPolicy {
         let mut promoted = 0u32;
         for cand in candidates {
             if promoted >= self.regions_to_promote || !budget.available() {
+                report.budget_exhausted = !budget.available();
                 break;
             }
             let p = os.process_of(cand.core);
@@ -645,8 +643,11 @@ impl HugePagePolicy for PccPolicy {
         // regions so the next interval can detect coldness.
         if self.demotion {
             for (p, space) in os.spaces.iter_mut().enumerate() {
-                let regions: Vec<Vpn> =
-                    space.promoted_regions().into_iter().map(|(r, _)| r).collect();
+                let regions: Vec<Vpn> = space
+                    .promoted_regions()
+                    .into_iter()
+                    .map(|(r, _)| r)
+                    .collect();
                 for r in regions {
                     let key = (p, r.index());
                     if space.page_table().accessed_base_pages_in(r) == 0 {
@@ -655,9 +656,7 @@ impl HugePagePolicy for PccPolicy {
                         self.cold_streaks.insert(key, 0);
                     }
                     space.page_table_mut().clear_accessed_in(r);
-                    report
-                        .sampling_invalidations
-                        .push((ProcessId(p as u32), r));
+                    report.sampling_invalidations.push((ProcessId(p as u32), r));
                 }
             }
         }
@@ -744,7 +743,7 @@ impl ReplayPolicy {
 }
 
 impl HugePagePolicy for ReplayPolicy {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "replay"
     }
 
@@ -763,6 +762,7 @@ impl HugePagePolicy for ReplayPolicy {
             }
             self.cursor += 1;
             if !budget.available() {
+                report.budget_exhausted = true;
                 continue;
             }
             let p = ev.process.0 as usize;
@@ -851,7 +851,11 @@ mod tests {
         let mut budget = PromotionBudget::UNLIMITED;
         let rep = p.run_interval(&mut os, None, 0, &mut budget);
         // Scan budget is 8 regions: all 3 promoted, ascending order.
-        let promoted: Vec<u64> = rep.promotions.iter().map(|(_, o)| o.region.index()).collect();
+        let promoted: Vec<u64> = rep
+            .promotions
+            .iter()
+            .map(|(_, o)| o.region.index())
+            .collect();
         assert_eq!(promoted, vec![2, 5, 9]);
         assert!(os.spaces[0].page_table().is_huge_mapped(region(2)));
     }
@@ -867,7 +871,11 @@ mod tests {
         let rep1 = p.run_interval(&mut os, None, 0, &mut budget);
         assert_eq!(rep1.promotions.len(), 2); // regions 0, 1
         let rep2 = p.run_interval(&mut os, None, 0, &mut budget);
-        let idx: Vec<u64> = rep2.promotions.iter().map(|(_, o)| o.region.index()).collect();
+        let idx: Vec<u64> = rep2
+            .promotions
+            .iter()
+            .map(|(_, o)| o.region.index())
+            .collect();
         assert_eq!(idx, vec![2, 3]); // rotor resumed
     }
 
@@ -944,7 +952,12 @@ mod tests {
         }
         bank.record_walk(CoreId(0), region(3), true);
         let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 1);
-        let rep = p.run_interval(&mut os, Some(&mut bank), 7, &mut PromotionBudget::UNLIMITED.clone());
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            7,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
         assert_eq!(rep.promotions.len(), 1);
         assert_eq!(rep.promotions[0].1.region, region(8));
         // Promotion invalidated the candidate from the PCC.
@@ -961,7 +974,12 @@ mod tests {
             bank.record_walk(CoreId(0), region(i), true);
         }
         let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 4);
-        let rep = p.run_interval(&mut os, Some(&mut bank), 0, &mut PromotionBudget::UNLIMITED.clone());
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            0,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
         assert_eq!(rep.promotions.len(), 4);
         let mut budget = PromotionBudget::regions(2);
         let rep = p.run_interval(&mut os, Some(&mut bank), 0, &mut budget);
@@ -976,7 +994,12 @@ mod tests {
         // Candidate never mapped: must be skipped and invalidated.
         bank.record_walk(CoreId(0), region(9), true);
         let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8);
-        let rep = p.run_interval(&mut os, Some(&mut bank), 0, &mut PromotionBudget::UNLIMITED.clone());
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            0,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
         assert!(rep.promotions.is_empty());
         assert!(bank.pcc(CoreId(0)).is_empty());
     }
@@ -1005,8 +1028,17 @@ mod tests {
             bank.record_walk(CoreId(1), region(3), true);
         }
         let mut p = PccPolicy::new(PromotionPolicyKind::RoundRobin, 2);
-        let rep = p.run_interval(&mut os, Some(&mut bank), 0, &mut PromotionBudget::UNLIMITED.clone());
-        let cores_hit: Vec<u64> = rep.promotions.iter().map(|(_, o)| o.region.index()).collect();
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            0,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
+        let cores_hit: Vec<u64> = rep
+            .promotions
+            .iter()
+            .map(|(_, o)| o.region.index())
+            .collect();
         // One candidate from each core's PCC.
         assert!(cores_hit.contains(&0) || cores_hit.contains(&1));
         assert!(cores_hit.contains(&2) || cores_hit.contains(&3));
@@ -1025,9 +1057,14 @@ mod tests {
             bank.record_walk(CoreId(0), region(100), true);
         }
         bank.record_walk(CoreId(1), region(200), true);
-        let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 1)
-            .with_bias(vec![ProcessId(1)]);
-        let rep = p.run_interval(&mut os, Some(&mut bank), 0, &mut PromotionBudget::UNLIMITED.clone());
+        let mut p =
+            PccPolicy::new(PromotionPolicyKind::HighestFrequency, 1).with_bias(vec![ProcessId(1)]);
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            0,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
         assert_eq!(rep.promotions[0].0, ProcessId(1));
         assert_eq!(rep.promotions[0].1.region, region(200));
     }
@@ -1044,14 +1081,21 @@ mod tests {
         let mut bank = bank();
         fault_pages(&mut os, 0, region(0), 1);
         fault_pages(&mut os, 0, region(2), 1);
-        os.spaces[0].promote(region(0), true, 0, &mut os.phys).unwrap();
+        os.spaces[0]
+            .promote(region(0), true, 0, &mut os.phys)
+            .unwrap();
         os.phys.alloc_huge(true).unwrap(); // consume the last clean block
         for _ in 0..5 {
             bank.record_walk(CoreId(0), region(2), true);
         }
         // Without demotion: failure.
         let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8);
-        let rep = p.run_interval(&mut os, Some(&mut bank), 2, &mut PromotionBudget::UNLIMITED.clone());
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            2,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
         assert_eq!(rep.failures, 1);
         assert!(rep.promotions.is_empty());
         // With demotion: region 0 must first accumulate COLD_STREAK
@@ -1090,7 +1134,12 @@ mod tests {
         let mut bank = bank();
         bank.record_walk(CoreId(0), region(3), true);
         let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8);
-        let rep = p.run_interval(&mut os, Some(&mut bank), 0, &mut PromotionBudget::UNLIMITED.clone());
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            0,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
         assert_eq!(rep.shootdown_regions(), vec![(ProcessId(0), region(3))]);
     }
 
@@ -1201,7 +1250,10 @@ mod tests {
             PccPolicy::new(PromotionPolicyKind::RoundRobin, 1).selection(),
             PromotionPolicyKind::RoundRobin
         );
-        assert_eq!(ReplayPolicy::new(PromotionSchedule::default()).name(), "replay");
+        assert_eq!(
+            ReplayPolicy::new(PromotionSchedule::default()).name(),
+            "replay"
+        );
     }
 
     #[test]
@@ -1248,14 +1300,18 @@ mod tests {
         fault_pages(&mut os, 0, region(2), 3);
         let mut p = LinuxThpPolicy::new();
         let rep = p.run_interval(&mut os, None, 0, &mut PromotionBudget::UNLIMITED.clone());
-        assert_eq!(rep.promotions.len(), 1, "khugepaged compacts where faults cannot");
+        assert_eq!(
+            rep.promotions.len(),
+            1,
+            "khugepaged compacts where faults cannot"
+        );
     }
 
     #[test]
     fn max_ptes_none_gates_collapse() {
         let mut os = os_with(16);
         fault_pages(&mut os, 0, region(3), 10); // 502 PTEs are none
-        // Strict setting: region must be (nearly) fully mapped.
+                                                // Strict setting: region must be (nearly) fully mapped.
         let mut strict = LinuxThpPolicy::new().with_max_ptes_none(0);
         let rep = strict.run_interval(&mut os, None, 0, &mut PromotionBudget::UNLIMITED.clone());
         assert!(rep.promotions.is_empty());

@@ -88,7 +88,7 @@ impl PhysicalMemory {
     /// Panics if `bytes` is zero or not a multiple of 2 MiB.
     pub fn new(bytes: u64) -> Self {
         assert!(
-            bytes > 0 && bytes % PageSize::Huge2M.bytes() == 0,
+            bytes > 0 && bytes.is_multiple_of(PageSize::Huge2M.bytes()),
             "physical memory must be a nonzero multiple of 2MiB"
         );
         let nblocks = (bytes / PageSize::Huge2M.bytes()) as usize;
@@ -150,6 +150,17 @@ impl PhysicalMemory {
     /// already huge) — possibly requiring compaction.
     pub fn huge_capable_blocks(&self) -> u64 {
         self.blocks.iter().filter(|b| b.huge_capable()).count() as u64
+    }
+
+    /// Blocks that could become huge pages *right now* without any
+    /// compaction: huge-capable and completely free. The flight
+    /// recorder samples this at interval boundaries as the cheap-
+    /// promotion headroom signal.
+    pub fn free_huge_capable_blocks(&self) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.huge_capable() && b.used == 0)
+            .count() as u64
     }
 
     /// Blocks currently allocated as huge frames.
@@ -228,11 +239,7 @@ impl PhysicalMemory {
             return;
         }
         // Stale identity after compaction: free from any occupied block.
-        if let Some(b) = self
-            .blocks
-            .iter_mut()
-            .find(|b| !b.huge && b.used > 0)
-        {
+        if let Some(b) = self.blocks.iter_mut().find(|b| !b.huge && b.used > 0) {
             b.used -= 1;
         } else {
             panic!("free_base with no allocated frames anywhere");
@@ -418,10 +425,7 @@ impl PhysicalMemory {
     pub fn free_giant(&mut self, pfn: Pfn) {
         assert_eq!(pfn.size(), PageSize::Huge1G, "free_giant takes 1G frames");
         let lo = pfn.index() as usize * 512;
-        assert!(
-            lo + 512 <= self.blocks.len(),
-            "pfn outside physical memory"
-        );
+        assert!(lo + 512 <= self.blocks.len(), "pfn outside physical memory");
         for b in &mut self.blocks[lo..lo + 512] {
             assert!(b.huge, "free_giant of a non-gigantic window");
             b.huge = false;
@@ -595,7 +599,7 @@ mod tests {
         assert!(pm.blocks.iter().all(|b| b.used > 0));
         let h = pm.alloc_huge(true).unwrap();
         assert_eq!(h.pages_migrated, 10); // least-used block vacated
-        // Global accounting preserved: 532 base frames still allocated.
+                                          // Global accounting preserved: 532 base frames still allocated.
         let used: u64 = pm.blocks.iter().map(|b| u64::from(b.used)).sum();
         assert_eq!(used, 532);
     }
@@ -626,10 +630,8 @@ mod tests {
         assert_eq!(frames.len(), 512);
         assert_eq!(pm.huge_blocks_in_use(), 0);
         assert_eq!(pm.free_frames(), 512); // other block only
-        // All frames fall inside the old huge block.
-        assert!(frames
-            .iter()
-            .all(|f| f.index() / 512 == h.pfn.index()));
+                                           // All frames fall inside the old huge block.
+        assert!(frames.iter().all(|f| f.index() / 512 == h.pfn.index()));
     }
 
     #[test]
@@ -686,9 +688,7 @@ mod tests {
         let mut b = PhysicalMemory::new(64 * MB2);
         a.fragment(50, 9);
         b.fragment(50, 9);
-        let pat = |pm: &PhysicalMemory| {
-            pm.blocks.iter().map(|b| b.unmovable).collect::<Vec<_>>()
-        };
+        let pat = |pm: &PhysicalMemory| pm.blocks.iter().map(|b| b.unmovable).collect::<Vec<_>>();
         assert_eq!(pat(&a), pat(&b));
     }
 }

@@ -93,7 +93,14 @@ mod tests {
 
     fn curve() -> UtilityCurve {
         let mut c = UtilityCurve::new("BFS", "pcc");
-        for (pct, s) in [(0u64, 1.0), (1, 1.15), (2, 1.22), (4, 1.28), (8, 1.30), (100, 1.32)] {
+        for (pct, s) in [
+            (0u64, 1.0),
+            (1, 1.15),
+            (2, 1.22),
+            (4, 1.28),
+            (8, 1.30),
+            (100, 1.32),
+        ] {
             c.points.push(UtilityPoint {
                 percent: pct,
                 speedup: s,

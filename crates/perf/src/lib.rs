@@ -23,6 +23,6 @@ mod plot;
 mod report;
 
 pub use curve::{geomean, UtilityCurve, UtilityPoint};
-pub use plot::ascii_plot;
 pub use model::RunCounters;
+pub use plot::ascii_plot;
 pub use report::{fmt_pct, fmt_speedup, TextTable};

@@ -129,7 +129,8 @@ mod tests {
         c.walk_levels = 40;
         let with_walks = c.cycles(&t);
         assert!(
-            (with_walks - base_only
+            (with_walks
+                - base_only
                 - 10.0 * t.l2_tlb_latency as f64
                 - 10.0 * t.walk_latency as f64)
                 .abs()
@@ -191,8 +192,7 @@ mod tests {
             ..without
         };
         let delta = with.cycles(&t) - without.cycles(&t);
-        let expected = 2.0 * t.promotion_cost as f64
-            + 110.0 * t.migrate_cost_per_page as f64;
+        let expected = 2.0 * t.promotion_cost as f64 + 110.0 * t.migrate_cost_per_page as f64;
         assert!((delta - expected).abs() < 1e-9);
     }
 

@@ -7,9 +7,9 @@ use crate::profile::SimProfile;
 use crate::simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
 use hpage_os::PromotionBudget;
 use hpage_perf::{geomean, UtilityCurve, UtilityPoint};
-use hpage_trace::{instantiate, AnyWorkload, AppId, Dataset, ReuseAnalyzer, Workload};
 #[allow(unused_imports)]
 use hpage_trace::WorkloadScale;
+use hpage_trace::{instantiate, AnyWorkload, AppId, Dataset, ReuseAnalyzer, Workload};
 use hpage_types::PromotionPolicyKind;
 
 /// Default RNG seed for experiment workloads.
@@ -35,8 +35,7 @@ fn run_single(
     frag_pct: u8,
     budget: PromotionBudget,
 ) -> SimReport {
-    let mut sim =
-        simulation(profile, policy, w.footprint_bytes()).with_budget(budget);
+    let mut sim = simulation(profile, policy, w.footprint_bytes()).with_budget(budget);
     if frag_pct > 0 {
         sim = sim.with_fragmentation(frag_pct, SEED);
     }
@@ -72,9 +71,27 @@ pub fn fig1_page_sizes(profile: &SimProfile, apps: &[AppId]) -> Vec<Fig1Row> {
     apps.iter()
         .map(|&app| {
             let w = workload_for(profile, app);
-            let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
-            let ideal = run_single(profile, &w, PolicyChoice::IdealHuge, 0, PromotionBudget::UNLIMITED);
-            let linux = run_single(profile, &w, PolicyChoice::LinuxThp, 50, PromotionBudget::UNLIMITED);
+            let base = run_single(
+                profile,
+                &w,
+                PolicyChoice::BasePages,
+                0,
+                PromotionBudget::UNLIMITED,
+            );
+            let ideal = run_single(
+                profile,
+                &w,
+                PolicyChoice::IdealHuge,
+                0,
+                PromotionBudget::UNLIMITED,
+            );
+            let linux = run_single(
+                profile,
+                &w,
+                PolicyChoice::LinuxThp,
+                50,
+                PromotionBudget::UNLIMITED,
+            );
             Fig1Row {
                 app: app.name().to_string(),
                 miss_4k: base.aggregate.walk_ratio(),
@@ -140,20 +157,29 @@ pub fn fig2_reuse(profile: &SimProfile, app: AppId, max_accesses: u64) -> Fig2Su
 // Fig. 5 — single-thread utility curves: PCC vs HawkEye vs Linux
 // ---------------------------------------------------------------------
 
+/// A `(speedup, walk_ratio)` reference point on a Fig. 5 utility plot.
+pub type RefPoint = (f64, f64);
+
 /// Reproduces Fig. 5 for one application: the speedup / PTW-rate utility
 /// curves of the PCC and HawkEye across the footprint sweep, plus the
 /// Linux THP (50%/90% fragmented) and max-THP reference points. Returns
 /// `(curves, linux50, linux90, ideal)` where the references are
-/// `(speedup, walk_ratio)` pairs.
+/// [`RefPoint`] `(speedup, walk_ratio)` pairs.
 pub fn fig5_utility(
     profile: &SimProfile,
     app: AppId,
     sweep: &[u64],
-) -> (Vec<UtilityCurve>, (f64, f64), (f64, f64), (f64, f64)) {
+) -> (Vec<UtilityCurve>, RefPoint, RefPoint, RefPoint) {
     let timing = profile.system.timing;
     let w = workload_for(profile, app);
     let footprint = w.footprint_bytes();
-    let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+    let base = run_single(
+        profile,
+        &w,
+        PolicyChoice::BasePages,
+        0,
+        PromotionBudget::UNLIMITED,
+    );
 
     let mut curves = Vec::new();
     for (policy, label) in [
@@ -182,14 +208,41 @@ pub fn fig5_utility(
         curves.push(curve);
     }
 
-    let linux50 = run_single(profile, &w, PolicyChoice::LinuxThp, 50, PromotionBudget::UNLIMITED);
-    let linux90 = run_single(profile, &w, PolicyChoice::LinuxThp, 90, PromotionBudget::UNLIMITED);
-    let ideal = run_single(profile, &w, PolicyChoice::IdealHuge, 0, PromotionBudget::UNLIMITED);
+    let linux50 = run_single(
+        profile,
+        &w,
+        PolicyChoice::LinuxThp,
+        50,
+        PromotionBudget::UNLIMITED,
+    );
+    let linux90 = run_single(
+        profile,
+        &w,
+        PolicyChoice::LinuxThp,
+        90,
+        PromotionBudget::UNLIMITED,
+    );
+    let ideal = run_single(
+        profile,
+        &w,
+        PolicyChoice::IdealHuge,
+        0,
+        PromotionBudget::UNLIMITED,
+    );
     (
         curves,
-        (linux50.speedup_over(&base, &timing), linux50.aggregate.walk_ratio()),
-        (linux90.speedup_over(&base, &timing), linux90.aggregate.walk_ratio()),
-        (ideal.speedup_over(&base, &timing), ideal.aggregate.walk_ratio()),
+        (
+            linux50.speedup_over(&base, &timing),
+            linux50.aggregate.walk_ratio(),
+        ),
+        (
+            linux90.speedup_over(&base, &timing),
+            linux90.aggregate.walk_ratio(),
+        ),
+        (
+            ideal.speedup_over(&base, &timing),
+            ideal.aggregate.walk_ratio(),
+        ),
     )
 }
 
@@ -218,7 +271,13 @@ pub fn fig6_pcc_size(profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> Vec
     for &app in apps {
         let w = workload_for(profile, app);
         let footprint = w.footprint_bytes();
-        let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+        let base = run_single(
+            profile,
+            &w,
+            PolicyChoice::BasePages,
+            0,
+            PromotionBudget::UNLIMITED,
+        );
         rows.push(Fig6Row {
             app: app.name().to_string(),
             pcc_entries: 0,
@@ -240,7 +299,13 @@ pub fn fig6_pcc_size(profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> Vec
                 speedup: report.speedup_over(&base, &timing),
             });
         }
-        let ideal = run_single(profile, &w, PolicyChoice::IdealHuge, 0, PromotionBudget::UNLIMITED);
+        let ideal = run_single(
+            profile,
+            &w,
+            PolicyChoice::IdealHuge,
+            0,
+            PromotionBudget::UNLIMITED,
+        );
         rows.push(Fig6Row {
             app: app.name().to_string(),
             pcc_entries: u32::MAX,
@@ -277,7 +342,13 @@ pub fn fig7_fragmentation(profile: &SimProfile, apps: &[AppId], frag_pct: u8) ->
     apps.iter()
         .map(|&app| {
             let w = workload_for(profile, app);
-            let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+            let base = run_single(
+                profile,
+                &w,
+                PolicyChoice::BasePages,
+                0,
+                PromotionBudget::UNLIMITED,
+            );
             let run = |policy: PolicyChoice| {
                 run_single(profile, &w, policy, frag_pct, PromotionBudget::UNLIMITED)
                     .speedup_over(&base, &timing)
@@ -510,8 +581,7 @@ pub fn dataset_sweep(profile: &SimProfile, apps: &[AppId]) -> Vec<DatasetRow> {
                 let footprint = w.footprint_bytes();
                 let sized = profile.clone().sized_for(footprint);
                 let run = |policy: PolicyChoice, budget: PromotionBudget| {
-                    let mut sim =
-                        Simulation::new(sized.system.clone(), policy).with_budget(budget);
+                    let mut sim = Simulation::new(sized.system.clone(), policy).with_budget(budget);
                     if let Some(n) = profile.max_accesses_per_core {
                         sim = sim.with_max_accesses_per_core(n);
                     }
@@ -568,7 +638,13 @@ pub fn ablation_design_choices(profile: &SimProfile, app: AppId) -> Vec<Ablation
     let timing = profile.system.timing;
     let w = workload_for(profile, app);
     let footprint = w.footprint_bytes();
-    let base = run_single(profile, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED);
+    let base = run_single(
+        profile,
+        &w,
+        PolicyChoice::BasePages,
+        0,
+        PromotionBudget::UNLIMITED,
+    );
     let mut rows = Vec::new();
     let mut push = |name: &str, report: SimReport| {
         rows.push(AblationRow {
@@ -582,21 +658,39 @@ pub fn ablation_design_choices(profile: &SimProfile, app: AppId) -> Vec<Ablation
     // Paper configuration.
     push(
         "pcc (paper)",
-        run_single(profile, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+        run_single(
+            profile,
+            &w,
+            PolicyChoice::pcc_default(),
+            0,
+            PromotionBudget::UNLIMITED,
+        ),
     );
     // No cold-miss filter.
     let mut p = profile.clone();
     p.system.pcc_2m.access_bit_filter = false;
     push(
         "no cold-miss filter",
-        run_single(&p, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+        run_single(
+            &p,
+            &w,
+            PolicyChoice::pcc_default(),
+            0,
+            PromotionBudget::UNLIMITED,
+        ),
     );
     // No decay.
     let mut p = profile.clone();
     p.system.pcc_2m.decay_on_saturation = false;
     push(
         "no counter decay",
-        run_single(&p, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+        run_single(
+            &p,
+            &w,
+            PolicyChoice::pcc_default(),
+            0,
+            PromotionBudget::UNLIMITED,
+        ),
     );
     // Pure LRU replacement.
     let sized = profile.clone().sized_for(footprint);
@@ -611,12 +705,24 @@ pub fn ablation_design_choices(profile: &SimProfile, app: AppId) -> Vec<Ablation
     p.system.pwc = Some(hpage_types::PwcConfig::typical());
     push(
         "PWC only (no promotion)",
-        run_single(&p, &w, PolicyChoice::BasePages, 0, PromotionBudget::UNLIMITED),
+        run_single(
+            &p,
+            &w,
+            PolicyChoice::BasePages,
+            0,
+            PromotionBudget::UNLIMITED,
+        ),
     );
     // PWC *and* PCC together (complementary, as §5.4.1 concludes).
     push(
         "PWC + PCC",
-        run_single(&p, &w, PolicyChoice::pcc_default(), 0, PromotionBudget::UNLIMITED),
+        run_single(
+            &p,
+            &w,
+            PolicyChoice::pcc_default(),
+            0,
+            PromotionBudget::UNLIMITED,
+        ),
     );
     // §5.4.1's other alternative: an L2-TLB victim cache as the
     // candidate source, small and PCC-sized.
@@ -685,7 +791,11 @@ mod tests {
         let canneal = &rows[0];
         let dedup = &rows[1];
         // canneal (random over 96MB) is TLB-hostile; 2MB pages help a lot.
-        assert!(canneal.miss_4k > 0.05, "canneal miss {:.3}", canneal.miss_4k);
+        assert!(
+            canneal.miss_4k > 0.05,
+            "canneal miss {:.3}",
+            canneal.miss_4k
+        );
         assert!(canneal.miss_2m < canneal.miss_4k / 2.0);
         assert!(canneal.speedup_2m > 1.1);
         // dedup is TLB-friendly; huge pages change little.
@@ -819,7 +929,10 @@ mod tests {
             .iter()
             .find(|r| r.variant == "pcc (with cache model)")
             .unwrap();
-        assert!(cached.speedup > 1.0, "PCC benefit persists under the cache model");
+        assert!(
+            cached.speedup > 1.0,
+            "PCC benefit persists under the cache model"
+        );
         let get = |name: &str| rows.iter().find(|r| r.variant == name).unwrap();
         let paper = get("pcc (paper)");
         assert!(paper.speedup > 1.0);
@@ -828,7 +941,7 @@ mod tests {
         assert_eq!(pwc.promotions, 0);
         assert!(pwc.speedup > 1.0);
         assert!((pwc.walk_ratio - rows[0].walk_ratio).abs() < 1.0); // defined
-        // PWC+PCC is at least as good as PWC alone.
+                                                                    // PWC+PCC is at least as good as PWC alone.
         let both = get("PWC + PCC");
         assert!(both.speedup >= pwc.speedup - 0.02);
         // LFU/LRU near-equivalence (the paper's §3.2.1 claim).

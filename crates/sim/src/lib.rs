@@ -32,8 +32,14 @@ mod simulation;
 pub use experiments::{
     ablation_design_choices, dataset_geomean, dataset_sweep, fig1_geomean_2m, fig1_page_sizes,
     fig2_reuse, fig5_utility, fig6_pcc_size, fig7_fragmentation, fig8_multithread,
-    fig9_multiprocess, AblationRow, DatasetRow, Fig1Row, Fig2Summary, Fig6Row, Fig7Row,
-    Fig8Row, Fig9Config, Fig9Row,
+    fig9_multiprocess, AblationRow, DatasetRow, Fig1Row, Fig2Summary, Fig6Row, Fig7Row, Fig8Row,
+    Fig9Config, Fig9Row,
 };
 pub use profile::SimProfile;
 pub use simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
+
+// Re-export the flight-recorder surface so simulator users need not
+// depend on `hpage-obs` directly.
+pub use hpage_obs::{
+    Event, IntervalRow, IntervalSeries, JsonlSink, MemoryRecorder, NullRecorder, Recorder,
+};

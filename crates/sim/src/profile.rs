@@ -92,8 +92,7 @@ impl SimProfile {
     /// headroom, 2 MiB-aligned, and returns the updated profile.
     #[must_use]
     pub fn sized_for(mut self, footprint_bytes: u64) -> Self {
-        let want = (footprint_bytes.saturating_mul(self.mem_headroom_pct) / 100)
-            .max(64 << 21);
+        let want = (footprint_bytes.saturating_mul(self.mem_headroom_pct) / 100).max(64 << 21);
         self.system.phys_mem_bytes = want.next_multiple_of(1 << 21);
         self
     }

@@ -3,19 +3,21 @@
 //! the OS promotion engine runs every interval; shootdowns flow back into
 //! TLBs and PCCs (the full datapath of the paper's Figs. 3–4).
 
+use hpage_cache::{CacheConfig, CacheHierarchy, CacheOutcome};
+use hpage_obs::{
+    Event, FailureReason, IntervalRow, IntervalSeries, IntervalSnapshot, NullRecorder, PccAction,
+    Recorder, TlbLevel, FREQ_HISTOGRAM_BUCKETS,
+};
 use hpage_os::{
     BasePagesPolicy, HawkEyePolicy, HugePagePolicy, IdealHugePolicy, LinuxThpPolicy, OsState,
     PccPolicy, PhysicalMemory, PromotionBudget, PromotionSchedule, ReplayPolicy,
     ScheduledPromotion,
 };
-use hpage_cache::{CacheConfig, CacheHierarchy, CacheOutcome};
-use hpage_pcc::{Candidate, PccBank, ReplacementPolicy};
+use hpage_pcc::{Candidate, PccBank, PccEvent, ReplacementPolicy};
 use hpage_perf::RunCounters;
 use hpage_tlb::{PageWalkCache, TlbHierarchy, TlbOutcome};
 use hpage_trace::Workload;
-use hpage_types::{
-    CoreId, PageSize, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig,
-};
+use hpage_types::{CoreId, PageSize, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig};
 
 /// Which huge-page management policy a run uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,7 +71,9 @@ impl PolicyChoice {
             PolicyChoice::LinuxThp => "linux-thp".into(),
             PolicyChoice::HawkEye => "hawkeye".into(),
             PolicyChoice::Pcc {
-                selection, demotion, ..
+                selection,
+                demotion,
+                ..
             } => {
                 let mut s = format!("pcc-{selection}");
                 if *demotion {
@@ -177,6 +181,11 @@ pub struct SimReport {
     /// within a few seconds"). Entry `i` covers the i-th interval of
     /// accesses.
     pub interval_walk_rates: Vec<f64>,
+    /// Full per-interval time series (walk/L1/L2 rates, promotions,
+    /// demotions, PCC occupancy, huge-page residency, bloat) — the
+    /// structured generalization of `interval_walk_rates`; the two are
+    /// index-aligned.
+    pub interval_series: IntervalSeries,
     /// Memory bloat at run end, per process: resident bytes beyond what
     /// faults touched (the §1 THP-bloat problem; greedy fault-time huge
     /// allocation inflates this, targeted promotion does not).
@@ -201,6 +210,82 @@ impl SimReport {
         timing: &TimingConfig,
     ) -> f64 {
         self.per_process[process].speedup_over(&baseline.per_process[process], timing)
+    }
+}
+
+/// Reports one walk to a PCC bank and mirrors the bank's decision into
+/// the recorder. Decay is detected via the stats delta, so the extra
+/// reads only happen when the recorder is live.
+fn record_pcc_walk<R: Recorder>(
+    recorder: &mut R,
+    bank: &mut PccBank,
+    at: u64,
+    core: u32,
+    region: hpage_types::Vpn,
+    a_bit_was_set: bool,
+) {
+    if !recorder.enabled() {
+        bank.record_walk(CoreId(core), region, a_bit_was_set);
+        return;
+    }
+    let decays_before = bank.pcc(CoreId(core)).stats().decays;
+    let event = bank.record_walk(CoreId(core), region, a_bit_was_set);
+    let decayed = bank.pcc(CoreId(core)).stats().decays > decays_before;
+    let action = match event {
+        PccEvent::Hit(freq) => PccAction::Hit(freq),
+        PccEvent::Inserted => PccAction::Inserted,
+        PccEvent::InsertedWithEviction(victim) => PccAction::InsertedWithEviction(victim),
+        PccEvent::FilteredColdMiss => PccAction::FilteredColdMiss,
+    };
+    recorder.record(
+        at,
+        Event::PccUpdate {
+            core: CoreId(core),
+            granularity: region.size(),
+            region,
+            action,
+            decayed,
+        },
+    );
+}
+
+/// Builds the interval-boundary snapshot (only when a recorder is live —
+/// the frequency histogram walks every PCC entry).
+fn interval_snapshot(
+    interval: u64,
+    row: &IntervalRow,
+    bank: Option<&PccBank>,
+    os: &OsState,
+) -> IntervalSnapshot {
+    let mut occupancy = 0u64;
+    let mut capacity = 0u64;
+    let mut hist = [0u32; FREQ_HISTOGRAM_BUCKETS];
+    if let Some(bank) = bank {
+        for core in 0..bank.cores() {
+            let pcc = bank.pcc(CoreId(core));
+            occupancy += pcc.len() as u64;
+            capacity += pcc.capacity() as u64;
+            for cand in pcc.iter() {
+                let bucket = if cand.frequency == 0 {
+                    0
+                } else {
+                    (63 - cand.frequency.leading_zeros() as usize).min(FREQ_HISTOGRAM_BUCKETS - 1)
+                };
+                hist[bucket] += 1;
+            }
+        }
+    }
+    IntervalSnapshot {
+        interval,
+        pcc_occupancy: occupancy,
+        pcc_capacity: capacity,
+        freq_histogram: hist,
+        l1_hit_rate: row.l1_hit_rate,
+        l2_hit_rate: row.l2_hit_rate,
+        walk_rate: row.walk_rate,
+        free_huge_blocks: os.phys.free_huge_capable_blocks(),
+        huge_pages_resident: row.huge_pages_resident,
+        bloat_bytes: row.bloat_bytes,
     }
 }
 
@@ -290,6 +375,26 @@ impl Simulation {
     ///
     /// Panics if `processes` is empty.
     pub fn run(&self, processes: &[ProcessSpec<'_>]) -> SimReport {
+        self.run_recorded(processes, &mut NullRecorder)
+    }
+
+    /// Like [`run`](Self::run), but streams a typed [`Event`] into
+    /// `recorder` at every decision point (TLB hits, walks, faults, PCC
+    /// updates, promotions, demotions, shootdowns, interval snapshots).
+    ///
+    /// The simulation is generic over the recorder, so `run` with the
+    /// default [`NullRecorder`] monomorphizes every instrumentation site
+    /// to dead code — an unobserved run costs nothing. Timestamps are
+    /// total accesses issued, so a fixed-seed recording is byte-stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty.
+    pub fn run_recorded<R: Recorder>(
+        &self,
+        processes: &[ProcessSpec<'_>],
+        recorder: &mut R,
+    ) -> SimReport {
         assert!(!processes.is_empty(), "need at least one process");
         let total_cores: u32 = processes.iter().map(|p| p.threads).sum();
 
@@ -371,8 +476,17 @@ impl Simulation {
         let mut promotion_failures = 0u64;
         let mut schedule = PromotionSchedule::default();
         let mut interval_walk_rates: Vec<f64> = Vec::new();
+        let mut interval_series = IntervalSeries::new();
         let mut interval_accesses_mark = 0u64;
         let mut interval_walks_mark = 0u64;
+        let mut interval_l1_mark = 0u64;
+        let mut interval_l2_mark = 0u64;
+        // Promotions/demotions from boundary-coalesced policy runs (when
+        // several intervals elapse inside one chunk) fold into the next
+        // emitted row so the series stays aligned with
+        // `interval_walk_rates`.
+        let mut pending_promotions = 0u64;
+        let mut pending_demotions = 0u64;
         let mut live: Vec<bool> = vec![true; total_cores as usize];
         let mut live_count = total_cores as usize;
 
@@ -392,15 +506,30 @@ impl Simulation {
                     total_accesses += 1;
                     let counters = &mut per_core[core];
                     counters.accesses += 1;
-                    let mut data_translation = None;
-                    match tlbs[core].lookup(access.addr) {
+                    let data_translation = match tlbs[core].lookup(access.addr) {
                         TlbOutcome::L1Hit(t) => {
                             counters.l1_hits += 1;
-                            data_translation = Some(t);
+                            recorder.record(
+                                total_accesses,
+                                Event::TlbHit {
+                                    core: CoreId(core as u32),
+                                    level: TlbLevel::L1,
+                                    size: t.size(),
+                                },
+                            );
+                            Some(t)
                         }
                         TlbOutcome::L2Hit(t) => {
                             counters.l2_hits += 1;
-                            data_translation = Some(t);
+                            recorder.record(
+                                total_accesses,
+                                Event::TlbHit {
+                                    core: CoreId(core as u32),
+                                    level: TlbLevel::L2,
+                                    size: t.size(),
+                                },
+                            );
+                            Some(t)
                         }
                         TlbOutcome::Miss => {
                             let space = &mut os.spaces[pid];
@@ -411,14 +540,24 @@ impl Simulation {
                                     // fault size; then the walk succeeds.
                                     match space.fault(access.addr, prefer_huge, &mut os.phys) {
                                         Ok(out) => {
-                                            match out {
+                                            let fault_size = match out {
                                                 hpage_os::FaultOutcome::Base(_) => {
-                                                    per_process[pid].faults_base += 1
+                                                    per_process[pid].faults_base += 1;
+                                                    PageSize::Base4K
                                                 }
                                                 hpage_os::FaultOutcome::Huge(_) => {
-                                                    per_process[pid].faults_huge += 1
+                                                    per_process[pid].faults_huge += 1;
+                                                    PageSize::Huge2M
                                                 }
-                                            }
+                                            };
+                                            recorder.record(
+                                                total_accesses,
+                                                Event::Fault {
+                                                    core: CoreId(core as u32),
+                                                    process: ProcessId(pid as u32),
+                                                    size: fault_size,
+                                                },
+                                            );
                                             space
                                                 .page_table_mut()
                                                 .walk(access.addr)
@@ -430,22 +569,32 @@ impl Simulation {
                                     }
                                 }
                             };
-                            data_translation = Some(walk.translation);
                             counters.walks += 1;
                             let effective_levels = match pwcs.as_mut() {
-                                Some(pwcs) => {
-                                    pwcs[core].walk(access.addr, walk.levels_referenced)
-                                }
+                                Some(pwcs) => pwcs[core].walk(access.addr, walk.levels_referenced),
                                 None => walk.levels_referenced,
                             };
                             counters.walk_levels += u64::from(effective_levels);
+                            recorder.record(
+                                total_accesses,
+                                Event::Walk {
+                                    core: CoreId(core as u32),
+                                    size: walk.translation.size(),
+                                    levels: walk.levels_referenced,
+                                    effective_levels,
+                                    a_bit_was_set: walk.pmd_accessed_before,
+                                },
+                            );
                             let l2_victim = tlbs[core].fill(walk.translation);
                             if let Some(bank) = bank.as_mut() {
                                 match victim_entries {
                                     None => {
                                         if walk.translation.size() != PageSize::Huge1G {
-                                            bank.record_walk(
-                                                CoreId(core as u32),
+                                            record_pcc_walk(
+                                                recorder,
+                                                bank,
+                                                total_accesses,
+                                                core as u32,
                                                 access.addr.vpn(PageSize::Huge2M),
                                                 walk.pmd_accessed_before,
                                             );
@@ -453,12 +602,12 @@ impl Simulation {
                                     }
                                     Some(_) => {
                                         if let Some(victim) = l2_victim {
-                                            bank.record_walk(
-                                                CoreId(core as u32),
-                                                victim
-                                                    .vpn
-                                                    .base()
-                                                    .vpn(PageSize::Huge2M),
+                                            record_pcc_walk(
+                                                recorder,
+                                                bank,
+                                                total_accesses,
+                                                core as u32,
+                                                victim.vpn.base().vpn(PageSize::Huge2M),
                                                 true,
                                             );
                                         }
@@ -466,20 +615,23 @@ impl Simulation {
                                 }
                             }
                             if let Some(bank_1g) = bank_1g.as_mut() {
-                                bank_1g.record_walk(
-                                    CoreId(core as u32),
+                                record_pcc_walk(
+                                    recorder,
+                                    bank_1g,
+                                    total_accesses,
+                                    core as u32,
                                     access.addr.vpn(PageSize::Huge1G),
                                     walk.pud_accessed_before,
                                 );
                             }
+                            Some(walk.translation)
                         }
-                    }
+                    };
                     // Optional data-cache model: physically indexed, so
                     // the translation just resolved decides placement.
                     if let (Some(caches), Some(t)) = (caches.as_mut(), data_translation) {
                         let offset = access.addr.page_offset(t.size());
-                        let paddr =
-                            hpage_types::PhysAddr::new(t.pfn.base().raw() + offset);
+                        let paddr = hpage_types::PhysAddr::new(t.pfn.base().raw() + offset);
                         let counters = &mut per_core[core];
                         match caches.access(core, paddr) {
                             CacheOutcome::L1 => {}
@@ -495,17 +647,22 @@ impl Simulation {
             while total_accesses >= next_interval {
                 next_interval += self.config.promotion_interval_accesses;
                 let walks_now: u64 = per_core.iter().map(|c| c.walks).sum();
+                let l1_now: u64 = per_core.iter().map(|c| c.l1_hits).sum();
+                let l2_now: u64 = per_core.iter().map(|c| c.l2_hits).sum();
                 let da = total_accesses - interval_accesses_mark;
                 let dw = walks_now - interval_walks_mark;
-                if da > 0 {
-                    interval_walk_rates.push(dw as f64 / da as f64);
-                }
+                let dl1 = l1_now - interval_l1_mark;
+                let dl2 = l2_now - interval_l2_mark;
                 interval_accesses_mark = total_accesses;
                 interval_walks_mark = walks_now;
+                interval_l1_mark = l1_now;
+                interval_l2_mark = l2_now;
                 let report =
                     policy.run_interval(&mut os, bank.as_mut(), total_accesses, &mut budget);
                 promotion_failures += report.failures;
-                for (pid, outcome) in &report.promotions {
+                pending_promotions += report.promotions.len() as u64;
+                pending_demotions += report.demotions.len() as u64;
+                for (rank, (pid, outcome)) in report.promotions.iter().enumerate() {
                     let p = pid.0 as usize;
                     per_process[p].promotions += 1;
                     per_process[p].pages_migrated += outcome.pages_migrated;
@@ -515,11 +672,64 @@ impl Simulation {
                         process: *pid,
                         region: outcome.region,
                     });
+                    if recorder.enabled() {
+                        recorder.record(
+                            total_accesses,
+                            Event::PromotionDecision {
+                                process: *pid,
+                                region: outcome.region,
+                                rank: rank as u32,
+                                policy: policy.name(),
+                            },
+                        );
+                        if outcome.pages_migrated > 0 {
+                            recorder.record(
+                                total_accesses,
+                                Event::Compaction {
+                                    process: *pid,
+                                    region: outcome.region,
+                                    pages_migrated: outcome.pages_migrated,
+                                },
+                            );
+                        }
+                    }
                 }
-                for (pid, _) in &report.demotions {
+                for (pid, region) in &report.demotions {
                     per_process[pid.0 as usize].demotions += 1;
+                    recorder.record(
+                        total_accesses,
+                        Event::Demotion {
+                            process: *pid,
+                            region: *region,
+                        },
+                    );
+                }
+                if recorder.enabled() {
+                    for _ in 0..report.failures {
+                        recorder.record(
+                            total_accesses,
+                            Event::PromotionFailure {
+                                reason: FailureReason::NoFrames,
+                            },
+                        );
+                    }
+                    if report.budget_exhausted {
+                        recorder.record(
+                            total_accesses,
+                            Event::PromotionFailure {
+                                reason: FailureReason::BudgetExhausted,
+                            },
+                        );
+                    }
                 }
                 for (pid, region) in report.shootdown_regions() {
+                    recorder.record(
+                        total_accesses,
+                        Event::Shootdown {
+                            process: pid,
+                            region,
+                        },
+                    );
                     for (core, tlb) in tlbs.iter_mut().enumerate() {
                         if core_process[core] == pid.0 as usize {
                             tlb.shootdown(region);
@@ -529,6 +739,36 @@ impl Simulation {
                             per_process[pid.0 as usize].shootdowns += 1;
                         }
                     }
+                }
+                if da > 0 {
+                    interval_walk_rates.push(dw as f64 / da as f64);
+                    let row = IntervalRow {
+                        walk_rate: dw as f64 / da as f64,
+                        l1_hit_rate: dl1 as f64 / da as f64,
+                        l2_hit_rate: dl2 as f64 / da as f64,
+                        promotions: pending_promotions,
+                        demotions: pending_demotions,
+                        pcc_occupancy: bank
+                            .as_ref()
+                            .map(|b| b.total_candidates() as u64)
+                            .unwrap_or(0),
+                        huge_pages_resident: os.phys.huge_blocks_in_use(),
+                        bloat_bytes: os.spaces.iter().map(|s| s.bloat_bytes()).sum(),
+                    };
+                    pending_promotions = 0;
+                    pending_demotions = 0;
+                    if recorder.enabled() {
+                        recorder.record(
+                            total_accesses,
+                            Event::Interval(interval_snapshot(
+                                interval_series.len() as u64,
+                                &row,
+                                bank.as_ref(),
+                                &os,
+                            )),
+                        );
+                    }
+                    interval_series.push(row);
                 }
             }
         }
@@ -559,6 +799,7 @@ impl Simulation {
             candidates_1g,
             schedule,
             interval_walk_rates,
+            interval_series,
             bloat_bytes,
         }
     }
@@ -567,6 +808,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpage_obs::{JsonlSink, MemoryRecorder};
     use hpage_trace::{Pattern, SyntheticBuilder, SyntheticWorkload};
 
     /// A TLB-hostile workload: uniform random accesses over `mb` MiB,
@@ -582,7 +824,14 @@ mod tests {
     fn seq_workload(mb: u64, accesses: u64) -> SyntheticWorkload {
         let mut b = SyntheticBuilder::new("seq", 0);
         let a = b.array(8, mb * (1 << 20) / 8);
-        b.phase(a, Pattern::Sequential { stride: 1, count: accesses }, 0);
+        b.phase(
+            a,
+            Pattern::Sequential {
+                stride: 1,
+                count: accesses,
+            },
+            0,
+        );
         b.build()
     }
 
@@ -669,8 +918,7 @@ mod tests {
     #[test]
     fn multithread_run_places_cores() {
         let w = random_workload(8, 60_000, 2);
-        let report =
-            tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::with_threads(&w, 4)]);
+        let report = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::with_threads(&w, 4)]);
         // 4 threads × 60k accesses each.
         assert_eq!(report.aggregate.accesses, 240_000);
         assert_eq!(report.per_process.len(), 1);
@@ -707,9 +955,92 @@ mod tests {
     }
 
     #[test]
+    fn recording_does_not_perturb_the_simulation() {
+        // The flight recorder must be pure observation: a run with a live
+        // recorder produces a SimReport identical to an unobserved run.
+        let w = random_workload(8, 150_000, 9);
+        let silent = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        let mut rec = MemoryRecorder::new();
+        let observed =
+            tiny_sim(PolicyChoice::pcc_default()).run_recorded(&[ProcessSpec::new(&w)], &mut rec);
+        assert_eq!(silent, observed);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn recorded_jsonl_is_byte_stable() {
+        // Fixed seed => identical traces => identical event stream, byte
+        // for byte (timestamps are simulation time, never wall clock).
+        let w = random_workload(8, 150_000, 9);
+        let jsonl: Vec<String> = (0..2)
+            .map(|_| {
+                let mut buf = Vec::new();
+                let mut sink = JsonlSink::new(&mut buf);
+                tiny_sim(PolicyChoice::pcc_default())
+                    .run_recorded(&[ProcessSpec::new(&w)], &mut sink);
+                let counts = sink.finish().expect("stream to memory");
+                assert!(!counts.is_empty());
+                String::from_utf8(buf).unwrap()
+            })
+            .collect();
+        assert!(!jsonl[0].is_empty());
+        assert_eq!(jsonl[0], jsonl[1]);
+        for line in jsonl[0].lines() {
+            hpage_obs::json::assert_json_shape(line);
+        }
+    }
+
+    #[test]
+    fn recorder_captures_expected_event_kinds() {
+        let w = random_workload(8, 400_000, 1);
+        let mut rec = MemoryRecorder::new();
+        tiny_sim(PolicyChoice::pcc_default()).run_recorded(&[ProcessSpec::new(&w)], &mut rec);
+        let counts = rec.counts_by_kind();
+        for kind in [
+            "tlb_hit",
+            "walk",
+            "fault",
+            "pcc",
+            "promote",
+            "shootdown",
+            "interval",
+        ] {
+            assert!(
+                counts.get(kind).copied().unwrap_or(0) > 0,
+                "expected at least one {kind} event; got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_series_aligns_with_walk_rates() {
+        let w = random_workload(8, 400_000, 1);
+        let report = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        assert!(!report.interval_series.is_empty());
+        assert_eq!(
+            report.interval_series.walk_rates(),
+            report.interval_walk_rates
+        );
+        let total_promos: u64 = report
+            .interval_series
+            .rows()
+            .iter()
+            .map(|r| r.promotions)
+            .sum();
+        assert_eq!(total_promos, report.aggregate.promotions);
+        // Rates are proper fractions.
+        for row in report.interval_series.rows() {
+            assert!(row.walk_rate + row.l1_hit_rate + row.l2_hit_rate <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
     fn policy_labels() {
         assert_eq!(PolicyChoice::BasePages.label(), "base-4k");
-        assert_eq!(PolicyChoice::pcc_default().label(), "pcc-highest-pcc-frequency");
+        assert_eq!(
+            PolicyChoice::pcc_default().label(),
+            "pcc-highest-pcc-frequency"
+        );
         let demote = PolicyChoice::Pcc {
             selection: PromotionPolicyKind::RoundRobin,
             demotion: true,
@@ -739,13 +1070,10 @@ mod tests {
         let w = random_workload(8, 400_000, 1);
         let offline = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
         assert!(!offline.schedule.is_empty());
-        let replayed = tiny_sim(PolicyChoice::Replay(offline.schedule.clone()))
-            .run(&[ProcessSpec::new(&w)]);
+        let replayed =
+            tiny_sim(PolicyChoice::Replay(offline.schedule.clone())).run(&[ProcessSpec::new(&w)]);
         assert_eq!(replayed.policy, "replay");
-        assert_eq!(
-            replayed.aggregate.promotions,
-            offline.aggregate.promotions
-        );
+        assert_eq!(replayed.aggregate.promotions, offline.aggregate.promotions);
         // Identical promotion schedule => identical regions promoted, so
         // the TLB behaviour matches exactly (same deterministic trace).
         assert_eq!(replayed.aggregate.walks, offline.aggregate.walks);
@@ -758,11 +1086,10 @@ mod tests {
         // not reduce TLB miss counts — the PCC is still needed.
         let w = random_workload(8, 200_000, 1);
         let mut cfg = hpage_types::SystemConfig::tiny();
-        let no_pwc = Simulation::new(cfg.clone(), PolicyChoice::BasePages)
-            .run(&[ProcessSpec::new(&w)]);
+        let no_pwc =
+            Simulation::new(cfg.clone(), PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
         cfg.pwc = Some(hpage_types::PwcConfig::typical());
-        let with_pwc = Simulation::new(cfg, PolicyChoice::BasePages)
-            .run(&[ProcessSpec::new(&w)]);
+        let with_pwc = Simulation::new(cfg, PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
         assert_eq!(with_pwc.aggregate.walks, no_pwc.aggregate.walks);
         assert!(
             with_pwc.aggregate.walk_levels < no_pwc.aggregate.walk_levels / 2,
@@ -780,8 +1107,8 @@ mod tests {
         let mut cfg = hpage_types::SystemConfig::tiny();
         cfg.timing = cfg.timing.with_cache_model();
         let timing = cfg.timing;
-        let no_cache = Simulation::new(cfg.clone(), PolicyChoice::BasePages)
-            .run(&[ProcessSpec::new(&w)]);
+        let no_cache =
+            Simulation::new(cfg.clone(), PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
         assert_eq!(no_cache.aggregate.cache_memory, 0);
         let cached = Simulation::new(cfg, PolicyChoice::BasePages)
             .with_cache(hpage_cache::CacheConfig::tiny())
@@ -790,9 +1117,7 @@ mod tests {
         // plenty of memory accesses.
         let a = &cached.aggregate;
         assert!(a.cache_memory > 0);
-        assert!(
-            a.cache_l2_hits + a.cache_llc_hits + a.cache_memory <= a.accesses
-        );
+        assert!(a.cache_l2_hits + a.cache_llc_hits + a.cache_memory <= a.accesses);
         assert!(a.cycles(&timing) > no_cache.aggregate.cycles(&timing));
     }
 
@@ -806,7 +1131,10 @@ mod tests {
         let arr = b.array(8, 128); // 1KB: fits L1D
         b.phase(
             arr,
-            hpage_trace::Pattern::Sequential { stride: 1, count: 100_000 },
+            hpage_trace::Pattern::Sequential {
+                stride: 1,
+                count: 100_000,
+            },
             0,
         );
         let looping = b.build();
@@ -817,10 +1145,16 @@ mod tests {
         };
         let s = run(&stream);
         let l = run(&looping);
-        assert!(s.aggregate.cache_memory * 5 > s.aggregate.accesses / 8,
-            "streaming misses every line: {}", s.aggregate.cache_memory);
-        assert!(l.aggregate.cache_memory < l.aggregate.accesses / 100,
-            "looping should hit: {}", l.aggregate.cache_memory);
+        assert!(
+            s.aggregate.cache_memory * 5 > s.aggregate.accesses / 8,
+            "streaming misses every line: {}",
+            s.aggregate.cache_memory
+        );
+        assert!(
+            l.aggregate.cache_memory < l.aggregate.accesses / 100,
+            "looping should hit: {}",
+            l.aggregate.cache_memory
+        );
     }
 
     #[test]
@@ -830,13 +1164,19 @@ mod tests {
         let arr = b.array(1 << 21, 32); // 32 elements, one per region
         b.phase(
             arr,
-            hpage_trace::Pattern::Sequential { stride: 1, count: 32 },
+            hpage_trace::Pattern::Sequential {
+                stride: 1,
+                count: 32,
+            },
             0,
         );
         let w = b.build();
         let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
         let greedy = tiny_sim(PolicyChoice::IdealHuge).run(&[ProcessSpec::new(&w)]);
-        assert_eq!(base.bloat_bytes[0], 0, "base pages commit only touched memory");
+        assert_eq!(
+            base.bloat_bytes[0], 0,
+            "base pages commit only touched memory"
+        );
         // Greedy huge faulting commits ~2MB per touched page.
         assert!(
             greedy.bloat_bytes[0] > 30 * ((2 << 20) - 4096),
@@ -853,7 +1193,11 @@ mod tests {
         let w = random_workload(8, 400_000, 1);
         let report = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
         let rates = &report.interval_walk_rates;
-        assert!(rates.len() >= 4, "expected several intervals, got {}", rates.len());
+        assert!(
+            rates.len() >= 4,
+            "expected several intervals, got {}",
+            rates.len()
+        );
         let first = rates[0];
         let late = rates[rates.len() - 1];
         assert!(
@@ -875,10 +1219,10 @@ mod tests {
         let w = random_workload(16, 600_000, 5);
         let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
         let pcc = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
-        let vc_small = tiny_sim(PolicyChoice::VictimCache { entries: 4 })
-            .run(&[ProcessSpec::new(&w)]);
-        let vc_big = tiny_sim(PolicyChoice::VictimCache { entries: 128 })
-            .run(&[ProcessSpec::new(&w)]);
+        let vc_small =
+            tiny_sim(PolicyChoice::VictimCache { entries: 4 }).run(&[ProcessSpec::new(&w)]);
+        let vc_big =
+            tiny_sim(PolicyChoice::VictimCache { entries: 128 }).run(&[ProcessSpec::new(&w)]);
         assert_eq!(vc_small.policy, "victim-cache-4");
         assert!(vc_big.aggregate.promotions > 0);
         assert!(pcc.aggregate.walks <= vc_small.aggregate.walks);
@@ -890,8 +1234,7 @@ mod tests {
         let w = random_workload(8, 200_000, 1);
         let mut cfg = hpage_types::SystemConfig::tiny();
         cfg.pcc_1g = Some(hpage_types::PccConfig::paper_1g());
-        let report = Simulation::new(cfg, PolicyChoice::pcc_default())
-            .run(&[ProcessSpec::new(&w)]);
+        let report = Simulation::new(cfg, PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
         // The whole 8MiB workload lives in one or two 1GiB regions.
         assert!(!report.candidates_1g.is_empty());
         assert!(report.candidates_1g.len() <= 2);

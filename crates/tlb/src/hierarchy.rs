@@ -37,6 +37,11 @@ pub struct TlbHierarchyStats {
     pub l2_hits: u64,
     /// Lookups that missed everywhere (page-table walks).
     pub walks: u64,
+    /// L1 hits broken down by page size, indexed as [`PageSize::ALL`]
+    /// (4 KiB, 2 MiB, 1 GiB).
+    pub l1_hits_by_size: [u64; 3],
+    /// L2 hits broken down by page size, same indexing.
+    pub l2_hits_by_size: [u64; 3],
 }
 
 impl TlbHierarchyStats {
@@ -115,11 +120,12 @@ impl TlbHierarchy {
         self.stats.accesses += 1;
         // Probe the split L1s: an address can only be resident at the page
         // size it is currently mapped with, so probe all three.
-        for size in PageSize::ALL {
+        for (i, size) in PageSize::ALL.into_iter().enumerate() {
             let vpn = va.vpn(size);
             if let Some(t) = self.l1_for(size).probe(vpn) {
                 self.l1_for(size).lookup(vpn); // refresh recency + stats
                 self.stats.l1_hits += 1;
+                self.stats.l1_hits_by_size[i] += 1;
                 return TlbOutcome::L1Hit(t);
             }
         }
@@ -133,6 +139,7 @@ impl TlbHierarchy {
             if let Some(t) = self.l2.probe(vpn) {
                 self.l2.lookup(vpn);
                 self.stats.l2_hits += 1;
+                self.stats.l2_hits_by_size[size as usize] += 1;
                 // Promote into the L1 for this size.
                 self.l1_for(size).insert(t);
                 return TlbOutcome::L2Hit(t);
@@ -315,6 +322,27 @@ mod tests {
         h.lookup(va); // hit
         assert!((h.stats().walk_ratio() - 0.5).abs() < 1e-12);
         assert!((h.stats().l1_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_size_hit_breakdown() {
+        let mut h = hierarchy();
+        h.fill(t4k(1));
+        h.fill(t2m(9));
+        h.lookup(t4k(1).vpn.base()); // L1 hit at 4K
+        h.lookup(t2m(9).vpn.base()); // L1 hit at 2M
+        assert_eq!(h.stats().l1_hits_by_size, [1, 1, 0]);
+        assert_eq!(
+            h.stats().l1_hits_by_size.iter().sum::<u64>(),
+            h.stats().l1_hits
+        );
+        // Evict index 1 from its L1 set so the next lookup hits L2.
+        let l1_sets = TlbConfig::tiny().l1_4k.sets() as u64;
+        for k in 1..=4 {
+            h.fill(t4k(1 + k * l1_sets));
+        }
+        assert!(matches!(h.lookup(t4k(1).vpn.base()), TlbOutcome::L2Hit(_)));
+        assert_eq!(h.stats().l2_hits_by_size, [1, 0, 0]);
     }
 
     #[test]

@@ -253,7 +253,7 @@ mod tests {
         let mut pwc = PageWalkCache::typical();
         assert_eq!(pwc.walk(VirtAddr::new(0x4000_0000), 3), 3); // cold 2MB leaf
         assert_eq!(pwc.walk(VirtAddr::new(0x4020_0000), 3), 1); // PDPTE hit
-        // A 1GB leaf with a PDPTE hit still needs the leaf reference.
+                                                                // A 1GB leaf with a PDPTE hit still needs the leaf reference.
         assert_eq!(pwc.walk(VirtAddr::new(0x4000_0000), 2), 1);
     }
 
@@ -263,8 +263,8 @@ mod tests {
         pwc.walk(VirtAddr::new(0), 4);
         pwc.walk(VirtAddr::new(1 << 30), 4);
         pwc.walk(VirtAddr::new(2 << 30), 4); // evicts 1GB region 0
-        // Region 0 misses the PDPTE array (but hits the PDE cache from
-        // its own earlier walk — same 2MB region).
+                                             // Region 0 misses the PDPTE array (but hits the PDE cache from
+                                             // its own earlier walk — same 2MB region).
         assert_eq!(pwc.walk(VirtAddr::new(0), 4), 1);
         // A *different* 2MB page in region 0 must pay the PML4E-only
         // path (PDE and PDPTE both miss).

@@ -534,9 +534,7 @@ impl PageTable {
                         0
                     }
                 }
-                Some(PmdKind::Table(ptes)) => {
-                    ptes.values().filter(|p| p.accessed).count() as u64
-                }
+                Some(PmdKind::Table(ptes)) => ptes.values().filter(|p| p.accessed).count() as u64,
                 None => 0,
             },
             None => 0,
@@ -570,9 +568,7 @@ impl PageTable {
         for (pud_idx, pud) in &self.puds {
             match &pud.kind {
                 PudKind::Huge1G(_) => {
-                    regions.extend(
-                        Vpn::new(*pud_idx, PageSize::Huge1G).split(PageSize::Huge2M),
-                    );
+                    regions.extend(Vpn::new(*pud_idx, PageSize::Huge1G).split(PageSize::Huge2M));
                 }
                 PudKind::Table(pmds) => {
                     regions.extend(pmds.keys().map(|i| Vpn::new(*i, PageSize::Huge2M)));
@@ -828,9 +824,7 @@ mod tests {
         for (i, page) in subregions[3].split(PageSize::Base4K).take(5).enumerate() {
             pt.map(page, p4k(50 + i as u64)).unwrap();
         }
-        let (bases, huges) = pt
-            .promote_1g(giant, Pfn::new(9, PageSize::Huge1G))
-            .unwrap();
+        let (bases, huges) = pt.promote_1g(giant, Pfn::new(9, PageSize::Huge1G)).unwrap();
         assert_eq!(bases.len(), 5);
         assert_eq!(huges, vec![p2m(40)]);
         // Every address in the gigabyte now translates via the PUD leaf.

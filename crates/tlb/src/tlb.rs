@@ -134,7 +134,10 @@ impl SetAssocTlb {
         let ways = self.ways as usize;
         let idx = self.set_index(translation.vpn);
         let set = &mut self.sets[idx];
-        if let Some(slot) = set.iter_mut().find(|s| s.translation.vpn == translation.vpn) {
+        if let Some(slot) = set
+            .iter_mut()
+            .find(|s| s.translation.vpn == translation.vpn)
+        {
             slot.translation = translation;
             slot.last_used = clock;
             return None;
@@ -356,7 +359,9 @@ mod tests {
         assert_eq!(t.lookup_addr(va, &sizes), Some(huge));
         // A miss at all sizes counts one miss.
         let misses_before = t.stats().misses;
-        assert!(t.lookup_addr(VirtAddr::new(0xdead_beef_000), &sizes).is_none());
+        assert!(t
+            .lookup_addr(VirtAddr::new(0xdead_beef_000), &sizes)
+            .is_none());
         assert_eq!(t.stats().misses, misses_before + 1);
     }
 

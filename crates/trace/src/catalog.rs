@@ -129,20 +129,76 @@ const MB: u64 = 1 << 20;
 /// The paper's Table 1 contents (one row per app/input pair).
 pub fn paper_table1() -> Vec<CatalogRow> {
     vec![
-        CatalogRow { app: AppId::Bfs, input: "Kronecker 25", paper_footprint_bytes: 10 * GB },
-        CatalogRow { app: AppId::Bfs, input: "Twitter", paper_footprint_bytes: 17 * GB },
-        CatalogRow { app: AppId::Bfs, input: "Sd1 Web", paper_footprint_bytes: 19 * GB },
-        CatalogRow { app: AppId::Sssp, input: "Kronecker 25", paper_footprint_bytes: 19 * GB },
-        CatalogRow { app: AppId::Sssp, input: "Twitter", paper_footprint_bytes: 34 * GB },
-        CatalogRow { app: AppId::Sssp, input: "Sd1 Web", paper_footprint_bytes: 38 * GB },
-        CatalogRow { app: AppId::PageRank, input: "Kronecker 25", paper_footprint_bytes: 10 * GB },
-        CatalogRow { app: AppId::PageRank, input: "Twitter", paper_footprint_bytes: 17 * GB },
-        CatalogRow { app: AppId::PageRank, input: "Sd1 Web", paper_footprint_bytes: 19 * GB },
-        CatalogRow { app: AppId::Canneal, input: "native (98MB)", paper_footprint_bytes: 860 * MB },
-        CatalogRow { app: AppId::Dedup, input: "native (672MB)", paper_footprint_bytes: 838 * MB },
-        CatalogRow { app: AppId::Mcf, input: "native (3.2MB)", paper_footprint_bytes: 5 * GB },
-        CatalogRow { app: AppId::Omnetpp, input: "native (18MB)", paper_footprint_bytes: 252 * MB },
-        CatalogRow { app: AppId::Xalancbmk, input: "native (56MB)", paper_footprint_bytes: 427 * MB },
+        CatalogRow {
+            app: AppId::Bfs,
+            input: "Kronecker 25",
+            paper_footprint_bytes: 10 * GB,
+        },
+        CatalogRow {
+            app: AppId::Bfs,
+            input: "Twitter",
+            paper_footprint_bytes: 17 * GB,
+        },
+        CatalogRow {
+            app: AppId::Bfs,
+            input: "Sd1 Web",
+            paper_footprint_bytes: 19 * GB,
+        },
+        CatalogRow {
+            app: AppId::Sssp,
+            input: "Kronecker 25",
+            paper_footprint_bytes: 19 * GB,
+        },
+        CatalogRow {
+            app: AppId::Sssp,
+            input: "Twitter",
+            paper_footprint_bytes: 34 * GB,
+        },
+        CatalogRow {
+            app: AppId::Sssp,
+            input: "Sd1 Web",
+            paper_footprint_bytes: 38 * GB,
+        },
+        CatalogRow {
+            app: AppId::PageRank,
+            input: "Kronecker 25",
+            paper_footprint_bytes: 10 * GB,
+        },
+        CatalogRow {
+            app: AppId::PageRank,
+            input: "Twitter",
+            paper_footprint_bytes: 17 * GB,
+        },
+        CatalogRow {
+            app: AppId::PageRank,
+            input: "Sd1 Web",
+            paper_footprint_bytes: 19 * GB,
+        },
+        CatalogRow {
+            app: AppId::Canneal,
+            input: "native (98MB)",
+            paper_footprint_bytes: 860 * MB,
+        },
+        CatalogRow {
+            app: AppId::Dedup,
+            input: "native (672MB)",
+            paper_footprint_bytes: 838 * MB,
+        },
+        CatalogRow {
+            app: AppId::Mcf,
+            input: "native (3.2MB)",
+            paper_footprint_bytes: 5 * GB,
+        },
+        CatalogRow {
+            app: AppId::Omnetpp,
+            input: "native (18MB)",
+            paper_footprint_bytes: 252 * MB,
+        },
+        CatalogRow {
+            app: AppId::Xalancbmk,
+            input: "native (56MB)",
+            paper_footprint_bytes: 427 * MB,
+        },
     ]
 }
 
@@ -212,12 +268,7 @@ impl Workload for AnyWorkload {
 
 /// Instantiates an application on a dataset at the given scale. The
 /// `dataset` is ignored for non-graph apps. Deterministic in `seed`.
-pub fn instantiate(
-    app: AppId,
-    dataset: Dataset,
-    scale: WorkloadScale,
-    seed: u64,
-) -> AnyWorkload {
+pub fn instantiate(app: AppId, dataset: Dataset, scale: WorkloadScale, seed: u64) -> AnyWorkload {
     match app {
         AppId::Bfs | AppId::Sssp | AppId::PageRank => {
             let kernel = match app {

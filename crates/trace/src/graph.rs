@@ -197,7 +197,10 @@ impl RmatParams {
 ///
 /// Panics if `scale` is 0 or ≥ 31, or the quadrant probabilities exceed 1.
 pub fn generate_rmat(params: &RmatParams, seed: u64) -> CsrGraph {
-    assert!(params.scale > 0 && params.scale < 31, "scale must be 1..=30");
+    assert!(
+        params.scale > 0 && params.scale < 31,
+        "scale must be 1..=30"
+    );
     let d = 1.0 - params.a - params.b - params.c;
     assert!(d >= -1e-9, "quadrant probabilities must sum to <= 1");
     let n = params.vertex_count();
@@ -331,7 +334,9 @@ mod tests {
         let bucket = |d: u64| 64 - (d + 1).leading_zeros();
         assert_eq!(bucket(g.degree(old_of_new0)), bucket(hottest));
         // Degrees are non-increasing at bucket granularity.
-        let degs: Vec<u64> = (0..sorted.vertex_count()).map(|u| sorted.degree(u)).collect();
+        let degs: Vec<u64> = (0..sorted.vertex_count())
+            .map(|u| sorted.degree(u))
+            .collect();
         let buckets: Vec<u32> = degs.iter().map(|&d| bucket(d)).collect();
         assert!(buckets.windows(2).all(|w| w[0] >= w[1]));
     }
@@ -342,7 +347,11 @@ mod tests {
         let g = generate_rmat(&RmatParams::kronecker(9), 11);
         let (s1, _) = degree_based_grouping(&g);
         let (s2, _) = degree_based_grouping(&s1);
-        let degs = |g: &CsrGraph| (0..g.vertex_count()).map(|u| g.degree(u)).collect::<Vec<_>>();
+        let degs = |g: &CsrGraph| {
+            (0..g.vertex_count())
+                .map(|u| g.degree(u))
+                .collect::<Vec<_>>()
+        };
         assert_eq!(degs(&s1), degs(&s2));
     }
 }

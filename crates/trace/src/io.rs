@@ -266,7 +266,8 @@ mod tests {
     fn truncated_record_is_an_error() {
         let mut buf = Vec::new();
         let mut w = TraceWriter::new(&mut buf).unwrap();
-        w.write(&MemoryAccess::read(VirtAddr::new(0xABCDEF))).unwrap();
+        w.write(&MemoryAccess::read(VirtAddr::new(0xABCDEF)))
+            .unwrap();
         w.finish().unwrap();
         buf.pop(); // chop the varint's last byte
         let items: Vec<io::Result<MemoryAccess>> =

@@ -253,7 +253,11 @@ impl<'g> EdgeScanner<'g> {
     /// Queues the accesses for scanning vertex `u`'s out-edges; calls
     /// `visit` for each neighbour so the kernel can react (and queue its
     /// own property accesses).
-    fn scan_vertex(&mut self, u: u32, mut visit: impl FnMut(&mut VecDeque<MemoryAccess>, u64, u32)) {
+    fn scan_vertex(
+        &mut self,
+        u: u32,
+        mut visit: impl FnMut(&mut VecDeque<MemoryAccess>, u64, u32),
+    ) {
         let w = self.w;
         self.pending
             .push_back(MemoryAccess::read(w.offsets.addr_of(u as u64)));

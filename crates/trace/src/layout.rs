@@ -100,10 +100,8 @@ impl AddressSpaceBuilder {
         let layout = ArrayLayout::new(base, element_bytes, len);
         let end = base.raw() + layout.byte_len().max(1);
         // Advance past the array plus one guard huge page.
-        self.cursor = VirtAddr::new(end)
-            .align_up(PageSize::Huge2M)
-            .raw()
-            + PageSize::Huge2M.bytes();
+        self.cursor =
+            VirtAddr::new(end).align_up(PageSize::Huge2M).raw() + PageSize::Huge2M.bytes();
         self.regions.push(layout.region());
         layout
     }
@@ -139,10 +137,7 @@ mod tests {
         assert!(a2.base().is_aligned(PageSize::Huge2M));
         // Guard gap: no shared 2MB region.
         let last_a1 = a1.region().end().raw() - 1;
-        assert!(
-            VirtAddr::new(last_a1).vpn(PageSize::Huge2M)
-                < a2.base().vpn(PageSize::Huge2M)
-        );
+        assert!(VirtAddr::new(last_a1).vpn(PageSize::Huge2M) < a2.base().vpn(PageSize::Huge2M));
         assert_eq!(b.footprint_bytes(), 8 * 1000 + 4 * 5000);
         assert_eq!(b.regions().len(), 2);
     }

@@ -34,12 +34,12 @@ pub use catalog::{
 };
 pub use graph::{degree_based_grouping, generate_rmat, CsrGraph, RmatParams};
 pub use io::{TraceReader, TraceWriter};
-pub use recorded::RecordedWorkload;
 pub use kernels::{GraphKernel, GraphWorkload};
 pub use layout::{AddressSpaceBuilder, ArrayLayout, HEAP_BASE};
+pub use recorded::RecordedWorkload;
 pub use reuse::{PageProfile, ReuseAnalyzer, ReuseClass};
 pub use synth::{
-    canneal, dedup, gups, hashjoin, mcf, omnetpp, xalancbmk, Pattern, SynthScale,
-    SyntheticBuilder, SyntheticWorkload,
+    canneal, dedup, gups, hashjoin, mcf, omnetpp, xalancbmk, Pattern, SynthScale, SyntheticBuilder,
+    SyntheticWorkload,
 };
 pub use workload::Workload;

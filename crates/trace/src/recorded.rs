@@ -195,7 +195,8 @@ mod tests {
             if tlb.lookup(a.addr) == TlbOutcome::Miss {
                 let vpn = a.addr.vpn(PageSize::Base4K);
                 if pt.translate(a.addr).is_none() {
-                    pt.map(vpn, Pfn::new(vpn.index(), PageSize::Base4K)).unwrap();
+                    pt.map(vpn, Pfn::new(vpn.index(), PageSize::Base4K))
+                        .unwrap();
                 }
                 let walk = pt.walk(a.addr).unwrap();
                 tlb.fill(walk.translation);

@@ -120,7 +120,10 @@ impl SyntheticBuilder {
     ///
     /// Panics if no phases were added.
     pub fn build(self) -> SyntheticWorkload {
-        assert!(!self.phases.is_empty(), "a workload needs at least one phase");
+        assert!(
+            !self.phases.is_empty(),
+            "a workload needs at least one phase"
+        );
         SyntheticWorkload {
             name: self.name,
             seed: self.seed,
@@ -154,7 +157,10 @@ impl Workload for SyntheticWorkload {
     ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
         assert!(thread < threads, "bad thread index");
         // Threads share the pattern but draw from distinct RNG streams.
-        Box::new(SynthTrace::new(self, self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(thread) + 1))))
+        Box::new(SynthTrace::new(
+            self,
+            self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(thread) + 1)),
+        ))
     }
 }
 
@@ -250,7 +256,7 @@ impl Iterator for SynthTrace<'_> {
             })
             .map(|(i, _)| i);
         {
-            let Some(i) = pick else { return None };
+            let i = pick?;
             let p = &mut self.phases[i];
             p.emitted += 1;
             let n = p.array.len();
@@ -272,8 +278,7 @@ impl Iterator for SynthTrace<'_> {
                 }
             };
             let addr = self.phases[i].array.addr_of(idx);
-            let is_write =
-                self.rng.random_range(0..100u8) < self.phases[i].write_ratio_pct;
+            let is_write = self.rng.random_range(0..100u8) < self.phases[i].write_ratio_pct;
             Some(if is_write {
                 MemoryAccess::write(addr)
             } else {
@@ -518,7 +523,14 @@ mod tests {
     fn trace_length_matches_budgets() {
         let mut b = SyntheticBuilder::new("t", 0);
         let a = b.array(8, 100);
-        b.phase(a, Pattern::Sequential { stride: 1, count: 50 }, 0);
+        b.phase(
+            a,
+            Pattern::Sequential {
+                stride: 1,
+                count: 50,
+            },
+            0,
+        );
         b.phase(a, Pattern::UniformRandom { count: 30 }, 0);
         let w = b.build();
         assert_eq!(w.trace().count(), 80);
@@ -550,10 +562,7 @@ mod tests {
         let a = b.array(8, 1000);
         b.phase(a, Pattern::UniformRandom { count: 10_000 }, 50);
         let w = b.build();
-        let writes = w
-            .trace()
-            .filter(|a| a.kind == AccessKind::Write)
-            .count();
+        let writes = w.trace().filter(|a| a.kind == AccessKind::Write).count();
         assert!((4000..6000).contains(&writes), "writes = {writes}");
     }
 
@@ -583,7 +592,14 @@ mod tests {
     fn sequential_walks_in_order() {
         let mut b = SyntheticBuilder::new("t", 0);
         let a = b.array(8, 16);
-        b.phase(a, Pattern::Sequential { stride: 1, count: 16 }, 0);
+        b.phase(
+            a,
+            Pattern::Sequential {
+                stride: 1,
+                count: 16,
+            },
+            0,
+        );
         let w = b.build();
         let addrs: Vec<u64> = w.trace().map(|a| a.addr.raw()).collect();
         assert!(addrs.windows(2).all(|p| p[1] == p[0] + 8));
@@ -595,8 +611,7 @@ mod tests {
         let a = b.array(8, 64);
         b.phase(a, Pattern::PointerChase { count: 1000 }, 0);
         let w = b.build();
-        let distinct: std::collections::HashSet<u64> =
-            w.trace().map(|a| a.addr.raw()).collect();
+        let distinct: std::collections::HashSet<u64> = w.trace().map(|a| a.addr.raw()).collect();
         assert!(distinct.len() > 30, "chase visited {}", distinct.len());
     }
 
@@ -615,12 +630,13 @@ mod tests {
         // distinct-page count approaches the access count until pages
         // repeat.
         let w = gups(SynthScale::TEST, 2);
-        let distinct: std::collections::HashSet<u64> = w
-            .trace()
-            .take(20_000)
-            .map(|a| a.addr.raw() >> 12)
-            .collect();
-        assert!(distinct.len() > 10_000, "gups should spread: {}", distinct.len());
+        let distinct: std::collections::HashSet<u64> =
+            w.trace().take(20_000).map(|a| a.addr.raw() >> 12).collect();
+        assert!(
+            distinct.len() > 10_000,
+            "gups should spread: {}",
+            distinct.len()
+        );
     }
 
     #[test]

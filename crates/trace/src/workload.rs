@@ -31,8 +31,11 @@ pub trait Workload {
     ///
     /// Implementations panic if `thread >= threads` or the workload does
     /// not support the requested thread count.
-    fn thread_trace(&self, thread: u32, threads: u32)
-        -> Box<dyn Iterator<Item = MemoryAccess> + '_>;
+    fn thread_trace(
+        &self,
+        thread: u32,
+        threads: u32,
+    ) -> Box<dyn Iterator<Item = MemoryAccess> + '_>;
 
     /// Convenience: the single-threaded trace.
     fn trace(&self) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {

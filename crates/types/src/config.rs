@@ -39,7 +39,7 @@ impl TlbLevelConfig {
         if self.entries == 0 || self.ways == 0 {
             return Err(ConfigError::new("TLB entries and ways must be nonzero"));
         }
-        if self.entries % self.ways != 0 {
+        if !self.entries.is_multiple_of(self.ways) {
             return Err(ConfigError::new("TLB ways must divide entries"));
         }
         Ok(())
@@ -270,11 +270,16 @@ impl core::fmt::Display for PromotionPolicyKind {
 
 /// Constants of the analytic timing model in `hpage-perf`.
 ///
-/// The model is `cycles = accesses * base_cpi_millis/1000
-/// + l1_tlb_misses * l2_tlb_lat + walks * walk_lat`, i.e. address
-/// translation overhead is added on top of a per-access base cost that
-/// stands in for compute + cache behaviour. See DESIGN.md for the
-/// calibration rationale.
+/// The model is
+///
+/// ```text
+/// cycles = accesses * base_cpi_millis/1000
+///        + l1_tlb_misses * l2_tlb_lat + walks * walk_lat
+/// ```
+///
+/// i.e. address translation overhead is added on top of a per-access
+/// base cost that stands in for compute + cache behaviour. See
+/// DESIGN.md for the calibration rationale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimingConfig {
     /// Base cost per memory access in milli-cycles (covers issue +
@@ -440,7 +445,8 @@ impl SystemConfig {
         if let Some(p) = &self.pwc {
             p.validate()?;
         }
-        if self.phys_mem_bytes == 0 || self.phys_mem_bytes % PageSize::Huge2M.bytes() != 0 {
+        if self.phys_mem_bytes == 0 || !self.phys_mem_bytes.is_multiple_of(PageSize::Huge2M.bytes())
+        {
             return Err(ConfigError::new(
                 "physical memory must be a nonzero multiple of 2MiB",
             ));

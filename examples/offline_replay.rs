@@ -40,8 +40,11 @@ fn main() {
     );
 
     // Step 2: replay the trace on a system without PCC hardware.
-    let replayed = Simulation::new(config.clone(), PolicyChoice::Replay(offline.schedule.clone()))
-        .run(&[ProcessSpec::new(&workload)]);
+    let replayed = Simulation::new(
+        config.clone(),
+        PolicyChoice::Replay(offline.schedule.clone()),
+    )
+    .run(&[ProcessSpec::new(&workload)]);
 
     let mut table = TextTable::new(["run", "PTW rate", "promotions", "speedup"]);
     for r in [&base, &offline, &replayed] {

@@ -17,8 +17,22 @@ fn main() {
     let mut b = SyntheticBuilder::new("zipf+stream", 7);
     let hot = b.array(8, (64 << 20) / 8);
     let stream = b.array(64, (32 << 20) / 64);
-    b.phase(hot, Pattern::Zipf { count: 3_000_000, exponent: 0.8 }, 10);
-    b.phase(stream, Pattern::Sequential { stride: 1, count: 1_000_000 }, 30);
+    b.phase(
+        hot,
+        Pattern::Zipf {
+            count: 3_000_000,
+            exponent: 0.8,
+        },
+        10,
+    );
+    b.phase(
+        stream,
+        Pattern::Sequential {
+            stride: 1,
+            count: 1_000_000,
+        },
+        30,
+    );
     let workload = b.build();
     println!(
         "workload: {} ({} MiB footprint)\n",
@@ -57,8 +71,7 @@ fn main() {
         pcc.aggregate.promotions,
         pcc.huge_pages_at_end,
         fmt_pct(
-            (pcc.speedup_over(&base, &timing) - 1.0)
-                / (ideal.speedup_over(&base, &timing) - 1.0)
+            (pcc.speedup_over(&base, &timing) - 1.0) / (ideal.speedup_over(&base, &timing) - 1.0)
         ),
     );
 }

@@ -37,7 +37,10 @@ fn main() {
     }
     println!("BFS on Kronecker-16, {window} accesses:\n\n{table}");
     let analytic_hubs: Vec<_> = analyzer.hub_regions();
-    println!("HUB pages concentrate in {} 2MiB regions\n", analytic_hubs.len());
+    println!(
+        "HUB pages concentrate in {} 2MiB regions\n",
+        analytic_hubs.len()
+    );
 
     // Hardware pass: run the same window through the TLB+PCC pipeline
     // and compare what the PCC would tell the OS.
@@ -52,15 +55,12 @@ fn main() {
         .iter()
         .map(|e| e.region.index())
         .collect();
-    let analytic_set: HashSet<u64> = analytic_hubs
-        .iter()
-        .map(|(r, _)| r.index())
-        .collect();
+    let analytic_set: HashSet<u64> = analytic_hubs.iter().map(|(r, _)| r.index()).collect();
     let overlap = promoted_regions.intersection(&analytic_set).count();
     println!(
         "The PCC promoted {promoted} regions; {overlap} of them are analytic HUB \
          regions ({}% agreement with the reuse-distance oracle).",
-        if promoted == 0 { 0 } else { 100 * overlap / promoted }
+        (100 * overlap).checked_div(promoted).unwrap_or(0)
     );
     let _ = PageSize::Huge2M;
 }

@@ -56,8 +56,8 @@ fn policy_ordering_on_skewed_workload() {
     let base = run(PolicyChoice::BasePages);
     let hawkeye = run(PolicyChoice::HawkEye);
     let pcc = run(PolicyChoice::pcc_default());
-    let ideal = Simulation::new(config.clone(), PolicyChoice::IdealHuge)
-        .run(&[ProcessSpec::new(&w)]);
+    let ideal =
+        Simulation::new(config.clone(), PolicyChoice::IdealHuge).run(&[ProcessSpec::new(&w)]);
 
     let s_hawkeye = hawkeye.speedup_over(&base, &timing);
     let s_pcc = pcc.speedup_over(&base, &timing);
@@ -140,7 +140,14 @@ fn round_robin_vs_highest_frequency_distribute_differently() {
     let warm = {
         let mut b = SyntheticBuilder::new("warm", 10);
         let a = b.array(8, (32 << 20) / 8);
-        b.phase(a, Pattern::Zipf { count: 150_000, exponent: 0.4 }, 5);
+        b.phase(
+            a,
+            Pattern::Zipf {
+                count: 150_000,
+                exponent: 0.4,
+            },
+            5,
+        );
         b.build()
     };
     let mut config = SystemConfig::tiny();
@@ -180,8 +187,8 @@ fn fragmentation_degrades_gracefully() {
     let mut config = SystemConfig::tiny();
     config.phys_mem_bytes = ((w.footprint_bytes() * 3 / 2) >> 21 << 21).max(64 << 20);
     let timing = config.timing;
-    let base = Simulation::new(config.clone(), PolicyChoice::BasePages)
-        .run(&[ProcessSpec::new(&w)]);
+    let base =
+        Simulation::new(config.clone(), PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
     let mut prev = f64::INFINITY;
     for frag in [0u8, 50, 90, 100] {
         let report = Simulation::new(config.clone(), PolicyChoice::pcc_default())

@@ -61,12 +61,18 @@ fn ptw_rate_reduction_tracks_speedup() {
         .run(&[ProcessSpec::new(&w)]);
     for pct in [2u64, 8, 32] {
         let r = Simulation::new(profile.system.clone(), PolicyChoice::pcc_default())
-            .with_budget(PromotionBudget::percent_of_footprint(pct, w.footprint_bytes()))
+            .with_budget(PromotionBudget::percent_of_footprint(
+                pct,
+                w.footprint_bytes(),
+            ))
             .with_max_accesses_per_core(10_000_000)
             .run(&[ProcessSpec::new(&w)]);
         let s = r.speedup_over(&base, &timing);
         let walks = r.aggregate.walk_ratio();
-        assert!(s >= prev_speedup - 0.03, "speedup fell at {pct}%: {s} < {prev_speedup}");
+        assert!(
+            s >= prev_speedup - 0.03,
+            "speedup fell at {pct}%: {s} < {prev_speedup}"
+        );
         assert!(walks <= prev_walks + 0.01, "PTW rate rose at {pct}%");
         prev_speedup = s;
         prev_walks = walks;
@@ -128,7 +134,10 @@ fn pcc_beats_linux_under_heavy_fragmentation() {
     let linux = run(PolicyChoice::LinuxThp);
     let pcc = run(PolicyChoice::pcc_default());
     // Linux's huge pages come only from scan-limited khugepaged.
-    assert_eq!(linux.per_process[0].faults_huge, 0, "fault-time THP must fail");
+    assert_eq!(
+        linux.per_process[0].faults_huge, 0,
+        "fault-time THP must fail"
+    );
     let s_linux = linux.speedup_over(&base, &timing);
     let s_pcc = pcc.speedup_over(&base, &timing);
     assert!(

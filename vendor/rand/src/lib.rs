@@ -58,10 +58,7 @@ pub trait Rng: RngCore {
     /// # Panics
     ///
     /// Panics if the range is empty.
-    fn random_range<T: UniformSample + PartialOrd>(
-        &mut self,
-        range: core::ops::Range<T>,
-    ) -> T
+    fn random_range<T: UniformSample + PartialOrd>(&mut self, range: core::ops::Range<T>) -> T
     where
         Self: Sized,
     {
