@@ -16,4 +16,8 @@ cargo fmt --check
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== chaos smoke: hpsim --faults examples/chaos.json --audit =="
+HPAGE_PROFILE=test ./target/release/hpsim --policy pcc \
+    --faults examples/chaos.json --audit --quiet
+
 echo "CI OK"

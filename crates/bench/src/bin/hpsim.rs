@@ -13,7 +13,8 @@
 //! `HPAGE_SCALE=<log2 vertices>`.
 
 use hpage_bench::profile_from_env;
-use hpage_os::{read_schedule, write_schedule, PromotionBudget};
+use hpage_faults::FaultPlan;
+use hpage_os::{read_schedule, write_schedule, DegradationConfig, PromotionBudget};
 use hpage_perf::{fmt_pct, fmt_speedup, TextTable};
 use hpage_sim::{JsonlSink, PolicyChoice, ProcessSpec, SimReport, Simulation};
 use hpage_trace::{
@@ -29,16 +30,28 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--selection highest-frequency|round-robin] [--demotion] [--bias <pid,...>]
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
              [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE] [--trace-in FILE]
-             [--trace-info FILE] [--events FILE] [--metrics FILE] [--quiet|-q] [--verbose|-v]
+             [--trace-info FILE] [--events FILE] [--metrics FILE] [--faults FILE]
+             [--no-degrade] [--audit] [--quiet|-q] [--verbose|-v]
 flight recorder: --events streams every simulation event (TLB hits, walks,
              faults, PCC updates, promotions, shootdowns, interval snapshots)
              as JSON Lines; --metrics writes the per-interval series as JSONL
+robustness:  --faults loads a JSON fault plan (OOM windows, fragmentation
+             shocks, compaction stalls, PCC resets, shootdown spikes) and
+             enables graceful degradation (--no-degrade opts out, for
+             A/B runs); --audit cross-checks OS/TLB/PCC invariants every
+             interval and exits 1 on any violation
 verbosity:   --quiet prints the results table only; -v adds the per-interval series
 environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
 
 fn die(msg: &str) -> ! {
     eprintln!("hpsim: {msg}\n{USAGE}");
     exit(2)
+}
+
+/// Runtime failure (not a usage error): no usage text, exit 1.
+fn fail(msg: &str) -> ! {
+    eprintln!("hpsim: {msg}");
+    exit(1)
 }
 
 struct Options {
@@ -60,6 +73,9 @@ struct Options {
     trace_info: Option<String>,
     events: Option<String>,
     metrics: Option<String>,
+    faults: Option<String>,
+    no_degrade: bool,
+    audit: bool,
     /// 0 = quiet (results table only), 1 = default, 2 = verbose.
     verbosity: u8,
 }
@@ -84,6 +100,9 @@ fn parse_args() -> Options {
         trace_info: None,
         events: None,
         metrics: None,
+        faults: None,
+        no_degrade: false,
+        audit: false,
         verbosity: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -160,6 +179,9 @@ fn parse_args() -> Options {
             "--trace-info" => opts.trace_info = Some(value(&mut i)),
             "--events" => opts.events = Some(value(&mut i)),
             "--metrics" => opts.metrics = Some(value(&mut i)),
+            "--faults" => opts.faults = Some(value(&mut i)),
+            "--no-degrade" => opts.no_degrade = true,
+            "--audit" => opts.audit = true,
             "--quiet" | "-q" => opts.verbosity = 0,
             "--verbose" | "-v" => opts.verbosity = 2,
             "--help" | "-h" => {
@@ -311,6 +333,19 @@ fn main() {
     if let Some(pct) = opts.budget_pct {
         sim = sim.with_budget(PromotionBudget::percent_of_footprint(pct, footprint));
     }
+    if let Some(path) = &opts.faults {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+        let plan =
+            FaultPlan::from_json(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+        sim = sim.with_faults(plan);
+        if !opts.no_degrade {
+            sim = sim.with_degradation(DegradationConfig::default());
+        }
+    }
+    if opts.audit {
+        sim = sim.with_audit();
+    }
 
     // Baseline for the speedup column.
     let mut base_sim = Simulation::new(sized.system.clone(), PolicyChoice::BasePages);
@@ -326,7 +361,9 @@ fn main() {
         Some(path) => {
             let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
             let mut sink = JsonlSink::new(BufWriter::new(file));
-            let report = sim.run_recorded(&spec(), &mut sink);
+            let report = sim
+                .try_run_recorded(&spec(), &mut sink)
+                .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
             let total = sink.total();
             let counts = sink
                 .finish()
@@ -337,7 +374,11 @@ fn main() {
                 .collect();
             (report, Some((total, counts)))
         }
-        None => (sim.run(&spec()), None),
+        None => (
+            sim.try_run(&spec())
+                .unwrap_or_else(|e| fail(&format!("simulation failed: {e}"))),
+            None,
+        ),
     };
 
     if opts.verbosity >= 1 {
@@ -451,5 +492,50 @@ fn main() {
             "wrote {} promotion events to {path} (replay with --policy replay --schedule-in)",
             report.schedule.len()
         );
+    }
+
+    if let Some(stats) = &report.fault_stats {
+        if opts.verbosity >= 1 {
+            let mut t = TextTable::new(["fault", "count"]);
+            t.row([
+                "faulted intervals".into(),
+                stats.faulted_intervals.to_string(),
+            ]);
+            t.row(["OOM intervals".into(), stats.oom_intervals.to_string()]);
+            t.row([
+                "compaction stalls".into(),
+                stats.compaction_stall_intervals.to_string(),
+            ]);
+            t.row([
+                "fragmentation shocks".into(),
+                stats.shocks_fired.to_string(),
+            ]);
+            t.row(["PCC resets".into(), stats.pcc_resets.to_string()]);
+            t.row([
+                "shootdown spikes".into(),
+                stats.shootdown_spike_intervals.to_string(),
+            ]);
+            println!(
+                "injected faults ({})\n{t}",
+                opts.faults.as_deref().unwrap_or_default()
+            );
+        }
+    }
+
+    if opts.audit {
+        if report.audit_violations.is_empty() {
+            if opts.verbosity >= 1 {
+                println!("audit: all invariants held every interval");
+            }
+        } else {
+            eprintln!(
+                "audit: {} invariant violation(s):",
+                report.audit_violations.len()
+            );
+            for (interval, violation) in &report.audit_violations {
+                eprintln!("  interval {interval}: {violation}");
+            }
+            exit(1);
+        }
     }
 }

@@ -153,6 +153,18 @@ impl PccBank {
     pub fn total_candidates(&self) -> usize {
         self.pccs.iter().map(Pcc::len).sum()
     }
+
+    /// Empties every per-core PCC, returning the number of candidates
+    /// lost. Models an SRAM reset fault (§3.2: the PCC is architecturally
+    /// transparent state, so losing it is safe — only promotion quality
+    /// degrades until counters are rebuilt).
+    pub fn clear_all(&mut self) -> usize {
+        let lost = self.total_candidates();
+        for pcc in &mut self.pccs {
+            pcc.clear();
+        }
+        lost
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,335 @@
+//! Minimal hand-rolled JSON *parser* for fault plans.
+//!
+//! The workspace already hand-rolls JSON emission (`hpage-obs::json`);
+//! this is the matching read side, scoped to what a [`crate::FaultPlan`]
+//! needs: objects, arrays, strings, unsigned integers, booleans, and
+//! null. The build environment is offline, so serde is not an option.
+//! Numbers are parsed as `u64` (fault plans only carry counts, seeds,
+//! and percentages); floats, exponents, and negative numbers are
+//! rejected rather than silently truncated.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. `BTreeMap` keeps object iteration deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the only number shape fault plans use).
+    Uint(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Returns the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an unsigned integer.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Value::Uint(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-') => Err(format!(
+                "negative number at byte {} (plans use unsigned)",
+                self.pos
+            )),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(format!(
+                "non-integer number at byte {start} (plans use unsigned integers)"
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u64>()
+            .map(Value::Uint)
+            .map_err(|e| format!("number at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?}", other.map(|c| c as char)));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err("raw control char in string".into()),
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            if map.insert(key.clone(), val).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse(" 42 ").unwrap(), Value::Uint(42));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structure() {
+        let v = parse(r#"{"a": [1, {"b": "x"}], "c": 0}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj["c"], Value::Uint(0));
+        let arr = obj["a"].as_array().unwrap();
+        assert_eq!(arr[0], Value::Uint(1));
+        assert_eq!(arr[1].as_object().unwrap()["b"].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\ndA""#).unwrap(),
+            Value::Str("a\"b\\c\ndA".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn rejects_non_plan_numbers() {
+        assert!(parse("-1").is_err());
+        assert!(parse("1.5").is_err());
+        assert!(parse("1e3").is_err());
+        assert!(parse("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn handles_unicode_content() {
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+    }
+}

@@ -164,10 +164,51 @@ pub enum Event {
     },
     /// Interval-boundary snapshot of the whole pipeline.
     Interval(IntervalSnapshot),
+    /// The fault injector activated a fault this interval.
+    FaultInjected {
+        /// The fault plan's wire label for the kind ("oom",
+        /// "fragmentation_shock", …).
+        fault: &'static str,
+        /// Interval the fault fired in.
+        interval: u64,
+    },
+    /// A promotion candidate was skipped because its exponential backoff
+    /// has not expired (graceful degradation under injected faults).
+    PromotionDeferred {
+        /// The owning process.
+        process: ProcessId,
+        /// The deferred region.
+        region: Vpn,
+        /// Simulation time (accesses) when the region may retry.
+        retry_at: u64,
+        /// Consecutive promotion failures for this region so far.
+        failures: u32,
+    },
+    /// The pressure detector engaged: promotion is throttled and cold
+    /// huge regions become demotion targets.
+    PressureEnter {
+        /// Free huge-capable blocks at the moment of entry.
+        free_blocks: u64,
+        /// Total bloat at the moment of entry.
+        bloat_bytes: u64,
+    },
+    /// The pressure detector disengaged (hysteresis threshold reached).
+    PressureExit {
+        /// Free huge-capable blocks at the moment of exit.
+        free_blocks: u64,
+    },
+    /// A pressure demotion reclaimed bloat: never-touched tail pages of a
+    /// huge region were unmapped and their frames freed.
+    BloatRecovered {
+        /// The owning process.
+        process: ProcessId,
+        /// Bytes returned to the free pool.
+        bytes: u64,
+    },
 }
 
 /// Every event kind's wire name, in emission-summary order.
-pub const EVENT_KINDS: [&str; 10] = [
+pub const EVENT_KINDS: [&str; 15] = [
     "tlb_hit",
     "walk",
     "fault",
@@ -178,6 +219,11 @@ pub const EVENT_KINDS: [&str; 10] = [
     "demote",
     "shootdown",
     "interval",
+    "fault_injected",
+    "defer",
+    "pressure_enter",
+    "pressure_exit",
+    "bloat_recovered",
 ];
 
 fn size_str(size: PageSize) -> &'static str {
@@ -203,6 +249,11 @@ impl Event {
             Event::Demotion { .. } => "demote",
             Event::Shootdown { .. } => "shootdown",
             Event::Interval(_) => "interval",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::PromotionDeferred { .. } => "defer",
+            Event::PressureEnter { .. } => "pressure_enter",
+            Event::PressureExit { .. } => "pressure_exit",
+            Event::BloatRecovered { .. } => "bloat_recovered",
         }
     }
 
@@ -321,6 +372,35 @@ impl Event {
                     s.bloat_bytes
                 )
             }
+            Event::FaultInjected { fault, interval } => {
+                format!(
+                    "\"fault\":\"{}\",\"interval\":{}",
+                    crate::json::esc(fault),
+                    interval
+                )
+            }
+            Event::PromotionDeferred {
+                process,
+                region,
+                retry_at,
+                failures,
+            } => format!(
+                "\"process\":{},\"region\":{},\"retry_at\":{},\"failures\":{}",
+                process.0,
+                region.index(),
+                retry_at,
+                failures
+            ),
+            Event::PressureEnter {
+                free_blocks,
+                bloat_bytes,
+            } => format!("\"free_blocks\":{free_blocks},\"bloat_bytes\":{bloat_bytes}"),
+            Event::PressureExit { free_blocks } => {
+                format!("\"free_blocks\":{free_blocks}")
+            }
+            Event::BloatRecovered { process, bytes } => {
+                format!("\"process\":{},\"bytes\":{}", process.0, bytes)
+            }
         };
         format!("{{\"at\":{at},\"type\":\"{kind}\",{body}}}")
     }
@@ -406,6 +486,25 @@ mod tests {
                 huge_pages_resident: 38,
                 bloat_bytes: 1024,
             }),
+            Event::FaultInjected {
+                fault: "oom",
+                interval: 4,
+            },
+            Event::PromotionDeferred {
+                process: ProcessId(0),
+                region: Vpn::new(12, PageSize::Huge2M),
+                retry_at: 900_000,
+                failures: 2,
+            },
+            Event::PressureEnter {
+                free_blocks: 1,
+                bloat_bytes: 4096,
+            },
+            Event::PressureExit { free_blocks: 6 },
+            Event::BloatRecovered {
+                process: ProcessId(1),
+                bytes: 2 * 1024 * 1024 - 4096,
+            },
         ]
     }
 

@@ -54,15 +54,25 @@ pub struct AddressSpaceStats {
     pub pages_touched: u64,
 }
 
+/// What the OS remembers about a promotion it performed, to drive later
+/// demotion and bloat-reclaim decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PromotionRecord {
+    /// Simulation timestamp of the promotion.
+    at: u64,
+    /// Base pages that were mapped before the collapse — the rest of the
+    /// region's 512 pages are residency the application never asked for.
+    pages_before: u64,
+}
+
 /// A simulated process address space.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
     pid: ProcessId,
     page_table: PageTable,
     /// 2 MiB regions promoted by the OS (vs. faulted-in huge), with the
-    /// access-count timestamp of the promotion — the record the OS keeps
-    /// to drive demotion decisions.
-    promoted: HashMap<u64, u64>,
+    /// record the OS keeps to drive demotion decisions.
+    promoted: HashMap<u64, PromotionRecord>,
     stats: AddressSpaceStats,
 }
 
@@ -115,7 +125,7 @@ impl AddressSpace {
         let mut v: Vec<(Vpn, u64)> = self
             .promoted
             .iter()
-            .map(|(&i, &t)| (Vpn::new(i, PageSize::Huge2M), t))
+            .map(|(&i, rec)| (Vpn::new(i, PageSize::Huge2M), rec.at))
             .collect();
         v.sort_by_key(|(r, _)| r.index());
         v
@@ -192,9 +202,15 @@ impl AddressSpace {
         let huge = phys.alloc_huge(allow_compaction)?;
         let old = self.page_table.promote_2m(region, huge.pfn)?;
         for pfn in &old {
-            phys.free_base(*pfn);
+            phys.free_base(*pfn)?;
         }
-        self.promoted.insert(region.index(), now);
+        self.promoted.insert(
+            region.index(),
+            PromotionRecord {
+                at: now,
+                pages_before: old.len() as u64,
+            },
+        );
         self.stats.promotions += 1;
         Ok(PromotionOutcome {
             region,
@@ -233,16 +249,16 @@ impl AddressSpace {
         let (bases, huges) = match self.page_table.promote_1g(region, giant.pfn) {
             Ok(freed) => freed,
             Err(e) => {
-                phys.free_giant(giant.pfn);
+                phys.free_giant(giant.pfn)?;
                 return Err(e);
             }
         };
         let collapsed = bases.len() as u64 + 512 * huges.len() as u64;
         for pfn in bases {
-            phys.free_base(pfn);
+            phys.free_base(pfn)?;
         }
         for pfn in huges {
-            phys.free_huge(pfn);
+            phys.free_huge(pfn)?;
         }
         // Constituent 2MB promotions are superseded.
         for sub in region.split(PageSize::Huge2M) {
@@ -270,15 +286,50 @@ impl AddressSpace {
             });
         }
         // Split the frame first so the PFNs exist before remapping.
-        let t = self
-            .page_table
-            .translate(region.base())
-            .expect("huge-mapped region must translate");
-        let frames = phys.split_huge_in_place(t.pfn);
+        let t = self.page_table.translate(region.base()).ok_or_else(|| {
+            HpageError::InvariantViolation {
+                what: format!("huge-mapped region {region} has no translation"),
+            }
+        })?;
+        let frames = phys.split_huge_in_place(t.pfn)?;
         self.page_table.demote_2m(region, &frames)?;
         self.promoted.remove(&region.index());
         self.stats.demotions += 1;
         Ok(())
+    }
+
+    /// Demotes a huge `region` and reclaims its bloat: the base pages
+    /// that were only made resident by the promotion's collapse (beyond
+    /// the `pages_before` the application had actually faulted) are
+    /// unmapped and their frames freed. This is the HawkEye-style
+    /// bloat-recovery path the degraded engine takes under memory
+    /// pressure. Returns the bytes reclaimed.
+    ///
+    /// Frames are fungible in this model, so *which* of the region's
+    /// pages survive is an approximation: the first `pages_before` pages
+    /// stay mapped (a page the workload touches later simply refaults).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`demote`](Self::demote).
+    pub fn demote_and_reclaim(
+        &mut self,
+        region: Vpn,
+        phys: &mut PhysicalMemory,
+    ) -> Result<u64, HpageError> {
+        let pages_before = self
+            .promoted
+            .get(&region.index())
+            .map(|rec| rec.pages_before)
+            .unwrap_or(512);
+        self.demote(region, phys)?;
+        let mut reclaimed = 0u64;
+        for page in region.split(PageSize::Base4K).skip(pages_before as usize) {
+            let pfn = self.page_table.unmap(page)?;
+            phys.free_base(pfn)?;
+            reclaimed += PageSize::Base4K.bytes();
+        }
+        Ok(reclaimed)
     }
 
     /// Whether `region` was promoted by the OS (as opposed to faulted in

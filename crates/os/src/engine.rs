@@ -11,7 +11,8 @@ use crate::addrspace::{AddressSpace, PromotionOutcome};
 use crate::physmem::PhysicalMemory;
 use hpage_pcc::{CoreCandidate, PccBank};
 use hpage_types::{
-    CoreId, HpageError, PageSize, ProcessId, PromotionPolicyKind, Vpn, BASE_PAGES_PER_2M,
+    ConfigError, CoreId, HpageError, PageSize, ProcessId, PromotionPolicyKind, Vpn,
+    BASE_PAGES_PER_2M,
 };
 use std::collections::HashMap;
 
@@ -32,30 +33,49 @@ impl OsState {
     /// Creates OS state for `processes` single address spaces with
     /// `core_process` placement.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `core_process` references a nonexistent process.
-    pub fn new(phys: PhysicalMemory, processes: u32, core_process: Vec<usize>) -> Self {
-        assert!(
-            core_process.iter().all(|&p| p < processes as usize),
-            "core placement references unknown process"
-        );
-        OsState {
+    /// Returns [`HpageError::Config`] if `core_process` references a
+    /// nonexistent process.
+    pub fn new(
+        phys: PhysicalMemory,
+        processes: u32,
+        core_process: Vec<usize>,
+    ) -> Result<Self, HpageError> {
+        if let Some(&bad) = core_process.iter().find(|&&p| p >= processes as usize) {
+            return Err(HpageError::Config(ConfigError::new(format!(
+                "core placement references unknown process {bad} (have {processes})"
+            ))));
+        }
+        Ok(OsState {
             phys,
             spaces: (0..processes)
                 .map(|i| AddressSpace::new(ProcessId(i)))
                 .collect(),
             core_process,
-        }
+        })
     }
 
     /// The process index a core runs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `core` is not placed.
-    pub fn process_of(&self, core: CoreId) -> usize {
-        self.core_process[core.0 as usize]
+    /// Returns [`HpageError::InvariantViolation`] if `core` is not
+    /// placed.
+    pub fn process_of(&self, core: CoreId) -> Result<usize, HpageError> {
+        self.core_process
+            .get(core.0 as usize)
+            .copied()
+            .ok_or_else(|| HpageError::InvariantViolation {
+                what: format!("core {} has no process placement", core.0),
+            })
+    }
+
+    /// Total memory bloat across every address space (resident bytes the
+    /// application never touched) — the pressure detector's rising-bloat
+    /// signal.
+    pub fn total_bloat_bytes(&self) -> u64 {
+        self.spaces.iter().map(|s| s.bloat_bytes()).sum()
     }
 }
 
@@ -120,6 +140,16 @@ pub struct IntervalReport {
     /// budget ran out (distinct from `failures`, which count allocation
     /// failures).
     pub budget_exhausted: bool,
+    /// Candidates skipped under exponential backoff (degradation mode):
+    /// `(process, region, retry_at, consecutive_failures)`.
+    pub deferred: Vec<(ProcessId, Vpn, u64, u32)>,
+    /// The policy's pressure detector switched on this interval.
+    pub pressure_entered: bool,
+    /// The policy's pressure detector switched off this interval.
+    pub pressure_exited: bool,
+    /// Bytes of bloat reclaimed this interval by demote-and-reclaim:
+    /// `(process, bytes)` per reclaiming demotion.
+    pub bloat_recovered: Vec<(ProcessId, u64)>,
 }
 
 impl IntervalReport {
@@ -135,6 +165,53 @@ impl IntervalReport {
     }
 }
 
+/// Tuning knobs for graceful degradation under memory pressure and
+/// injected faults (currently honored by [`PccPolicy`]; other policies
+/// ignore it).
+///
+/// Two mechanisms are configured here:
+///
+/// * **Per-region exponential backoff** — a region whose promotion
+///   failed is not retried every interval; the retry is deferred by
+///   `backoff_base_accesses * 2^(failures-1)` accesses, with the
+///   exponent capped at `max_backoff_exponent`.
+/// * **Pressure detection** — when cleanly promotable blocks drop to
+///   `pressure_enter_free_blocks` or fewer while bloat is not falling,
+///   the policy throttles its per-interval promotion count by
+///   `throttle_divisor` and demotes up to `demotions_per_interval` cold
+///   huge regions (HawkEye-style), reclaiming their untouched tail
+///   pages. Pressure exits with hysteresis once free blocks recover to
+///   `pressure_exit_free_blocks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationConfig {
+    /// Backoff unit, in accesses (the first retry is deferred this far).
+    pub backoff_base_accesses: u64,
+    /// Cap on the backoff doubling exponent.
+    pub max_backoff_exponent: u32,
+    /// Enter pressure when `free_huge_capable_blocks` ≤ this.
+    pub pressure_enter_free_blocks: u64,
+    /// Exit pressure when `free_huge_capable_blocks` ≥ this (hysteresis:
+    /// keep it above the enter threshold).
+    pub pressure_exit_free_blocks: u64,
+    /// Divide `regions_to_promote` by this while under pressure.
+    pub throttle_divisor: u32,
+    /// Cold huge regions to demote per interval while under pressure.
+    pub demotions_per_interval: u32,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            backoff_base_accesses: 50_000,
+            max_backoff_exponent: 6,
+            pressure_enter_free_blocks: 2,
+            pressure_exit_free_blocks: 4,
+            throttle_divisor: 4,
+            demotions_per_interval: 2,
+        }
+    }
+}
+
 /// A huge-page management policy.
 pub trait HugePagePolicy {
     /// Policy name for reports.
@@ -144,6 +221,12 @@ pub trait HugePagePolicy {
     /// synchronously (Linux THP's fault path).
     fn fault_prefers_huge(&self) -> bool {
         false
+    }
+
+    /// Enables graceful degradation with the given tuning. Policies
+    /// without a degradation mode ignore the call (the default).
+    fn configure_degradation(&mut self, cfg: DegradationConfig) {
+        let _ = cfg;
     }
 
     /// Runs one promotion interval. `pccs` is `Some` only for
@@ -331,7 +414,7 @@ impl HugePagePolicy for LinuxThpPolicy {
                         budget.consume();
                         report.promotions.push((ProcessId(p as u32), out));
                     }
-                    Err(HpageError::OutOfMemory { .. }) => {
+                    Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                         report.failures += 1;
                         break; // no huge frames; stop scanning this space
                     }
@@ -462,7 +545,7 @@ impl HugePagePolicy for HawkEyePolicy {
                         budget.consume();
                         report.promotions.push((ProcessId(p as u32), out));
                     }
-                    Err(HpageError::OutOfMemory { .. }) => {
+                    Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                         report.failures += 1;
                         // Put it back for a later interval and give up.
                         self.buckets[b].insert(0, (p, region));
@@ -495,6 +578,16 @@ pub struct PccPolicy {
     /// [`Self::COLD_STREAK`] intervals before it may be demoted, which
     /// prevents promote/demote thrash.
     cold_streaks: HashMap<(usize, u64), u32>,
+    /// Degradation mode ([`DegradationConfig`]); `None` keeps the
+    /// paper-faithful retry-every-interval behaviour.
+    degradation: Option<DegradationConfig>,
+    /// Exponential-backoff state per failed region:
+    /// `(process, region index) -> (consecutive failures, retry_at)`.
+    backoff: HashMap<(usize, u64), (u32, u64)>,
+    /// Whether the pressure detector is currently on.
+    in_pressure: bool,
+    /// Bloat observed at the last interval (for the rising-bloat test).
+    last_bloat: u64,
 }
 
 impl PccPolicy {
@@ -507,6 +600,10 @@ impl PccPolicy {
             bias: Vec::new(),
             demotion: false,
             cold_streaks: HashMap::new(),
+            degradation: None,
+            backoff: HashMap::new(),
+            in_pressure: false,
+            last_bloat: 0,
         }
     }
 
@@ -532,6 +629,20 @@ impl PccPolicy {
         self
     }
 
+    /// Enables graceful degradation (per-region exponential backoff plus
+    /// the pressure detector); see [`DegradationConfig`]. Equivalent to
+    /// [`HugePagePolicy::configure_degradation`].
+    #[must_use]
+    pub fn with_degradation_config(mut self, cfg: DegradationConfig) -> Self {
+        self.degradation = Some(cfg);
+        self
+    }
+
+    /// Whether the pressure detector is currently on.
+    pub fn under_pressure(&self) -> bool {
+        self.in_pressure
+    }
+
     /// The configured selection policy.
     pub fn selection(&self) -> PromotionPolicyKind {
         self.selection
@@ -546,8 +657,14 @@ impl PccPolicy {
 
     /// Finds and demotes one sufficiently-cold promoted region (cold for
     /// at least [`Self::COLD_STREAK`] consecutive intervals), returning
-    /// whether one was demoted.
-    fn demote_one_cold(&mut self, os: &mut OsState, report: &mut IntervalReport) -> bool {
+    /// whether one was demoted. With `reclaim`, the demotion also unmaps
+    /// the region's never-faulted tail pages (bloat recovery).
+    fn demote_one_cold(
+        &mut self,
+        os: &mut OsState,
+        report: &mut IntervalReport,
+        reclaim: bool,
+    ) -> bool {
         // Oldest promotions first.
         let mut candidates: Vec<(usize, Vpn, u64)> = Vec::new();
         for (p, space) in os.spaces.iter().enumerate() {
@@ -566,7 +683,20 @@ impl PccPolicy {
         }
         candidates.sort_by_key(|&(_, _, at)| at);
         if let Some(&(p, region, _)) = candidates.first() {
-            if os.spaces[p].demote(region, &mut os.phys).is_ok() {
+            let demoted = if reclaim {
+                match os.spaces[p].demote_and_reclaim(region, &mut os.phys) {
+                    Ok(bytes) => {
+                        if bytes > 0 {
+                            report.bloat_recovered.push((ProcessId(p as u32), bytes));
+                        }
+                        true
+                    }
+                    Err(_) => false,
+                }
+            } else {
+                os.spaces[p].demote(region, &mut os.phys).is_ok()
+            };
+            if demoted {
                 self.cold_streaks.remove(&(p, region.index()));
                 report.demotions.push((ProcessId(p as u32), region));
                 return true;
@@ -574,11 +704,43 @@ impl PccPolicy {
         }
         false
     }
+
+    /// Runs the pressure detector and, while under pressure, the
+    /// HawkEye-style cold-region demotions. Returns the throttled
+    /// per-interval promotion cap.
+    fn apply_pressure(&mut self, os: &mut OsState, report: &mut IntervalReport) -> u32 {
+        let Some(cfg) = self.degradation else {
+            return self.regions_to_promote;
+        };
+        let free = os.phys.free_huge_capable_blocks();
+        let bloat = os.total_bloat_bytes();
+        if !self.in_pressure && free <= cfg.pressure_enter_free_blocks && bloat >= self.last_bloat {
+            self.in_pressure = true;
+            report.pressure_entered = true;
+        } else if self.in_pressure && free >= cfg.pressure_exit_free_blocks {
+            self.in_pressure = false;
+            report.pressure_exited = true;
+        }
+        self.last_bloat = bloat;
+        if !self.in_pressure {
+            return self.regions_to_promote;
+        }
+        for _ in 0..cfg.demotions_per_interval {
+            if !self.demote_one_cold(os, report, true) {
+                break;
+            }
+        }
+        (self.regions_to_promote / cfg.throttle_divisor.max(1)).max(1)
+    }
 }
 
 impl HugePagePolicy for PccPolicy {
     fn name(&self) -> &'static str {
         "pcc"
+    }
+
+    fn configure_degradation(&mut self, cfg: DegradationConfig) {
+        self.degradation = Some(cfg);
     }
 
     fn run_interval(
@@ -592,22 +754,26 @@ impl HugePagePolicy for PccPolicy {
         let Some(bank) = pccs.as_deref_mut() else {
             return report; // a PCC policy without PCC hardware is inert
         };
+        let max_promotions = self.apply_pressure(os, &mut report);
         let mut candidates = self.ordered_candidates(bank);
         if !self.bias.is_empty() {
             // Stable partition: biased processes' candidates first.
             let biased: Vec<u32> = self.bias.iter().map(|p| p.0).collect();
             candidates.sort_by_key(|c| {
-                let pid = os.process_of(c.core) as u32;
-                (!biased.contains(&pid), 0)
+                let pid = os.process_of(c.core).map(|p| p as u32);
+                (!pid.map(|p| biased.contains(&p)).unwrap_or(false), 0)
             });
         }
         let mut promoted = 0u32;
         for cand in candidates {
-            if promoted >= self.regions_to_promote || !budget.available() {
+            if promoted >= max_promotions || !budget.available() {
                 report.budget_exhausted = !budget.available();
                 break;
             }
-            let p = os.process_of(cand.core);
+            // A candidate from an unplaced core is unattributable: skip.
+            let Ok(p) = os.process_of(cand.core) else {
+                continue;
+            };
             let region = cand.candidate.region;
             if os.spaces[p].page_table().is_huge_mapped(region)
                 || os.spaces[p].page_table().mapped_base_pages_in(region) == 0
@@ -619,10 +785,21 @@ impl HugePagePolicy for PccPolicy {
                 }
                 continue;
             }
+            // Degradation: a region in backoff is deferred, not retried.
+            // Its PCC entry survives, so it stays a candidate for when
+            // the backoff expires.
+            if let Some(&(fails, retry_at)) = self.backoff.get(&(p, region.index())) {
+                if now < retry_at {
+                    report
+                        .deferred
+                        .push((ProcessId(p as u32), region, retry_at, fails));
+                    continue;
+                }
+            }
             let mut result = execute_promotion(os, &mut pccs, p, region, now);
             if matches!(result, Err(HpageError::OutOfMemory { .. })) && self.demotion {
                 // §3.3.3: free a huge frame by demoting a cold region.
-                if self.demote_one_cold(os, &mut report) {
+                if self.demote_one_cold(os, &mut report, self.degradation.is_some()) {
                     result = execute_promotion(os, &mut pccs, p, region, now);
                 }
             }
@@ -630,10 +807,21 @@ impl HugePagePolicy for PccPolicy {
                 Ok(out) => {
                     promoted += 1;
                     budget.consume();
+                    self.backoff.remove(&(p, region.index()));
                     report.promotions.push((ProcessId(p as u32), out));
                 }
-                Err(HpageError::OutOfMemory { .. }) => {
+                Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                     report.failures += 1;
+                    if let Some(cfg) = self.degradation {
+                        let entry = self.backoff.entry((p, region.index())).or_insert((0, now));
+                        entry.0 += 1;
+                        let exp = (entry.0 - 1).min(cfg.max_backoff_exponent).min(63);
+                        entry.1 = now
+                            .saturating_add(cfg.backoff_base_accesses.saturating_mul(1u64 << exp));
+                        report
+                            .deferred
+                            .push((ProcessId(p as u32), region, entry.1, entry.0));
+                    }
                     break;
                 }
                 Err(_) => {}
@@ -641,7 +829,7 @@ impl HugePagePolicy for PccPolicy {
         }
         // Update cold streaks and refresh A-bit tracking of promoted
         // regions so the next interval can detect coldness.
-        if self.demotion {
+        if self.demotion || self.degradation.is_some() {
             for (p, space) in os.spaces.iter_mut().enumerate() {
                 let regions: Vec<Vpn> = space
                     .promoted_regions()
@@ -777,7 +965,7 @@ impl HugePagePolicy for ReplayPolicy {
                     budget.consume();
                     report.promotions.push((ev.process, out));
                 }
-                Err(HpageError::OutOfMemory { .. }) => {
+                Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                     report.failures += 1;
                 }
                 Err(_) => {}
@@ -800,7 +988,7 @@ mod tests {
 
     /// OS with one process on one core and `blocks` 2MB of memory.
     fn os_with(blocks: u64) -> OsState {
-        OsState::new(PhysicalMemory::new(blocks * MB2), 1, vec![0])
+        OsState::new(PhysicalMemory::new(blocks * MB2), 1, vec![0]).unwrap()
     }
 
     fn fault_pages(os: &mut OsState, process: usize, region: Vpn, pages: u64) {
@@ -1016,7 +1204,7 @@ mod tests {
     fn pcc_round_robin_interleaves_cores() {
         // Two cores, one process (multithread): each core's top candidate
         // gets promoted alternately.
-        let mut os = OsState::new(PhysicalMemory::new(32 * MB2), 1, vec![0, 0]);
+        let mut os = OsState::new(PhysicalMemory::new(32 * MB2), 1, vec![0, 0]).unwrap();
         let mut bank = PccBank::new(2, PccConfig::paper_2m().with_entries(16), PageSize::Huge2M);
         for i in 0..4 {
             fault_pages(&mut os, 0, region(i), 2);
@@ -1047,7 +1235,7 @@ mod tests {
     #[test]
     fn pcc_bias_prioritizes_process() {
         // Two processes on two cores; process 1 is biased.
-        let mut os = OsState::new(PhysicalMemory::new(8 * MB2), 2, vec![0, 1]);
+        let mut os = OsState::new(PhysicalMemory::new(8 * MB2), 2, vec![0, 1]).unwrap();
         // Memory has only 8 blocks; each process maps one region.
         fault_pages(&mut os, 0, region(100), 2);
         fault_pages(&mut os, 1, region(200), 2);
@@ -1222,15 +1410,184 @@ mod tests {
 
     #[test]
     fn os_state_process_mapping() {
-        let os = OsState::new(PhysicalMemory::new(4 * MB2), 2, vec![0, 1, 1]);
-        assert_eq!(os.process_of(CoreId(0)), 0);
-        assert_eq!(os.process_of(CoreId(2)), 1);
+        let os = OsState::new(PhysicalMemory::new(4 * MB2), 2, vec![0, 1, 1]).unwrap();
+        assert_eq!(os.process_of(CoreId(0)).unwrap(), 0);
+        assert_eq!(os.process_of(CoreId(2)).unwrap(), 1);
+        assert!(matches!(
+            os.process_of(CoreId(9)),
+            Err(HpageError::InvariantViolation { .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "unknown process")]
-    fn bad_placement_panics() {
-        let _ = OsState::new(PhysicalMemory::new(4 * MB2), 1, vec![0, 5]);
+    fn bad_placement_is_rejected() {
+        let err = OsState::new(PhysicalMemory::new(4 * MB2), 1, vec![0, 5]).unwrap_err();
+        assert!(err.to_string().contains("unknown process"));
+    }
+
+    #[test]
+    fn backoff_defers_failing_promotions() {
+        // Fully fragmented memory: every promotion attempt fails. With
+        // degradation, the failing region is retried on an exponential
+        // schedule instead of every interval.
+        let mut os = os_with(4);
+        os.phys.fragment(100, 1);
+        fault_pages(&mut os, 0, region(3), 4);
+        let mut bank = bank();
+        let cfg = DegradationConfig {
+            backoff_base_accesses: 100,
+            ..DegradationConfig::default()
+        };
+        let mut p =
+            PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8).with_degradation_config(cfg);
+        bank.record_walk(CoreId(0), region(3), true);
+        // t=0: attempt fails, backoff entry created (retry at 100).
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            0,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
+        assert_eq!(rep.failures, 1);
+        assert_eq!(rep.deferred, vec![(ProcessId(0), region(3), 100, 1)]);
+        // t=50: still inside the backoff window — deferred, no attempt.
+        bank.record_walk(CoreId(0), region(3), true);
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            50,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
+        assert_eq!(rep.failures, 0, "no retry inside the backoff window");
+        assert_eq!(rep.deferred, vec![(ProcessId(0), region(3), 100, 1)]);
+        // t=150: backoff expired — retried (fails again, doubled delay).
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            150,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
+        assert_eq!(rep.failures, 1);
+        assert_eq!(rep.deferred, vec![(ProcessId(0), region(3), 150 + 200, 2)]);
+    }
+
+    #[test]
+    fn backoff_clears_on_success() {
+        let mut os = os_with(8);
+        fault_pages(&mut os, 0, region(3), 4);
+        let mut bank = bank();
+        let cfg = DegradationConfig {
+            backoff_base_accesses: 100,
+            ..DegradationConfig::default()
+        };
+        let mut p =
+            PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8).with_degradation_config(cfg);
+        // Make the first attempt fail via an injected OOM window.
+        os.phys.set_alloc_gate(crate::AllocGate {
+            deny_huge: true,
+            deny_compaction: false,
+        });
+        bank.record_walk(CoreId(0), region(3), true);
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            0,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
+        assert_eq!(rep.failures, 1);
+        // Fault lifted; past the retry time the promotion succeeds and
+        // the backoff entry is gone.
+        os.phys.set_alloc_gate(crate::AllocGate::default());
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            200,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
+        assert_eq!(rep.promotions.len(), 1);
+        assert!(rep.deferred.is_empty());
+    }
+
+    #[test]
+    fn pressure_throttles_and_recovers_bloat() {
+        // 4 blocks, one process. Sparsely promote two regions (heavy
+        // bloat), exhausting the clean blocks; the pressure detector
+        // must switch on, demote the cold regions, and reclaim the
+        // untouched tail pages.
+        let mut os = os_with(4);
+        fault_pages(&mut os, 0, region(0), 2);
+        fault_pages(&mut os, 0, region(1), 2);
+        os.spaces[0]
+            .promote(region(0), true, 0, &mut os.phys)
+            .unwrap();
+        os.spaces[0]
+            .promote(region(1), true, 0, &mut os.phys)
+            .unwrap();
+        let mut bank = bank();
+        let cfg = DegradationConfig {
+            pressure_enter_free_blocks: 2,
+            pressure_exit_free_blocks: 3,
+            demotions_per_interval: 2,
+            ..DegradationConfig::default()
+        };
+        let mut p =
+            PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8).with_degradation_config(cfg);
+        assert!(os.phys.free_huge_capable_blocks() <= 2);
+        let mut entered = false;
+        let mut recovered = 0u64;
+        for t in 0..6u64 {
+            let rep = p.run_interval(
+                &mut os,
+                Some(&mut bank),
+                t * 10,
+                &mut PromotionBudget::UNLIMITED.clone(),
+            );
+            entered |= rep.pressure_entered;
+            recovered += rep.bloat_recovered.iter().map(|(_, b)| b).sum::<u64>();
+            if !rep.demotions.is_empty() {
+                break;
+            }
+        }
+        assert!(entered, "pressure detector never fired");
+        assert!(recovered > 0, "no bloat reclaimed");
+        // Each demoted region keeps its 2 faulted pages and frees the
+        // other 510.
+        assert_eq!(recovered % (510 * 4096), 0);
+        assert!(!os.spaces[0].page_table().is_huge_mapped(region(0)));
+        assert_eq!(os.spaces[0].page_table().mapped_base_pages_in(region(0)), 2);
+    }
+
+    #[test]
+    fn degradation_off_keeps_paper_behavior() {
+        // Without degradation the policy retries every interval and
+        // reports no deferred/pressure fields.
+        let mut os = os_with(4);
+        os.phys.fragment(100, 1);
+        fault_pages(&mut os, 0, region(3), 4);
+        let mut bank = bank();
+        let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8);
+        for t in 0..3 {
+            bank.record_walk(CoreId(0), region(3), true);
+            let rep = p.run_interval(
+                &mut os,
+                Some(&mut bank),
+                t,
+                &mut PromotionBudget::UNLIMITED.clone(),
+            );
+            assert_eq!(rep.failures, 1, "paper behavior retries every interval");
+            assert!(rep.deferred.is_empty());
+            assert!(!rep.pressure_entered && !rep.pressure_exited);
+        }
+    }
+
+    #[test]
+    fn configure_degradation_via_trait() {
+        let mut p: Box<dyn HugePagePolicy> =
+            Box::new(PccPolicy::new(PromotionPolicyKind::HighestFrequency, 8));
+        p.configure_degradation(DegradationConfig::default());
+        // Other policies accept and ignore the call.
+        let mut base: Box<dyn HugePagePolicy> = Box::new(BasePagesPolicy);
+        base.configure_degradation(DegradationConfig::default());
     }
 
     #[test]

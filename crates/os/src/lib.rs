@@ -24,15 +24,17 @@
 #![warn(missing_docs)]
 
 mod addrspace;
+pub mod audit;
 mod engine;
 mod physmem;
 mod schedule_io;
 
 pub use addrspace::{AddressSpace, AddressSpaceStats, FaultOutcome, PromotionOutcome};
+pub use audit::{AuditViolation, Auditor};
 pub use engine::{
-    BasePagesPolicy, HawkEyePolicy, HugePagePolicy, IdealHugePolicy, IntervalReport,
-    LinuxThpPolicy, OsState, PccPolicy, PromotionBudget, PromotionSchedule, ReplayPolicy,
-    ScheduledPromotion,
+    BasePagesPolicy, DegradationConfig, HawkEyePolicy, HugePagePolicy, IdealHugePolicy,
+    IntervalReport, LinuxThpPolicy, OsState, PccPolicy, PromotionBudget, PromotionSchedule,
+    ReplayPolicy, ScheduledPromotion,
 };
-pub use physmem::{HugeAlloc, PhysMemStats, PhysicalMemory};
+pub use physmem::{AllocGate, HugeAlloc, PhysMemStats, PhysicalMemory};
 pub use schedule_io::{read_schedule, write_schedule};

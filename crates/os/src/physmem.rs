@@ -40,6 +40,20 @@ pub struct PhysMemStats {
     pub compactions: u64,
     /// Total base pages migrated by compaction.
     pub pages_migrated: u64,
+    /// Huge/giant allocations denied by an injected fault gate (counted
+    /// separately from organic `huge_failures`).
+    pub gated_failures: u64,
+}
+
+/// Injected-fault gate over the allocator (see `hpage-faults`). All
+/// fields default to off; base-page allocation is never gated — an OOM
+/// window starves *promotions*, not the demand-fault path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocGate {
+    /// Deny every huge and giant allocation outright.
+    pub deny_huge: bool,
+    /// Treat compaction as unavailable (clean blocks still allocate).
+    pub deny_compaction: bool,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,6 +89,7 @@ impl Block {
 pub struct PhysicalMemory {
     blocks: Vec<Block>,
     stats: PhysMemStats,
+    gate: AllocGate,
     /// Rotor so base allocations cycle rather than always hammering
     /// block 0.
     base_rotor: usize,
@@ -95,6 +110,7 @@ impl PhysicalMemory {
         PhysicalMemory {
             blocks: vec![Block::default(); nblocks],
             stats: PhysMemStats::default(),
+            gate: AllocGate::default(),
             base_rotor: 0,
         }
     }
@@ -119,7 +135,14 @@ impl PhysicalMemory {
         let n = self.blocks.len() * usize::from(percent) / 100;
         for (k, &i) in order.iter().enumerate() {
             if k < n {
-                self.blocks[i].unmovable = true;
+                // A huge-backed block cannot retroactively host unmovable
+                // kernel pages, and a block whose every frame is already
+                // occupied has no room for one — both cases matter when
+                // fragment() models a mid-run fragmentation shock rather
+                // than setup-time state.
+                if !self.blocks[i].huge && self.blocks[i].used < FRAMES_PER_BLOCK {
+                    self.blocks[i].unmovable = true;
+                }
             } else if self.blocks[i].used == 0 && !self.blocks[i].huge {
                 // Residual movable occupancy: compactable, but blocks the
                 // fault-time fast path.
@@ -168,9 +191,63 @@ impl PhysicalMemory {
         self.blocks.iter().filter(|b| b.huge).count() as u64
     }
 
+    /// Base-frame capacity currently consumed by allocations of any
+    /// size: movable base frames plus the full span of huge blocks.
+    /// `total_frames() == free_frames() + used_frames()` always holds
+    /// (the invariant the auditor and property tests pin down).
+    pub fn used_frames(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| {
+                if b.huge {
+                    u64::from(FRAMES_PER_BLOCK)
+                } else {
+                    u64::from(b.used)
+                }
+            })
+            .sum()
+    }
+
     /// Lifetime statistics.
     pub fn stats(&self) -> &PhysMemStats {
         &self.stats
+    }
+
+    /// The injected-fault gate currently in force.
+    pub fn alloc_gate(&self) -> AllocGate {
+        self.gate
+    }
+
+    /// Installs an injected-fault gate (pass `AllocGate::default()` to
+    /// lift it).
+    pub fn set_alloc_gate(&mut self, gate: AllocGate) {
+        self.gate = gate;
+    }
+
+    /// Checks the per-block structural invariants the allocator is
+    /// supposed to preserve, returning a description of each violation
+    /// (empty when healthy). Used by `hpage_os::audit`.
+    pub fn check_block_invariants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.huge && b.used > 0 {
+                out.push(format!(
+                    "block {i}: huge but carries {} movable base frames",
+                    b.used
+                ));
+            }
+            if b.huge && b.unmovable {
+                out.push(format!("block {i}: huge despite a pinned unmovable frame"));
+            }
+            if !b.huge && b.used > b.capacity() {
+                out.push(format!(
+                    "block {i}: {} frames used exceeds capacity {}",
+                    b.used,
+                    b.capacity()
+                ));
+            }
+        }
+        out
     }
 
     /// Allocates one 4 KiB frame.
@@ -230,19 +307,41 @@ impl PhysicalMemory {
     /// nominal block no longer holds movable pages (it was compacted into
     /// a huge page since), the release is applied to another occupied
     /// block — global counts stay exact.
-    pub fn free_base(&mut self, pfn: Pfn) {
-        assert_eq!(pfn.size(), PageSize::Base4K, "free_base takes 4K frames");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::InvariantViolation`] for a wrong-sized or
+    /// out-of-range PFN, or when no movable base frame is allocated
+    /// anywhere (a double free at the accounting level). The memory is
+    /// left untouched in every error case.
+    pub fn free_base(&mut self, pfn: Pfn) -> Result<(), HpageError> {
+        if pfn.size() != PageSize::Base4K {
+            return Err(invariant(format!(
+                "free_base takes 4K frames, got {:?}",
+                pfn.size()
+            )));
+        }
         let i = (pfn.index() / u64::from(FRAMES_PER_BLOCK)) as usize;
-        assert!(i < self.blocks.len(), "pfn outside physical memory");
+        if i >= self.blocks.len() {
+            return Err(invariant(format!(
+                "free_base: pfn {} outside physical memory",
+                pfn.index()
+            )));
+        }
         if !self.blocks[i].huge && self.blocks[i].used > 0 {
             self.blocks[i].used -= 1;
-            return;
+            return Ok(());
         }
         // Stale identity after compaction: free from any occupied block.
-        if let Some(b) = self.blocks.iter_mut().find(|b| !b.huge && b.used > 0) {
-            b.used -= 1;
-        } else {
-            panic!("free_base with no allocated frames anywhere");
+        match self.blocks.iter_mut().find(|b| !b.huge && b.used > 0) {
+            Some(b) => {
+                b.used -= 1;
+                Ok(())
+            }
+            None => Err(invariant(format!(
+                "free_base of pfn {} with no movable base frames allocated anywhere (double free?)",
+                pfn.index()
+            ))),
         }
     }
 
@@ -255,8 +354,17 @@ impl PhysicalMemory {
     ///
     /// # Errors
     ///
-    /// Returns [`HpageError::OutOfMemory`] when no block can be freed.
+    /// Returns [`HpageError::OutOfMemory`] when no block can be freed,
+    /// or [`HpageError::Fault`] when an injected [`AllocGate`] denies
+    /// huge allocation.
     pub fn alloc_huge(&mut self, allow_compaction: bool) -> Result<HugeAlloc, HpageError> {
+        if self.gate.deny_huge {
+            self.stats.gated_failures += 1;
+            return Err(HpageError::Fault {
+                reason: "oom window: huge allocation denied".into(),
+            });
+        }
+        let allow_compaction = allow_compaction && !self.gate.deny_compaction;
         // Fast path: a clean block.
         if let Some(i) = self
             .blocks
@@ -345,8 +453,16 @@ impl PhysicalMemory {
     /// Returns [`HpageError::OutOfMemory`] when no aligned window can be
     /// freed — on fragmented memory this is the common case, which is why
     /// 1 GiB pages are effectively boot-time-only resources on real
-    /// systems.
+    /// systems. Returns [`HpageError::Fault`] when an injected
+    /// [`AllocGate`] denies huge allocation.
     pub fn alloc_giant(&mut self, allow_compaction: bool) -> Result<HugeAlloc, HpageError> {
+        if self.gate.deny_huge {
+            self.stats.gated_failures += 1;
+            return Err(HpageError::Fault {
+                reason: "oom window: giant allocation denied".into(),
+            });
+        }
+        let allow_compaction = allow_compaction && !self.gate.deny_compaction;
         const BLOCKS: usize = 512;
         let windows = self.blocks.len() / BLOCKS;
         let mut best: Option<(u64, usize)> = None; // (pages to move, window)
@@ -419,57 +535,99 @@ impl PhysicalMemory {
 
     /// Frees a 1 GiB frame allocated by [`alloc_giant`](Self::alloc_giant).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the window was not allocated as a gigantic frame.
-    pub fn free_giant(&mut self, pfn: Pfn) {
-        assert_eq!(pfn.size(), PageSize::Huge1G, "free_giant takes 1G frames");
+    /// Returns [`HpageError::InvariantViolation`] for a wrong-sized or
+    /// out-of-range PFN, or when any block of the window is not huge
+    /// (a double free or never-allocated window). Checked up front: the
+    /// window is either released whole or left untouched.
+    pub fn free_giant(&mut self, pfn: Pfn) -> Result<(), HpageError> {
+        if pfn.size() != PageSize::Huge1G {
+            return Err(invariant(format!(
+                "free_giant takes 1G frames, got {:?}",
+                pfn.size()
+            )));
+        }
         let lo = pfn.index() as usize * 512;
-        assert!(lo + 512 <= self.blocks.len(), "pfn outside physical memory");
+        if lo + 512 > self.blocks.len() {
+            return Err(invariant(format!(
+                "free_giant: pfn {} outside physical memory",
+                pfn.index()
+            )));
+        }
+        if let Some(off) = self.blocks[lo..lo + 512].iter().position(|b| !b.huge) {
+            return Err(invariant(format!(
+                "free_giant of window {}: block {} is not huge (double free?)",
+                pfn.index(),
+                lo + off
+            )));
+        }
         for b in &mut self.blocks[lo..lo + 512] {
-            assert!(b.huge, "free_giant of a non-gigantic window");
             b.huge = false;
         }
+        Ok(())
     }
 
     /// Frees a 2 MiB frame.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the frame was not allocated huge.
-    pub fn free_huge(&mut self, pfn: Pfn) {
-        assert_eq!(pfn.size(), PageSize::Huge2M, "free_huge takes 2M frames");
-        let i = pfn.index() as usize;
-        assert!(
-            i < self.blocks.len() && self.blocks[i].huge,
-            "free_huge of a non-huge block"
-        );
+    /// Returns [`HpageError::InvariantViolation`] for a wrong-sized or
+    /// out-of-range PFN, or when the block is not allocated huge (a
+    /// double free or never-allocated block).
+    pub fn free_huge(&mut self, pfn: Pfn) -> Result<(), HpageError> {
+        let i = self.expect_huge_block(pfn, "free_huge")?;
         self.blocks[i].huge = false;
+        Ok(())
     }
 
     /// Converts a freed huge block directly into 512 allocated base
     /// frames inside the same block (the demotion path: the data stays
     /// in place, the mapping granularity changes).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the frame was not allocated huge.
-    pub fn split_huge_in_place(&mut self, pfn: Pfn) -> Vec<Pfn> {
-        assert_eq!(pfn.size(), PageSize::Huge2M, "split takes 2M frames");
-        let i = pfn.index() as usize;
-        assert!(
-            i < self.blocks.len() && self.blocks[i].huge,
-            "split of a non-huge block"
-        );
+    /// Returns [`HpageError::InvariantViolation`] for a wrong-sized or
+    /// out-of-range PFN, or when the block is not allocated huge.
+    pub fn split_huge_in_place(&mut self, pfn: Pfn) -> Result<Vec<Pfn>, HpageError> {
+        let i = self.expect_huge_block(pfn, "split_huge_in_place")?;
         self.blocks[i].huge = false;
         // The unmovable flag cannot be set (the block was huge), so all
         // 512 frames are usable.
         self.blocks[i].used = FRAMES_PER_BLOCK;
         let base = i as u64 * u64::from(FRAMES_PER_BLOCK);
-        (0..u64::from(FRAMES_PER_BLOCK))
+        Ok((0..u64::from(FRAMES_PER_BLOCK))
             .map(|k| Pfn::new(base + k, PageSize::Base4K))
-            .collect()
+            .collect())
     }
+
+    /// Validates that `pfn` names an in-range block currently allocated
+    /// huge, returning its index.
+    fn expect_huge_block(&self, pfn: Pfn, op: &str) -> Result<usize, HpageError> {
+        if pfn.size() != PageSize::Huge2M {
+            return Err(invariant(format!(
+                "{op} takes 2M frames, got {:?}",
+                pfn.size()
+            )));
+        }
+        let i = pfn.index() as usize;
+        if i >= self.blocks.len() {
+            return Err(invariant(format!(
+                "{op}: pfn {} outside physical memory",
+                pfn.index()
+            )));
+        }
+        if !self.blocks[i].huge {
+            return Err(invariant(format!(
+                "{op} of block {i} which is not huge (double free?)"
+            )));
+        }
+        Ok(i)
+    }
+}
+
+fn invariant(what: impl Into<String>) -> HpageError {
+    HpageError::InvariantViolation { what: what.into() }
 }
 
 #[cfg(test)]
@@ -536,7 +694,7 @@ mod tests {
         assert_eq!(h.pages_migrated, 0);
         assert_eq!(pm.huge_blocks_in_use(), 1);
         assert_eq!(pm.free_frames(), 3 * 512);
-        pm.free_huge(h.pfn);
+        pm.free_huge(h.pfn).unwrap();
         assert_eq!(pm.huge_blocks_in_use(), 0);
         assert_eq!(pm.free_frames(), 4 * 512);
     }
@@ -617,7 +775,7 @@ mod tests {
         // drops correctly.
         let before = pm.free_frames();
         for p in pfns {
-            pm.free_base(p);
+            pm.free_base(p).unwrap();
         }
         assert_eq!(pm.free_frames(), before + 30);
     }
@@ -626,7 +784,7 @@ mod tests {
     fn split_huge_in_place_keeps_data_resident() {
         let mut pm = PhysicalMemory::new(2 * MB2);
         let h = pm.alloc_huge(false).unwrap();
-        let frames = pm.split_huge_in_place(h.pfn);
+        let frames = pm.split_huge_in_place(h.pfn).unwrap();
         assert_eq!(frames.len(), 512);
         assert_eq!(pm.huge_blocks_in_use(), 0);
         assert_eq!(pm.free_frames(), 512); // other block only
@@ -656,7 +814,7 @@ mod tests {
         // A second window is still available; a third is not.
         assert!(pm.alloc_giant(false).is_ok());
         assert!(pm.alloc_giant(true).is_err());
-        pm.free_giant(g.pfn);
+        pm.free_giant(g.pfn).unwrap();
         assert!(pm.alloc_giant(false).is_ok());
     }
 
@@ -680,6 +838,105 @@ mod tests {
         let mut pm = PhysicalMemory::new(512 * MB2); // exactly one window
         pm.blocks[100].unmovable = true;
         assert!(pm.alloc_giant(true).is_err());
+    }
+
+    #[test]
+    fn frees_reject_double_free_and_bad_pfns() {
+        let mut pm = PhysicalMemory::new(2 * MB2);
+        let p = pm.alloc_base().unwrap();
+        pm.free_base(p).unwrap();
+        // Nothing allocated anywhere: a second free is a detectable
+        // accounting-level double free.
+        assert!(matches!(
+            pm.free_base(p),
+            Err(HpageError::InvariantViolation { .. })
+        ));
+        // Out-of-range and wrong-size PFNs are rejected without effect.
+        assert!(pm.free_base(Pfn::new(99_999, PageSize::Base4K)).is_err());
+        assert!(pm.free_base(Pfn::new(0, PageSize::Huge2M)).is_err());
+
+        let h = pm.alloc_huge(false).unwrap();
+        pm.free_huge(h.pfn).unwrap();
+        assert!(matches!(
+            pm.free_huge(h.pfn),
+            Err(HpageError::InvariantViolation { .. })
+        ));
+        assert!(pm.free_huge(Pfn::new(0, PageSize::Base4K)).is_err());
+        assert!(pm.free_huge(Pfn::new(77, PageSize::Huge2M)).is_err());
+        assert!(pm.split_huge_in_place(h.pfn).is_err());
+        assert_eq!(pm.free_frames(), pm.total_frames());
+    }
+
+    #[test]
+    fn free_giant_rejects_partial_windows() {
+        let mut pm = PhysicalMemory::new(512 * MB2);
+        let g = pm.alloc_giant(false).unwrap();
+        // Break the window: release one constituent 2M block.
+        pm.free_huge(Pfn::new(5, PageSize::Huge2M)).unwrap();
+        let before = pm.huge_blocks_in_use();
+        assert!(pm.free_giant(g.pfn).is_err());
+        // Check-then-mutate: the failed free released nothing.
+        assert_eq!(pm.huge_blocks_in_use(), before);
+        assert!(pm.free_giant(Pfn::new(0, PageSize::Base4K)).is_err());
+        assert!(pm.free_giant(Pfn::new(9, PageSize::Huge1G)).is_err());
+    }
+
+    #[test]
+    fn used_frames_balances_total() {
+        let mut pm = PhysicalMemory::new(8 * MB2);
+        pm.fragment(25, 3);
+        let mut held = Vec::new();
+        for _ in 0..100 {
+            held.push(pm.alloc_base().unwrap());
+        }
+        let h = pm.alloc_huge(true).unwrap();
+        assert_eq!(pm.total_frames(), pm.free_frames() + pm.used_frames());
+        pm.free_huge(h.pfn).unwrap();
+        for p in held {
+            pm.free_base(p).unwrap();
+        }
+        assert_eq!(pm.total_frames(), pm.free_frames() + pm.used_frames());
+        assert!(pm.check_block_invariants().is_empty());
+    }
+
+    #[test]
+    fn alloc_gate_denies_huge_paths_only() {
+        let mut pm = PhysicalMemory::new(1024 * MB2);
+        pm.set_alloc_gate(AllocGate {
+            deny_huge: true,
+            deny_compaction: false,
+        });
+        assert!(matches!(pm.alloc_huge(true), Err(HpageError::Fault { .. })));
+        assert!(matches!(
+            pm.alloc_giant(true),
+            Err(HpageError::Fault { .. })
+        ));
+        // The demand-fault path is never gated.
+        assert!(pm.alloc_base().is_ok());
+        assert_eq!(pm.stats().gated_failures, 2);
+        assert_eq!(pm.stats().huge_failures, 0);
+        pm.set_alloc_gate(AllocGate::default());
+        assert!(pm.alloc_huge(true).is_ok());
+    }
+
+    #[test]
+    fn alloc_gate_compaction_stall_keeps_clean_blocks_working() {
+        let mut pm = PhysicalMemory::new(4 * MB2);
+        pm.set_alloc_gate(AllocGate {
+            deny_huge: false,
+            deny_compaction: true,
+        });
+        // Clean blocks still allocate...
+        assert!(pm.alloc_huge(true).is_ok());
+        // ...but once every block is dirty, compaction being stalled
+        // turns allow_compaction=true into a failure.
+        pm.fragment(0, 1); // one movable page in every non-huge block
+        assert!(matches!(
+            pm.alloc_huge(true),
+            Err(HpageError::OutOfMemory { .. })
+        ));
+        pm.set_alloc_gate(AllocGate::default());
+        assert!(pm.alloc_huge(true).is_ok());
     }
 
     #[test]

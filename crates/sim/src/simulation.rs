@@ -4,20 +4,23 @@
 //! TLBs and PCCs (the full datapath of the paper's Figs. 3–4).
 
 use hpage_cache::{CacheConfig, CacheHierarchy, CacheOutcome};
+use hpage_faults::{FaultInjector, FaultPlan, FaultStats};
 use hpage_obs::{
     Event, FailureReason, IntervalRow, IntervalSeries, IntervalSnapshot, NullRecorder, PccAction,
     Recorder, TlbLevel, FREQ_HISTOGRAM_BUCKETS,
 };
 use hpage_os::{
-    BasePagesPolicy, HawkEyePolicy, HugePagePolicy, IdealHugePolicy, LinuxThpPolicy, OsState,
-    PccPolicy, PhysicalMemory, PromotionBudget, PromotionSchedule, ReplayPolicy,
-    ScheduledPromotion,
+    AllocGate, AuditViolation, Auditor, BasePagesPolicy, DegradationConfig, HawkEyePolicy,
+    HugePagePolicy, IdealHugePolicy, LinuxThpPolicy, OsState, PccPolicy, PhysicalMemory,
+    PromotionBudget, PromotionSchedule, ReplayPolicy, ScheduledPromotion,
 };
 use hpage_pcc::{Candidate, PccBank, PccEvent, ReplacementPolicy};
 use hpage_perf::RunCounters;
 use hpage_tlb::{PageWalkCache, TlbHierarchy, TlbOutcome};
 use hpage_trace::Workload;
-use hpage_types::{CoreId, PageSize, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig};
+use hpage_types::{
+    CoreId, HpageError, PageSize, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig,
+};
 
 /// Which huge-page management policy a run uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -190,6 +193,13 @@ pub struct SimReport {
     /// faults touched (the §1 THP-bloat problem; greedy fault-time huge
     /// allocation inflates this, targeted promotion does not).
     pub bloat_bytes: Vec<u64>,
+    /// Fault-injection counters when the run had a
+    /// [`FaultPlan`](Simulation::with_faults) attached; `None` otherwise.
+    pub fault_stats: Option<FaultStats>,
+    /// Invariant-auditor findings, `(interval, violation)` pairs — empty
+    /// on a clean run, and always empty unless
+    /// [`with_audit`](Simulation::with_audit) was set.
+    pub audit_violations: Vec<(u64, AuditViolation)>,
 }
 
 impl SimReport {
@@ -300,6 +310,9 @@ pub struct Simulation {
     replacement: ReplacementPolicy,
     max_accesses_per_core: Option<u64>,
     cache: Option<CacheConfig>,
+    faults: Option<FaultPlan>,
+    degradation: Option<DegradationConfig>,
+    audit: bool,
 }
 
 impl Simulation {
@@ -319,7 +332,38 @@ impl Simulation {
             replacement: ReplacementPolicy::default(),
             max_accesses_per_core: None,
             cache: None,
+            faults: None,
+            degradation: None,
+            audit: false,
         }
+    }
+
+    /// Attaches a deterministic fault plan: at every promotion-interval
+    /// boundary the injector is queried and the plan's active windows are
+    /// applied (allocation gating, fragmentation shocks, PCC resets, TLB
+    /// shootdown storms). The same plan and seed reproduce bit-identical
+    /// runs.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables graceful degradation in policies that support it (the PCC
+    /// engine): per-region exponential backoff after failed promotions
+    /// and pressure-triggered throttling/demotion.
+    #[must_use]
+    pub fn with_degradation(mut self, cfg: DegradationConfig) -> Self {
+        self.degradation = Some(cfg);
+        self
+    }
+
+    /// Runs the invariant auditor at every interval boundary, collecting
+    /// violations into [`SimReport::audit_violations`].
+    #[must_use]
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
     }
 
     /// Fragments physical memory before the run (the paper's 50%/90%
@@ -373,9 +417,27 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `processes` is empty.
+    /// Panics if `processes` is empty or physical memory is exhausted
+    /// (use [`try_run`](Self::try_run) for a fallible variant).
     pub fn run(&self, processes: &[ProcessSpec<'_>]) -> SimReport {
         self.run_recorded(processes, &mut NullRecorder)
+    }
+
+    /// Fallible [`run`](Self::run): returns the error instead of
+    /// panicking when the simulated machine runs out of physical memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::OutOfMemory`] when base-page allocation
+    /// fails (huge-page failures degrade to base pages and injected
+    /// faults never gate base allocation, so under any fault plan this
+    /// only fires on genuine exhaustion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty.
+    pub fn try_run(&self, processes: &[ProcessSpec<'_>]) -> Result<SimReport, HpageError> {
+        self.try_run_recorded(processes, &mut NullRecorder)
     }
 
     /// Like [`run`](Self::run), but streams a typed [`Event`] into
@@ -389,12 +451,32 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `processes` is empty.
+    /// Panics if `processes` is empty or physical memory is exhausted.
     pub fn run_recorded<R: Recorder>(
         &self,
         processes: &[ProcessSpec<'_>],
         recorder: &mut R,
     ) -> SimReport {
+        match self.try_run_recorded(processes, recorder) {
+            Ok(report) => report,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Fallible [`run_recorded`](Self::run_recorded).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_run`](Self::try_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty.
+    pub fn try_run_recorded<R: Recorder>(
+        &self,
+        processes: &[ProcessSpec<'_>],
+        recorder: &mut R,
+    ) -> Result<SimReport, HpageError> {
         assert!(!processes.is_empty(), "need at least one process");
         let total_cores: u32 = processes.iter().map(|p| p.threads).sum();
 
@@ -408,9 +490,18 @@ impl Simulation {
         if self.fragmentation_pct > 0 {
             phys.fragment(self.fragmentation_pct, self.fragmentation_seed);
         }
-        let mut os = OsState::new(phys, processes.len() as u32, core_process.clone());
+        let mut os = OsState::new(phys, processes.len() as u32, core_process.clone())?;
         let mut policy = self.policy.build(&self.config);
+        if let Some(cfg) = self.degradation {
+            policy.configure_degradation(cfg);
+        }
         let prefer_huge = policy.fault_prefers_huge();
+        let mut injector = match self.faults.clone() {
+            Some(plan) => Some(FaultInjector::new(plan)?),
+            None => None,
+        };
+        let mut auditor = self.audit.then(|| Auditor::new(&os));
+        let mut audit_violations: Vec<(u64, AuditViolation)> = Vec::new();
 
         let mut tlbs: Vec<TlbHierarchy> = (0..total_cores)
             .map(|_| TlbHierarchy::new(self.config.tlb))
@@ -487,6 +578,7 @@ impl Simulation {
         // `interval_walk_rates`.
         let mut pending_promotions = 0u64;
         let mut pending_demotions = 0u64;
+        let mut interval_index: u64 = 0;
         let mut live: Vec<bool> = vec![true; total_cores as usize];
         let mut live_count = total_cores as usize;
 
@@ -538,35 +630,27 @@ impl Simulation {
                                 Err(_) => {
                                     // Page fault: the policy decides the
                                     // fault size; then the walk succeeds.
-                                    match space.fault(access.addr, prefer_huge, &mut os.phys) {
-                                        Ok(out) => {
-                                            let fault_size = match out {
-                                                hpage_os::FaultOutcome::Base(_) => {
-                                                    per_process[pid].faults_base += 1;
-                                                    PageSize::Base4K
-                                                }
-                                                hpage_os::FaultOutcome::Huge(_) => {
-                                                    per_process[pid].faults_huge += 1;
-                                                    PageSize::Huge2M
-                                                }
-                                            };
-                                            recorder.record(
-                                                total_accesses,
-                                                Event::Fault {
-                                                    core: CoreId(core as u32),
-                                                    process: ProcessId(pid as u32),
-                                                    size: fault_size,
-                                                },
-                                            );
-                                            space
-                                                .page_table_mut()
-                                                .walk(access.addr)
-                                                .expect("freshly mapped address walks")
+                                    let out =
+                                        space.fault(access.addr, prefer_huge, &mut os.phys)?;
+                                    let fault_size = match out {
+                                        hpage_os::FaultOutcome::Base(_) => {
+                                            per_process[pid].faults_base += 1;
+                                            PageSize::Base4K
                                         }
-                                        Err(e) => panic!(
-                                            "physical memory exhausted at access {total_accesses}: {e}"
-                                        ),
-                                    }
+                                        hpage_os::FaultOutcome::Huge(_) => {
+                                            per_process[pid].faults_huge += 1;
+                                            PageSize::Huge2M
+                                        }
+                                    };
+                                    recorder.record(
+                                        total_accesses,
+                                        Event::Fault {
+                                            core: CoreId(core as u32),
+                                            process: ProcessId(pid as u32),
+                                            size: fault_size,
+                                        },
+                                    );
+                                    space.page_table_mut().walk(access.addr)?
                                 }
                             };
                             counters.walks += 1;
@@ -646,6 +730,55 @@ impl Simulation {
             // Promotion interval(s) elapsed?
             while total_accesses >= next_interval {
                 next_interval += self.config.promotion_interval_accesses;
+                // Apply this interval's injected faults *before* the
+                // policy runs, so an OOM window actually starves the
+                // promotions attempted in it.
+                if let Some(injector) = injector.as_mut() {
+                    let effects = injector.effects_at(interval_index);
+                    if recorder.enabled() {
+                        for kind in &effects.started {
+                            recorder.record(
+                                total_accesses,
+                                Event::FaultInjected {
+                                    fault: kind.label(),
+                                    interval: interval_index,
+                                },
+                            );
+                        }
+                    }
+                    for &(percent, seed) in &effects.shocks {
+                        os.phys.fragment(percent, seed);
+                        // The shock plants background pages no space
+                        // owns; re-baseline the frame accounting.
+                        if let Some(auditor) = auditor.as_mut() {
+                            auditor.rebase(&os);
+                        }
+                    }
+                    if effects.pcc_reset {
+                        if let Some(bank) = bank.as_mut() {
+                            bank.clear_all();
+                        }
+                        if let Some(bank_1g) = bank_1g.as_mut() {
+                            bank_1g.clear_all();
+                        }
+                    }
+                    if effects.shootdown_spike {
+                        // A shootdown storm from an interfering workload:
+                        // every core takes a full TLB + PWC flush.
+                        for tlb in &mut tlbs {
+                            tlb.flush();
+                        }
+                        if let Some(pwcs) = pwcs.as_mut() {
+                            for pwc in pwcs.iter_mut() {
+                                pwc.flush();
+                            }
+                        }
+                    }
+                    os.phys.set_alloc_gate(AllocGate {
+                        deny_huge: effects.oom,
+                        deny_compaction: effects.compaction_stall,
+                    });
+                }
                 let walks_now: u64 = per_core.iter().map(|c| c.walks).sum();
                 let l1_now: u64 = per_core.iter().map(|c| c.l1_hits).sum();
                 let l2_now: u64 = per_core.iter().map(|c| c.l2_hits).sum();
@@ -705,6 +838,45 @@ impl Simulation {
                     );
                 }
                 if recorder.enabled() {
+                    for &(pid, region, retry_at, failures) in &report.deferred {
+                        recorder.record(
+                            total_accesses,
+                            Event::PromotionDeferred {
+                                process: pid,
+                                region,
+                                retry_at,
+                                failures,
+                            },
+                        );
+                    }
+                    if report.pressure_entered {
+                        recorder.record(
+                            total_accesses,
+                            Event::PressureEnter {
+                                free_blocks: os.phys.free_huge_capable_blocks(),
+                                bloat_bytes: os.total_bloat_bytes(),
+                            },
+                        );
+                    }
+                    if report.pressure_exited {
+                        recorder.record(
+                            total_accesses,
+                            Event::PressureExit {
+                                free_blocks: os.phys.free_huge_capable_blocks(),
+                            },
+                        );
+                    }
+                    for &(pid, bytes) in &report.bloat_recovered {
+                        recorder.record(
+                            total_accesses,
+                            Event::BloatRecovered {
+                                process: pid,
+                                bytes,
+                            },
+                        );
+                    }
+                }
+                if recorder.enabled() {
                     for _ in 0..report.failures {
                         recorder.record(
                             total_accesses,
@@ -740,6 +912,14 @@ impl Simulation {
                         }
                     }
                 }
+                // Audit once the interval's shootdowns have been applied
+                // (TLBs/PCCs must be coherent with the page tables now).
+                if let Some(auditor) = auditor.as_ref() {
+                    for violation in auditor.run(&os, &tlbs, bank.as_ref()) {
+                        audit_violations.push((interval_index, violation));
+                    }
+                }
+                interval_index += 1;
                 if da > 0 {
                     interval_walk_rates.push(dw as f64 / da as f64);
                     let row = IntervalRow {
@@ -790,7 +970,7 @@ impl Simulation {
             })
             .unwrap_or_default();
         let bloat_bytes: Vec<u64> = os.spaces.iter().map(|s| s.bloat_bytes()).collect();
-        SimReport {
+        Ok(SimReport {
             policy: self.policy.label(),
             aggregate,
             per_process,
@@ -801,7 +981,9 @@ impl Simulation {
             interval_walk_rates,
             interval_series,
             bloat_bytes,
-        }
+            fault_stats: injector.map(|i| *i.stats()),
+            audit_violations,
+        })
     }
 }
 
@@ -1227,6 +1409,120 @@ mod tests {
         assert!(vc_big.aggregate.promotions > 0);
         assert!(pcc.aggregate.walks <= vc_small.aggregate.walks);
         assert!(vc_big.aggregate.walks <= base.aggregate.walks);
+    }
+
+    fn chaos_plan() -> hpage_faults::FaultPlan {
+        use hpage_faults::{FaultKind, FaultPlan, FaultWindow};
+        FaultPlan::new(
+            "sim-chaos",
+            vec![
+                FaultWindow {
+                    kind: FaultKind::OomWindow,
+                    at: 1,
+                    duration: 2,
+                },
+                FaultWindow {
+                    kind: FaultKind::CompactionStall,
+                    at: 2,
+                    duration: 2,
+                },
+                FaultWindow {
+                    kind: FaultKind::PccReset,
+                    at: 3,
+                    duration: 1,
+                },
+                FaultWindow {
+                    kind: FaultKind::FragmentationShock {
+                        percent: 40,
+                        seed: 9,
+                    },
+                    at: 4,
+                    duration: 1,
+                },
+                FaultWindow {
+                    kind: FaultKind::ShootdownSpike,
+                    at: 5,
+                    duration: 1,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_audit_clean() {
+        let w = random_workload(8, 400_000, 1);
+        let run = || {
+            tiny_sim(PolicyChoice::pcc_default())
+                .with_faults(chaos_plan())
+                .with_degradation(hpage_os::DegradationConfig::default())
+                .with_audit()
+                .try_run(&[ProcessSpec::new(&w)])
+                .unwrap()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1, r2, "same plan + same seed must be bit-identical");
+        let stats = r1.fault_stats.expect("plan attached");
+        assert!(
+            stats.oom_intervals >= 1,
+            "OOM window never fired: {stats:?}"
+        );
+        assert_eq!(stats.shocks_fired, 1);
+        assert!(stats.pcc_resets >= 1);
+        assert!(stats.shootdown_spike_intervals >= 1);
+        assert_eq!(r1.audit_violations, Vec::new());
+        // Despite the faults, the run completes with all accesses issued.
+        assert_eq!(r1.aggregate.accesses, 400_000);
+    }
+
+    #[test]
+    fn fault_events_reach_the_recorder() {
+        let w = random_workload(8, 400_000, 1);
+        let mut rec = MemoryRecorder::new();
+        tiny_sim(PolicyChoice::pcc_default())
+            .with_faults(chaos_plan())
+            .with_degradation(hpage_os::DegradationConfig::default())
+            .try_run_recorded(&[ProcessSpec::new(&w)], &mut rec)
+            .unwrap();
+        let counts = rec.counts_by_kind();
+        assert!(
+            counts.get("fault_injected").copied().unwrap_or(0) >= 4,
+            "expected one fault_injected per distinct fault kind; got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn auditor_is_clean_across_policies() {
+        let w = random_workload(8, 200_000, 1);
+        for policy in [
+            PolicyChoice::BasePages,
+            PolicyChoice::IdealHuge,
+            PolicyChoice::LinuxThp,
+            PolicyChoice::HawkEye,
+            PolicyChoice::pcc_default(),
+        ] {
+            let report = tiny_sim(policy)
+                .with_audit()
+                .try_run(&[ProcessSpec::new(&w)])
+                .unwrap();
+            assert_eq!(
+                report.audit_violations,
+                Vec::new(),
+                "policy {} violated invariants",
+                report.policy
+            );
+        }
+    }
+
+    #[test]
+    fn unfaulted_runs_report_no_fault_stats() {
+        let w = random_workload(8, 100_000, 1);
+        let report = tiny_sim(PolicyChoice::BasePages)
+            .try_run(&[ProcessSpec::new(&w)])
+            .unwrap();
+        assert_eq!(report.fault_stats, None);
+        assert!(report.audit_violations.is_empty());
     }
 
     #[test]

@@ -185,6 +185,19 @@ impl TlbHierarchy {
     pub fn resident_entries(&self) -> usize {
         self.l1_4k.len() + self.l1_2m.len() + self.l1_1g.len() + self.l2.len()
     }
+
+    /// Every translation resident anywhere in the hierarchy, in no
+    /// particular order. A translation cached in both an L1 and the L2
+    /// appears twice — the invariant auditor checks each copy against the
+    /// live page table, so duplicates are intentional.
+    pub fn resident_translations(&self) -> Vec<Translation> {
+        self.l1_4k
+            .entries()
+            .chain(self.l1_2m.entries())
+            .chain(self.l1_1g.entries())
+            .chain(self.l2.entries())
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,15 @@ impl SetAssocTlb {
         &self.stats
     }
 
+    /// Iterates over every resident translation, in no particular order.
+    /// Read-only: recency and statistics are untouched — this is the
+    /// auditor's view, not an architectural lookup.
+    pub fn entries(&self) -> impl Iterator<Item = Translation> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|s| s.translation))
+    }
+
     fn set_index(&self, vpn: Vpn) -> usize {
         (vpn.index() % self.sets.len() as u64) as usize
     }

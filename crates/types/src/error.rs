@@ -52,6 +52,20 @@ pub enum HpageError {
         /// Explanation of why the remap was rejected.
         reason: String,
     },
+    /// An operation was denied by an injected fault (fault-injection
+    /// campaigns use this to distinguish synthetic failures from organic
+    /// out-of-memory conditions).
+    Fault {
+        /// Which injected fault denied the operation.
+        reason: String,
+    },
+    /// An internal consistency invariant was violated (double-free,
+    /// stale translation, mismatched frame accounting). These indicate
+    /// a bug in the caller or the engine, not a recoverable condition.
+    InvariantViolation {
+        /// Description of the violated invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for HpageError {
@@ -65,6 +79,10 @@ impl fmt::Display for HpageError {
                 write!(f, "virtual address {addr:#x} is not mapped")
             }
             HpageError::InvalidRemap { reason } => write!(f, "invalid remap: {reason}"),
+            HpageError::Fault { reason } => write!(f, "injected fault: {reason}"),
+            HpageError::InvariantViolation { what } => {
+                write!(f, "invariant violation: {what}")
+            }
         }
     }
 }
@@ -105,6 +123,16 @@ mod tests {
             reason: "already huge".into(),
         };
         assert!(e.to_string().contains("already huge"));
+
+        let e = HpageError::Fault {
+            reason: "oom window".into(),
+        };
+        assert!(e.to_string().contains("injected fault: oom window"));
+
+        let e = HpageError::InvariantViolation {
+            what: "double free of pfn 7".into(),
+        };
+        assert!(e.to_string().contains("invariant violation: double free"));
     }
 
     #[test]

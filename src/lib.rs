@@ -14,6 +14,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`types`] | `hpage-types` | addresses, page sizes, configs |
+//! | [`faults`] | `hpage-faults` | deterministic fault plans and injection |
 //! | [`cache`] | `hpage-cache` | optional physically-indexed data-cache hierarchy |
 //! | [`trace`] | `hpage-trace` | graphs, kernels, synthetic workloads, reuse analysis |
 //! | [`tlb`] | `hpage-tlb` | TLBs, page tables, hardware walker |
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use hpage_cache as cache;
+pub use hpage_faults as faults;
 pub use hpage_os as os;
 pub use hpage_pcc as pcc;
 pub use hpage_perf as perf;

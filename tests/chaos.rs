@@ -1,0 +1,123 @@
+//! Chaos-mode property suite: randomly generated fault schedules run
+//! against every promotion policy, with the OS-state invariant auditor
+//! switched on at every interval. A case fails if the simulation
+//! panics, returns an error for anything other than genuine memory
+//! exhaustion, reports an auditor violation, or loses accesses.
+
+use hpage::faults::{FaultKind, FaultPlan, FaultWindow};
+use hpage::os::DegradationConfig;
+use hpage::sim::{PolicyChoice, ProcessSpec, Simulation};
+use hpage::trace::{Pattern, SyntheticBuilder, SyntheticWorkload};
+use hpage::types::SystemConfig;
+use proptest::prelude::*;
+
+const ACCESSES: u64 = 150_000;
+/// `SystemConfig::tiny()` promotes every 50k accesses, so the run
+/// spans three intervals; windows are drawn to land inside them.
+const INTERVALS: u64 = ACCESSES / 50_000;
+
+fn workload(seed: u64) -> SyntheticWorkload {
+    let mut b = SyntheticBuilder::new("chaos", seed);
+    let a = b.array(8, (6 << 20) / 8);
+    b.phase(a, Pattern::UniformRandom { count: ACCESSES }, 0);
+    b.build()
+}
+
+/// Decodes one drawn tuple into a fault window. `sel` picks the kind;
+/// shocks carry their own deterministic percent/seed.
+fn window(sel: u64, at: u64, duration: u64, percent: u64, seed: u64) -> FaultWindow {
+    let kind = match sel {
+        0 => FaultKind::OomWindow,
+        1 => FaultKind::CompactionStall,
+        2 => FaultKind::PccReset,
+        3 => FaultKind::ShootdownSpike,
+        _ => FaultKind::FragmentationShock {
+            percent: percent as u8,
+            seed,
+        },
+    };
+    FaultWindow { kind, at, duration }
+}
+
+fn policy(sel: u64) -> PolicyChoice {
+    match sel {
+        0 => PolicyChoice::IdealHuge,
+        1 => PolicyChoice::LinuxThp,
+        2 => PolicyChoice::HawkEye,
+        _ => PolicyChoice::pcc_default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any generated fault schedule, on any policy, completes without
+    /// panics and with zero auditor violations. 128 cases × one policy
+    /// each covers all four policies across >100 distinct schedules.
+    #[test]
+    fn generated_fault_schedules_never_break_invariants(
+        windows in prop::collection::vec(
+            (0u64..5, 0u64..INTERVALS, 1u64..3, 10u64..61, 0u64..1000),
+            1..6,
+        ),
+        policy_sel in 0u64..4,
+        wseed in 0u64..32,
+    ) {
+        let plan = FaultPlan::new(
+            "generated",
+            windows
+                .into_iter()
+                .map(|(sel, at, dur, pct, seed)| window(sel, at, dur, pct, seed))
+                .collect(),
+        )
+        .expect("drawn windows are always valid");
+        let w = workload(wseed);
+        let report = Simulation::new(SystemConfig::tiny(), policy(policy_sel))
+            .with_faults(plan)
+            .with_degradation(DegradationConfig::default())
+            .with_audit()
+            .try_run(&[ProcessSpec::new(&w)])
+            .expect("chaos run must degrade gracefully, not error");
+        prop_assert!(
+            report.audit_violations.is_empty(),
+            "auditor violations under policy {}: {:?}",
+            report.policy,
+            report.audit_violations
+        );
+        prop_assert_eq!(report.aggregate.accesses, ACCESSES);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism under fault injection: the same plan and the same
+    /// seed produce bit-identical reports on repeated runs.
+    #[test]
+    fn faulted_runs_are_bit_identical(
+        windows in prop::collection::vec(
+            (0u64..5, 0u64..INTERVALS, 1u64..3, 10u64..61, 0u64..1000),
+            1..6,
+        ),
+        policy_sel in 0u64..4,
+    ) {
+        let plan = FaultPlan::new(
+            "determinism",
+            windows
+                .into_iter()
+                .map(|(sel, at, dur, pct, seed)| window(sel, at, dur, pct, seed))
+                .collect(),
+        )
+        .expect("drawn windows are always valid");
+        let w = workload(7);
+        let run = || {
+            Simulation::new(SystemConfig::tiny(), policy(policy_sel))
+                .with_faults(plan.clone())
+                .with_degradation(DegradationConfig::default())
+                .with_audit()
+                .try_run(&[ProcessSpec::new(&w)])
+                .expect("chaos run must degrade gracefully, not error")
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

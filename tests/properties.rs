@@ -160,15 +160,70 @@ proptest! {
                 }
                 _ => {
                     if let Some(p) = base_pfns.pop() {
-                        pm.free_base(p);
+                        pm.free_base(p).unwrap();
                     } else if let Some(h) = huge_pfns.pop() {
-                        pm.free_huge(h);
+                        pm.free_huge(h).unwrap();
                     }
                 }
             }
             let used = base_pfns.len() as u64 + 512 * huge_pfns.len() as u64;
             prop_assert_eq!(pm.free_frames() + used, total);
         }
+    }
+
+    /// OS-level interleavings: any mix of faults, promotions, demotions,
+    /// reclaiming demotions, and the huge splits they trigger keeps the
+    /// global frame balance (`total == free + used`) and the per-block
+    /// huge/base exclusivity invariants intact.
+    #[test]
+    fn os_interleavings_preserve_frame_invariants(
+        ops in prop::collection::vec((0u64..4, 0u8..4, 0u64..512), 1..120),
+    ) {
+        use hpage::os::AddressSpace;
+        use hpage::types::ProcessId;
+        let mut pm = PhysicalMemory::new(32 << 21);
+        let mut space = AddressSpace::new(ProcessId(0));
+        let total = pm.total_frames();
+        for (r, op, page) in ops {
+            let region = Vpn::new(r, PageSize::Huge2M);
+            match op {
+                0 => {
+                    let va = region.base().offset(page * 4096);
+                    if space.page_table().translate(va).is_none() {
+                        space.fault(va, false, &mut pm).unwrap();
+                    }
+                }
+                1 => {
+                    // Fails when the region is empty or already huge.
+                    let _ = space.promote(region, true, 0, &mut pm);
+                }
+                2 => {
+                    let _ = space.demote(region, &mut pm);
+                }
+                _ => {
+                    let _ = space.demote_and_reclaim(region, &mut pm);
+                }
+            }
+            prop_assert_eq!(pm.free_frames() + pm.used_frames(), total);
+            let broken = pm.check_block_invariants();
+            prop_assert!(broken.is_empty(), "block invariants broken: {:?}", broken);
+        }
+    }
+
+    /// Frees reject bad arguments instead of corrupting accounting: a
+    /// double free or a free of a never-allocated huge frame is a typed
+    /// error and leaves the frame counts unchanged.
+    #[test]
+    fn physmem_rejects_invalid_frees(blocks in 2u64..16) {
+        let mut pm = PhysicalMemory::new(blocks << 21);
+        let h = pm.alloc_huge(true).unwrap();
+        pm.free_huge(h.pfn).unwrap();
+        let free_before = pm.free_frames();
+        prop_assert!(pm.free_huge(h.pfn).is_err());
+        let p = pm.alloc_base().unwrap();
+        pm.free_base(p).unwrap();
+        prop_assert!(pm.free_base(p).is_err());
+        prop_assert_eq!(pm.free_frames(), free_before);
     }
 
     /// Address arithmetic: splitting any huge VPN into base pages and

@@ -118,6 +118,8 @@ impl_tuple_strategy! {
     (A, B)
     (A, B, C)
     (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
 }
 
 /// Strategy returned by [`any`].
