@@ -20,4 +20,16 @@ echo "== chaos smoke: hpsim --faults examples/chaos.json --audit =="
 HPAGE_PROFILE=test ./target/release/hpsim --policy pcc \
     --faults examples/chaos.json --audit --quiet
 
+echo "== repro smoke: parallel harness determinism (-j 2 vs -j 1) =="
+HPAGE_PROFILE=test ./target/release/repro --figure 7 --ablation \
+    --jobs 2 --bench-out BENCH_repro.json --quiet > /tmp/repro_j2.txt
+HPAGE_PROFILE=test ./target/release/repro --figure 7 --ablation \
+    --jobs 1 --bench-out /tmp/BENCH_repro_j1.json --quiet > /tmp/repro_j1.txt
+cmp /tmp/repro_j1.txt /tmp/repro_j2.txt
+test -s BENCH_repro.json
+if ./target/release/repro --figure 7 --jobs 0 --quiet > /dev/null 2>&1; then
+    echo "repro accepted --jobs 0" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -20,7 +20,7 @@ use hpage_sim::{JsonlSink, PolicyChoice, ProcessSpec, SimReport, Simulation};
 use hpage_trace::{
     instantiate, AnyWorkload, AppId, Dataset, RecordedWorkload, TraceWriter, Workload,
 };
-use hpage_types::{ProcessId, PromotionPolicyKind};
+use hpage_types::{derive_seed, ProcessId, PromotionPolicyKind};
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::exit;
@@ -29,9 +29,12 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--dataset kronecker|twitter|web] [--policy base|ideal|linux|hawkeye|pcc|victim|replay]
              [--selection highest-frequency|round-robin] [--demotion] [--bias <pid,...>]
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
-             [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE] [--trace-in FILE]
-             [--trace-info FILE] [--events FILE] [--metrics FILE] [--faults FILE]
-             [--no-degrade] [--audit] [--quiet|-q] [--verbose|-v]
+             [--jobs N|-j N] [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE]
+             [--trace-in FILE] [--trace-info FILE] [--events FILE] [--metrics FILE]
+             [--faults FILE] [--no-degrade] [--audit] [--quiet|-q] [--verbose|-v]
+parallelism: --jobs 2+ runs the 4KB baseline concurrently with the
+             instrumented run (default: available cores; the printed
+             report is byte-identical at any N)
 flight recorder: --events streams every simulation event (TLB hits, walks,
              faults, PCC updates, promotions, shootdowns, interval snapshots)
              as JSON Lines; --metrics writes the per-interval series as JSONL
@@ -43,9 +46,19 @@ robustness:  --faults loads a JSON fault plan (OOM windows, fragmentation
 verbosity:   --quiet prints the results table only; -v adds the per-interval series
 environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
 
+/// Largest accepted `--jobs` value — far above any real machine, small
+/// enough to catch typos like `--jobs 10000`.
+const MAX_JOBS: usize = 512;
+
 fn die(msg: &str) -> ! {
     eprintln!("hpsim: {msg}\n{USAGE}");
     exit(2)
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(MAX_JOBS))
+        .unwrap_or(1)
 }
 
 /// Runtime failure (not a usage error): no usage text, exit 1.
@@ -66,6 +79,7 @@ struct Options {
     budget_pct: Option<u64>,
     seed: u64,
     max_accesses: Option<u64>,
+    jobs: usize,
     schedule_out: Option<String>,
     schedule_in: Option<String>,
     trace_out: Option<String>,
@@ -93,6 +107,7 @@ fn parse_args() -> Options {
         budget_pct: None,
         seed: 0xC0FFEE,
         max_accesses: None,
+        jobs: default_jobs(),
         schedule_out: None,
         schedule_in: None,
         trace_out: None,
@@ -172,6 +187,19 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|_| die("bad --max-accesses")),
                 )
             }
+            "--jobs" | "-j" => {
+                // Zero, garbage, and absurd values are usage errors
+                // (exit 2), never a panic or a silent clamp.
+                let raw = value(&mut i);
+                opts.jobs = match raw.parse::<usize>() {
+                    Ok(0) => die("--jobs must be at least 1"),
+                    Ok(n) if n > MAX_JOBS => {
+                        die(&format!("--jobs {n} is out of range (max {MAX_JOBS})"))
+                    }
+                    Ok(n) => n,
+                    Err(_) => die(&format!("--jobs expects a number, got '{raw}'")),
+                }
+            }
             "--schedule-out" => opts.schedule_out = Some(value(&mut i)),
             "--schedule-in" => opts.schedule_in = Some(value(&mut i)),
             "--trace-out" => opts.trace_out = Some(value(&mut i)),
@@ -199,6 +227,13 @@ enum AnyOrRecorded {
     Builtin(AnyWorkload),
     Recorded(RecordedWorkload),
 }
+
+// The baseline run may execute on a worker thread (`--jobs 2+`), reading
+// the same workload as the instrumented run on the main thread.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<AnyOrRecorded>();
+};
 
 impl AnyOrRecorded {
     fn as_workload(&self) -> &dyn Workload {
@@ -328,7 +363,9 @@ fn main() {
         sim = sim.with_max_accesses_per_core(n);
     }
     if opts.frag > 0 {
-        sim = sim.with_fragmentation(opts.frag, opts.seed);
+        // The fragmenter gets its own derived stream: feeding it the raw
+        // workload seed would alias the two RNG sequences.
+        sim = sim.with_fragmentation(opts.frag, derive_seed(opts.seed, "frag"));
     }
     if let Some(pct) = opts.budget_pct {
         sim = sim.with_budget(PromotionBudget::percent_of_footprint(pct, footprint));
@@ -352,33 +389,52 @@ fn main() {
     if let Some(n) = opts.max_accesses.or(profile.max_accesses_per_core) {
         base_sim = base_sim.with_max_accesses_per_core(n);
     }
-    let spec = || [ProcessSpec::with_threads(workload, opts.threads)];
-    let base = base_sim.run(&spec());
+    // `spec` captures the concrete holder (not `&dyn Workload`) so the
+    // closure stays `Send` for the parallel baseline below.
+    let spec = || {
+        [ProcessSpec::with_threads(
+            holder.as_workload(),
+            opts.threads,
+        )]
+    };
+    let run_base = || base_sim.run(&spec());
     // The instrumented run streams the flight recorder when requested;
     // the baseline run is never recorded (it is only a speedup anchor).
-    let (report, event_counts): (SimReport, Option<(u64, Vec<(String, u64)>)>) = match &opts.events
-    {
-        Some(path) => {
-            let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
-            let mut sink = JsonlSink::new(BufWriter::new(file));
-            let report = sim
-                .try_run_recorded(&spec(), &mut sink)
-                .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
-            let total = sink.total();
-            let counts = sink
-                .finish()
-                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
-            let counts = counts
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect();
-            (report, Some((total, counts)))
+    let run_policy = || -> (SimReport, Option<(u64, Vec<(String, u64)>)>) {
+        match &opts.events {
+            Some(path) => {
+                let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+                let mut sink = JsonlSink::new(BufWriter::new(file));
+                let report = sim
+                    .try_run_recorded(&spec(), &mut sink)
+                    .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
+                let total = sink.total();
+                let counts = sink
+                    .finish()
+                    .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+                let counts = counts
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                (report, Some((total, counts)))
+            }
+            None => (
+                sim.try_run(&spec())
+                    .unwrap_or_else(|e| fail(&format!("simulation failed: {e}"))),
+                None,
+            ),
         }
-        None => (
-            sim.try_run(&spec())
-                .unwrap_or_else(|e| fail(&format!("simulation failed: {e}"))),
-            None,
-        ),
+    };
+    // Both runs are deterministic in their configuration, so overlapping
+    // them changes wall-clock only, never the printed report.
+    let (base, (report, event_counts)) = if opts.jobs > 1 {
+        std::thread::scope(|scope| {
+            let baseline = scope.spawn(run_base);
+            let policy_out = run_policy();
+            (baseline.join().expect("baseline worker"), policy_out)
+        })
+    } else {
+        (run_base(), run_policy())
     };
 
     if opts.verbosity >= 1 {

@@ -3,31 +3,72 @@
 //!
 //! ```text
 //! repro --all                     # everything (scaled profile)
+//! repro --all --jobs 8            # same tables, 8 parallel workers
 //! repro --figure 5                # one figure
 //! repro --table 1                 # one table
 //! repro --table storage           # the §3.2.1 storage arithmetic
 //! HPAGE_PROFILE=test repro --all  # fast smoke run
 //! HPAGE_SCALE=20 repro --figure 5 # bigger graphs
 //! ```
+//!
+//! All simulation cells run on one deterministic harness: tables are
+//! byte-identical at any `--jobs`, and every run that simulates
+//! anything writes a `BENCH_repro.json` wall-clock artifact
+//! (`--bench-out` overrides the path).
 
 use hpage_bench::*;
-use hpage_sim::Fig9Config;
+use hpage_sim::{Fig9Config, Harness};
 use hpage_trace::AppId;
 
-const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--json 1|6|7|ablation|datasets] [--quiet|-q] [--verbose|-v]
+const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--json 1|6|7|ablation|datasets] [--jobs N|-j N] [--bench-out FILE] [--quiet|-q] [--verbose|-v]
+parallelism: --jobs N runs up to N simulation cells concurrently (default: available cores; tables are byte-identical at any N)
+artifacts: runs that simulate anything write wall-clock timings to BENCH_repro.json (override with --bench-out)
 verbosity: progress notes go to stderr; --quiet silences them, -v adds per-section timing
 environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
 
+/// Largest accepted `--jobs` value — far above any real machine, small
+/// enough to catch typos like `--jobs 10000`.
+const MAX_JOBS: usize = 512;
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parses and validates a `--jobs` operand: a usize in `1..=MAX_JOBS`.
+/// Zero, garbage, and absurd values are usage errors (exit 2), never a
+/// panic or a silent clamp.
+fn parse_jobs(value: Option<&String>) -> usize {
+    let Some(raw) = value else {
+        die("--jobs needs a value");
+    };
+    match raw.parse::<usize>() {
+        Ok(0) => die("--jobs must be at least 1"),
+        Ok(n) if n > MAX_JOBS => die(&format!("--jobs {n} is out of range (max {MAX_JOBS})")),
+        Ok(n) => n,
+        Err(_) => die(&format!("--jobs expects a number, got '{raw}'")),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(MAX_JOBS))
+        .unwrap_or(1)
+}
+
 /// Runs one render step, with progress (and, verbosely, timing) on
-/// stderr so long `--all` runs are not silent.
-fn section<F: FnOnce() -> String>(verbosity: u8, label: &str, f: F) -> String {
+/// stderr so long `--all` runs are not silent. Section wall-clock goes
+/// into the harness log for the bench artifact.
+fn section<F: FnOnce() -> String>(h: &Harness, verbosity: u8, label: &str, f: F) -> String {
     if verbosity >= 1 {
         eprintln!("repro: rendering {label}...");
     }
     let t0 = std::time::Instant::now();
     let out = f();
+    let wall = t0.elapsed().as_secs_f64();
+    h.log().record_section(label, wall);
     if verbosity >= 2 {
-        eprintln!("repro: {label} done in {:.1}s", t0.elapsed().as_secs_f64());
+        eprintln!("repro: {label} done in {wall:.1}s");
     }
     out
 }
@@ -46,31 +87,64 @@ fn main() {
         }
         _ => true,
     });
+    // --jobs/--bench-out take a value, so they can't go through retain.
+    let mut jobs: Option<usize> = None;
+    let mut bench_out = String::from("BENCH_repro.json");
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => jobs = Some(parse_jobs(it.next().as_ref())),
+            "--bench-out" => match it.next() {
+                Some(path) => bench_out = path,
+                None => die("--bench-out needs a path"),
+            },
+            _ => rest.push(a),
+        }
+    }
+    let args = rest;
     if args.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
+    let jobs = jobs.unwrap_or_else(default_jobs);
+    let harness = Harness::new(jobs);
+    let h = &harness;
+    if verbosity >= 1 && jobs > 1 {
+        eprintln!("repro: running up to {jobs} simulation cells in parallel");
+    }
     let profile = profile_from_env();
+    let profile_name = match std::env::var("HPAGE_PROFILE").as_deref() {
+        Ok("test") => "test",
+        Ok("paper") => "paper",
+        _ => "scaled",
+    };
     let sweep: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 100];
     let quick_sweep: &[u64] = &[0, 1, 4, 16, 100];
+    let run_start = std::time::Instant::now();
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--all" => {
-                println!("{}", section(verbosity, "table 1", render_table1));
+                println!("{}", section(h, verbosity, "table 1", render_table1));
                 println!(
                     "{}",
-                    section(verbosity, "table 2", || render_table2(&profile))
+                    section(h, verbosity, "table 2", || render_table2(&profile))
                 );
-                println!("{}", section(verbosity, "storage table", render_storage));
+                println!("{}", section(h, verbosity, "storage table", render_storage));
                 println!(
                     "{}",
-                    section(verbosity, "figure 1", || render_fig1(&profile, &AppId::ALL))
+                    section(h, verbosity, "figure 1", || render_fig1(
+                        h,
+                        &profile,
+                        &AppId::ALL
+                    ))
                 );
                 println!(
                     "{}",
-                    section(verbosity, "figure 2", || render_fig2(
+                    section(h, verbosity, "figure 2", || render_fig2(
+                        h,
                         &profile,
                         AppId::Bfs,
                         2_000_000
@@ -78,7 +152,8 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    section(verbosity, "figure 5", || render_fig5(
+                    section(h, verbosity, "figure 5", || render_fig5(
+                        h,
                         &profile,
                         &AppId::ALL,
                         sweep
@@ -86,7 +161,8 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    section(verbosity, "figure 6", || render_fig6(
+                    section(h, verbosity, "figure 6", || render_fig6(
+                        h,
                         &fig6_profile(&profile),
                         &AppId::GRAPH,
                         &[4, 8, 16, 32, 64, 128, 256, 512, 1024]
@@ -94,7 +170,8 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    section(verbosity, "figure 7", || render_fig7(
+                    section(h, verbosity, "figure 7", || render_fig7(
+                        h,
                         &profile,
                         &AppId::GRAPH,
                         90
@@ -102,7 +179,8 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    section(verbosity, "figure 8", || render_fig8(
+                    section(h, verbosity, "figure 8", || render_fig8(
+                        h,
                         &profile,
                         &AppId::GRAPH,
                         &[2, 4, 8],
@@ -111,7 +189,8 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    section(verbosity, "figure 9a", || render_fig9(
+                    section(h, verbosity, "figure 9a", || render_fig9(
+                        h,
                         &profile,
                         Fig9Config {
                             app_a: AppId::PageRank,
@@ -122,7 +201,8 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    section(verbosity, "figure 9b", || render_fig9(
+                    section(h, verbosity, "figure 9b", || render_fig9(
+                        h,
                         &profile,
                         Fig9Config {
                             app_a: AppId::PageRank,
@@ -133,14 +213,16 @@ fn main() {
                 );
                 println!(
                     "{}",
-                    section(verbosity, "ablation", || render_ablation(
+                    section(h, verbosity, "ablation", || render_ablation(
+                        h,
                         &profile,
                         AppId::Bfs
                     ))
                 );
                 println!(
                     "{}",
-                    section(verbosity, "timeline", || render_timeline(
+                    section(h, verbosity, "timeline", || render_timeline(
+                        h,
                         &profile,
                         AppId::Bfs
                     ))
@@ -150,25 +232,27 @@ fn main() {
                 i += 1;
                 let which = args.get(i).map(String::as_str).unwrap_or("");
                 match which {
-                    "1" => println!("{}", render_fig1(&profile, &AppId::ALL)),
-                    "2" => println!("{}", render_fig2(&profile, AppId::Bfs, 2_000_000)),
-                    "5" => println!("{}", render_fig5(&profile, &AppId::ALL, sweep)),
+                    "1" => println!("{}", render_fig1(h, &profile, &AppId::ALL)),
+                    "2" => println!("{}", render_fig2(h, &profile, AppId::Bfs, 2_000_000)),
+                    "5" => println!("{}", render_fig5(h, &profile, &AppId::ALL, sweep)),
                     "6" => println!(
                         "{}",
                         render_fig6(
+                            h,
                             &fig6_profile(&profile),
                             &AppId::GRAPH,
                             &[4, 8, 16, 32, 64, 128, 256, 512, 1024]
                         )
                     ),
-                    "7" => println!("{}", render_fig7(&profile, &AppId::GRAPH, 90)),
+                    "7" => println!("{}", render_fig7(h, &profile, &AppId::GRAPH, 90)),
                     "8" => println!(
                         "{}",
-                        render_fig8(&profile, &AppId::GRAPH, &[2, 4, 8], quick_sweep)
+                        render_fig8(h, &profile, &AppId::GRAPH, &[2, 4, 8], quick_sweep)
                     ),
                     "9a" => println!(
                         "{}",
                         render_fig9(
+                            h,
                             &profile,
                             Fig9Config {
                                 app_a: AppId::PageRank,
@@ -180,6 +264,7 @@ fn main() {
                     "9b" => println!(
                         "{}",
                         render_fig9(
+                            h,
                             &profile,
                             Fig9Config {
                                 app_a: AppId::PageRank,
@@ -195,16 +280,17 @@ fn main() {
                 }
             }
             "--ablation" => {
-                println!("{}", render_ablation(&profile, AppId::Omnetpp));
-                println!("{}", render_ablation(&profile, AppId::Bfs));
+                println!("{}", render_ablation(h, &profile, AppId::Omnetpp));
+                println!("{}", render_ablation(h, &profile, AppId::Bfs));
             }
             "--datasets" => {
-                println!("{}", render_datasets(&profile, &AppId::GRAPH));
+                println!("{}", render_datasets(h, &profile, &AppId::GRAPH));
             }
             "--timeline" => {
                 println!(
                     "{}",
-                    section(verbosity, "timeline", || render_timeline(
+                    section(h, verbosity, "timeline", || render_timeline(
+                        h,
                         &profile,
                         AppId::Bfs
                     ))
@@ -216,14 +302,16 @@ fn main() {
                 match which {
                     "1" => println!(
                         "{}",
-                        hpage_bench::json::fig1_json(&hpage_sim::fig1_page_sizes(
+                        hpage_bench::json::fig1_json(&hpage_sim::fig1_page_sizes_on(
+                            h,
                             &profile,
                             &AppId::ALL
                         ))
                     ),
                     "6" => println!(
                         "{}",
-                        hpage_bench::json::fig6_json(&hpage_sim::fig6_pcc_size(
+                        hpage_bench::json::fig6_json(&hpage_sim::fig6_pcc_size_on(
+                            h,
                             &fig6_profile(&profile),
                             &AppId::GRAPH,
                             &[4, 16, 64, 128, 512]
@@ -232,7 +320,7 @@ fn main() {
                     "7" => println!(
                         "{}",
                         hpage_bench::json::fig7_json(
-                            &hpage_sim::fig7_fragmentation(&profile, &AppId::GRAPH, 90),
+                            &hpage_sim::fig7_fragmentation_on(h, &profile, &AppId::GRAPH, 90),
                             90
                         )
                     ),
@@ -240,12 +328,13 @@ fn main() {
                         "{}",
                         hpage_bench::json::ablation_json(
                             "BFS",
-                            &hpage_sim::ablation_design_choices(&profile, AppId::Bfs)
+                            &hpage_sim::ablation_design_choices_on(h, &profile, AppId::Bfs)
                         )
                     ),
                     "datasets" => println!(
                         "{}",
-                        hpage_bench::json::datasets_json(&hpage_sim::dataset_sweep(
+                        hpage_bench::json::datasets_json(&hpage_sim::dataset_sweep_on(
+                            h,
                             &profile,
                             &AppId::GRAPH
                         ))
@@ -275,5 +364,21 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    // Simulated anything? Persist the wall-clock artifact.
+    if !h.log().cells().is_empty() {
+        for w in h.log().warnings() {
+            eprintln!("repro: warning: {w}");
+        }
+        let artifact =
+            hpage_bench::json::bench_repro_json(h, profile_name, run_start.elapsed().as_secs_f64());
+        if let Err(e) = std::fs::write(&bench_out, artifact + "\n") {
+            eprintln!("repro: cannot write {bench_out}: {e}");
+            std::process::exit(1);
+        }
+        if verbosity >= 1 {
+            eprintln!("repro: wall-clock timings written to {bench_out}");
+        }
     }
 }

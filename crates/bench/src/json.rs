@@ -5,7 +5,7 @@
 
 use hpage_obs::json::{esc, num};
 use hpage_perf::UtilityCurve;
-use hpage_sim::{AblationRow, DatasetRow, Fig1Row, Fig6Row, Fig7Row};
+use hpage_sim::{AblationRow, DatasetRow, Fig1Row, Fig6Row, Fig7Row, Harness};
 
 /// Serializes Fig. 1 rows.
 pub fn fig1_json(rows: &[Fig1Row]) -> String {
@@ -138,6 +138,24 @@ pub fn datasets_json(rows: &[DatasetRow]) -> String {
     format!("{{\"sweep\":\"datasets\",\"rows\":[{}]}}", items.join(","))
 }
 
+/// Serializes the `BENCH_repro.json` perf artifact: run metadata, the
+/// harness's per-section and per-cell wall-clock timings, workload-cache
+/// effectiveness, and any rendering warnings.
+pub fn bench_repro_json(h: &Harness, profile_name: &str, total_wall_s: f64) -> String {
+    let stats = h.cache().stats();
+    format!(
+        "{{\"artifact\":\"repro-bench\",\"jobs\":{},\"profile\":\"{}\",\"total_wall_s\":{},\
+         \"workload_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},{}}}",
+        h.jobs(),
+        esc(profile_name),
+        num(total_wall_s),
+        h.cache().len(),
+        stats.hits,
+        stats.misses,
+        h.log().to_json_fields()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +195,21 @@ mod tests {
         let j = curves_json("5", &[c]);
         assert!(j.contains("\"percent\":4"));
         assert!(j.contains("\"thps\":2"));
+    }
+
+    #[test]
+    fn bench_artifact_shape() {
+        let h = Harness::new(2);
+        h.log().record_section("figure 1", 1.5);
+        h.log().record_cell("fig1/BFS/base-4k", 0.7);
+        h.log().warn("something partial");
+        let j = bench_repro_json(&h, "test", 2.25);
+        hpage_obs::json::assert_json_shape(&j);
+        assert!(j.starts_with("{\"artifact\":\"repro-bench\",\"jobs\":2"));
+        assert!(j.contains("\"profile\":\"test\""));
+        assert!(j.contains("\"total_wall_s\":2.250000"));
+        assert!(j.contains("\"sections\":[{\"label\":\"figure 1\""));
+        assert!(j.contains("\"warnings\":[\"something partial\"]"));
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! Shared harness for the `repro` binary and the Criterion benches:
 //! profile selection and table rendering for every figure/table of the
 //! paper's evaluation.
+//!
+//! Every renderer that runs simulations takes a [`Harness`] and submits
+//! its cells through it, so the `repro` binary can fan the whole grid
+//! out across `--jobs` workers while the rendered tables stay
+//! byte-identical to a sequential run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
 
-use hpage_perf::{ascii_plot, fmt_pct, fmt_speedup, TextTable};
+use hpage_perf::{ascii_plot, fmt_pct, fmt_speedup, geomean_positive, TextTable};
 use hpage_sim::{
-    ablation_design_choices, dataset_geomean, dataset_sweep, fig1_page_sizes, fig2_reuse,
-    fig5_utility, fig6_pcc_size, fig7_fragmentation, fig8_multithread, fig9_multiprocess,
-    Fig9Config, SimProfile,
+    ablation_design_choices_on, dataset_sweep_on, fig1_page_sizes_on, fig2_reuse_on,
+    fig5_utility_on, fig6_pcc_size_on, fig7_fragmentation_on, fig8_multithread_on,
+    fig9_multiprocess_on, Cell, Fig9Config, Harness, PolicyChoice, SimProfile, Simulation,
 };
 use hpage_trace::{paper_table1, AppId};
 
@@ -40,9 +45,35 @@ pub fn bench_profile() -> SimProfile {
     p
 }
 
+/// Renders a geomean summary line, excluding (and reporting) any
+/// non-positive values instead of blanking the whole line — one
+/// degenerate speedup used to erase the figure's summary row entirely.
+/// Exclusions are also logged as harness warnings.
+fn geomean_line(h: &Harness, what: &str, values: &[f64]) -> String {
+    let s = geomean_positive(values);
+    if s.is_partial() {
+        h.log().warn(format!(
+            "{what}: {} non-positive value(s) excluded from geomean",
+            s.excluded
+        ));
+    }
+    match s.value {
+        Some(g) if !s.is_partial() => format!("{what}: {}", fmt_speedup(g)),
+        Some(g) => format!(
+            "{what}: {} ({} non-positive value(s) excluded)",
+            fmt_speedup(g),
+            s.excluded
+        ),
+        None => format!(
+            "{what}: n/a ({} non-positive value(s) excluded)",
+            s.excluded
+        ),
+    }
+}
+
 /// Renders Fig. 1 (page-size potential) as a table.
-pub fn render_fig1(profile: &SimProfile, apps: &[AppId]) -> String {
-    let rows = fig1_page_sizes(profile, apps);
+pub fn render_fig1(h: &Harness, profile: &SimProfile, apps: &[AppId]) -> String {
+    let rows = fig1_page_sizes_on(h, profile, apps);
     let mut t = TextTable::new([
         "app",
         "TLB miss% (4KB)",
@@ -61,15 +92,14 @@ pub fn render_fig1(profile: &SimProfile, apps: &[AppId]) -> String {
             fmt_speedup(r.speedup_linux),
         ]);
     }
-    let geo = hpage_sim::fig1_geomean_2m(&rows)
-        .map(|g| format!("geomean 2MB speedup: {}", fmt_speedup(g)))
-        .unwrap_or_default();
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup_2m).collect();
+    let geo = geomean_line(h, "geomean 2MB speedup", &speedups);
     format!("Fig. 1 — page size potential vs Linux THP under fragmentation\n{t}\n{geo}\n")
 }
 
 /// Renders Fig. 2 (reuse-distance classes) as a table.
-pub fn render_fig2(profile: &SimProfile, app: AppId, window: u64) -> String {
-    let s = fig2_reuse(profile, app, window);
+pub fn render_fig2(h: &Harness, profile: &SimProfile, app: AppId, window: u64) -> String {
+    let s = fig2_reuse_on(h, profile, app, window);
     let mut t = TextTable::new(["class", "4KB pages", "share"]);
     let total = (s.tlb_friendly + s.hubs + s.low_reuse).max(1);
     for (name, n) in [
@@ -90,11 +120,11 @@ pub fn render_fig2(profile: &SimProfile, app: AppId, window: u64) -> String {
 }
 
 /// Renders Fig. 5 (utility curves) for the given apps.
-pub fn render_fig5(profile: &SimProfile, apps: &[AppId], sweep: &[u64]) -> String {
+pub fn render_fig5(h: &Harness, profile: &SimProfile, apps: &[AppId], sweep: &[u64]) -> String {
     let mut out =
         String::from("Fig. 5 — utility curves (speedup / PTW% at N% footprint promoted)\n");
     for &app in apps {
-        let (curves, linux50, linux90, ideal) = fig5_utility(profile, app, sweep);
+        let (curves, linux50, linux90, ideal) = fig5_utility_on(h, profile, app, sweep);
         let mut t = TextTable::new(["policy / %footprint", "speedup", "PTW rate", "THPs"]);
         for curve in &curves {
             for p in &curve.points {
@@ -138,8 +168,8 @@ pub fn render_fig5(profile: &SimProfile, apps: &[AppId], sweep: &[u64]) -> Strin
 /// The sweep needs the HUB working set to exceed the small PCC sizes or
 /// every size looks equal; callers should pass a profile with a graph
 /// scale ~3 above the default (see `fig6_profile`).
-pub fn render_fig6(profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> String {
-    let rows = fig6_pcc_size(profile, apps, sizes);
+pub fn render_fig6(h: &Harness, profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> String {
+    let rows = fig6_pcc_size_on(h, profile, apps, sizes);
     let mut t = TextTable::new(["app", "PCC entries", "speedup"]);
     for r in &rows {
         let label = match r.pcc_entries {
@@ -162,8 +192,8 @@ pub fn fig6_profile(base: &SimProfile) -> SimProfile {
 }
 
 /// Renders Fig. 7 (fragmented-memory policy comparison).
-pub fn render_fig7(profile: &SimProfile, apps: &[AppId], frag: u8) -> String {
-    let rows = fig7_fragmentation(profile, apps, frag);
+pub fn render_fig7(h: &Harness, profile: &SimProfile, apps: &[AppId], frag: u8) -> String {
+    let rows = fig7_fragmentation_on(h, profile, apps, frag);
     let mut t = TextTable::new(["app", "hawkeye", "linux-thp", "pcc", "pcc+demote"]);
     for r in &rows {
         t.row([
@@ -178,8 +208,14 @@ pub fn render_fig7(profile: &SimProfile, apps: &[AppId], frag: u8) -> String {
 }
 
 /// Renders Fig. 8 (multithread selection policies).
-pub fn render_fig8(profile: &SimProfile, apps: &[AppId], threads: &[u32], sweep: &[u64]) -> String {
-    let rows = fig8_multithread(profile, apps, threads, sweep);
+pub fn render_fig8(
+    h: &Harness,
+    profile: &SimProfile,
+    apps: &[AppId],
+    threads: &[u32],
+    sweep: &[u64],
+) -> String {
+    let rows = fig8_multithread_on(h, profile, apps, threads, sweep);
     let mut t = TextTable::new(["app", "threads", "policy", "%footprint", "speedup", "ideal"]);
     for r in &rows {
         for p in &r.curve.points {
@@ -197,8 +233,8 @@ pub fn render_fig8(profile: &SimProfile, apps: &[AppId], threads: &[u32], sweep:
 }
 
 /// Renders one Fig. 9 case study.
-pub fn render_fig9(profile: &SimProfile, config: Fig9Config, sweep: &[u64]) -> String {
-    let (rows, ideal) = fig9_multiprocess(profile, config, sweep);
+pub fn render_fig9(h: &Harness, profile: &SimProfile, config: Fig9Config, sweep: &[u64]) -> String {
+    let (rows, ideal) = fig9_multiprocess_on(h, profile, config, sweep);
     let col_a = format!("{} speedup", config.app_a.name());
     let col_b = format!("{} speedup", config.app_b.name());
     let mut t = TextTable::new(["policy", "%footprint", &col_a, &col_b, "THPs"]);
@@ -223,23 +259,29 @@ pub fn render_fig9(profile: &SimProfile, config: Fig9Config, sweep: &[u64]) -> S
 /// Renders the time-to-benefit timeline: the per-interval PTW rate of
 /// the PCC vs HawkEye vs baseline on one app — the paper's "the PCC
 /// identifies HUBs faster" claim (§5.1) in timeline form.
-pub fn render_timeline(profile: &SimProfile, app: AppId) -> String {
+pub fn render_timeline(h: &Harness, profile: &SimProfile, app: AppId) -> String {
     use hpage_os::PromotionBudget;
-    use hpage_sim::{PolicyChoice, ProcessSpec, Simulation};
-    use hpage_trace::{instantiate, Dataset, Workload};
-    let w = instantiate(app, Dataset::Kronecker, profile.workloads, 0xC0FFEE);
+    use hpage_trace::Workload;
+    let w = h.workload(profile, app);
     let sized = profile.clone().sized_for(w.footprint_bytes());
-    let run = |policy: PolicyChoice| {
+    let cell = |label: &str, policy: PolicyChoice| {
         let mut sim =
             Simulation::new(sized.system.clone(), policy).with_budget(PromotionBudget::UNLIMITED);
         if let Some(n) = profile.max_accesses_per_core {
             sim = sim.with_max_accesses_per_core(n);
         }
-        sim.run(&[ProcessSpec::new(&w)])
+        Cell::new(
+            format!("timeline/{}/{label}", app.name()),
+            sim,
+            w.clone() as hpage_sim::SharedWorkload,
+        )
     };
-    let base = run(PolicyChoice::BasePages);
-    let pcc = run(PolicyChoice::pcc_default());
-    let hawkeye = run(PolicyChoice::HawkEye);
+    let reports = h.run(vec![
+        cell("base-4k", PolicyChoice::BasePages),
+        cell("pcc", PolicyChoice::pcc_default()),
+        cell("hawkeye", PolicyChoice::HawkEye),
+    ]);
+    let (base, pcc, hawkeye) = (&reports[0], &reports[1], &reports[2]);
     let intervals = base
         .interval_series
         .len()
@@ -280,8 +322,8 @@ collapses the PTW rate within the first intervals; scan-limited policies lag)
 
 /// Renders the design-choice ablation table (DESIGN.md's ablation
 /// targets: cold-miss filter, decay, replacement, PWC alternative).
-pub fn render_ablation(profile: &SimProfile, app: AppId) -> String {
-    let rows = ablation_design_choices(profile, app);
+pub fn render_ablation(h: &Harness, profile: &SimProfile, app: AppId) -> String {
+    let rows = ablation_design_choices_on(h, profile, app);
     let mut t = TextTable::new(["variant", "speedup", "PTW rate", "promotions"]);
     for r in &rows {
         t.row([
@@ -300,8 +342,8 @@ pub fn render_ablation(profile: &SimProfile, app: AppId) -> String {
 
 /// Renders the multi-dataset sweep (Table 1's inputs across sorted and
 /// unsorted variants, with the paper's geomean summary).
-pub fn render_datasets(profile: &SimProfile, apps: &[AppId]) -> String {
-    let rows = dataset_sweep(profile, apps);
+pub fn render_datasets(h: &Harness, profile: &SimProfile, apps: &[AppId]) -> String {
+    let rows = dataset_sweep_on(h, profile, apps);
     let mut t = TextTable::new([
         "app",
         "dataset",
@@ -325,9 +367,8 @@ pub fn render_datasets(profile: &SimProfile, apps: &[AppId]) -> String {
             fmt_speedup(r.ideal_speedup),
         ]);
     }
-    let geo = dataset_geomean(&rows)
-        .map(|g| format!("geomean pcc@4% speedup: {}", fmt_speedup(g)))
-        .unwrap_or_default();
+    let speedups: Vec<f64> = rows.iter().map(|r| r.pcc_speedup_4pct).collect();
+    let geo = geomean_line(h, "geomean pcc@4% speedup", &speedups);
     format!(
         "Dataset sweep — graph kernels across Table 1 networks
 {t}
@@ -429,7 +470,7 @@ mod tests {
     fn fig2_renders_quickly() {
         let mut p = SimProfile::test();
         p.max_accesses_per_core = Some(100_000);
-        let s = render_fig2(&p, AppId::Bfs, 100_000);
+        let s = render_fig2(&Harness::sequential(), &p, AppId::Bfs, 100_000);
         assert!(s.contains("HUB"));
     }
 
@@ -442,7 +483,12 @@ mod tests {
 
     #[test]
     fn fig7_render_contains_policies() {
-        let s = render_fig7(&micro_profile(), &[AppId::Dedup], 90);
+        let s = render_fig7(
+            &Harness::sequential(),
+            &micro_profile(),
+            &[AppId::Dedup],
+            90,
+        );
         assert!(s.contains("hawkeye"));
         assert!(s.contains("pcc+demote"));
         assert!(s.contains("dedup"));
@@ -451,6 +497,7 @@ mod tests {
     #[test]
     fn fig9_render_contains_both_apps() {
         let s = render_fig9(
+            &Harness::sequential(),
             &micro_profile(),
             Fig9Config {
                 app_a: AppId::Dedup,
@@ -465,8 +512,33 @@ mod tests {
 
     #[test]
     fn fig6_render_labels_extremes() {
-        let s = render_fig6(&micro_profile(), &[AppId::Dedup], &[4]);
+        let s = render_fig6(
+            &Harness::sequential(),
+            &micro_profile(),
+            &[AppId::Dedup],
+            &[4],
+        );
         assert!(s.contains("baseline (no PCC)"));
         assert!(s.contains("ideal (all THPs)"));
+    }
+
+    #[test]
+    fn geomean_line_renders_partial_and_empty() {
+        let h = Harness::sequential();
+        assert_eq!(geomean_line(&h, "geo", &[2.0, 2.0]), "geo: 2.00x");
+        assert!(h.log().warnings().is_empty());
+        let partial = geomean_line(&h, "geo", &[4.0, 0.0]);
+        assert_eq!(partial, "geo: 4.00x (1 non-positive value(s) excluded)");
+        let blank = geomean_line(&h, "geo", &[0.0]);
+        assert_eq!(blank, "geo: n/a (1 non-positive value(s) excluded)");
+        assert_eq!(h.log().warnings().len(), 2);
+    }
+
+    #[test]
+    fn parallel_render_matches_sequential() {
+        let p = micro_profile();
+        let seq = render_fig7(&Harness::sequential(), &p, &[AppId::Dedup], 90);
+        let par = render_fig7(&Harness::new(4), &p, &[AppId::Dedup], 90);
+        assert_eq!(seq, par, "tables must be byte-identical at any --jobs");
     }
 }

@@ -28,6 +28,7 @@
 pub mod json;
 
 mod event;
+mod harness;
 mod metrics;
 mod recorder;
 
@@ -35,5 +36,6 @@ pub use event::{
     Event, FailureReason, IntervalSnapshot, PccAction, TlbLevel, EVENT_KINDS,
     FREQ_HISTOGRAM_BUCKETS,
 };
+pub use harness::{CellTiming, HarnessLog, SectionTiming};
 pub use metrics::{IntervalRow, IntervalSeries};
 pub use recorder::{JsonlSink, MemoryRecorder, NullRecorder, Recorder};

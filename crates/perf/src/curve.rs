@@ -87,6 +87,47 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
     Some((log_sum / values.len() as f64).exp())
 }
 
+/// Result of [`geomean_positive`]: the geometric mean over the usable
+/// (strictly positive, finite) subset of the input, plus how much was
+/// excluded to get it.
+///
+/// [`geomean`]'s all-or-nothing contract is right for math but wrong
+/// for report rendering: one non-positive speedup (e.g. a degenerate
+/// cell at test scale) used to blank an entire figure's geomean row.
+/// Renderers use this variant instead and surface `excluded` to the
+/// reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeomeanSummary {
+    /// Geomean over the usable values; `None` when none were usable.
+    pub value: Option<f64>,
+    /// Values that contributed.
+    pub used: usize,
+    /// Non-positive or non-finite values that had to be excluded.
+    pub excluded: usize,
+}
+
+impl GeomeanSummary {
+    /// Whether anything had to be excluded.
+    pub fn is_partial(&self) -> bool {
+        self.excluded > 0
+    }
+}
+
+/// Geometric mean over the strictly positive, finite subset of
+/// `values`, reporting how many values were excluded.
+pub fn geomean_positive(values: &[f64]) -> GeomeanSummary {
+    let usable: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0 && v.is_finite())
+        .collect();
+    GeomeanSummary {
+        value: geomean(&usable),
+        used: usable.len(),
+        excluded: values.len() - usable.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +188,23 @@ mod tests {
         assert!((g - 2.0).abs() < 1e-12);
         let g = geomean(&[1.3]).unwrap();
         assert!((g - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_positive_excludes_rather_than_blanks() {
+        let s = geomean_positive(&[2.0, 0.0, 8.0, -1.0, f64::NAN]);
+        assert_eq!(s.used, 2);
+        assert_eq!(s.excluded, 3);
+        assert!(s.is_partial());
+        assert!((s.value.unwrap() - 4.0).abs() < 1e-12);
+        // Clean input matches the strict geomean exactly.
+        let clean = geomean_positive(&[1.0, 4.0]);
+        assert_eq!(clean.value, geomean(&[1.0, 4.0]));
+        assert!(!clean.is_partial());
+        // Nothing usable: value is None but the counts still report why.
+        let none = geomean_positive(&[0.0, -2.0]);
+        assert_eq!(none.value, None);
+        assert_eq!(none.excluded, 2);
     }
 
     #[test]

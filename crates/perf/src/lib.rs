@@ -22,7 +22,7 @@ mod model;
 mod plot;
 mod report;
 
-pub use curve::{geomean, UtilityCurve, UtilityPoint};
+pub use curve::{geomean, geomean_positive, GeomeanSummary, UtilityCurve, UtilityPoint};
 pub use model::RunCounters;
 pub use plot::ascii_plot;
 pub use report::{fmt_pct, fmt_speedup, TextTable};

@@ -1,23 +1,23 @@
 //! Experiment drivers: one function per figure of the paper's
-//! evaluation. Each runs the required simulation configurations and
-//! returns structured results; `hpage-bench`'s `repro` binary renders
-//! them as tables.
+//! evaluation. Each driver decomposes its figure into independent
+//! [`Cell`]s, submits them to a [`Harness`] (which may fan them out
+//! across a worker pool), and assembles the returned reports — in
+//! submission order, so tables are byte-identical at any `--jobs` —
+//! into structured rows; `hpage-bench`'s `repro` binary renders them.
+//!
+//! Every `fig*` driver has two forms: `fig*_on(&Harness, ...)` for
+//! callers that own a harness (the repro binary, the determinism
+//! suite), and the original `fig*(profile, ...)` signature which runs
+//! on a throwaway sequential harness.
 
 use crate::profile::SimProfile;
-use crate::simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
+use crate::runner::{Cell, Harness, SharedWorkload, EXPERIMENT_SEED as SEED};
+use crate::simulation::{PolicyChoice, SimReport, Simulation};
 use hpage_os::PromotionBudget;
 use hpage_perf::{geomean, UtilityCurve, UtilityPoint};
-#[allow(unused_imports)]
-use hpage_trace::WorkloadScale;
-use hpage_trace::{instantiate, AnyWorkload, AppId, Dataset, ReuseAnalyzer, Workload};
-use hpage_types::PromotionPolicyKind;
-
-/// Default RNG seed for experiment workloads.
-const SEED: u64 = 0xC0FFEE;
-
-fn workload_for(profile: &SimProfile, app: AppId) -> AnyWorkload {
-    instantiate(app, Dataset::Kronecker, profile.workloads, SEED)
-}
+use hpage_trace::{AnyWorkload, AppId, Dataset, ReuseAnalyzer, Workload};
+use hpage_types::{derive_seed, PromotionPolicyKind};
+use std::sync::Arc;
 
 fn simulation(profile: &SimProfile, policy: PolicyChoice, footprint: u64) -> Simulation {
     let sized = profile.clone().sized_for(footprint);
@@ -28,18 +28,32 @@ fn simulation(profile: &SimProfile, policy: PolicyChoice, footprint: u64) -> Sim
     sim
 }
 
-fn run_single(
+/// Builds the standard single-process cell of the figure drivers. The
+/// fragmentation RNG stream is derived from the experiment seed with a
+/// purpose label — never the raw seed, which the workload generators
+/// already consume (reusing it would correlate the "random" physical
+/// fragmentation with the workload's own layout randomness).
+fn cell(
+    label: String,
     profile: &SimProfile,
-    w: &AnyWorkload,
+    w: &Arc<AnyWorkload>,
     policy: PolicyChoice,
     frag_pct: u8,
     budget: PromotionBudget,
-) -> SimReport {
+) -> Cell {
     let mut sim = simulation(profile, policy, w.footprint_bytes()).with_budget(budget);
     if frag_pct > 0 {
-        sim = sim.with_fragmentation(frag_pct, SEED);
+        sim = sim.with_fragmentation(frag_pct, derive_seed(SEED, "frag"));
     }
-    sim.run(&[ProcessSpec::new(w)])
+    Cell::new(label, sim, Arc::clone(w) as SharedWorkload)
+}
+
+fn budget_for(pct: u64, footprint: u64) -> PromotionBudget {
+    if pct >= 100 {
+        PromotionBudget::UNLIMITED
+    } else {
+        PromotionBudget::percent_of_footprint(pct, footprint)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -63,45 +77,60 @@ pub struct Fig1Row {
     pub speedup_linux: f64,
 }
 
-/// Reproduces Fig. 1: TLB miss rate and speedup for 100% 4 KiB pages vs.
-/// 100% 2 MiB pages vs. Linux THP with 50% fragmented memory, across the
-/// eight evaluation applications.
-pub fn fig1_page_sizes(profile: &SimProfile, apps: &[AppId]) -> Vec<Fig1Row> {
+/// Reproduces Fig. 1 on `h`: TLB miss rate and speedup for 100% 4 KiB
+/// pages vs. 100% 2 MiB pages vs. Linux THP with 50% fragmented memory,
+/// across the eight evaluation applications.
+pub fn fig1_page_sizes_on(h: &Harness, profile: &SimProfile, apps: &[AppId]) -> Vec<Fig1Row> {
     let timing = profile.system.timing;
+    let mut cells = Vec::new();
+    for &app in apps {
+        let w = h.workload(profile, app);
+        let name = app.name();
+        cells.push(cell(
+            format!("fig1/{name}/base-4k"),
+            profile,
+            &w,
+            PolicyChoice::BasePages,
+            0,
+            PromotionBudget::UNLIMITED,
+        ));
+        cells.push(cell(
+            format!("fig1/{name}/ideal-2m"),
+            profile,
+            &w,
+            PolicyChoice::IdealHuge,
+            0,
+            PromotionBudget::UNLIMITED,
+        ));
+        cells.push(cell(
+            format!("fig1/{name}/linux-frag50"),
+            profile,
+            &w,
+            PolicyChoice::LinuxThp,
+            50,
+            PromotionBudget::UNLIMITED,
+        ));
+    }
+    let reports = h.run(cells);
     apps.iter()
-        .map(|&app| {
-            let w = workload_for(profile, app);
-            let base = run_single(
-                profile,
-                &w,
-                PolicyChoice::BasePages,
-                0,
-                PromotionBudget::UNLIMITED,
-            );
-            let ideal = run_single(
-                profile,
-                &w,
-                PolicyChoice::IdealHuge,
-                0,
-                PromotionBudget::UNLIMITED,
-            );
-            let linux = run_single(
-                profile,
-                &w,
-                PolicyChoice::LinuxThp,
-                50,
-                PromotionBudget::UNLIMITED,
-            );
+        .zip(reports.chunks_exact(3))
+        .map(|(&app, chunk)| {
+            let (base, ideal, linux) = (&chunk[0], &chunk[1], &chunk[2]);
             Fig1Row {
                 app: app.name().to_string(),
                 miss_4k: base.aggregate.walk_ratio(),
                 miss_2m: ideal.aggregate.walk_ratio(),
                 miss_linux: linux.aggregate.walk_ratio(),
-                speedup_2m: ideal.speedup_over(&base, &timing),
-                speedup_linux: linux.speedup_over(&base, &timing),
+                speedup_2m: ideal.speedup_over(base, &timing),
+                speedup_linux: linux.speedup_over(base, &timing),
             }
         })
         .collect()
+}
+
+/// [`fig1_page_sizes_on`] on a throwaway sequential harness.
+pub fn fig1_page_sizes(profile: &SimProfile, apps: &[AppId]) -> Vec<Fig1Row> {
+    fig1_page_sizes_on(&Harness::sequential(), profile, apps)
 }
 
 // ---------------------------------------------------------------------
@@ -125,11 +154,16 @@ pub struct Fig2Summary {
     pub hub_samples: Vec<(f64, f64)>,
 }
 
-/// Reproduces Fig. 2: classifies every 4 KiB page of a BFS run by its
-/// reuse distance at 4 KiB vs. 2 MiB granularity. `max_accesses` bounds
-/// the analysis window.
-pub fn fig2_reuse(profile: &SimProfile, app: AppId, max_accesses: u64) -> Fig2Summary {
-    let w = workload_for(profile, app);
+/// Reproduces Fig. 2 on `h`: classifies every 4 KiB page of a BFS run
+/// by its reuse distance at 4 KiB vs. 2 MiB granularity. `max_accesses`
+/// bounds the analysis window.
+pub fn fig2_reuse_on(
+    h: &Harness,
+    profile: &SimProfile,
+    app: AppId,
+    max_accesses: u64,
+) -> Fig2Summary {
+    let w = h.workload(profile, app);
     let mut analyzer = ReuseAnalyzer::new();
     for access in w.trace().take(max_accesses as usize) {
         analyzer.observe(&access);
@@ -153,6 +187,11 @@ pub fn fig2_reuse(profile: &SimProfile, app: AppId, max_accesses: u64) -> Fig2Su
     }
 }
 
+/// [`fig2_reuse_on`] on a throwaway sequential harness.
+pub fn fig2_reuse(profile: &SimProfile, app: AppId, max_accesses: u64) -> Fig2Summary {
+    fig2_reuse_on(&Harness::sequential(), profile, app, max_accesses)
+}
+
 // ---------------------------------------------------------------------
 // Fig. 5 — single-thread utility curves: PCC vs HawkEye vs Linux
 // ---------------------------------------------------------------------
@@ -160,43 +199,81 @@ pub fn fig2_reuse(profile: &SimProfile, app: AppId, max_accesses: u64) -> Fig2Su
 /// A `(speedup, walk_ratio)` reference point on a Fig. 5 utility plot.
 pub type RefPoint = (f64, f64);
 
-/// Reproduces Fig. 5 for one application: the speedup / PTW-rate utility
-/// curves of the PCC and HawkEye across the footprint sweep, plus the
-/// Linux THP (50%/90% fragmented) and max-THP reference points. Returns
-/// `(curves, linux50, linux90, ideal)` where the references are
-/// [`RefPoint`] `(speedup, walk_ratio)` pairs.
-pub fn fig5_utility(
+/// Reproduces Fig. 5 on `h` for one application: the speedup / PTW-rate
+/// utility curves of the PCC and HawkEye across the footprint sweep,
+/// plus the Linux THP (50%/90% fragmented) and max-THP reference
+/// points. Returns `(curves, linux50, linux90, ideal)` where the
+/// references are [`RefPoint`] `(speedup, walk_ratio)` pairs.
+pub fn fig5_utility_on(
+    h: &Harness,
     profile: &SimProfile,
     app: AppId,
     sweep: &[u64],
 ) -> (Vec<UtilityCurve>, RefPoint, RefPoint, RefPoint) {
     let timing = profile.system.timing;
-    let w = workload_for(profile, app);
+    let w = h.workload(profile, app);
     let footprint = w.footprint_bytes();
-    let base = run_single(
+    let name = app.name();
+
+    let policies = [
+        (PolicyChoice::pcc_default(), "pcc"),
+        (PolicyChoice::HawkEye, "hawkeye"),
+    ];
+    let mut cells = vec![cell(
+        format!("fig5/{name}/base-4k"),
         profile,
         &w,
         PolicyChoice::BasePages,
         0,
         PromotionBudget::UNLIMITED,
-    );
+    )];
+    for (policy, label) in &policies {
+        for &pct in sweep.iter().filter(|&&pct| pct > 0) {
+            cells.push(cell(
+                format!("fig5/{name}/{label}-{pct}pct"),
+                profile,
+                &w,
+                policy.clone(),
+                0,
+                budget_for(pct, footprint),
+            ));
+        }
+    }
+    cells.push(cell(
+        format!("fig5/{name}/linux-frag50"),
+        profile,
+        &w,
+        PolicyChoice::LinuxThp,
+        50,
+        PromotionBudget::UNLIMITED,
+    ));
+    cells.push(cell(
+        format!("fig5/{name}/linux-frag90"),
+        profile,
+        &w,
+        PolicyChoice::LinuxThp,
+        90,
+        PromotionBudget::UNLIMITED,
+    ));
+    cells.push(cell(
+        format!("fig5/{name}/ideal-2m"),
+        profile,
+        &w,
+        PolicyChoice::IdealHuge,
+        0,
+        PromotionBudget::UNLIMITED,
+    ));
 
+    let mut reports = h.run(cells).into_iter();
+    let base = reports.next().expect("base cell");
     let mut curves = Vec::new();
-    for (policy, label) in [
-        (PolicyChoice::pcc_default(), "pcc"),
-        (PolicyChoice::HawkEye, "hawkeye"),
-    ] {
-        let mut curve = UtilityCurve::new(app.name(), label);
+    for (_, label) in &policies {
+        let mut curve = UtilityCurve::new(app.name(), *label);
         for &pct in sweep {
             let report = if pct == 0 {
                 base.clone()
             } else {
-                let budget = if pct >= 100 {
-                    PromotionBudget::UNLIMITED
-                } else {
-                    PromotionBudget::percent_of_footprint(pct, footprint)
-                };
-                run_single(profile, &w, policy.clone(), 0, budget)
+                reports.next().expect("sweep cell")
             };
             curve.points.push(UtilityPoint {
                 percent: pct,
@@ -207,43 +284,20 @@ pub fn fig5_utility(
         }
         curves.push(curve);
     }
+    let linux50 = reports.next().expect("linux50 cell");
+    let linux90 = reports.next().expect("linux90 cell");
+    let ideal = reports.next().expect("ideal cell");
+    let point = |r: &SimReport| (r.speedup_over(&base, &timing), r.aggregate.walk_ratio());
+    (curves, point(&linux50), point(&linux90), point(&ideal))
+}
 
-    let linux50 = run_single(
-        profile,
-        &w,
-        PolicyChoice::LinuxThp,
-        50,
-        PromotionBudget::UNLIMITED,
-    );
-    let linux90 = run_single(
-        profile,
-        &w,
-        PolicyChoice::LinuxThp,
-        90,
-        PromotionBudget::UNLIMITED,
-    );
-    let ideal = run_single(
-        profile,
-        &w,
-        PolicyChoice::IdealHuge,
-        0,
-        PromotionBudget::UNLIMITED,
-    );
-    (
-        curves,
-        (
-            linux50.speedup_over(&base, &timing),
-            linux50.aggregate.walk_ratio(),
-        ),
-        (
-            linux90.speedup_over(&base, &timing),
-            linux90.aggregate.walk_ratio(),
-        ),
-        (
-            ideal.speedup_over(&base, &timing),
-            ideal.aggregate.walk_ratio(),
-        ),
-    )
+/// [`fig5_utility_on`] on a throwaway sequential harness.
+pub fn fig5_utility(
+    profile: &SimProfile,
+    app: AppId,
+    sweep: &[u64],
+) -> (Vec<UtilityCurve>, RefPoint, RefPoint, RefPoint) {
+    fig5_utility_on(&Harness::sequential(), profile, app, sweep)
 }
 
 // ---------------------------------------------------------------------
@@ -262,57 +316,78 @@ pub struct Fig6Row {
     pub speedup: f64,
 }
 
-/// Reproduces Fig. 6: sweeps the PCC size over `sizes` (the paper uses
-/// 4..=1024 in powers of two) for each graph application, with the
-/// promotion footprint capped at 32% as in the paper.
-pub fn fig6_pcc_size(profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> Vec<Fig6Row> {
+/// Reproduces Fig. 6 on `h`: sweeps the PCC size over `sizes` (the
+/// paper uses 4..=1024 in powers of two) for each graph application,
+/// with the promotion footprint capped at 32% as in the paper.
+pub fn fig6_pcc_size_on(
+    h: &Harness,
+    profile: &SimProfile,
+    apps: &[AppId],
+    sizes: &[u32],
+) -> Vec<Fig6Row> {
     let timing = profile.system.timing;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &app in apps {
-        let w = workload_for(profile, app);
+        let w = h.workload(profile, app);
         let footprint = w.footprint_bytes();
-        let base = run_single(
+        let name = app.name();
+        cells.push(cell(
+            format!("fig6/{name}/base-4k"),
             profile,
             &w,
             PolicyChoice::BasePages,
             0,
             PromotionBudget::UNLIMITED,
-        );
-        rows.push(Fig6Row {
-            app: app.name().to_string(),
-            pcc_entries: 0,
-            speedup: 1.0,
-        });
+        ));
         for &entries in sizes {
             let mut p = profile.clone();
             p.system.pcc_2m = p.system.pcc_2m.with_entries(entries);
-            let report = run_single(
+            cells.push(cell(
+                format!("fig6/{name}/pcc-{entries}e"),
                 &p,
                 &w,
                 PolicyChoice::pcc_default(),
                 0,
                 PromotionBudget::percent_of_footprint(32, footprint),
-            );
-            rows.push(Fig6Row {
-                app: app.name().to_string(),
-                pcc_entries: entries,
-                speedup: report.speedup_over(&base, &timing),
-            });
+            ));
         }
-        let ideal = run_single(
+        cells.push(cell(
+            format!("fig6/{name}/ideal-2m"),
             profile,
             &w,
             PolicyChoice::IdealHuge,
             0,
             PromotionBudget::UNLIMITED,
-        );
+        ));
+    }
+    let reports = h.run(cells);
+    let mut rows = Vec::new();
+    for (&app, chunk) in apps.iter().zip(reports.chunks_exact(sizes.len() + 2)) {
+        let base = &chunk[0];
+        rows.push(Fig6Row {
+            app: app.name().to_string(),
+            pcc_entries: 0,
+            speedup: 1.0,
+        });
+        for (&entries, report) in sizes.iter().zip(&chunk[1..=sizes.len()]) {
+            rows.push(Fig6Row {
+                app: app.name().to_string(),
+                pcc_entries: entries,
+                speedup: report.speedup_over(base, &timing),
+            });
+        }
         rows.push(Fig6Row {
             app: app.name().to_string(),
             pcc_entries: u32::MAX,
-            speedup: ideal.speedup_over(&base, &timing),
+            speedup: chunk[sizes.len() + 1].speedup_over(base, &timing),
         });
     }
     rows
+}
+
+/// [`fig6_pcc_size_on`] on a throwaway sequential harness.
+pub fn fig6_pcc_size(profile: &SimProfile, apps: &[AppId], sizes: &[u32]) -> Vec<Fig6Row> {
+    fig6_pcc_size_on(&Harness::sequential(), profile, apps, sizes)
 }
 
 // ---------------------------------------------------------------------
@@ -334,38 +409,71 @@ pub struct Fig7Row {
     pub pcc_demote: f64,
 }
 
-/// Reproduces Fig. 7: baseline/HawkEye/Linux THP/PCC/PCC+demotion with
-/// `frag_pct`% fragmented memory (the paper plots 90%; §5.1.1 also
-/// reports 50%).
-pub fn fig7_fragmentation(profile: &SimProfile, apps: &[AppId], frag_pct: u8) -> Vec<Fig7Row> {
+/// Reproduces Fig. 7 on `h`: baseline/HawkEye/Linux THP/PCC/
+/// PCC+demotion with `frag_pct`% fragmented memory (the paper plots
+/// 90%; §5.1.1 also reports 50%).
+pub fn fig7_fragmentation_on(
+    h: &Harness,
+    profile: &SimProfile,
+    apps: &[AppId],
+    frag_pct: u8,
+) -> Vec<Fig7Row> {
     let timing = profile.system.timing;
-    apps.iter()
-        .map(|&app| {
-            let w = workload_for(profile, app);
-            let base = run_single(
-                profile,
-                &w,
-                PolicyChoice::BasePages,
-                0,
-                PromotionBudget::UNLIMITED,
-            );
-            let run = |policy: PolicyChoice| {
-                run_single(profile, &w, policy, frag_pct, PromotionBudget::UNLIMITED)
-                    .speedup_over(&base, &timing)
-            };
-            Fig7Row {
-                app: app.name().to_string(),
-                hawkeye: run(PolicyChoice::HawkEye),
-                linux: run(PolicyChoice::LinuxThp),
-                pcc: run(PolicyChoice::pcc_default()),
-                pcc_demote: run(PolicyChoice::Pcc {
+    let mut cells = Vec::new();
+    for &app in apps {
+        let w = h.workload(profile, app);
+        let name = app.name();
+        cells.push(cell(
+            format!("fig7/{name}/base-4k"),
+            profile,
+            &w,
+            PolicyChoice::BasePages,
+            0,
+            PromotionBudget::UNLIMITED,
+        ));
+        for (policy, label) in [
+            (PolicyChoice::HawkEye, "hawkeye"),
+            (PolicyChoice::LinuxThp, "linux"),
+            (PolicyChoice::pcc_default(), "pcc"),
+            (
+                PolicyChoice::Pcc {
                     selection: PromotionPolicyKind::HighestFrequency,
                     demotion: true,
                     bias: vec![],
-                }),
+                },
+                "pcc-demote",
+            ),
+        ] {
+            cells.push(cell(
+                format!("fig7/{name}/{label}-frag{frag_pct}"),
+                profile,
+                &w,
+                policy,
+                frag_pct,
+                PromotionBudget::UNLIMITED,
+            ));
+        }
+    }
+    let reports = h.run(cells);
+    apps.iter()
+        .zip(reports.chunks_exact(5))
+        .map(|(&app, chunk)| {
+            let base = &chunk[0];
+            let speedup = |r: &SimReport| r.speedup_over(base, &timing);
+            Fig7Row {
+                app: app.name().to_string(),
+                hawkeye: speedup(&chunk[1]),
+                linux: speedup(&chunk[2]),
+                pcc: speedup(&chunk[3]),
+                pcc_demote: speedup(&chunk[4]),
             }
         })
         .collect()
+}
+
+/// [`fig7_fragmentation_on`] on a throwaway sequential harness.
+pub fn fig7_fragmentation(profile: &SimProfile, apps: &[AppId], frag_pct: u8) -> Vec<Fig7Row> {
+    fig7_fragmentation_on(&Harness::sequential(), profile, apps, frag_pct)
 }
 
 // ---------------------------------------------------------------------
@@ -387,49 +495,75 @@ pub struct Fig8Row {
     pub ideal_speedup: f64,
 }
 
-/// Reproduces Fig. 8: parallel graph workloads at each thread count,
-/// comparing highest-PCC-frequency against round-robin candidate
+const FIG8_POLICIES: [PromotionPolicyKind; 2] = [
+    PromotionPolicyKind::HighestFrequency,
+    PromotionPolicyKind::RoundRobin,
+];
+
+/// Reproduces Fig. 8 on `h`: parallel graph workloads at each thread
+/// count, comparing highest-PCC-frequency against round-robin candidate
 /// selection across the per-core PCCs.
-pub fn fig8_multithread(
+pub fn fig8_multithread_on(
+    h: &Harness,
     profile: &SimProfile,
     apps: &[AppId],
     thread_counts: &[u32],
     sweep: &[u64],
 ) -> Vec<Fig8Row> {
     let timing = profile.system.timing;
+    let mut cells = Vec::new();
+    for &app in apps {
+        let w = h.workload(profile, app);
+        let footprint = w.footprint_bytes();
+        let name = app.name();
+        for &threads in thread_counts {
+            cells.push(Cell::with_threads(
+                format!("fig8/{name}/{threads}t/base-4k"),
+                simulation(profile, PolicyChoice::BasePages, footprint),
+                Arc::clone(&w) as SharedWorkload,
+                threads,
+            ));
+            cells.push(Cell::with_threads(
+                format!("fig8/{name}/{threads}t/ideal-2m"),
+                simulation(profile, PolicyChoice::IdealHuge, footprint),
+                Arc::clone(&w) as SharedWorkload,
+                threads,
+            ));
+            for policy in FIG8_POLICIES {
+                for &pct in sweep.iter().filter(|&&pct| pct > 0) {
+                    let sim = simulation(
+                        profile,
+                        PolicyChoice::Pcc {
+                            selection: policy,
+                            demotion: false,
+                            bias: vec![],
+                        },
+                        footprint,
+                    )
+                    .with_budget(budget_for(pct, footprint));
+                    cells.push(Cell::with_threads(
+                        format!("fig8/{name}/{threads}t/{policy}-{pct}pct"),
+                        sim,
+                        Arc::clone(&w) as SharedWorkload,
+                        threads,
+                    ));
+                }
+            }
+        }
+    }
+    let mut reports = h.run(cells).into_iter();
     let mut rows = Vec::new();
     for &app in apps {
-        let w = workload_for(profile, app);
-        let footprint = w.footprint_bytes();
         for &threads in thread_counts {
-            let spec = || [ProcessSpec::with_threads(&w, threads)];
-            let base = simulation(profile, PolicyChoice::BasePages, footprint).run(&spec());
-            let ideal = simulation(profile, PolicyChoice::IdealHuge, footprint).run(&spec());
-            for policy in [
-                PromotionPolicyKind::HighestFrequency,
-                PromotionPolicyKind::RoundRobin,
-            ] {
+            let base = reports.next().expect("base cell");
+            let ideal = reports.next().expect("ideal cell");
+            for policy in FIG8_POLICIES {
                 let mut curve = UtilityCurve::new(app.name(), policy.to_string());
                 for &pct in sweep {
                     let report = if pct == 0 {
                         base.clone()
                     } else {
-                        let budget = if pct >= 100 {
-                            PromotionBudget::UNLIMITED
-                        } else {
-                            PromotionBudget::percent_of_footprint(pct, footprint)
-                        };
-                        simulation(
-                            profile,
-                            PolicyChoice::Pcc {
-                                selection: policy,
-                                demotion: false,
-                                bias: vec![],
-                            },
-                            footprint,
-                        )
-                        .with_budget(budget)
-                        .run(&spec())
+                        reports.next().expect("sweep cell")
                     };
                     curve.points.push(UtilityPoint {
                         percent: pct,
@@ -449,6 +583,16 @@ pub fn fig8_multithread(
         }
     }
     rows
+}
+
+/// [`fig8_multithread_on`] on a throwaway sequential harness.
+pub fn fig8_multithread(
+    profile: &SimProfile,
+    apps: &[AppId],
+    thread_counts: &[u32],
+    sweep: &[u64],
+) -> Vec<Fig8Row> {
+    fig8_multithread_on(&Harness::sequential(), profile, apps, thread_counts, sweep)
 }
 
 // ---------------------------------------------------------------------
@@ -477,52 +621,74 @@ pub struct Fig9Row {
     pub huge_pages: u64,
 }
 
-/// Reproduces Fig. 9: two single-threaded applications on two cores
-/// sharing physical memory, swept over the combined-footprint budget
-/// under both OS selection policies. Returns the rows plus the
+/// Reproduces Fig. 9 on `h`: two single-threaded applications on two
+/// cores sharing physical memory, swept over the combined-footprint
+/// budget under both OS selection policies. Returns the rows plus the
 /// per-process ideal speedups.
-pub fn fig9_multiprocess(
+pub fn fig9_multiprocess_on(
+    h: &Harness,
     profile: &SimProfile,
     config: Fig9Config,
     sweep: &[u64],
 ) -> (Vec<Fig9Row>, (f64, f64)) {
     let timing = profile.system.timing;
-    let wa = workload_for(profile, config.app_a);
-    let wb = workload_for(profile, config.app_b);
+    let wa = h.workload(profile, config.app_a);
+    let wb = h.workload(profile, config.app_b);
     let footprint = wa.footprint_bytes() + wb.footprint_bytes();
-    let spec = || [ProcessSpec::new(&wa), ProcessSpec::new(&wb)];
-    let base = simulation(profile, PolicyChoice::BasePages, footprint).run(&spec());
-    let ideal = simulation(profile, PolicyChoice::IdealHuge, footprint).run(&spec());
+    let pair = format!("{}+{}", config.app_a.name(), config.app_b.name());
+    let procs = || {
+        vec![
+            (Arc::clone(&wa) as SharedWorkload, 1),
+            (Arc::clone(&wb) as SharedWorkload, 1),
+        ]
+    };
+
+    let mut cells = vec![
+        Cell::multiprocess(
+            format!("fig9/{pair}/base-4k"),
+            simulation(profile, PolicyChoice::BasePages, footprint),
+            procs(),
+        ),
+        Cell::multiprocess(
+            format!("fig9/{pair}/ideal-2m"),
+            simulation(profile, PolicyChoice::IdealHuge, footprint),
+            procs(),
+        ),
+    ];
+    for policy in FIG8_POLICIES {
+        for &pct in sweep.iter().filter(|&&pct| pct > 0) {
+            let sim = simulation(
+                profile,
+                PolicyChoice::Pcc {
+                    selection: policy,
+                    demotion: false,
+                    bias: vec![],
+                },
+                footprint,
+            )
+            .with_budget(budget_for(pct, footprint));
+            cells.push(Cell::multiprocess(
+                format!("fig9/{pair}/{policy}-{pct}pct"),
+                sim,
+                procs(),
+            ));
+        }
+    }
+
+    let mut reports = h.run(cells).into_iter();
+    let base = reports.next().expect("base cell");
+    let ideal = reports.next().expect("ideal cell");
     let ideal_speedups = (
         ideal.process_speedup_over(&base, 0, &timing),
         ideal.process_speedup_over(&base, 1, &timing),
     );
-
     let mut rows = Vec::new();
-    for policy in [
-        PromotionPolicyKind::HighestFrequency,
-        PromotionPolicyKind::RoundRobin,
-    ] {
+    for policy in FIG8_POLICIES {
         for &pct in sweep {
             let report = if pct == 0 {
                 base.clone()
             } else {
-                let budget = if pct >= 100 {
-                    PromotionBudget::UNLIMITED
-                } else {
-                    PromotionBudget::percent_of_footprint(pct, footprint)
-                };
-                simulation(
-                    profile,
-                    PolicyChoice::Pcc {
-                        selection: policy,
-                        demotion: false,
-                        bias: vec![],
-                    },
-                    footprint,
-                )
-                .with_budget(budget)
-                .run(&spec())
+                reports.next().expect("sweep cell")
             };
             rows.push(Fig9Row {
                 policy,
@@ -536,6 +702,15 @@ pub fn fig9_multiprocess(
         }
     }
     (rows, ideal_speedups)
+}
+
+/// [`fig9_multiprocess_on`] on a throwaway sequential harness.
+pub fn fig9_multiprocess(
+    profile: &SimProfile,
+    config: Fig9Config,
+    sweep: &[u64],
+) -> (Vec<Fig9Row>, (f64, f64)) {
+    fig9_multiprocess_on(&Harness::sequential(), profile, config, sweep)
 }
 
 /// Geomean speedup over a set of Fig. 1 rows (convenience for the
@@ -568,43 +743,73 @@ pub struct DatasetRow {
 
 /// Runs the graph kernels across all three Table 1 networks in sorted
 /// and unsorted variants (6 datasets per kernel, as in §4) and reports
-/// the PCC's 4%-budget speedup against the ideal.
-pub fn dataset_sweep(profile: &SimProfile, apps: &[AppId]) -> Vec<DatasetRow> {
+/// the PCC's 4%-budget speedup against the ideal. Runs on `h`.
+pub fn dataset_sweep_on(h: &Harness, profile: &SimProfile, apps: &[AppId]) -> Vec<DatasetRow> {
     let timing = profile.system.timing;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut combos = Vec::new();
     for &app in apps {
         for dataset in Dataset::ALL {
             for dbg_sorted in [false, true] {
                 let mut scale = profile.workloads;
                 scale.dbg_sorted = dbg_sorted;
-                let w = instantiate(app, dataset, scale, SEED);
+                let w = h.cache().get_parts(app, dataset, scale, SEED);
                 let footprint = w.footprint_bytes();
-                let sized = profile.clone().sized_for(footprint);
-                let run = |policy: PolicyChoice, budget: PromotionBudget| {
-                    let mut sim = Simulation::new(sized.system.clone(), policy).with_budget(budget);
-                    if let Some(n) = profile.max_accesses_per_core {
-                        sim = sim.with_max_accesses_per_core(n);
-                    }
-                    sim.run(&[ProcessSpec::new(&w)])
-                };
-                let base = run(PolicyChoice::BasePages, PromotionBudget::UNLIMITED);
-                let pcc = run(
-                    PolicyChoice::pcc_default(),
-                    PromotionBudget::percent_of_footprint(4, footprint),
+                let tag = format!(
+                    "datasets/{}/{}{}",
+                    app.name(),
+                    dataset.name(),
+                    if dbg_sorted { "-dbg" } else { "" }
                 );
-                let ideal = run(PolicyChoice::IdealHuge, PromotionBudget::UNLIMITED);
-                rows.push(DatasetRow {
-                    app: app.name().to_string(),
-                    dataset: dataset.name().to_string(),
-                    dbg_sorted,
-                    base_walk_ratio: base.aggregate.walk_ratio(),
-                    pcc_speedup_4pct: pcc.speedup_over(&base, &timing),
-                    ideal_speedup: ideal.speedup_over(&base, &timing),
-                });
+                cells.push(cell(
+                    format!("{tag}/base-4k"),
+                    profile,
+                    &w,
+                    PolicyChoice::BasePages,
+                    0,
+                    PromotionBudget::UNLIMITED,
+                ));
+                cells.push(cell(
+                    format!("{tag}/pcc-4pct"),
+                    profile,
+                    &w,
+                    PolicyChoice::pcc_default(),
+                    0,
+                    PromotionBudget::percent_of_footprint(4, footprint),
+                ));
+                cells.push(cell(
+                    format!("{tag}/ideal-2m"),
+                    profile,
+                    &w,
+                    PolicyChoice::IdealHuge,
+                    0,
+                    PromotionBudget::UNLIMITED,
+                ));
+                combos.push((app, dataset, dbg_sorted));
             }
         }
     }
-    rows
+    let reports = h.run(cells);
+    combos
+        .iter()
+        .zip(reports.chunks_exact(3))
+        .map(|(&(app, dataset, dbg_sorted), chunk)| {
+            let (base, pcc, ideal) = (&chunk[0], &chunk[1], &chunk[2]);
+            DatasetRow {
+                app: app.name().to_string(),
+                dataset: dataset.name().to_string(),
+                dbg_sorted,
+                base_walk_ratio: base.aggregate.walk_ratio(),
+                pcc_speedup_4pct: pcc.speedup_over(base, &timing),
+                ideal_speedup: ideal.speedup_over(base, &timing),
+            }
+        })
+        .collect()
+}
+
+/// [`dataset_sweep_on`] on a throwaway sequential harness.
+pub fn dataset_sweep(profile: &SimProfile, apps: &[AppId]) -> Vec<DatasetRow> {
+    dataset_sweep_on(&Harness::sequential(), profile, apps)
 }
 
 /// Geomean of the PCC 4%-budget speedups over a set of dataset rows
@@ -630,153 +835,125 @@ pub struct AblationRow {
     pub promotions: u64,
 }
 
-/// Quantifies the PCC's design choices on one application: the cold-miss
-/// access-bit filter, counter decay, the replacement policy, and the
-/// §5.4.1 PWC alternative (which shortens walks but promotes nothing).
-pub fn ablation_design_choices(profile: &SimProfile, app: AppId) -> Vec<AblationRow> {
+/// Quantifies the PCC's design choices on one application: the
+/// cold-miss access-bit filter, counter decay, the replacement policy,
+/// and the §5.4.1 PWC alternative (which shortens walks but promotes
+/// nothing). Runs on `h`.
+pub fn ablation_design_choices_on(
+    h: &Harness,
+    profile: &SimProfile,
+    app: AppId,
+) -> Vec<AblationRow> {
     use hpage_pcc::ReplacementPolicy;
     let timing = profile.system.timing;
-    let w = workload_for(profile, app);
+    let w = h.workload(profile, app);
     let footprint = w.footprint_bytes();
-    let base = run_single(
-        profile,
-        &w,
-        PolicyChoice::BasePages,
-        0,
-        PromotionBudget::UNLIMITED,
-    );
-    let mut rows = Vec::new();
-    let mut push = |name: &str, report: SimReport| {
-        rows.push(AblationRow {
-            variant: name.to_string(),
-            speedup: report.speedup_over(&base, &timing),
-            walk_ratio: report.aggregate.walk_ratio(),
-            promotions: report.aggregate.promotions,
-        });
-    };
-
-    // Paper configuration.
-    push(
-        "pcc (paper)",
-        run_single(
-            profile,
+    let name = app.name();
+    let plain = |tag: &str, p: &SimProfile, policy: PolicyChoice| {
+        cell(
+            format!("ablation/{name}/{tag}"),
+            p,
             &w,
-            PolicyChoice::pcc_default(),
+            policy,
             0,
             PromotionBudget::UNLIMITED,
-        ),
-    );
+        )
+    };
+
+    let mut cells = vec![
+        plain("base-4k", profile, PolicyChoice::BasePages),
+        plain("pcc-paper", profile, PolicyChoice::pcc_default()),
+    ];
     // No cold-miss filter.
     let mut p = profile.clone();
     p.system.pcc_2m.access_bit_filter = false;
-    push(
-        "no cold-miss filter",
-        run_single(
-            &p,
-            &w,
-            PolicyChoice::pcc_default(),
-            0,
-            PromotionBudget::UNLIMITED,
-        ),
-    );
+    cells.push(plain("no-cold-filter", &p, PolicyChoice::pcc_default()));
     // No decay.
     let mut p = profile.clone();
     p.system.pcc_2m.decay_on_saturation = false;
-    push(
-        "no counter decay",
-        run_single(
-            &p,
-            &w,
-            PolicyChoice::pcc_default(),
-            0,
-            PromotionBudget::UNLIMITED,
-        ),
-    );
+    cells.push(plain("no-decay", &p, PolicyChoice::pcc_default()));
     // Pure LRU replacement.
-    let sized = profile.clone().sized_for(footprint);
-    let mut sim = Simulation::new(sized.system, PolicyChoice::pcc_default())
-        .with_replacement(ReplacementPolicy::Lru);
-    if let Some(n) = profile.max_accesses_per_core {
-        sim = sim.with_max_accesses_per_core(n);
-    }
-    push("pure-LRU replacement", sim.run(&[ProcessSpec::new(&w)]));
+    cells.push(Cell::new(
+        format!("ablation/{name}/pure-lru"),
+        simulation(profile, PolicyChoice::pcc_default(), footprint)
+            .with_replacement(ReplacementPolicy::Lru),
+        Arc::clone(&w) as SharedWorkload,
+    ));
     // PWC instead of a PCC: walks get cheaper, misses stay.
-    let mut p = profile.clone();
-    p.system.pwc = Some(hpage_types::PwcConfig::typical());
-    push(
-        "PWC only (no promotion)",
-        run_single(
-            &p,
-            &w,
-            PolicyChoice::BasePages,
-            0,
-            PromotionBudget::UNLIMITED,
-        ),
-    );
+    let mut pwc = profile.clone();
+    pwc.system.pwc = Some(hpage_types::PwcConfig::typical());
+    cells.push(plain("pwc-only", &pwc, PolicyChoice::BasePages));
     // PWC *and* PCC together (complementary, as §5.4.1 concludes).
-    push(
-        "PWC + PCC",
-        run_single(
-            &p,
-            &w,
-            PolicyChoice::pcc_default(),
-            0,
-            PromotionBudget::UNLIMITED,
-        ),
-    );
+    cells.push(plain("pwc-plus-pcc", &pwc, PolicyChoice::pcc_default()));
     // §5.4.1's other alternative: an L2-TLB victim cache as the
     // candidate source, small and PCC-sized.
-    push(
-        "victim cache (8 entries)",
-        run_single(
-            profile,
-            &w,
-            PolicyChoice::VictimCache { entries: 8 },
-            0,
-            PromotionBudget::UNLIMITED,
-        ),
-    );
-    push(
-        "victim cache (128 entries)",
-        run_single(
-            profile,
-            &w,
-            PolicyChoice::VictimCache { entries: 128 },
-            0,
-            PromotionBudget::UNLIMITED,
-        ),
-    );
+    cells.push(plain(
+        "victim-8",
+        profile,
+        PolicyChoice::VictimCache { entries: 8 },
+    ));
+    cells.push(plain(
+        "victim-128",
+        profile,
+        PolicyChoice::VictimCache { entries: 128 },
+    ));
     // Cache-model cross-check: with a physically-indexed data cache and
     // issue-only base cost, the PCC's relative benefit persists (the
     // timing model's constant-base-cost simplification is not load-
     // bearing for the paper's conclusions).
-    {
-        let mut p = profile.clone();
-        p.system.timing = p.system.timing.with_cache_model();
-        let run_cached = |policy: PolicyChoice| {
-            let sized = p.clone().sized_for(footprint);
-            let mut sim = Simulation::new(sized.system.clone(), policy)
-                .with_cache(hpage_cache::CacheConfig::typical_per_core());
-            if let Some(n) = p.max_accesses_per_core {
-                sim = sim.with_max_accesses_per_core(n);
-            }
-            sim.run(&[ProcessSpec::new(&w)])
-        };
-        let cached_base = run_cached(PolicyChoice::BasePages);
-        let cached_pcc = run_cached(PolicyChoice::pcc_default());
-        rows.push(AblationRow {
-            variant: "pcc (with cache model)".to_string(),
-            speedup: cached_pcc.speedup_over(&cached_base, &p.system.timing),
-            walk_ratio: cached_pcc.aggregate.walk_ratio(),
-            promotions: cached_pcc.aggregate.promotions,
-        });
+    let mut cached = profile.clone();
+    cached.system.timing = cached.system.timing.with_cache_model();
+    for (tag, policy) in [
+        ("cached-base", PolicyChoice::BasePages),
+        ("cached-pcc", PolicyChoice::pcc_default()),
+    ] {
+        cells.push(Cell::new(
+            format!("ablation/{name}/{tag}"),
+            simulation(&cached, policy, footprint)
+                .with_cache(hpage_cache::CacheConfig::typical_per_core()),
+            Arc::clone(&w) as SharedWorkload,
+        ));
     }
+
+    let reports = h.run(cells);
+    let base = &reports[0];
+    let mut rows = Vec::new();
+    let mut push = |label: &str, report: &SimReport| {
+        rows.push(AblationRow {
+            variant: label.to_string(),
+            speedup: report.speedup_over(base, &timing),
+            walk_ratio: report.aggregate.walk_ratio(),
+            promotions: report.aggregate.promotions,
+        });
+    };
+    push("pcc (paper)", &reports[1]);
+    push("no cold-miss filter", &reports[2]);
+    push("no counter decay", &reports[3]);
+    push("pure-LRU replacement", &reports[4]);
+    push("PWC only (no promotion)", &reports[5]);
+    push("PWC + PCC", &reports[6]);
+    push("victim cache (8 entries)", &reports[7]);
+    push("victim cache (128 entries)", &reports[8]);
+    let cached_base = &reports[9];
+    let cached_pcc = &reports[10];
+    rows.push(AblationRow {
+        variant: "pcc (with cache model)".to_string(),
+        speedup: cached_pcc.speedup_over(cached_base, &cached.system.timing),
+        walk_ratio: cached_pcc.aggregate.walk_ratio(),
+        promotions: cached_pcc.aggregate.promotions,
+    });
     rows
+}
+
+/// [`ablation_design_choices_on`] on a throwaway sequential harness.
+pub fn ablation_design_choices(profile: &SimProfile, app: AppId) -> Vec<AblationRow> {
+    ablation_design_choices_on(&Harness::sequential(), profile, app)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::ProcessSpec;
 
     fn profile() -> SimProfile {
         let mut p = SimProfile::test();
@@ -971,5 +1148,30 @@ mod tests {
         ];
         let g = fig1_geomean_2m(&rows).unwrap();
         assert!((g - (2.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frag_seed_is_derived_not_aliased() {
+        // Regression: `run_single` used to pass the raw experiment seed
+        // to `with_fragmentation`, aliasing the fragmentation RNG stream
+        // with the workload generators'. The derived stream must differ
+        // from the raw seed while runs stay deterministic.
+        let frag_seed = derive_seed(SEED, "frag");
+        assert_ne!(frag_seed, SEED);
+        let p = profile();
+        let h = Harness::sequential();
+        let w = h.workload(&p, AppId::Canneal);
+        let run = |seed: u64| {
+            simulation(&p, PolicyChoice::LinuxThp, w.footprint_bytes())
+                .with_fragmentation(50, seed)
+                .run(&[ProcessSpec::new(w.as_ref())])
+        };
+        let derived = run(frag_seed);
+        assert_eq!(derived, run(frag_seed), "fixed seeds stay deterministic");
+        assert_ne!(
+            derived,
+            run(SEED),
+            "de-aliased fragmentation must sample a different layout"
+        );
     }
 }

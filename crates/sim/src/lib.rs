@@ -27,19 +27,24 @@
 
 mod experiments;
 mod profile;
+mod runner;
 mod simulation;
 
 pub use experiments::{
-    ablation_design_choices, dataset_geomean, dataset_sweep, fig1_geomean_2m, fig1_page_sizes,
-    fig2_reuse, fig5_utility, fig6_pcc_size, fig7_fragmentation, fig8_multithread,
-    fig9_multiprocess, AblationRow, DatasetRow, Fig1Row, Fig2Summary, Fig6Row, Fig7Row, Fig8Row,
-    Fig9Config, Fig9Row,
+    ablation_design_choices, ablation_design_choices_on, dataset_geomean, dataset_sweep,
+    dataset_sweep_on, fig1_geomean_2m, fig1_page_sizes, fig1_page_sizes_on, fig2_reuse,
+    fig2_reuse_on, fig5_utility, fig5_utility_on, fig6_pcc_size, fig6_pcc_size_on,
+    fig7_fragmentation, fig7_fragmentation_on, fig8_multithread, fig8_multithread_on,
+    fig9_multiprocess, fig9_multiprocess_on, AblationRow, DatasetRow, Fig1Row, Fig2Summary,
+    Fig6Row, Fig7Row, Fig8Row, Fig9Config, Fig9Row,
 };
 pub use profile::SimProfile;
+pub use runner::{Cell, Harness, SharedWorkload, EXPERIMENT_SEED};
 pub use simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
 
 // Re-export the flight-recorder surface so simulator users need not
 // depend on `hpage-obs` directly.
 pub use hpage_obs::{
-    Event, IntervalRow, IntervalSeries, JsonlSink, MemoryRecorder, NullRecorder, Recorder,
+    CellTiming, Event, HarnessLog, IntervalRow, IntervalSeries, JsonlSink, MemoryRecorder,
+    NullRecorder, Recorder, SectionTiming,
 };

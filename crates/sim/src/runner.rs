@@ -1,0 +1,308 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every figure driver decomposes into independent *cells* — one fully
+//! configured [`Simulation`] plus the workloads it runs — and submits
+//! them to a [`Harness`]. The harness executes cells on a std-only
+//! worker pool (`std::thread::scope`, no external dependencies) and
+//! returns the reports **in submission order**, so the tables a driver
+//! assembles are byte-identical whether the grid ran on one worker or
+//! sixteen.
+//!
+//! Determinism survives the fan-out because of three properties:
+//!
+//! 1. Cells share nothing mutable. Workloads cross the pool boundary as
+//!    `Arc<AnyWorkload>` (immutable once built; `Send + Sync` is pinned
+//!    by compile-time asserts here and in `hpage-trace`), and each cell
+//!    owns its `Simulation` outright.
+//! 2. Every RNG stream is seeded from the cell's configuration, never
+//!    from global state, time, or worker identity.
+//! 3. Results are written into per-cell slots indexed by submission
+//!    order; only wall-clock *observability* (the [`HarnessLog`]) sees
+//!    completion order.
+//!
+//! The harness also owns the run's [`WorkloadCache`], so each workload
+//! is instantiated once per `repro` invocation no matter how many
+//! figures touch it.
+
+use crate::profile::SimProfile;
+use crate::simulation::{ProcessSpec, SimReport, Simulation};
+use hpage_obs::HarnessLog;
+use hpage_trace::{AnyWorkload, AppId, Dataset, Workload, WorkloadCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A workload shared across the worker-pool boundary. `Arc<AnyWorkload>`
+/// (what [`Harness::workload`] serves) coerces into this at any call
+/// site; recorded traces and other [`Workload`] impls fit too.
+pub type SharedWorkload = Arc<dyn Workload + Send + Sync>;
+
+/// Default RNG seed for experiment workloads (shared by every figure
+/// driver; per-purpose streams are derived via
+/// [`hpage_types::derive_seed`], never by reusing this value raw).
+pub const EXPERIMENT_SEED: u64 = 0xC0FFEE;
+
+// Compile-time audit: cells cross the worker-pool boundary by reference,
+// so everything inside one must be shareable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Cell>();
+    assert_send_sync::<Simulation>();
+    assert_send_sync::<Harness>();
+};
+
+/// One independent unit of experiment work: a fully configured
+/// simulation and the workloads it runs. Building a cell is cheap (the
+/// workloads are shared `Arc`s); running it is the expensive part the
+/// pool parallelises.
+#[derive(Clone)]
+pub struct Cell {
+    /// Display label, e.g. `fig7/BFS/pcc` — used for per-cell timings in
+    /// the perf artifact, never for results.
+    pub label: String,
+    /// The configured simulation (policy, sizing, fragmentation, budget,
+    /// replacement, cache model — everything baked in).
+    pub sim: Simulation,
+    /// Processes to run: `(workload, thread count)` pairs.
+    pub processes: Vec<(SharedWorkload, u32)>,
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Workloads are trait objects; show their names instead.
+        let processes: Vec<(&str, u32)> = self
+            .processes
+            .iter()
+            .map(|(w, threads)| (w.name(), *threads))
+            .collect();
+        f.debug_struct("Cell")
+            .field("label", &self.label)
+            .field("sim", &self.sim)
+            .field("processes", &processes)
+            .finish()
+    }
+}
+
+impl Cell {
+    /// Single-process, single-threaded cell.
+    pub fn new(label: impl Into<String>, sim: Simulation, workload: SharedWorkload) -> Self {
+        Cell {
+            label: label.into(),
+            sim,
+            processes: vec![(workload, 1)],
+        }
+    }
+
+    /// Single-process cell with `threads` threads.
+    pub fn with_threads(
+        label: impl Into<String>,
+        sim: Simulation,
+        workload: SharedWorkload,
+        threads: u32,
+    ) -> Self {
+        Cell {
+            label: label.into(),
+            sim,
+            processes: vec![(workload, threads)],
+        }
+    }
+
+    /// Multi-process cell (one entry per process).
+    pub fn multiprocess(
+        label: impl Into<String>,
+        sim: Simulation,
+        processes: Vec<(SharedWorkload, u32)>,
+    ) -> Self {
+        Cell {
+            label: label.into(),
+            sim,
+            processes,
+        }
+    }
+
+    /// Runs the cell to completion. Pure in its configuration: equal
+    /// cells produce equal reports on any thread at any time.
+    pub fn run(&self) -> SimReport {
+        let specs: Vec<ProcessSpec<'_>> = self
+            .processes
+            .iter()
+            .map(|(w, threads)| ProcessSpec::with_threads(w.as_ref(), *threads))
+            .collect();
+        self.sim.run(&specs)
+    }
+}
+
+/// The experiment harness: a worker pool plus the run-wide workload
+/// cache and observability log. One harness drives one `repro`/`hpsim`
+/// invocation; figure drivers borrow it.
+#[derive(Debug)]
+pub struct Harness {
+    jobs: usize,
+    cache: WorkloadCache,
+    log: Arc<HarnessLog>,
+}
+
+impl Harness {
+    /// Creates a harness running up to `jobs` cells concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0` (binaries validate and reject this with a
+    /// usage error before construction).
+    pub fn new(jobs: usize) -> Self {
+        assert!(jobs >= 1, "harness needs at least one worker");
+        Harness {
+            jobs,
+            cache: WorkloadCache::new(),
+            log: Arc::new(HarnessLog::new()),
+        }
+    }
+
+    /// A single-worker harness — cells run inline, in order, exactly as
+    /// the pre-harness sequential drivers did.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The run-wide workload cache.
+    pub fn cache(&self) -> &WorkloadCache {
+        &self.cache
+    }
+
+    /// The run's observability log (wall-clock timings + warnings).
+    pub fn log(&self) -> &HarnessLog {
+        &self.log
+    }
+
+    /// The figure drivers' standard workload: `app` on Kronecker at the
+    /// profile's scale, seeded with [`EXPERIMENT_SEED`]; served from the
+    /// cache.
+    pub fn workload(&self, profile: &SimProfile, app: AppId) -> Arc<AnyWorkload> {
+        self.cache
+            .get_parts(app, Dataset::Kronecker, profile.workloads, EXPERIMENT_SEED)
+    }
+
+    /// Runs `cells` and returns their reports in submission order.
+    ///
+    /// With `jobs == 1` the cells run inline on the calling thread. With
+    /// more, a scoped worker pool claims cells via an atomic cursor and
+    /// writes each report into its submission-index slot, so the
+    /// returned order — and therefore every table assembled from it —
+    /// is independent of scheduling.
+    pub fn run(&self, cells: Vec<Cell>) -> Vec<SimReport> {
+        if self.jobs == 1 || cells.len() <= 1 {
+            return cells
+                .iter()
+                .map(|cell| {
+                    let start = Instant::now();
+                    let report = cell.run();
+                    self.log
+                        .record_cell(&cell.label, start.elapsed().as_secs_f64());
+                    report
+                })
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SimReport>>> =
+            (0..cells.len()).map(|_| Mutex::new(None)).collect();
+        let workers = self.jobs.min(cells.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let start = Instant::now();
+                    let report = cells[i].run();
+                    self.log
+                        .record_cell(&cells[i].label, start.elapsed().as_secs_f64());
+                    *slots[i].lock().unwrap() = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every claimed cell fills its slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::PolicyChoice;
+
+    fn profile() -> SimProfile {
+        let mut p = SimProfile::test();
+        p.max_accesses_per_core = Some(100_000);
+        p
+    }
+
+    fn cells(h: &Harness, n: usize) -> Vec<Cell> {
+        let p = profile();
+        let w = h.workload(&p, AppId::Canneal);
+        let sized = p
+            .clone()
+            .sized_for(hpage_trace::Workload::footprint_bytes(w.as_ref()));
+        (0..n)
+            .map(|i| {
+                let policy = if i % 2 == 0 {
+                    PolicyChoice::BasePages
+                } else {
+                    PolicyChoice::pcc_default()
+                };
+                let sim = Simulation::new(sized.system.clone(), policy)
+                    .with_max_accesses_per_core(100_000);
+                Cell::new(format!("cell/{i}"), sim, Arc::clone(&w) as SharedWorkload)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_results_equal_sequential_in_order() {
+        let seq = Harness::sequential();
+        let par = Harness::new(8);
+        let expected = seq.run(cells(&seq, 7));
+        let got = par.run(cells(&par, 7));
+        assert_eq!(expected, got, "submission order must survive the pool");
+        // Alternating policies prove slots didn't get shuffled.
+        assert_eq!(got[0].policy, got[2].policy);
+        assert_ne!(got[0].policy, got[1].policy);
+    }
+
+    #[test]
+    fn timings_cover_every_cell() {
+        let h = Harness::new(4);
+        let n = 5;
+        let _ = h.run(cells(&h, n));
+        assert_eq!(h.log().cells().len(), n);
+        assert!(h.log().total_cell_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn workload_is_cached_across_lookups() {
+        let h = Harness::sequential();
+        let p = profile();
+        let a = h.workload(&p, AppId::Canneal);
+        let b = h.workload(&p, AppId::Canneal);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(h.cache().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_jobs_is_rejected() {
+        let _ = Harness::new(0);
+    }
+}

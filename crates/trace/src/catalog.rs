@@ -203,7 +203,7 @@ pub fn paper_table1() -> Vec<CatalogRow> {
 }
 
 /// Scale knob for workload instantiation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadScale {
     /// `log2` vertex count for graph workloads.
     pub graph_scale: u32,

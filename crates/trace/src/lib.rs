@@ -27,6 +27,7 @@ mod layout;
 mod recorded;
 mod reuse;
 mod synth;
+mod wcache;
 mod workload;
 
 pub use catalog::{
@@ -42,4 +43,5 @@ pub use synth::{
     canneal, dedup, gups, hashjoin, mcf, omnetpp, xalancbmk, Pattern, SynthScale, SyntheticBuilder,
     SyntheticWorkload,
 };
+pub use wcache::{CacheStats, WorkloadCache, WorkloadKey};
 pub use workload::Workload;

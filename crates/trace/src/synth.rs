@@ -290,7 +290,7 @@ impl Iterator for SynthTrace<'_> {
 
 /// Scale knob for the synthetic presets: total accesses and footprints
 /// multiply with it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SynthScale {
     /// Footprint multiplier ×1 = test scale (tens of MiB).
     pub footprint_mul: u64,

@@ -1,0 +1,188 @@
+//! A process-wide workload cache: instantiate each evaluation workload
+//! once, share it across experiment drivers via [`Arc`].
+//!
+//! The repro harness runs a grid of cells — (figure × app × policy ×
+//! fragmentation × budget) — and before this cache existed every figure
+//! driver regenerated its workloads from scratch (`instantiate` is
+//! called per-figure per-app, and R-MAT generation plus DBG sorting
+//! dominate driver start-up). Workloads are immutable once built and
+//! their traces are pure functions of `self`, so one instance can feed
+//! any number of concurrent simulations.
+//!
+//! Keys are the full instantiation input `(AppId, Dataset,
+//! WorkloadScale, seed)` — two figures only share an instance when they
+//! would have generated bit-identical workloads anyway, which is what
+//! keeps cached and fresh runs byte-identical.
+
+use crate::catalog::{instantiate, AnyWorkload, AppId, Dataset, WorkloadScale};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+// Compile-time Send/Sync audit: every workload type that crosses the
+// harness's worker-pool boundary must be shareable. Workloads are plain
+// owned data (no interior mutability; traces borrow `&self` freshly per
+// run), so these bounds hold structurally — this pins them against
+// regressions.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnyWorkload>();
+    assert_send_sync::<crate::kernels::GraphWorkload>();
+    assert_send_sync::<crate::synth::SyntheticWorkload>();
+    assert_send_sync::<WorkloadCache>();
+};
+
+/// The full instantiation input of one workload — the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadKey {
+    /// The application.
+    pub app: AppId,
+    /// The graph dataset (ignored by `instantiate` for non-graph apps,
+    /// but kept in the key so lookups stay a pure function of inputs).
+    pub dataset: Dataset,
+    /// Instantiation scale.
+    pub scale: WorkloadScale,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Thread-safe, insert-only cache of instantiated workloads.
+///
+/// [`get`](Self::get) returns an `Arc` to the cached instance,
+/// instantiating it on first use. The map lock is held only around
+/// bookkeeping, not around workload generation — two threads racing on
+/// the same cold key may both build it, and the first to insert wins
+/// (both builds are bit-identical by determinism, so which one is kept
+/// is unobservable).
+#[derive(Debug, Default)]
+pub struct WorkloadCache {
+    map: Mutex<HashMap<WorkloadKey, Arc<AnyWorkload>>>,
+    stats: Mutex<CacheStats>,
+}
+
+/// Hit/miss counters of a [`WorkloadCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that instantiated a new workload.
+    pub misses: u64,
+}
+
+impl WorkloadCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the workload for `key`, instantiating and caching it on
+    /// first use.
+    pub fn get(&self, key: WorkloadKey) -> Arc<AnyWorkload> {
+        if let Some(w) = self.map.lock().unwrap().get(&key) {
+            self.stats.lock().unwrap().hits += 1;
+            return Arc::clone(w);
+        }
+        // Build outside the lock: generation can take seconds at bench
+        // scale and must not serialize unrelated lookups.
+        let built = Arc::new(instantiate(key.app, key.dataset, key.scale, key.seed));
+        let mut map = self.map.lock().unwrap();
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+        let shared = Arc::clone(entry);
+        drop(map);
+        self.stats.lock().unwrap().misses += 1;
+        shared
+    }
+
+    /// Convenience [`get`](Self::get) from loose parts.
+    pub fn get_parts(
+        &self,
+        app: AppId,
+        dataset: Dataset,
+        scale: WorkloadScale,
+        seed: u64,
+    ) -> Arc<AnyWorkload> {
+        self.get(WorkloadKey {
+            app,
+            dataset,
+            scale,
+            seed,
+        })
+    }
+
+    /// Distinct workloads currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn key(seed: u64) -> WorkloadKey {
+        WorkloadKey {
+            app: AppId::Bfs,
+            dataset: Dataset::Kronecker,
+            scale: WorkloadScale::TEST,
+            seed,
+        }
+    }
+
+    #[test]
+    fn second_lookup_shares_the_instance() {
+        let cache = WorkloadCache::new();
+        let a = cache.get(key(1));
+        let b = cache.get(key(1));
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one instance");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_keys_distinct_instances() {
+        let cache = WorkloadCache::new();
+        let a = cache.get(key(1));
+        let b = cache.get(key(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        let mut scale = WorkloadScale::TEST;
+        scale.dbg_sorted = true;
+        let c = cache.get(WorkloadKey { scale, ..key(1) });
+        assert!(!Arc::ptr_eq(&a, &c), "scale is part of the key");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn cached_trace_equals_fresh_instantiation() {
+        let cache = WorkloadCache::new();
+        let cached = cache.get(key(3));
+        let fresh = instantiate(AppId::Bfs, Dataset::Kronecker, WorkloadScale::TEST, 3);
+        assert_eq!(cached.name(), fresh.name());
+        assert_eq!(cached.footprint_bytes(), fresh.footprint_bytes());
+        let a: Vec<_> = cached.trace().take(50_000).collect();
+        let b: Vec<_> = fresh.trace().take(50_000).collect();
+        assert_eq!(a, b, "cache-served trace must equal a fresh one");
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_instance() {
+        let cache = WorkloadCache::new();
+        let arcs: Vec<Arc<AnyWorkload>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| cache.get(key(4)))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for w in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], w));
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

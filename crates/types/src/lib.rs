@@ -28,6 +28,7 @@ mod access;
 mod addr;
 mod config;
 mod error;
+mod seed;
 
 pub use access::{AccessKind, CoreId, MemoryAccess, ProcessId, ThreadId};
 pub use addr::{PageSize, Pfn, PhysAddr, Region, VirtAddr, Vpn};
@@ -36,6 +37,7 @@ pub use config::{
     TlbLevelConfig,
 };
 pub use error::{ConfigError, HpageError};
+pub use seed::derive_seed;
 
 /// Number of 4 KiB base pages inside one 2 MiB huge page (x86-64: 512).
 pub const BASE_PAGES_PER_2M: u64 = PageSize::Huge2M.bytes() / PageSize::Base4K.bytes();
