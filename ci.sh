@@ -20,6 +20,18 @@ echo "== chaos smoke: hpsim --faults examples/chaos.json --audit =="
 HPAGE_PROFILE=test ./target/release/hpsim --policy pcc \
     --faults examples/chaos.json --audit --quiet
 
+echo "== bench smoke: criterion hotpath suite vs committed baseline =="
+# Smoke mode: few samples, minutes -> seconds. Results go to a scratch
+# artifact (never clobber the committed full-mode BENCH_hotpath.json);
+# a >20% bfs18_e2e throughput drop vs the committed baseline prints a
+# non-blocking warning from the bench binary itself.
+# $PWD anchors: cargo runs bench binaries with CWD = the package dir.
+HPAGE_BENCH_SMOKE=1 \
+    HPAGE_BENCH_OUT="$PWD/BENCH_hotpath_smoke.json" \
+    HPAGE_BENCH_BASELINE="$PWD/BENCH_hotpath.json" \
+    cargo bench -q -p hpage-bench --bench hotpath
+test -s BENCH_hotpath_smoke.json
+
 echo "== repro smoke: parallel harness determinism (-j 2 vs -j 1) =="
 HPAGE_PROFILE=test ./target/release/repro --figure 7 --ablation \
     --jobs 2 --bench-out BENCH_repro.json --quiet > /tmp/repro_j2.txt

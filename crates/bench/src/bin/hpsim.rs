@@ -31,7 +31,8 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
              [--jobs N|-j N] [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE]
              [--trace-in FILE] [--trace-info FILE] [--events FILE] [--metrics FILE]
-             [--faults FILE] [--no-degrade] [--audit] [--quiet|-q] [--verbose|-v]
+             [--faults FILE] [--no-degrade] [--audit] [--throughput]
+             [--quiet|-q] [--verbose|-v]
 parallelism: --jobs 2+ runs the 4KB baseline concurrently with the
              instrumented run (default: available cores; the printed
              report is byte-identical at any N)
@@ -43,6 +44,8 @@ robustness:  --faults loads a JSON fault plan (OOM windows, fragmentation
              enables graceful degradation (--no-degrade opts out, for
              A/B runs); --audit cross-checks OS/TLB/PCC invariants every
              interval and exits 1 on any violation
+throughput:  --throughput times the instrumented run and appends a
+             simulator accesses/sec line (compare against BENCH_hotpath.json)
 verbosity:   --quiet prints the results table only; -v adds the per-interval series
 environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
 
@@ -90,6 +93,7 @@ struct Options {
     faults: Option<String>,
     no_degrade: bool,
     audit: bool,
+    throughput: bool,
     /// 0 = quiet (results table only), 1 = default, 2 = verbose.
     verbosity: u8,
 }
@@ -118,6 +122,7 @@ fn parse_args() -> Options {
         faults: None,
         no_degrade: false,
         audit: false,
+        throughput: false,
         verbosity: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -210,6 +215,7 @@ fn parse_args() -> Options {
             "--faults" => opts.faults = Some(value(&mut i)),
             "--no-degrade" => opts.no_degrade = true,
             "--audit" => opts.audit = true,
+            "--throughput" => opts.throughput = true,
             "--quiet" | "-q" => opts.verbosity = 0,
             "--verbose" | "-v" => opts.verbosity = 2,
             "--help" | "-h" => {
@@ -400,7 +406,8 @@ fn main() {
     let run_base = || base_sim.run(&spec());
     // The instrumented run streams the flight recorder when requested;
     // the baseline run is never recorded (it is only a speedup anchor).
-    let run_policy = || -> (SimReport, Option<(u64, Vec<(String, u64)>)>) {
+    let run_policy = || -> (SimReport, Option<(u64, Vec<(String, u64)>)>, std::time::Duration) {
+        let t0 = std::time::Instant::now();
         match &opts.events {
             Some(path) => {
                 let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
@@ -408,6 +415,7 @@ fn main() {
                 let report = sim
                     .try_run_recorded(&spec(), &mut sink)
                     .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
+                let wall = t0.elapsed();
                 let total = sink.total();
                 let counts = sink
                     .finish()
@@ -416,18 +424,19 @@ fn main() {
                     .into_iter()
                     .map(|(k, v)| (k.to_string(), v))
                     .collect();
-                (report, Some((total, counts)))
+                (report, Some((total, counts)), wall)
             }
-            None => (
-                sim.try_run(&spec())
-                    .unwrap_or_else(|e| fail(&format!("simulation failed: {e}"))),
-                None,
-            ),
+            None => {
+                let report = sim
+                    .try_run(&spec())
+                    .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
+                (report, None, t0.elapsed())
+            }
         }
     };
     // Both runs are deterministic in their configuration, so overlapping
     // them changes wall-clock only, never the printed report.
-    let (base, (report, event_counts)) = if opts.jobs > 1 {
+    let (base, (report, event_counts, policy_wall)) = if opts.jobs > 1 {
         std::thread::scope(|scope| {
             let baseline = scope.spawn(run_base);
             let policy_out = run_policy();
@@ -483,6 +492,20 @@ fn main() {
         fmt_speedup(report.speedup_over(&base, &timing)),
     ]);
     println!("{t}");
+
+    if opts.throughput {
+        // Simulator (host) throughput of the instrumented run, for
+        // comparison against the BENCH_hotpath.json trajectory. With
+        // --jobs 2+ the 4KB baseline runs concurrently and contends for
+        // the machine; use --jobs 1 for an uncontended measurement.
+        let secs = policy_wall.as_secs_f64().max(1e-9);
+        println!(
+            "throughput: {} accesses in {secs:.3} s = {:.0} accesses/sec ({})",
+            report.aggregate.accesses,
+            report.aggregate.accesses as f64 / secs,
+            report.policy
+        );
+    }
 
     if opts.verbosity >= 2 && !report.interval_series.is_empty() {
         let mut t = TextTable::new([

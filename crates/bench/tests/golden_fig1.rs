@@ -1,0 +1,33 @@
+//! Golden-fixture diff test for the hot-path hasher swap.
+//!
+//! `tests/golden/fig1_test.txt` was captured at the commit *before* the
+//! page-table maps moved from SipHash `HashMap` to the vendored
+//! [`FxHashMap`](hpage_types::FxHashMap) (and before the array-backed
+//! PMD/PTE levels, chunked trace generation, and derived TLB counters
+//! landed). Reproducing it byte-for-byte proves none of those changes
+//! leak into figure output: hashing and layout may only affect map
+//! iteration order, and every iteration that reaches an output must be
+//! sorted first.
+//!
+//! Regenerate (only after an *intentional* semantic change):
+//!
+//! ```text
+//! cargo run --release -p hpage-bench --bin repro -- --figure 1 -j 1
+//! ```
+//! with `HPAGE_PROFILE=test`, keeping everything up to (not including)
+//! the section separator blank line.
+
+use hpage_bench::render_fig1;
+use hpage_sim::{Harness, SimProfile};
+use hpage_trace::AppId;
+
+#[test]
+fn fig1_matches_committed_golden() {
+    let got = render_fig1(&Harness::sequential(), &SimProfile::test(), &AppId::ALL);
+    let want = include_str!("golden/fig1_test.txt");
+    assert!(
+        got == want,
+        "fig1 output drifted from the committed golden fixture\n\
+         --- expected ---\n{want}\n--- got ---\n{got}"
+    );
+}

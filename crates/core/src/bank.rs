@@ -7,7 +7,7 @@
 //! promotion engine consumes.
 
 use crate::cache::{Candidate, Pcc, PccEvent, ReplacementPolicy};
-use hpage_types::{CoreId, PageSize, PccConfig, Vpn};
+use hpage_types::{CoreId, FxHashMap, FxHashSet, PageSize, PccConfig, Vpn};
 
 /// A candidate tagged with the core whose PCC reported it, as seen by the
 /// OS when it aggregates multiple per-core PCC dumps.
@@ -106,43 +106,67 @@ impl PccBank {
 
     /// Aggregated dump of all PCCs in "highest frequency first" order — the
     /// OS view used by the highest-PCC-frequency promotion policy.
+    ///
+    /// A region tracked by several cores (each core's TLB misses feed its
+    /// own PCC) appears **once**, with the per-core frequencies summed and
+    /// the candidate attributed to the lowest-numbered tracking core.
+    /// Emitting one entry per core used to hand the promotion engine the
+    /// same region several times, wasting promotion-budget slots on
+    /// no-op repeat promotions and under-ranking regions whose heat is
+    /// spread across threads.
     pub fn dump_by_frequency(&self) -> Vec<CoreCandidate> {
-        let mut all: Vec<CoreCandidate> = self
-            .pccs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, pcc)| {
-                pcc.dump().into_iter().map(move |candidate| CoreCandidate {
-                    core: CoreId(i as u32),
-                    candidate,
-                })
-            })
-            .collect();
-        all.sort_by(|a, b| {
+        let mut merged: Vec<CoreCandidate> = Vec::new();
+        let mut slot_of_region: FxHashMap<u64, usize> = FxHashMap::default();
+        for (i, pcc) in self.pccs.iter().enumerate() {
+            for candidate in pcc.dump() {
+                match slot_of_region.entry(candidate.region.index()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let merged = &mut merged[*e.get()].candidate;
+                        merged.frequency = merged.frequency.saturating_add(candidate.frequency);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(merged.len());
+                        merged.push(CoreCandidate {
+                            core: CoreId(i as u32),
+                            candidate,
+                        });
+                    }
+                }
+            }
+        }
+        merged.sort_by(|a, b| {
             b.candidate
                 .frequency
                 .cmp(&a.candidate.frequency)
                 .then_with(|| a.core.0.cmp(&b.core.0))
                 .then_with(|| a.candidate.region.index().cmp(&b.candidate.region.index()))
         });
-        all
+        merged
     }
 
     /// Aggregated dump interleaving the per-core ranked lists round-robin
     /// (core 0's best, core 1's best, …, core 0's second, …) — the OS view
     /// used by the round-robin promotion policy, which distributes huge
     /// pages evenly across threads.
+    ///
+    /// A region tracked by several cores keeps only its **first**
+    /// occurrence in the interleaved order (it already got that core's
+    /// fair-share slot); repeats from later cores used to burn those
+    /// cores' slots on regions the engine had just promoted.
     pub fn dump_round_robin(&self) -> Vec<CoreCandidate> {
         let per_core: Vec<Vec<Candidate>> = self.pccs.iter().map(|p| p.dump()).collect();
         let longest = per_core.iter().map(Vec::len).max().unwrap_or(0);
         let mut out = Vec::new();
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
         for rank in 0..longest {
             for (i, list) in per_core.iter().enumerate() {
                 if let Some(c) = list.get(rank) {
-                    out.push(CoreCandidate {
-                        core: CoreId(i as u32),
-                        candidate: *c,
-                    });
+                    if seen.insert(c.region.index()) {
+                        out.push(CoreCandidate {
+                            core: CoreId(i as u32),
+                            candidate: *c,
+                        });
+                    }
                 }
             }
         }
@@ -246,6 +270,65 @@ mod tests {
         let rr = b.dump_round_robin();
         assert_eq!(rr.len(), 1);
         assert_eq!(rr[0].core, CoreId(0));
+    }
+
+    #[test]
+    fn frequency_dump_merges_regions_shared_across_cores() {
+        let mut b = bank(3);
+        // Region 5 is hot on every core (a shared heap in a fig-8 style
+        // multithreaded run): freq 2 on core 0, 3 on core 1, 1 on core 2.
+        for _ in 0..3 {
+            b.record_walk(CoreId(0), region(5), true);
+        }
+        for _ in 0..4 {
+            b.record_walk(CoreId(1), region(5), true);
+        }
+        for _ in 0..2 {
+            b.record_walk(CoreId(2), region(5), true);
+        }
+        // Region 9 is core-1-local with freq 4 — higher than any single
+        // core's view of region 5, lower than the merged view.
+        for _ in 0..5 {
+            b.record_walk(CoreId(1), region(9), true);
+        }
+        let dump = b.dump_by_frequency();
+        // One entry per region, not one per (core, region).
+        assert_eq!(dump.len(), 2);
+        // The shared region outranks the single-core one only because
+        // its per-core frequencies were summed: 2 + 3 + 1 = 6 > 4.
+        assert_eq!(dump[0].candidate.region, region(5));
+        assert_eq!(dump[0].candidate.frequency, 6);
+        // Attributed to the lowest-numbered core that tracks it.
+        assert_eq!(dump[0].core, CoreId(0));
+        assert_eq!(dump[1].candidate.region, region(9));
+        assert_eq!(dump[1].candidate.frequency, 4);
+    }
+
+    #[test]
+    fn round_robin_emits_shared_region_once() {
+        let mut b = bank(2);
+        // Both cores rank region 5 first; core 0 also tracks region 1,
+        // core 1 also tracks region 11.
+        for r in [5u64, 5, 5, 1] {
+            b.record_walk(CoreId(0), region(r), true);
+        }
+        for r in [5u64, 5, 11] {
+            b.record_walk(CoreId(1), region(r), true);
+        }
+        let rr = b.dump_round_robin();
+        let regions: Vec<u64> = rr.iter().map(|c| c.candidate.region.index()).collect();
+        // Core 1's duplicate of region 5 is dropped; its slot is not
+        // wasted on a region already first in line.
+        assert_eq!(
+            regions.iter().filter(|&&r| r == region(5).index()).count(),
+            1
+        );
+        assert_eq!(rr[0].candidate.region, region(5));
+        assert_eq!(rr[0].core, CoreId(0));
+        // Every tracked region still appears exactly once.
+        let mut sorted = regions.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 5, 11]);
     }
 
     #[test]

@@ -3,8 +3,7 @@
 
 use crate::physmem::PhysicalMemory;
 use hpage_tlb::{PageTable, Translation};
-use hpage_types::{HpageError, PageSize, ProcessId, VirtAddr, Vpn};
-use std::collections::HashMap;
+use hpage_types::{FxHashMap, HpageError, PageSize, ProcessId, VirtAddr, Vpn};
 
 /// How a page fault was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +71,7 @@ pub struct AddressSpace {
     page_table: PageTable,
     /// 2 MiB regions promoted by the OS (vs. faulted-in huge), with the
     /// record the OS keeps to drive demotion decisions.
-    promoted: HashMap<u64, PromotionRecord>,
+    promoted: FxHashMap<u64, PromotionRecord>,
     stats: AddressSpaceStats,
 }
 
@@ -82,7 +81,7 @@ impl AddressSpace {
         AddressSpace {
             pid,
             page_table: PageTable::new(),
-            promoted: HashMap::new(),
+            promoted: FxHashMap::default(),
             stats: AddressSpaceStats::default(),
         }
     }

@@ -11,10 +11,9 @@ use crate::addrspace::{AddressSpace, PromotionOutcome};
 use crate::physmem::PhysicalMemory;
 use hpage_pcc::{CoreCandidate, PccBank};
 use hpage_types::{
-    ConfigError, CoreId, HpageError, PageSize, ProcessId, PromotionPolicyKind, Vpn,
+    ConfigError, CoreId, FxHashMap, HpageError, PageSize, ProcessId, PromotionPolicyKind, Vpn,
     BASE_PAGES_PER_2M,
 };
-use std::collections::HashMap;
 
 /// Shared OS state: physical memory, every process's address space, and
 /// the core-to-process placement.
@@ -325,7 +324,7 @@ pub struct LinuxThpPolicy {
     /// i.e. one mapped page suffices, the paper's "greedy" behaviour).
     max_ptes_none: u64,
     /// Per-process scan rotor (region index to resume from).
-    rotors: HashMap<usize, u64>,
+    rotors: FxHashMap<usize, u64>,
 }
 
 impl LinuxThpPolicy {
@@ -335,7 +334,7 @@ impl LinuxThpPolicy {
         LinuxThpPolicy {
             pages_per_scan: 4096,
             max_ptes_none: 511,
-            rotors: HashMap::new(),
+            rotors: FxHashMap::default(),
         }
     }
 
@@ -443,7 +442,7 @@ pub struct HawkEyePolicy {
     promotions_per_interval: u64,
     /// buckets[b] holds (process, region) with coverage bucket b.
     buckets: Vec<Vec<(usize, Vpn)>>,
-    rotors: HashMap<usize, u64>,
+    rotors: FxHashMap<usize, u64>,
 }
 
 impl HawkEyePolicy {
@@ -454,7 +453,7 @@ impl HawkEyePolicy {
             pages_per_scan: 4096,
             promotions_per_interval: 8,
             buckets: vec![Vec::new(); 10],
-            rotors: HashMap::new(),
+            rotors: FxHashMap::default(),
         }
     }
 
@@ -577,13 +576,13 @@ pub struct PccPolicy {
     /// keyed by (process, region index). A region must stay cold for
     /// [`Self::COLD_STREAK`] intervals before it may be demoted, which
     /// prevents promote/demote thrash.
-    cold_streaks: HashMap<(usize, u64), u32>,
+    cold_streaks: FxHashMap<(usize, u64), u32>,
     /// Degradation mode ([`DegradationConfig`]); `None` keeps the
     /// paper-faithful retry-every-interval behaviour.
     degradation: Option<DegradationConfig>,
     /// Exponential-backoff state per failed region:
     /// `(process, region index) -> (consecutive failures, retry_at)`.
-    backoff: HashMap<(usize, u64), (u32, u64)>,
+    backoff: FxHashMap<(usize, u64), (u32, u64)>,
     /// Whether the pressure detector is currently on.
     in_pressure: bool,
     /// Bloat observed at the last interval (for the rising-bloat test).
@@ -599,9 +598,9 @@ impl PccPolicy {
             regions_to_promote,
             bias: Vec::new(),
             demotion: false,
-            cold_streaks: HashMap::new(),
+            cold_streaks: FxHashMap::default(),
             degradation: None,
-            backoff: HashMap::new(),
+            backoff: FxHashMap::default(),
             in_pressure: false,
             last_bloat: 0,
         }
@@ -1151,6 +1150,43 @@ mod tests {
         // Promotion invalidated the candidate from the PCC.
         assert_eq!(bank.pcc(CoreId(0)).frequency_of(region(8)), None);
         assert!(bank.pcc(CoreId(0)).frequency_of(region(3)).is_some());
+    }
+
+    #[test]
+    fn pcc_policy_ranks_region_shared_across_threads_by_summed_frequency() {
+        // Fig. 8 setup in miniature: one multithreaded process on two
+        // cores. A shared heap region is walked from both cores (its
+        // frequency split 3 + 3 across their PCCs); a thread-local region
+        // on core 0 reaches frequency 4. With one promotion per interval,
+        // the shared region must win: its aggregate heat (6) exceeds the
+        // local region's (4), even though each per-core view alone
+        // (3 < 4) would lose. Per-core dump entries used to compete
+        // unmerged, promoting the colder local region first.
+        let mut os = OsState::new(PhysicalMemory::new(32 * MB2), 1, vec![0, 0]).unwrap();
+        fault_pages(&mut os, 0, region(5), 4);
+        fault_pages(&mut os, 0, region(9), 4);
+        let mut bank = PccBank::new(2, PccConfig::paper_2m().with_entries(16), PageSize::Huge2M);
+        for _ in 0..4 {
+            bank.record_walk(CoreId(0), region(5), true);
+        }
+        for _ in 0..4 {
+            bank.record_walk(CoreId(1), region(5), true);
+        }
+        for _ in 0..5 {
+            bank.record_walk(CoreId(0), region(9), true);
+        }
+        assert_eq!(bank.pcc(CoreId(0)).frequency_of(region(5)), Some(3));
+        assert_eq!(bank.pcc(CoreId(1)).frequency_of(region(5)), Some(3));
+        assert_eq!(bank.pcc(CoreId(0)).frequency_of(region(9)), Some(4));
+        let mut p = PccPolicy::new(PromotionPolicyKind::HighestFrequency, 1);
+        let rep = p.run_interval(
+            &mut os,
+            Some(&mut bank),
+            7,
+            &mut PromotionBudget::UNLIMITED.clone(),
+        );
+        assert_eq!(rep.promotions.len(), 1);
+        assert_eq!(rep.promotions[0].1.region, region(5));
     }
 
     #[test]

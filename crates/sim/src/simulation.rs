@@ -17,7 +17,7 @@ use hpage_os::{
 use hpage_pcc::{Candidate, PccBank, PccEvent, ReplacementPolicy};
 use hpage_perf::RunCounters;
 use hpage_tlb::{PageWalkCache, TlbHierarchy, TlbOutcome};
-use hpage_trace::Workload;
+use hpage_trace::{TraceStream, Workload};
 use hpage_types::{
     CoreId, HpageError, PageSize, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig,
 };
@@ -547,17 +547,18 @@ impl Simulation {
         let mut caches: Option<CacheHierarchy> =
             self.cache.map(|c| CacheHierarchy::new(c, total_cores));
 
-        // Per-core trace iterators.
-        let mut traces: Vec<Box<dyn Iterator<Item = hpage_types::MemoryAccess> + '_>> = Vec::new();
+        // Per-core trace streams. Chunked `fill` amortises the dynamic
+        // dispatch of the boxed generator to once per CHUNK accesses;
+        // the per-access loop below then iterates a plain slice.
+        let mut traces: Vec<Box<dyn TraceStream + '_>> = Vec::new();
         for spec in processes {
             for t in 0..spec.threads {
-                let iter = spec.workload.thread_trace(t, spec.threads);
-                traces.push(match self.max_accesses_per_core {
-                    Some(n) => Box::new(iter.take(n as usize)),
-                    None => iter,
-                });
+                traces.push(spec.workload.thread_stream(t, spec.threads));
             }
         }
+        let mut remaining: Vec<u64> =
+            vec![self.max_accesses_per_core.unwrap_or(u64::MAX); total_cores as usize];
+        let mut chunk_buf: Vec<hpage_types::MemoryAccess> = Vec::with_capacity(CHUNK as usize);
 
         let mut per_core = vec![RunCounters::default(); total_cores as usize];
         let mut per_process = vec![RunCounters::default(); processes.len()];
@@ -589,18 +590,24 @@ impl Simulation {
                     continue;
                 }
                 let pid = core_process[core];
-                for _ in 0..CHUNK {
-                    let Some(access) = traces[core].next() else {
-                        live[core] = false;
-                        live_count -= 1;
-                        break;
-                    };
+                let want = (u64::from(CHUNK)).min(remaining[core]) as usize;
+                chunk_buf.clear();
+                let got = traces[core].fill(&mut chunk_buf, want);
+                remaining[core] -= got as u64;
+                if got < want || remaining[core] == 0 {
+                    live[core] = false;
+                    live_count -= 1;
+                }
+                // accesses / l1_hits / l2_hits / walks are derived from
+                // the hierarchy's own stats delta after the chunk — the
+                // TLB already counts them, so the per-access loop doesn't
+                // have to count them again.
+                let tlb = &mut tlbs[core];
+                let stats_before = tlb.stats();
+                for &access in chunk_buf.iter() {
                     total_accesses += 1;
-                    let counters = &mut per_core[core];
-                    counters.accesses += 1;
-                    let data_translation = match tlbs[core].lookup(access.addr) {
+                    let data_translation = match tlb.lookup(access.addr) {
                         TlbOutcome::L1Hit(t) => {
-                            counters.l1_hits += 1;
                             recorder.record(
                                 total_accesses,
                                 Event::TlbHit {
@@ -612,7 +619,6 @@ impl Simulation {
                             Some(t)
                         }
                         TlbOutcome::L2Hit(t) => {
-                            counters.l2_hits += 1;
                             recorder.record(
                                 total_accesses,
                                 Event::TlbHit {
@@ -653,12 +659,11 @@ impl Simulation {
                                     space.page_table_mut().walk(access.addr)?
                                 }
                             };
-                            counters.walks += 1;
                             let effective_levels = match pwcs.as_mut() {
                                 Some(pwcs) => pwcs[core].walk(access.addr, walk.levels_referenced),
                                 None => walk.levels_referenced,
                             };
-                            counters.walk_levels += u64::from(effective_levels);
+                            per_core[core].walk_levels += u64::from(effective_levels);
                             recorder.record(
                                 total_accesses,
                                 Event::Walk {
@@ -669,7 +674,7 @@ impl Simulation {
                                     a_bit_was_set: walk.pmd_accessed_before,
                                 },
                             );
-                            let l2_victim = tlbs[core].fill(walk.translation);
+                            let l2_victim = tlb.fill(walk.translation);
                             if let Some(bank) = bank.as_mut() {
                                 match victim_entries {
                                     None => {
@@ -725,6 +730,12 @@ impl Simulation {
                         }
                     }
                 }
+                let stats_after = tlb.stats();
+                let counters = &mut per_core[core];
+                counters.accesses += stats_after.accesses - stats_before.accesses;
+                counters.l1_hits += stats_after.l1_hits - stats_before.l1_hits;
+                counters.l2_hits += stats_after.l2_hits - stats_before.l2_hits;
+                counters.walks += stats_after.walks - stats_before.walks;
             }
 
             // Promotion interval(s) elapsed?

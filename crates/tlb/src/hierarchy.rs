@@ -75,7 +75,14 @@ pub struct TlbHierarchy {
     l1_2m: SetAssocTlb,
     l1_1g: SetAssocTlb,
     l2: SetAssocTlb,
-    stats: TlbHierarchyStats,
+    /// Full-hierarchy misses. Hits are *not* counted here — each level
+    /// already counts its own, and [`stats`](Self::stats) assembles the
+    /// aggregate view on demand, keeping the L1-hit fast path free of
+    /// redundant counter traffic.
+    walks: u64,
+    /// L2 hits by page size (the unified L2's own counter cannot
+    /// attribute sizes).
+    l2_hits_by_size: [u64; 3],
 }
 
 impl TlbHierarchy {
@@ -91,7 +98,8 @@ impl TlbHierarchy {
             l1_1g: SetAssocTlb::new(config.l1_1g),
             l2: SetAssocTlb::new(config.l2),
             config,
-            stats: TlbHierarchyStats::default(),
+            walks: 0,
+            l2_hits_by_size: [0; 3],
         }
     }
 
@@ -100,11 +108,28 @@ impl TlbHierarchy {
         &self.config
     }
 
-    /// Aggregate statistics.
-    pub fn stats(&self) -> &TlbHierarchyStats {
-        &self.stats
+    /// Aggregate statistics, assembled from the per-level counters (the
+    /// levels count their own hits; only walks and the L2 size breakdown
+    /// live here).
+    pub fn stats(&self) -> TlbHierarchyStats {
+        let l1_hits_by_size = [
+            self.l1_4k.stats().hits,
+            self.l1_2m.stats().hits,
+            self.l1_1g.stats().hits,
+        ];
+        let l1_hits = l1_hits_by_size.iter().sum::<u64>();
+        let l2_hits = self.l2.stats().hits;
+        TlbHierarchyStats {
+            accesses: l1_hits + l2_hits + self.walks,
+            l1_hits,
+            l2_hits,
+            walks: self.walks,
+            l1_hits_by_size,
+            l2_hits_by_size: self.l2_hits_by_size,
+        }
     }
 
+    #[inline(always)]
     fn l1_for(&mut self, size: PageSize) -> &mut SetAssocTlb {
         match size {
             PageSize::Base4K => &mut self.l1_4k,
@@ -116,16 +141,16 @@ impl TlbHierarchy {
     /// Looks up `va`. On an L2 hit the entry is promoted into the L1 of
     /// its size. On [`TlbOutcome::Miss`] the caller must walk the page
     /// table and call [`fill`](Self::fill) with the result.
+    #[inline]
     pub fn lookup(&mut self, va: VirtAddr) -> TlbOutcome {
-        self.stats.accesses += 1;
         // Probe the split L1s: an address can only be resident at the page
         // size it is currently mapped with, so probe all three.
-        for (i, size) in PageSize::ALL.into_iter().enumerate() {
+        for size in PageSize::ALL {
             let vpn = va.vpn(size);
-            if let Some(t) = self.l1_for(size).probe(vpn) {
-                self.l1_for(size).lookup(vpn); // refresh recency + stats
-                self.stats.l1_hits += 1;
-                self.stats.l1_hits_by_size[i] += 1;
+            // `touch` is probe + recency refresh in one set scan; a miss
+            // leaves the level's clock and stats untouched, like `probe`.
+            // The level's own hit counter is the hierarchy's l1 stat.
+            if let Some(t) = self.l1_for(size).touch(vpn) {
                 return TlbOutcome::L1Hit(t);
             }
         }
@@ -136,16 +161,14 @@ impl TlbHierarchy {
         }
         for &size in l2_sizes {
             let vpn = va.vpn(size);
-            if let Some(t) = self.l2.probe(vpn) {
-                self.l2.lookup(vpn);
-                self.stats.l2_hits += 1;
-                self.stats.l2_hits_by_size[size as usize] += 1;
+            if let Some(t) = self.l2.touch(vpn) {
+                self.l2_hits_by_size[size as usize] += 1;
                 // Promote into the L1 for this size.
                 self.l1_for(size).insert(t);
                 return TlbOutcome::L2Hit(t);
             }
         }
-        self.stats.walks += 1;
+        self.walks += 1;
         TlbOutcome::Miss
     }
 

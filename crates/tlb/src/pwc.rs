@@ -157,22 +157,27 @@ impl PageWalkCache {
 
         // Deepest hit wins; structure levels above the hit are not
         // referenced, so their cache arrays are left untouched. The walk
-        // installs every non-leaf entry it actually traverses (a PDE is
-        // only a non-leaf on 4 KiB-leaf walks).
+        // installs every non-leaf entry it actually traverses: a PDE is
+        // only a non-leaf on 4 KiB-leaf walks, and a PDPTE is only a
+        // non-leaf when the leaf sits below it (3+ levels) — a 1 GiB-leaf
+        // walk's PDPTE is the translation itself and paging-structure
+        // caches never hold leaves.
         let referenced;
         if leaf_levels == 4 && Self::probe(&mut self.pde, tag_2m, self.clock) {
             referenced = 1; // just the leaf PTE
             self.stats.pde_hits += 1;
-        } else if Self::probe(&mut self.pdpte, tag_1g, self.clock) {
-            referenced = leaf_levels.saturating_sub(2).max(1);
+        } else if leaf_levels >= 3 && Self::probe(&mut self.pdpte, tag_1g, self.clock) {
+            referenced = leaf_levels - 2;
             self.stats.pdpte_hits += 1;
             if leaf_levels == 4 {
                 Self::install(&mut self.pde, self.pde_capacity, tag_2m, self.clock);
             }
         } else if Self::probe(&mut self.pml4e, tag_512g, self.clock) {
-            referenced = leaf_levels.saturating_sub(1).max(1);
+            referenced = leaf_levels - 1;
             self.stats.pml4e_hits += 1;
-            Self::install(&mut self.pdpte, self.pdpte_capacity, tag_1g, self.clock);
+            if leaf_levels >= 3 {
+                Self::install(&mut self.pdpte, self.pdpte_capacity, tag_1g, self.clock);
+            }
             if leaf_levels == 4 {
                 Self::install(&mut self.pde, self.pde_capacity, tag_2m, self.clock);
             }
@@ -180,7 +185,9 @@ impl PageWalkCache {
             referenced = leaf_levels;
             self.stats.misses += 1;
             Self::install(&mut self.pml4e, self.pml4e_capacity, tag_512g, self.clock);
-            Self::install(&mut self.pdpte, self.pdpte_capacity, tag_1g, self.clock);
+            if leaf_levels >= 3 {
+                Self::install(&mut self.pdpte, self.pdpte_capacity, tag_1g, self.clock);
+            }
             if leaf_levels == 4 {
                 Self::install(&mut self.pde, self.pde_capacity, tag_2m, self.clock);
             }
@@ -269,6 +276,20 @@ mod tests {
         // A *different* 2MB page in region 0 must pay the PML4E-only
         // path (PDE and PDPTE both miss).
         assert_eq!(pwc.walk(VirtAddr::new(0x40_0000), 4), 3);
+    }
+
+    #[test]
+    fn huge_1g_leaf_does_not_seed_structure_cache() {
+        // A 1 GiB-leaf walk's PDPTE *is* the translation, not a pointer
+        // to a lower table; paging-structure caches never hold leaves.
+        let mut pwc = PageWalkCache::typical();
+        assert_eq!(pwc.walk(VirtAddr::new(0x4000_0000), 2), 2);
+        // A later 4 KiB-leaf walk in the same 1 GiB region must pay the
+        // PML4E-hit path (3 references), not a bogus PDPTE hit seeded by
+        // the huge leaf above it.
+        assert_eq!(pwc.walk(VirtAddr::new(0x4000_1000), 4), 3);
+        assert_eq!(pwc.stats().pml4e_hits, 1);
+        assert_eq!(pwc.stats().pdpte_hits, 0);
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! walker sets at the PUD (1 GiB) and PMD (2 MiB) levels — the bits the
 //! PCC's cold-miss filter reads (steps 3 and 6 of the paper's Fig. 3).
 
-use hpage_types::{HpageError, PageSize, Pfn, VirtAddr, Vpn};
-use std::collections::HashMap;
+use hpage_types::{FxHashMap, HpageError, PageSize, Pfn, VirtAddr, Vpn};
 
 /// A resolved virtual-to-physical translation at the mapped page size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,8 +51,81 @@ struct PudEntry {
 enum PudKind {
     /// 1 GiB leaf mapping.
     Huge1G(Pfn),
-    /// Points to a PMD table; keys are global 2 MiB region indices.
-    Table(HashMap<u64, PmdEntry>),
+    /// Points to a table of the 512 PMDs covering this 1 GiB region.
+    Table(PmdDir),
+}
+
+/// The 512-entry PMD directory of one PUD: a real page table is an
+/// array indexed by 9 address bits, and modeling it as one keeps the
+/// per-walk level references O(1) with no hashing — the hardware-walk
+/// hot path the simulator spends most of its time in.
+#[derive(Debug, Clone)]
+struct PmdDir {
+    slots: Box<[Option<PmdEntry>]>,
+    live: u32,
+}
+
+impl PmdDir {
+    fn new() -> Self {
+        PmdDir {
+            slots: vec![None; ENTRIES_PER_TABLE].into_boxed_slice(),
+            live: 0,
+        }
+    }
+
+    /// Slot for a *global* 2 MiB region index (low 9 bits).
+    fn slot_of(idx: u64) -> usize {
+        (idx & (ENTRIES_PER_TABLE as u64 - 1)) as usize
+    }
+
+    fn get(&self, idx: u64) -> Option<&PmdEntry> {
+        self.slots[Self::slot_of(idx)].as_ref()
+    }
+
+    fn get_mut(&mut self, idx: u64) -> Option<&mut PmdEntry> {
+        self.slots[Self::slot_of(idx)].as_mut()
+    }
+
+    fn insert(&mut self, idx: u64, entry: PmdEntry) -> Option<PmdEntry> {
+        let old = self.slots[Self::slot_of(idx)].replace(entry);
+        if old.is_none() {
+            self.live += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, idx: u64) -> Option<PmdEntry> {
+        let old = self.slots[Self::slot_of(idx)].take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    fn or_insert_with(&mut self, idx: u64, default: impl FnOnce() -> PmdEntry) -> &mut PmdEntry {
+        let slot = &mut self.slots[Self::slot_of(idx)];
+        if slot.is_none() {
+            *slot = Some(default());
+            self.live += 1;
+        }
+        slot.as_mut().expect("just filled")
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn values(&self) -> impl Iterator<Item = &PmdEntry> {
+        self.slots.iter().flatten()
+    }
+
+    /// Present entries as (local slot, entry) pairs, ascending.
+    fn entries(&self) -> impl Iterator<Item = (usize, &PmdEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -66,8 +138,72 @@ struct PmdEntry {
 enum PmdKind {
     /// 2 MiB leaf mapping.
     Huge2M(Pfn),
-    /// Points to a PTE table; keys are global 4 KiB page indices.
-    Table(HashMap<u64, PteEntry>),
+    /// Points to the 512-entry PTE table of this 2 MiB region.
+    Table(PteTable),
+}
+
+/// Entries per page-table level on x86-64 (9 index bits).
+const ENTRIES_PER_TABLE: usize = 512;
+
+/// The 512-entry PTE table of one PMD, indexed by the low 9 bits of
+/// the global 4 KiB page index.
+#[derive(Debug, Clone)]
+struct PteTable {
+    slots: Box<[Option<PteEntry>; ENTRIES_PER_TABLE]>,
+    live: u32,
+}
+
+impl PteTable {
+    fn new() -> Self {
+        PteTable {
+            slots: Box::new([None; ENTRIES_PER_TABLE]),
+            live: 0,
+        }
+    }
+
+    fn slot_of(idx: u64) -> usize {
+        (idx & (ENTRIES_PER_TABLE as u64 - 1)) as usize
+    }
+
+    fn get_mut(&mut self, idx: u64) -> Option<&mut PteEntry> {
+        self.slots[Self::slot_of(idx)].as_mut()
+    }
+
+    fn get(&self, idx: u64) -> Option<&PteEntry> {
+        self.slots[Self::slot_of(idx)].as_ref()
+    }
+
+    fn insert(&mut self, idx: u64, entry: PteEntry) -> Option<PteEntry> {
+        let old = self.slots[Self::slot_of(idx)].replace(entry);
+        if old.is_none() {
+            self.live += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, idx: u64) -> Option<PteEntry> {
+        let old = self.slots[Self::slot_of(idx)].take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    fn len(&self) -> usize {
+        self.live as usize
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn values(&self) -> impl Iterator<Item = &PteEntry> {
+        self.slots.iter().flatten()
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut PteEntry> {
+        self.slots.iter_mut().flatten()
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -85,7 +221,7 @@ struct PteEntry {
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
     /// Keys are global 1 GiB region indices.
-    puds: HashMap<u64, PudEntry>,
+    puds: FxHashMap<u64, PudEntry>,
     walks: u64,
 }
 
@@ -135,7 +271,7 @@ impl PageTable {
             }
             PageSize::Huge2M => {
                 let pud = self.pud_table(pud_idx)?;
-                if pud.contains_key(&vpn.index()) {
+                if pud.get(vpn.index()).is_some() {
                     return Err(HpageError::InvalidRemap {
                         reason: format!("{vpn} overlaps existing base mappings"),
                     });
@@ -151,9 +287,9 @@ impl PageTable {
             PageSize::Base4K => {
                 let pmd_idx = vpn.containing(PageSize::Huge2M).index();
                 let pud = self.pud_table(pud_idx)?;
-                let pmd = pud.entry(pmd_idx).or_insert_with(|| PmdEntry {
+                let pmd = pud.or_insert_with(pmd_idx, || PmdEntry {
                     accessed: false,
-                    kind: PmdKind::Table(HashMap::new()),
+                    kind: PmdKind::Table(PteTable::new()),
                 });
                 match &mut pmd.kind {
                     PmdKind::Table(ptes) => {
@@ -176,10 +312,10 @@ impl PageTable {
         Ok(())
     }
 
-    fn pud_table(&mut self, pud_idx: u64) -> Result<&mut HashMap<u64, PmdEntry>, HpageError> {
+    fn pud_table(&mut self, pud_idx: u64) -> Result<&mut PmdDir, HpageError> {
         let pud = self.puds.entry(pud_idx).or_insert_with(|| PudEntry {
             accessed: false,
-            kind: PudKind::Table(HashMap::new()),
+            kind: PudKind::Table(PmdDir::new()),
         });
         match &mut pud.kind {
             PudKind::Table(t) => Ok(t),
@@ -218,7 +354,7 @@ impl PageTable {
                 let PudKind::Table(pmds) = &mut pud.kind else {
                     return Err(err());
                 };
-                match pmds.remove(&vpn.index()) {
+                match pmds.remove(vpn.index()) {
                     Some(PmdEntry {
                         kind: PmdKind::Huge2M(pfn),
                         ..
@@ -236,11 +372,11 @@ impl PageTable {
                 let PudKind::Table(pmds) = &mut pud.kind else {
                     return Err(err());
                 };
-                let pmd = pmds.get_mut(&pmd_idx).ok_or_else(err)?;
+                let pmd = pmds.get_mut(pmd_idx).ok_or_else(err)?;
                 let PmdKind::Table(ptes) = &mut pmd.kind else {
                     return Err(err());
                 };
-                ptes.remove(&vpn.index()).map(|p| p.pfn).ok_or_else(err)
+                ptes.remove(vpn.index()).map(|p| p.pfn).ok_or_else(err)
             }
         }
     }
@@ -257,7 +393,7 @@ impl PageTable {
             }),
             PudKind::Table(pmds) => {
                 let pmd_idx = va.vpn(PageSize::Huge2M).index();
-                let pmd = pmds.get(&pmd_idx)?;
+                let pmd = pmds.get(pmd_idx)?;
                 match &pmd.kind {
                     PmdKind::Huge2M(pfn) => Some(Translation {
                         vpn: va.vpn(PageSize::Huge2M),
@@ -265,7 +401,7 @@ impl PageTable {
                     }),
                     PmdKind::Table(ptes) => {
                         let pte_idx = va.vpn(PageSize::Base4K).index();
-                        ptes.get(&pte_idx).map(|pte| Translation {
+                        ptes.get(pte_idx).map(|pte| Translation {
                             vpn: va.vpn(PageSize::Base4K),
                             pfn: pte.pfn,
                         })
@@ -311,7 +447,7 @@ impl PageTable {
             }
             PudKind::Table(pmds) => {
                 let pmd_idx = va.vpn(PageSize::Huge2M).index();
-                let pmd = pmds.get_mut(&pmd_idx).ok_or_else(err)?;
+                let pmd = pmds.get_mut(pmd_idx).ok_or_else(err)?;
                 let pmd_accessed_before = pmd.accessed;
                 let result = match &mut pmd.kind {
                     PmdKind::Huge2M(pfn) => WalkResult {
@@ -325,7 +461,7 @@ impl PageTable {
                     },
                     PmdKind::Table(ptes) => {
                         let pte_idx = va.vpn(PageSize::Base4K).index();
-                        let pte = ptes.get_mut(&pte_idx).ok_or_else(err)?;
+                        let pte = ptes.get_mut(pte_idx).ok_or_else(err)?;
                         pte.accessed = true;
                         WalkResult {
                             translation: Translation {
@@ -370,7 +506,7 @@ impl PageTable {
                 reason: "region lies inside a 1GB mapping".into(),
             });
         };
-        let pmd = pmds.get_mut(&region.index()).ok_or(HpageError::Unmapped {
+        let pmd = pmds.get_mut(region.index()).ok_or(HpageError::Unmapped {
             addr: region.base().raw(),
         })?;
         match &mut pmd.kind {
@@ -474,7 +610,7 @@ impl PageTable {
                 reason: "region lies inside a 1GB mapping".into(),
             });
         };
-        let pmd = pmds.get_mut(&region.index()).ok_or(HpageError::Unmapped {
+        let pmd = pmds.get_mut(region.index()).ok_or(HpageError::Unmapped {
             addr: region.base().raw(),
         })?;
         let PmdKind::Huge2M(huge_pfn) = pmd.kind else {
@@ -482,19 +618,16 @@ impl PageTable {
                 addr: region.base().raw(),
             });
         };
-        let ptes: HashMap<u64, PteEntry> = region
-            .split(PageSize::Base4K)
-            .zip(base_pfns.iter())
-            .map(|(vpn, pfn)| {
-                (
-                    vpn.index(),
-                    PteEntry {
-                        accessed: false,
-                        pfn: *pfn,
-                    },
-                )
-            })
-            .collect();
+        let mut ptes = PteTable::new();
+        for (vpn, pfn) in region.split(PageSize::Base4K).zip(base_pfns.iter()) {
+            ptes.insert(
+                vpn.index(),
+                PteEntry {
+                    accessed: false,
+                    pfn: *pfn,
+                },
+            );
+        }
         pmd.kind = PmdKind::Table(ptes);
         pmd.accessed = false;
         Ok(huge_pfn)
@@ -508,7 +641,7 @@ impl PageTable {
         let pud_idx = region.containing(PageSize::Huge1G).index();
         match self.puds.get(&pud_idx).map(|p| &p.kind) {
             Some(PudKind::Huge1G(_)) => 512,
-            Some(PudKind::Table(pmds)) => match pmds.get(&region.index()).map(|p| &p.kind) {
+            Some(PudKind::Table(pmds)) => match pmds.get(region.index()).map(|p| &p.kind) {
                 Some(PmdKind::Huge2M(_)) => 512,
                 Some(PmdKind::Table(ptes)) => ptes.len() as u64,
                 None => 0,
@@ -524,11 +657,11 @@ impl PageTable {
         let pud_idx = region.containing(PageSize::Huge1G).index();
         match self.puds.get(&pud_idx).map(|p| &p.kind) {
             Some(PudKind::Huge1G(_)) => 512,
-            Some(PudKind::Table(pmds)) => match pmds.get(&region.index()).map(|p| &p.kind) {
+            Some(PudKind::Table(pmds)) => match pmds.get(region.index()).map(|p| &p.kind) {
                 Some(PmdKind::Huge2M(e)) => {
                     let _ = e;
                     // For a huge leaf, coverage is its own A-bit times 512.
-                    if pmds.get(&region.index()).map(|p| p.accessed) == Some(true) {
+                    if pmds.get(region.index()).map(|p| p.accessed) == Some(true) {
                         512
                     } else {
                         0
@@ -548,7 +681,7 @@ impl PageTable {
         let pud_idx = region.containing(PageSize::Huge1G).index();
         if let Some(pud) = self.puds.get_mut(&pud_idx) {
             if let PudKind::Table(pmds) = &mut pud.kind {
-                if let Some(pmd) = pmds.get_mut(&region.index()) {
+                if let Some(pmd) = pmds.get_mut(region.index()) {
                     pmd.accessed = false;
                     if let PmdKind::Table(ptes) = &mut pmd.kind {
                         for pte in ptes.values_mut() {
@@ -571,7 +704,11 @@ impl PageTable {
                     regions.extend(Vpn::new(*pud_idx, PageSize::Huge1G).split(PageSize::Huge2M));
                 }
                 PudKind::Table(pmds) => {
-                    regions.extend(pmds.keys().map(|i| Vpn::new(*i, PageSize::Huge2M)));
+                    regions.extend(
+                        pmds.entries().map(|(slot, _)| {
+                            Vpn::new(pud_idx * 512 + slot as u64, PageSize::Huge2M)
+                        }),
+                    );
                 }
             }
         }

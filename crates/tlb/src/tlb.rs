@@ -1,7 +1,7 @@
 //! A set-associative TLB with LRU replacement.
 
 use crate::table::Translation;
-use hpage_types::{PageSize, TlbLevelConfig, VirtAddr, Vpn};
+use hpage_types::{PageSize, Pfn, TlbLevelConfig, VirtAddr, Vpn};
 
 /// Hit/miss counters for one TLB structure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,6 +36,11 @@ impl TlbStats {
 struct Slot {
     translation: Translation,
     last_used: u64,
+    /// Monotonic insertion sequence number, stable across refreshes.
+    /// LRU ties on `last_used` are broken by evicting the smallest
+    /// `seq` (earliest-inserted) — never by slot position, which
+    /// removal perturbs.
+    seq: u64,
 }
 
 /// One set-associative translation lookaside buffer.
@@ -46,11 +51,52 @@ struct Slot {
 /// index and size to agree.
 #[derive(Debug, Clone)]
 pub struct SetAssocTlb {
-    sets: Vec<Vec<Slot>>,
+    /// All slots in one contiguous slab, `ways` per set: set `s`
+    /// occupies `slots[s * ways .. s * ways + lens[s]]`, live entries
+    /// first, in insertion order. One allocation instead of a `Vec`
+    /// per set keeps the per-access probe from chasing a pointer per
+    /// set (the unified L2 has 128 of them).
+    slots: Vec<Slot>,
+    /// Packed match keys ([`vpn_key`]) parallel to `slots`. The probe
+    /// scan compares 8-byte keys — a 12-way set fits in two cache
+    /// lines instead of the nine its 48-byte slots span; the payload
+    /// is only dereferenced on a hit.
+    keys: Vec<u64>,
+    /// Live-entry count per set.
+    lens: Vec<u32>,
+    /// Total live entries (sum of `lens`), kept incrementally so the
+    /// hit path can skip scanning an empty structure in O(1) — the 1G
+    /// L1 (and the 2M L1 before any promotion) is probed on every
+    /// access but holds nothing.
+    live: usize,
     ways: u32,
     clock: u64,
+    seq: u64,
+    /// `set_count - 1` when the set count is a power of two (the
+    /// common geometries), letting [`Self::set_index`] mask instead of
+    /// divide on the per-access path; `usize::MAX` otherwise.
+    set_mask: usize,
     stats: TlbStats,
 }
+
+/// Packs a [`Vpn`] into the 8-byte match key the probe scan compares:
+/// page index in the high bits, page size in the low two. Bijective,
+/// so key equality is exactly `Vpn` equality.
+#[inline(always)]
+fn vpn_key(vpn: Vpn) -> u64 {
+    (vpn.index() << 2) | vpn.size() as u64
+}
+
+/// Placeholder occupying slab slots beyond a set's live length; never
+/// observable (every read is bounded by `lens`).
+const EMPTY_SLOT: Slot = Slot {
+    translation: Translation {
+        vpn: Vpn::new(0, PageSize::Base4K),
+        pfn: Pfn::new(0, PageSize::Base4K),
+    },
+    last_used: 0,
+    seq: 0,
+};
 
 impl SetAssocTlb {
     /// Creates a TLB with the given geometry.
@@ -61,17 +107,65 @@ impl SetAssocTlb {
     /// [`TlbLevelConfig::validate`]).
     pub fn new(config: TlbLevelConfig) -> Self {
         config.validate().expect("invalid TLB geometry");
+        let sets = config.sets() as usize;
         SetAssocTlb {
-            sets: vec![Vec::with_capacity(config.ways as usize); config.sets() as usize],
+            slots: vec![EMPTY_SLOT; sets * config.ways as usize],
+            keys: vec![0; sets * config.ways as usize],
+            lens: vec![0; sets],
+            live: 0,
             ways: config.ways,
             clock: 0,
+            seq: 0,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
             stats: TlbStats::default(),
         }
     }
 
     /// Number of sets.
     pub fn set_count(&self) -> usize {
-        self.sets.len()
+        self.lens.len()
+    }
+
+    /// The live slots of set `idx`.
+    fn set(&self, idx: usize) -> &[Slot] {
+        let base = idx * self.ways as usize;
+        &self.slots[base..base + self.lens[idx] as usize]
+    }
+
+    /// The live slots of set `idx`, mutably.
+    fn set_mut(&mut self, idx: usize) -> &mut [Slot] {
+        let base = idx * self.ways as usize;
+        &mut self.slots[base..base + self.lens[idx] as usize]
+    }
+
+    /// Position of `vpn` among set `idx`'s live slots, via the packed
+    /// key slab.
+    #[inline(always)]
+    fn find(&self, idx: usize, vpn: Vpn) -> Option<usize> {
+        let base = idx * self.ways as usize;
+        let key = vpn_key(vpn);
+        self.keys[base..base + self.lens[idx] as usize]
+            .iter()
+            .position(|&k| k == key)
+    }
+
+    /// Order-preserving removal of live slot `pos` from set `idx`.
+    fn remove_at(&mut self, idx: usize, pos: usize) -> Slot {
+        let base = idx * self.ways as usize;
+        let len = self.lens[idx] as usize;
+        debug_assert!(pos < len);
+        let victim = self.slots[base + pos];
+        self.slots
+            .copy_within(base + pos + 1..base + len, base + pos);
+        self.keys
+            .copy_within(base + pos + 1..base + len, base + pos);
+        self.lens[idx] -= 1;
+        self.live -= 1;
+        victim
     }
 
     /// Associativity.
@@ -81,7 +175,7 @@ impl SetAssocTlb {
 
     /// Total entries currently resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.live
     }
 
     /// Whether no entries are resident.
@@ -98,13 +192,16 @@ impl SetAssocTlb {
     /// Read-only: recency and statistics are untouched — this is the
     /// auditor's view, not an architectural lookup.
     pub fn entries(&self) -> impl Iterator<Item = Translation> + '_ {
-        self.sets
-            .iter()
-            .flat_map(|set| set.iter().map(|s| s.translation))
+        (0..self.set_count()).flat_map(move |idx| self.set(idx).iter().map(|s| s.translation))
     }
 
+    #[inline(always)]
     fn set_index(&self, vpn: Vpn) -> usize {
-        (vpn.index() % self.sets.len() as u64) as usize
+        if self.set_mask != usize::MAX {
+            vpn.index() as usize & self.set_mask
+        } else {
+            (vpn.index() % self.lens.len() as u64) as usize
+        }
     }
 
     /// Looks up the translation for `vpn` (VPN at a specific page size).
@@ -113,10 +210,10 @@ impl SetAssocTlb {
         self.clock += 1;
         let clock = self.clock;
         let idx = self.set_index(vpn);
-        let set = &mut self.sets[idx];
-        if let Some(slot) = set.iter_mut().find(|s| s.translation.vpn == vpn) {
-            slot.last_used = clock;
+        if let Some(pos) = self.find(idx, vpn) {
             self.stats.hits += 1;
+            let slot = &mut self.set_mut(idx)[pos];
+            slot.last_used = clock;
             Some(slot.translation)
         } else {
             self.stats.misses += 1;
@@ -127,56 +224,88 @@ impl SetAssocTlb {
     /// Checks whether `vpn` is resident without updating recency or
     /// statistics.
     pub fn probe(&self, vpn: Vpn) -> Option<Translation> {
+        if self.live == 0 {
+            return None;
+        }
         let idx = self.set_index(vpn);
-        self.sets[idx]
-            .iter()
-            .find(|s| s.translation.vpn == vpn)
-            .map(|s| s.translation)
+        self.find(idx, vpn)
+            .map(|pos| self.set(idx)[pos].translation)
+    }
+
+    /// Hit-path combination of [`probe`](Self::probe) +
+    /// [`lookup`](Self::lookup): a single set scan that, on a hit,
+    /// refreshes recency and counts the hit exactly like `lookup` — and
+    /// on a miss changes *nothing* (no clock tick, no miss counted),
+    /// exactly like `probe`. The hierarchy's lookup uses this so a hit
+    /// costs one scan instead of two.
+    #[inline]
+    pub fn touch(&mut self, vpn: Vpn) -> Option<Translation> {
+        if self.live == 0 {
+            return None;
+        }
+        let idx = self.set_index(vpn);
+        let pos = self.find(idx, vpn)?;
+        self.clock += 1;
+        let clock = self.clock;
+        self.stats.hits += 1;
+        let slot = &mut self.set_mut(idx)[pos];
+        slot.last_used = clock;
+        Some(slot.translation)
     }
 
     /// Inserts a translation, evicting the LRU slot of its set when full.
     /// Returns the evicted translation, if any. Re-inserting a resident
     /// VPN refreshes its payload and recency without eviction.
+    ///
+    /// Recency ties are broken by the monotonic insertion sequence
+    /// number (earliest-inserted evicted first), never by slot
+    /// position: `Vec::swap_remove` used to perturb slot order on
+    /// every invalidation, making tied evictions depend on incidental
+    /// layout.
     pub fn insert(&mut self, translation: Translation) -> Option<Translation> {
         self.clock += 1;
         let clock = self.clock;
         let ways = self.ways as usize;
         let idx = self.set_index(translation.vpn);
-        let set = &mut self.sets[idx];
-        if let Some(slot) = set
-            .iter_mut()
-            .find(|s| s.translation.vpn == translation.vpn)
-        {
+        if let Some(pos) = self.find(idx, translation.vpn) {
+            let slot = &mut self.set_mut(idx)[pos];
             slot.translation = translation;
             slot.last_used = clock;
             return None;
         }
-        let evicted = if set.len() == ways {
-            let lru = set
+        let evicted = if self.lens[idx] as usize == ways {
+            let lru = self
+                .set(idx)
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, s)| s.last_used)
+                .min_by_key(|(_, s)| (s.last_used, s.seq))
                 .map(|(i, _)| i)
                 .expect("set is full, so nonempty");
-            let victim = set.swap_remove(lru);
+            let victim = self.remove_at(idx, lru);
             self.stats.evictions += 1;
             Some(victim.translation)
         } else {
             None
         };
-        set.push(Slot {
+        let base = idx * ways;
+        let len = self.lens[idx] as usize;
+        self.slots[base + len] = Slot {
             translation,
             last_used: clock,
-        });
+            seq: self.seq,
+        };
+        self.keys[base + len] = vpn_key(translation.vpn);
+        self.lens[idx] += 1;
+        self.live += 1;
+        self.seq += 1;
         evicted
     }
 
     /// Removes the entry for exactly `vpn`, returning whether it existed.
     pub fn invalidate(&mut self, vpn: Vpn) -> bool {
         let idx = self.set_index(vpn);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|s| s.translation.vpn == vpn) {
-            set.swap_remove(pos);
+        if let Some(pos) = self.find(idx, vpn) {
+            self.remove_at(idx, pos);
             self.stats.invalidations += 1;
             true
         } else {
@@ -192,15 +321,28 @@ impl SetAssocTlb {
         let start = region.base().raw();
         let end = start + region.size().bytes();
         let mut removed = 0;
-        for set in &mut self.sets {
-            let before = set.len();
-            set.retain(|s| {
+        let ways = self.ways as usize;
+        for idx in 0..self.lens.len() {
+            let base_off = idx * ways;
+            let len = self.lens[idx] as usize;
+            // Order-preserving in-place compaction (retain).
+            let mut keep = 0;
+            for pos in 0..len {
+                let s = self.slots[base_off + pos];
                 let base = s.translation.vpn.base().raw();
                 let span = s.translation.size().bytes();
                 // Keep entries that do not overlap [start, end).
-                base + span <= start || base >= end
-            });
-            removed += before - set.len();
+                if base + span <= start || base >= end {
+                    if keep != pos {
+                        self.slots[base_off + keep] = s;
+                        self.keys[base_off + keep] = self.keys[base_off + pos];
+                    }
+                    keep += 1;
+                }
+            }
+            removed += len - keep;
+            self.live -= len - keep;
+            self.lens[idx] = keep as u32;
         }
         self.stats.invalidations += removed as u64;
         removed
@@ -208,9 +350,8 @@ impl SetAssocTlb {
 
     /// Empties the TLB (full flush).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
+        self.live = 0;
     }
 
     /// Resolves a raw virtual address by probing at each page size this
@@ -273,6 +414,51 @@ mod tests {
         assert!(t.probe(tr(0).vpn).is_some());
         assert!(t.probe(tr(4).vpn).is_some());
         assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_ties_resolve_by_insertion_order_not_slot_position() {
+        // Regression: eviction used `swap_remove`, so an invalidation
+        // reordered the surviving slots and a later recency tie was
+        // broken by whichever entry happened to sit first (here the
+        // *newest* one), not by insertion order.
+        let mut t = tlb(4, 4); // one fully-associative set
+        for i in 0..4 {
+            t.insert(tr(i)); // set 0 = [0, 1, 2, 3]
+        }
+        t.invalidate(tr(0).vpn); // swap_remove used to leave [3, 1, 2]
+        t.insert(tr(4));
+        // Force a recency tie across the whole set (unreachable through
+        // the public API, whose clock stamps are unique — but exactly
+        // the state an architectural LRU approximation with coarse
+        // recency bits lives in).
+        for slot in t.set_mut(0) {
+            slot.last_used = 99;
+        }
+        // The earliest-inserted survivor must lose the tie.
+        assert_eq!(t.insert(tr(5)), Some(tr(1)));
+    }
+
+    #[test]
+    fn invalidate_preserves_slot_order() {
+        let mut t = tlb(4, 4);
+        for i in 0..4 {
+            t.insert(tr(i));
+        }
+        t.invalidate(tr(1).vpn);
+        let resident: Vec<u64> = t.entries().map(|e| e.vpn.index()).collect();
+        assert_eq!(resident, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_still_indexes_correctly() {
+        // 12 entries / 4 ways = 3 sets: the mask fast path must not
+        // apply; page 5 maps to set 5 % 3 = 2.
+        let mut t = tlb(12, 4);
+        assert_eq!(t.set_count(), 3);
+        t.insert(tr(5));
+        assert_eq!(t.lookup(tr(5).vpn), Some(tr(5)));
+        assert_eq!(t.set(2).len(), 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::graph::{degree_based_grouping, generate_rmat, RmatParams};
 use crate::kernels::{GraphKernel, GraphWorkload};
 use crate::synth::{self, SynthScale, SyntheticWorkload};
-use crate::workload::Workload;
+use crate::workload::{TraceStream, Workload};
 
 /// The eight applications of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -262,6 +262,13 @@ impl Workload for AnyWorkload {
         match self {
             AnyWorkload::Graph(w) => w.thread_trace(thread, threads),
             AnyWorkload::Synth(w) => w.thread_trace(thread, threads),
+        }
+    }
+
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+        match self {
+            AnyWorkload::Graph(w) => w.thread_stream(thread, threads),
+            AnyWorkload::Synth(w) => w.thread_stream(thread, threads),
         }
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::graph::CsrGraph;
 use crate::layout::{AddressSpaceBuilder, ArrayLayout};
-use crate::workload::Workload;
+use crate::workload::{TraceStream, Workload};
 use hpage_types::{MemoryAccess, Region};
 use std::collections::VecDeque;
 
@@ -144,10 +144,22 @@ impl Workload for GraphWorkload {
     ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
         let (lo, hi) = self.vertex_range(thread, threads);
         match self.kernel {
-            GraphKernel::Bfs => Box::new(BfsTrace::new(self, lo, hi)),
-            GraphKernel::Sssp => Box::new(SsspTrace::new(self, lo, hi)),
-            GraphKernel::PageRank => Box::new(PrTrace::new(self, lo, hi)),
-            GraphKernel::Components => Box::new(CcTrace::new(self, lo, hi)),
+            GraphKernel::Bfs => Box::new(KernelIter(BfsTrace::new(self, lo, hi))),
+            GraphKernel::Sssp => Box::new(KernelIter(SsspTrace::new(self, lo, hi))),
+            GraphKernel::PageRank => Box::new(KernelIter(PrTrace::new(self, lo, hi))),
+            GraphKernel::Components => Box::new(KernelIter(CcTrace::new(self, lo, hi))),
+        }
+    }
+
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+        // `BulkKernel`'s native `fill` drains queued accesses in bulk
+        // rather than one `next()` per element.
+        let (lo, hi) = self.vertex_range(thread, threads);
+        match self.kernel {
+            GraphKernel::Bfs => Box::new(BulkKernel(BfsTrace::new(self, lo, hi))),
+            GraphKernel::Sssp => Box::new(BulkKernel(SsspTrace::new(self, lo, hi))),
+            GraphKernel::PageRank => Box::new(BulkKernel(PrTrace::new(self, lo, hi))),
+            GraphKernel::Components => Box::new(BulkKernel(CcTrace::new(self, lo, hi))),
         }
     }
 }
@@ -218,18 +230,13 @@ impl<'g> CcTrace<'g> {
     }
 }
 
-impl Iterator for CcTrace<'_> {
-    type Item = MemoryAccess;
+impl KernelSteps for CcTrace<'_> {
+    fn pending(&mut self) -> &mut AccessQueue {
+        &mut self.scanner.pending
+    }
 
-    fn next(&mut self) -> Option<MemoryAccess> {
-        loop {
-            if let Some(a) = self.scanner.pending.pop_front() {
-                return Some(a);
-            }
-            if !self.step() {
-                return None;
-            }
-        }
+    fn step(&mut self) -> bool {
+        CcTrace::step(self)
     }
 }
 
@@ -239,25 +246,137 @@ impl Iterator for CcTrace<'_> {
 struct EdgeScanner<'g> {
     w: &'g GraphWorkload,
     /// Pending accesses not yet drained.
-    pending: VecDeque<MemoryAccess>,
+    pending: AccessQueue,
+}
+
+/// FIFO of generated accesses: a `Vec` with a consume cursor instead of
+/// a `VecDeque`, so the producer side is a plain `push` and the bulk
+/// consumer side is one contiguous slice (a single `memcpy` into the
+/// simulation's chunk buffer, no wrap-around halves).
+#[derive(Debug)]
+struct AccessQueue {
+    buf: Vec<MemoryAccess>,
+    head: usize,
+}
+
+impl AccessQueue {
+    fn with_capacity(n: usize) -> Self {
+        AccessQueue {
+            buf: Vec::with_capacity(n),
+            head: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn push_back(&mut self, a: MemoryAccess) {
+        self.buf.push(a);
+    }
+
+    #[inline(always)]
+    fn pop_front(&mut self) -> Option<MemoryAccess> {
+        let a = self.buf.get(self.head).copied();
+        if a.is_some() {
+            self.consume(1);
+        }
+        a
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// The queued accesses, oldest first.
+    fn as_slice(&self) -> &[MemoryAccess] {
+        &self.buf[self.head..]
+    }
+
+    /// Releases the `n` oldest accesses; storage is recycled once the
+    /// queue drains.
+    fn consume(&mut self, n: usize) {
+        self.head += n;
+        debug_assert!(self.head <= self.buf.len());
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        }
+    }
+}
+
+/// A kernel generator reduced to its two primitives: the queue of
+/// already-produced accesses and a `step` that scans one more vertex.
+/// [`BulkKernel`] builds both the per-element [`Iterator`] and the
+/// chunked [`TraceStream`] from these.
+trait KernelSteps {
+    /// The scanner holding queued accesses.
+    fn pending(&mut self) -> &mut AccessQueue;
+    /// Advances the kernel by one vertex; `false` when the trace is done.
+    fn step(&mut self) -> bool;
+}
+
+/// Per-element adapter: the classic pop-or-step iterator, used by
+/// [`Workload::thread_trace`].
+struct KernelIter<T>(T);
+
+impl<T: KernelSteps> Iterator for KernelIter<T> {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        loop {
+            if let Some(a) = self.0.pending().pop_front() {
+                return Some(a);
+            }
+            if !self.0.step() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Chunked adapter giving a [`KernelSteps`] state machine a bulk
+/// [`TraceStream::fill`]: it drains the pending queue with
+/// `Vec::extend` (a memcpy-shaped loop) instead of popping accesses one
+/// `next()` at a time — the graph kernels produce tens of accesses per
+/// scanned vertex, so this is where trace-generation time goes.
+/// (Deliberately NOT an [`Iterator`]: that would collide with the
+/// blanket `impl<I: Iterator> TraceStream for I`.)
+struct BulkKernel<T>(T);
+
+impl<T: KernelSteps> TraceStream for BulkKernel<T> {
+    fn fill(&mut self, buf: &mut Vec<MemoryAccess>, max: usize) -> usize {
+        let mut produced = 0;
+        while produced < max {
+            let pending = self.0.pending();
+            if !pending.is_empty() {
+                let take = pending.len().min(max - produced);
+                buf.extend_from_slice(&pending.as_slice()[..take]);
+                pending.consume(take);
+                produced += take;
+                continue;
+            }
+            if !self.0.step() {
+                break;
+            }
+        }
+        produced
+    }
 }
 
 impl<'g> EdgeScanner<'g> {
     fn new(w: &'g GraphWorkload) -> Self {
         EdgeScanner {
             w,
-            pending: VecDeque::with_capacity(64),
+            pending: AccessQueue::with_capacity(64),
         }
     }
 
     /// Queues the accesses for scanning vertex `u`'s out-edges; calls
     /// `visit` for each neighbour so the kernel can react (and queue its
     /// own property accesses).
-    fn scan_vertex(
-        &mut self,
-        u: u32,
-        mut visit: impl FnMut(&mut VecDeque<MemoryAccess>, u64, u32),
-    ) {
+    fn scan_vertex(&mut self, u: u32, mut visit: impl FnMut(&mut AccessQueue, u64, u32)) {
         let w = self.w;
         self.pending
             .push_back(MemoryAccess::read(w.offsets.addr_of(u as u64)));
@@ -343,18 +462,13 @@ impl<'g> BfsTrace<'g> {
     }
 }
 
-impl Iterator for BfsTrace<'_> {
-    type Item = MemoryAccess;
+impl KernelSteps for BfsTrace<'_> {
+    fn pending(&mut self) -> &mut AccessQueue {
+        &mut self.scanner.pending
+    }
 
-    fn next(&mut self) -> Option<MemoryAccess> {
-        loop {
-            if let Some(a) = self.scanner.pending.pop_front() {
-                return Some(a);
-            }
-            if !self.step() {
-                return None;
-            }
-        }
+    fn step(&mut self) -> bool {
+        BfsTrace::step(self)
     }
 }
 
@@ -427,18 +541,13 @@ impl<'g> SsspTrace<'g> {
     }
 }
 
-impl Iterator for SsspTrace<'_> {
-    type Item = MemoryAccess;
+impl KernelSteps for SsspTrace<'_> {
+    fn pending(&mut self) -> &mut AccessQueue {
+        &mut self.scanner.pending
+    }
 
-    fn next(&mut self) -> Option<MemoryAccess> {
-        loop {
-            if let Some(a) = self.scanner.pending.pop_front() {
-                return Some(a);
-            }
-            if !self.step() {
-                return None;
-            }
-        }
+    fn step(&mut self) -> bool {
+        SsspTrace::step(self)
     }
 }
 
@@ -493,18 +602,13 @@ impl<'g> PrTrace<'g> {
     }
 }
 
-impl Iterator for PrTrace<'_> {
-    type Item = MemoryAccess;
+impl KernelSteps for PrTrace<'_> {
+    fn pending(&mut self) -> &mut AccessQueue {
+        &mut self.scanner.pending
+    }
 
-    fn next(&mut self) -> Option<MemoryAccess> {
-        loop {
-            if let Some(a) = self.scanner.pending.pop_front() {
-                return Some(a);
-            }
-            if !self.step() {
-                return None;
-            }
-        }
+    fn step(&mut self) -> bool {
+        PrTrace::step(self)
     }
 }
 

@@ -44,4 +44,4 @@ pub use synth::{
     SyntheticWorkload,
 };
 pub use wcache::{CacheStats, WorkloadCache, WorkloadKey};
-pub use workload::Workload;
+pub use workload::{TraceStream, Workload};

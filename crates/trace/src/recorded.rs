@@ -10,7 +10,7 @@
 //! [`TraceWriter`]: crate::io::TraceWriter
 
 use crate::io::TraceReader;
-use crate::workload::Workload;
+use crate::workload::{TraceStream, Workload};
 use hpage_types::{MemoryAccess, PageSize, Region, VirtAddr};
 use std::io::{self, Read};
 
@@ -109,6 +109,20 @@ impl Workload for RecordedWorkload {
         // A recorded trace is a single thread's stream; when replayed
         // across several cores, it is partitioned round-robin by record
         // (each core replays an interleaved slice).
+        Box::new(
+            self.accesses
+                .iter()
+                .copied()
+                .skip(thread as usize)
+                .step_by(threads as usize),
+        )
+    }
+
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+        assert!(thread < threads, "bad thread index");
+        // Box the concrete iterator so `fill`'s loop monomorphises
+        // (and, for the single-threaded replay, reduces to a slice
+        // copy the optimizer vectorises).
         Box::new(
             self.accesses
                 .iter()

@@ -3,6 +3,35 @@
 
 use hpage_types::{MemoryAccess, Region};
 
+/// A chunked access-trace producer: the hot-path alternative to
+/// `Box<dyn Iterator>`.
+///
+/// The simulator consumes billions of accesses; pulling each one
+/// through a boxed iterator costs a virtual call per element and walls
+/// off the generator from the optimizer. A `TraceStream` amortises the
+/// dynamic dispatch to one `fill` call per chunk: concrete workloads
+/// box their *concrete* iterator type, so the per-element loop inside
+/// `fill` monomorphises and inlines.
+///
+/// The blanket implementation makes every access iterator a stream, so
+/// `Box<dyn Iterator>` values (the [`Workload::thread_trace`] output)
+/// still work — they just stay on the slow path.
+pub trait TraceStream {
+    /// Appends up to `max` accesses to `buf`, returning how many were
+    /// produced. A return of 0 means the trace is exhausted (streams
+    /// are not fused by contract, but every workload's trace ends
+    /// permanently).
+    fn fill(&mut self, buf: &mut Vec<MemoryAccess>, max: usize) -> usize;
+}
+
+impl<I: Iterator<Item = MemoryAccess>> TraceStream for I {
+    fn fill(&mut self, buf: &mut Vec<MemoryAccess>, max: usize) -> usize {
+        let before = buf.len();
+        buf.extend(self.by_ref().take(max));
+        buf.len() - before
+    }
+}
+
 /// A workload that can be traced.
 ///
 /// Implementations are deterministic: the same workload produces the same
@@ -36,6 +65,17 @@ pub trait Workload {
         thread: u32,
         threads: u32,
     ) -> Box<dyn Iterator<Item = MemoryAccess> + '_>;
+
+    /// The access trace of thread `thread` as a chunked [`TraceStream`]
+    /// — what the simulation hot loop consumes.
+    ///
+    /// The default adapts [`Self::thread_trace`] through the blanket
+    /// iterator impl (correct, but dispatches per element); concrete
+    /// workloads override it to box their concrete iterator type so
+    /// `fill`'s inner loop monomorphises.
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+        Box::new(self.thread_trace(thread, threads))
+    }
 
     /// Convenience: the single-threaded trace.
     fn trace(&self) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
@@ -78,5 +118,27 @@ mod tests {
     #[test]
     fn trace_defaults_to_thread_zero() {
         assert_eq!(Dummy.trace().count(), 1);
+    }
+
+    #[test]
+    fn default_stream_adapts_the_iterator() {
+        let mut s = Dummy.thread_stream(0, 1);
+        let mut buf = Vec::new();
+        assert_eq!(s.fill(&mut buf, 16), 1);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(s.fill(&mut buf, 16), 0, "exhausted stream yields 0");
+    }
+
+    #[test]
+    fn fill_respects_max_and_appends() {
+        let accesses: Vec<MemoryAccess> = (0..10)
+            .map(|i| MemoryAccess::read(VirtAddr::new(0x1000 + i * 8)))
+            .collect();
+        let mut it = accesses.clone().into_iter();
+        let mut buf = Vec::new();
+        assert_eq!(it.fill(&mut buf, 4), 4);
+        assert_eq!(it.fill(&mut buf, 4), 4);
+        assert_eq!(it.fill(&mut buf, 4), 2);
+        assert_eq!(buf, accesses);
     }
 }

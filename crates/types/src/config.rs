@@ -229,6 +229,33 @@ impl PwcConfig {
         }
     }
 
+    /// Geometry scaled in proportion to a shrunken L2 TLB.
+    ///
+    /// [`typical`](Self::typical) pairs with the paper's 1024-entry L2
+    /// (Table 2). Scaled-down experiment profiles shrink the TLB so
+    /// coverage ratios hold at small footprints; a full-size PWC against
+    /// such a footprint never misses (mean references pins at 1.0
+    /// instead of the paper's 1.1–1.4 band). Scaling each array by the
+    /// same factor as the L2 keeps the PWC-reach-to-TLB-reach ratio,
+    /// clamped to at least one entry per array.
+    pub const fn scaled_to_tlb(l2_entries: u32) -> Self {
+        const PAPER_L2_ENTRIES: u32 = 1024;
+        const fn scale(entries: u32, l2: u32) -> u32 {
+            let scaled = entries * l2 / PAPER_L2_ENTRIES;
+            if scaled == 0 {
+                1
+            } else {
+                scaled
+            }
+        }
+        let t = PwcConfig::typical();
+        PwcConfig {
+            pml4e_entries: scale(t.pml4e_entries, l2_entries),
+            pdpte_entries: scale(t.pdpte_entries, l2_entries),
+            pde_entries: scale(t.pde_entries, l2_entries),
+        }
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors

@@ -1,0 +1,182 @@
+//! A vendored deterministic fast hasher for the simulator's hot maps.
+//!
+//! The page-table radix levels (and every other map probed on the
+//! per-access path) key on small integers — PUD/PMD/PTE indices, VPNs,
+//! region indices. `std::collections::HashMap`'s default SipHash is
+//! DoS-resistant but costs tens of cycles per probe and is randomly
+//! seeded per map, which is wasted work here: keys come from the
+//! simulated workload, not an adversary, and the simulator's outputs
+//! must be bit-reproducible anyway.
+//!
+//! [`FxHasher`] is the multiply-xor hash used by rustc (`FxHashMap`),
+//! reimplemented from its public recurrence so no external crate is
+//! needed: per 8-byte word, `hash = (hash.rotate_left(5) ^ word) *
+//! SEED` with the golden-ratio multiplier. It is deterministic across
+//! runs, processes, and platforms of the same pointer width — our
+//! fixed-vector tests pin the 64-bit variant — and hashes one `u64`
+//! key in a couple of instructions.
+//!
+//! Determinism note: iteration order of a [`FxHashMap`] is stable for a
+//! given insertion history but still *unspecified*; simulation code
+//! must keep sorting before iteration order can reach any output, the
+//! same discipline SipHash maps already required.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier: `2^64 / φ`, rounded to odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style Fx hasher: fast, deterministic, not DoS-resistant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                word.try_into().expect("4 bytes"),
+            )));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s — zero-sized, so maps carry no
+/// per-instance random state (unlike `RandomState`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the deterministic Fx hash. Drop-in replacement
+/// for `std::collections::HashMap` on the simulator's hot paths.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` on the deterministic Fx hash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_u64(x: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(x);
+        h.finish()
+    }
+
+    #[test]
+    fn fixed_vectors_pin_the_function() {
+        // The exact Fx recurrence for single u64 keys:
+        // (0.rotate_left(5) ^ x) * SEED. A change to the algorithm (or
+        // an accidental platform dependence) breaks these constants.
+        for (x, expect) in [
+            (0u64, 0u64),
+            (1, 0x517c_c1b7_2722_0a95),
+            (0xdead_beef, 0x67f3_c037_2953_771b),
+            (u64::MAX, 0xae83_3e48_d8dd_f56b),
+        ] {
+            assert_eq!(hash_u64(x), expect, "hash({x:#x})");
+        }
+    }
+
+    #[test]
+    fn multi_word_and_byte_tails() {
+        // 12 bytes exercise the 8-byte word, the 4-byte chunk, and
+        // their combination; the constant pins the result.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        let full = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        h2.write_u32(u32::from_le_bytes([9, 10, 11, 12]));
+        assert_eq!(full, h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(&[0xAB; 3]);
+        assert_eq!(h3.finish(), 0xfc67_6cf0_d218_ee02);
+    }
+
+    #[test]
+    fn build_hasher_is_stateless() {
+        // Two independently-built hashers agree — no RandomState-style
+        // per-instance seed, which is what makes map behaviour
+        // reproducible across runs.
+        let a = FxBuildHasher::default().hash_one(42u64);
+        let b = FxBuildHasher::default().hash_one(42u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&2997));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn adjacent_keys_spread() {
+        // Radix-level indices are sequential; the hash must still
+        // scatter them across buckets (low bits must differ).
+        let mask = 127u64;
+        let buckets: std::collections::HashSet<u64> =
+            (0..128).map(|i| hash_u64(i) & mask).collect();
+        assert!(
+            buckets.len() > 96,
+            "only {} distinct buckets",
+            buckets.len()
+        );
+    }
+}

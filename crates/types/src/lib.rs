@@ -28,6 +28,7 @@ mod access;
 mod addr;
 mod config;
 mod error;
+mod hash;
 mod seed;
 
 pub use access::{AccessKind, CoreId, MemoryAccess, ProcessId, ThreadId};
@@ -37,6 +38,7 @@ pub use config::{
     TlbLevelConfig,
 };
 pub use error::{ConfigError, HpageError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use seed::derive_seed;
 
 /// Number of 4 KiB base pages inside one 2 MiB huge page (x86-64: 512).

@@ -110,6 +110,84 @@ proptest! {
         }
     }
 
+    /// The flat-slab set-associative TLB is observationally equivalent
+    /// to a straightforward per-set LRU-list model — same hit results,
+    /// same eviction victims, same residency — under any interleaving of
+    /// inserts, lookups, touches, and invalidations. This pins the
+    /// eviction order the seq tie-break fix made deterministic: the
+    /// model's list order *is* insertion-then-recency order, so any
+    /// position-dependent tie-break (the old `swap_remove` perturbation)
+    /// shows up as a victim mismatch.
+    #[test]
+    fn tlb_matches_reference_lru_model(
+        ops in prop::collection::vec((0u64..96, 0u8..4), 1..500),
+        entries_pow in 2u32..6,
+        ways_pow in 0u32..3,
+    ) {
+        let entries = 1u32 << entries_pow;
+        let ways = (1u32 << ways_pow).min(entries);
+        let sets = (entries / ways) as usize;
+        let mut tlb = SetAssocTlb::new(TlbLevelConfig::new(entries, ways));
+        // One LRU-to-MRU ordered list per set.
+        let mut model: Vec<Vec<Translation>> = vec![Vec::new(); sets];
+        for (page, op) in ops {
+            let vpn = Vpn::new(page, PageSize::Base4K);
+            let t = Translation { vpn, pfn: Pfn::new(page + 7, PageSize::Base4K) };
+            let set = &mut model[(page % sets as u64) as usize];
+            match op {
+                0 => {
+                    let expected = if let Some(pos) = set.iter().position(|e| e.vpn == vpn) {
+                        set.remove(pos);
+                        set.push(t);
+                        None
+                    } else if set.len() == ways as usize {
+                        let victim = set.remove(0);
+                        set.push(t);
+                        Some(victim)
+                    } else {
+                        set.push(t);
+                        None
+                    };
+                    prop_assert_eq!(tlb.insert(t), expected);
+                }
+                1 => {
+                    let expected = set.iter().position(|e| e.vpn == vpn).map(|pos| {
+                        let e = set.remove(pos);
+                        set.push(e);
+                        e
+                    });
+                    prop_assert_eq!(tlb.lookup(vpn), expected);
+                }
+                2 => {
+                    // `touch` hits exactly like `lookup`, misses like
+                    // `probe` (no state change) — same model either way.
+                    let expected = set.iter().position(|e| e.vpn == vpn).map(|pos| {
+                        let e = set.remove(pos);
+                        set.push(e);
+                        e
+                    });
+                    prop_assert_eq!(tlb.touch(vpn), expected);
+                }
+                _ => {
+                    let existed = match set.iter().position(|e| e.vpn == vpn) {
+                        Some(pos) => {
+                            set.remove(pos);
+                            true
+                        }
+                        None => false,
+                    };
+                    prop_assert_eq!(tlb.invalidate(vpn), existed);
+                }
+            }
+            prop_assert_eq!(tlb.len(), model.iter().map(Vec::len).sum::<usize>());
+        }
+        for set in &model {
+            for e in set {
+                prop_assert_eq!(tlb.probe(e.vpn), Some(*e));
+            }
+        }
+    }
+
     /// Page table: map/walk/unmap round-trips preserve translations, and
     /// a promotion makes every constituent base page translate to the
     /// same huge frame.
@@ -134,6 +212,81 @@ proptest! {
             let t = pt.translate(bases[p as usize].base()).unwrap();
             prop_assert_eq!(t.pfn, huge);
             prop_assert_eq!(t.size(), PageSize::Huge2M);
+        }
+    }
+
+    /// Hasher-independence diff test: the page table (whose radix levels
+    /// key on the vendored Fx hash) holds exactly the contents of a
+    /// SipHash-keyed mirror map under any interleaving of map, unmap,
+    /// promote, and demote — hashing affects bucket placement only,
+    /// never which translations exist or what they resolve to.
+    #[test]
+    fn page_table_contents_match_siphash_mirror(
+        ops in prop::collection::vec((0u64..4, 0u64..512, 0u8..4), 1..250),
+    ) {
+        // std::collections::HashMap with RandomState = SipHash.
+        let mut mirror: std::collections::HashMap<Vpn, Pfn> = std::collections::HashMap::new();
+        let mut pt = PageTable::new();
+        let mut next_frame = 0u64;
+        for (r, page, op) in ops {
+            let region = Vpn::new(r, PageSize::Huge2M);
+            let base = Vpn::new(r * 512 + page, PageSize::Base4K);
+            match op {
+                0 => {
+                    // Map a base page (no-op when the page, or a huge
+                    // mapping covering it, already exists).
+                    if pt.translate(base.base()).is_none() {
+                        let pfn = Pfn::new(next_frame, PageSize::Base4K);
+                        next_frame += 1;
+                        pt.map(base, pfn).unwrap();
+                        mirror.insert(base, pfn);
+                    }
+                }
+                1 => {
+                    let in_mirror = mirror.remove(&base).is_some();
+                    prop_assert_eq!(pt.unmap(base).is_ok(), in_mirror);
+                }
+                2 => {
+                    let huge = Pfn::new(next_frame, PageSize::Huge2M);
+                    next_frame += 1;
+                    if pt.promote_2m(region, huge).is_ok() {
+                        mirror.retain(|vpn, _| vpn.containing(PageSize::Huge2M) != region
+                            || vpn.size() != PageSize::Base4K);
+                        mirror.insert(region, huge);
+                    }
+                }
+                _ => {
+                    // Demote back to base pages at fresh frames.
+                    let pfns: Vec<Pfn> = (0..512)
+                        .map(|i| Pfn::new(next_frame + i, PageSize::Base4K))
+                        .collect();
+                    if pt.demote_2m(region, &pfns).is_ok() {
+                        next_frame += 512;
+                        mirror.remove(&region);
+                        for (i, vpn) in region.split(PageSize::Base4K).enumerate() {
+                            mirror.insert(vpn, pfns[i]);
+                        }
+                    }
+                }
+            }
+            // Every mirror entry translates identically through the
+            // radix table, and nothing else is mapped.
+            let mut count = 0u64;
+            for r in 0..4u64 {
+                let region = Vpn::new(r, PageSize::Huge2M);
+                if pt.is_huge_mapped(region) {
+                    // A huge leaf reports all 512 constituent base
+                    // pages as mapped; the mirror holds one entry.
+                    count += 1;
+                } else {
+                    count += pt.mapped_base_pages_in(region);
+                }
+            }
+            prop_assert_eq!(count as usize, mirror.len());
+            for (vpn, pfn) in &mirror {
+                let t = pt.translate(vpn.base());
+                prop_assert_eq!(t.map(|t| t.pfn), Some(*pfn));
+            }
         }
     }
 

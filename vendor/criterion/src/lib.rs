@@ -130,9 +130,32 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One benchmark's measured summary, captured alongside the printed
+/// report so custom `harness = false` mains can persist results (the
+/// real criterion writes `target/criterion/*/estimates.json`; this
+/// stub exposes the numbers programmatically instead).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// The benchmark group's name.
+    pub group: String,
+    /// The benchmark's id within its group.
+    pub id: String,
+    /// Fastest observed per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Elements per second at the median, when an element throughput
+    /// was declared for the benchmark.
+    pub elems_per_sec: Option<f64>,
+}
+
 /// Entry point mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Applies command-line configuration (accepted and ignored; the
@@ -140,6 +163,12 @@ impl Criterion {
     #[must_use]
     pub fn configure_from_args(self) -> Self {
         self
+    }
+
+    /// Measured summaries of every benchmark run so far, in execution
+    /// order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Starts a benchmark group.
@@ -165,15 +194,26 @@ impl Criterion {
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let min = per_iter_ns[0];
         let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let mut elems_per_sec = None;
         let tput = match throughput {
             Some(Throughput::Elements(n)) if median > 0.0 => {
-                format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / median)
+                let eps = n as f64 * 1e9 / median;
+                elems_per_sec = Some(eps);
+                format!("  thrpt: {eps:>12.0} elem/s")
             }
             Some(Throughput::Bytes(n)) if median > 0.0 => {
                 format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / median)
             }
             _ => String::new(),
         };
+        self.results.push(BenchResult {
+            group: group.to_string(),
+            id: id.to_string(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            elems_per_sec,
+        });
         println!(
             "{group}/{id:<40} time: [min {} median {} mean {}]{tput}",
             fmt_ns(min),
@@ -237,6 +277,21 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn results_are_captured() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("f", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+        let r = c.results();
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].group.as_str(), r[0].id.as_str()), ("g", "f"));
+        assert!(r[0].min_ns <= r[0].median_ns);
+        assert!(r[0].elems_per_sec.is_some());
     }
 
     #[test]
