@@ -32,6 +32,19 @@ HPAGE_BENCH_SMOKE=1 \
     cargo bench -q -p hpage-bench --bench hotpath
 test -s BENCH_hotpath_smoke.json
 
+echo "== bench trajectory: append smoke run, re-render EXPERIMENTS.md =="
+cat BENCH_hotpath_smoke.json >> BENCH_history.jsonl
+./target/release/bench_trend --experiments EXPERIMENTS.md
+
+echo "== telemetry smoke: hpsim --ledger --metrics --chrome-trace =="
+HPAGE_PROFILE=test ./target/release/hpsim --policy pcc --ledger \
+    --metrics /tmp/hpsim_metrics.jsonl --chrome-trace trace_smoke.json \
+    --quiet | tee /tmp/hpsim_ledger.txt
+# The attribution table must report a finite run-level accuracy in [0,1].
+grep -E '^prediction_accuracy: [01]\.[0-9]+$' /tmp/hpsim_ledger.txt
+grep '"name":"ledger.prediction_accuracy_ppm"' /tmp/hpsim_metrics.jsonl
+test -s trace_smoke.json
+
 echo "== repro smoke: parallel harness determinism (-j 2 vs -j 1) =="
 HPAGE_PROFILE=test ./target/release/repro --figure 7 --ablation \
     --jobs 2 --bench-out BENCH_repro.json --quiet > /tmp/repro_j2.txt

@@ -1,0 +1,93 @@
+//! `bench_trend` — renders the hotpath bench trajectory.
+//!
+//! ```text
+//! bench_trend                                   # print the table
+//! bench_trend --experiments EXPERIMENTS.md      # splice it in place
+//! ```
+//!
+//! `ci.sh` appends each smoke-mode `BENCH_hotpath` artifact to
+//! `BENCH_history.jsonl` and runs this tool to keep the trajectory
+//! section of EXPERIMENTS.md current.
+
+use hpage_bench::trend::{parse_history, render_trajectory, splice};
+use std::process::exit;
+
+const USAGE: &str = "usage: bench_trend [--history FILE] [--experiments FILE] [--limit N]
+  --history FILE      history JSONL, one hotpath artifact per line (default BENCH_history.jsonl)
+  --experiments FILE  splice the table into FILE between the bench-trajectory markers
+  --limit N           render only the newest N entries (run numbering stays absolute)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_trend: {msg}\n{USAGE}");
+    exit(2)
+}
+
+fn main() {
+    let mut history = String::from("BENCH_history.jsonl");
+    let mut experiments: Option<String> = None;
+    let mut limit: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| die("missing argument value"))
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--history" => history = value(&mut i),
+            "--experiments" => experiments = Some(value(&mut i)),
+            "--limit" => {
+                limit = Some(match value(&mut i).parse() {
+                    Ok(0) | Err(_) => die("--limit expects a positive number"),
+                    Ok(n) => n,
+                })
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0)
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let text =
+        std::fs::read_to_string(&history).unwrap_or_else(|e| die(&format!("read {history}: {e}")));
+    let rows = parse_history(&text).unwrap_or_else(|e| die(&format!("{history}: {e}")));
+    if rows.is_empty() {
+        die(&format!("{history} has no entries"));
+    }
+    // `--limit` trims the oldest entries but keeps absolute run numbers
+    // by re-rendering from the full list and dropping table lines; the
+    // simple route — render, then cut — would renumber. Instead, keep
+    // ratios anchored on the true run 0 by always rendering everything
+    // and letting limit only bound the table length.
+    let table = if let Some(n) = limit {
+        let full = render_trajectory(&rows);
+        let mut lines: Vec<&str> = full.lines().collect();
+        let data_lines = rows.len();
+        if data_lines > n {
+            lines.drain(lines.len() - data_lines..lines.len() - n);
+        }
+        lines.join("\n") + "\n"
+    } else {
+        render_trajectory(&rows)
+    };
+
+    match &experiments {
+        Some(path) => {
+            let doc =
+                std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+            let out = splice(&doc, &table).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            std::fs::write(path, out).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            println!(
+                "bench_trend: {} entr{} -> {path}",
+                rows.len(),
+                if rows.len() == 1 { "y" } else { "ies" }
+            );
+        }
+        None => print!("{table}"),
+    }
+}

@@ -7,6 +7,8 @@
 //! hpsim --app sssp --policy pcc --schedule-out run.sched
 //! hpsim --app sssp --policy replay --schedule-in run.sched
 //! hpsim --app bfs --trace-out bfs.hpt      # dump the access trace
+//! hpsim --app bfs --policy pcc --ledger    # predicted-vs-realized table
+//! hpsim --app bfs --chrome-trace t.json    # spans for chrome://tracing
 //! ```
 //!
 //! Profile selection follows `repro`: `HPAGE_PROFILE=test|scaled|paper`,
@@ -16,7 +18,8 @@ use hpage_bench::profile_from_env;
 use hpage_faults::FaultPlan;
 use hpage_os::{read_schedule, write_schedule, DegradationConfig, PromotionBudget};
 use hpage_perf::{fmt_pct, fmt_speedup, TextTable};
-use hpage_sim::{JsonlSink, PolicyChoice, ProcessSpec, SimReport, Simulation};
+use hpage_sim::{JsonlSink, PolicyChoice, ProcessSpec, SimReport, Simulation, Tee};
+use hpage_telemetry::TelemetryRecorder;
 use hpage_trace::{
     instantiate, AnyWorkload, AppId, Dataset, RecordedWorkload, TraceWriter, Workload,
 };
@@ -31,14 +34,20 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
              [--jobs N|-j N] [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE]
              [--trace-in FILE] [--trace-info FILE] [--events FILE] [--metrics FILE]
-             [--faults FILE] [--no-degrade] [--audit] [--throughput]
-             [--quiet|-q] [--verbose|-v]
+             [--ledger] [--chrome-trace FILE] [--faults FILE] [--no-degrade]
+             [--audit] [--throughput] [--quiet|-q] [--verbose|-v]
 parallelism: --jobs 2+ runs the 4KB baseline concurrently with the
              instrumented run (default: available cores; the printed
              report is byte-identical at any N)
 flight recorder: --events streams every simulation event (TLB hits, walks,
              faults, PCC updates, promotions, shootdowns, interval snapshots)
-             as JSON Lines; --metrics writes the per-interval series as JSONL
+             as JSON Lines; --metrics writes the per-interval series plus the
+             telemetry registry (counters, gauges, histograms) as JSONL
+telemetry:   --ledger records predicted vs realized walk savings for every
+             promoted region and prints the attribution table with a
+             prediction_accuracy summary; --chrome-trace writes parent/child
+             spans (walk -> PCC update, promotion -> shootdown/compaction) as
+             chrome-trace-viewer JSON (load in chrome://tracing or Perfetto)
 robustness:  --faults loads a JSON fault plan (OOM windows, fragmentation
              shocks, compaction stalls, PCC resets, shootdown spikes) and
              enables graceful degradation (--no-degrade opts out, for
@@ -90,6 +99,8 @@ struct Options {
     trace_info: Option<String>,
     events: Option<String>,
     metrics: Option<String>,
+    ledger: bool,
+    chrome_trace: Option<String>,
     faults: Option<String>,
     no_degrade: bool,
     audit: bool,
@@ -119,6 +130,8 @@ fn parse_args() -> Options {
         trace_info: None,
         events: None,
         metrics: None,
+        ledger: false,
+        chrome_trace: None,
         faults: None,
         no_degrade: false,
         audit: false,
@@ -212,6 +225,8 @@ fn parse_args() -> Options {
             "--trace-info" => opts.trace_info = Some(value(&mut i)),
             "--events" => opts.events = Some(value(&mut i)),
             "--metrics" => opts.metrics = Some(value(&mut i)),
+            "--ledger" => opts.ledger = true,
+            "--chrome-trace" => opts.chrome_trace = Some(value(&mut i)),
             "--faults" => opts.faults = Some(value(&mut i)),
             "--no-degrade" => opts.no_degrade = true,
             "--audit" => opts.audit = true,
@@ -389,6 +404,9 @@ fn main() {
     if opts.audit {
         sim = sim.with_audit();
     }
+    if opts.ledger {
+        sim = sim.with_ledger();
+    }
 
     // Baseline for the speedup column.
     let mut base_sim = Simulation::new(sized.system.clone(), PolicyChoice::BasePages);
@@ -406,16 +424,29 @@ fn main() {
     let run_base = || base_sim.run(&spec());
     // The instrumented run streams the flight recorder when requested;
     // the baseline run is never recorded (it is only a speedup anchor).
-    let run_policy = || -> (SimReport, Option<(u64, Vec<(String, u64)>)>, std::time::Duration) {
+    // `--metrics` and `--chrome-trace` both ride on the telemetry
+    // recorder; `--events` keeps its raw JSONL sink, teed when both are
+    // asked for.
+    let want_telemetry = opts.metrics.is_some() || opts.chrome_trace.is_some();
+    type EventCounts = (u64, Vec<(String, u64)>);
+    type PolicyOut = (
+        SimReport,
+        Option<EventCounts>,
+        Option<TelemetryRecorder>,
+        std::time::Duration,
+    );
+    let run_policy = || -> PolicyOut {
         let t0 = std::time::Instant::now();
-        match &opts.events {
-            Some(path) => {
+        match (&opts.events, want_telemetry) {
+            (Some(path), telemetry) => {
                 let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
-                let mut sink = JsonlSink::new(BufWriter::new(file));
+                let sink = JsonlSink::new(BufWriter::new(file));
+                let mut rec = Tee(sink, telemetry.then(TelemetryRecorder::new));
                 let report = sim
-                    .try_run_recorded(&spec(), &mut sink)
+                    .try_run_recorded(&spec(), &mut rec)
                     .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
                 let wall = t0.elapsed();
+                let Tee(sink, telem) = rec;
                 let total = sink.total();
                 let counts = sink
                     .finish()
@@ -424,19 +455,26 @@ fn main() {
                     .into_iter()
                     .map(|(k, v)| (k.to_string(), v))
                     .collect();
-                (report, Some((total, counts)), wall)
+                (report, Some((total, counts)), telem, wall)
             }
-            None => {
+            (None, true) => {
+                let mut telem = TelemetryRecorder::new();
+                let report = sim
+                    .try_run_recorded(&spec(), &mut telem)
+                    .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
+                (report, None, Some(telem), t0.elapsed())
+            }
+            (None, false) => {
                 let report = sim
                     .try_run(&spec())
                     .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
-                (report, None, t0.elapsed())
+                (report, None, None, t0.elapsed())
             }
         }
     };
     // Both runs are deterministic in their configuration, so overlapping
     // them changes wall-clock only, never the printed report.
-    let (base, (report, event_counts, policy_wall)) = if opts.jobs > 1 {
+    let (base, (report, event_counts, mut telemetry, policy_wall)) = if opts.jobs > 1 {
         std::thread::scope(|scope| {
             let baseline = scope.spawn(run_base);
             let policy_out = run_policy();
@@ -445,6 +483,11 @@ fn main() {
     } else {
         (run_base(), run_policy())
     };
+    // Fold the ledger's outcome accounting into the telemetry registry
+    // so --metrics surfaces prediction_accuracy alongside the counters.
+    if let (Some(telem), Some(ledger)) = (telemetry.as_mut(), report.ledger.as_ref()) {
+        telem.ingest_ledger(ledger);
+    }
 
     if opts.verbosity >= 1 {
         println!(
@@ -548,16 +591,48 @@ fn main() {
         }
     }
 
+    // The attribution table is the artifact --ledger asks for; print it
+    // even at --quiet (CI greps its prediction_accuracy line).
+    if let Some(ledger) = &report.ledger {
+        println!(
+            "promotion ledger ({})\n{}",
+            report.policy,
+            ledger.render_table()
+        );
+    }
+
+    if let Some(telem) = &telemetry {
+        if let Some(path) = &opts.chrome_trace {
+            std::fs::write(path, telem.chrome_trace_json())
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            if opts.verbosity >= 1 {
+                println!(
+                    "wrote {} spans to {path} (load in chrome://tracing or ui.perfetto.dev)",
+                    telem.spans().len()
+                );
+            }
+        }
+        if opts.verbosity >= 2 {
+            println!("{}", telem.interval_summary());
+            println!(
+                "telemetry registry\n{}",
+                telem.metrics_snapshot().render_text()
+            );
+        }
+    }
+
     if let Some(path) = &opts.metrics {
         let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
         use std::io::Write;
         let mut w = BufWriter::new(file);
+        let telem = telemetry.as_ref().expect("--metrics attaches telemetry");
         w.write_all(report.interval_series.to_jsonl().as_bytes())
+            .and_then(|()| w.write_all(telem.metrics_snapshot().to_jsonl().as_bytes()))
             .and_then(|()| w.flush())
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         if opts.verbosity >= 1 {
             println!(
-                "wrote {} interval metric rows to {path}",
+                "wrote {} interval metric rows and the telemetry registry to {path}",
                 report.interval_series.len()
             );
         }

@@ -20,9 +20,11 @@ use hpage_bench::*;
 use hpage_sim::{Fig9Config, Harness};
 use hpage_trace::AppId;
 
-const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--json 1|6|7|ablation|datasets] [--jobs N|-j N] [--bench-out FILE] [--quiet|-q] [--verbose|-v]
+const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--ledger-out FILE] [--json 1|6|7|ablation|datasets] [--jobs N|-j N] [--bench-out FILE] [--quiet|-q] [--verbose|-v]
 parallelism: --jobs N runs up to N simulation cells concurrently (default: available cores; tables are byte-identical at any N)
-artifacts: runs that simulate anything write wall-clock timings to BENCH_repro.json (override with --bench-out)
+artifacts: runs that simulate anything write wall-clock timings to BENCH_repro.json (override with --bench-out);
+           --ledger-out runs the PCC policy with the promotion ledger on, prints the
+           predicted-vs-realized attribution summary, and writes per-region entries to FILE as JSONL
 verbosity: progress notes go to stderr; --quiet silences them, -v adds per-section timing
 environment: HPAGE_PROFILE=test|scaled|paper   HPAGE_SCALE=<log2 vertices>";
 
@@ -90,6 +92,7 @@ fn main() {
     // --jobs/--bench-out take a value, so they can't go through retain.
     let mut jobs: Option<usize> = None;
     let mut bench_out = String::from("BENCH_repro.json");
+    let mut ledger_out: Option<String> = None;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -99,11 +102,15 @@ fn main() {
                 Some(path) => bench_out = path,
                 None => die("--bench-out needs a path"),
             },
+            "--ledger-out" => match it.next() {
+                Some(path) => ledger_out = Some(path),
+                None => die("--ledger-out needs a path"),
+            },
             _ => rest.push(a),
         }
     }
     let args = rest;
-    if args.is_empty() {
+    if args.is_empty() && ledger_out.is_none() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
@@ -364,6 +371,24 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = &ledger_out {
+        if verbosity >= 1 {
+            eprintln!("repro: rendering promotion ledger...");
+        }
+        let t0 = std::time::Instant::now();
+        let (text, jsonl) = render_ledger(h, &profile, &AppId::GRAPH);
+        h.log()
+            .record_section("promotion ledger", t0.elapsed().as_secs_f64());
+        println!("{text}");
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if verbosity >= 1 {
+            eprintln!("repro: per-region ledger entries written to {path}");
+        }
     }
 
     // Simulated anything? Persist the wall-clock artifact.

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod trend;
 
 use hpage_perf::{ascii_plot, fmt_pct, fmt_speedup, geomean_positive, TextTable};
 use hpage_sim::{
@@ -320,6 +321,70 @@ collapses the PTW rate within the first intervals; scan-limited policies lag)
     )
 }
 
+/// Runs the PCC policy with the promotion ledger on and renders the
+/// per-app attribution summary (predicted vs realized walk savings and
+/// the run-level `prediction_accuracy`). Also returns the full
+/// per-region ledgers as JSON Lines — one `{"type":"ledger_run"}`
+/// header per app followed by its entries — for `repro --ledger-out`.
+pub fn render_ledger(h: &Harness, profile: &SimProfile, apps: &[AppId]) -> (String, String) {
+    use hpage_trace::Workload;
+    let cells: Vec<Cell> = apps
+        .iter()
+        .map(|&app| {
+            let w = h.workload(profile, app);
+            let sized = profile.clone().sized_for(w.footprint_bytes());
+            let mut sim =
+                Simulation::new(sized.system.clone(), PolicyChoice::pcc_default()).with_ledger();
+            if let Some(n) = profile.max_accesses_per_core {
+                sim = sim.with_max_accesses_per_core(n);
+            }
+            Cell::new(
+                format!("ledger/{}/pcc", app.name()),
+                sim,
+                w as hpage_sim::SharedWorkload,
+            )
+        })
+        .collect();
+    let reports = h.run(cells);
+    let mut t = TextTable::new([
+        "app",
+        "promotions",
+        "demotions",
+        "predicted walks",
+        "realized walks",
+        "prediction accuracy",
+    ]);
+    let mut jsonl = String::new();
+    let mut accuracies = Vec::new();
+    for (&app, report) in apps.iter().zip(&reports) {
+        let ledger = report
+            .ledger
+            .as_ref()
+            .expect("ledger cells record a ledger");
+        let s = ledger.summary();
+        t.row([
+            app.name().to_string(),
+            s.promotions.to_string(),
+            s.demotions.to_string(),
+            s.total_predicted.to_string(),
+            format!("{:.0}", s.total_realized),
+            format!("{:.6}", s.prediction_accuracy),
+        ]);
+        accuracies.push(s.prediction_accuracy);
+        jsonl.push_str(&format!(
+            "{{\"type\":\"ledger_run\",\"app\":\"{}\",\"policy\":\"{}\"}}\n",
+            hpage_obs::json::esc(app.name()),
+            hpage_obs::json::esc(&report.policy),
+        ));
+        jsonl.push_str(&ledger.to_jsonl());
+    }
+    let mean = accuracies.iter().sum::<f64>() / accuracies.len().max(1) as f64;
+    let text = format!(
+        "Promotion ledger — predicted vs realized walk savings (pcc)\n{t}\nmean prediction_accuracy: {mean:.6}\n"
+    );
+    (text, jsonl)
+}
+
 /// Renders the design-choice ablation table (DESIGN.md's ablation
 /// targets: cold-miss filter, decay, replacement, PWC alternative).
 pub fn render_ablation(h: &Harness, profile: &SimProfile, app: AppId) -> String {
@@ -540,5 +605,25 @@ mod tests {
         let seq = render_fig7(&Harness::sequential(), &p, &[AppId::Dedup], 90);
         let par = render_fig7(&Harness::new(4), &p, &[AppId::Dedup], 90);
         assert_eq!(seq, par, "tables must be byte-identical at any --jobs");
+    }
+
+    #[test]
+    fn ledger_render_reports_accuracy_at_any_jobs() {
+        let p = micro_profile();
+        let apps = [AppId::Bfs, AppId::Sssp];
+        let (text, jsonl) = render_ledger(&Harness::sequential(), &p, &apps);
+        assert!(text.contains("prediction accuracy"));
+        assert!(text.contains("mean prediction_accuracy:"));
+        assert!(jsonl.contains("\"type\":\"ledger_run\""));
+        assert!(jsonl.contains("\"type\":\"ledger_summary\""));
+        for line in jsonl.lines() {
+            hpage_obs::json::assert_json_shape(line);
+        }
+        let par = render_ledger(&Harness::new(4), &p, &apps);
+        assert_eq!(
+            (text, jsonl),
+            par,
+            "ledger must be byte-identical at any --jobs"
+        );
     }
 }

@@ -132,6 +132,12 @@ pub enum Event {
         rank: u32,
         /// The deciding policy's name.
         policy: &'static str,
+        /// The policy's predicted benefit at decision time: the PCC
+        /// frequency (walks last interval) for PCC-driven policies, 0
+        /// for policies that do not predict (THP, HawkEye coverage,
+        /// replay). This is the "predicted" side of the promotion
+        /// ledger's predicted-vs-realized accounting.
+        predicted_walks: u64,
     },
     /// A promotion attempt failed.
     PromotionFailure {
@@ -161,6 +167,10 @@ pub enum Event {
         process: ProcessId,
         /// The invalidated region.
         region: Vpn,
+        /// TLB entries actually removed across the owning cores — the
+        /// shootdown's "duration" proxy (each removed entry is an
+        /// invalidation the IPI handler would have performed).
+        entries_flushed: u64,
     },
     /// Interval-boundary snapshot of the whole pipeline.
     Interval(IntervalSnapshot),
@@ -324,12 +334,14 @@ impl Event {
                 region,
                 rank,
                 policy,
+                predicted_walks,
             } => format!(
-                "\"process\":{},\"region\":{},\"rank\":{},\"policy\":\"{}\"",
+                "\"process\":{},\"region\":{},\"rank\":{},\"policy\":\"{}\",\"predicted_walks\":{}",
                 process.0,
                 region.index(),
                 rank,
-                crate::json::esc(policy)
+                crate::json::esc(policy),
+                predicted_walks
             ),
             Event::PromotionFailure { reason } => format!(
                 "\"reason\":\"{}\"",
@@ -351,9 +363,16 @@ impl Event {
             Event::Demotion { process, region } => {
                 format!("\"process\":{},\"region\":{}", process.0, region.index())
             }
-            Event::Shootdown { process, region } => {
-                format!("\"process\":{},\"region\":{}", process.0, region.index())
-            }
+            Event::Shootdown {
+                process,
+                region,
+                entries_flushed,
+            } => format!(
+                "\"process\":{},\"region\":{},\"entries_flushed\":{}",
+                process.0,
+                region.index(),
+                entries_flushed
+            ),
             Event::Interval(s) => {
                 let hist: Vec<String> = s.freq_histogram.iter().map(|c| c.to_string()).collect();
                 format!(
@@ -454,6 +473,7 @@ mod tests {
                 region: Vpn::new(12, PageSize::Huge2M),
                 rank: 0,
                 policy: "pcc",
+                predicted_walks: 41,
             },
             Event::PromotionFailure {
                 reason: FailureReason::NoFrames,
@@ -473,6 +493,7 @@ mod tests {
             Event::Shootdown {
                 process: ProcessId(0),
                 region: Vpn::new(12, PageSize::Huge2M),
+                entries_flushed: 7,
             },
             Event::Interval(IntervalSnapshot {
                 interval: 3,

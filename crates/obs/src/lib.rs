@@ -12,8 +12,12 @@
 //!   an uninstrumented simulation pays nothing (the simulator is generic
 //!   over `R: Recorder`, so the null case monomorphizes to dead code).
 //! - [`MemoryRecorder`] — buffers `(timestamp, Event)` pairs in memory
-//!   for tests and programmatic inspection.
-//! - [`JsonlSink`] — streams events as JSON Lines to any writer.
+//!   for tests and programmatic inspection, optionally as a bounded ring
+//!   that keeps the most recent events and counts what it dropped.
+//! - [`JsonlSink`] — streams events as JSON Lines to any writer, and
+//!   flushes on `Drop` so truncated runs still leave whole lines.
+//! - [`Tee`] — fans one event stream out to two recorders (e.g. a raw
+//!   JSONL dump plus the `hpage-telemetry` aggregator in one pass).
 //!
 //! Timestamps are simulation time (total accesses issued), never wall
 //! clock, so recordings of a fixed-seed run are byte-stable.
@@ -38,4 +42,4 @@ pub use event::{
 };
 pub use harness::{CellTiming, HarnessLog, SectionTiming};
 pub use metrics::{IntervalRow, IntervalSeries};
-pub use recorder::{JsonlSink, MemoryRecorder, NullRecorder, Recorder};
+pub use recorder::{JsonlSink, MemoryRecorder, NullRecorder, Recorder, Tee};

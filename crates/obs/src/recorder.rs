@@ -1,5 +1,6 @@
-//! Recorder backends: the zero-cost null recorder, an in-memory buffer,
-//! and a streaming JSONL sink.
+//! Recorder backends: the zero-cost null recorder, an in-memory buffer
+//! (optionally a bounded ring), a streaming JSONL sink, and a tee that
+//! feeds two recorders at once.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -37,24 +38,72 @@ pub struct NullRecorder;
 
 impl Recorder for NullRecorder {}
 
+/// `Option<R>` is a recorder that may not be there: `None` behaves like
+/// [`NullRecorder`], `Some(r)` like `r`. Lets callers decide at runtime
+/// whether to attach one leg of a [`Tee`] without monomorphizing every
+/// combination.
+impl<R: Recorder> Recorder for Option<R> {
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(Recorder::enabled)
+    }
+
+    fn record(&mut self, at: u64, event: Event) {
+        if let Some(r) = self.as_mut() {
+            r.record(at, event);
+        }
+    }
+}
+
 /// Buffers every event in memory; for tests and programmatic analysis.
+///
+/// By default the buffer is unbounded. Long chaos runs can cap it with
+/// [`with_capacity`](MemoryRecorder::with_capacity), which turns the
+/// buffer into a ring keeping the **most recent** events (the tail is
+/// what matters when diagnosing a failure) and counts what was
+/// overwritten in [`dropped`](MemoryRecorder::dropped).
 #[derive(Debug, Clone, Default)]
 pub struct MemoryRecorder {
     events: Vec<(u64, Event)>,
+    /// Ring capacity; `None` is unbounded.
+    capacity: Option<usize>,
+    /// Next ring slot to overwrite once the buffer is full.
+    head: usize,
+    dropped: u64,
 }
 
 impl MemoryRecorder {
-    /// An empty recorder.
+    /// An empty, unbounded recorder.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// All recorded `(timestamp, event)` pairs, in arrival order.
-    pub fn events(&self) -> &[(u64, Event)] {
-        &self.events
+    /// An empty ring recorder keeping at most `capacity` events (the
+    /// most recent ones; older events are overwritten and counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        MemoryRecorder {
+            events: Vec::with_capacity(capacity),
+            capacity: Some(capacity),
+            head: 0,
+            dropped: 0,
+        }
     }
 
-    /// Number of recorded events.
+    /// All retained `(timestamp, event)` pairs, oldest first. For an
+    /// unbounded recorder this is every event in arrival order; for a
+    /// ring it is the most recent `capacity` events.
+    pub fn events(&self) -> Vec<(u64, Event)> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
@@ -64,7 +113,16 @@ impl MemoryRecorder {
         self.events.is_empty()
     }
 
-    /// Per-kind event counts, ordered by kind name.
+    /// Events overwritten because the ring was full (always 0 for an
+    /// unbounded recorder). Surface this through a metrics registry
+    /// (e.g. a `recorder.events_dropped` counter) so capped recordings
+    /// are visibly lossy rather than silently truncated.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Per-kind event counts of the *retained* events, ordered by kind
+    /// name.
     pub fn counts_by_kind(&self) -> BTreeMap<&'static str, u64> {
         let mut counts = BTreeMap::new();
         for (_, ev) in &self.events {
@@ -73,11 +131,11 @@ impl MemoryRecorder {
         counts
     }
 
-    /// Renders the full buffer as JSON Lines.
+    /// Renders the retained buffer as JSON Lines, oldest event first.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        for (at, ev) in &self.events {
-            out.push_str(&ev.to_jsonl(*at));
+        for (at, ev) in self.events() {
+            out.push_str(&ev.to_jsonl(at));
             out.push('\n');
         }
         out
@@ -92,7 +150,14 @@ impl Recorder for MemoryRecorder {
 
     #[inline]
     fn record(&mut self, at: u64, event: Event) {
-        self.events.push((at, event));
+        match self.capacity {
+            Some(cap) if self.events.len() == cap => {
+                self.events[self.head] = (at, event);
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.events.push((at, event)),
+        }
     }
 }
 
@@ -100,7 +165,9 @@ impl Recorder for MemoryRecorder {
 ///
 /// Writes are line-buffered by the caller-supplied writer; I/O errors
 /// are captured rather than panicking mid-simulation and surfaced by
-/// [`JsonlSink::finish`].
+/// [`JsonlSink::finish`]. The sink also flushes on `Drop`, so a run
+/// that aborts before calling `finish` still leaves whole JSONL lines
+/// behind (every record is written with a single `writeln!`).
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
@@ -138,7 +205,16 @@ impl<W: Write> JsonlSink<W> {
             return Err(err);
         }
         self.writer.flush()?;
-        Ok(self.counts)
+        Ok(std::mem::take(&mut self.counts))
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best-effort: a sink dropped mid-run (panic, early return) must
+        // not leave buffered lines unwritten. Errors here have nowhere
+        // to go — `finish` is the path that surfaces them.
+        let _ = self.writer.flush();
     }
 }
 
@@ -161,12 +237,37 @@ impl<W: Write> Recorder for JsonlSink<W> {
     }
 }
 
+/// Feeds every event to two recorders — e.g. a [`JsonlSink`] for the
+/// raw stream plus a telemetry aggregator, in one simulation pass.
+#[derive(Debug)]
+pub struct Tee<A: Recorder, B: Recorder>(
+    /// First recorder.
+    pub A,
+    /// Second recorder.
+    pub B,
+);
+
+impl<A: Recorder, B: Recorder> Recorder for Tee<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, at: u64, event: Event) {
+        self.0.record(at, event);
+        self.1.record(at, event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::TlbLevel;
     use crate::json::assert_json_shape;
     use hpage_types::{CoreId, PageSize};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn hit() -> Event {
         Event::TlbHit {
@@ -190,12 +291,43 @@ mod tests {
         r.record(1, hit());
         r.record(2, hit());
         assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
         assert_eq!(r.counts_by_kind().get("tlb_hit"), Some(&2));
         let jsonl = r.to_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
         for line in jsonl.lines() {
             assert_json_shape(line);
         }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut r = MemoryRecorder::with_capacity(3);
+        for at in 1..=7 {
+            r.record(at, hit());
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        let ats: Vec<u64> = r.events().iter().map(|(at, _)| *at).collect();
+        assert_eq!(ats, vec![5, 6, 7], "ring keeps the newest events in order");
+        // JSONL render follows the same oldest-first order.
+        assert!(r.to_jsonl().starts_with("{\"at\":5,"));
+    }
+
+    #[test]
+    fn ring_below_capacity_behaves_like_unbounded() {
+        let mut r = MemoryRecorder::with_capacity(8);
+        r.record(1, hit());
+        r.record(2, hit());
+        assert_eq!(r.dropped(), 0);
+        let ats: Vec<u64> = r.events().iter().map(|(at, _)| *at).collect();
+        assert_eq!(ats, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_ring_is_rejected() {
+        let _ = MemoryRecorder::with_capacity(0);
     }
 
     #[test]
@@ -211,6 +343,47 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.starts_with("{\"at\":5,"));
+        for line in text.lines() {
+            assert_json_shape(line);
+        }
+    }
+
+    /// A shared-buffer writer that survives the sink's drop, counting
+    /// flushes — the stand-in for a file a crashed run leaves behind.
+    #[derive(Clone, Default)]
+    struct SharedWriter {
+        buf: Rc<RefCell<Vec<u8>>>,
+        flushes: Rc<RefCell<u32>>,
+    }
+
+    impl Write for SharedWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.borrow_mut().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            *self.flushes.borrow_mut() += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dropped_sink_flushes_and_leaves_valid_jsonl() {
+        // A "truncated" run: the sink is dropped mid-stream without
+        // finish(). The writer must still have been flushed and every
+        // line already written must be complete, valid JSONL.
+        let w = SharedWriter::default();
+        {
+            let mut sink = JsonlSink::new(w.clone());
+            for at in 1..=5 {
+                sink.record(at, hit());
+            }
+            // No finish(): the scope end drops the sink.
+        }
+        assert!(*w.flushes.borrow() >= 1, "Drop must flush the writer");
+        let text = String::from_utf8(w.buf.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.ends_with('\n'), "no partial trailing line");
         for line in text.lines() {
             assert_json_shape(line);
         }
@@ -232,5 +405,18 @@ mod tests {
         sink.record(1, hit());
         sink.record(2, hit()); // swallowed after first error
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn tee_feeds_both_recorders() {
+        let mut tee = Tee(MemoryRecorder::new(), MemoryRecorder::with_capacity(1));
+        assert!(tee.enabled());
+        tee.record(1, hit());
+        tee.record(2, hit());
+        assert_eq!(tee.0.len(), 2);
+        assert_eq!(tee.1.len(), 1);
+        assert_eq!(tee.1.dropped(), 1);
+        // A tee of two null recorders stays disabled.
+        assert!(!Tee(NullRecorder, NullRecorder).enabled());
     }
 }

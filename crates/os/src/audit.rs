@@ -96,6 +96,13 @@ pub enum AuditViolation {
         /// Description of the disagreement.
         what: String,
     },
+    /// The promotion ledger disagrees with the page tables: an entry it
+    /// considers open is not huge-mapped (or vice versa), so a
+    /// promotion or demotion was not recorded.
+    LedgerMismatch {
+        /// Description of the disagreement.
+        what: String,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -132,6 +139,7 @@ impl fmt::Display for AuditViolation {
                 write!(f, "core {core} has no process placement")
             }
             AuditViolation::CounterMismatch { what } => write!(f, "counter mismatch: {what}"),
+            AuditViolation::LedgerMismatch { what } => write!(f, "ledger mismatch: {what}"),
         }
     }
 }
@@ -328,6 +336,37 @@ impl Auditor {
         violations
     }
 
+    /// Cross-checks the promotion ledger against the page tables: every
+    /// entry the ledger considers open must be huge-mapped in its
+    /// process's space. (The converse — huge-mapped regions missing
+    /// from the ledger — is legitimate for fault-time THP promotions
+    /// the interval engine never saw, so it is not flagged.)
+    pub fn check_ledger(
+        &self,
+        os: &OsState,
+        ledger: &crate::ledger::PromotionLedger,
+    ) -> Vec<AuditViolation> {
+        let mut violations = Vec::new();
+        for e in ledger.open_entries() {
+            let pid = e.process.0 as usize;
+            let Some(space) = os.spaces.get(pid) else {
+                violations.push(AuditViolation::LedgerMismatch {
+                    what: format!("open entry for unknown process {}", e.process.0),
+                });
+                continue;
+            };
+            if !space.page_table().is_huge_mapped(e.region) {
+                violations.push(AuditViolation::LedgerMismatch {
+                    what: format!(
+                        "open entry {} of process {} is not huge-mapped (missed demotion?)",
+                        e.region, e.process.0
+                    ),
+                });
+            }
+        }
+        violations
+    }
+
     /// Runs every check: [`check`](Self::check), plus
     /// [`check_tlbs`](Self::check_tlbs) and
     /// [`check_pcc`](Self::check_pcc) when the caller has those
@@ -485,6 +524,29 @@ mod tests {
         ];
         let violations = auditor.check_tlbs(&os, &tlbs);
         assert_eq!(violations, vec![AuditViolation::UnplacedCore { core: 1 }]);
+    }
+
+    #[test]
+    fn ledger_coherence_is_checked() {
+        let mut os = os_with_pages(512);
+        let auditor = Auditor::new(&os);
+        let region = Vpn::new(0, PageSize::Huge2M);
+        let mut ledger = crate::PromotionLedger::new();
+        ledger.record_promotion(ProcessId(0), region, 0, 10);
+        // The ledger thinks the region is huge, but no promotion happened.
+        let violations = auditor.check_ledger(&os, &ledger);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::LedgerMismatch { .. })));
+        os.spaces[0].promote(region, true, 0, &mut os.phys).unwrap();
+        assert!(auditor.check_ledger(&os, &ledger).is_empty());
+        // Demotion recorded on both sides: clean again.
+        os.spaces[0].demote(region, &mut os.phys).unwrap();
+        ledger.record_demotion(ProcessId(0), region);
+        assert!(auditor.check_ledger(&os, &ledger).is_empty());
+        // An entry for a process the OS does not have.
+        ledger.record_promotion(ProcessId(9), region, 0, 1);
+        assert!(!auditor.check_ledger(&os, &ledger).is_empty());
     }
 
     #[test]

@@ -121,11 +121,27 @@ impl PromotionBudget {
     }
 }
 
+/// One successful promotion, with the provenance the promotion ledger
+/// needs: who, what, and the policy's predicted benefit at decision
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionRecord {
+    /// The owning process.
+    pub process: ProcessId,
+    /// What the promotion did (region, pages migrated/collapsed).
+    pub outcome: PromotionOutcome,
+    /// The policy's predicted per-interval walk savings: the PCC
+    /// frequency counter for PCC-driven policies, 0 for policies that
+    /// rank by something other than walks (THP scan order, HawkEye
+    /// coverage, replay).
+    pub predicted_walks: u64,
+}
+
 /// What a policy changed during one interval.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IntervalReport {
     /// Successful promotions.
-    pub promotions: Vec<(ProcessId, PromotionOutcome)>,
+    pub promotions: Vec<PromotionRecord>,
     /// Demotions performed (to free huge frames under pressure).
     pub demotions: Vec<(ProcessId, Vpn)>,
     /// Regions whose accessed bits were cleared for working-set sampling.
@@ -157,7 +173,7 @@ impl IntervalReport {
     pub fn shootdown_regions(&self) -> Vec<(ProcessId, Vpn)> {
         self.promotions
             .iter()
-            .map(|(pid, p)| (*pid, p.region))
+            .map(|r| (r.process, r.outcome.region))
             .chain(self.demotions.iter().copied())
             .chain(self.sampling_invalidations.iter().copied())
             .collect()
@@ -411,7 +427,11 @@ impl HugePagePolicy for LinuxThpPolicy {
                 match execute_promotion(os, &mut pccs, p, region, now) {
                     Ok(out) => {
                         budget.consume();
-                        report.promotions.push((ProcessId(p as u32), out));
+                        report.promotions.push(PromotionRecord {
+                            process: ProcessId(p as u32),
+                            outcome: out,
+                            predicted_walks: 0,
+                        });
                     }
                     Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                         report.failures += 1;
@@ -542,7 +562,11 @@ impl HugePagePolicy for HawkEyePolicy {
                     Ok(out) => {
                         promoted += 1;
                         budget.consume();
-                        report.promotions.push((ProcessId(p as u32), out));
+                        report.promotions.push(PromotionRecord {
+                            process: ProcessId(p as u32),
+                            outcome: out,
+                            predicted_walks: 0,
+                        });
                     }
                     Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                         report.failures += 1;
@@ -807,7 +831,11 @@ impl HugePagePolicy for PccPolicy {
                     promoted += 1;
                     budget.consume();
                     self.backoff.remove(&(p, region.index()));
-                    report.promotions.push((ProcessId(p as u32), out));
+                    report.promotions.push(PromotionRecord {
+                        process: ProcessId(p as u32),
+                        outcome: out,
+                        predicted_walks: cand.candidate.frequency,
+                    });
                 }
                 Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                     report.failures += 1;
@@ -962,7 +990,11 @@ impl HugePagePolicy for ReplayPolicy {
             match execute_promotion(os, &mut pccs, p, ev.region, now) {
                 Ok(out) => {
                     budget.consume();
-                    report.promotions.push((ev.process, out));
+                    report.promotions.push(PromotionRecord {
+                        process: ev.process,
+                        outcome: out,
+                        predicted_walks: 0,
+                    });
                 }
                 Err(HpageError::OutOfMemory { .. } | HpageError::Fault { .. }) => {
                     report.failures += 1;
@@ -1041,7 +1073,7 @@ mod tests {
         let promoted: Vec<u64> = rep
             .promotions
             .iter()
-            .map(|(_, o)| o.region.index())
+            .map(|r| r.outcome.region.index())
             .collect();
         assert_eq!(promoted, vec![2, 5, 9]);
         assert!(os.spaces[0].page_table().is_huge_mapped(region(2)));
@@ -1061,7 +1093,7 @@ mod tests {
         let idx: Vec<u64> = rep2
             .promotions
             .iter()
-            .map(|(_, o)| o.region.index())
+            .map(|r| r.outcome.region.index())
             .collect();
         assert_eq!(idx, vec![2, 3]); // rotor resumed
     }
@@ -1101,8 +1133,8 @@ mod tests {
         }
         let mut p = HawkEyePolicy::new();
         let rep = p.run_interval(&mut os, None, 0, &mut PromotionBudget::UNLIMITED.clone());
-        assert_eq!(rep.promotions[0].1.region, region(3));
-        assert_eq!(rep.promotions[1].1.region, region(7));
+        assert_eq!(rep.promotions[0].outcome.region, region(3));
+        assert_eq!(rep.promotions[1].outcome.region, region(7));
     }
 
     #[test]
@@ -1146,7 +1178,10 @@ mod tests {
             &mut PromotionBudget::UNLIMITED.clone(),
         );
         assert_eq!(rep.promotions.len(), 1);
-        assert_eq!(rep.promotions[0].1.region, region(8));
+        assert_eq!(rep.promotions[0].outcome.region, region(8));
+        // The prediction travels with the record: region 8 was walked
+        // more than region 3, and the PCC counter is what was promised.
+        assert!(rep.promotions[0].predicted_walks > 0);
         // Promotion invalidated the candidate from the PCC.
         assert_eq!(bank.pcc(CoreId(0)).frequency_of(region(8)), None);
         assert!(bank.pcc(CoreId(0)).frequency_of(region(3)).is_some());
@@ -1186,7 +1221,7 @@ mod tests {
             &mut PromotionBudget::UNLIMITED.clone(),
         );
         assert_eq!(rep.promotions.len(), 1);
-        assert_eq!(rep.promotions[0].1.region, region(5));
+        assert_eq!(rep.promotions[0].outcome.region, region(5));
     }
 
     #[test]
@@ -1261,7 +1296,7 @@ mod tests {
         let cores_hit: Vec<u64> = rep
             .promotions
             .iter()
-            .map(|(_, o)| o.region.index())
+            .map(|r| r.outcome.region.index())
             .collect();
         // One candidate from each core's PCC.
         assert!(cores_hit.contains(&0) || cores_hit.contains(&1));
@@ -1289,8 +1324,8 @@ mod tests {
             0,
             &mut PromotionBudget::UNLIMITED.clone(),
         );
-        assert_eq!(rep.promotions[0].0, ProcessId(1));
-        assert_eq!(rep.promotions[0].1.region, region(200));
+        assert_eq!(rep.promotions[0].process, ProcessId(1));
+        assert_eq!(rep.promotions[0].outcome.region, region(200));
     }
 
     #[test]
@@ -1340,8 +1375,8 @@ mod tests {
             if !rep.demotions.is_empty() {
                 assert_eq!(rep.demotions, vec![(ProcessId(0), region(0))]);
                 assert_eq!(rep.promotions.len(), 1);
-                assert_eq!(rep.promotions[0].1.region, region(2));
-                assert!(rep.promotions[0].1.pages_migrated >= 512);
+                assert_eq!(rep.promotions[0].outcome.region, region(2));
+                assert!(rep.promotions[0].outcome.pages_migrated >= 512);
                 demoted = true;
                 break;
             }
@@ -1401,12 +1436,12 @@ mod tests {
         // At t=200 only the first event fires.
         let rep = p.run_interval(&mut os, None, 200, &mut PromotionBudget::UNLIMITED.clone());
         assert_eq!(rep.promotions.len(), 1);
-        assert_eq!(rep.promotions[0].1.region, region(3));
+        assert_eq!(rep.promotions[0].outcome.region, region(3));
         assert_eq!(p.remaining(), 1);
         // At t=600 the second fires.
         let rep = p.run_interval(&mut os, None, 600, &mut PromotionBudget::UNLIMITED.clone());
         assert_eq!(rep.promotions.len(), 1);
-        assert_eq!(rep.promotions[0].1.region, region(7));
+        assert_eq!(rep.promotions[0].outcome.region, region(7));
         assert_eq!(p.remaining(), 0);
     }
 

@@ -1,0 +1,438 @@
+//! The promotion ledger: predicted-vs-realized accounting for every
+//! huge-page promotion.
+//!
+//! The paper's central claim is that the PCC ranks promotion candidates
+//! by *predicted* walk savings (its frequency counter ≈ walks the region
+//! caused last interval). This ledger closes the loop: at decision time
+//! it records the prediction, and over subsequent intervals it measures
+//! how many walks the region actually caused once huge-mapped. The gap
+//! between the two is the policy's prediction error — surfaced per
+//! region as an attribution table and per run as a single
+//! `prediction_accuracy` statistic.
+//!
+//! Time is measured in promotion intervals and walk counts, never wall
+//! clock, so ledger tables of a fixed-seed run are byte-stable.
+
+use hpage_types::{FxHashMap, ProcessId, Vpn};
+
+/// Map of per-interval walk counts keyed by `(process, region index)` —
+/// the measurement the simulator feeds to
+/// [`PromotionLedger::observe_interval`] at each boundary.
+pub type RegionWalks = FxHashMap<(u32, u64), u64>;
+
+/// One promoted region's predicted-vs-realized record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// The owning process.
+    pub process: ProcessId,
+    /// The promoted 2 MiB region.
+    pub region: Vpn,
+    /// Interval index at which the promotion happened.
+    pub promoted_interval: u64,
+    /// Simulation time (total accesses) of the promotion.
+    pub promoted_at: u64,
+    /// The policy's predicted per-interval walk savings at decision
+    /// time (the PCC frequency counter; 0 for non-predictive policies).
+    pub predicted_walks: u64,
+    /// Walks the region caused in the interval *before* promotion — the
+    /// measured baseline the prediction approximates.
+    pub walks_before: u64,
+    /// Intervals observed since promotion (while still huge-mapped).
+    pub intervals_observed: u64,
+    /// Total walks the region caused across those observed intervals.
+    pub walks_after: u64,
+    /// First interval count at which the region's walk rate fell to
+    /// half its pre-promotion baseline, if it ever did — the promotion's
+    /// latency-to-benefit.
+    pub intervals_to_benefit: Option<u64>,
+    /// Interval at which the region was demoted, if it was.
+    pub demoted_interval: Option<u64>,
+}
+
+impl LedgerEntry {
+    /// Realized per-interval walk savings: the pre-promotion baseline
+    /// minus the post-promotion average, floored at zero (a promotion
+    /// cannot "cost" walks in this model, but a cooling region can look
+    /// like it did).
+    pub fn realized_walks_saved(&self) -> f64 {
+        if self.intervals_observed == 0 {
+            return 0.0;
+        }
+        let after = self.walks_after as f64 / self.intervals_observed as f64;
+        (self.walks_before as f64 - after).max(0.0)
+    }
+}
+
+/// Per-run rollup of a [`PromotionLedger`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerSummary {
+    /// Promotions recorded.
+    pub promotions: u64,
+    /// Of those, how many were later demoted.
+    pub demotions: u64,
+    /// Intervals the ledger observed.
+    pub intervals: u64,
+    /// Sum of predicted per-interval walk savings over scored entries.
+    pub total_predicted: u64,
+    /// Sum of realized per-interval walk savings over scored entries.
+    pub total_realized: f64,
+    /// Agreement between prediction and realization in `[0, 1]`:
+    /// `Σ min(predicted, realized) / Σ max(predicted, realized)` over
+    /// entries observed for at least one interval. Defined as 1.0 when
+    /// nothing was scored (no promotions, or none observed), so the
+    /// stat is always finite.
+    pub prediction_accuracy: f64,
+}
+
+/// Records every promotion's predicted benefit and measures the
+/// realized benefit over subsequent intervals.
+///
+/// Driving protocol (the simulator follows it at each boundary):
+///
+/// 1. [`observe_interval`](Self::observe_interval) with the walk counts
+///    of the interval that just ended — scores open entries and becomes
+///    the "walks before" baseline for promotions decided *now*;
+/// 2. [`record_promotion`](Self::record_promotion) /
+///    [`record_demotion`](Self::record_demotion) for each decision the
+///    policy makes this boundary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromotionLedger {
+    entries: Vec<LedgerEntry>,
+    /// Open (still huge-mapped) entries by `(process, region index)`.
+    open: FxHashMap<(u32, u64), usize>,
+    /// Walk counts from the most recently observed interval.
+    last_walks: RegionWalks,
+    /// Intervals observed so far.
+    intervals: u64,
+}
+
+impl PromotionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores the interval that just ended: every open entry accrues
+    /// the walks its region caused (0 if the region went quiet), and
+    /// `walks` becomes the baseline for promotions decided at this
+    /// boundary.
+    pub fn observe_interval(&mut self, walks: &RegionWalks) {
+        self.intervals += 1;
+        for (&key, &idx) in &self.open {
+            let e = &mut self.entries[idx];
+            let w = walks.get(&key).copied().unwrap_or(0);
+            e.walks_after += w;
+            e.intervals_observed += 1;
+            if e.intervals_to_benefit.is_none() && w * 2 <= e.walks_before {
+                e.intervals_to_benefit = Some(e.intervals_observed);
+            }
+        }
+        self.last_walks = walks.clone();
+    }
+
+    /// Records a promotion decided at the current boundary. `at` is
+    /// simulation time in accesses; `predicted_walks` is the policy's
+    /// predicted per-interval walk savings (0 for non-predictive
+    /// policies — such entries still get realized accounting but score
+    /// a prediction of zero).
+    pub fn record_promotion(
+        &mut self,
+        process: ProcessId,
+        region: Vpn,
+        at: u64,
+        predicted_walks: u64,
+    ) {
+        let key = (process.0, region.index());
+        let walks_before = self.last_walks.get(&key).copied().unwrap_or(0);
+        let idx = self.entries.len();
+        self.entries.push(LedgerEntry {
+            process,
+            region,
+            promoted_interval: self.intervals,
+            promoted_at: at,
+            predicted_walks,
+            walks_before,
+            intervals_observed: 0,
+            walks_after: 0,
+            intervals_to_benefit: None,
+            demoted_interval: None,
+        });
+        self.open.insert(key, idx);
+    }
+
+    /// Closes the entry for a region demoted at the current boundary.
+    /// Unknown regions (never promoted under this ledger) are ignored.
+    pub fn record_demotion(&mut self, process: ProcessId, region: Vpn) {
+        if let Some(idx) = self.open.remove(&(process.0, region.index())) {
+            self.entries[idx].demoted_interval = Some(self.intervals);
+        }
+    }
+
+    /// All entries, in promotion order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Entries still huge-mapped (promoted, not yet demoted), in
+    /// promotion order.
+    pub fn open_entries(&self) -> impl Iterator<Item = &LedgerEntry> {
+        self.entries.iter().filter(|e| e.demoted_interval.is_none())
+    }
+
+    /// Intervals observed so far.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Number of recorded promotions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no promotion was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rolls the ledger up into the per-run summary.
+    pub fn summary(&self) -> LedgerSummary {
+        let mut total_predicted = 0u64;
+        let mut total_realized = 0.0f64;
+        let mut agree = 0.0f64;
+        let mut span = 0.0f64;
+        let mut demotions = 0u64;
+        for e in &self.entries {
+            if e.demoted_interval.is_some() {
+                demotions += 1;
+            }
+            if e.intervals_observed == 0 {
+                continue; // promoted at the final boundary: nothing measured
+            }
+            let predicted = e.predicted_walks as f64;
+            let realized = e.realized_walks_saved();
+            total_predicted += e.predicted_walks;
+            total_realized += realized;
+            agree += predicted.min(realized);
+            span += predicted.max(realized);
+        }
+        let prediction_accuracy = if span > 0.0 { agree / span } else { 1.0 };
+        LedgerSummary {
+            promotions: self.entries.len() as u64,
+            demotions,
+            intervals: self.intervals,
+            total_predicted,
+            total_realized,
+            prediction_accuracy,
+        }
+    }
+
+    /// Renders the attribution table: one aligned row per promotion,
+    /// followed by the summary line. Deterministic for a fixed run.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "process  region     interval  predicted  before  after/ivl  realized  \
+             ttb  demoted\n",
+        );
+        for e in &self.entries {
+            let after_per_ivl = if e.intervals_observed == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", e.walks_after as f64 / e.intervals_observed as f64)
+            };
+            let ttb = e
+                .intervals_to_benefit
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into());
+            let demoted = e
+                .demoted_interval
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<7}  {:<9}  {:<8}  {:<9}  {:<6}  {:<9}  {:<8.1}  {:<3}  {}\n",
+                e.process.0,
+                e.region.index(),
+                e.promoted_interval,
+                e.predicted_walks,
+                e.walks_before,
+                after_per_ivl,
+                e.realized_walks_saved(),
+                ttb,
+                demoted
+            ));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "promotions: {}  demotions: {}  intervals: {}  predicted: {}  realized: {:.1}\n\
+             prediction_accuracy: {:.6}\n",
+            s.promotions,
+            s.demotions,
+            s.intervals,
+            s.total_predicted,
+            s.total_realized,
+            s.prediction_accuracy
+        ));
+        out
+    }
+
+    /// Renders the ledger as JSON Lines: one `"ledger"` record per
+    /// entry, then one `"ledger_summary"` record.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let ttb = e
+                .intervals_to_benefit
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "null".into());
+            let demoted = e
+                .demoted_interval
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "null".into());
+            out.push_str(&format!(
+                "{{\"type\":\"ledger\",\"process\":{},\"region\":{},\"interval\":{},\
+                 \"at\":{},\"predicted_walks\":{},\"walks_before\":{},\
+                 \"intervals_observed\":{},\"walks_after\":{},\"realized\":{:.6},\
+                 \"intervals_to_benefit\":{},\"demoted_interval\":{}}}\n",
+                e.process.0,
+                e.region.index(),
+                e.promoted_interval,
+                e.promoted_at,
+                e.predicted_walks,
+                e.walks_before,
+                e.intervals_observed,
+                e.walks_after,
+                e.realized_walks_saved(),
+                ttb,
+                demoted
+            ));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "{{\"type\":\"ledger_summary\",\"promotions\":{},\"demotions\":{},\
+             \"intervals\":{},\"total_predicted\":{},\"total_realized\":{:.6},\
+             \"prediction_accuracy\":{:.6}}}\n",
+            s.promotions,
+            s.demotions,
+            s.intervals,
+            s.total_predicted,
+            s.total_realized,
+            s.prediction_accuracy
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_types::PageSize;
+
+    fn region(i: u64) -> Vpn {
+        Vpn::new(i, PageSize::Huge2M)
+    }
+
+    fn walks(pairs: &[((u32, u64), u64)]) -> RegionWalks {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let mut l = PromotionLedger::new();
+        // Interval 0: region 5 causes 40 walks.
+        l.observe_interval(&walks(&[((0, 5), 40)]));
+        // Policy predicts 40 and promotes; the region then goes fully
+        // quiet (the huge mapping absorbed every walk).
+        l.record_promotion(ProcessId(0), region(5), 1_000, 40);
+        l.observe_interval(&walks(&[]));
+        l.observe_interval(&walks(&[]));
+        let e = l.entries()[0];
+        assert_eq!(e.walks_before, 40);
+        assert_eq!(e.intervals_observed, 2);
+        assert_eq!(e.realized_walks_saved(), 40.0);
+        assert_eq!(e.intervals_to_benefit, Some(1));
+        let s = l.summary();
+        assert_eq!(s.prediction_accuracy, 1.0);
+        assert_eq!(s.total_predicted, 40);
+    }
+
+    #[test]
+    fn overprediction_lowers_accuracy() {
+        let mut l = PromotionLedger::new();
+        l.observe_interval(&walks(&[((0, 5), 40)]));
+        // Predicts 40 saved, but the region keeps walking 30/interval:
+        // realized = 40 - 30 = 10, accuracy = 10/40.
+        l.record_promotion(ProcessId(0), region(5), 1_000, 40);
+        l.observe_interval(&walks(&[((0, 5), 30)]));
+        let s = l.summary();
+        assert_eq!(s.prediction_accuracy, 0.25);
+        assert_eq!(l.entries()[0].intervals_to_benefit, None);
+    }
+
+    #[test]
+    fn empty_and_unobserved_ledgers_score_finite_one() {
+        // No promotions at all.
+        assert_eq!(PromotionLedger::new().summary().prediction_accuracy, 1.0);
+        // A promotion at the very last boundary is never observed and
+        // must not poison the stat.
+        let mut l = PromotionLedger::new();
+        l.observe_interval(&walks(&[((0, 1), 9)]));
+        l.record_promotion(ProcessId(0), region(1), 500, 9);
+        let s = l.summary();
+        assert_eq!(s.promotions, 1);
+        assert!(s.prediction_accuracy.is_finite());
+        assert_eq!(s.prediction_accuracy, 1.0);
+    }
+
+    #[test]
+    fn demotion_closes_the_entry() {
+        let mut l = PromotionLedger::new();
+        l.observe_interval(&walks(&[((0, 7), 12)]));
+        l.record_promotion(ProcessId(0), region(7), 100, 12);
+        l.observe_interval(&walks(&[((0, 7), 2)]));
+        l.record_demotion(ProcessId(0), region(7));
+        assert_eq!(l.entries()[0].demoted_interval, Some(2));
+        assert_eq!(l.open_entries().count(), 0);
+        // Later intervals no longer accrue to the closed entry.
+        l.observe_interval(&walks(&[((0, 7), 99)]));
+        assert_eq!(l.entries()[0].walks_after, 2);
+        assert_eq!(l.summary().demotions, 1);
+        // Demoting an unknown region is a no-op.
+        l.record_demotion(ProcessId(3), region(42));
+    }
+
+    #[test]
+    fn cold_promotion_has_zero_baseline() {
+        let mut l = PromotionLedger::new();
+        l.observe_interval(&walks(&[]));
+        // Promoted without ever appearing in the walk map (e.g. a THP
+        // fault-time promotion): baseline 0, realized 0.
+        l.record_promotion(ProcessId(1), region(3), 50, 0);
+        l.observe_interval(&walks(&[]));
+        let e = l.entries()[0];
+        assert_eq!(e.walks_before, 0);
+        assert_eq!(e.realized_walks_saved(), 0.0);
+        // 0-vs-0 contributes nothing to the span; accuracy stays 1.
+        assert_eq!(l.summary().prediction_accuracy, 1.0);
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_well_formed() {
+        let mut l = PromotionLedger::new();
+        l.observe_interval(&walks(&[((0, 5), 40), ((1, 9), 8)]));
+        l.record_promotion(ProcessId(0), region(5), 1_000, 38);
+        l.record_promotion(ProcessId(1), region(9), 1_000, 8);
+        l.observe_interval(&walks(&[((1, 9), 8)]));
+        l.record_demotion(ProcessId(1), region(9));
+        let table = l.render_table();
+        assert_eq!(table, l.render_table());
+        assert!(table.contains("prediction_accuracy: "));
+        assert_eq!(table.lines().count(), 1 + 2 + 2, "header, 2 rows, summary");
+        let jsonl = l.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains("\"type\":\"ledger_summary\""));
+        assert!(jsonl.contains("\"prediction_accuracy\":"));
+        // Entries render in promotion order regardless of map order.
+        let first = jsonl.lines().next().unwrap();
+        assert!(first.contains("\"region\":5"), "{first}");
+    }
+}

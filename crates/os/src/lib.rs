@@ -26,6 +26,7 @@
 mod addrspace;
 pub mod audit;
 mod engine;
+mod ledger;
 mod physmem;
 mod schedule_io;
 
@@ -33,8 +34,9 @@ pub use addrspace::{AddressSpace, AddressSpaceStats, FaultOutcome, PromotionOutc
 pub use audit::{AuditViolation, Auditor};
 pub use engine::{
     BasePagesPolicy, DegradationConfig, HawkEyePolicy, HugePagePolicy, IdealHugePolicy,
-    IntervalReport, LinuxThpPolicy, OsState, PccPolicy, PromotionBudget, PromotionSchedule,
-    ReplayPolicy, ScheduledPromotion,
+    IntervalReport, LinuxThpPolicy, OsState, PccPolicy, PromotionBudget, PromotionRecord,
+    PromotionSchedule, ReplayPolicy, ScheduledPromotion,
 };
+pub use ledger::{LedgerEntry, LedgerSummary, PromotionLedger, RegionWalks};
 pub use physmem::{AllocGate, HugeAlloc, PhysMemStats, PhysicalMemory};
 pub use schedule_io::{read_schedule, write_schedule};

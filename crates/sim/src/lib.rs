@@ -46,5 +46,8 @@ pub use simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
 // depend on `hpage-obs` directly.
 pub use hpage_obs::{
     CellTiming, Event, HarnessLog, IntervalRow, IntervalSeries, JsonlSink, MemoryRecorder,
-    NullRecorder, Recorder, SectionTiming,
+    NullRecorder, Recorder, SectionTiming, Tee,
 };
+
+// Likewise the promotion ledger, which [`SimReport::ledger`] carries.
+pub use hpage_os::{LedgerEntry, LedgerSummary, PromotionLedger};

@@ -123,12 +123,20 @@ impl Cell {
     /// Runs the cell to completion. Pure in its configuration: equal
     /// cells produce equal reports on any thread at any time.
     pub fn run(&self) -> SimReport {
+        self.run_recorded(&mut hpage_obs::NullRecorder)
+    }
+
+    /// Runs the cell with a flight recorder attached. The recorder only
+    /// sees this cell's events; merging across cells is the caller's
+    /// job (see [`Harness::run_map`], which keeps merges deterministic
+    /// by folding in submission order).
+    pub fn run_recorded<R: hpage_obs::Recorder>(&self, recorder: &mut R) -> SimReport {
         let specs: Vec<ProcessSpec<'_>> = self
             .processes
             .iter()
             .map(|(w, threads)| ProcessSpec::with_threads(w.as_ref(), *threads))
             .collect();
-        self.sim.run(&specs)
+        self.sim.run_recorded(&specs, recorder)
     }
 }
 
@@ -195,22 +203,36 @@ impl Harness {
     /// returned order — and therefore every table assembled from it —
     /// is independent of scheduling.
     pub fn run(&self, cells: Vec<Cell>) -> Vec<SimReport> {
+        self.run_map(cells, Cell::run)
+    }
+
+    /// Runs `f` over every cell and returns the results in submission
+    /// order. [`run`](Self::run) is `run_map(cells, Cell::run)`; drivers
+    /// that want per-cell telemetry pass a closure that attaches a
+    /// recorder (e.g. via [`Cell::run_recorded`]) and returns the report
+    /// *plus* whatever the recorder captured. Because results come back
+    /// in submission order, folding them left-to-right (metric merges,
+    /// ledger concatenation) is deterministic at any `--jobs` level.
+    pub fn run_map<T, F>(&self, cells: Vec<Cell>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Cell) -> T + Sync,
+    {
         if self.jobs == 1 || cells.len() <= 1 {
             return cells
                 .iter()
                 .map(|cell| {
                     let start = Instant::now();
-                    let report = cell.run();
+                    let result = f(cell);
                     self.log
                         .record_cell(&cell.label, start.elapsed().as_secs_f64());
-                    report
+                    result
                 })
                 .collect();
         }
 
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<SimReport>>> =
-            (0..cells.len()).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..cells.len()).map(|_| Mutex::new(None)).collect();
         let workers = self.jobs.min(cells.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -220,10 +242,10 @@ impl Harness {
                         break;
                     }
                     let start = Instant::now();
-                    let report = cells[i].run();
+                    let result = f(&cells[i]);
                     self.log
                         .record_cell(&cells[i].label, start.elapsed().as_secs_f64());
-                    *slots[i].lock().unwrap() = Some(report);
+                    *slots[i].lock().unwrap() = Some(result);
                 });
             }
         });
@@ -298,6 +320,24 @@ mod tests {
         let b = h.workload(&p, AppId::Canneal);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(h.cache().len(), 1);
+    }
+
+    #[test]
+    fn run_map_merges_recordings_deterministically() {
+        use hpage_obs::MemoryRecorder;
+        let record = |cell: &Cell| {
+            let mut rec = MemoryRecorder::new();
+            let report = cell.run_recorded(&mut rec);
+            (report, rec.counts_by_kind())
+        };
+        let seq = Harness::sequential();
+        let par = Harness::new(8);
+        let expected = seq.run_map(cells(&seq, 6), record);
+        let got = par.run_map(cells(&par, 6), record);
+        // Submission-order slots make the fold of per-cell event counts
+        // (and everything else derived left-to-right) jobs-invariant.
+        assert_eq!(expected, got);
+        assert!(got.iter().any(|(_, counts)| !counts.is_empty()));
     }
 
     #[test]

@@ -12,7 +12,8 @@ use hpage_obs::{
 use hpage_os::{
     AllocGate, AuditViolation, Auditor, BasePagesPolicy, DegradationConfig, HawkEyePolicy,
     HugePagePolicy, IdealHugePolicy, LinuxThpPolicy, OsState, PccPolicy, PhysicalMemory,
-    PromotionBudget, PromotionSchedule, ReplayPolicy, ScheduledPromotion,
+    PromotionBudget, PromotionLedger, PromotionSchedule, RegionWalks, ReplayPolicy,
+    ScheduledPromotion,
 };
 use hpage_pcc::{Candidate, PccBank, PccEvent, ReplacementPolicy};
 use hpage_perf::RunCounters;
@@ -200,6 +201,10 @@ pub struct SimReport {
     /// on a clean run, and always empty unless
     /// [`with_audit`](Simulation::with_audit) was set.
     pub audit_violations: Vec<(u64, AuditViolation)>,
+    /// The promotion ledger (predicted vs realized walk savings per
+    /// promoted region); `Some` only when
+    /// [`with_ledger`](Simulation::with_ledger) was set.
+    pub ledger: Option<PromotionLedger>,
 }
 
 impl SimReport {
@@ -313,6 +318,7 @@ pub struct Simulation {
     faults: Option<FaultPlan>,
     degradation: Option<DegradationConfig>,
     audit: bool,
+    ledger: bool,
 }
 
 impl Simulation {
@@ -335,6 +341,7 @@ impl Simulation {
             faults: None,
             degradation: None,
             audit: false,
+            ledger: false,
         }
     }
 
@@ -363,6 +370,19 @@ impl Simulation {
     #[must_use]
     pub fn with_audit(mut self) -> Self {
         self.audit = true;
+        self
+    }
+
+    /// Keeps a promotion ledger: per-2 MiB-region walk counts are
+    /// tallied each interval, and every promotion records its
+    /// policy-predicted walk savings alongside the realized
+    /// post-promotion walk delta. The result lands in
+    /// [`SimReport::ledger`]. Pure observation — it never changes what
+    /// the simulation does — but the per-walk tally has a (small) cost,
+    /// so it is off by default.
+    #[must_use]
+    pub fn with_ledger(mut self) -> Self {
+        self.ledger = true;
         self
     }
 
@@ -502,6 +522,11 @@ impl Simulation {
         };
         let mut auditor = self.audit.then(|| Auditor::new(&os));
         let mut audit_violations: Vec<(u64, AuditViolation)> = Vec::new();
+        let mut ledger = self.ledger.then(PromotionLedger::new);
+        // Per-interval walk tally by (process, 2 MiB region), feeding
+        // the ledger's realized-benefit accounting. None when the
+        // ledger is off, so the hot path stays a single branch.
+        let mut region_walks = self.ledger.then(RegionWalks::default);
 
         let mut tlbs: Vec<TlbHierarchy> = (0..total_cores)
             .map(|_| TlbHierarchy::new(self.config.tlb))
@@ -664,6 +689,10 @@ impl Simulation {
                                 None => walk.levels_referenced,
                             };
                             per_core[core].walk_levels += u64::from(effective_levels);
+                            if let Some(rw) = region_walks.as_mut() {
+                                let key = (pid as u32, access.addr.vpn(PageSize::Huge2M).index());
+                                *rw.entry(key).or_insert(0) += 1;
+                            }
                             recorder.record(
                                 total_accesses,
                                 Event::Walk {
@@ -801,36 +830,54 @@ impl Simulation {
                 interval_walks_mark = walks_now;
                 interval_l1_mark = l1_now;
                 interval_l2_mark = l2_now;
+                // Settle the ledger's view of the interval that just
+                // ended *before* the policy acts: walk counts observed
+                // here are the realized cost each open promotion is
+                // scored against.
+                if let (Some(ledger), Some(rw)) = (ledger.as_mut(), region_walks.as_mut()) {
+                    ledger.observe_interval(rw);
+                    rw.clear();
+                }
                 let report =
                     policy.run_interval(&mut os, bank.as_mut(), total_accesses, &mut budget);
                 promotion_failures += report.failures;
                 pending_promotions += report.promotions.len() as u64;
                 pending_demotions += report.demotions.len() as u64;
-                for (rank, (pid, outcome)) in report.promotions.iter().enumerate() {
-                    let p = pid.0 as usize;
+                for (rank, rec) in report.promotions.iter().enumerate() {
+                    let outcome = &rec.outcome;
+                    let p = rec.process.0 as usize;
                     per_process[p].promotions += 1;
                     per_process[p].pages_migrated += outcome.pages_migrated;
                     per_process[p].pages_collapsed += outcome.pages_collapsed;
                     schedule.push(ScheduledPromotion {
                         at_access: total_accesses,
-                        process: *pid,
+                        process: rec.process,
                         region: outcome.region,
                     });
+                    if let Some(ledger) = ledger.as_mut() {
+                        ledger.record_promotion(
+                            rec.process,
+                            outcome.region,
+                            total_accesses,
+                            rec.predicted_walks,
+                        );
+                    }
                     if recorder.enabled() {
                         recorder.record(
                             total_accesses,
                             Event::PromotionDecision {
-                                process: *pid,
+                                process: rec.process,
                                 region: outcome.region,
                                 rank: rank as u32,
                                 policy: policy.name(),
+                                predicted_walks: rec.predicted_walks,
                             },
                         );
                         if outcome.pages_migrated > 0 {
                             recorder.record(
                                 total_accesses,
                                 Event::Compaction {
-                                    process: *pid,
+                                    process: rec.process,
                                     region: outcome.region,
                                     pages_migrated: outcome.pages_migrated,
                                 },
@@ -840,6 +887,9 @@ impl Simulation {
                 }
                 for (pid, region) in &report.demotions {
                     per_process[pid.0 as usize].demotions += 1;
+                    if let Some(ledger) = ledger.as_mut() {
+                        ledger.record_demotion(*pid, *region);
+                    }
                     recorder.record(
                         total_accesses,
                         Event::Demotion {
@@ -906,28 +956,35 @@ impl Simulation {
                     }
                 }
                 for (pid, region) in report.shootdown_regions() {
-                    recorder.record(
-                        total_accesses,
-                        Event::Shootdown {
-                            process: pid,
-                            region,
-                        },
-                    );
+                    let mut entries_flushed = 0u64;
                     for (core, tlb) in tlbs.iter_mut().enumerate() {
                         if core_process[core] == pid.0 as usize {
-                            tlb.shootdown(region);
+                            entries_flushed += tlb.shootdown(region) as u64;
                             if let Some(pwcs) = pwcs.as_mut() {
                                 pwcs[core].invalidate_region(region);
                             }
                             per_process[pid.0 as usize].shootdowns += 1;
                         }
                     }
+                    recorder.record(
+                        total_accesses,
+                        Event::Shootdown {
+                            process: pid,
+                            region,
+                            entries_flushed,
+                        },
+                    );
                 }
                 // Audit once the interval's shootdowns have been applied
                 // (TLBs/PCCs must be coherent with the page tables now).
                 if let Some(auditor) = auditor.as_ref() {
                     for violation in auditor.run(&os, &tlbs, bank.as_ref()) {
                         audit_violations.push((interval_index, violation));
+                    }
+                    if let Some(ledger) = ledger.as_ref() {
+                        for violation in auditor.check_ledger(&os, ledger) {
+                            audit_violations.push((interval_index, violation));
+                        }
                     }
                 }
                 interval_index += 1;
@@ -994,6 +1051,7 @@ impl Simulation {
             bloat_bytes,
             fault_stats: injector.map(|i| *i.stats()),
             audit_violations,
+            ledger,
         })
     }
 }
@@ -1074,6 +1132,58 @@ mod tests {
         // Promotions reduce walks versus baseline.
         let base = tiny_sim(PolicyChoice::BasePages).run(&[ProcessSpec::new(&w)]);
         assert!(report.aggregate.walks < base.aggregate.walks);
+    }
+
+    #[test]
+    fn ledger_attributes_pcc_promotions() {
+        let w = random_workload(8, 400_000, 1);
+        let report = tiny_sim(PolicyChoice::pcc_default())
+            .with_ledger()
+            .with_audit()
+            .run(&[ProcessSpec::new(&w)]);
+        assert!(report.aggregate.promotions > 0, "PCC should promote");
+        let ledger = report.ledger.as_ref().expect("ledger requested");
+        assert_eq!(ledger.len() as u64, report.aggregate.promotions);
+        // PCC promotions carry the candidate's frequency as the
+        // prediction; every entry should be nonzero.
+        assert!(ledger.entries().iter().all(|e| e.predicted_walks > 0));
+        let summary = ledger.summary();
+        assert!(summary.prediction_accuracy.is_finite());
+        assert!((0.0..=1.0).contains(&summary.prediction_accuracy));
+        // The hot regions keep getting hit after promotion via the
+        // huge-page entry, so realized walk savings must show up.
+        assert!(summary.total_realized > 0.0);
+        assert!(
+            report.audit_violations.is_empty(),
+            "ledger must stay coherent with the page tables: {:?}",
+            report.audit_violations
+        );
+    }
+
+    #[test]
+    fn ledger_is_pure_observation() {
+        let w = random_workload(8, 400_000, 1);
+        let plain = tiny_sim(PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        let mut ledgered = tiny_sim(PolicyChoice::pcc_default())
+            .with_ledger()
+            .run(&[ProcessSpec::new(&w)]);
+        assert!(ledgered.ledger.is_some());
+        ledgered.ledger = None;
+        assert_eq!(plain, ledgered, "ledger must not perturb the simulation");
+    }
+
+    #[test]
+    fn non_predictive_policies_ledger_zero_predictions() {
+        let w = random_workload(16, 600_000, 3);
+        let report = tiny_sim(PolicyChoice::HawkEye)
+            .with_ledger()
+            .run(&[ProcessSpec::new(&w)]);
+        let ledger = report.ledger.as_ref().expect("ledger requested");
+        assert!(!ledger.is_empty());
+        assert!(ledger.entries().iter().all(|e| e.predicted_walks == 0));
+        // Accuracy stays defined (and pessimal) for non-predictive
+        // policies that nonetheless realize savings.
+        assert!(ledger.summary().prediction_accuracy.is_finite());
     }
 
     #[test]

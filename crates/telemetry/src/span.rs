@@ -1,0 +1,223 @@
+//! Span tracing: hierarchical operation records emitted as
+//! chrome-trace-viewer JSON (`chrome://tracing` / Perfetto "complete"
+//! events).
+//!
+//! Spans are cheap, append-only records — no RAII guards, no wall
+//! clock. Timestamps are simulation time (total accesses issued), so a
+//! trace of a fixed-seed run is byte-stable. Parent/child causality is
+//! explicit: the recorder links a PCC update to the page walk that fed
+//! it and a shootdown/compaction to the promotion that caused it.
+
+use hpage_obs::json::esc;
+
+/// Pseudo-pid for hardware-side spans (walks, PCC updates); the tid is
+/// the core id.
+pub const PID_HW: u32 = 0;
+/// Pseudo-pid for OS-side spans (promotions, shootdowns, compactions,
+/// intervals).
+pub const PID_OS: u32 = 1;
+
+/// One completed span ("X" phase in the chrome trace format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Span id, unique within a book (also the chrome-trace `id` arg).
+    pub id: u64,
+    /// Parent span id, if this operation was caused by another.
+    pub parent: Option<u64>,
+    /// Operation name (e.g. `"walk"`, `"promote"`).
+    pub name: &'static str,
+    /// Trace category (`"hw"` or `"os"`).
+    pub cat: &'static str,
+    /// Pseudo-process: [`PID_HW`] or [`PID_OS`].
+    pub pid: u32,
+    /// Thread lane: core id for hardware spans, 0 for OS spans.
+    pub tid: u32,
+    /// Start timestamp in simulation accesses.
+    pub ts: u64,
+    /// Duration. Hardware spans use model cycles; OS spans use proxy
+    /// units (pages migrated, TLB entries flushed) since OS work is
+    /// instantaneous at an interval boundary in the model.
+    pub dur: u64,
+    /// Extra key/value args rendered into the trace event.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// An append-only collection of spans with an optional capacity cap.
+///
+/// Hot-path spans (every page walk emits one) would grow without bound
+/// on long runs, so the book can be capped: once full, new spans are
+/// counted in [`dropped`](SpanBook::dropped) and discarded. The *newest*
+/// spans are dropped (unlike the event ring) because parent links point
+/// backwards — keeping the oldest spans keeps the links resolvable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanBook {
+    spans: Vec<Span>,
+    capacity: Option<usize>,
+    dropped: u64,
+    next_id: u64,
+}
+
+impl SpanBook {
+    /// An unbounded book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A book holding at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanBook {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Appends a span, returning its id. The id is returned even when
+    /// the span itself is dropped for capacity, so callers can keep
+    /// linking children without checking (dangling parents render as
+    /// plain args and chrome-trace viewers ignore them).
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts: u64,
+        dur: u64,
+        parent: Option<u64>,
+        args: Vec<(&'static str, u64)>,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.capacity.is_some_and(|cap| self.spans.len() >= cap) {
+            self.dropped += 1;
+        } else {
+            self.spans.push(Span {
+                id,
+                parent,
+                name,
+                cat,
+                pid,
+                tid,
+                ts,
+                dur,
+                args,
+            });
+        }
+        id
+    }
+
+    /// Retained spans, in append order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans discarded because the book was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no span was retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Renders the book as chrome-trace-viewer JSON: a single object
+    /// with a `traceEvents` array of "X" (complete) events. Load it at
+    /// `chrome://tracing` or <https://ui.perfetto.dev>. `ts`/`dur` are
+    /// simulation accesses, not microseconds — relative placement is
+    /// what matters.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        // Lane metadata so viewers label the two pseudo-processes.
+        for (pid, label) in [(PID_HW, "hardware"), (PID_OS, "os")] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ));
+        }
+        for s in &self.spans {
+            out.push(',');
+            let mut args = format!("\"id\":{}", s.id);
+            if let Some(p) = s.parent {
+                args.push_str(&format!(",\"parent\":{p}"));
+            }
+            for (k, v) in &s.args {
+                args.push_str(&format!(",\"{}\":{}", esc(k), v));
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+                esc(s.name),
+                esc(s.cat),
+                s.pid,
+                s.tid,
+                s.ts,
+                s.dur,
+                args
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpage_obs::json::assert_json_shape;
+
+    #[test]
+    fn push_links_and_renders() {
+        let mut book = SpanBook::new();
+        let walk = book.push("walk", "hw", PID_HW, 2, 100, 4, None, vec![("levels", 4)]);
+        let pcc = book.push("pcc_update", "hw", PID_HW, 2, 100, 1, Some(walk), vec![]);
+        assert_eq!(book.len(), 2);
+        assert_eq!(book.spans()[1].parent, Some(walk));
+        assert!(pcc > walk);
+        let json = book.chrome_trace_json();
+        assert_json_shape(&json);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"parent\":0"));
+        assert!(json.contains("\"levels\":4"));
+        assert!(json.contains("\"name\":\"hardware\""));
+    }
+
+    #[test]
+    fn capped_book_drops_newest_and_counts() {
+        let mut book = SpanBook::with_capacity(2);
+        for i in 0..5 {
+            book.push("walk", "hw", PID_HW, 0, i, 1, None, vec![]);
+        }
+        assert_eq!(book.len(), 2);
+        assert_eq!(book.dropped(), 3);
+        // Ids keep advancing even for dropped spans.
+        let id = book.push("walk", "hw", PID_HW, 0, 9, 1, None, vec![]);
+        assert_eq!(id, 5);
+        // Retained spans are the oldest (parents of everything later).
+        assert_eq!(book.spans()[0].ts, 0);
+        assert_eq!(book.spans()[1].ts, 1);
+    }
+
+    #[test]
+    fn trace_json_is_deterministic() {
+        let build = || {
+            let mut b = SpanBook::new();
+            let p = b.push("promote", "os", PID_OS, 0, 500, 1, None, vec![("rank", 0)]);
+            b.push("shootdown", "os", PID_OS, 0, 500, 12, Some(p), vec![]);
+            b.chrome_trace_json()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -48,6 +48,7 @@ pub use hpage_os as os;
 pub use hpage_pcc as pcc;
 pub use hpage_perf as perf;
 pub use hpage_sim as sim;
+pub use hpage_telemetry as telemetry;
 pub use hpage_tlb as tlb;
 pub use hpage_trace as trace;
 pub use hpage_types as types;

@@ -68,6 +68,72 @@ fn ablation_rows_are_identical_at_any_jobs() {
     assert_eq!(seq, par, "ablation rows must not depend on --jobs");
 }
 
+/// Runs the PCC policy with a telemetry recorder and the promotion
+/// ledger over two apps, folding per-cell results in submission order,
+/// and returns every rendered artifact: the merged metrics registry,
+/// the concatenated ledger tables, and the ledger JSONL.
+fn telemetry_artifacts(jobs: usize) -> (String, String, String) {
+    use hpage::sim::{Cell, PolicyChoice, SharedWorkload, Simulation};
+    use hpage::telemetry::TelemetryRecorder;
+
+    let p = profile();
+    let h = Harness::new(jobs);
+    let cells: Vec<Cell> = [AppId::Bfs, AppId::Canneal]
+        .iter()
+        .map(|&app| {
+            let w = h.workload(&p, app);
+            let sized = p.clone().sized_for(w.footprint_bytes());
+            let sim = Simulation::new(sized.system.clone(), PolicyChoice::pcc_default())
+                .with_max_accesses_per_core(400_000)
+                .with_ledger();
+            Cell::new(
+                format!("telemetry/{}", app.name()),
+                sim,
+                w as SharedWorkload,
+            )
+        })
+        .collect();
+    let results = h.run_map(cells, |cell| {
+        let mut telem = TelemetryRecorder::new();
+        let report = cell.run_recorded(&mut telem);
+        if let Some(ledger) = report.ledger.as_ref() {
+            telem.ingest_ledger(ledger);
+        }
+        (telem, report)
+    });
+    // Submission-order slots make this left-to-right fold — the merge
+    // of per-cell registries and the concatenation of ledger tables —
+    // independent of which worker finished first.
+    let mut merged = hpage::telemetry::TelemetryRecorder::new();
+    let mut tables = String::new();
+    let mut jsonl = String::new();
+    for (telem, report) in &results {
+        merged.merge(telem);
+        let ledger = report.ledger.as_ref().expect("ledger requested");
+        tables.push_str(&ledger.render_table());
+        jsonl.push_str(&ledger.to_jsonl());
+    }
+    (merged.metrics_snapshot().render_text(), tables, jsonl)
+}
+
+#[test]
+fn telemetry_metrics_and_ledger_are_identical_at_any_jobs() {
+    let seq = telemetry_artifacts(1);
+    assert!(seq.0.contains("ledger.prediction_accuracy_ppm"));
+    assert!(seq.1.contains("prediction_accuracy:"));
+    let par = telemetry_artifacts(8);
+    assert_eq!(seq, par, "telemetry artifacts must not depend on --jobs");
+}
+
+#[test]
+fn telemetry_artifacts_are_identical_across_same_seed_reruns() {
+    assert_eq!(
+        telemetry_artifacts(8),
+        telemetry_artifacts(8),
+        "telemetry artifacts must be byte-stable for a fixed seed"
+    );
+}
+
 #[test]
 fn cache_served_workloads_match_fresh_instantiations() {
     let p = profile();
