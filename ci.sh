@@ -57,4 +57,37 @@ if ./target/release/repro --figure 7 --jobs 0 --quiet > /dev/null 2>&1; then
     exit 1
 fi
 
+echo "== supervisor smoke: injected panic -> partial output, exit 3 =="
+# With no retry budget the injected cell panic must degrade exactly one
+# section to an n/a row and exit with the partial-failure code, not 1.
+set +e
+HPAGE_PROFILE=test ./target/release/repro --figure 7 \
+    --harness-faults examples/cell_chaos.json --retries 0 --jobs 2 \
+    --bench-out /tmp/BENCH_repro_chaos.json --quiet \
+    > /tmp/repro_chaos.txt 2>/dev/null
+chaos_rc=$?
+set -e
+test "$chaos_rc" -eq 3
+grep -q 'n/a (cell failed:' /tmp/repro_chaos.txt
+
+echo "== supervisor smoke: retries absorb the same plan byte-identically =="
+HPAGE_PROFILE=test ./target/release/repro --figure 7 --jobs 2 \
+    --bench-out /tmp/BENCH_repro_fig7.json --quiet > /tmp/repro_fig7.txt
+HPAGE_PROFILE=test ./target/release/repro --figure 7 \
+    --harness-faults examples/cell_chaos.json --retries 2 --jobs 2 \
+    --bench-out /tmp/BENCH_repro_retry.json --quiet > /tmp/repro_retry.txt
+cmp /tmp/repro_retry.txt /tmp/repro_fig7.txt
+
+echo "== checkpoint smoke: journal a partial run, resume the full one =="
+# First run journals only figure 7; the resumed run replays it and adds
+# the ablation, and must be byte-identical to the uninterrupted run.
+HPAGE_PROFILE=test ./target/release/repro --figure 7 \
+    --journal BENCH_repro_journal.jsonl --jobs 2 \
+    --bench-out /tmp/BENCH_repro_part.json --quiet > /tmp/repro_part.txt
+HPAGE_PROFILE=test ./target/release/repro --figure 7 --ablation \
+    --resume BENCH_repro_journal.jsonl --jobs 2 \
+    --bench-out /tmp/BENCH_repro_resumed.json --quiet > /tmp/repro_resumed.txt
+cmp /tmp/repro_resumed.txt /tmp/repro_j2.txt
+test -s BENCH_repro_journal.jsonl
+
 echo "CI OK"

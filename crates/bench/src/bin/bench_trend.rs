@@ -55,9 +55,13 @@ fn main() {
 
     let text =
         std::fs::read_to_string(&history).unwrap_or_else(|e| die(&format!("read {history}: {e}")));
-    let rows = parse_history(&text).unwrap_or_else(|e| die(&format!("{history}: {e}")));
+    let parsed = parse_history(&text);
+    for warning in &parsed.warnings {
+        eprintln!("bench_trend: warning: {history}: {warning}");
+    }
+    let rows = parsed.rows;
     if rows.is_empty() {
-        die(&format!("{history} has no entries"));
+        die(&format!("{history} has no parseable entries"));
     }
     // `--limit` trims the oldest entries but keeps absolute run numbers
     // by re-rendering from the full list and dropping table lines; the

@@ -440,8 +440,19 @@ fn main() {
         match (&opts.events, want_telemetry) {
             (Some(path), telemetry) => {
                 let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
-                let sink = JsonlSink::new(BufWriter::new(file));
-                let mut rec = Tee(sink, telemetry.then(TelemetryRecorder::new));
+                // Shared IO-error counter: the sink counts write/flush
+                // failures, the telemetry recorder mirrors the count
+                // into the `--metrics` snapshot as `sink.io_errors`.
+                let sink_errors = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+                let sink = JsonlSink::new(BufWriter::new(file))
+                    .with_path(path.as_str())
+                    .with_error_counter(std::sync::Arc::clone(&sink_errors));
+                let mut rec = Tee(
+                    sink,
+                    telemetry.then(|| {
+                        TelemetryRecorder::new().with_sink_error_counter(sink_errors.clone())
+                    }),
+                );
                 let report = sim
                     .try_run_recorded(&spec(), &mut rec)
                     .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));

@@ -5,9 +5,10 @@
 //! [`TRAJECTORY_START`]/[`TRAJECTORY_END`] markers by `bench_trend`.
 //!
 //! Parsing is a targeted string scan, not a JSON parser: each history
-//! line is machine-written by the hotpath bench in a known shape, and
-//! malformed lines are reported with their line number rather than
-//! silently dropped.
+//! line is machine-written by the hotpath bench in a known shape.
+//! Malformed or truncated lines (a crashed CI run, a concurrent append,
+//! a disk-full half-write) are skipped with a per-line warning and
+//! counted, so one bad line never costs the whole trajectory.
 
 /// Opening marker of the trajectory section in EXPERIMENTS.md.
 pub const TRAJECTORY_START: &str = "<!-- bench-trajectory:start -->";
@@ -40,30 +41,54 @@ fn number_after(hay: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses the history file (blank lines skipped).
-///
-/// # Errors
-///
-/// Returns the 1-based line number and a description for the first line
-/// that is not a hotpath artifact with a `bfs18_e2e` result.
-pub fn parse_history(jsonl: &str) -> Result<Vec<TrendRow>, String> {
-    let mut rows = Vec::new();
+/// What [`parse_history`] recovered from the history file: the valid
+/// rows plus a warning per line it had to skip.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedHistory {
+    /// Rows from every parseable line, in file order.
+    pub rows: Vec<TrendRow>,
+    /// One warning per skipped line, e.g.
+    /// `line 2: no bfs18_e2e elems_per_s, skipped`.
+    pub warnings: Vec<String>,
+}
+
+impl ParsedHistory {
+    /// Number of lines skipped as corrupt or truncated.
+    pub fn skipped(&self) -> usize {
+        self.warnings.len()
+    }
+}
+
+/// Parses the history file (blank lines skipped). Corrupt or truncated
+/// lines are skipped with a warning carrying their 1-based line number,
+/// never fatal: a trend splice must survive one bad append.
+pub fn parse_history(jsonl: &str) -> ParsedHistory {
+    let mut parsed = ParsedHistory::default();
     for (i, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let mode = string_field(line, "mode")
-            .ok_or_else(|| format!("line {}: no \"mode\" field", i + 1))?;
-        let e2e = line
+        let Some(mode) = string_field(line, "mode") else {
+            parsed
+                .warnings
+                .push(format!("line {}: no \"mode\" field, skipped", i + 1));
+            continue;
+        };
+        let Some(e2e) = line
             .find("\"id\":\"bfs18_e2e\"")
             .and_then(|at| number_after(&line[at..], "elems_per_s"))
-            .ok_or_else(|| format!("line {}: no bfs18_e2e elems_per_s", i + 1))?;
-        rows.push(TrendRow {
+        else {
+            parsed
+                .warnings
+                .push(format!("line {}: no bfs18_e2e elems_per_s, skipped", i + 1));
+            continue;
+        };
+        parsed.rows.push(TrendRow {
             mode,
             bfs18_accesses_per_s: e2e,
         });
     }
-    Ok(rows)
+    parsed
 }
 
 fn group_thousands(v: u64) -> String {
@@ -135,17 +160,43 @@ mod tests {
 
     #[test]
     fn parses_mode_and_e2e_throughput() {
-        let rows = parse_history(&format!("{LINE}\n\n{LINE}\n")).unwrap();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].mode, "full");
-        assert!((rows[0].bfs18_accesses_per_s - 46668669.063694).abs() < 1e-6);
+        let parsed = parse_history(&format!("{LINE}\n\n{LINE}\n"));
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.skipped(), 0);
+        assert_eq!(parsed.rows[0].mode, "full");
+        assert!((parsed.rows[0].bfs18_accesses_per_s - 46668669.063694).abs() < 1e-6);
     }
 
     #[test]
-    fn malformed_lines_are_reported_with_their_number() {
-        let err = parse_history(&format!("{LINE}\n{{\"mode\":\"smoke\"}}\n")).unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
-        assert!(err.contains("bfs18_e2e"), "{err}");
+    fn malformed_lines_are_skipped_with_numbered_warnings() {
+        let parsed = parse_history(&format!("{LINE}\n{{\"mode\":\"smoke\"}}\n{LINE}\n"));
+        assert_eq!(parsed.rows.len(), 2, "good lines survive the bad one");
+        assert_eq!(parsed.skipped(), 1);
+        assert!(
+            parsed.warnings[0].contains("line 2"),
+            "{:?}",
+            parsed.warnings
+        );
+        assert!(
+            parsed.warnings[0].contains("bfs18_e2e"),
+            "{:?}",
+            parsed.warnings
+        );
+    }
+
+    #[test]
+    fn truncated_tail_line_is_skipped_not_fatal() {
+        // An interrupt mid-append leaves a half line; the trend must
+        // keep everything before it.
+        let half = &LINE[..LINE.len() / 2];
+        let parsed = parse_history(&format!("{LINE}\n{half}"));
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.skipped(), 1);
+        assert!(parsed.warnings[0].starts_with("line 2:"));
+        // A fully corrupt file yields zero rows and all warnings.
+        let garbage = parse_history("not json\nalso not\n");
+        assert!(garbage.rows.is_empty());
+        assert_eq!(garbage.skipped(), 2);
     }
 
     #[test]

@@ -215,10 +215,40 @@ pub enum Event {
         /// Bytes returned to the free pool.
         bytes: u64,
     },
+    /// A harness cell's attempt panicked; the supervisor caught it.
+    CellPanicked {
+        /// Submission index of the cell in its grid.
+        cell: u64,
+        /// Which attempt panicked (1-based).
+        attempt: u32,
+    },
+    /// The supervisor re-queued a failed cell after a seeded backoff.
+    CellRetried {
+        /// Submission index of the cell in its grid.
+        cell: u64,
+        /// The attempt about to run (1-based; ≥ 2 for a retry).
+        attempt: u32,
+        /// Seeded backoff slept before this attempt, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A cell exceeded its soft deadline (flagged, still running).
+    CellSoftDeadline {
+        /// Submission index of the cell in its grid.
+        cell: u64,
+        /// Wall-clock elapsed when the flag was raised, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// A cell exceeded its hard deadline and its attempt was abandoned.
+    CellHardDeadline {
+        /// Submission index of the cell in its grid.
+        cell: u64,
+        /// Which attempt was abandoned (1-based).
+        attempt: u32,
+    },
 }
 
 /// Every event kind's wire name, in emission-summary order.
-pub const EVENT_KINDS: [&str; 15] = [
+pub const EVENT_KINDS: [&str; 19] = [
     "tlb_hit",
     "walk",
     "fault",
@@ -234,6 +264,10 @@ pub const EVENT_KINDS: [&str; 15] = [
     "pressure_enter",
     "pressure_exit",
     "bloat_recovered",
+    "cell_panic",
+    "cell_retry",
+    "cell_deadline_soft",
+    "cell_deadline_hard",
 ];
 
 fn size_str(size: PageSize) -> &'static str {
@@ -264,6 +298,10 @@ impl Event {
             Event::PressureEnter { .. } => "pressure_enter",
             Event::PressureExit { .. } => "pressure_exit",
             Event::BloatRecovered { .. } => "bloat_recovered",
+            Event::CellPanicked { .. } => "cell_panic",
+            Event::CellRetried { .. } => "cell_retry",
+            Event::CellSoftDeadline { .. } => "cell_deadline_soft",
+            Event::CellHardDeadline { .. } => "cell_deadline_hard",
         }
     }
 
@@ -420,6 +458,20 @@ impl Event {
             Event::BloatRecovered { process, bytes } => {
                 format!("\"process\":{},\"bytes\":{}", process.0, bytes)
             }
+            Event::CellPanicked { cell, attempt } => {
+                format!("\"cell\":{cell},\"attempt\":{attempt}")
+            }
+            Event::CellRetried {
+                cell,
+                attempt,
+                backoff_ms,
+            } => format!("\"cell\":{cell},\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}"),
+            Event::CellSoftDeadline { cell, elapsed_ms } => {
+                format!("\"cell\":{cell},\"elapsed_ms\":{elapsed_ms}")
+            }
+            Event::CellHardDeadline { cell, attempt } => {
+                format!("\"cell\":{cell},\"attempt\":{attempt}")
+            }
         };
         format!("{{\"at\":{at},\"type\":\"{kind}\",{body}}}")
     }
@@ -525,6 +577,23 @@ mod tests {
             Event::BloatRecovered {
                 process: ProcessId(1),
                 bytes: 2 * 1024 * 1024 - 4096,
+            },
+            Event::CellPanicked {
+                cell: 3,
+                attempt: 1,
+            },
+            Event::CellRetried {
+                cell: 3,
+                attempt: 2,
+                backoff_ms: 14,
+            },
+            Event::CellSoftDeadline {
+                cell: 0,
+                elapsed_ms: 12_000,
+            },
+            Event::CellHardDeadline {
+                cell: 0,
+                attempt: 2,
             },
         ]
     }

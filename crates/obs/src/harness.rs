@@ -31,6 +31,40 @@ pub struct SectionTiming {
     pub wall_s: f64,
 }
 
+/// One supervised retry of a failed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryRecord {
+    /// The retried cell's label.
+    pub label: String,
+    /// The attempt about to run (1-based; ≥ 2 for a retry).
+    pub attempt: u32,
+    /// Seeded backoff slept before the attempt, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// A cell the supervisor gave up on after exhausting its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// The failed cell's label.
+    pub label: String,
+    /// Human-readable failure reason (panic message or deadline).
+    pub reason: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
+/// A cell that overran a supervisor deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineFlag {
+    /// The flagged cell's label.
+    pub label: String,
+    /// `true` for the hard deadline (attempt abandoned), `false` for
+    /// the soft deadline (flagged, still running).
+    pub hard: bool,
+    /// Wall-clock seconds elapsed when the flag was raised.
+    pub wall_s: f64,
+}
+
 /// Thread-safe log of harness timings and warnings.
 ///
 /// Workers of the parallel runner append [`CellTiming`]s concurrently;
@@ -43,6 +77,9 @@ pub struct HarnessLog {
     cells: Mutex<Vec<CellTiming>>,
     sections: Mutex<Vec<SectionTiming>>,
     warnings: Mutex<Vec<String>>,
+    retries: Mutex<Vec<RetryRecord>>,
+    failures: Mutex<Vec<FailureRecord>>,
+    deadline_flags: Mutex<Vec<DeadlineFlag>>,
 }
 
 impl HarnessLog {
@@ -83,9 +120,56 @@ impl HarnessLog {
         self.sections.lock().unwrap().clone()
     }
 
+    /// Records one supervised retry of a failed cell.
+    pub fn record_retry(&self, label: impl Into<String>, attempt: u32, backoff_ms: u64) {
+        self.retries.lock().unwrap().push(RetryRecord {
+            label: label.into(),
+            attempt,
+            backoff_ms,
+        });
+    }
+
+    /// Records a cell the supervisor gave up on.
+    pub fn record_failure(
+        &self,
+        label: impl Into<String>,
+        reason: impl Into<String>,
+        attempts: u32,
+    ) {
+        self.failures.lock().unwrap().push(FailureRecord {
+            label: label.into(),
+            reason: reason.into(),
+            attempts,
+        });
+    }
+
+    /// Records a deadline overrun (`hard = true` abandons the attempt).
+    pub fn record_deadline(&self, label: impl Into<String>, hard: bool, wall_s: f64) {
+        self.deadline_flags.lock().unwrap().push(DeadlineFlag {
+            label: label.into(),
+            hard,
+            wall_s,
+        });
+    }
+
     /// Snapshot of all warnings.
     pub fn warnings(&self) -> Vec<String> {
         self.warnings.lock().unwrap().clone()
+    }
+
+    /// Snapshot of all supervised retries, in occurrence order.
+    pub fn retries(&self) -> Vec<RetryRecord> {
+        self.retries.lock().unwrap().clone()
+    }
+
+    /// Snapshot of all cell failures, in occurrence order.
+    pub fn failures(&self) -> Vec<FailureRecord> {
+        self.failures.lock().unwrap().clone()
+    }
+
+    /// Snapshot of all deadline flags, in occurrence order.
+    pub fn deadline_flags(&self) -> Vec<DeadlineFlag> {
+        self.deadline_flags.lock().unwrap().clone()
     }
 
     /// Total wall-clock seconds across all recorded cells (the *serial*
@@ -124,12 +208,52 @@ impl HarnessLog {
             .iter()
             .map(|w| format!("\"{}\"", esc(w)))
             .collect();
+        let retries: Vec<String> = self
+            .retries()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"label\":\"{}\",\"attempt\":{},\"backoff_ms\":{}}}",
+                    esc(&r.label),
+                    r.attempt,
+                    r.backoff_ms
+                )
+            })
+            .collect();
+        let failures: Vec<String> = self
+            .failures()
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"label\":\"{}\",\"reason\":\"{}\",\"attempts\":{}}}",
+                    esc(&f.label),
+                    esc(&f.reason),
+                    f.attempts
+                )
+            })
+            .collect();
+        let deadlines: Vec<String> = self
+            .deadline_flags()
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"label\":\"{}\",\"hard\":{},\"wall_s\":{}}}",
+                    esc(&d.label),
+                    d.hard,
+                    num(d.wall_s)
+                )
+            })
+            .collect();
         format!(
-            "\"serial_cell_s\":{},\"sections\":[{}],\"cells\":[{}],\"warnings\":[{}]",
+            "\"serial_cell_s\":{},\"sections\":[{}],\"cells\":[{}],\"warnings\":[{}],\
+             \"retries\":[{}],\"failures\":[{}],\"deadline_flags\":[{}]",
             num(self.total_cell_seconds()),
             sections.join(","),
             cells.join(","),
-            warnings.join(",")
+            warnings.join(","),
+            retries.join(","),
+            failures.join(","),
+            deadlines.join(",")
         )
     }
 }
@@ -158,9 +282,33 @@ mod tests {
         log.record_cell("a\"b", 0.5);
         log.record_section("figure \\ 9", 2.0);
         log.warn("watch\nout");
+        log.record_retry("fig7/BFS/pcc", 2, 14);
+        log.record_failure("fig7/BFS/pcc", "panicked: \"boom\"", 3);
+        log.record_deadline("fig7/BFS/pcc", true, 30.5);
         let wrapped = format!("{{{}}}", log.to_json_fields());
         assert_json_shape(&wrapped);
         assert!(wrapped.contains("\"serial_cell_s\":0.500000"));
+        assert!(wrapped.contains("\"retries\":[{\"label\":"));
+        assert!(wrapped.contains("\"attempts\":3"));
+        assert!(wrapped.contains("\"hard\":true"));
+    }
+
+    #[test]
+    fn supervisor_records_round_trip() {
+        let log = HarnessLog::new();
+        log.record_retry("c", 2, 7);
+        log.record_failure("c", "hard deadline", 2);
+        log.record_deadline("c", false, 1.5);
+        assert_eq!(
+            log.retries(),
+            vec![RetryRecord {
+                label: "c".into(),
+                attempt: 2,
+                backoff_ms: 7
+            }]
+        );
+        assert_eq!(log.failures()[0].reason, "hard deadline");
+        assert!(!log.deadline_flags()[0].hard);
     }
 
     #[test]

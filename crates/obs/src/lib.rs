@@ -40,6 +40,8 @@ pub use event::{
     Event, FailureReason, IntervalSnapshot, PccAction, TlbLevel, EVENT_KINDS,
     FREQ_HISTOGRAM_BUCKETS,
 };
-pub use harness::{CellTiming, HarnessLog, SectionTiming};
+pub use harness::{
+    CellTiming, DeadlineFlag, FailureRecord, HarnessLog, RetryRecord, SectionTiming,
+};
 pub use metrics::{IntervalRow, IntervalSeries};
 pub use recorder::{JsonlSink, MemoryRecorder, NullRecorder, Recorder, Tee};

@@ -4,6 +4,8 @@
 
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::event::Event;
 
@@ -167,13 +169,21 @@ impl Recorder for MemoryRecorder {
 /// are captured rather than panicking mid-simulation and surfaced by
 /// [`JsonlSink::finish`]. The sink also flushes on `Drop`, so a run
 /// that aborts before calling `finish` still leaves whole JSONL lines
-/// behind (every record is written with a single `writeln!`).
+/// behind (every record is written with a single `writeln!`). An error
+/// that would otherwise die with the `Drop` (nobody called `finish`, or
+/// the final flush itself failed) is counted in the shared error
+/// counter ([`with_error_counter`](JsonlSink::with_error_counter)) and
+/// reported once to stderr with the sink's path
+/// ([`with_path`](JsonlSink::with_path)) — a full disk must be visible,
+/// not silent data loss.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
     counts: BTreeMap<&'static str, u64>,
     total: u64,
     error: Option<std::io::Error>,
+    path: Option<String>,
+    io_errors: Option<Arc<AtomicU64>>,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -185,12 +195,35 @@ impl<W: Write> JsonlSink<W> {
             counts: BTreeMap::new(),
             total: 0,
             error: None,
+            path: None,
+            io_errors: None,
         }
+    }
+
+    /// Names the sink's destination for error reports (the file path,
+    /// typically) so a failing sink is identifiable on stderr.
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Attaches a shared counter incremented once per I/O error the
+    /// sink encounters (streaming write failures and the `Drop`-flush).
+    /// Callers mirror it into a metrics snapshot as `sink.io_errors`.
+    pub fn with_error_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.io_errors = Some(counter);
+        self
     }
 
     /// Events written so far.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    fn count_io_error(&self) {
+        if let Some(c) = &self.io_errors {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Per-kind event counts, ordered by kind name.
@@ -212,9 +245,20 @@ impl<W: Write> JsonlSink<W> {
 impl<W: Write> Drop for JsonlSink<W> {
     fn drop(&mut self) {
         // Best-effort: a sink dropped mid-run (panic, early return) must
-        // not leave buffered lines unwritten. Errors here have nowhere
-        // to go — `finish` is the path that surfaces them.
-        let _ = self.writer.flush();
+        // not leave buffered lines unwritten. Errors that would die here
+        // — a streaming error nobody surfaced via `finish`, or a failing
+        // final flush — are counted and reported once to stderr instead
+        // of being silently swallowed.
+        let flush_err = self.writer.flush().err();
+        if flush_err.is_some() {
+            // Streaming errors were already counted by `record`.
+            self.count_io_error();
+        }
+        let unsurfaced = self.error.take();
+        if let Some(err) = unsurfaced.as_ref().or(flush_err.as_ref()) {
+            let target = self.path.as_deref().unwrap_or("<unnamed sink>");
+            eprintln!("warning: jsonl sink {target}: {err} (events may be lost)");
+        }
     }
 }
 
@@ -232,6 +276,7 @@ impl<W: Write> Recorder for JsonlSink<W> {
         self.total += 1;
         let line = event.to_jsonl(at);
         if let Err(err) = writeln!(self.writer, "{line}") {
+            self.count_io_error();
             self.error = Some(err);
         }
     }
@@ -405,6 +450,54 @@ mod tests {
         sink.record(1, hit());
         sink.record(2, hit()); // swallowed after first error
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn streaming_error_is_counted_once_even_through_drop() {
+        let errors = Arc::new(AtomicU64::new(0));
+        {
+            let mut sink = JsonlSink::new(FailingWriter)
+                .with_path("/tmp/nope.jsonl")
+                .with_error_counter(errors.clone());
+            sink.record(1, hit());
+            sink.record(2, hit());
+            // No finish(): the Drop reports the unsurfaced error but
+            // must not recount it.
+        }
+        assert_eq!(errors.load(Ordering::Relaxed), 1);
+    }
+
+    struct FlushFailingWriter;
+    impl Write for FlushFailingWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("flush: disk full"))
+        }
+    }
+
+    #[test]
+    fn drop_flush_error_is_counted_not_swallowed() {
+        let errors = Arc::new(AtomicU64::new(0));
+        {
+            let mut sink = JsonlSink::new(FlushFailingWriter).with_error_counter(errors.clone());
+            sink.record(1, hit());
+        }
+        assert_eq!(
+            errors.load(Ordering::Relaxed),
+            1,
+            "Drop-flush failure must land in the error counter"
+        );
+    }
+
+    #[test]
+    fn finished_sink_does_not_double_report() {
+        let errors = Arc::new(AtomicU64::new(0));
+        let mut sink = JsonlSink::new(FailingWriter).with_error_counter(errors.clone());
+        sink.record(1, hit());
+        assert!(sink.finish().is_err()); // surfaced here; Drop stays quiet
+        assert_eq!(errors.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod experiments;
+mod journal;
 mod profile;
 mod runner;
 mod simulation;
@@ -38,15 +39,16 @@ pub use experiments::{
     fig9_multiprocess, fig9_multiprocess_on, AblationRow, DatasetRow, Fig1Row, Fig2Summary,
     Fig6Row, Fig7Row, Fig8Row, Fig9Config, Fig9Row,
 };
+pub use journal::CellJournal;
 pub use profile::SimProfile;
-pub use runner::{Cell, Harness, SharedWorkload, EXPERIMENT_SEED};
+pub use runner::{Cell, CellFailure, Harness, SharedWorkload, SupervisorConfig, EXPERIMENT_SEED};
 pub use simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
 
 // Re-export the flight-recorder surface so simulator users need not
 // depend on `hpage-obs` directly.
 pub use hpage_obs::{
-    CellTiming, Event, HarnessLog, IntervalRow, IntervalSeries, JsonlSink, MemoryRecorder,
-    NullRecorder, Recorder, SectionTiming, Tee,
+    CellTiming, DeadlineFlag, Event, FailureRecord, HarnessLog, IntervalRow, IntervalSeries,
+    JsonlSink, MemoryRecorder, NullRecorder, Recorder, RetryRecord, SectionTiming, Tee,
 };
 
 // Likewise the promotion ledger, which [`SimReport::ledger`] carries.

@@ -6,6 +6,8 @@
 use hpage_obs::{Event, FailureReason, PccAction, Recorder, TlbLevel};
 use hpage_os::PromotionLedger;
 use hpage_types::{FxHashMap, PageSize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::metrics::MetricsRegistry;
 use crate::span::{SpanBook, PID_HW, PID_OS};
@@ -55,6 +57,10 @@ pub struct TelemetryRecorder {
     last_boundary_at: u64,
     mark: SummaryMark,
     summary_rows: Vec<String>,
+    /// Shared I/O-error counter of the JSONL sink this recorder rides
+    /// alongside (see `JsonlSink::with_error_counter`), mirrored into
+    /// the snapshot as the `sink.io_errors` gauge.
+    sink_errors: Option<Arc<AtomicU64>>,
 }
 
 /// Default span-book capacity: enough for every OS-side span of any
@@ -79,7 +85,17 @@ impl TelemetryRecorder {
             last_boundary_at: 0,
             mark: SummaryMark::default(),
             summary_rows: Vec::new(),
+            sink_errors: None,
         }
+    }
+
+    /// Attaches the shared I/O-error counter of a companion `JsonlSink`
+    /// so sink failures surface in [`metrics_snapshot`]
+    /// (Self::metrics_snapshot) as the `sink.io_errors` gauge.
+    #[must_use]
+    pub fn with_sink_error_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.sink_errors = Some(counter);
+        self
     }
 
     /// Overrides the span-book capacity (0 disables span collection
@@ -114,6 +130,9 @@ impl TelemetryRecorder {
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
         let mut m = self.metrics.clone();
         m.set_gauge("telemetry.spans_dropped", self.spans.dropped());
+        if let Some(errors) = &self.sink_errors {
+            m.set_gauge("sink.io_errors", errors.load(Ordering::Relaxed));
+        }
         m
     }
 
@@ -407,6 +426,13 @@ impl Recorder for TelemetryRecorder {
                 self.metrics.inc("bloat_recovered");
                 self.metrics.inc_by("bloat_recovered_bytes", bytes);
             }
+            Event::CellPanicked { .. } => self.metrics.inc("cell.panic"),
+            Event::CellRetried { backoff_ms, .. } => {
+                self.metrics.inc("cell.retry");
+                self.metrics.observe("cell.retry_backoff_ms", backoff_ms);
+            }
+            Event::CellSoftDeadline { .. } => self.metrics.inc("cell.deadline_soft"),
+            Event::CellHardDeadline { .. } => self.metrics.inc("cell.deadline_hard"),
         }
     }
 }
@@ -601,6 +627,67 @@ mod tests {
                 .unwrap()
                 .count(),
             1
+        );
+    }
+
+    #[test]
+    fn supervisor_events_feed_cell_counters() {
+        let mut t = TelemetryRecorder::new();
+        t.record(
+            0,
+            Event::CellPanicked {
+                cell: 3,
+                attempt: 1,
+            },
+        );
+        t.record(
+            0,
+            Event::CellRetried {
+                cell: 3,
+                attempt: 2,
+                backoff_ms: 14,
+            },
+        );
+        t.record(
+            0,
+            Event::CellSoftDeadline {
+                cell: 0,
+                elapsed_ms: 1_200,
+            },
+        );
+        t.record(
+            0,
+            Event::CellHardDeadline {
+                cell: 0,
+                attempt: 2,
+            },
+        );
+        assert_eq!(t.metrics().counter("cell.panic"), 1);
+        assert_eq!(t.metrics().counter("cell.retry"), 1);
+        assert_eq!(t.metrics().counter("cell.deadline_soft"), 1);
+        assert_eq!(t.metrics().counter("cell.deadline_hard"), 1);
+        assert_eq!(
+            t.metrics()
+                .histogram("cell.retry_backoff_ms")
+                .unwrap()
+                .max(),
+            14
+        );
+    }
+
+    #[test]
+    fn snapshot_mirrors_sink_error_counter() {
+        let errors = Arc::new(AtomicU64::new(0));
+        let t = TelemetryRecorder::new().with_sink_error_counter(errors.clone());
+        assert_eq!(t.metrics_snapshot().gauge("sink.io_errors"), Some(0));
+        errors.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(t.metrics_snapshot().gauge("sink.io_errors"), Some(3));
+        // Without a counter attached the gauge is absent, not zero.
+        assert_eq!(
+            TelemetryRecorder::new()
+                .metrics_snapshot()
+                .gauge("sink.io_errors"),
+            None
         );
     }
 
