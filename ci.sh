@@ -57,6 +57,27 @@ if ./target/release/repro --figure 7 --jobs 0 --quiet > /dev/null 2>&1; then
     exit 1
 fi
 
+echo "== shard smoke: --sim-threads 4 report is byte-identical to 1 =="
+HPAGE_PROFILE=test ./target/release/hpsim --app bfs --policy pcc \
+    --sim-threads 1 --quiet > /tmp/hpsim_st1.txt
+HPAGE_PROFILE=test ./target/release/hpsim --app bfs --policy pcc \
+    --sim-threads 4 --quiet > /tmp/hpsim_st4.txt
+cmp /tmp/hpsim_st1.txt /tmp/hpsim_st4.txt
+if ./target/release/hpsim --app bfs --sim-threads 0 --quiet > /dev/null 2>&1; then
+    echo "hpsim accepted --sim-threads 0" >&2
+    exit 1
+fi
+
+echo "== consolidation smoke: 32 tenants, fairness + storms in artifact =="
+HPAGE_PROFILE=test ./target/release/repro --consolidation --tenants 32 \
+    --sim-threads 4 --bench-out BENCH_consolidation.json --quiet \
+    > /tmp/repro_consolidation.txt
+grep -q 'Jain fairness over promotion shares:' /tmp/repro_consolidation.txt
+grep -q '"consolidation":{"scenario":"consolidation","tenants":32' \
+    BENCH_consolidation.json
+grep -q '"fairness_index":' BENCH_consolidation.json
+grep -q '"storms":{"flushes":' BENCH_consolidation.json
+
 echo "== supervisor smoke: injected panic -> partial output, exit 3 =="
 # With no retry budget the injected cell panic must degrade exactly one
 # section to an n/a row and exit with the partial-failure code, not 1.

@@ -32,13 +32,16 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--dataset kronecker|twitter|web] [--policy base|ideal|linux|hawkeye|pcc|victim|replay]
              [--selection highest-frequency|round-robin] [--demotion] [--bias <pid,...>]
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
-             [--jobs N|-j N] [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE]
+             [--jobs N|-j N] [--sim-threads N] [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE]
              [--trace-in FILE] [--trace-info FILE] [--events FILE] [--metrics FILE]
              [--ledger] [--chrome-trace FILE] [--faults FILE] [--no-degrade]
              [--audit] [--throughput] [--quiet|-q] [--verbose|-v]
 parallelism: --jobs 2+ runs the 4KB baseline concurrently with the
              instrumented run (default: available cores; the printed
-             report is byte-identical at any N)
+             report is byte-identical at any N); --sim-threads N shards
+             the simulation loop itself across N worker threads with
+             barrier-synchronized intervals (default 1; reports and
+             event streams are byte-identical at any N)
 flight recorder: --events streams every simulation event (TLB hits, walks,
              faults, PCC updates, promotions, shootdowns, interval snapshots)
              as JSON Lines; --metrics writes the per-interval series plus the
@@ -92,6 +95,7 @@ struct Options {
     seed: u64,
     max_accesses: Option<u64>,
     jobs: usize,
+    sim_threads: usize,
     schedule_out: Option<String>,
     schedule_in: Option<String>,
     trace_out: Option<String>,
@@ -123,6 +127,7 @@ fn parse_args() -> Options {
         seed: 0xC0FFEE,
         max_accesses: None,
         jobs: default_jobs(),
+        sim_threads: 1,
         schedule_out: None,
         schedule_in: None,
         trace_out: None,
@@ -216,6 +221,17 @@ fn parse_args() -> Options {
                     }
                     Ok(n) => n,
                     Err(_) => die(&format!("--jobs expects a number, got '{raw}'")),
+                }
+            }
+            "--sim-threads" => {
+                let raw = value(&mut i);
+                opts.sim_threads = match raw.parse::<usize>() {
+                    Ok(0) => die("--sim-threads must be at least 1"),
+                    Ok(n) if n > MAX_JOBS => die(&format!(
+                        "--sim-threads {n} is out of range (max {MAX_JOBS})"
+                    )),
+                    Ok(n) => n,
+                    Err(_) => die(&format!("--sim-threads expects a number, got '{raw}'")),
                 }
             }
             "--schedule-out" => opts.schedule_out = Some(value(&mut i)),
@@ -380,6 +396,7 @@ fn main() {
     let sized = profile.clone().sized_for(footprint);
     let timing = sized.system.timing;
     let mut sim = Simulation::new(sized.system.clone(), policy);
+    sim = sim.with_sim_threads(opts.sim_threads);
     if let Some(n) = opts.max_accesses.or(profile.max_accesses_per_core) {
         sim = sim.with_max_accesses_per_core(n);
     }
@@ -409,7 +426,8 @@ fn main() {
     }
 
     // Baseline for the speedup column.
-    let mut base_sim = Simulation::new(sized.system.clone(), PolicyChoice::BasePages);
+    let mut base_sim = Simulation::new(sized.system.clone(), PolicyChoice::BasePages)
+        .with_sim_threads(opts.sim_threads);
     if let Some(n) = opts.max_accesses.or(profile.max_accesses_per_core) {
         base_sim = base_sim.with_max_accesses_per_core(n);
     }

@@ -22,8 +22,13 @@ use hpage_trace::AppId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--ledger-out FILE] [--json 1|6|7|ablation|datasets] [--jobs N|-j N] [--bench-out FILE] [--journal FILE | --resume FILE] [--retries N] [--harness-faults FILE] [--soft-deadline-ms N] [--hard-deadline-ms N] [--quiet|-q] [--verbose|-v]
-parallelism: --jobs N runs up to N simulation cells concurrently (default: available cores; tables are byte-identical at any N)
+const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--consolidation] [--tenants N] [--ledger-out FILE] [--json 1|6|7|ablation|datasets] [--jobs N|-j N] [--sim-threads N] [--bench-out FILE] [--journal FILE | --resume FILE] [--retries N] [--harness-faults FILE] [--soft-deadline-ms N] [--hard-deadline-ms N] [--quiet|-q] [--verbose|-v]
+parallelism: --jobs N runs up to N simulation cells concurrently (default: available cores; tables are byte-identical at any N);
+           --sim-threads N shards the consolidation simulation loop across N worker threads (default 1;
+           reports are byte-identical at any N — hpsim accepts the same flag for single-scenario runs)
+consolidation: --consolidation co-locates --tenants N mixed tenants (default 32) on one machine under a churn
+           plan and reports the Jain fairness index over per-tenant promotion shares plus shootdown-storm
+           metrics; both land in BENCH_repro.json under \"consolidation\"
 artifacts: runs that simulate anything write wall-clock timings to BENCH_repro.json (override with --bench-out);
            --ledger-out runs the PCC policy with the promotion ledger on, prints the
            predicted-vs-realized attribution summary, and writes per-region entries to FILE as JSONL
@@ -174,11 +179,27 @@ fn main() {
     let mut harness_faults: Option<String> = None;
     let mut soft_deadline_ms: Option<u64> = None;
     let mut hard_deadline_ms: Option<u64> = None;
+    let mut sim_threads: usize = 1;
+    let mut tenants: usize = 32;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" | "-j" => jobs = Some(parse_jobs(it.next().as_ref())),
+            "--sim-threads" => {
+                sim_threads = num_value("--sim-threads", &mut it)
+                    .try_into()
+                    .ok()
+                    .filter(|&n| (1..=MAX_JOBS).contains(&n))
+                    .unwrap_or_else(|| die("--sim-threads must be in 1..=512"));
+            }
+            "--tenants" => {
+                tenants = num_value("--tenants", &mut it)
+                    .try_into()
+                    .ok()
+                    .filter(|&n| (2..=4096).contains(&n))
+                    .unwrap_or_else(|| die("--tenants must be in 2..=4096"));
+            }
             "--bench-out" => bench_out = path_value("--bench-out", &mut it),
             "--ledger-out" => ledger_out = Some(path_value("--ledger-out", &mut it)),
             "--journal" => journal_out = Some(path_value("--journal", &mut it)),
@@ -279,6 +300,9 @@ fn main() {
     };
     let sweep: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 100];
     let quick_sweep: &[u64] = &[0, 1, 4, 16, 100];
+    // Filled by the --consolidation section so the fairness/storm
+    // metrics ride along in the BENCH_repro.json artifact.
+    let consolidation_json: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
     let run_start = std::time::Instant::now();
 
     let mut i = 0;
@@ -491,6 +515,16 @@ fn main() {
                     sections.run(h, "timeline", || render_timeline(h, &profile, AppId::Bfs))
                 );
             }
+            "--consolidation" => {
+                println!(
+                    "{}",
+                    sections.run(h, "consolidation", || {
+                        let (text, json) = render_consolidation(h, &profile, tenants, sim_threads);
+                        *consolidation_json.borrow_mut() = Some(json);
+                        text
+                    })
+                );
+            }
             "--json" => {
                 i += 1;
                 let which = args.get(i).map(String::as_str).unwrap_or("");
@@ -584,8 +618,13 @@ fn main() {
         for w in h.log().warnings() {
             eprintln!("repro: warning: {w}");
         }
-        let artifact =
-            hpage_bench::json::bench_repro_json(h, profile_name, run_start.elapsed().as_secs_f64());
+        let consolidation = consolidation_json.borrow();
+        let artifact = hpage_bench::json::bench_repro_json(
+            h,
+            profile_name,
+            run_start.elapsed().as_secs_f64(),
+            consolidation.as_deref(),
+        );
         if let Err(e) = std::fs::write(&bench_out, artifact + "\n") {
             eprintln!("repro: cannot write {bench_out}: {e}");
             std::process::exit(1);

@@ -5,7 +5,7 @@
 
 use hpage_obs::json::{esc, num};
 use hpage_perf::UtilityCurve;
-use hpage_sim::{AblationRow, DatasetRow, Fig1Row, Fig6Row, Fig7Row, Harness};
+use hpage_sim::{AblationRow, ConsolidationReport, DatasetRow, Fig1Row, Fig6Row, Fig7Row, Harness};
 
 /// Serializes Fig. 1 rows.
 pub fn fig1_json(rows: &[Fig1Row]) -> String {
@@ -138,20 +138,72 @@ pub fn datasets_json(rows: &[DatasetRow]) -> String {
     format!("{{\"sweep\":\"datasets\",\"rows\":[{}]}}", items.join(","))
 }
 
+/// Serializes a consolidation run: the Jain fairness index over
+/// per-tenant promotion shares, the shootdown-storm counters, and the
+/// per-tenant rows.
+pub fn consolidation_json(r: &ConsolidationReport) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":\"{}\",\"mix\":\"{}\",\"accesses\":{},\"promotions\":{},\
+                 \"walk_ratio\":{},\"faults\":{}}}",
+                esc(&t.tenant),
+                esc(t.mix),
+                t.accesses,
+                t.promotions,
+                num(t.walk_ratio),
+                t.faults
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scenario\":\"consolidation\",\"tenants\":{},\"sim_threads\":{},\"policy\":\"{}\",\
+         \"fairness_index\":{},\"total_promotions\":{},\"promotion_failures\":{},\
+         \"huge_pages_at_end\":{},\"shootdowns\":{},\"storms\":{{\"flushes\":{},\
+         \"entries_flushed\":{},\"max_entries_flushed\":{}}},\"rows\":[{}]}}",
+        r.tenants,
+        r.sim_threads,
+        esc(&r.policy),
+        num(r.fairness_index),
+        r.total_promotions,
+        r.promotion_failures,
+        r.huge_pages_at_end,
+        r.shootdowns,
+        r.storm_flushes,
+        r.storm_entries_flushed,
+        r.storm_entries_max,
+        rows.join(",")
+    )
+}
+
 /// Serializes the `BENCH_repro.json` perf artifact: run metadata, the
 /// harness's per-section and per-cell wall-clock timings, workload-cache
-/// effectiveness, and any rendering warnings.
-pub fn bench_repro_json(h: &Harness, profile_name: &str, total_wall_s: f64) -> String {
+/// effectiveness, any rendering warnings, and — when the run included a
+/// consolidation scenario — its fairness/storm metrics under a
+/// `"consolidation"` key (pass the [`consolidation_json`] value as
+/// `extra`).
+pub fn bench_repro_json(
+    h: &Harness,
+    profile_name: &str,
+    total_wall_s: f64,
+    extra: Option<&str>,
+) -> String {
     let stats = h.cache().stats();
+    let consolidation = extra
+        .map(|json| format!("\"consolidation\":{json},"))
+        .unwrap_or_default();
     format!(
         "{{\"artifact\":\"repro-bench\",\"jobs\":{},\"profile\":\"{}\",\"total_wall_s\":{},\
-         \"workload_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},{}}}",
+         \"workload_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},{}{}}}",
         h.jobs(),
         esc(profile_name),
         num(total_wall_s),
         h.cache().len(),
         stats.hits,
         stats.misses,
+        consolidation,
         h.log().to_json_fields()
     )
 }
@@ -203,13 +255,61 @@ mod tests {
         h.log().record_section("figure 1", 1.5);
         h.log().record_cell("fig1/BFS/base-4k", 0.7);
         h.log().warn("something partial");
-        let j = bench_repro_json(&h, "test", 2.25);
+        let j = bench_repro_json(&h, "test", 2.25, None);
         hpage_obs::json::assert_json_shape(&j);
         assert!(j.starts_with("{\"artifact\":\"repro-bench\",\"jobs\":2"));
         assert!(j.contains("\"profile\":\"test\""));
         assert!(j.contains("\"total_wall_s\":2.250000"));
         assert!(j.contains("\"sections\":[{\"label\":\"figure 1\""));
         assert!(j.contains("\"warnings\":[\"something partial\"]"));
+        assert!(!j.contains("\"consolidation\""));
+    }
+
+    #[test]
+    fn consolidation_artifact_shape() {
+        use hpage_sim::ConsolidationTenantRow;
+        let r = ConsolidationReport {
+            tenants: 2,
+            sim_threads: 4,
+            policy: "pcc-highest-frequency".into(),
+            rows: vec![
+                ConsolidationTenantRow {
+                    tenant: "t00-zipf".into(),
+                    mix: "zipf",
+                    accesses: 40_000,
+                    promotions: 3,
+                    walk_ratio: 0.125,
+                    faults: 2048,
+                },
+                ConsolidationTenantRow {
+                    tenant: "t01-stream".into(),
+                    mix: "stream",
+                    accesses: 30_000,
+                    promotions: 1,
+                    walk_ratio: 0.01,
+                    faults: 1536,
+                },
+            ],
+            fairness_index: 0.8,
+            total_promotions: 4,
+            promotion_failures: 0,
+            huge_pages_at_end: 4,
+            shootdowns: 4,
+            storm_flushes: 4,
+            storm_entries_flushed: 60,
+            storm_entries_max: 21,
+        };
+        let j = consolidation_json(&r);
+        hpage_obs::json::assert_json_shape(&j);
+        assert!(j.contains("\"fairness_index\":0.800000"));
+        assert!(j.contains("\"storms\":{\"flushes\":4"));
+        assert!(j.contains("\"tenant\":\"t00-zipf\""));
+        // And it embeds cleanly in the bench artifact.
+        let h = Harness::new(1);
+        h.log().record_cell("consolidation/2t/pcc", 0.3);
+        let artifact = bench_repro_json(&h, "test", 0.5, Some(&j));
+        hpage_obs::json::assert_json_shape(&artifact);
+        assert!(artifact.contains("\"consolidation\":{\"scenario\":\"consolidation\""));
     }
 
     #[test]

@@ -385,6 +385,74 @@ pub fn render_ledger(h: &Harness, profile: &SimProfile, apps: &[AppId]) -> (Stri
     (text, jsonl)
 }
 
+/// Runs the consolidation scenario (`tenants` mixed synthetic tenants
+/// under churn, sharded across `sim_threads` workers) with a telemetry
+/// recorder attached, and renders the per-tenant fairness table plus
+/// the shootdown-storm summary. Returns `(table text, JSON fragment)`;
+/// the fragment goes into `BENCH_repro.json` via
+/// [`json::bench_repro_json`]'s `extra` parameter.
+pub fn render_consolidation(
+    h: &Harness,
+    profile: &SimProfile,
+    tenants: usize,
+    sim_threads: usize,
+) -> (String, String) {
+    let cfg = hpage_sim::ConsolidationConfig::for_profile(profile, tenants, sim_threads);
+    let mut telemetry = hpage_telemetry::TelemetryRecorder::new();
+    let t0 = std::time::Instant::now();
+    let r = hpage_sim::consolidation_on(profile, &cfg, &mut telemetry);
+    h.log().record_cell(
+        &format!("consolidation/{tenants}t/pcc"),
+        t0.elapsed().as_secs_f64(),
+    );
+    let mut t = TextTable::new([
+        "tenant",
+        "mix",
+        "accesses",
+        "promotions",
+        "PTW rate",
+        "faults",
+    ]);
+    for row in &r.rows {
+        t.row([
+            row.tenant.clone(),
+            row.mix.to_string(),
+            row.accesses.to_string(),
+            row.promotions.to_string(),
+            fmt_pct(row.walk_ratio),
+            row.faults.to_string(),
+        ]);
+    }
+    let metrics = telemetry.metrics_snapshot();
+    let storm_count = metrics.counter("shootdown_storm");
+    let storm_p50 = metrics
+        .histogram("shootdown_entries_flushed")
+        .map(|hist| hist.quantile(0.5))
+        .unwrap_or(0);
+    let text = format!(
+        "Consolidation — {} tenants on {} cores, churn plan \"consolidation-churn\" \
+         (--sim-threads {})\n{t}\n\
+         Jain fairness over promotion shares: {:.4}\n\
+         promotions: {} performed, {} failed, {} huge pages resident at end\n\
+         shootdown storms: {} flushes, {} entries total, max {}/core \
+         (telemetry: count {}, p50 {})\n",
+        r.tenants,
+        r.tenants,
+        r.sim_threads,
+        r.fairness_index,
+        r.total_promotions,
+        r.promotion_failures,
+        r.huge_pages_at_end,
+        r.storm_flushes,
+        r.storm_entries_flushed,
+        r.storm_entries_max,
+        storm_count,
+        storm_p50,
+    );
+    let json = json::consolidation_json(&r);
+    (text, json)
+}
+
 /// Renders the design-choice ablation table (DESIGN.md's ablation
 /// targets: cold-miss filter, decay, replacement, PWC alternative).
 pub fn render_ablation(h: &Harness, profile: &SimProfile, app: AppId) -> String {
@@ -597,6 +665,25 @@ mod tests {
         let blank = geomean_line(&h, "geo", &[0.0]);
         assert_eq!(blank, "geo: n/a (1 non-positive value(s) excluded)");
         assert_eq!(h.log().warnings().len(), 2);
+    }
+
+    #[test]
+    fn consolidation_render_reports_fairness_and_storms() {
+        let h = Harness::sequential();
+        let (text, json) = render_consolidation(&h, &SimProfile::test(), 8, 4);
+        assert!(text.contains("Jain fairness over promotion shares:"));
+        assert!(text.contains("shootdown storms:"));
+        assert!(text.contains("t07-"), "all 8 tenants render");
+        hpage_obs::json::assert_json_shape(&json);
+        assert!(json.contains("\"fairness_index\":"));
+        assert!(json.contains("\"sim_threads\":4"));
+        assert!(
+            h.log()
+                .cells()
+                .iter()
+                .any(|c| c.label.starts_with("consolidation/8t")),
+            "the run is timed into the bench artifact"
+        );
     }
 
     #[test]

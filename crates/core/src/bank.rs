@@ -173,6 +173,34 @@ impl PccBank {
         out
     }
 
+    /// Detaches the PCC of `core` from the bank, leaving an empty
+    /// placeholder with the same configuration. The sharded simulation
+    /// loop uses this to hand each core's PCC to the worker thread that
+    /// owns the core between interval barriers; [`restore`](Self::restore)
+    /// puts it back before the OS consumes the bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn take(&mut self, core: CoreId) -> Pcc {
+        let slot = &mut self.pccs[core.0 as usize];
+        let empty = Pcc::with_replacement(
+            *slot.config(),
+            slot.granularity(),
+            slot.replacement_policy(),
+        );
+        core::mem::replace(slot, empty)
+    }
+
+    /// Reattaches a PCC previously [`take`](Self::take)n from `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn restore(&mut self, core: CoreId, pcc: Pcc) {
+        self.pccs[core.0 as usize] = pcc;
+    }
+
     /// Total number of candidates tracked across all cores.
     pub fn total_candidates(&self) -> usize {
         self.pccs.iter().map(Pcc::len).sum()
@@ -329,6 +357,22 @@ mod tests {
         let mut sorted = regions.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 5, 11]);
+    }
+
+    #[test]
+    fn take_restore_round_trips() {
+        let mut b = bank(2);
+        for _ in 0..3 {
+            b.record_walk(CoreId(0), region(1), true);
+        }
+        let taken = b.take(CoreId(0));
+        // The placeholder is empty but keeps the slot's configuration.
+        assert_eq!(b.pcc(CoreId(0)).len(), 0);
+        assert_eq!(b.pcc(CoreId(0)).config(), taken.config());
+        assert_eq!(taken.frequency_of(region(1)), Some(2));
+        b.restore(CoreId(0), taken);
+        assert_eq!(b.pcc(CoreId(0)).frequency_of(region(1)), Some(2));
+        assert_eq!(b.total_candidates(), 1);
     }
 
     #[test]

@@ -172,6 +172,16 @@ pub enum Event {
         /// invalidation the IPI handler would have performed).
         entries_flushed: u64,
     },
+    /// An injected shootdown storm (interfering-workload interference)
+    /// flushed one core's entire TLB hierarchy and page-walk cache —
+    /// distinct from the per-region [`Shootdown`](Event::Shootdown)
+    /// broadcast a promotion sends.
+    ShootdownStorm {
+        /// The flushed core.
+        core: CoreId,
+        /// Resident TLB translations discarded by the flush.
+        entries_flushed: u64,
+    },
     /// Interval-boundary snapshot of the whole pipeline.
     Interval(IntervalSnapshot),
     /// The fault injector activated a fault this interval.
@@ -248,7 +258,7 @@ pub enum Event {
 }
 
 /// Every event kind's wire name, in emission-summary order.
-pub const EVENT_KINDS: [&str; 19] = [
+pub const EVENT_KINDS: [&str; 20] = [
     "tlb_hit",
     "walk",
     "fault",
@@ -258,6 +268,7 @@ pub const EVENT_KINDS: [&str; 19] = [
     "compact",
     "demote",
     "shootdown",
+    "shootdown_storm",
     "interval",
     "fault_injected",
     "defer",
@@ -292,6 +303,7 @@ impl Event {
             Event::Compaction { .. } => "compact",
             Event::Demotion { .. } => "demote",
             Event::Shootdown { .. } => "shootdown",
+            Event::ShootdownStorm { .. } => "shootdown_storm",
             Event::Interval(_) => "interval",
             Event::FaultInjected { .. } => "fault_injected",
             Event::PromotionDeferred { .. } => "defer",
@@ -410,6 +422,13 @@ impl Event {
                 process.0,
                 region.index(),
                 entries_flushed
+            ),
+            Event::ShootdownStorm {
+                core,
+                entries_flushed,
+            } => format!(
+                "\"core\":{},\"entries_flushed\":{}",
+                core.0, entries_flushed
             ),
             Event::Interval(s) => {
                 let hist: Vec<String> = s.freq_histogram.iter().map(|c| c.to_string()).collect();
@@ -546,6 +565,10 @@ mod tests {
                 process: ProcessId(0),
                 region: Vpn::new(12, PageSize::Huge2M),
                 entries_flushed: 7,
+            },
+            Event::ShootdownStorm {
+                core: CoreId(2),
+                entries_flushed: 131,
             },
             Event::Interval(IntervalSnapshot {
                 interval: 3,

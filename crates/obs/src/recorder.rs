@@ -56,6 +56,21 @@ impl<R: Recorder> Recorder for Option<R> {
     }
 }
 
+/// A mutable borrow of a recorder is itself a recorder, so a call site
+/// can tee a caller-owned recorder with a local one without taking
+/// ownership of either.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, at: u64, event: Event) {
+        (**self).record(at, event);
+    }
+}
+
 /// Buffers every event in memory; for tests and programmatic analysis.
 ///
 /// By default the buffer is unbounded. Long chaos runs can cap it with

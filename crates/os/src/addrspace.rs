@@ -24,6 +24,23 @@ impl FaultOutcome {
     }
 }
 
+/// A physical frame granted to satisfy a page fault, decided by
+/// [`AddressSpace::allocate_grant`] and installed by
+/// [`AddressSpace::install_grant`].
+///
+/// The split exists for the sharded simulation loop: worker threads own
+/// the page tables (they evaluate [`AddressSpace::fault_wants_huge`] and
+/// install mappings locally) while a single coordinator owns
+/// [`PhysicalMemory`] and serves allocation in global core order, so
+/// frame assignment is identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultGrant {
+    /// A 4 KiB base frame.
+    Base(hpage_types::Pfn),
+    /// A 2 MiB huge frame.
+    Huge(hpage_types::Pfn),
+}
+
 /// Result of a successful promotion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PromotionOutcome {
@@ -148,27 +165,78 @@ impl AddressSpace {
         prefer_huge: bool,
         phys: &mut PhysicalMemory,
     ) -> Result<FaultOutcome, HpageError> {
+        let wants_huge = self.fault_wants_huge(va, prefer_huge);
+        let grant = Self::allocate_grant(phys, wants_huge)?;
+        self.install_grant(va, grant)
+    }
+
+    /// Whether a fault at `va` would take the huge-allocation path: the
+    /// policy prefers huge pages *and* the PMD range is still empty (a
+    /// region already holding base pages keeps faulting base pages, as
+    /// in Linux). This is the page-table half of the fault decision; it
+    /// needs no [`PhysicalMemory`] access, so a sharded worker can
+    /// evaluate it locally and ship only the allocation request.
+    pub fn fault_wants_huge(&self, va: VirtAddr, prefer_huge: bool) -> bool {
+        prefer_huge
+            && self
+                .page_table
+                .mapped_base_pages_in(va.vpn(PageSize::Huge2M))
+                == 0
+    }
+
+    /// Allocates the frame for a fault whose page-table half decided
+    /// `wants_huge` (see [`fault_wants_huge`](Self::fault_wants_huge)).
+    /// A failed huge allocation degrades to a base frame, exactly as the
+    /// inline fault path does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::OutOfMemory`] when no base frame is free
+    /// either.
+    pub fn allocate_grant(
+        phys: &mut PhysicalMemory,
+        wants_huge: bool,
+    ) -> Result<FaultGrant, HpageError> {
+        if wants_huge {
+            if let Ok(huge) = phys.alloc_huge(false) {
+                return Ok(FaultGrant::Huge(huge.pfn));
+            }
+        }
+        Ok(FaultGrant::Base(phys.alloc_base()?))
+    }
+
+    /// Installs a [`FaultGrant`] for the fault at `va`: maps the page (or
+    /// the whole PMD region for a huge grant) and updates fault stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpageError::InvalidRemap`] if the grant conflicts with
+    /// an existing mapping (cannot happen when the grant was allocated
+    /// for this fault under the documented protocol).
+    pub fn install_grant(
+        &mut self,
+        va: VirtAddr,
+        grant: FaultGrant,
+    ) -> Result<FaultOutcome, HpageError> {
         debug_assert!(
             self.page_table.translate(va).is_none(),
             "fault on mapped va"
         );
         self.stats.pages_touched += 1;
-        let region = va.vpn(PageSize::Huge2M);
-        if prefer_huge && self.page_table.mapped_base_pages_in(region) == 0 {
-            if let Ok(huge) = phys.alloc_huge(false) {
-                self.page_table.map(region, huge.pfn)?;
+        match grant {
+            FaultGrant::Huge(pfn) => {
+                let region = va.vpn(PageSize::Huge2M);
+                self.page_table.map(region, pfn)?;
                 self.stats.huge_faults += 1;
-                return Ok(FaultOutcome::Huge(Translation {
-                    vpn: region,
-                    pfn: huge.pfn,
-                }));
+                Ok(FaultOutcome::Huge(Translation { vpn: region, pfn }))
+            }
+            FaultGrant::Base(pfn) => {
+                let vpn = va.vpn(PageSize::Base4K);
+                self.page_table.map(vpn, pfn)?;
+                self.stats.base_faults += 1;
+                Ok(FaultOutcome::Base(Translation { vpn, pfn }))
             }
         }
-        let pfn = phys.alloc_base()?;
-        let vpn = va.vpn(PageSize::Base4K);
-        self.page_table.map(vpn, pfn)?;
-        self.stats.base_faults += 1;
-        Ok(FaultOutcome::Base(Translation { vpn, pfn }))
     }
 
     /// Promotes `region` to a huge page: allocates a 2 MiB frame

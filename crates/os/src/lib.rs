@@ -30,7 +30,7 @@ mod ledger;
 mod physmem;
 mod schedule_io;
 
-pub use addrspace::{AddressSpace, AddressSpaceStats, FaultOutcome, PromotionOutcome};
+pub use addrspace::{AddressSpace, AddressSpaceStats, FaultGrant, FaultOutcome, PromotionOutcome};
 pub use audit::{AuditViolation, Auditor};
 pub use engine::{
     BasePagesPolicy, DegradationConfig, HawkEyePolicy, HugePagePolicy, IdealHugePolicy,

@@ -12,10 +12,15 @@
 
 use crate::profile::SimProfile;
 use crate::runner::{Cell, Harness, SharedWorkload, EXPERIMENT_SEED as SEED};
-use crate::simulation::{PolicyChoice, SimReport, Simulation};
+use crate::simulation::{PolicyChoice, ProcessSpec, SimReport, Simulation};
+use hpage_faults::{FaultKind, FaultPlan, FaultWindow};
+use hpage_obs::{Event, MemoryRecorder, Recorder, Tee};
 use hpage_os::PromotionBudget;
 use hpage_perf::{geomean, UtilityCurve, UtilityPoint};
-use hpage_trace::{AnyWorkload, AppId, Dataset, ReuseAnalyzer, Workload};
+use hpage_trace::{
+    AnyWorkload, AppId, Dataset, Pattern, ReuseAnalyzer, SyntheticBuilder, SyntheticWorkload,
+    Workload,
+};
 use hpage_types::{derive_seed, PromotionPolicyKind};
 use std::sync::Arc;
 
@@ -954,6 +959,247 @@ pub fn ablation_design_choices(profile: &SimProfile, app: AppId) -> Vec<Ablation
     ablation_design_choices_on(&Harness::sequential(), profile, app)
 }
 
+// ---------------------------------------------------------------------
+// Consolidation — fleet-scale multi-tenant fairness under churn
+// ---------------------------------------------------------------------
+
+/// Configuration of a consolidation run: the paper's §5.3 multiprocess
+/// study pushed to fleet scale — tens of co-located tenants (one core
+/// each) contending for one PCC-driven promotion pipeline while a churn
+/// plan fragments memory, storms the TLBs, and resets the PCCs mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsolidationConfig {
+    /// Number of co-located tenants, one single-threaded process each.
+    pub tenants: usize,
+    /// Accesses issued by a full-length tenant. Streaming and
+    /// pointer-chase tenants run shorter traces and drain early, so the
+    /// machine sees deterministic tenant churn, not a fixed population.
+    pub accesses_per_tenant: u64,
+    /// Worker threads for the sharded simulation loop
+    /// ([`Simulation::with_sim_threads`]); results are byte-identical
+    /// at any value.
+    pub sim_threads: usize,
+}
+
+impl ConsolidationConfig {
+    /// Sizes a run for `profile`: each full-length tenant covers about
+    /// four promotion intervals, capped so paper-scale intervals stay
+    /// tractable.
+    pub fn for_profile(profile: &SimProfile, tenants: usize, sim_threads: usize) -> Self {
+        ConsolidationConfig {
+            tenants,
+            accesses_per_tenant: profile
+                .system
+                .promotion_interval_accesses
+                .saturating_mul(4)
+                .min(1_000_000),
+            sim_threads,
+        }
+    }
+}
+
+/// One tenant's outcome in a consolidation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsolidationTenantRow {
+    /// Tenant label (`t07-zipf`, ...).
+    pub tenant: String,
+    /// Workload shape this tenant runs.
+    pub mix: &'static str,
+    /// Accesses the tenant issued.
+    pub accesses: u64,
+    /// Huge-page promotions attributed to the tenant.
+    pub promotions: u64,
+    /// The tenant's residual page-table-walk rate.
+    pub walk_ratio: f64,
+    /// Page faults (base + huge) the tenant took.
+    pub faults: u64,
+}
+
+/// Everything measured by one consolidation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsolidationReport {
+    /// Tenant count.
+    pub tenants: usize,
+    /// Worker threads the run used.
+    pub sim_threads: usize,
+    /// Policy label of the underlying simulation.
+    pub policy: String,
+    /// Per-tenant outcomes, in tenant order.
+    pub rows: Vec<ConsolidationTenantRow>,
+    /// Jain's fairness index over per-tenant promotion shares:
+    /// `(Σx)² / (n·Σx²)`, 1.0 when every tenant gets the same share,
+    /// `1/n` when one tenant monopolizes the promotion budget. Defined
+    /// as 1.0 when nothing was promoted at all.
+    pub fairness_index: f64,
+    /// Total promotions across all tenants.
+    pub total_promotions: u64,
+    /// Promotion attempts that failed for lack of frames.
+    pub promotion_failures: u64,
+    /// 2 MiB frames resident at run end.
+    pub huge_pages_at_end: u64,
+    /// TLB shootdowns broadcast by promotions/demotions.
+    pub shootdowns: u64,
+    /// Shootdown-storm flushes recorded (one event per core per spiked
+    /// interval).
+    pub storm_flushes: u64,
+    /// Total TLB translations dropped by storm flushes.
+    pub storm_entries_flushed: u64,
+    /// Largest single-core storm flush.
+    pub storm_entries_max: u64,
+}
+
+/// The four tenant shapes a consolidation mix cycles through. Footprints
+/// and trace lengths differ per shape so the machine sees heterogeneous
+/// demand and deterministic churn as short tenants drain.
+fn consolidation_tenant(i: usize, accesses: u64) -> (SyntheticWorkload, &'static str, u64) {
+    let (mix, mb, count, pattern, writes) = match i % 4 {
+        0 => {
+            let count = accesses;
+            (
+                "zipf",
+                8u64,
+                count,
+                Pattern::Zipf {
+                    count,
+                    exponent: 0.9,
+                },
+                10,
+            )
+        }
+        1 => {
+            let count = accesses * 3 / 4;
+            (
+                "stream",
+                6,
+                count,
+                Pattern::Sequential { stride: 1, count },
+                20,
+            )
+        }
+        2 => {
+            let count = accesses;
+            ("uniform", 8, count, Pattern::UniformRandom { count }, 0)
+        }
+        _ => {
+            let count = accesses / 2;
+            ("chase", 4, count, Pattern::PointerChase { count }, 0)
+        }
+    };
+    let name = format!("t{i:02}-{mix}");
+    let seed = derive_seed(SEED, &format!("consolidation/{i}"));
+    let mut b = SyntheticBuilder::new(name, seed);
+    let arr = b.array(8, (mb << 20) / 8);
+    b.phase(arr, pattern, writes);
+    (b.build(), mix, count)
+}
+
+/// The churn plan of a consolidation run, spread over `intervals`:
+/// a fragmentation shock at 1/4, a shootdown spike at 1/2, a compaction
+/// stall at 5/8, a PCC reset at 3/4, and a second spike at 7/8.
+fn consolidation_churn(intervals: u64) -> FaultPlan {
+    let at = |num: u64, den: u64| (intervals * num / den).max(1);
+    let w = |kind, num, den, duration| FaultWindow {
+        kind,
+        at: at(num, den),
+        duration,
+    };
+    FaultPlan::new(
+        "consolidation-churn",
+        vec![
+            w(
+                FaultKind::FragmentationShock {
+                    percent: 40,
+                    seed: derive_seed(SEED, "consolidation-shock"),
+                },
+                1,
+                4,
+                1,
+            ),
+            w(FaultKind::ShootdownSpike, 1, 2, 1),
+            w(FaultKind::CompactionStall, 5, 8, 2),
+            w(FaultKind::PccReset, 3, 4, 1),
+            w(FaultKind::ShootdownSpike, 7, 8, 1),
+        ],
+    )
+    .expect("static plan is valid")
+}
+
+/// Runs the consolidation scenario: `cfg.tenants` mixed synthetic
+/// tenants under the PCC policy and the churn plan, sharded across
+/// `cfg.sim_threads` workers. Events stream to `recorder` (pass a
+/// telemetry recorder for counters/histograms, or
+/// [`hpage_obs::NullRecorder`]); storm metrics and the Jain fairness
+/// index over per-tenant promotion shares are computed here either way.
+pub fn consolidation_on<R: Recorder>(
+    profile: &SimProfile,
+    cfg: &ConsolidationConfig,
+    recorder: &mut R,
+) -> ConsolidationReport {
+    assert!(cfg.tenants >= 2, "consolidation needs at least two tenants");
+    let tenants: Vec<(SyntheticWorkload, &'static str, u64)> = (0..cfg.tenants)
+        .map(|i| consolidation_tenant(i, cfg.accesses_per_tenant))
+        .collect();
+    let footprint: u64 = tenants.iter().map(|(w, _, _)| w.footprint_bytes()).sum();
+    let total: u64 = tenants.iter().map(|&(_, _, n)| n).sum();
+    let sized = profile.clone().sized_for(footprint);
+    let intervals = total / sized.system.promotion_interval_accesses;
+    let sim = Simulation::new(sized.system, PolicyChoice::pcc_default())
+        .with_faults(consolidation_churn(intervals))
+        .with_sim_threads(cfg.sim_threads);
+    let specs: Vec<ProcessSpec<'_>> = tenants
+        .iter()
+        .map(|(w, _, _)| ProcessSpec::new(w as &dyn Workload))
+        .collect();
+
+    let mut events = MemoryRecorder::new();
+    let report = sim.run_recorded(&specs, &mut Tee(recorder, &mut events));
+
+    let rows: Vec<ConsolidationTenantRow> = tenants
+        .iter()
+        .zip(&report.per_process)
+        .map(|((w, mix, _), c)| ConsolidationTenantRow {
+            tenant: w.name().to_string(),
+            mix,
+            accesses: c.accesses,
+            promotions: c.promotions,
+            walk_ratio: c.walk_ratio(),
+            faults: c.faults_base + c.faults_huge,
+        })
+        .collect();
+    let sum: f64 = rows.iter().map(|r| r.promotions as f64).sum();
+    let sum_sq: f64 = rows.iter().map(|r| (r.promotions as f64).powi(2)).sum();
+    let fairness_index = if sum_sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (rows.len() as f64 * sum_sq)
+    };
+    let (mut storm_flushes, mut storm_entries_flushed, mut storm_entries_max) = (0, 0, 0);
+    for (_, event) in events.events() {
+        if let Event::ShootdownStorm {
+            entries_flushed, ..
+        } = event
+        {
+            storm_flushes += 1;
+            storm_entries_flushed += entries_flushed;
+            storm_entries_max = storm_entries_max.max(entries_flushed);
+        }
+    }
+    ConsolidationReport {
+        tenants: cfg.tenants,
+        sim_threads: cfg.sim_threads,
+        policy: report.policy.clone(),
+        rows,
+        fairness_index,
+        total_promotions: report.aggregate.promotions,
+        promotion_failures: report.promotion_failures,
+        huge_pages_at_end: report.huge_pages_at_end,
+        shootdowns: report.aggregate.shootdowns,
+        storm_flushes,
+        storm_entries_flushed,
+        storm_entries_max,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1180,6 +1426,65 @@ mod tests {
         ];
         let g = fig1_geomean_2m(&rows).unwrap();
         assert!((g - (2.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consolidation_fleet_is_fair_and_deterministic() {
+        // The ISSUE's acceptance bar: a ≥32-tenant consolidation run
+        // completes under churn and yields PCC-fairness and
+        // shootdown-storm metrics — byte-identically at any
+        // `--sim-threads`.
+        let cfg = ConsolidationConfig {
+            tenants: 32,
+            accesses_per_tenant: 40_000,
+            sim_threads: 4,
+        };
+        let p = SimProfile::test();
+        let mut rec = hpage_obs::NullRecorder;
+        let r = consolidation_on(&p, &cfg, &mut rec);
+        assert_eq!(r.rows.len(), 32);
+        assert!(r.rows.iter().all(|row| row.accesses > 0));
+        // All four mixes present, and mixes drain at their own lengths
+        // (stream = 3/4, chase = 1/2 of a full-length tenant).
+        for (mix, frac) in [
+            ("zipf", 1.0),
+            ("stream", 0.75),
+            ("uniform", 1.0),
+            ("chase", 0.5),
+        ] {
+            let row = r.rows.iter().find(|row| row.mix == mix).unwrap();
+            assert_eq!(row.accesses, (cfg.accesses_per_tenant as f64 * frac) as u64);
+        }
+        assert!(r.total_promotions > 0, "the fleet must promote something");
+        assert!(
+            r.fairness_index > 0.0 && r.fairness_index <= 1.0 + 1e-12,
+            "Jain index out of range: {}",
+            r.fairness_index
+        );
+        // Two shootdown-spike windows, one storm flush per core each.
+        assert!(
+            r.storm_flushes >= 32 && r.storm_flushes % 32 == 0,
+            "storms: {}",
+            r.storm_flushes
+        );
+        assert!(r.storm_entries_flushed > 0);
+        assert!(r.storm_entries_max <= r.storm_entries_flushed);
+        // Sequential re-run is bit-equal (the sharded-loop contract).
+        let seq = consolidation_on(
+            &p,
+            &ConsolidationConfig {
+                sim_threads: 1,
+                ..cfg
+            },
+            &mut rec,
+        );
+        assert_eq!(
+            ConsolidationReport {
+                sim_threads: 4,
+                ..seq
+            },
+            r
+        );
     }
 
     #[test]

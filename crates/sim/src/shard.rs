@@ -1,0 +1,1522 @@
+//! The sharded barrier-round simulation engine behind
+//! [`Simulation::try_run_recorded`](crate::Simulation::try_run_recorded).
+//!
+//! # Execution model
+//!
+//! The run is a sequence of **rounds**. In each round every live core
+//! receives a quota of up to [`CHUNK`] accesses, truncated in core order
+//! so the round total never crosses the next promotion-interval
+//! boundary: boundaries are *exact* at any core count (the old loop ran
+//! the interval block only after a full sweep over all cores, so the
+//! boundary drifted by up to `cores × CHUNK` accesses and the drift
+//! depended on the core count). When `total_accesses` lands exactly on
+//! a boundary the coordinator reassembles the full OS-visible state and
+//! runs the single-threaded interval block — policy, injector, ledger,
+//! auditor — verbatim.
+//!
+//! Cores are grouped into **shards**. Every core of a process lives on
+//! the shard that owns the process's [`AddressSpace`], so page-table
+//! walks (which set A-bits) never cross a shard boundary between
+//! barriers. With `--sim-threads 1` (the default) the single shard runs
+//! inline on the calling thread; with more, each shard is an OS thread
+//! and rounds execute in parallel.
+//!
+//! # Determinism
+//!
+//! The protocol is canonical — the schedule of every simulated event is
+//! a pure function of the inputs, never of the shard count:
+//!
+//! * **Timestamps** are block-sequential: after the fill phase the
+//!   coordinator prefix-sums the per-core chunk lengths in core order,
+//!   so core *c*'s accesses occupy a contiguous timestamp block that
+//!   only depends on the lengths of cores `< c`.
+//! * **Page faults** pause the faulting core. Workers run every core to
+//!   its first unserved fault (or chunk end), then the coordinator
+//!   serves all pending allocation requests against the shared
+//!   [`PhysicalMemory`] in global core order (a *wave*), workers
+//!   install the granted frames and resume. Wave composition depends
+//!   only on per-core fault positions, which are shard-independent.
+//!   Two cores of one process can fault on the same region in the same
+//!   wave; the later install detects the overlap (or a huge grant that
+//!   no longer fits over freshly installed base pages), returns the
+//!   frame, and — for the unusable-huge case — re-requests a base
+//!   frame in the next wave. Returned frames are freed, and new
+//!   requests allocated, in global core order.
+//! * **Events** are buffered per core and drained into the recorder in
+//!   core order at the end of each round, which equals timestamp order.
+//! * **Merges** at interval barriers (PCC banks, TLBs, per-core
+//!   counters, ledger walk tallies) key by core or by region and are
+//!   order-insensitive sums, so the assembled state is byte-identical
+//!   at any `--sim-threads`.
+//!
+//! The shared-LLC data-cache model couples cores through one
+//! [`CacheHierarchy`], so enabling it forces a single shard.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, Receiver, Sender};
+
+use hpage_cache::{CacheHierarchy, CacheOutcome};
+use hpage_faults::FaultInjector;
+use hpage_obs::{
+    Event, FailureReason, IntervalRow, IntervalSeries, IntervalSnapshot, PccAction, Recorder,
+    TlbLevel, FREQ_HISTOGRAM_BUCKETS,
+};
+use hpage_os::{
+    AddressSpace, AllocGate, AuditViolation, Auditor, FaultGrant, FaultOutcome, HugePagePolicy,
+    OsState, PhysicalMemory, PromotionBudget, PromotionLedger, PromotionSchedule, RegionWalks,
+    ScheduledPromotion,
+};
+use hpage_pcc::{Pcc, PccBank, PccEvent};
+use hpage_perf::RunCounters;
+use hpage_tlb::{PageWalkCache, TlbHierarchy, TlbOutcome, Translation, WalkResult};
+use hpage_trace::TraceStream;
+use hpage_types::{CoreId, HpageError, MemoryAccess, PageSize, ProcessId, VirtAddr, Vpn};
+
+use crate::simulation::{ProcessSpec, SimReport, Simulation};
+
+/// Accesses per core per round. Also the upper bound on how far one
+/// core's timestamp block can run ahead of another's within a round.
+pub(crate) const CHUNK: u32 = 256;
+
+/// Hot-path configuration copied into every shard worker.
+#[derive(Clone, Copy)]
+struct WorkerFlags {
+    /// Policy faults prefer 2 MiB frames.
+    prefer_huge: bool,
+    /// §5.4.1 ablation: PCC banks are fed from L2-TLB evictions.
+    victim_mode: bool,
+    /// Tally per-region walk counts for the promotion ledger.
+    ledger_on: bool,
+    /// Buffer per-access events for the recorder.
+    recorder_on: bool,
+}
+
+/// A page-fault allocation request: the page-table half of the fault
+/// already ran on the worker; the coordinator supplies the frame.
+struct FaultRequest {
+    core: usize,
+    va: VirtAddr,
+    wants_huge: bool,
+}
+
+/// OS-visible state a shard surrenders at an interval barrier.
+#[derive(Default)]
+struct OsSlice {
+    spaces: Vec<(usize, AddressSpace)>,
+    tlbs: Vec<(usize, TlbHierarchy)>,
+    pwcs: Vec<(usize, PageWalkCache)>,
+    pccs: Vec<(usize, Pcc)>,
+    pccs_1g: Vec<(usize, Pcc)>,
+    /// Drained per-region walk tallies, merged (summed) into the
+    /// coordinator's ledger feed.
+    region_walks: Vec<((u32, u64), u64)>,
+}
+
+enum ToShard {
+    /// Start a round: refill each listed core's chunk (quota accesses).
+    Fill { quotas: Vec<(usize, u64)> },
+    /// Execute the filled chunks; `ts_bases[i]` is the global access
+    /// count just before core `i`'s block.
+    Execute { ts_bases: Vec<(usize, u64)> },
+    /// Deliver fault grants to paused cores and resume them.
+    Grants { grants: Vec<(usize, FaultGrant)> },
+    /// Surrender all OS-visible state for an interval barrier.
+    TakeOs,
+    /// Reclaim state after the barrier. No reply.
+    RestoreOs(Box<OsSlice>),
+}
+
+enum FromShard {
+    /// Reply to `Fill`: how many accesses each core's trace produced.
+    Filled { gots: Vec<(usize, u64)> },
+    /// Reply to `Execute`/`Grants`.
+    Progress(Box<ShardProgress>),
+    /// Reply to `TakeOs`.
+    Os(Box<OsSlice>),
+}
+
+enum ShardProgress {
+    /// At least one core hit an unserved page fault.
+    Paused {
+        requests: Vec<FaultRequest>,
+        /// Grants that turned out redundant at install time (another
+        /// core of the same process mapped the address in the same
+        /// wave). The coordinator frees them in core order.
+        unused: Vec<(usize, FaultGrant)>,
+    },
+    /// Every filled chunk ran to completion.
+    RoundDone {
+        /// Per-core event buffers, each in timestamp order.
+        events: Vec<(usize, Vec<(u64, Event)>)>,
+        /// Running per-core counters (overwrite, not delta).
+        counters: Vec<(usize, RunCounters)>,
+        unused: Vec<(usize, FaultGrant)>,
+    },
+    /// A page-table operation failed; the run aborts.
+    Failed(HpageError),
+}
+
+/// One simulated core's private state: TLB hierarchy, page-walk cache,
+/// PCC slice, trace stream, and the in-flight chunk.
+struct CoreSeat<'w> {
+    core: usize,
+    pid: usize,
+    /// Index into the owning worker's `spaces`.
+    space_slot: usize,
+    trace: Box<dyn TraceStream + Send + 'w>,
+    // `Option` so the state can travel to the coordinator at barriers;
+    // always `Some` while the worker executes.
+    tlb: Option<TlbHierarchy>,
+    pwc: Option<PageWalkCache>,
+    pcc: Option<Pcc>,
+    pcc_1g: Option<Pcc>,
+    chunk: Vec<MemoryAccess>,
+    /// Next unexecuted index into `chunk`.
+    pos: usize,
+    /// Timestamp of the access at `pos`.
+    ts: u64,
+    /// The access at `pos` already faulted; retry the walk directly
+    /// (the TLB lookup already counted its miss).
+    resume_walk: bool,
+    pending_grant: Option<FaultGrant>,
+    /// The core has an unfinished chunk in the current round.
+    in_round: bool,
+    /// TLB stats snapshot (accesses, l1, l2, walks) at chunk start;
+    /// the delta folds into `counters` when the chunk completes.
+    chunk_base: (u64, u64, u64, u64),
+    counters: RunCounters,
+    events: Vec<(u64, Event)>,
+    region_walks: RegionWalks,
+    unused_grants: Vec<FaultGrant>,
+}
+
+/// A shard: a set of cores plus the address spaces they fault into.
+struct ShardWorker<'w> {
+    /// Seats in global core order.
+    seats: Vec<CoreSeat<'w>>,
+    /// Address spaces owned by this shard, keyed by process id.
+    spaces: Vec<(usize, Option<AddressSpace>)>,
+    /// The shared data-cache model (forces a single shard, so at most
+    /// one worker ever holds it).
+    caches: Option<CacheHierarchy>,
+    flags: WorkerFlags,
+}
+
+impl<'w> ShardWorker<'w> {
+    fn seat_mut(&mut self, core: usize) -> &mut CoreSeat<'w> {
+        self.seats
+            .iter_mut()
+            .find(|s| s.core == core)
+            .expect("core belongs to this shard")
+    }
+
+    /// Processes one coordinator message. `RestoreOs` has no reply.
+    fn handle(&mut self, msg: ToShard) -> Option<FromShard> {
+        match msg {
+            ToShard::Fill { quotas } => Some(FromShard::Filled {
+                gots: self.fill(&quotas),
+            }),
+            ToShard::Execute { ts_bases } => {
+                for (core, base) in ts_bases {
+                    // First access of the block is access number base+1.
+                    self.seat_mut(core).ts = base + 1;
+                }
+                Some(FromShard::Progress(Box::new(self.run_ready())))
+            }
+            ToShard::Grants { grants } => {
+                for (core, grant) in grants {
+                    self.seat_mut(core).pending_grant = Some(grant);
+                }
+                Some(FromShard::Progress(Box::new(self.run_ready())))
+            }
+            ToShard::TakeOs => Some(FromShard::Os(Box::new(self.take_os()))),
+            ToShard::RestoreOs(slice) => {
+                self.restore_os(*slice);
+                None
+            }
+        }
+    }
+
+    fn fill(&mut self, quotas: &[(usize, u64)]) -> Vec<(usize, u64)> {
+        let mut gots = Vec::with_capacity(quotas.len());
+        for &(core, quota) in quotas {
+            let seat = self.seat_mut(core);
+            seat.chunk.clear();
+            seat.pos = 0;
+            seat.resume_walk = false;
+            let got = seat.trace.fill(&mut seat.chunk, quota as usize);
+            seat.in_round = got > 0;
+            if got > 0 {
+                let s = seat.tlb.as_ref().expect("tlb resident").stats();
+                seat.chunk_base = (s.accesses, s.l1_hits, s.l2_hits, s.walks);
+            }
+            gots.push((core, got as u64));
+        }
+        gots
+    }
+
+    /// Runs every in-round seat until it pauses at a fault or finishes
+    /// its chunk.
+    fn run_ready(&mut self) -> ShardProgress {
+        let flags = self.flags;
+        let mut requests = Vec::new();
+        let ShardWorker {
+            seats,
+            spaces,
+            caches,
+            ..
+        } = self;
+        for seat in seats.iter_mut() {
+            if !seat.in_round {
+                continue;
+            }
+            let space = spaces[seat.space_slot]
+                .1
+                .as_mut()
+                .expect("space resident between barriers");
+            match run_seat(seat, space, caches, flags) {
+                Ok(Some(req)) => requests.push(req),
+                Ok(None) => {}
+                Err(e) => return ShardProgress::Failed(e),
+            }
+        }
+        let mut unused = Vec::new();
+        for seat in seats.iter_mut() {
+            for g in seat.unused_grants.drain(..) {
+                unused.push((seat.core, g));
+            }
+        }
+        if requests.is_empty() {
+            let mut events = Vec::new();
+            let mut counters = Vec::with_capacity(seats.len());
+            for seat in seats.iter_mut() {
+                if !seat.events.is_empty() {
+                    events.push((seat.core, std::mem::take(&mut seat.events)));
+                }
+                counters.push((seat.core, seat.counters));
+            }
+            ShardProgress::RoundDone {
+                events,
+                counters,
+                unused,
+            }
+        } else {
+            ShardProgress::Paused { requests, unused }
+        }
+    }
+
+    fn take_os(&mut self) -> OsSlice {
+        let mut slice = OsSlice::default();
+        for (pid, s) in self.spaces.iter_mut() {
+            slice.spaces.push((*pid, s.take().expect("space resident")));
+        }
+        for seat in self.seats.iter_mut() {
+            slice
+                .tlbs
+                .push((seat.core, seat.tlb.take().expect("tlb resident")));
+            if let Some(p) = seat.pwc.take() {
+                slice.pwcs.push((seat.core, p));
+            }
+            if let Some(p) = seat.pcc.take() {
+                slice.pccs.push((seat.core, p));
+            }
+            if let Some(p) = seat.pcc_1g.take() {
+                slice.pccs_1g.push((seat.core, p));
+            }
+            slice.region_walks.extend(seat.region_walks.drain());
+        }
+        slice
+    }
+
+    fn restore_os(&mut self, slice: OsSlice) {
+        for (pid, space) in slice.spaces {
+            let slot = self
+                .spaces
+                .iter_mut()
+                .find(|(p, _)| *p == pid)
+                .expect("process belongs to this shard");
+            slot.1 = Some(space);
+        }
+        for (core, t) in slice.tlbs {
+            self.seat_mut(core).tlb = Some(t);
+        }
+        for (core, p) in slice.pwcs {
+            self.seat_mut(core).pwc = Some(p);
+        }
+        for (core, p) in slice.pccs {
+            self.seat_mut(core).pcc = Some(p);
+        }
+        for (core, p) in slice.pccs_1g {
+            self.seat_mut(core).pcc_1g = Some(p);
+        }
+    }
+}
+
+/// Executes one seat until its chunk ends (`Ok(None)`) or it needs a
+/// frame from the coordinator (`Ok(Some(request))`).
+fn run_seat<'w>(
+    seat: &mut CoreSeat<'w>,
+    space: &mut AddressSpace,
+    caches: &mut Option<CacheHierarchy>,
+    flags: WorkerFlags,
+) -> Result<Option<FaultRequest>, HpageError> {
+    // A grant arrived for the access we paused on.
+    if let Some(grant) = seat.pending_grant.take() {
+        let access = seat.chunk[seat.pos];
+        if space.page_table().translate(access.addr).is_some() {
+            // A sibling core's install in this same wave already mapped
+            // the address; the grant is redundant — hand the frame back.
+            seat.unused_grants.push(grant);
+        } else if matches!(grant, FaultGrant::Huge(_)) && !space.fault_wants_huge(access.addr, true)
+        {
+            // Sibling base-page installs landed in the region after the
+            // request was posted; a huge mapping no longer fits. Return
+            // the frame and re-request a base grant next wave.
+            seat.unused_grants.push(grant);
+            return Ok(Some(FaultRequest {
+                core: seat.core,
+                va: access.addr,
+                wants_huge: false,
+            }));
+        } else {
+            let out = space.install_grant(access.addr, grant)?;
+            let size = match out {
+                FaultOutcome::Base(_) => {
+                    seat.counters.faults_base += 1;
+                    PageSize::Base4K
+                }
+                FaultOutcome::Huge(_) => {
+                    seat.counters.faults_huge += 1;
+                    PageSize::Huge2M
+                }
+            };
+            if flags.recorder_on {
+                seat.events.push((
+                    seat.ts,
+                    Event::Fault {
+                        core: CoreId(seat.core as u32),
+                        process: ProcessId(seat.pid as u32),
+                        size,
+                    },
+                ));
+            }
+        }
+        seat.resume_walk = true;
+    }
+    while seat.pos < seat.chunk.len() {
+        let access = seat.chunk[seat.pos];
+        let at = seat.ts;
+        let data_translation: Option<Translation> = if seat.resume_walk {
+            seat.resume_walk = false;
+            let walk = space.page_table_mut().walk(access.addr)?;
+            Some(handle_walk(seat, access, at, walk, flags))
+        } else {
+            match seat.tlb.as_mut().expect("tlb resident").lookup(access.addr) {
+                TlbOutcome::L1Hit(t) => {
+                    if flags.recorder_on {
+                        seat.events.push((
+                            at,
+                            Event::TlbHit {
+                                core: CoreId(seat.core as u32),
+                                level: TlbLevel::L1,
+                                size: t.size(),
+                            },
+                        ));
+                    }
+                    Some(t)
+                }
+                TlbOutcome::L2Hit(t) => {
+                    if flags.recorder_on {
+                        seat.events.push((
+                            at,
+                            Event::TlbHit {
+                                core: CoreId(seat.core as u32),
+                                level: TlbLevel::L2,
+                                size: t.size(),
+                            },
+                        ));
+                    }
+                    Some(t)
+                }
+                TlbOutcome::Miss => match space.page_table_mut().walk(access.addr) {
+                    Ok(walk) => Some(handle_walk(seat, access, at, walk, flags)),
+                    Err(_) => {
+                        // Page fault: ship the allocation request; the
+                        // access retries here once the grant lands.
+                        let wants_huge = space.fault_wants_huge(access.addr, flags.prefer_huge);
+                        return Ok(Some(FaultRequest {
+                            core: seat.core,
+                            va: access.addr,
+                            wants_huge,
+                        }));
+                    }
+                },
+            }
+        };
+        // Optional data-cache model: physically indexed, so the
+        // translation just resolved decides placement.
+        if let (Some(caches), Some(t)) = (caches.as_mut(), data_translation) {
+            let offset = access.addr.page_offset(t.size());
+            let paddr = hpage_types::PhysAddr::new(t.pfn.base().raw() + offset);
+            match caches.access(seat.core, paddr) {
+                CacheOutcome::L1 => {}
+                CacheOutcome::L2 => seat.counters.cache_l2_hits += 1,
+                CacheOutcome::Llc => seat.counters.cache_llc_hits += 1,
+                CacheOutcome::Memory => seat.counters.cache_memory += 1,
+            }
+        }
+        seat.pos += 1;
+        seat.ts += 1;
+    }
+    // Chunk complete: fold the TLB stats delta into the counters (the
+    // hierarchy already counts lookups, so the hot loop doesn't).
+    let s = seat.tlb.as_ref().expect("tlb resident").stats();
+    seat.counters.accesses += s.accesses - seat.chunk_base.0;
+    seat.counters.l1_hits += s.l1_hits - seat.chunk_base.1;
+    seat.counters.l2_hits += s.l2_hits - seat.chunk_base.2;
+    seat.counters.walks += s.walks - seat.chunk_base.3;
+    seat.in_round = false;
+    Ok(None)
+}
+
+/// The post-walk datapath: PWC, ledger tally, TLB fill, PCC feeds.
+fn handle_walk(
+    seat: &mut CoreSeat<'_>,
+    access: MemoryAccess,
+    at: u64,
+    walk: WalkResult,
+    flags: WorkerFlags,
+) -> Translation {
+    let effective_levels = match seat.pwc.as_mut() {
+        Some(pwc) => pwc.walk(access.addr, walk.levels_referenced),
+        None => walk.levels_referenced,
+    };
+    seat.counters.walk_levels += u64::from(effective_levels);
+    if flags.ledger_on {
+        let key = (seat.pid as u32, access.addr.vpn(PageSize::Huge2M).index());
+        *seat.region_walks.entry(key).or_insert(0) += 1;
+    }
+    if flags.recorder_on {
+        seat.events.push((
+            at,
+            Event::Walk {
+                core: CoreId(seat.core as u32),
+                size: walk.translation.size(),
+                levels: walk.levels_referenced,
+                effective_levels,
+                a_bit_was_set: walk.pmd_accessed_before,
+            },
+        ));
+    }
+    let l2_victim = seat
+        .tlb
+        .as_mut()
+        .expect("tlb resident")
+        .fill(walk.translation);
+    let CoreSeat {
+        core,
+        pcc,
+        pcc_1g,
+        events,
+        ..
+    } = seat;
+    let core = *core as u32;
+    if let Some(pcc) = pcc.as_mut() {
+        if flags.victim_mode {
+            if let Some(victim) = l2_victim {
+                record_pcc_walk(
+                    events,
+                    flags.recorder_on,
+                    pcc,
+                    at,
+                    core,
+                    victim.vpn.base().vpn(PageSize::Huge2M),
+                    true,
+                );
+            }
+        } else if walk.translation.size() != PageSize::Huge1G {
+            record_pcc_walk(
+                events,
+                flags.recorder_on,
+                pcc,
+                at,
+                core,
+                access.addr.vpn(PageSize::Huge2M),
+                walk.pmd_accessed_before,
+            );
+        }
+    }
+    if let Some(pcc_1g) = pcc_1g.as_mut() {
+        if flags.victim_mode {
+            // §5.4.1 ablation: the 1 GiB bank rides the same victim
+            // feed as the 2 MiB bank. An eviction is evidence of prior
+            // residence, so it always takes the A-bit-set update path
+            // (the bank's cold-miss filter is off in this mode).
+            if let Some(victim) = l2_victim {
+                record_pcc_walk(
+                    events,
+                    flags.recorder_on,
+                    pcc_1g,
+                    at,
+                    core,
+                    victim.vpn.base().vpn(PageSize::Huge1G),
+                    true,
+                );
+            }
+        } else {
+            record_pcc_walk(
+                events,
+                flags.recorder_on,
+                pcc_1g,
+                at,
+                core,
+                access.addr.vpn(PageSize::Huge1G),
+                walk.pud_accessed_before,
+            );
+        }
+    }
+    walk.translation
+}
+
+/// Reports one walk to a per-core PCC and buffers the decision as an
+/// event. Decay is detected via the stats delta, so the extra reads
+/// only happen when the recorder is live.
+fn record_pcc_walk(
+    events: &mut Vec<(u64, Event)>,
+    recorder_on: bool,
+    pcc: &mut Pcc,
+    at: u64,
+    core: u32,
+    region: Vpn,
+    a_bit_was_set: bool,
+) {
+    if !recorder_on {
+        pcc.record_walk(region, a_bit_was_set);
+        return;
+    }
+    let decays_before = pcc.stats().decays;
+    let event = pcc.record_walk(region, a_bit_was_set);
+    let decayed = pcc.stats().decays > decays_before;
+    let action = match event {
+        PccEvent::Hit(freq) => PccAction::Hit(freq),
+        PccEvent::Inserted => PccAction::Inserted,
+        PccEvent::InsertedWithEviction(victim) => PccAction::InsertedWithEviction(victim),
+        PccEvent::FilteredColdMiss => PccAction::FilteredColdMiss,
+    };
+    events.push((
+        at,
+        Event::PccUpdate {
+            core: CoreId(core),
+            granularity: region.size(),
+            region,
+            action,
+            decayed,
+        },
+    ));
+}
+
+/// Builds the interval-boundary snapshot (only when a recorder is live —
+/// the frequency histogram walks every PCC entry).
+fn interval_snapshot(
+    interval: u64,
+    row: &IntervalRow,
+    bank: Option<&PccBank>,
+    os: &OsState,
+) -> IntervalSnapshot {
+    let mut occupancy = 0u64;
+    let mut capacity = 0u64;
+    let mut hist = [0u32; FREQ_HISTOGRAM_BUCKETS];
+    if let Some(bank) = bank {
+        for core in 0..bank.cores() {
+            let pcc = bank.pcc(CoreId(core));
+            occupancy += pcc.len() as u64;
+            capacity += pcc.capacity() as u64;
+            for cand in pcc.iter() {
+                let bucket = if cand.frequency == 0 {
+                    0
+                } else {
+                    (63 - cand.frequency.leading_zeros() as usize).min(FREQ_HISTOGRAM_BUCKETS - 1)
+                };
+                hist[bucket] += 1;
+            }
+        }
+    }
+    IntervalSnapshot {
+        interval,
+        pcc_occupancy: occupancy,
+        pcc_capacity: capacity,
+        freq_histogram: hist,
+        l1_hit_rate: row.l1_hit_rate,
+        l2_hit_rate: row.l2_hit_rate,
+        walk_rate: row.walk_rate,
+        free_huge_blocks: os.phys.free_huge_capable_blocks(),
+        huge_pages_resident: row.huge_pages_resident,
+        bloat_bytes: row.bloat_bytes,
+    }
+}
+
+/// A shard as the coordinator sees it: either the worker inline on this
+/// thread (single-shard runs) or a channel pair to a worker thread.
+/// `send`/`recv` have identical semantics in both variants, so the
+/// coordinator logic — and therefore the simulated schedule — is the
+/// same code path at any thread count.
+enum Shard<'w> {
+    Inline {
+        worker: Box<ShardWorker<'w>>,
+        queued: VecDeque<FromShard>,
+    },
+    Threaded {
+        tx: Sender<ToShard>,
+        rx: Receiver<FromShard>,
+    },
+}
+
+impl Shard<'_> {
+    fn send(&mut self, msg: ToShard) {
+        match self {
+            Shard::Inline { worker, queued } => {
+                if let Some(reply) = worker.handle(msg) {
+                    queued.push_back(reply);
+                }
+            }
+            Shard::Threaded { tx, .. } => {
+                // A send to a dead worker surfaces as a recv panic with
+                // better context; ignore the error here.
+                let _ = tx.send(msg);
+            }
+        }
+    }
+
+    fn recv(&mut self) -> FromShard {
+        match self {
+            Shard::Inline { queued, .. } => queued.pop_front().expect("inline reply queued"),
+            Shard::Threaded { rx, .. } => rx.recv().expect("shard worker alive"),
+        }
+    }
+}
+
+fn worker_main(mut worker: ShardWorker<'_>, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
+    while let Ok(msg) = rx.recv() {
+        if let Some(reply) = worker.handle(msg) {
+            if tx.send(reply).is_err() {
+                break; // coordinator gone (error path); shut down
+            }
+        }
+    }
+}
+
+/// Per-core state materialized at the coordinator for an interval
+/// barrier, then redistributed.
+struct Assembled {
+    tlbs: Vec<TlbHierarchy>,
+    pwcs: Option<Vec<PageWalkCache>>,
+}
+
+struct Coordinator<'a, 'w, R: Recorder> {
+    sim: &'a Simulation,
+    recorder: &'a mut R,
+    shards: Vec<Shard<'w>>,
+    core_shard: Vec<usize>,
+    core_process: Vec<usize>,
+    process_shard: Vec<usize>,
+    os: OsState,
+    policy: Box<dyn HugePagePolicy>,
+    injector: Option<FaultInjector>,
+    auditor: Option<Auditor>,
+    audit_violations: Vec<(u64, AuditViolation)>,
+    ledger: Option<PromotionLedger>,
+    region_walks: Option<RegionWalks>,
+    bank: Option<PccBank>,
+    bank_1g: Option<PccBank>,
+    has_pwc: bool,
+    remaining: Vec<u64>,
+    live: Vec<bool>,
+    live_count: usize,
+    per_core: Vec<RunCounters>,
+    per_process: Vec<RunCounters>,
+    budget: PromotionBudget,
+    total_accesses: u64,
+    next_interval: u64,
+    promotion_failures: u64,
+    schedule: PromotionSchedule,
+    interval_walk_rates: Vec<f64>,
+    interval_series: IntervalSeries,
+    /// (accesses, walks, l1, l2) at the last barrier.
+    marks: (u64, u64, u64, u64),
+    interval_index: u64,
+}
+
+impl<R: Recorder> Coordinator<'_, '_, R> {
+    fn run_to_completion(mut self) -> Result<SimReport, HpageError> {
+        while self.live_count > 0 {
+            self.round()?;
+        }
+        self.finish()
+    }
+
+    /// One round: plan quotas (exactly up to the interval boundary),
+    /// fill, execute through fault waves, drain events, and run the
+    /// interval block if the boundary was reached.
+    fn round(&mut self) -> Result<(), HpageError> {
+        let n_shards = self.shards.len();
+
+        // Quotas truncate in core order so the round total never
+        // crosses the boundary — this is what makes boundaries exact.
+        let mut left = self.next_interval - self.total_accesses;
+        debug_assert!(left > 0, "barriers fire exactly at the boundary");
+        let mut quotas: Vec<(usize, u64)> = Vec::new();
+        for core in 0..self.core_shard.len() {
+            if !self.live[core] {
+                continue;
+            }
+            let q = u64::from(CHUNK).min(self.remaining[core]).min(left);
+            left -= q;
+            if q > 0 {
+                quotas.push((core, q));
+            }
+        }
+        debug_assert!(!quotas.is_empty(), "a live core always gets quota");
+
+        // Fill.
+        let mut shard_quotas: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n_shards];
+        for &(core, q) in &quotas {
+            shard_quotas[self.core_shard[core]].push((core, q));
+        }
+        let filling: Vec<usize> = (0..n_shards)
+            .filter(|&si| !shard_quotas[si].is_empty())
+            .collect();
+        for &si in &filling {
+            let q = std::mem::take(&mut shard_quotas[si]);
+            self.shards[si].send(ToShard::Fill { quotas: q });
+        }
+        let mut gots: Vec<(usize, u64)> = Vec::new();
+        for &si in &filling {
+            match self.shards[si].recv() {
+                FromShard::Filled { gots: g } => gots.extend(g),
+                _ => unreachable!("Fill answered with Filled"),
+            }
+        }
+        gots.sort_unstable_by_key(|&(core, _)| core);
+
+        // Liveness and block-sequential timestamp bases.
+        let mut ts = self.total_accesses;
+        let mut ts_bases: Vec<(usize, u64)> = Vec::new();
+        for (&(core, quota), &(core2, got)) in quotas.iter().zip(gots.iter()) {
+            debug_assert_eq!(core, core2);
+            self.remaining[core] -= got;
+            if got < quota || self.remaining[core] == 0 {
+                self.live[core] = false;
+                self.live_count -= 1;
+            }
+            if got > 0 {
+                ts_bases.push((core, ts));
+                ts += got;
+            }
+        }
+        let round_total = ts - self.total_accesses;
+        if round_total == 0 {
+            return Ok(()); // every participating trace was dry
+        }
+
+        // Execute, serving fault waves until all chunks complete.
+        let mut shard_bases: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n_shards];
+        for &(core, base) in &ts_bases {
+            shard_bases[self.core_shard[core]].push((core, base));
+        }
+        let mut active: Vec<usize> = Vec::new();
+        for (si, bases) in shard_bases.iter_mut().enumerate() {
+            if !bases.is_empty() {
+                let b = std::mem::take(bases);
+                self.shards[si].send(ToShard::Execute { ts_bases: b });
+                active.push(si);
+            }
+        }
+        let mut round_events: Vec<(usize, Vec<(u64, Event)>)> = Vec::new();
+        while !active.is_empty() {
+            let mut requests: Vec<FaultRequest> = Vec::new();
+            let mut unused: Vec<(usize, FaultGrant)> = Vec::new();
+            let mut paused: Vec<usize> = Vec::new();
+            for &si in &active {
+                let progress = match self.shards[si].recv() {
+                    FromShard::Progress(p) => *p,
+                    _ => unreachable!("Execute/Grants answered with Progress"),
+                };
+                match progress {
+                    ShardProgress::Paused {
+                        requests: r,
+                        unused: u,
+                    } => {
+                        requests.extend(r);
+                        unused.extend(u);
+                        paused.push(si);
+                    }
+                    ShardProgress::RoundDone {
+                        events,
+                        counters,
+                        unused: u,
+                    } => {
+                        unused.extend(u);
+                        round_events.extend(events);
+                        for (core, c) in counters {
+                            self.per_core[core] = c;
+                        }
+                    }
+                    ShardProgress::Failed(e) => return Err(e),
+                }
+            }
+            // Canonical frame recycling: free returned frames, then
+            // serve new requests, both in global core order.
+            unused.sort_unstable_by_key(|&(core, _)| core);
+            for (_, grant) in unused {
+                match grant {
+                    FaultGrant::Base(pfn) => self.os.phys.free_base(pfn)?,
+                    FaultGrant::Huge(pfn) => self.os.phys.free_huge(pfn)?,
+                }
+            }
+            if requests.is_empty() {
+                debug_assert!(paused.is_empty(), "paused shards always have requests");
+                break;
+            }
+            requests.sort_unstable_by_key(|r| r.core);
+            let mut shard_grants: Vec<Vec<(usize, FaultGrant)>> = vec![Vec::new(); n_shards];
+            for req in requests {
+                let grant = AddressSpace::allocate_grant(&mut self.os.phys, req.wants_huge)?;
+                shard_grants[self.core_shard[req.core]].push((req.core, grant));
+                // The worker validates the grant at install time; `va`
+                // travels only for the worker's retry bookkeeping.
+                let _ = req.va;
+            }
+            for &si in &paused {
+                let g = std::mem::take(&mut shard_grants[si]);
+                debug_assert!(!g.is_empty());
+                self.shards[si].send(ToShard::Grants { grants: g });
+            }
+            active = paused;
+        }
+
+        // Drain the round's events in core order — which, with
+        // block-sequential timestamps, is timestamp order.
+        round_events.sort_unstable_by_key(|&(core, _)| core);
+        for (_, events) in round_events {
+            for (at, ev) in events {
+                self.recorder.record(at, ev);
+            }
+        }
+        self.total_accesses += round_total;
+
+        if self.total_accesses == self.next_interval {
+            let mut assembled = self.assemble_os();
+            self.interval_block(&mut assembled);
+            self.next_interval += self.sim.config.promotion_interval_accesses;
+            self.distribute_os(assembled);
+        }
+        Ok(())
+    }
+
+    /// Pulls every shard's OS-visible state back into the coordinator.
+    fn assemble_os(&mut self) -> Assembled {
+        for si in 0..self.shards.len() {
+            self.shards[si].send(ToShard::TakeOs);
+        }
+        let n = self.core_shard.len();
+        let mut tlbs: Vec<Option<TlbHierarchy>> = (0..n).map(|_| None).collect();
+        let mut pwcs: Vec<Option<PageWalkCache>> = (0..n).map(|_| None).collect();
+        for si in 0..self.shards.len() {
+            let slice = match self.shards[si].recv() {
+                FromShard::Os(s) => *s,
+                _ => unreachable!("TakeOs answered with Os"),
+            };
+            for (pid, space) in slice.spaces {
+                self.os.spaces[pid] = space;
+            }
+            for (core, t) in slice.tlbs {
+                tlbs[core] = Some(t);
+            }
+            for (core, p) in slice.pwcs {
+                pwcs[core] = Some(p);
+            }
+            for (core, p) in slice.pccs {
+                self.bank
+                    .as_mut()
+                    .expect("seats hold PCCs only when the bank exists")
+                    .restore(CoreId(core as u32), p);
+            }
+            for (core, p) in slice.pccs_1g {
+                self.bank_1g
+                    .as_mut()
+                    .expect("seats hold 1G PCCs only when the bank exists")
+                    .restore(CoreId(core as u32), p);
+            }
+            if let Some(rw) = self.region_walks.as_mut() {
+                for (k, v) in slice.region_walks {
+                    *rw.entry(k).or_insert(0) += v;
+                }
+            }
+        }
+        Assembled {
+            tlbs: tlbs
+                .into_iter()
+                .map(|t| t.expect("every core surrendered its TLB"))
+                .collect(),
+            pwcs: self.has_pwc.then(|| {
+                pwcs.into_iter()
+                    .map(|p| p.expect("every core surrendered its PWC"))
+                    .collect()
+            }),
+        }
+    }
+
+    /// Hands OS-visible state back to the shards after a barrier.
+    fn distribute_os(&mut self, assembled: Assembled) {
+        let Assembled { tlbs, pwcs } = assembled;
+        let mut tlbs: Vec<Option<TlbHierarchy>> = tlbs.into_iter().map(Some).collect();
+        let mut pwcs: Option<Vec<Option<PageWalkCache>>> =
+            pwcs.map(|v| v.into_iter().map(Some).collect());
+        for si in 0..self.shards.len() {
+            let mut slice = OsSlice::default();
+            for (pid, &shard) in self.process_shard.iter().enumerate() {
+                if shard != si {
+                    continue;
+                }
+                let placeholder = AddressSpace::new(ProcessId(pid as u32));
+                let space = std::mem::replace(&mut self.os.spaces[pid], placeholder);
+                slice.spaces.push((pid, space));
+            }
+            for core in 0..self.core_shard.len() {
+                if self.core_shard[core] != si {
+                    continue;
+                }
+                slice
+                    .tlbs
+                    .push((core, tlbs[core].take().expect("tlb assembled")));
+                if let Some(p) = pwcs.as_mut() {
+                    slice
+                        .pwcs
+                        .push((core, p[core].take().expect("pwc assembled")));
+                }
+                if let Some(b) = self.bank.as_mut() {
+                    slice.pccs.push((core, b.take(CoreId(core as u32))));
+                }
+                if let Some(b) = self.bank_1g.as_mut() {
+                    slice.pccs_1g.push((core, b.take(CoreId(core as u32))));
+                }
+            }
+            self.shards[si].send(ToShard::RestoreOs(Box::new(slice)));
+        }
+    }
+
+    /// The single-threaded interval block: injected faults, ledger
+    /// settlement, the promotion policy, shootdowns, audit, and the
+    /// interval row. Runs on fully assembled state, so it is verbatim
+    /// the sequential loop's logic and its outputs cannot depend on the
+    /// shard count.
+    fn interval_block(&mut self, assembled: &mut Assembled) {
+        let total_accesses = self.total_accesses;
+        // Apply this interval's injected faults *before* the policy
+        // runs, so an OOM window actually starves the promotions
+        // attempted in it.
+        if let Some(injector) = self.injector.as_mut() {
+            let effects = injector.effects_at(self.interval_index);
+            if self.recorder.enabled() {
+                for kind in &effects.started {
+                    self.recorder.record(
+                        total_accesses,
+                        Event::FaultInjected {
+                            fault: kind.label(),
+                            interval: self.interval_index,
+                        },
+                    );
+                }
+            }
+            for &(percent, seed) in &effects.shocks {
+                self.os.phys.fragment(percent, seed);
+                // The shock plants background pages no space owns;
+                // re-baseline the frame accounting.
+                if let Some(auditor) = self.auditor.as_mut() {
+                    auditor.rebase(&self.os);
+                }
+            }
+            if effects.pcc_reset {
+                if let Some(bank) = self.bank.as_mut() {
+                    bank.clear_all();
+                }
+                if let Some(bank_1g) = self.bank_1g.as_mut() {
+                    bank_1g.clear_all();
+                }
+            }
+            if effects.shootdown_spike {
+                // A shootdown storm from an interfering workload: every
+                // core takes a full TLB + PWC flush, and the flush size
+                // is recorded so storm cost is observable downstream.
+                for (core, tlb) in assembled.tlbs.iter_mut().enumerate() {
+                    let entries_flushed = tlb.resident_entries() as u64;
+                    tlb.flush();
+                    if let Some(pwcs) = assembled.pwcs.as_mut() {
+                        pwcs[core].flush();
+                    }
+                    self.recorder.record(
+                        total_accesses,
+                        Event::ShootdownStorm {
+                            core: CoreId(core as u32),
+                            entries_flushed,
+                        },
+                    );
+                }
+            }
+            self.os.phys.set_alloc_gate(AllocGate {
+                deny_huge: effects.oom,
+                deny_compaction: effects.compaction_stall,
+            });
+        }
+        let walks_now: u64 = self.per_core.iter().map(|c| c.walks).sum();
+        let l1_now: u64 = self.per_core.iter().map(|c| c.l1_hits).sum();
+        let l2_now: u64 = self.per_core.iter().map(|c| c.l2_hits).sum();
+        let da = total_accesses - self.marks.0;
+        let dw = walks_now - self.marks.1;
+        let dl1 = l1_now - self.marks.2;
+        let dl2 = l2_now - self.marks.3;
+        debug_assert_eq!(
+            da, self.sim.config.promotion_interval_accesses,
+            "exact boundaries: every interval covers exactly one interval of accesses"
+        );
+        self.marks = (total_accesses, walks_now, l1_now, l2_now);
+        // Settle the ledger's view of the interval that just ended
+        // *before* the policy acts: walk counts observed here are the
+        // realized cost each open promotion is scored against.
+        if let (Some(ledger), Some(rw)) = (self.ledger.as_mut(), self.region_walks.as_mut()) {
+            ledger.observe_interval(rw);
+            rw.clear();
+        }
+        let report = self.policy.run_interval(
+            &mut self.os,
+            self.bank.as_mut(),
+            total_accesses,
+            &mut self.budget,
+        );
+        self.promotion_failures += report.failures;
+        for (rank, rec) in report.promotions.iter().enumerate() {
+            let outcome = &rec.outcome;
+            let p = rec.process.0 as usize;
+            self.per_process[p].promotions += 1;
+            self.per_process[p].pages_migrated += outcome.pages_migrated;
+            self.per_process[p].pages_collapsed += outcome.pages_collapsed;
+            self.schedule.push(ScheduledPromotion {
+                at_access: total_accesses,
+                process: rec.process,
+                region: outcome.region,
+            });
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.record_promotion(
+                    rec.process,
+                    outcome.region,
+                    total_accesses,
+                    rec.predicted_walks,
+                );
+            }
+            if self.recorder.enabled() {
+                self.recorder.record(
+                    total_accesses,
+                    Event::PromotionDecision {
+                        process: rec.process,
+                        region: outcome.region,
+                        rank: rank as u32,
+                        policy: self.policy.name(),
+                        predicted_walks: rec.predicted_walks,
+                    },
+                );
+                if outcome.pages_migrated > 0 {
+                    self.recorder.record(
+                        total_accesses,
+                        Event::Compaction {
+                            process: rec.process,
+                            region: outcome.region,
+                            pages_migrated: outcome.pages_migrated,
+                        },
+                    );
+                }
+            }
+        }
+        for (pid, region) in &report.demotions {
+            self.per_process[pid.0 as usize].demotions += 1;
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.record_demotion(*pid, *region);
+            }
+            self.recorder.record(
+                total_accesses,
+                Event::Demotion {
+                    process: *pid,
+                    region: *region,
+                },
+            );
+        }
+        if self.recorder.enabled() {
+            for &(pid, region, retry_at, failures) in &report.deferred {
+                self.recorder.record(
+                    total_accesses,
+                    Event::PromotionDeferred {
+                        process: pid,
+                        region,
+                        retry_at,
+                        failures,
+                    },
+                );
+            }
+            if report.pressure_entered {
+                self.recorder.record(
+                    total_accesses,
+                    Event::PressureEnter {
+                        free_blocks: self.os.phys.free_huge_capable_blocks(),
+                        bloat_bytes: self.os.total_bloat_bytes(),
+                    },
+                );
+            }
+            if report.pressure_exited {
+                self.recorder.record(
+                    total_accesses,
+                    Event::PressureExit {
+                        free_blocks: self.os.phys.free_huge_capable_blocks(),
+                    },
+                );
+            }
+            for &(pid, bytes) in &report.bloat_recovered {
+                self.recorder.record(
+                    total_accesses,
+                    Event::BloatRecovered {
+                        process: pid,
+                        bytes,
+                    },
+                );
+            }
+            for _ in 0..report.failures {
+                self.recorder.record(
+                    total_accesses,
+                    Event::PromotionFailure {
+                        reason: FailureReason::NoFrames,
+                    },
+                );
+            }
+            if report.budget_exhausted {
+                self.recorder.record(
+                    total_accesses,
+                    Event::PromotionFailure {
+                        reason: FailureReason::BudgetExhausted,
+                    },
+                );
+            }
+        }
+        for (pid, region) in report.shootdown_regions() {
+            let mut entries_flushed = 0u64;
+            for (core, tlb) in assembled.tlbs.iter_mut().enumerate() {
+                if self.core_process[core] == pid.0 as usize {
+                    entries_flushed += tlb.shootdown(region) as u64;
+                    if let Some(pwcs) = assembled.pwcs.as_mut() {
+                        pwcs[core].invalidate_region(region);
+                    }
+                    self.per_process[pid.0 as usize].shootdowns += 1;
+                }
+            }
+            self.recorder.record(
+                total_accesses,
+                Event::Shootdown {
+                    process: pid,
+                    region,
+                    entries_flushed,
+                },
+            );
+        }
+        // Audit once the interval's shootdowns have been applied
+        // (TLBs/PCCs must be coherent with the page tables now).
+        if let Some(auditor) = self.auditor.as_ref() {
+            let mut found = auditor.run(&self.os, &assembled.tlbs, self.bank.as_ref());
+            if let Some(ledger) = self.ledger.as_ref() {
+                found.extend(auditor.check_ledger(&self.os, ledger));
+            }
+            let interval_index = self.interval_index;
+            self.audit_violations
+                .extend(found.into_iter().map(|v| (interval_index, v)));
+        }
+        self.interval_index += 1;
+        let row = IntervalRow {
+            walk_rate: dw as f64 / da as f64,
+            l1_hit_rate: dl1 as f64 / da as f64,
+            l2_hit_rate: dl2 as f64 / da as f64,
+            promotions: report.promotions.len() as u64,
+            demotions: report.demotions.len() as u64,
+            pcc_occupancy: self
+                .bank
+                .as_ref()
+                .map(|b| b.total_candidates() as u64)
+                .unwrap_or(0),
+            huge_pages_resident: self.os.phys.huge_blocks_in_use(),
+            bloat_bytes: self.os.spaces.iter().map(|s| s.bloat_bytes()).sum(),
+        };
+        self.interval_walk_rates.push(row.walk_rate);
+        if self.recorder.enabled() {
+            self.recorder.record(
+                total_accesses,
+                Event::Interval(interval_snapshot(
+                    self.interval_series.len() as u64,
+                    &row,
+                    self.bank.as_ref(),
+                    &self.os,
+                )),
+            );
+        }
+        self.interval_series.push(row);
+    }
+
+    fn finish(mut self) -> Result<SimReport, HpageError> {
+        // Pull final state home (spaces for bloat, the 1 GiB bank for
+        // the candidate dump; the TLBs are no longer needed).
+        let _ = self.assemble_os();
+        // Attribute per-core TLB events and faults to the owning
+        // process.
+        for (core, counters) in self.per_core.iter().enumerate() {
+            let p = self.core_process[core];
+            self.per_process[p] = self.per_process[p].merged(counters);
+        }
+        let aggregate = self
+            .per_process
+            .iter()
+            .fold(RunCounters::default(), |acc, c| acc.merged(c));
+        let candidates_1g = self
+            .bank_1g
+            .map(|b| {
+                b.dump_by_frequency()
+                    .into_iter()
+                    .map(|c| c.candidate)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let bloat_bytes: Vec<u64> = self.os.spaces.iter().map(|s| s.bloat_bytes()).collect();
+        Ok(SimReport {
+            policy: self.sim.policy.label(),
+            aggregate,
+            per_process: self.per_process,
+            huge_pages_at_end: self.os.phys.huge_blocks_in_use(),
+            promotion_failures: self.promotion_failures,
+            candidates_1g,
+            schedule: self.schedule,
+            interval_walk_rates: self.interval_walk_rates,
+            interval_series: self.interval_series,
+            bloat_bytes,
+            fault_stats: self.injector.map(|i| *i.stats()),
+            audit_violations: self.audit_violations,
+            ledger: self.ledger,
+        })
+    }
+}
+
+/// Entry point: builds the shard partition and drives the run.
+pub(crate) fn run<R: Recorder>(
+    sim: &Simulation,
+    processes: &[ProcessSpec<'_>],
+    recorder: &mut R,
+) -> Result<SimReport, HpageError> {
+    assert!(!processes.is_empty(), "need at least one process");
+    let total_cores: u32 = processes.iter().map(|p| p.threads).sum();
+    let n_cores = total_cores as usize;
+
+    // Core placement: process p's threads occupy consecutive cores.
+    let mut core_process: Vec<usize> = Vec::with_capacity(n_cores);
+    for (pi, spec) in processes.iter().enumerate() {
+        core_process.extend(std::iter::repeat_n(pi, spec.threads as usize));
+    }
+
+    let mut phys = PhysicalMemory::new(sim.config.phys_mem_bytes);
+    if sim.fragmentation_pct > 0 {
+        phys.fragment(sim.fragmentation_pct, sim.fragmentation_seed);
+    }
+    let mut os = OsState::new(phys, processes.len() as u32, core_process.clone())?;
+    let mut policy = sim.policy.build(&sim.config);
+    if let Some(cfg) = sim.degradation {
+        policy.configure_degradation(cfg);
+    }
+    let prefer_huge = policy.fault_prefers_huge();
+    let injector = match sim.faults.clone() {
+        Some(plan) => Some(FaultInjector::new(plan)?),
+        None => None,
+    };
+    let auditor = sim.audit.then(|| Auditor::new(&os));
+    let ledger = sim.ledger.then(PromotionLedger::new);
+    let region_walks = sim.ledger.then(RegionWalks::default);
+
+    let victim_entries = sim.policy.uses_victim_cache();
+    let mut bank = sim.policy.uses_pcc().then(|| {
+        PccBank::with_replacement(
+            total_cores,
+            sim.config.pcc_2m,
+            PageSize::Huge2M,
+            sim.replacement,
+        )
+    });
+    // A victim cache is structurally a PCC bank fed by L2 evictions
+    // with no accessed-bit filter (evictions are evidence of prior
+    // residence, so the cold-miss problem does not arise).
+    if let Some(entries) = victim_entries {
+        let cfg = hpage_types::PccConfig {
+            access_bit_filter: false,
+            ..sim.config.pcc_2m.with_entries(entries)
+        };
+        bank = Some(PccBank::with_replacement(
+            total_cores,
+            cfg,
+            PageSize::Huge2M,
+            sim.replacement,
+        ));
+    }
+    // The 1 GiB bank follows the same mode selection as the 2 MiB bank:
+    // in victim mode it keeps its own sizing but drops the cold-miss
+    // filter and rides the eviction feed (it used to be silently absent
+    // in the §5.4.1 ablation, making the 2M-vs-1G comparison vacuous).
+    let mut bank_1g = match (
+        sim.policy.uses_pcc() || victim_entries.is_some(),
+        sim.config.pcc_1g,
+    ) {
+        (true, Some(cfg)) => {
+            let cfg = if victim_entries.is_some() {
+                hpage_types::PccConfig {
+                    access_bit_filter: false,
+                    ..cfg
+                }
+            } else {
+                cfg
+            };
+            Some(PccBank::with_replacement(
+                total_cores,
+                cfg,
+                PageSize::Huge1G,
+                sim.replacement,
+            ))
+        }
+        _ => None,
+    };
+
+    // Shard partition: every core of a process lands on the shard that
+    // owns the process's address space. The shared-LLC cache model
+    // couples all cores, so it forces one shard.
+    let requested = sim.sim_threads.max(1);
+    let shard_count = if sim.cache.is_some() {
+        1
+    } else {
+        requested.min(processes.len())
+    };
+    let process_shard: Vec<usize> = (0..processes.len()).map(|pi| pi % shard_count).collect();
+
+    let flags = WorkerFlags {
+        prefer_huge,
+        victim_mode: victim_entries.is_some(),
+        ledger_on: sim.ledger,
+        recorder_on: recorder.enabled(),
+    };
+    let mut workers: Vec<ShardWorker<'_>> = (0..shard_count)
+        .map(|_| ShardWorker {
+            seats: Vec::new(),
+            spaces: Vec::new(),
+            caches: None,
+            flags,
+        })
+        .collect();
+    if let Some(c) = sim.cache {
+        workers[0].caches = Some(CacheHierarchy::new(c, total_cores));
+    }
+    for pid in 0..processes.len() {
+        let placeholder = AddressSpace::new(ProcessId(pid as u32));
+        let space = std::mem::replace(&mut os.spaces[pid], placeholder);
+        workers[process_shard[pid]].spaces.push((pid, Some(space)));
+    }
+    let mut core_shard = vec![0usize; n_cores];
+    let mut core = 0usize;
+    for (pi, spec) in processes.iter().enumerate() {
+        let shard = process_shard[pi];
+        for t in 0..spec.threads {
+            core_shard[core] = shard;
+            let worker = &mut workers[shard];
+            let space_slot = worker
+                .spaces
+                .iter()
+                .position(|(p, _)| *p == pi)
+                .expect("space placed before seats");
+            worker.seats.push(CoreSeat {
+                core,
+                pid: pi,
+                space_slot,
+                trace: spec.workload.thread_stream(t, spec.threads),
+                tlb: Some(TlbHierarchy::new(sim.config.tlb)),
+                pwc: sim
+                    .config
+                    .pwc
+                    .map(|c| PageWalkCache::new(c.pml4e_entries, c.pdpte_entries, c.pde_entries)),
+                pcc: bank.as_mut().map(|b| b.take(CoreId(core as u32))),
+                pcc_1g: bank_1g.as_mut().map(|b| b.take(CoreId(core as u32))),
+                chunk: Vec::with_capacity(CHUNK as usize),
+                pos: 0,
+                ts: 0,
+                resume_walk: false,
+                pending_grant: None,
+                in_round: false,
+                chunk_base: (0, 0, 0, 0),
+                counters: RunCounters::default(),
+                events: Vec::new(),
+                region_walks: RegionWalks::default(),
+                unused_grants: Vec::new(),
+            });
+            core += 1;
+        }
+    }
+
+    let mut coordinator = Coordinator {
+        sim,
+        recorder,
+        shards: Vec::with_capacity(shard_count),
+        core_shard,
+        core_process,
+        process_shard,
+        os,
+        policy,
+        injector,
+        auditor,
+        audit_violations: Vec::new(),
+        ledger,
+        region_walks,
+        bank,
+        bank_1g,
+        has_pwc: sim.config.pwc.is_some(),
+        remaining: vec![sim.max_accesses_per_core.unwrap_or(u64::MAX); n_cores],
+        live: vec![true; n_cores],
+        live_count: n_cores,
+        per_core: vec![RunCounters::default(); n_cores],
+        per_process: vec![RunCounters::default(); processes.len()],
+        budget: sim.budget,
+        total_accesses: 0,
+        next_interval: sim.config.promotion_interval_accesses,
+        promotion_failures: 0,
+        schedule: PromotionSchedule::default(),
+        interval_walk_rates: Vec::new(),
+        interval_series: IntervalSeries::new(),
+        marks: (0, 0, 0, 0),
+        interval_index: 0,
+    };
+
+    if shard_count == 1 {
+        let worker = workers.pop().expect("one shard");
+        coordinator.shards.push(Shard::Inline {
+            worker: Box::new(worker),
+            queued: VecDeque::new(),
+        });
+        coordinator.run_to_completion()
+    } else {
+        std::thread::scope(|scope| {
+            for worker in workers {
+                let (to_tx, to_rx) = mpsc::channel::<ToShard>();
+                let (from_tx, from_rx) = mpsc::channel::<FromShard>();
+                scope.spawn(move || worker_main(worker, to_rx, from_tx));
+                coordinator.shards.push(Shard::Threaded {
+                    tx: to_tx,
+                    rx: from_rx,
+                });
+            }
+            coordinator.run_to_completion()
+        })
+    }
+}

@@ -3,25 +3,18 @@
 //! the OS promotion engine runs every interval; shootdowns flow back into
 //! TLBs and PCCs (the full datapath of the paper's Figs. 3–4).
 
-use hpage_cache::{CacheConfig, CacheHierarchy, CacheOutcome};
-use hpage_faults::{FaultInjector, FaultPlan, FaultStats};
-use hpage_obs::{
-    Event, FailureReason, IntervalRow, IntervalSeries, IntervalSnapshot, NullRecorder, PccAction,
-    Recorder, TlbLevel, FREQ_HISTOGRAM_BUCKETS,
-};
+use hpage_cache::CacheConfig;
+use hpage_faults::{FaultPlan, FaultStats};
+use hpage_obs::{IntervalSeries, NullRecorder, Recorder};
 use hpage_os::{
-    AllocGate, AuditViolation, Auditor, BasePagesPolicy, DegradationConfig, HawkEyePolicy,
-    HugePagePolicy, IdealHugePolicy, LinuxThpPolicy, OsState, PccPolicy, PhysicalMemory,
-    PromotionBudget, PromotionLedger, PromotionSchedule, RegionWalks, ReplayPolicy,
-    ScheduledPromotion,
+    AuditViolation, BasePagesPolicy, DegradationConfig, HawkEyePolicy, HugePagePolicy,
+    IdealHugePolicy, LinuxThpPolicy, PccPolicy, PromotionBudget, PromotionLedger,
+    PromotionSchedule, ReplayPolicy,
 };
-use hpage_pcc::{Candidate, PccBank, PccEvent, ReplacementPolicy};
+use hpage_pcc::{Candidate, ReplacementPolicy};
 use hpage_perf::RunCounters;
-use hpage_tlb::{PageWalkCache, TlbHierarchy, TlbOutcome};
-use hpage_trace::{TraceStream, Workload};
-use hpage_types::{
-    CoreId, HpageError, PageSize, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig,
-};
+use hpage_trace::Workload;
+use hpage_types::{HpageError, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig};
 
 /// Which huge-page management policy a run uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +83,7 @@ impl PolicyChoice {
         }
     }
 
-    fn build(&self, config: &SystemConfig) -> Box<dyn HugePagePolicy> {
+    pub(crate) fn build(&self, config: &SystemConfig) -> Box<dyn HugePagePolicy> {
         match self {
             PolicyChoice::BasePages => Box::new(BasePagesPolicy),
             PolicyChoice::IdealHuge => Box::new(IdealHugePolicy),
@@ -119,11 +112,11 @@ impl PolicyChoice {
         }
     }
 
-    fn uses_pcc(&self) -> bool {
+    pub(crate) fn uses_pcc(&self) -> bool {
         matches!(self, PolicyChoice::Pcc { .. })
     }
 
-    fn uses_victim_cache(&self) -> Option<u32> {
+    pub(crate) fn uses_victim_cache(&self) -> Option<u32> {
         match self {
             PolicyChoice::VictimCache { entries } => Some(*entries),
             _ => None,
@@ -228,97 +221,22 @@ impl SimReport {
     }
 }
 
-/// Reports one walk to a PCC bank and mirrors the bank's decision into
-/// the recorder. Decay is detected via the stats delta, so the extra
-/// reads only happen when the recorder is live.
-fn record_pcc_walk<R: Recorder>(
-    recorder: &mut R,
-    bank: &mut PccBank,
-    at: u64,
-    core: u32,
-    region: hpage_types::Vpn,
-    a_bit_was_set: bool,
-) {
-    if !recorder.enabled() {
-        bank.record_walk(CoreId(core), region, a_bit_was_set);
-        return;
-    }
-    let decays_before = bank.pcc(CoreId(core)).stats().decays;
-    let event = bank.record_walk(CoreId(core), region, a_bit_was_set);
-    let decayed = bank.pcc(CoreId(core)).stats().decays > decays_before;
-    let action = match event {
-        PccEvent::Hit(freq) => PccAction::Hit(freq),
-        PccEvent::Inserted => PccAction::Inserted,
-        PccEvent::InsertedWithEviction(victim) => PccAction::InsertedWithEviction(victim),
-        PccEvent::FilteredColdMiss => PccAction::FilteredColdMiss,
-    };
-    recorder.record(
-        at,
-        Event::PccUpdate {
-            core: CoreId(core),
-            granularity: region.size(),
-            region,
-            action,
-            decayed,
-        },
-    );
-}
-
-/// Builds the interval-boundary snapshot (only when a recorder is live —
-/// the frequency histogram walks every PCC entry).
-fn interval_snapshot(
-    interval: u64,
-    row: &IntervalRow,
-    bank: Option<&PccBank>,
-    os: &OsState,
-) -> IntervalSnapshot {
-    let mut occupancy = 0u64;
-    let mut capacity = 0u64;
-    let mut hist = [0u32; FREQ_HISTOGRAM_BUCKETS];
-    if let Some(bank) = bank {
-        for core in 0..bank.cores() {
-            let pcc = bank.pcc(CoreId(core));
-            occupancy += pcc.len() as u64;
-            capacity += pcc.capacity() as u64;
-            for cand in pcc.iter() {
-                let bucket = if cand.frequency == 0 {
-                    0
-                } else {
-                    (63 - cand.frequency.leading_zeros() as usize).min(FREQ_HISTOGRAM_BUCKETS - 1)
-                };
-                hist[bucket] += 1;
-            }
-        }
-    }
-    IntervalSnapshot {
-        interval,
-        pcc_occupancy: occupancy,
-        pcc_capacity: capacity,
-        freq_histogram: hist,
-        l1_hit_rate: row.l1_hit_rate,
-        l2_hit_rate: row.l2_hit_rate,
-        walk_rate: row.walk_rate,
-        free_huge_blocks: os.phys.free_huge_capable_blocks(),
-        huge_pages_resident: row.huge_pages_resident,
-        bloat_bytes: row.bloat_bytes,
-    }
-}
-
 /// Configures and runs simulations.
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    config: SystemConfig,
-    policy: PolicyChoice,
-    fragmentation_pct: u8,
-    fragmentation_seed: u64,
-    budget: PromotionBudget,
-    replacement: ReplacementPolicy,
-    max_accesses_per_core: Option<u64>,
-    cache: Option<CacheConfig>,
-    faults: Option<FaultPlan>,
-    degradation: Option<DegradationConfig>,
-    audit: bool,
-    ledger: bool,
+    pub(crate) config: SystemConfig,
+    pub(crate) policy: PolicyChoice,
+    pub(crate) fragmentation_pct: u8,
+    pub(crate) fragmentation_seed: u64,
+    pub(crate) budget: PromotionBudget,
+    pub(crate) replacement: ReplacementPolicy,
+    pub(crate) max_accesses_per_core: Option<u64>,
+    pub(crate) cache: Option<CacheConfig>,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) degradation: Option<DegradationConfig>,
+    pub(crate) audit: bool,
+    pub(crate) ledger: bool,
+    pub(crate) sim_threads: usize,
 }
 
 impl Simulation {
@@ -342,7 +260,22 @@ impl Simulation {
             degradation: None,
             audit: false,
             ledger: false,
+            sim_threads: 1,
         }
+    }
+
+    /// Shards the simulation loop across `n` OS threads. Every core of
+    /// a process is pinned to the shard that owns the process's address
+    /// space, so the effective shard count is capped at the process
+    /// count (and forced to 1 when the shared-LLC data-cache model is
+    /// on). Reports, recordings, and the promotion ledger are
+    /// byte-identical at any thread count — see the engine docs in
+    /// `shard.rs` for the determinism argument. `n == 0` is treated
+    /// as 1.
+    #[must_use]
+    pub fn with_sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n;
+        self
     }
 
     /// Attaches a deterministic fault plan: at every promotion-interval
@@ -497,562 +430,7 @@ impl Simulation {
         processes: &[ProcessSpec<'_>],
         recorder: &mut R,
     ) -> Result<SimReport, HpageError> {
-        assert!(!processes.is_empty(), "need at least one process");
-        let total_cores: u32 = processes.iter().map(|p| p.threads).sum();
-
-        // Core placement: process p's threads occupy consecutive cores.
-        let mut core_process: Vec<usize> = Vec::with_capacity(total_cores as usize);
-        for (pi, spec) in processes.iter().enumerate() {
-            core_process.extend(std::iter::repeat_n(pi, spec.threads as usize));
-        }
-
-        let mut phys = PhysicalMemory::new(self.config.phys_mem_bytes);
-        if self.fragmentation_pct > 0 {
-            phys.fragment(self.fragmentation_pct, self.fragmentation_seed);
-        }
-        let mut os = OsState::new(phys, processes.len() as u32, core_process.clone())?;
-        let mut policy = self.policy.build(&self.config);
-        if let Some(cfg) = self.degradation {
-            policy.configure_degradation(cfg);
-        }
-        let prefer_huge = policy.fault_prefers_huge();
-        let mut injector = match self.faults.clone() {
-            Some(plan) => Some(FaultInjector::new(plan)?),
-            None => None,
-        };
-        let mut auditor = self.audit.then(|| Auditor::new(&os));
-        let mut audit_violations: Vec<(u64, AuditViolation)> = Vec::new();
-        let mut ledger = self.ledger.then(PromotionLedger::new);
-        // Per-interval walk tally by (process, 2 MiB region), feeding
-        // the ledger's realized-benefit accounting. None when the
-        // ledger is off, so the hot path stays a single branch.
-        let mut region_walks = self.ledger.then(RegionWalks::default);
-
-        let mut tlbs: Vec<TlbHierarchy> = (0..total_cores)
-            .map(|_| TlbHierarchy::new(self.config.tlb))
-            .collect();
-        let mut bank = self.policy.uses_pcc().then(|| {
-            PccBank::with_replacement(
-                total_cores,
-                self.config.pcc_2m,
-                PageSize::Huge2M,
-                self.replacement,
-            )
-        });
-        // A victim cache is structurally a PCC bank fed by L2 evictions
-        // with no accessed-bit filter (evictions are evidence of prior
-        // residence, so the cold-miss problem does not arise).
-        let victim_entries = self.policy.uses_victim_cache();
-        if let Some(entries) = victim_entries {
-            let cfg = hpage_types::PccConfig {
-                access_bit_filter: false,
-                ..self.config.pcc_2m.with_entries(entries)
-            };
-            bank = Some(PccBank::with_replacement(
-                total_cores,
-                cfg,
-                PageSize::Huge2M,
-                self.replacement,
-            ));
-        }
-        let mut bank_1g = match (self.policy.uses_pcc(), self.config.pcc_1g) {
-            (true, Some(cfg)) => Some(PccBank::with_replacement(
-                total_cores,
-                cfg,
-                PageSize::Huge1G,
-                self.replacement,
-            )),
-            _ => None,
-        };
-        let mut pwcs: Option<Vec<PageWalkCache>> = self.config.pwc.map(|c| {
-            (0..total_cores)
-                .map(|_| PageWalkCache::new(c.pml4e_entries, c.pdpte_entries, c.pde_entries))
-                .collect()
-        });
-        let mut caches: Option<CacheHierarchy> =
-            self.cache.map(|c| CacheHierarchy::new(c, total_cores));
-
-        // Per-core trace streams. Chunked `fill` amortises the dynamic
-        // dispatch of the boxed generator to once per CHUNK accesses;
-        // the per-access loop below then iterates a plain slice.
-        let mut traces: Vec<Box<dyn TraceStream + '_>> = Vec::new();
-        for spec in processes {
-            for t in 0..spec.threads {
-                traces.push(spec.workload.thread_stream(t, spec.threads));
-            }
-        }
-        let mut remaining: Vec<u64> =
-            vec![self.max_accesses_per_core.unwrap_or(u64::MAX); total_cores as usize];
-        let mut chunk_buf: Vec<hpage_types::MemoryAccess> = Vec::with_capacity(CHUNK as usize);
-
-        let mut per_core = vec![RunCounters::default(); total_cores as usize];
-        let mut per_process = vec![RunCounters::default(); processes.len()];
-        let mut budget = self.budget;
-        let mut total_accesses: u64 = 0;
-        let mut next_interval = self.config.promotion_interval_accesses;
-        let mut promotion_failures = 0u64;
-        let mut schedule = PromotionSchedule::default();
-        let mut interval_walk_rates: Vec<f64> = Vec::new();
-        let mut interval_series = IntervalSeries::new();
-        let mut interval_accesses_mark = 0u64;
-        let mut interval_walks_mark = 0u64;
-        let mut interval_l1_mark = 0u64;
-        let mut interval_l2_mark = 0u64;
-        // Promotions/demotions from boundary-coalesced policy runs (when
-        // several intervals elapse inside one chunk) fold into the next
-        // emitted row so the series stays aligned with
-        // `interval_walk_rates`.
-        let mut pending_promotions = 0u64;
-        let mut pending_demotions = 0u64;
-        let mut interval_index: u64 = 0;
-        let mut live: Vec<bool> = vec![true; total_cores as usize];
-        let mut live_count = total_cores as usize;
-
-        const CHUNK: u32 = 256;
-        while live_count > 0 {
-            for core in 0..total_cores as usize {
-                if !live[core] {
-                    continue;
-                }
-                let pid = core_process[core];
-                let want = (u64::from(CHUNK)).min(remaining[core]) as usize;
-                chunk_buf.clear();
-                let got = traces[core].fill(&mut chunk_buf, want);
-                remaining[core] -= got as u64;
-                if got < want || remaining[core] == 0 {
-                    live[core] = false;
-                    live_count -= 1;
-                }
-                // accesses / l1_hits / l2_hits / walks are derived from
-                // the hierarchy's own stats delta after the chunk — the
-                // TLB already counts them, so the per-access loop doesn't
-                // have to count them again.
-                let tlb = &mut tlbs[core];
-                let stats_before = tlb.stats();
-                for &access in chunk_buf.iter() {
-                    total_accesses += 1;
-                    let data_translation = match tlb.lookup(access.addr) {
-                        TlbOutcome::L1Hit(t) => {
-                            recorder.record(
-                                total_accesses,
-                                Event::TlbHit {
-                                    core: CoreId(core as u32),
-                                    level: TlbLevel::L1,
-                                    size: t.size(),
-                                },
-                            );
-                            Some(t)
-                        }
-                        TlbOutcome::L2Hit(t) => {
-                            recorder.record(
-                                total_accesses,
-                                Event::TlbHit {
-                                    core: CoreId(core as u32),
-                                    level: TlbLevel::L2,
-                                    size: t.size(),
-                                },
-                            );
-                            Some(t)
-                        }
-                        TlbOutcome::Miss => {
-                            let space = &mut os.spaces[pid];
-                            let walk = match space.page_table_mut().walk(access.addr) {
-                                Ok(w) => w,
-                                Err(_) => {
-                                    // Page fault: the policy decides the
-                                    // fault size; then the walk succeeds.
-                                    let out =
-                                        space.fault(access.addr, prefer_huge, &mut os.phys)?;
-                                    let fault_size = match out {
-                                        hpage_os::FaultOutcome::Base(_) => {
-                                            per_process[pid].faults_base += 1;
-                                            PageSize::Base4K
-                                        }
-                                        hpage_os::FaultOutcome::Huge(_) => {
-                                            per_process[pid].faults_huge += 1;
-                                            PageSize::Huge2M
-                                        }
-                                    };
-                                    recorder.record(
-                                        total_accesses,
-                                        Event::Fault {
-                                            core: CoreId(core as u32),
-                                            process: ProcessId(pid as u32),
-                                            size: fault_size,
-                                        },
-                                    );
-                                    space.page_table_mut().walk(access.addr)?
-                                }
-                            };
-                            let effective_levels = match pwcs.as_mut() {
-                                Some(pwcs) => pwcs[core].walk(access.addr, walk.levels_referenced),
-                                None => walk.levels_referenced,
-                            };
-                            per_core[core].walk_levels += u64::from(effective_levels);
-                            if let Some(rw) = region_walks.as_mut() {
-                                let key = (pid as u32, access.addr.vpn(PageSize::Huge2M).index());
-                                *rw.entry(key).or_insert(0) += 1;
-                            }
-                            recorder.record(
-                                total_accesses,
-                                Event::Walk {
-                                    core: CoreId(core as u32),
-                                    size: walk.translation.size(),
-                                    levels: walk.levels_referenced,
-                                    effective_levels,
-                                    a_bit_was_set: walk.pmd_accessed_before,
-                                },
-                            );
-                            let l2_victim = tlb.fill(walk.translation);
-                            if let Some(bank) = bank.as_mut() {
-                                match victim_entries {
-                                    None => {
-                                        if walk.translation.size() != PageSize::Huge1G {
-                                            record_pcc_walk(
-                                                recorder,
-                                                bank,
-                                                total_accesses,
-                                                core as u32,
-                                                access.addr.vpn(PageSize::Huge2M),
-                                                walk.pmd_accessed_before,
-                                            );
-                                        }
-                                    }
-                                    Some(_) => {
-                                        if let Some(victim) = l2_victim {
-                                            record_pcc_walk(
-                                                recorder,
-                                                bank,
-                                                total_accesses,
-                                                core as u32,
-                                                victim.vpn.base().vpn(PageSize::Huge2M),
-                                                true,
-                                            );
-                                        }
-                                    }
-                                }
-                            }
-                            if let Some(bank_1g) = bank_1g.as_mut() {
-                                record_pcc_walk(
-                                    recorder,
-                                    bank_1g,
-                                    total_accesses,
-                                    core as u32,
-                                    access.addr.vpn(PageSize::Huge1G),
-                                    walk.pud_accessed_before,
-                                );
-                            }
-                            Some(walk.translation)
-                        }
-                    };
-                    // Optional data-cache model: physically indexed, so
-                    // the translation just resolved decides placement.
-                    if let (Some(caches), Some(t)) = (caches.as_mut(), data_translation) {
-                        let offset = access.addr.page_offset(t.size());
-                        let paddr = hpage_types::PhysAddr::new(t.pfn.base().raw() + offset);
-                        let counters = &mut per_core[core];
-                        match caches.access(core, paddr) {
-                            CacheOutcome::L1 => {}
-                            CacheOutcome::L2 => counters.cache_l2_hits += 1,
-                            CacheOutcome::Llc => counters.cache_llc_hits += 1,
-                            CacheOutcome::Memory => counters.cache_memory += 1,
-                        }
-                    }
-                }
-                let stats_after = tlb.stats();
-                let counters = &mut per_core[core];
-                counters.accesses += stats_after.accesses - stats_before.accesses;
-                counters.l1_hits += stats_after.l1_hits - stats_before.l1_hits;
-                counters.l2_hits += stats_after.l2_hits - stats_before.l2_hits;
-                counters.walks += stats_after.walks - stats_before.walks;
-            }
-
-            // Promotion interval(s) elapsed?
-            while total_accesses >= next_interval {
-                next_interval += self.config.promotion_interval_accesses;
-                // Apply this interval's injected faults *before* the
-                // policy runs, so an OOM window actually starves the
-                // promotions attempted in it.
-                if let Some(injector) = injector.as_mut() {
-                    let effects = injector.effects_at(interval_index);
-                    if recorder.enabled() {
-                        for kind in &effects.started {
-                            recorder.record(
-                                total_accesses,
-                                Event::FaultInjected {
-                                    fault: kind.label(),
-                                    interval: interval_index,
-                                },
-                            );
-                        }
-                    }
-                    for &(percent, seed) in &effects.shocks {
-                        os.phys.fragment(percent, seed);
-                        // The shock plants background pages no space
-                        // owns; re-baseline the frame accounting.
-                        if let Some(auditor) = auditor.as_mut() {
-                            auditor.rebase(&os);
-                        }
-                    }
-                    if effects.pcc_reset {
-                        if let Some(bank) = bank.as_mut() {
-                            bank.clear_all();
-                        }
-                        if let Some(bank_1g) = bank_1g.as_mut() {
-                            bank_1g.clear_all();
-                        }
-                    }
-                    if effects.shootdown_spike {
-                        // A shootdown storm from an interfering workload:
-                        // every core takes a full TLB + PWC flush.
-                        for tlb in &mut tlbs {
-                            tlb.flush();
-                        }
-                        if let Some(pwcs) = pwcs.as_mut() {
-                            for pwc in pwcs.iter_mut() {
-                                pwc.flush();
-                            }
-                        }
-                    }
-                    os.phys.set_alloc_gate(AllocGate {
-                        deny_huge: effects.oom,
-                        deny_compaction: effects.compaction_stall,
-                    });
-                }
-                let walks_now: u64 = per_core.iter().map(|c| c.walks).sum();
-                let l1_now: u64 = per_core.iter().map(|c| c.l1_hits).sum();
-                let l2_now: u64 = per_core.iter().map(|c| c.l2_hits).sum();
-                let da = total_accesses - interval_accesses_mark;
-                let dw = walks_now - interval_walks_mark;
-                let dl1 = l1_now - interval_l1_mark;
-                let dl2 = l2_now - interval_l2_mark;
-                interval_accesses_mark = total_accesses;
-                interval_walks_mark = walks_now;
-                interval_l1_mark = l1_now;
-                interval_l2_mark = l2_now;
-                // Settle the ledger's view of the interval that just
-                // ended *before* the policy acts: walk counts observed
-                // here are the realized cost each open promotion is
-                // scored against.
-                if let (Some(ledger), Some(rw)) = (ledger.as_mut(), region_walks.as_mut()) {
-                    ledger.observe_interval(rw);
-                    rw.clear();
-                }
-                let report =
-                    policy.run_interval(&mut os, bank.as_mut(), total_accesses, &mut budget);
-                promotion_failures += report.failures;
-                pending_promotions += report.promotions.len() as u64;
-                pending_demotions += report.demotions.len() as u64;
-                for (rank, rec) in report.promotions.iter().enumerate() {
-                    let outcome = &rec.outcome;
-                    let p = rec.process.0 as usize;
-                    per_process[p].promotions += 1;
-                    per_process[p].pages_migrated += outcome.pages_migrated;
-                    per_process[p].pages_collapsed += outcome.pages_collapsed;
-                    schedule.push(ScheduledPromotion {
-                        at_access: total_accesses,
-                        process: rec.process,
-                        region: outcome.region,
-                    });
-                    if let Some(ledger) = ledger.as_mut() {
-                        ledger.record_promotion(
-                            rec.process,
-                            outcome.region,
-                            total_accesses,
-                            rec.predicted_walks,
-                        );
-                    }
-                    if recorder.enabled() {
-                        recorder.record(
-                            total_accesses,
-                            Event::PromotionDecision {
-                                process: rec.process,
-                                region: outcome.region,
-                                rank: rank as u32,
-                                policy: policy.name(),
-                                predicted_walks: rec.predicted_walks,
-                            },
-                        );
-                        if outcome.pages_migrated > 0 {
-                            recorder.record(
-                                total_accesses,
-                                Event::Compaction {
-                                    process: rec.process,
-                                    region: outcome.region,
-                                    pages_migrated: outcome.pages_migrated,
-                                },
-                            );
-                        }
-                    }
-                }
-                for (pid, region) in &report.demotions {
-                    per_process[pid.0 as usize].demotions += 1;
-                    if let Some(ledger) = ledger.as_mut() {
-                        ledger.record_demotion(*pid, *region);
-                    }
-                    recorder.record(
-                        total_accesses,
-                        Event::Demotion {
-                            process: *pid,
-                            region: *region,
-                        },
-                    );
-                }
-                if recorder.enabled() {
-                    for &(pid, region, retry_at, failures) in &report.deferred {
-                        recorder.record(
-                            total_accesses,
-                            Event::PromotionDeferred {
-                                process: pid,
-                                region,
-                                retry_at,
-                                failures,
-                            },
-                        );
-                    }
-                    if report.pressure_entered {
-                        recorder.record(
-                            total_accesses,
-                            Event::PressureEnter {
-                                free_blocks: os.phys.free_huge_capable_blocks(),
-                                bloat_bytes: os.total_bloat_bytes(),
-                            },
-                        );
-                    }
-                    if report.pressure_exited {
-                        recorder.record(
-                            total_accesses,
-                            Event::PressureExit {
-                                free_blocks: os.phys.free_huge_capable_blocks(),
-                            },
-                        );
-                    }
-                    for &(pid, bytes) in &report.bloat_recovered {
-                        recorder.record(
-                            total_accesses,
-                            Event::BloatRecovered {
-                                process: pid,
-                                bytes,
-                            },
-                        );
-                    }
-                }
-                if recorder.enabled() {
-                    for _ in 0..report.failures {
-                        recorder.record(
-                            total_accesses,
-                            Event::PromotionFailure {
-                                reason: FailureReason::NoFrames,
-                            },
-                        );
-                    }
-                    if report.budget_exhausted {
-                        recorder.record(
-                            total_accesses,
-                            Event::PromotionFailure {
-                                reason: FailureReason::BudgetExhausted,
-                            },
-                        );
-                    }
-                }
-                for (pid, region) in report.shootdown_regions() {
-                    let mut entries_flushed = 0u64;
-                    for (core, tlb) in tlbs.iter_mut().enumerate() {
-                        if core_process[core] == pid.0 as usize {
-                            entries_flushed += tlb.shootdown(region) as u64;
-                            if let Some(pwcs) = pwcs.as_mut() {
-                                pwcs[core].invalidate_region(region);
-                            }
-                            per_process[pid.0 as usize].shootdowns += 1;
-                        }
-                    }
-                    recorder.record(
-                        total_accesses,
-                        Event::Shootdown {
-                            process: pid,
-                            region,
-                            entries_flushed,
-                        },
-                    );
-                }
-                // Audit once the interval's shootdowns have been applied
-                // (TLBs/PCCs must be coherent with the page tables now).
-                if let Some(auditor) = auditor.as_ref() {
-                    for violation in auditor.run(&os, &tlbs, bank.as_ref()) {
-                        audit_violations.push((interval_index, violation));
-                    }
-                    if let Some(ledger) = ledger.as_ref() {
-                        for violation in auditor.check_ledger(&os, ledger) {
-                            audit_violations.push((interval_index, violation));
-                        }
-                    }
-                }
-                interval_index += 1;
-                if da > 0 {
-                    interval_walk_rates.push(dw as f64 / da as f64);
-                    let row = IntervalRow {
-                        walk_rate: dw as f64 / da as f64,
-                        l1_hit_rate: dl1 as f64 / da as f64,
-                        l2_hit_rate: dl2 as f64 / da as f64,
-                        promotions: pending_promotions,
-                        demotions: pending_demotions,
-                        pcc_occupancy: bank
-                            .as_ref()
-                            .map(|b| b.total_candidates() as u64)
-                            .unwrap_or(0),
-                        huge_pages_resident: os.phys.huge_blocks_in_use(),
-                        bloat_bytes: os.spaces.iter().map(|s| s.bloat_bytes()).sum(),
-                    };
-                    pending_promotions = 0;
-                    pending_demotions = 0;
-                    if recorder.enabled() {
-                        recorder.record(
-                            total_accesses,
-                            Event::Interval(interval_snapshot(
-                                interval_series.len() as u64,
-                                &row,
-                                bank.as_ref(),
-                                &os,
-                            )),
-                        );
-                    }
-                    interval_series.push(row);
-                }
-            }
-        }
-
-        // Attribute per-core TLB events to the owning process.
-        for (core, counters) in per_core.iter().enumerate() {
-            let p = core_process[core];
-            per_process[p] = per_process[p].merged(counters);
-        }
-        let aggregate = per_process
-            .iter()
-            .fold(RunCounters::default(), |acc, c| acc.merged(c));
-        let candidates_1g = bank_1g
-            .map(|b| {
-                b.dump_by_frequency()
-                    .into_iter()
-                    .map(|c| c.candidate)
-                    .collect()
-            })
-            .unwrap_or_default();
-        let bloat_bytes: Vec<u64> = os.spaces.iter().map(|s| s.bloat_bytes()).collect();
-        Ok(SimReport {
-            policy: self.policy.label(),
-            aggregate,
-            per_process,
-            huge_pages_at_end: os.phys.huge_blocks_in_use(),
-            promotion_failures,
-            candidates_1g,
-            schedule,
-            interval_walk_rates,
-            interval_series,
-            bloat_bytes,
-            fault_stats: injector.map(|i| *i.stats()),
-            audit_violations,
-            ledger,
-        })
+        crate::shard::run(self, processes, recorder)
     }
 }
 
@@ -1662,5 +1040,165 @@ mod tests {
         // The 1GB region's frequency dwarfs any single 2MB region's —
         // exactly the §3.2.3 comparison (prefer 1GB only if ≥512x).
         assert!(report.candidates_1g[0].frequency > 0);
+    }
+
+    #[test]
+    fn interval_boundaries_are_exact_at_any_core_count() {
+        // Regression for the boundary-drift bug: the old loop checked
+        // `total_accesses >= next_interval` only after a full sweep of
+        // all cores, so the interval block ran up to cores×CHUNK
+        // accesses late and the drift depended on the core count. The
+        // sharded engine truncates round quotas in core order, so every
+        // boundary lands on an exact multiple of the interval.
+        let interval = hpage_types::SystemConfig::tiny().promotion_interval_accesses;
+        let total = 400_000u64;
+        let mut series_lens = Vec::new();
+        for n in [1u64, 2, 4, 8] {
+            let workloads: Vec<SyntheticWorkload> = (0..n)
+                .map(|i| random_workload(8, total / n, 100 + i))
+                .collect();
+            let specs: Vec<ProcessSpec<'_>> = workloads
+                .iter()
+                .map(|w| ProcessSpec::new(w as &dyn Workload))
+                .collect();
+            let mut rec = MemoryRecorder::new();
+            let report = tiny_sim(PolicyChoice::pcc_default()).run_recorded(&specs, &mut rec);
+            assert_eq!(report.aggregate.accesses, total);
+            let boundaries: Vec<u64> = rec
+                .events()
+                .iter()
+                .filter(|(_, e)| matches!(e, hpage_obs::Event::Interval(_)))
+                .map(|&(at, _)| at)
+                .collect();
+            assert_eq!(boundaries.len() as u64, total / interval, "{n} cores");
+            for (i, at) in boundaries.iter().enumerate() {
+                assert_eq!(
+                    *at,
+                    (i as u64 + 1) * interval,
+                    "{n} cores: boundary {i} drifted off the interval grid"
+                );
+            }
+            series_lens.push(report.interval_series.len());
+        }
+        assert!(
+            series_lens.windows(2).all(|w| w[0] == w[1]),
+            "interval_series stays index-aligned across core counts: {series_lens:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_sequential() {
+        // The determinism contract of the sharded engine: same report,
+        // same event stream, same ledger at any `--sim-threads`, under
+        // a fault plan that fragments memory and storms TLBs mid-run.
+        let w0 = random_workload(8, 150_000, 11);
+        let w1 = seq_workload(4, 120_000);
+        let w2 = random_workload(6, 180_000, 13);
+        for policy in [
+            PolicyChoice::pcc_default(),
+            PolicyChoice::LinuxThp,
+            PolicyChoice::BasePages,
+        ] {
+            let runs: Vec<(SimReport, String)> = [1usize, 2, 3, 8]
+                .iter()
+                .map(|&threads| {
+                    let mut buf = Vec::new();
+                    let mut sink = JsonlSink::new(&mut buf);
+                    let report = tiny_sim(policy.clone())
+                        .with_faults(chaos_plan())
+                        .with_ledger()
+                        .with_audit()
+                        .with_sim_threads(threads)
+                        .run_recorded(
+                            &[
+                                ProcessSpec::new(&w0),
+                                ProcessSpec::new(&w1),
+                                ProcessSpec::new(&w2),
+                            ],
+                            &mut sink,
+                        );
+                    sink.finish().expect("stream to memory");
+                    (report, String::from_utf8(buf).unwrap())
+                })
+                .collect();
+            for (report, jsonl) in &runs[1..] {
+                assert_eq!(report, &runs[0].0, "{}: report differs", policy.label());
+                assert_eq!(
+                    jsonl,
+                    &runs[0].1,
+                    "{}: event stream differs",
+                    policy.label()
+                );
+                assert!(report.audit_violations.is_empty(), "{}", policy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn victim_ablation_keeps_the_1g_bank_live() {
+        // Regression for the §5.4.1 ablation bug: with `pcc_1g` set,
+        // the victim-cache mode used to silently drop the 1 GiB bank
+        // (it was only built for `PolicyChoice::Pcc`), so the 2M-vs-1G
+        // comparison was vacuous in that mode. Both banks now follow
+        // the same mode selection: in victim mode the 1 GiB bank rides
+        // the eviction feed on the always-A-bit-set path.
+        let w = random_workload(16, 600_000, 5);
+        let mut cfg = hpage_types::SystemConfig::tiny();
+        cfg.pcc_1g = Some(hpage_types::PccConfig::paper_1g());
+        let victim = Simulation::new(cfg.clone(), PolicyChoice::VictimCache { entries: 128 })
+            .run(&[ProcessSpec::new(&w)]);
+        assert!(
+            !victim.candidates_1g.is_empty(),
+            "the 1 GiB bank must see the victim feed"
+        );
+        assert!(victim.candidates_1g[0].frequency > 0);
+        // And the ablation still byte-reproduces under sharding.
+        let again = Simulation::new(cfg, PolicyChoice::VictimCache { entries: 128 })
+            .with_sim_threads(4)
+            .run(&[ProcessSpec::new(&w)]);
+        assert_eq!(victim, again);
+    }
+
+    #[test]
+    fn shootdown_spike_records_storm_flush_sizes() {
+        // Satellite fix: the shootdown-spike fault used to flush every
+        // TLB and PWC without emitting any event, so storm cost was
+        // invisible downstream. Each core now reports its flush size.
+        use hpage_faults::{FaultKind, FaultPlan, FaultWindow};
+        let w0 = random_workload(8, 200_000, 21);
+        let w1 = random_workload(8, 200_000, 22);
+        let plan = FaultPlan::new(
+            "storm-only",
+            vec![FaultWindow {
+                kind: FaultKind::ShootdownSpike,
+                at: 2,
+                duration: 1,
+            }],
+        )
+        .expect("valid plan");
+        let mut rec = MemoryRecorder::new();
+        tiny_sim(PolicyChoice::pcc_default())
+            .with_faults(plan)
+            .run_recorded(&[ProcessSpec::new(&w0), ProcessSpec::new(&w1)], &mut rec);
+        let storms: Vec<(u32, u64)> = rec
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                hpage_obs::Event::ShootdownStorm {
+                    core,
+                    entries_flushed,
+                } => Some((core.0, *entries_flushed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            storms.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
+            vec![0, 1],
+            "one storm event per core, in core order"
+        );
+        assert!(
+            storms.iter().any(|&(_, n)| n > 0),
+            "a busy TLB flushes a nonzero number of translations: {storms:?}"
+        );
     }
 }

@@ -366,6 +366,31 @@ impl Recorder for TelemetryRecorder {
                     vec![("entries_flushed", entries_flushed)],
                 );
             }
+            Event::ShootdownStorm {
+                core,
+                entries_flushed,
+            } => {
+                // Storm flushes share the per-region histogram so chaos
+                // runs account for every discarded translation, plus a
+                // dedicated counter separating storms from promotion
+                // shootdowns.
+                self.metrics.inc("shootdown_storm");
+                self.metrics
+                    .observe("shootdown_entries_flushed", entries_flushed);
+                self.spans.push(
+                    "shootdown_storm",
+                    "os",
+                    PID_OS,
+                    0,
+                    at,
+                    entries_flushed.max(1),
+                    None,
+                    vec![
+                        ("core", u64::from(core.0)),
+                        ("entries_flushed", entries_flushed),
+                    ],
+                );
+            }
             Event::Interval(s) => {
                 self.metrics.set_gauge("interval", s.interval);
                 self.metrics.set_gauge("pcc_occupancy", s.pcc_occupancy);

@@ -141,7 +141,7 @@ impl Workload for GraphWorkload {
         &self,
         thread: u32,
         threads: u32,
-    ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+    ) -> Box<dyn Iterator<Item = MemoryAccess> + Send + '_> {
         let (lo, hi) = self.vertex_range(thread, threads);
         match self.kernel {
             GraphKernel::Bfs => Box::new(KernelIter(BfsTrace::new(self, lo, hi))),
@@ -151,7 +151,7 @@ impl Workload for GraphWorkload {
         }
     }
 
-    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
         // `BulkKernel`'s native `fill` drains queued accesses in bulk
         // rather than one `next()` per element.
         let (lo, hi) = self.vertex_range(thread, threads);

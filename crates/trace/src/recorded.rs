@@ -104,7 +104,7 @@ impl Workload for RecordedWorkload {
         &self,
         thread: u32,
         threads: u32,
-    ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+    ) -> Box<dyn Iterator<Item = MemoryAccess> + Send + '_> {
         assert!(thread < threads, "bad thread index");
         // A recorded trace is a single thread's stream; when replayed
         // across several cores, it is partitioned round-robin by record
@@ -118,7 +118,7 @@ impl Workload for RecordedWorkload {
         )
     }
 
-    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
         assert!(thread < threads, "bad thread index");
         // Box the concrete iterator so `fill`'s loop monomorphises
         // (and, for the single-threaded replay, reduces to a slice

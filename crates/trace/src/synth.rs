@@ -154,7 +154,7 @@ impl Workload for SyntheticWorkload {
         &self,
         thread: u32,
         threads: u32,
-    ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+    ) -> Box<dyn Iterator<Item = MemoryAccess> + Send + '_> {
         assert!(thread < threads, "bad thread index");
         // Threads share the pattern but draw from distinct RNG streams.
         Box::new(SynthTrace::new(
@@ -163,7 +163,7 @@ impl Workload for SyntheticWorkload {
         ))
     }
 
-    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
         assert!(thread < threads, "bad thread index");
         // Box the concrete iterator so `fill`'s loop monomorphises.
         Box::new(SynthTrace::new(

@@ -60,11 +60,15 @@ pub trait Workload {
     ///
     /// Implementations panic if `thread >= threads` or the workload does
     /// not support the requested thread count.
+    ///
+    /// The returned iterator is `Send` so the sharded simulation loop
+    /// can pin each core's trace to a worker thread; workload state is
+    /// plain data, so this costs implementations nothing.
     fn thread_trace(
         &self,
         thread: u32,
         threads: u32,
-    ) -> Box<dyn Iterator<Item = MemoryAccess> + '_>;
+    ) -> Box<dyn Iterator<Item = MemoryAccess> + Send + '_>;
 
     /// The access trace of thread `thread` as a chunked [`TraceStream`]
     /// — what the simulation hot loop consumes.
@@ -73,12 +77,12 @@ pub trait Workload {
     /// iterator impl (correct, but dispatches per element); concrete
     /// workloads override it to box their concrete iterator type so
     /// `fill`'s inner loop monomorphises.
-    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + '_> {
+    fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
         Box::new(self.thread_trace(thread, threads))
     }
 
     /// Convenience: the single-threaded trace.
-    fn trace(&self) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+    fn trace(&self) -> Box<dyn Iterator<Item = MemoryAccess> + Send + '_> {
         self.thread_trace(0, 1)
     }
 }
@@ -104,7 +108,7 @@ mod tests {
             &self,
             thread: u32,
             threads: u32,
-        ) -> Box<dyn Iterator<Item = MemoryAccess> + '_> {
+        ) -> Box<dyn Iterator<Item = MemoryAccess> + Send + '_> {
             assert!(thread < threads);
             Box::new(std::iter::once(MemoryAccess::read(VirtAddr::new(0x1000))))
         }
