@@ -68,6 +68,36 @@ if ./target/release/hpsim --app bfs --sim-threads 0 --quiet > /dev/null 2>&1; th
     exit 1
 fi
 
+echo "== trace pipeline smoke: record -> mmap replay byte-identical =="
+# Record an HPT2 trace, then replay it through the zero-copy mmap path
+# and the in-memory path: SimReport and event JSONL must be
+# byte-identical at every --sim-threads/--jobs, including strided
+# multi-thread replay (--threads 4).
+HPAGE_PROFILE=test ./target/release/hpsim --app bfs \
+    --trace-out /tmp/ci_trace.hpt2 --max-accesses 200000 > /dev/null
+for st in 1 2 8; do
+    HPAGE_PROFILE=test ./target/release/hpsim --trace-in /tmp/ci_trace.hpt2 \
+        --threads 4 --sim-threads "$st" --events /tmp/ci_mem_$st.jsonl \
+        --quiet > /tmp/ci_mem_$st.txt
+    HPAGE_PROFILE=test ./target/release/hpsim --trace-in /tmp/ci_trace.hpt2 \
+        --mmap --threads 4 --sim-threads "$st" --events /tmp/ci_map_$st.jsonl \
+        --quiet > /tmp/ci_map_$st.txt
+    cmp /tmp/ci_mem_$st.txt /tmp/ci_map_$st.txt
+    cmp /tmp/ci_mem_$st.jsonl /tmp/ci_map_$st.jsonl
+done
+cmp /tmp/ci_mem_1.txt /tmp/ci_mem_8.txt
+HPAGE_PROFILE=test ./target/release/hpsim --trace-in /tmp/ci_trace.hpt2 \
+    --mmap --threads 4 --jobs 8 --quiet > /tmp/ci_map_j8.txt
+HPAGE_PROFILE=test ./target/release/hpsim --trace-in /tmp/ci_trace.hpt2 \
+    --threads 4 --jobs 1 --quiet > /tmp/ci_mem_j1.txt
+cmp /tmp/ci_mem_j1.txt /tmp/ci_map_j8.txt
+# Legacy HPT1 container replays to the same report (format sniffing).
+HPAGE_PROFILE=test ./target/release/hpsim --app bfs --trace-format hpt1 \
+    --trace-out /tmp/ci_trace.hpt1 --max-accesses 200000 > /dev/null
+HPAGE_PROFILE=test ./target/release/hpsim --trace-in /tmp/ci_trace.hpt1 \
+    --threads 4 --quiet > /tmp/ci_mem_hpt1.txt
+cmp /tmp/ci_mem_1.txt /tmp/ci_mem_hpt1.txt
+
 echo "== consolidation smoke: 32 tenants, fairness + storms in artifact =="
 HPAGE_PROFILE=test ./target/release/repro --consolidation --tenants 32 \
     --sim-threads 4 --bench-out BENCH_consolidation.json --quiet \

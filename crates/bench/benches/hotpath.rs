@@ -85,6 +85,86 @@ fn bench(c: &mut Criterion, smoke: bool) {
     };
     let w = instantiate(AppId::Bfs, Dataset::Kronecker, scale, 0xC0FFEE);
     let profile = SimProfile::scaled().sized_for(w.footprint_bytes());
+
+    // Trace pipeline: HPT2 decode throughput through the mmap-backed
+    // zero-copy window path — the rate a recorded trace feeds the
+    // simulator, excluding simulation itself.
+    let trace_records: u64 = 2_000_000;
+    let trace_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hpage-hotpath-{}.hpt2", std::process::id()));
+        let file = std::fs::File::create(&p).expect("create bench trace");
+        let mut wtr =
+            hpage_trace::Hpt2Writer::new(std::io::BufWriter::new(file)).expect("hpt2 header");
+        let mut s = w.thread_stream(0, 1);
+        let mut left = trace_records;
+        while left > 0 {
+            let win = s.next_window(left.min(4096) as usize);
+            if win.is_empty() {
+                break;
+            }
+            left -= win.len() as u64;
+            wtr.write_all(win.iter().copied()).expect("hpt2 block");
+        }
+        wtr.finish().expect("hpt2 trailer");
+        p
+    };
+    let mapped = hpage_trace::MmapTrace::open("bench", &trace_path).expect("mmap bench trace");
+    g.throughput(Throughput::Elements(trace_records));
+    g.bench_function("hpt2_mmap_decode", |b| {
+        b.iter(|| {
+            let mut s = mapped.thread_stream(0, 1);
+            let mut total = 0u64;
+            loop {
+                let win = s.next_window(4096);
+                if win.is_empty() {
+                    break;
+                }
+                total += win.len() as u64;
+                black_box(win);
+            }
+            total
+        })
+    });
+
+    // Meta-effect: streaming over the simulator's huge-page-aligned
+    // working buffers (`HugeVec`, 2 MiB-aligned + MADV_HUGEPAGE) vs the
+    // same traversal over a plain `Vec` — the dTLB-relief the tracing
+    // buffers themselves get from THP.
+    let words: usize = if smoke { 1 << 21 } else { 1 << 23 };
+    let mut huge: hpage_trace::HugeVec<u64> = hpage_trace::HugeVec::with_capacity(words);
+    let mut plain: Vec<u64> = Vec::with_capacity(words);
+    for i in 0..words as u64 {
+        huge.push(i.wrapping_mul(0x9E3779B97F4A7C15));
+        plain.push(i.wrapping_mul(0x9E3779B97F4A7C15));
+    }
+    // Strided touch (one read per cache line) so the page-locality
+    // difference, not memory bandwidth, dominates.
+    let stride = 8;
+    g.throughput(Throughput::Elements((words / stride) as u64));
+    g.bench_function("hugevec_stream", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let s = huge.as_slice();
+            let mut i = 0;
+            while i < s.len() {
+                acc = acc.wrapping_add(s[i]);
+                i += stride;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("vec_stream", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut i = 0;
+            while i < plain.len() {
+                acc = acc.wrapping_add(plain[i]);
+                i += stride;
+            }
+            black_box(acc)
+        })
+    });
     // Same access cap in both modes: elems/s must be comparable against
     // the committed full-mode baseline (a shorter window over-weights
     // the cold pre-promotion phase and reads ~40% slow), so smoke mode
@@ -103,6 +183,8 @@ fn bench(c: &mut Criterion, smoke: bool) {
         })
     });
     g.finish();
+    drop(mapped);
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 /// Serializes the captured results plus the pre-PR reference point.

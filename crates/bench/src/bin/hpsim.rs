@@ -21,7 +21,8 @@ use hpage_perf::{fmt_pct, fmt_speedup, TextTable};
 use hpage_sim::{JsonlSink, PolicyChoice, ProcessSpec, SimReport, Simulation, Tee};
 use hpage_telemetry::TelemetryRecorder;
 use hpage_trace::{
-    instantiate, AnyWorkload, AppId, Dataset, RecordedWorkload, TraceWriter, Workload,
+    instantiate, AnyWorkload, AppId, Dataset, Hpt2Writer, MmapTrace, RecordedWorkload, TraceWriter,
+    Workload,
 };
 use hpage_types::{derive_seed, ProcessId, PromotionPolicyKind};
 use std::fs::File;
@@ -33,7 +34,8 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--selection highest-frequency|round-robin] [--demotion] [--bias <pid,...>]
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
              [--jobs N|-j N] [--sim-threads N] [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE]
-             [--trace-in FILE] [--trace-info FILE] [--events FILE] [--metrics FILE]
+             [--trace-in FILE] [--trace-format hpt1|hpt2] [--mmap]
+             [--trace-info FILE] [--events FILE] [--metrics FILE]
              [--ledger] [--chrome-trace FILE] [--faults FILE] [--no-degrade]
              [--audit] [--throughput] [--quiet|-q] [--verbose|-v]
 parallelism: --jobs 2+ runs the 4KB baseline concurrently with the
@@ -42,6 +44,13 @@ parallelism: --jobs 2+ runs the 4KB baseline concurrently with the
              the simulation loop itself across N worker threads with
              barrier-synchronized intervals (default 1; reports and
              event streams are byte-identical at any N)
+tracing:     --trace-out dumps the access stream; --trace-format picks the
+             container (hpt2, the default, is blocked with per-block restart
+             points and checksums; hpt1 is the legacy flat delta stream);
+             --trace-in replays a recorded trace, auto-detecting the format;
+             --mmap replays an HPT2 trace straight out of the file mapping
+             (zero-copy, no in-memory decode) — reports are byte-identical
+             to the in-memory path
 flight recorder: --events streams every simulation event (TLB hits, walks,
              faults, PCC updates, promotions, shootdowns, interval snapshots)
              as JSON Lines; --metrics writes the per-interval series plus the
@@ -100,6 +109,8 @@ struct Options {
     schedule_in: Option<String>,
     trace_out: Option<String>,
     trace_in: Option<String>,
+    trace_format: String,
+    mmap: bool,
     trace_info: Option<String>,
     events: Option<String>,
     metrics: Option<String>,
@@ -132,6 +143,8 @@ fn parse_args() -> Options {
         schedule_in: None,
         trace_out: None,
         trace_in: None,
+        trace_format: "hpt2".into(),
+        mmap: false,
         trace_info: None,
         events: None,
         metrics: None,
@@ -238,6 +251,14 @@ fn parse_args() -> Options {
             "--schedule-in" => opts.schedule_in = Some(value(&mut i)),
             "--trace-out" => opts.trace_out = Some(value(&mut i)),
             "--trace-in" => opts.trace_in = Some(value(&mut i)),
+            "--trace-format" => {
+                let v = value(&mut i);
+                if v != "hpt1" && v != "hpt2" {
+                    die(&format!("--trace-format must be hpt1 or hpt2, got '{v}'"));
+                }
+                opts.trace_format = v;
+            }
+            "--mmap" => opts.mmap = true,
             "--trace-info" => opts.trace_info = Some(value(&mut i)),
             "--events" => opts.events = Some(value(&mut i)),
             "--metrics" => opts.metrics = Some(value(&mut i)),
@@ -263,6 +284,8 @@ fn parse_args() -> Options {
 enum AnyOrRecorded {
     Builtin(AnyWorkload),
     Recorded(RecordedWorkload),
+    /// `--mmap`: replayed straight out of the file mapping.
+    Mapped(MmapTrace),
 }
 
 // The baseline run may execute on a worker thread (`--jobs 2+`), reading
@@ -277,6 +300,7 @@ impl AnyOrRecorded {
         match self {
             AnyOrRecorded::Builtin(w) => w,
             AnyOrRecorded::Recorded(w) => w,
+            AnyOrRecorded::Mapped(w) => w,
         }
     }
 }
@@ -331,6 +355,11 @@ fn main() {
     }
     let profile = profile_from_env();
     let holder = match &opts.trace_in {
+        Some(path) if opts.mmap => {
+            let w = MmapTrace::open(format!("mapped:{path}"), std::path::Path::new(path))
+                .unwrap_or_else(|e| die(&format!("mmap {path}: {e} (--mmap needs HPT2)")));
+            AnyOrRecorded::Mapped(w)
+        }
         Some(path) => {
             let file = File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
             let w = RecordedWorkload::from_reader(
@@ -352,20 +381,39 @@ fn main() {
 
     if let Some(path) = &opts.trace_out {
         let file = File::create(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
-        let mut writer = TraceWriter::new(BufWriter::new(file))
-            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         let cap = opts
             .max_accesses
             .or(profile.max_accesses_per_core)
             .unwrap_or(u64::MAX);
-        writer
-            .write_all(workload.trace().take(cap as usize))
-            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
-        let n = writer.records();
-        writer
-            .finish()
-            .unwrap_or_else(|e| die(&format!("flush {path}: {e}")));
-        println!("wrote {n} accesses of {} to {path}", workload.name());
+        let trace = workload.trace().take(cap as usize);
+        let n = if opts.trace_format == "hpt1" {
+            let mut writer = TraceWriter::new(BufWriter::new(file))
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            writer
+                .write_all(trace)
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            let n = writer.records();
+            writer
+                .finish()
+                .unwrap_or_else(|e| die(&format!("flush {path}: {e}")));
+            n
+        } else {
+            let mut writer = Hpt2Writer::new(BufWriter::new(file))
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            writer
+                .write_all(trace)
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            let n = writer.records();
+            writer
+                .finish()
+                .unwrap_or_else(|e| die(&format!("flush {path}: {e}")));
+            n
+        };
+        println!(
+            "wrote {n} accesses of {} to {path} ({})",
+            workload.name(),
+            opts.trace_format
+        );
         return;
     }
 

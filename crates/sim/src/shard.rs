@@ -107,6 +107,11 @@ struct OsSlice {
     pwcs: Vec<(usize, PageWalkCache)>,
     pccs: Vec<(usize, Pcc)>,
     pccs_1g: Vec<(usize, Pcc)>,
+    /// Running per-core counters (overwrite, not delta). Surrendered at
+    /// barriers only — the interval block and the final report are the
+    /// sole readers, and both sit behind [`ToShard::TakeOs`], so the
+    /// per-round protocol does not carry counters at all.
+    counters: Vec<(usize, RunCounters)>,
     /// Drained per-region walk tallies, merged (summed) into the
     /// coordinator's ledger feed.
     region_walks: Vec<((u32, u64), u64)>,
@@ -127,7 +132,10 @@ enum ToShard {
 }
 
 enum FromShard {
-    /// Reply to `Fill`: how many accesses each core's trace produced.
+    /// Reply to `Fill`: the request's own buffer handed back, each
+    /// quota overwritten with how many accesses the core's trace
+    /// produced — the coordinator recycles it, so steady-state rounds
+    /// allocate nothing for fill traffic.
     Filled { gots: Vec<(usize, u64)> },
     /// Reply to `Execute`/`Grants`.
     Progress(Box<ShardProgress>),
@@ -148,8 +156,6 @@ enum ShardProgress {
     RoundDone {
         /// Per-core event buffers, each in timestamp order.
         events: Vec<(usize, Vec<(u64, Event)>)>,
-        /// Running per-core counters (overwrite, not delta).
-        counters: Vec<(usize, RunCounters)>,
         unused: Vec<(usize, FaultGrant)>,
     },
     /// A page-table operation failed; the run aborts.
@@ -158,6 +164,11 @@ enum ShardProgress {
 
 /// One simulated core's private state: TLB hierarchy, page-walk cache,
 /// PCC slice, trace stream, and the in-flight chunk.
+///
+/// The chunk itself is *not* stored here: it is the trace stream's
+/// current window ([`TraceStream::window`]), borrowed zero-copy by
+/// [`run_seat`] — a decoded HPT2 block, a slice of the recorded trace,
+/// or a kernel's pending queue. Only its length is tracked.
 struct CoreSeat<'w> {
     core: usize,
     pid: usize,
@@ -170,8 +181,9 @@ struct CoreSeat<'w> {
     pwc: Option<PageWalkCache>,
     pcc: Option<Pcc>,
     pcc_1g: Option<Pcc>,
-    chunk: Vec<MemoryAccess>,
-    /// Next unexecuted index into `chunk`.
+    /// Length of the trace stream's current window.
+    chunk_len: usize,
+    /// Next unexecuted index into the window.
     pos: usize,
     /// Timestamp of the access at `pos`.
     ts: u64,
@@ -188,6 +200,15 @@ struct CoreSeat<'w> {
     events: Vec<(u64, Event)>,
     region_walks: RegionWalks,
     unused_grants: Vec<FaultGrant>,
+    /// Batched A-bit harvest for the 2 MiB PCC: `(region, a_bit)` pairs
+    /// collected during the chunk and replayed once at chunk
+    /// completion. Only used when no recorder is attached (with a
+    /// recorder, `PccUpdate` events must interleave in timestamp order,
+    /// so the feed runs inline). Persists across fault pauses within a
+    /// chunk.
+    pcc_feed: Vec<(Vpn, bool)>,
+    /// Same, for the 1 GiB PCC bank.
+    pcc_feed_1g: Vec<(Vpn, bool)>,
 }
 
 /// A shard: a set of cores plus the address spaces they fault into.
@@ -213,9 +234,10 @@ impl<'w> ShardWorker<'w> {
     /// Processes one coordinator message. `RestoreOs` has no reply.
     fn handle(&mut self, msg: ToShard) -> Option<FromShard> {
         match msg {
-            ToShard::Fill { quotas } => Some(FromShard::Filled {
-                gots: self.fill(&quotas),
-            }),
+            ToShard::Fill { mut quotas } => {
+                self.fill(&mut quotas);
+                Some(FromShard::Filled { gots: quotas })
+            }
             ToShard::Execute { ts_bases } => {
                 for (core, base) in ts_bases {
                     // First access of the block is access number base+1.
@@ -237,22 +259,24 @@ impl<'w> ShardWorker<'w> {
         }
     }
 
-    fn fill(&mut self, quotas: &[(usize, u64)]) -> Vec<(usize, u64)> {
-        let mut gots = Vec::with_capacity(quotas.len());
-        for &(core, quota) in quotas {
+    /// Advances each listed core's trace to its next window (zero-copy:
+    /// the stream keeps ownership, the seat only records the length)
+    /// and overwrites each quota in place with the count produced.
+    fn fill(&mut self, quotas: &mut [(usize, u64)]) {
+        for slot in quotas.iter_mut() {
+            let (core, quota) = *slot;
             let seat = self.seat_mut(core);
-            seat.chunk.clear();
             seat.pos = 0;
             seat.resume_walk = false;
-            let got = seat.trace.fill(&mut seat.chunk, quota as usize);
+            let got = seat.trace.next_window(quota as usize).len();
+            seat.chunk_len = got;
             seat.in_round = got > 0;
             if got > 0 {
                 let s = seat.tlb.as_ref().expect("tlb resident").stats();
                 seat.chunk_base = (s.accesses, s.l1_hits, s.l2_hits, s.walks);
             }
-            gots.push((core, got as u64));
+            slot.1 = got as u64;
         }
-        gots
     }
 
     /// Runs every in-round seat until it pauses at a fault or finishes
@@ -274,7 +298,15 @@ impl<'w> ShardWorker<'w> {
                 .1
                 .as_mut()
                 .expect("space resident between barriers");
-            match run_seat(seat, space, caches, flags) {
+            // Monomorphize the hot loop on "is a recorder attached":
+            // event pushes and the inline PCC feed compile out of the
+            // recorder-less path entirely.
+            let ran = if flags.recorder_on {
+                run_seat::<true>(seat, space, caches, flags)
+            } else {
+                run_seat::<false>(seat, space, caches, flags)
+            };
+            match ran {
                 Ok(Some(req)) => requests.push(req),
                 Ok(None) => {}
                 Err(e) => return ShardProgress::Failed(e),
@@ -288,18 +320,12 @@ impl<'w> ShardWorker<'w> {
         }
         if requests.is_empty() {
             let mut events = Vec::new();
-            let mut counters = Vec::with_capacity(seats.len());
             for seat in seats.iter_mut() {
                 if !seat.events.is_empty() {
                     events.push((seat.core, std::mem::take(&mut seat.events)));
                 }
-                counters.push((seat.core, seat.counters));
             }
-            ShardProgress::RoundDone {
-                events,
-                counters,
-                unused,
-            }
+            ShardProgress::RoundDone { events, unused }
         } else {
             ShardProgress::Paused { requests, unused }
         }
@@ -323,6 +349,7 @@ impl<'w> ShardWorker<'w> {
             if let Some(p) = seat.pcc_1g.take() {
                 slice.pccs_1g.push((seat.core, p));
             }
+            slice.counters.push((seat.core, seat.counters));
             slice.region_walks.extend(seat.region_walks.drain());
         }
         slice
@@ -354,27 +381,65 @@ impl<'w> ShardWorker<'w> {
 
 /// Executes one seat until its chunk ends (`Ok(None)`) or it needs a
 /// frame from the coordinator (`Ok(Some(request))`).
-fn run_seat<'w>(
-    seat: &mut CoreSeat<'w>,
+///
+/// `REC` mirrors `flags.recorder_on` at the type level so the
+/// recorder-less hot loop contains no event plumbing at all. The seat
+/// is destructured into disjoint field borrows up front: the chunk is
+/// the trace stream's current window, borrowed zero-copy for the whole
+/// loop while the TLB, counters and PCC feeds stay mutable beside it.
+fn run_seat<const REC: bool>(
+    seat: &mut CoreSeat<'_>,
     space: &mut AddressSpace,
     caches: &mut Option<CacheHierarchy>,
     flags: WorkerFlags,
 ) -> Result<Option<FaultRequest>, HpageError> {
+    debug_assert_eq!(REC, flags.recorder_on);
+    let CoreSeat {
+        core,
+        pid,
+        trace,
+        tlb,
+        pwc,
+        pcc,
+        pcc_1g,
+        chunk_len,
+        pos,
+        ts,
+        resume_walk,
+        pending_grant,
+        in_round,
+        chunk_base,
+        counters,
+        events,
+        region_walks,
+        unused_grants,
+        pcc_feed,
+        pcc_feed_1g,
+        ..
+    } = seat;
+    let core = *core;
+    let pid = *pid;
+    let tlb = tlb.as_mut().expect("tlb resident");
+    // Re-acquire the window on every entry (the seat may be resuming
+    // from a fault pause); `window` re-borrows the same slice that
+    // `next_window` produced at fill time.
+    let chunk: &[MemoryAccess] = trace.window();
+    debug_assert_eq!(chunk.len(), *chunk_len);
     // A grant arrived for the access we paused on.
-    if let Some(grant) = seat.pending_grant.take() {
-        let access = seat.chunk[seat.pos];
+    if let Some(grant) = pending_grant.take() {
+        let access = chunk[*pos];
         if space.page_table().translate(access.addr).is_some() {
             // A sibling core's install in this same wave already mapped
             // the address; the grant is redundant — hand the frame back.
-            seat.unused_grants.push(grant);
+            unused_grants.push(grant);
         } else if matches!(grant, FaultGrant::Huge(_)) && !space.fault_wants_huge(access.addr, true)
         {
             // Sibling base-page installs landed in the region after the
             // request was posted; a huge mapping no longer fits. Return
             // the frame and re-request a base grant next wave.
-            seat.unused_grants.push(grant);
+            unused_grants.push(grant);
             return Ok(Some(FaultRequest {
-                core: seat.core,
+                core,
                 va: access.addr,
                 wants_huge: false,
             }));
@@ -382,42 +447,58 @@ fn run_seat<'w>(
             let out = space.install_grant(access.addr, grant)?;
             let size = match out {
                 FaultOutcome::Base(_) => {
-                    seat.counters.faults_base += 1;
+                    counters.faults_base += 1;
                     PageSize::Base4K
                 }
                 FaultOutcome::Huge(_) => {
-                    seat.counters.faults_huge += 1;
+                    counters.faults_huge += 1;
                     PageSize::Huge2M
                 }
             };
-            if flags.recorder_on {
-                seat.events.push((
-                    seat.ts,
+            if REC {
+                events.push((
+                    *ts,
                     Event::Fault {
-                        core: CoreId(seat.core as u32),
-                        process: ProcessId(seat.pid as u32),
+                        core: CoreId(core as u32),
+                        process: ProcessId(pid as u32),
                         size,
                     },
                 ));
             }
         }
-        seat.resume_walk = true;
+        *resume_walk = true;
     }
-    while seat.pos < seat.chunk.len() {
-        let access = seat.chunk[seat.pos];
-        let at = seat.ts;
-        let data_translation: Option<Translation> = if seat.resume_walk {
-            seat.resume_walk = false;
+    while *pos < *chunk_len {
+        let access = chunk[*pos];
+        let at = *ts;
+        let data_translation: Option<Translation> = if *resume_walk {
+            *resume_walk = false;
             let walk = space.page_table_mut().walk(access.addr)?;
-            Some(handle_walk(seat, access, at, walk, flags))
+            Some(handle_walk::<REC>(
+                core,
+                pid,
+                pwc,
+                tlb,
+                pcc,
+                pcc_1g,
+                pcc_feed,
+                pcc_feed_1g,
+                counters,
+                events,
+                region_walks,
+                access,
+                at,
+                walk,
+                flags,
+            ))
         } else {
-            match seat.tlb.as_mut().expect("tlb resident").lookup(access.addr) {
+            match tlb.lookup(access.addr) {
                 TlbOutcome::L1Hit(t) => {
-                    if flags.recorder_on {
-                        seat.events.push((
+                    if REC {
+                        events.push((
                             at,
                             Event::TlbHit {
-                                core: CoreId(seat.core as u32),
+                                core: CoreId(core as u32),
                                 level: TlbLevel::L1,
                                 size: t.size(),
                             },
@@ -426,11 +507,11 @@ fn run_seat<'w>(
                     Some(t)
                 }
                 TlbOutcome::L2Hit(t) => {
-                    if flags.recorder_on {
-                        seat.events.push((
+                    if REC {
+                        events.push((
                             at,
                             Event::TlbHit {
-                                core: CoreId(seat.core as u32),
+                                core: CoreId(core as u32),
                                 level: TlbLevel::L2,
                                 size: t.size(),
                             },
@@ -439,13 +520,29 @@ fn run_seat<'w>(
                     Some(t)
                 }
                 TlbOutcome::Miss => match space.page_table_mut().walk(access.addr) {
-                    Ok(walk) => Some(handle_walk(seat, access, at, walk, flags)),
+                    Ok(walk) => Some(handle_walk::<REC>(
+                        core,
+                        pid,
+                        pwc,
+                        tlb,
+                        pcc,
+                        pcc_1g,
+                        pcc_feed,
+                        pcc_feed_1g,
+                        counters,
+                        events,
+                        region_walks,
+                        access,
+                        at,
+                        walk,
+                        flags,
+                    )),
                     Err(_) => {
                         // Page fault: ship the allocation request; the
                         // access retries here once the grant lands.
                         let wants_huge = space.fault_wants_huge(access.addr, flags.prefer_huge);
                         return Ok(Some(FaultRequest {
-                            core: seat.core,
+                            core,
                             va: access.addr,
                             wants_huge,
                         }));
@@ -458,49 +555,83 @@ fn run_seat<'w>(
         if let (Some(caches), Some(t)) = (caches.as_mut(), data_translation) {
             let offset = access.addr.page_offset(t.size());
             let paddr = hpage_types::PhysAddr::new(t.pfn.base().raw() + offset);
-            match caches.access(seat.core, paddr) {
+            match caches.access(core, paddr) {
                 CacheOutcome::L1 => {}
-                CacheOutcome::L2 => seat.counters.cache_l2_hits += 1,
-                CacheOutcome::Llc => seat.counters.cache_llc_hits += 1,
-                CacheOutcome::Memory => seat.counters.cache_memory += 1,
+                CacheOutcome::L2 => counters.cache_l2_hits += 1,
+                CacheOutcome::Llc => counters.cache_llc_hits += 1,
+                CacheOutcome::Memory => counters.cache_memory += 1,
             }
         }
-        seat.pos += 1;
-        seat.ts += 1;
+        *pos += 1;
+        *ts += 1;
     }
-    // Chunk complete: fold the TLB stats delta into the counters (the
-    // hierarchy already counts lookups, so the hot loop doesn't).
-    let s = seat.tlb.as_ref().expect("tlb resident").stats();
-    seat.counters.accesses += s.accesses - seat.chunk_base.0;
-    seat.counters.l1_hits += s.l1_hits - seat.chunk_base.1;
-    seat.counters.l2_hits += s.l2_hits - seat.chunk_base.2;
-    seat.counters.walks += s.walks - seat.chunk_base.3;
-    seat.in_round = false;
+    // Chunk complete. Without a recorder the A-bit harvest batched
+    // during the chunk replays into the PCC banks here, once per chunk:
+    // each bank is per-seat, the replay preserves the per-bank call
+    // order, and PCC state is only read at interval barriers (which sit
+    // between completed rounds), so the result is bit-identical to the
+    // inline feed.
+    if !REC {
+        if let Some(pcc) = pcc.as_mut() {
+            for &(region, a_bit) in pcc_feed.iter() {
+                pcc.record_walk(region, a_bit);
+            }
+        }
+        pcc_feed.clear();
+        if let Some(pcc_1g) = pcc_1g.as_mut() {
+            for &(region, a_bit) in pcc_feed_1g.iter() {
+                pcc_1g.record_walk(region, a_bit);
+            }
+        }
+        pcc_feed_1g.clear();
+    }
+    // Fold the TLB stats delta into the counters (the hierarchy already
+    // counts lookups, so the hot loop doesn't).
+    let s = tlb.stats();
+    counters.accesses += s.accesses - chunk_base.0;
+    counters.l1_hits += s.l1_hits - chunk_base.1;
+    counters.l2_hits += s.l2_hits - chunk_base.2;
+    counters.walks += s.walks - chunk_base.3;
+    *in_round = false;
     Ok(None)
 }
 
-/// The post-walk datapath: PWC, ledger tally, TLB fill, PCC feeds.
-fn handle_walk(
-    seat: &mut CoreSeat<'_>,
+/// The post-walk datapath: PWC, ledger tally, TLB fill, PCC feeds. A
+/// free function over the seat's split-borrowed fields so it can run
+/// while the trace window (an immutable borrow of the seat's stream)
+/// is live in [`run_seat`].
+#[allow(clippy::too_many_arguments)]
+fn handle_walk<const REC: bool>(
+    core: usize,
+    pid: usize,
+    pwc: &mut Option<PageWalkCache>,
+    tlb: &mut TlbHierarchy,
+    pcc: &mut Option<Pcc>,
+    pcc_1g: &mut Option<Pcc>,
+    pcc_feed: &mut Vec<(Vpn, bool)>,
+    pcc_feed_1g: &mut Vec<(Vpn, bool)>,
+    counters: &mut RunCounters,
+    events: &mut Vec<(u64, Event)>,
+    region_walks: &mut RegionWalks,
     access: MemoryAccess,
     at: u64,
     walk: WalkResult,
     flags: WorkerFlags,
 ) -> Translation {
-    let effective_levels = match seat.pwc.as_mut() {
+    let effective_levels = match pwc.as_mut() {
         Some(pwc) => pwc.walk(access.addr, walk.levels_referenced),
         None => walk.levels_referenced,
     };
-    seat.counters.walk_levels += u64::from(effective_levels);
+    counters.walk_levels += u64::from(effective_levels);
     if flags.ledger_on {
-        let key = (seat.pid as u32, access.addr.vpn(PageSize::Huge2M).index());
-        *seat.region_walks.entry(key).or_insert(0) += 1;
+        let key = (pid as u32, access.addr.vpn(PageSize::Huge2M).index());
+        *region_walks.entry(key).or_insert(0) += 1;
     }
-    if flags.recorder_on {
-        seat.events.push((
+    if REC {
+        events.push((
             at,
             Event::Walk {
-                core: CoreId(seat.core as u32),
+                core: CoreId(core as u32),
                 size: walk.translation.size(),
                 levels: walk.levels_referenced,
                 effective_levels,
@@ -508,92 +639,72 @@ fn handle_walk(
             },
         ));
     }
-    let l2_victim = seat
-        .tlb
-        .as_mut()
-        .expect("tlb resident")
-        .fill(walk.translation);
-    let CoreSeat {
-        core,
-        pcc,
-        pcc_1g,
-        events,
-        ..
-    } = seat;
-    let core = *core as u32;
-    if let Some(pcc) = pcc.as_mut() {
-        if flags.victim_mode {
-            if let Some(victim) = l2_victim {
+    let l2_victim = tlb.fill(walk.translation);
+    // A-bit harvest → 2 MiB PCC. In victim mode (§5.4.1 ablation) the
+    // feed is the L2 eviction stream: an eviction is evidence of prior
+    // residence, so it always takes the A-bit-set update path (the
+    // bank's cold-miss filter is off in this mode).
+    if pcc.is_some() {
+        let harvested = if flags.victim_mode {
+            l2_victim.map(|victim| (victim.vpn.base().vpn(PageSize::Huge2M), true))
+        } else if walk.translation.size() != PageSize::Huge1G {
+            Some((access.addr.vpn(PageSize::Huge2M), walk.pmd_accessed_before))
+        } else {
+            None
+        };
+        if let Some((region, a_bit)) = harvested {
+            if REC {
                 record_pcc_walk(
                     events,
-                    flags.recorder_on,
-                    pcc,
+                    pcc.as_mut().expect("checked above"),
                     at,
-                    core,
-                    victim.vpn.base().vpn(PageSize::Huge2M),
-                    true,
+                    core as u32,
+                    region,
+                    a_bit,
                 );
+            } else {
+                pcc_feed.push((region, a_bit));
             }
-        } else if walk.translation.size() != PageSize::Huge1G {
-            record_pcc_walk(
-                events,
-                flags.recorder_on,
-                pcc,
-                at,
-                core,
-                access.addr.vpn(PageSize::Huge2M),
-                walk.pmd_accessed_before,
-            );
         }
     }
-    if let Some(pcc_1g) = pcc_1g.as_mut() {
-        if flags.victim_mode {
-            // §5.4.1 ablation: the 1 GiB bank rides the same victim
-            // feed as the 2 MiB bank. An eviction is evidence of prior
-            // residence, so it always takes the A-bit-set update path
-            // (the bank's cold-miss filter is off in this mode).
-            if let Some(victim) = l2_victim {
+    // Same for the 1 GiB bank, which rides the eviction feed in victim
+    // mode and the PUD A-bit otherwise.
+    if pcc_1g.is_some() {
+        let harvested = if flags.victim_mode {
+            l2_victim.map(|victim| (victim.vpn.base().vpn(PageSize::Huge1G), true))
+        } else {
+            Some((access.addr.vpn(PageSize::Huge1G), walk.pud_accessed_before))
+        };
+        if let Some((region, a_bit)) = harvested {
+            if REC {
                 record_pcc_walk(
                     events,
-                    flags.recorder_on,
-                    pcc_1g,
+                    pcc_1g.as_mut().expect("checked above"),
                     at,
-                    core,
-                    victim.vpn.base().vpn(PageSize::Huge1G),
-                    true,
+                    core as u32,
+                    region,
+                    a_bit,
                 );
+            } else {
+                pcc_feed_1g.push((region, a_bit));
             }
-        } else {
-            record_pcc_walk(
-                events,
-                flags.recorder_on,
-                pcc_1g,
-                at,
-                core,
-                access.addr.vpn(PageSize::Huge1G),
-                walk.pud_accessed_before,
-            );
         }
     }
     walk.translation
 }
 
 /// Reports one walk to a per-core PCC and buffers the decision as an
-/// event. Decay is detected via the stats delta, so the extra reads
-/// only happen when the recorder is live.
+/// event (recorder-attached path only — without a recorder the feed is
+/// batched per chunk and replayed raw). Decay is detected via the
+/// stats delta.
 fn record_pcc_walk(
     events: &mut Vec<(u64, Event)>,
-    recorder_on: bool,
     pcc: &mut Pcc,
     at: u64,
     core: u32,
     region: Vpn,
     a_bit_was_set: bool,
 ) {
-    if !recorder_on {
-        pcc.record_walk(region, a_bit_was_set);
-        return;
-    }
     let decays_before = pcc.stats().decays;
     let event = pcc.record_walk(region, a_bit_was_set);
     let decayed = pcc.stats().decays > decays_before;
@@ -712,6 +823,26 @@ struct Assembled {
     pwcs: Option<Vec<PageWalkCache>>,
 }
 
+/// Reusable per-round coordinator buffers. A single-core round covers
+/// only [`CHUNK`] accesses, so per-round allocations are visible in the
+/// end-to-end throughput gate; everything the coordinator needs each
+/// round lives here and is recycled across rounds.
+#[derive(Default)]
+struct RoundScratch {
+    quotas: Vec<(usize, u64)>,
+    filling: Vec<usize>,
+    gots: Vec<(usize, u64)>,
+    ts_bases: Vec<(usize, u64)>,
+    active: Vec<usize>,
+    round_events: Vec<(usize, Vec<(u64, Event)>)>,
+    requests: Vec<FaultRequest>,
+    unused: Vec<(usize, FaultGrant)>,
+    paused: Vec<usize>,
+    /// Message-buffer pool for `Fill`/`Execute` payloads; `Filled`
+    /// replies hand their request's buffer back into it.
+    pool: Vec<Vec<(usize, u64)>>,
+}
+
 struct Coordinator<'a, 'w, R: Recorder> {
     sim: &'a Simulation,
     recorder: &'a mut R,
@@ -744,6 +875,7 @@ struct Coordinator<'a, 'w, R: Recorder> {
     /// (accesses, walks, l1, l2) at the last barrier.
     marks: (u64, u64, u64, u64),
     interval_index: u64,
+    scratch: RoundScratch,
 }
 
 impl<R: Recorder> Coordinator<'_, '_, R> {
@@ -764,7 +896,8 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
         // crosses the boundary — this is what makes boundaries exact.
         let mut left = self.next_interval - self.total_accesses;
         debug_assert!(left > 0, "barriers fire exactly at the boundary");
-        let mut quotas: Vec<(usize, u64)> = Vec::new();
+        let mut quotas = std::mem::take(&mut self.scratch.quotas);
+        quotas.clear();
         for core in 0..self.core_shard.len() {
             if !self.live[core] {
                 continue;
@@ -777,30 +910,43 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
         }
         debug_assert!(!quotas.is_empty(), "a live core always gets quota");
 
-        // Fill.
-        let mut shard_quotas: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n_shards];
-        for &(core, q) in &quotas {
-            shard_quotas[self.core_shard[core]].push((core, q));
+        // Fill. Message buffers cycle through `scratch.pool` — the
+        // worker hands each request's buffer back as its reply.
+        let mut filling = std::mem::take(&mut self.scratch.filling);
+        filling.clear();
+        for si in 0..n_shards {
+            let mut q = self.scratch.pool.pop().unwrap_or_default();
+            q.clear();
+            q.extend(
+                quotas
+                    .iter()
+                    .filter(|&&(core, _)| self.core_shard[core] == si),
+            );
+            if q.is_empty() {
+                self.scratch.pool.push(q);
+            } else {
+                filling.push(si);
+                self.shards[si].send(ToShard::Fill { quotas: q });
+            }
         }
-        let filling: Vec<usize> = (0..n_shards)
-            .filter(|&si| !shard_quotas[si].is_empty())
-            .collect();
-        for &si in &filling {
-            let q = std::mem::take(&mut shard_quotas[si]);
-            self.shards[si].send(ToShard::Fill { quotas: q });
-        }
-        let mut gots: Vec<(usize, u64)> = Vec::new();
+        let mut gots = std::mem::take(&mut self.scratch.gots);
+        gots.clear();
         for &si in &filling {
             match self.shards[si].recv() {
-                FromShard::Filled { gots: g } => gots.extend(g),
+                FromShard::Filled { gots: g } => {
+                    gots.extend_from_slice(&g);
+                    self.scratch.pool.push(g);
+                }
                 _ => unreachable!("Fill answered with Filled"),
             }
         }
         gots.sort_unstable_by_key(|&(core, _)| core);
+        self.scratch.filling = filling;
 
         // Liveness and block-sequential timestamp bases.
         let mut ts = self.total_accesses;
-        let mut ts_bases: Vec<(usize, u64)> = Vec::new();
+        let mut ts_bases = std::mem::take(&mut self.scratch.ts_bases);
+        ts_bases.clear();
         for (&(core, quota), &(core2, got)) in quotas.iter().zip(gots.iter()) {
             debug_assert_eq!(core, core2);
             self.remaining[core] -= got;
@@ -813,29 +959,42 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                 ts += got;
             }
         }
+        self.scratch.quotas = quotas;
+        self.scratch.gots = gots;
         let round_total = ts - self.total_accesses;
         if round_total == 0 {
+            self.scratch.ts_bases = ts_bases;
             return Ok(()); // every participating trace was dry
         }
 
         // Execute, serving fault waves until all chunks complete.
-        let mut shard_bases: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n_shards];
-        for &(core, base) in &ts_bases {
-            shard_bases[self.core_shard[core]].push((core, base));
-        }
-        let mut active: Vec<usize> = Vec::new();
-        for (si, bases) in shard_bases.iter_mut().enumerate() {
-            if !bases.is_empty() {
-                let b = std::mem::take(bases);
+        let mut active = std::mem::take(&mut self.scratch.active);
+        active.clear();
+        for si in 0..n_shards {
+            let mut b = self.scratch.pool.pop().unwrap_or_default();
+            b.clear();
+            b.extend(
+                ts_bases
+                    .iter()
+                    .filter(|&&(core, _)| self.core_shard[core] == si),
+            );
+            if b.is_empty() {
+                self.scratch.pool.push(b);
+            } else {
                 self.shards[si].send(ToShard::Execute { ts_bases: b });
                 active.push(si);
             }
         }
-        let mut round_events: Vec<(usize, Vec<(u64, Event)>)> = Vec::new();
+        self.scratch.ts_bases = ts_bases;
+        let mut round_events = std::mem::take(&mut self.scratch.round_events);
+        round_events.clear();
+        let mut requests = std::mem::take(&mut self.scratch.requests);
+        let mut unused = std::mem::take(&mut self.scratch.unused);
+        let mut paused = std::mem::take(&mut self.scratch.paused);
         while !active.is_empty() {
-            let mut requests: Vec<FaultRequest> = Vec::new();
-            let mut unused: Vec<(usize, FaultGrant)> = Vec::new();
-            let mut paused: Vec<usize> = Vec::new();
+            requests.clear();
+            unused.clear();
+            paused.clear();
             for &si in &active {
                 let progress = match self.shards[si].recv() {
                     FromShard::Progress(p) => *p,
@@ -850,16 +1009,9 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                         unused.extend(u);
                         paused.push(si);
                     }
-                    ShardProgress::RoundDone {
-                        events,
-                        counters,
-                        unused: u,
-                    } => {
+                    ShardProgress::RoundDone { events, unused: u } => {
                         unused.extend(u);
                         round_events.extend(events);
-                        for (core, c) in counters {
-                            self.per_core[core] = c;
-                        }
                     }
                     ShardProgress::Failed(e) => return Err(e),
                 }
@@ -867,7 +1019,7 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
             // Canonical frame recycling: free returned frames, then
             // serve new requests, both in global core order.
             unused.sort_unstable_by_key(|&(core, _)| core);
-            for (_, grant) in unused {
+            for (_, grant) in unused.drain(..) {
                 match grant {
                     FaultGrant::Base(pfn) => self.os.phys.free_base(pfn)?,
                     FaultGrant::Huge(pfn) => self.os.phys.free_huge(pfn)?,
@@ -879,7 +1031,7 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
             }
             requests.sort_unstable_by_key(|r| r.core);
             let mut shard_grants: Vec<Vec<(usize, FaultGrant)>> = vec![Vec::new(); n_shards];
-            for req in requests {
+            for req in requests.drain(..) {
                 let grant = AddressSpace::allocate_grant(&mut self.os.phys, req.wants_huge)?;
                 shard_grants[self.core_shard[req.core]].push((req.core, grant));
                 // The worker validates the grant at install time; `va`
@@ -891,17 +1043,22 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                 debug_assert!(!g.is_empty());
                 self.shards[si].send(ToShard::Grants { grants: g });
             }
-            active = paused;
+            std::mem::swap(&mut active, &mut paused);
         }
+        self.scratch.requests = requests;
+        self.scratch.unused = unused;
+        self.scratch.paused = paused;
+        self.scratch.active = active;
 
         // Drain the round's events in core order — which, with
         // block-sequential timestamps, is timestamp order.
         round_events.sort_unstable_by_key(|&(core, _)| core);
-        for (_, events) in round_events {
+        for (_, events) in round_events.drain(..) {
             for (at, ev) in events {
                 self.recorder.record(at, ev);
             }
         }
+        self.scratch.round_events = round_events;
         self.total_accesses += round_total;
 
         if self.total_accesses == self.next_interval {
@@ -946,6 +1103,9 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                     .as_mut()
                     .expect("seats hold 1G PCCs only when the bank exists")
                     .restore(CoreId(core as u32), p);
+            }
+            for (core, c) in slice.counters {
+                self.per_core[core] = c;
             }
             if let Some(rw) = self.region_walks.as_mut() {
                 for (k, v) in slice.region_walks {
@@ -1449,7 +1609,7 @@ pub(crate) fn run<R: Recorder>(
                     .map(|c| PageWalkCache::new(c.pml4e_entries, c.pdpte_entries, c.pde_entries)),
                 pcc: bank.as_mut().map(|b| b.take(CoreId(core as u32))),
                 pcc_1g: bank_1g.as_mut().map(|b| b.take(CoreId(core as u32))),
-                chunk: Vec::with_capacity(CHUNK as usize),
+                chunk_len: 0,
                 pos: 0,
                 ts: 0,
                 resume_walk: false,
@@ -1460,6 +1620,8 @@ pub(crate) fn run<R: Recorder>(
                 events: Vec::new(),
                 region_walks: RegionWalks::default(),
                 unused_grants: Vec::new(),
+                pcc_feed: Vec::new(),
+                pcc_feed_1g: Vec::new(),
             });
             core += 1;
         }
@@ -1496,6 +1658,7 @@ pub(crate) fn run<R: Recorder>(
         interval_series: IntervalSeries::new(),
         marks: (0, 0, 0, 0),
         interval_index: 0,
+        scratch: RoundScratch::default(),
     };
 
     if shard_count == 1 {

@@ -83,6 +83,13 @@ pub struct TlbHierarchy {
     /// L2 hits by page size (the unified L2's own counter cannot
     /// attribute sizes).
     l2_hits_by_size: [u64; 3],
+    /// Page size of the most recent L1 hit or fill — probed first on
+    /// the next lookup. Pure probe-order steering: an address is
+    /// resident at most one page size (shootdowns precede every mapping
+    /// change) and a missed `touch` leaves a level's clock and stats
+    /// untouched, so the hint cannot change any outcome or statistic,
+    /// only how many sets are scanned before the hit.
+    l1_hint: PageSize,
 }
 
 impl TlbHierarchy {
@@ -100,6 +107,7 @@ impl TlbHierarchy {
             config,
             walks: 0,
             l2_hits_by_size: [0; 3],
+            l1_hint: PageSize::Base4K,
         }
     }
 
@@ -143,14 +151,23 @@ impl TlbHierarchy {
     /// table and call [`fill`](Self::fill) with the result.
     #[inline]
     pub fn lookup(&mut self, va: VirtAddr) -> TlbOutcome {
-        // Probe the split L1s: an address can only be resident at the page
-        // size it is currently mapped with, so probe all three.
+        // Probe the split L1s, most-recently-used size first: an address
+        // can only be resident at the page size it is currently mapped
+        // with, so probe order never changes which level hits. `touch`
+        // is probe + recency refresh in one set scan; a miss leaves the
+        // level's clock and stats untouched, like `probe`. The level's
+        // own hit counter is the hierarchy's l1 stat.
+        let hint = self.l1_hint;
+        if let Some(t) = self.l1_for(hint).touch(va.vpn(hint)) {
+            return TlbOutcome::L1Hit(t);
+        }
         for size in PageSize::ALL {
+            if size == hint {
+                continue;
+            }
             let vpn = va.vpn(size);
-            // `touch` is probe + recency refresh in one set scan; a miss
-            // leaves the level's clock and stats untouched, like `probe`.
-            // The level's own hit counter is the hierarchy's l1 stat.
             if let Some(t) = self.l1_for(size).touch(vpn) {
+                self.l1_hint = size;
                 return TlbOutcome::L1Hit(t);
             }
         }
@@ -165,6 +182,7 @@ impl TlbHierarchy {
                 self.l2_hits_by_size[size as usize] += 1;
                 // Promote into the L1 for this size.
                 self.l1_for(size).insert(t);
+                self.l1_hint = size;
                 return TlbOutcome::L2Hit(t);
             }
         }
@@ -179,6 +197,8 @@ impl TlbHierarchy {
     pub fn fill(&mut self, translation: Translation) -> Option<Translation> {
         let size = translation.size();
         self.l1_for(size).insert(translation);
+        // The access that walked retries at this size next.
+        self.l1_hint = size;
         if size != PageSize::Huge1G || self.config.l2_holds_1g {
             self.l2.insert(translation)
         } else {
@@ -379,6 +399,28 @@ mod tests {
         }
         assert!(matches!(h.lookup(t4k(1).vpn.base()), TlbOutcome::L2Hit(_)));
         assert_eq!(h.stats().l2_hits_by_size, [1, 0, 0]);
+    }
+
+    #[test]
+    fn mru_size_hint_is_stats_invisible() {
+        // Alternating page sizes thrash the hint every lookup; every
+        // access must still resolve at its true size with exact counts.
+        let mut h = hierarchy();
+        h.fill(t4k(1));
+        h.fill(t2m(9));
+        for _ in 0..4 {
+            assert_eq!(h.lookup(t4k(1).vpn.base()), TlbOutcome::L1Hit(t4k(1)));
+            assert_eq!(h.lookup(t2m(9).vpn.base()), TlbOutcome::L1Hit(t2m(9)));
+        }
+        let s = h.stats();
+        assert_eq!(s.l1_hits_by_size, [4, 4, 0]);
+        assert_eq!(s.accesses, 8);
+        assert_eq!(s.walks, 0);
+        // A miss with a stale hint still misses everywhere, and the
+        // probes along the way leave no trace in the stats.
+        assert_eq!(h.lookup(VirtAddr::new(0xdead_beef_f000)), TlbOutcome::Miss);
+        assert_eq!(h.stats().l1_hits, 8);
+        assert_eq!(h.stats().walks, 1);
     }
 
     #[test]

@@ -145,18 +145,32 @@ enum PmdKind {
 /// Entries per page-table level on x86-64 (9 index bits).
 const ENTRIES_PER_TABLE: usize = 512;
 
+/// Present bit of a packed PTE word.
+const PTE_PRESENT: u64 = 1;
+/// Accessed bit of a packed PTE word.
+const PTE_ACCESSED: u64 = 1 << 1;
+/// Shift of the frame index in a packed PTE word.
+const PTE_PFN_SHIFT: u32 = 2;
+
 /// The 512-entry PTE table of one PMD, indexed by the low 9 bits of
 /// the global 4 KiB page index.
+///
+/// Entries are packed like hardware PTEs: one `u64` word per slot
+/// (present bit, accessed bit, frame index), so a full table is a
+/// single 4 KiB array — the walker's leaf reference is one word
+/// load/store, and the whole level stays three times denser in the
+/// host cache than a `[Option<struct>; 512]` layout. A PTE always maps
+/// a 4 KiB frame, so the frame's page size needs no bits.
 #[derive(Debug, Clone)]
 struct PteTable {
-    slots: Box<[Option<PteEntry>; ENTRIES_PER_TABLE]>,
+    slots: Box<[u64; ENTRIES_PER_TABLE]>,
     live: u32,
 }
 
 impl PteTable {
     fn new() -> Self {
         PteTable {
-            slots: Box::new([None; ENTRIES_PER_TABLE]),
+            slots: Box::new([0; ENTRIES_PER_TABLE]),
             live: 0,
         }
     }
@@ -165,28 +179,43 @@ impl PteTable {
         (idx & (ENTRIES_PER_TABLE as u64 - 1)) as usize
     }
 
-    fn get_mut(&mut self, idx: u64) -> Option<&mut PteEntry> {
-        self.slots[Self::slot_of(idx)].as_mut()
+    fn pack(pfn: Pfn, accessed: bool) -> u64 {
+        debug_assert_eq!(pfn.size(), PageSize::Base4K);
+        (pfn.index() << PTE_PFN_SHIFT) | PTE_PRESENT | if accessed { PTE_ACCESSED } else { 0 }
     }
 
-    fn get(&self, idx: u64) -> Option<&PteEntry> {
-        self.slots[Self::slot_of(idx)].as_ref()
+    fn unpack_pfn(word: u64) -> Pfn {
+        Pfn::new(word >> PTE_PFN_SHIFT, PageSize::Base4K)
     }
 
-    fn insert(&mut self, idx: u64, entry: PteEntry) -> Option<PteEntry> {
-        let old = self.slots[Self::slot_of(idx)].replace(entry);
-        if old.is_none() {
+    fn word(&self, idx: u64) -> u64 {
+        self.slots[Self::slot_of(idx)]
+    }
+
+    fn word_mut(&mut self, idx: u64) -> &mut u64 {
+        &mut self.slots[Self::slot_of(idx)]
+    }
+
+    /// Installs a mapping; returns `true` if the slot was empty.
+    fn insert(&mut self, idx: u64, pfn: Pfn, accessed: bool) -> bool {
+        let slot = self.word_mut(idx);
+        let was_empty = *slot & PTE_PRESENT == 0;
+        *slot = Self::pack(pfn, accessed);
+        if was_empty {
             self.live += 1;
         }
-        old
+        was_empty
     }
 
-    fn remove(&mut self, idx: u64) -> Option<PteEntry> {
-        let old = self.slots[Self::slot_of(idx)].take();
-        if old.is_some() {
-            self.live -= 1;
+    fn remove(&mut self, idx: u64) -> Option<Pfn> {
+        let slot = self.word_mut(idx);
+        if *slot & PTE_PRESENT == 0 {
+            return None;
         }
-        old
+        let pfn = Self::unpack_pfn(*slot);
+        *slot = 0;
+        self.live -= 1;
+        Some(pfn)
     }
 
     fn len(&self) -> usize {
@@ -197,19 +226,25 @@ impl PteTable {
         self.live == 0
     }
 
-    fn values(&self) -> impl Iterator<Item = &PteEntry> {
-        self.slots.iter().flatten()
+    fn pfns(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.slots
+            .iter()
+            .filter(|&&w| w & PTE_PRESENT != 0)
+            .map(|&w| Self::unpack_pfn(w))
     }
 
-    fn values_mut(&mut self) -> impl Iterator<Item = &mut PteEntry> {
-        self.slots.iter_mut().flatten()
+    fn accessed_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|&&w| w & (PTE_PRESENT | PTE_ACCESSED) == (PTE_PRESENT | PTE_ACCESSED))
+            .count()
     }
-}
 
-#[derive(Debug, Clone, Copy)]
-struct PteEntry {
-    accessed: bool,
-    pfn: Pfn,
+    fn clear_accessed(&mut self) {
+        for w in self.slots.iter_mut() {
+            *w &= !PTE_ACCESSED;
+        }
+    }
 }
 
 /// A process's page table.
@@ -293,13 +328,7 @@ impl PageTable {
                 });
                 match &mut pmd.kind {
                     PmdKind::Table(ptes) => {
-                        ptes.insert(
-                            vpn.index(),
-                            PteEntry {
-                                accessed: false,
-                                pfn,
-                            },
-                        );
+                        ptes.insert(vpn.index(), pfn, false);
                     }
                     PmdKind::Huge2M(_) => {
                         return Err(HpageError::InvalidRemap {
@@ -376,7 +405,7 @@ impl PageTable {
                 let PmdKind::Table(ptes) = &mut pmd.kind else {
                     return Err(err());
                 };
-                ptes.remove(vpn.index()).map(|p| p.pfn).ok_or_else(err)
+                ptes.remove(vpn.index()).ok_or_else(err)
             }
         }
     }
@@ -400,10 +429,10 @@ impl PageTable {
                         pfn: *pfn,
                     }),
                     PmdKind::Table(ptes) => {
-                        let pte_idx = va.vpn(PageSize::Base4K).index();
-                        ptes.get(pte_idx).map(|pte| Translation {
+                        let w = ptes.word(va.vpn(PageSize::Base4K).index());
+                        (w & PTE_PRESENT != 0).then(|| Translation {
                             vpn: va.vpn(PageSize::Base4K),
-                            pfn: pte.pfn,
+                            pfn: PteTable::unpack_pfn(w),
                         })
                     }
                 }
@@ -460,13 +489,15 @@ impl PageTable {
                         levels_referenced: 3,
                     },
                     PmdKind::Table(ptes) => {
-                        let pte_idx = va.vpn(PageSize::Base4K).index();
-                        let pte = ptes.get_mut(pte_idx).ok_or_else(err)?;
-                        pte.accessed = true;
+                        let w = ptes.word_mut(va.vpn(PageSize::Base4K).index());
+                        if *w & PTE_PRESENT == 0 {
+                            return Err(err());
+                        }
+                        *w |= PTE_ACCESSED;
                         WalkResult {
                             translation: Translation {
                                 vpn: va.vpn(PageSize::Base4K),
-                                pfn: pte.pfn,
+                                pfn: PteTable::unpack_pfn(*w),
                             },
                             pud_accessed_before,
                             pmd_accessed_before,
@@ -519,7 +550,7 @@ impl PageTable {
                         addr: region.base().raw(),
                     });
                 }
-                let old: Vec<Pfn> = ptes.values().map(|p| p.pfn).collect();
+                let old: Vec<Pfn> = ptes.pfns().collect();
                 pmd.kind = PmdKind::Huge2M(new_pfn);
                 pmd.accessed = false; // fresh leaf: hardware will set it
                 Ok(old)
@@ -568,7 +599,7 @@ impl PageTable {
         for pmd in pmds.values() {
             match &pmd.kind {
                 PmdKind::Huge2M(pfn) => huge_frames.push(*pfn),
-                PmdKind::Table(ptes) => base_frames.extend(ptes.values().map(|p| p.pfn)),
+                PmdKind::Table(ptes) => base_frames.extend(ptes.pfns()),
             }
         }
         self.puds.insert(
@@ -620,13 +651,7 @@ impl PageTable {
         };
         let mut ptes = PteTable::new();
         for (vpn, pfn) in region.split(PageSize::Base4K).zip(base_pfns.iter()) {
-            ptes.insert(
-                vpn.index(),
-                PteEntry {
-                    accessed: false,
-                    pfn: *pfn,
-                },
-            );
+            ptes.insert(vpn.index(), *pfn, false);
         }
         pmd.kind = PmdKind::Table(ptes);
         pmd.accessed = false;
@@ -667,7 +692,7 @@ impl PageTable {
                         0
                     }
                 }
-                Some(PmdKind::Table(ptes)) => ptes.values().filter(|p| p.accessed).count() as u64,
+                Some(PmdKind::Table(ptes)) => ptes.accessed_count() as u64,
                 None => 0,
             },
             None => 0,
@@ -684,9 +709,7 @@ impl PageTable {
                 if let Some(pmd) = pmds.get_mut(region.index()) {
                     pmd.accessed = false;
                     if let PmdKind::Table(ptes) = &mut pmd.kind {
-                        for pte in ptes.values_mut() {
-                            pte.accessed = false;
-                        }
+                        ptes.clear_accessed();
                     }
                 }
             }

@@ -32,15 +32,22 @@ impl TlbStats {
     }
 }
 
+/// One resident entry, packed to 16 bytes so an LRU scan over a
+/// 12-way set reads three cache lines instead of the nine a struct
+/// with unpacked [`Translation`]s would span. The entry's VPN lives in
+/// the parallel `keys` slab ([`vpn_key`]); the slot keeps only the
+/// packed PFN ([`pfn_key`]) and its recency stamp.
+///
+/// LRU ties on `last_used` resolve to the lowest slot position, and
+/// removal compacts order-preservingly ([`SetAssocTlb::remove_at`]),
+/// so position order *is* insertion order: ties evict the
+/// earliest-inserted entry without needing a separate sequence number.
+/// (Ties cannot arise through the public API — every stamp comes from
+/// a fresh clock increment — but the invariant is kept anyway.)
 #[derive(Debug, Clone, Copy)]
 struct Slot {
-    translation: Translation,
+    pfn: u64,
     last_used: u64,
-    /// Monotonic insertion sequence number, stable across refreshes.
-    /// LRU ties on `last_used` are broken by evicting the smallest
-    /// `seq` (earliest-inserted) — never by slot position, which
-    /// removal perturbs.
-    seq: u64,
 }
 
 /// One set-associative translation lookaside buffer.
@@ -71,7 +78,6 @@ pub struct SetAssocTlb {
     live: usize,
     ways: u32,
     clock: u64,
-    seq: u64,
     /// `set_count - 1` when the set count is a power of two (the
     /// common geometries), letting [`Self::set_index`] mask instead of
     /// divide on the per-access path; `usize::MAX` otherwise.
@@ -87,15 +93,29 @@ fn vpn_key(vpn: Vpn) -> u64 {
     (vpn.index() << 2) | vpn.size() as u64
 }
 
+/// Packs a [`Pfn`] the same way [`vpn_key`] packs a VPN.
+#[inline(always)]
+fn pfn_key(pfn: Pfn) -> u64 {
+    (pfn.index() << 2) | pfn.size() as u64
+}
+
+/// Inverse of [`vpn_key`].
+#[inline(always)]
+fn key_vpn(key: u64) -> Vpn {
+    Vpn::new(key >> 2, PageSize::ALL[(key & 3) as usize])
+}
+
+/// Inverse of [`pfn_key`].
+#[inline(always)]
+fn key_pfn(key: u64) -> Pfn {
+    Pfn::new(key >> 2, PageSize::ALL[(key & 3) as usize])
+}
+
 /// Placeholder occupying slab slots beyond a set's live length; never
 /// observable (every read is bounded by `lens`).
 const EMPTY_SLOT: Slot = Slot {
-    translation: Translation {
-        vpn: Vpn::new(0, PageSize::Base4K),
-        pfn: Pfn::new(0, PageSize::Base4K),
-    },
+    pfn: 0,
     last_used: 0,
-    seq: 0,
 };
 
 impl SetAssocTlb {
@@ -115,7 +135,6 @@ impl SetAssocTlb {
             live: 0,
             ways: config.ways,
             clock: 0,
-            seq: 0,
             set_mask: if sets.is_power_of_two() {
                 sets - 1
             } else {
@@ -153,12 +172,16 @@ impl SetAssocTlb {
             .position(|&k| k == key)
     }
 
-    /// Order-preserving removal of live slot `pos` from set `idx`.
-    fn remove_at(&mut self, idx: usize, pos: usize) -> Slot {
+    /// Order-preserving removal of live slot `pos` from set `idx`,
+    /// returning the translation it held.
+    fn remove_at(&mut self, idx: usize, pos: usize) -> Translation {
         let base = idx * self.ways as usize;
         let len = self.lens[idx] as usize;
         debug_assert!(pos < len);
-        let victim = self.slots[base + pos];
+        let victim = Translation {
+            vpn: key_vpn(self.keys[base + pos]),
+            pfn: key_pfn(self.slots[base + pos].pfn),
+        };
         self.slots
             .copy_within(base + pos + 1..base + len, base + pos);
         self.keys
@@ -192,7 +215,17 @@ impl SetAssocTlb {
     /// Read-only: recency and statistics are untouched — this is the
     /// auditor's view, not an architectural lookup.
     pub fn entries(&self) -> impl Iterator<Item = Translation> + '_ {
-        (0..self.set_count()).flat_map(move |idx| self.set(idx).iter().map(|s| s.translation))
+        (0..self.set_count()).flat_map(move |idx| {
+            let base = idx * self.ways as usize;
+            let len = self.lens[idx] as usize;
+            self.keys[base..base + len]
+                .iter()
+                .zip(&self.slots[base..base + len])
+                .map(|(&k, s)| Translation {
+                    vpn: key_vpn(k),
+                    pfn: key_pfn(s.pfn),
+                })
+        })
     }
 
     #[inline(always)]
@@ -214,7 +247,10 @@ impl SetAssocTlb {
             self.stats.hits += 1;
             let slot = &mut self.set_mut(idx)[pos];
             slot.last_used = clock;
-            Some(slot.translation)
+            Some(Translation {
+                vpn,
+                pfn: key_pfn(slot.pfn),
+            })
         } else {
             self.stats.misses += 1;
             None
@@ -228,8 +264,10 @@ impl SetAssocTlb {
             return None;
         }
         let idx = self.set_index(vpn);
-        self.find(idx, vpn)
-            .map(|pos| self.set(idx)[pos].translation)
+        self.find(idx, vpn).map(|pos| Translation {
+            vpn,
+            pfn: key_pfn(self.set(idx)[pos].pfn),
+        })
     }
 
     /// Hit-path combination of [`probe`](Self::probe) +
@@ -250,18 +288,20 @@ impl SetAssocTlb {
         self.stats.hits += 1;
         let slot = &mut self.set_mut(idx)[pos];
         slot.last_used = clock;
-        Some(slot.translation)
+        Some(Translation {
+            vpn,
+            pfn: key_pfn(slot.pfn),
+        })
     }
 
     /// Inserts a translation, evicting the LRU slot of its set when full.
     /// Returns the evicted translation, if any. Re-inserting a resident
     /// VPN refreshes its payload and recency without eviction.
     ///
-    /// Recency ties are broken by the monotonic insertion sequence
-    /// number (earliest-inserted evicted first), never by slot
-    /// position: `Vec::swap_remove` used to perturb slot order on
-    /// every invalidation, making tied evictions depend on incidental
-    /// layout.
+    /// Recency ties are broken by slot position, which order-preserving
+    /// removal keeps equal to insertion order (earliest-inserted evicted
+    /// first): `Vec::swap_remove` used to perturb slot order on every
+    /// invalidation, making tied evictions depend on incidental layout.
     pub fn insert(&mut self, translation: Translation) -> Option<Translation> {
         self.clock += 1;
         let clock = self.clock;
@@ -269,35 +309,35 @@ impl SetAssocTlb {
         let idx = self.set_index(translation.vpn);
         if let Some(pos) = self.find(idx, translation.vpn) {
             let slot = &mut self.set_mut(idx)[pos];
-            slot.translation = translation;
+            slot.pfn = pfn_key(translation.pfn);
             slot.last_used = clock;
             return None;
         }
         let evicted = if self.lens[idx] as usize == ways {
-            let lru = self
-                .set(idx)
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| (s.last_used, s.seq))
-                .map(|(i, _)| i)
-                .expect("set is full, so nonempty");
+            // First minimum wins (`min_by_key` would take the last):
+            // lowest position is earliest-inserted on a recency tie.
+            let set = self.set(idx);
+            let mut lru = 0;
+            for (i, s) in set.iter().enumerate().skip(1) {
+                if s.last_used < set[lru].last_used {
+                    lru = i;
+                }
+            }
             let victim = self.remove_at(idx, lru);
             self.stats.evictions += 1;
-            Some(victim.translation)
+            Some(victim)
         } else {
             None
         };
         let base = idx * ways;
         let len = self.lens[idx] as usize;
         self.slots[base + len] = Slot {
-            translation,
+            pfn: pfn_key(translation.pfn),
             last_used: clock,
-            seq: self.seq,
         };
         self.keys[base + len] = vpn_key(translation.vpn);
         self.lens[idx] += 1;
         self.live += 1;
-        self.seq += 1;
         evicted
     }
 
@@ -328,13 +368,13 @@ impl SetAssocTlb {
             // Order-preserving in-place compaction (retain).
             let mut keep = 0;
             for pos in 0..len {
-                let s = self.slots[base_off + pos];
-                let base = s.translation.vpn.base().raw();
-                let span = s.translation.size().bytes();
+                let vpn = key_vpn(self.keys[base_off + pos]);
+                let base = vpn.base().raw();
+                let span = vpn.size().bytes();
                 // Keep entries that do not overlap [start, end).
                 if base + span <= start || base >= end {
                     if keep != pos {
-                        self.slots[base_off + keep] = s;
+                        self.slots[base_off + keep] = self.slots[base_off + pos];
                         self.keys[base_off + keep] = self.keys[base_off + pos];
                     }
                     keep += 1;

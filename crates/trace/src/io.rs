@@ -22,17 +22,18 @@
 use hpage_types::{AccessKind, MemoryAccess, VirtAddr};
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 4] = b"HPT1";
+pub(crate) const HPT1_MAGIC: &[u8; 4] = b"HPT1";
+const MAGIC: &[u8; 4] = HPT1_MAGIC;
 
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -43,7 +44,7 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> io::Result<Option<u64>> {
+pub(crate) fn read_varint<R: Read>(r: &mut R) -> io::Result<Option<u64>> {
     let mut v = 0u64;
     let mut shift = 0u32;
     let mut first = true;
@@ -56,6 +57,17 @@ fn read_varint<R: Read>(r: &mut R) -> io::Result<Option<u64>> {
         }
         first = false;
         if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        // The 10th byte (shift == 63) has room for exactly one payload
+        // bit. A continuation bit, or any of payload bits 1..7 set,
+        // encodes a value outside u64 — reject it instead of silently
+        // shifting those bits into oblivion and decoding a wrong
+        // address.
+        if shift == 63 && byte[0] > 0x01 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "varint overflows u64",
@@ -103,7 +115,12 @@ impl<W: Write> TraceWriter<W> {
     pub fn write(&mut self, access: &MemoryAccess) -> io::Result<()> {
         let header = u8::from(access.kind == AccessKind::Write);
         self.writer.write_all(&[header])?;
-        let delta = access.addr.raw() as i64 - self.prev_addr as i64;
+        // Wrapping subtraction in u64, then reinterpret: the reader
+        // undoes it with `wrapping_add` in the same ring, so round-trip
+        // is exact for every address pair — including ones more than
+        // i64::MAX apart, where a checked `as i64` subtraction
+        // overflows (debug-build panic).
+        let delta = access.addr.raw().wrapping_sub(self.prev_addr) as i64;
         write_varint(&mut self.writer, zigzag(delta))?;
         self.prev_addr = access.addr.raw();
         self.records += 1;
@@ -166,6 +183,16 @@ impl<R: Read> TraceReader<R> {
             reader,
             prev_addr: 0,
         })
+    }
+
+    /// Resumes a reader positioned just past the magic (used by the
+    /// format-sniffing entry points, which consume the magic to decide
+    /// which decoder to hand the stream to).
+    pub(crate) fn after_magic(reader: R) -> Self {
+        TraceReader {
+            reader,
+            prev_addr: 0,
+        }
     }
 }
 
@@ -273,6 +300,58 @@ mod tests {
         let items: Vec<io::Result<MemoryAccess>> =
             TraceReader::new(buf.as_slice()).unwrap().collect();
         assert!(items.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn i64_boundary_delta_roundtrips() {
+        // Regression: consecutive addresses more than i64::MAX apart
+        // used to overflow the writer's checked `i64` subtraction and
+        // panic in debug builds. Wrapping arithmetic makes every pair
+        // round-trip exactly.
+        let accesses = vec![
+            MemoryAccess::read(VirtAddr::new(i64::MAX as u64)),
+            MemoryAccess::write(VirtAddr::new(u64::MAX)),
+            MemoryAccess::read(VirtAddr::new(0)),
+            MemoryAccess::write(VirtAddr::new(1u64 << 63)),
+            MemoryAccess::read(VirtAddr::new((1u64 << 63) - 1)),
+        ];
+        assert_eq!(roundtrip(&accesses), accesses);
+    }
+
+    #[test]
+    fn ten_byte_varint_edge() {
+        // u64::MAX encodes as nine 0xFF continuation bytes + final 0x01:
+        // the 10th byte carries exactly one payload bit.
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        assert_eq!(
+            read_varint(&mut max.as_slice()).unwrap(),
+            Some(u64::MAX),
+            "canonical 10-byte encoding of u64::MAX must decode"
+        );
+
+        // Regression: payload bits 1..7 in the 10th byte used to be
+        // silently shifted out, decoding a *wrong* value instead of
+        // erroring.
+        for last in [0x02u8, 0x40, 0x7F] {
+            let mut buf = vec![0xFFu8; 9];
+            buf.push(last);
+            let err = read_varint(&mut buf.as_slice()).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "last byte {last:#x}"
+            );
+        }
+
+        // A continuation bit in the 10th byte overflows too, even if
+        // its payload bits are in range.
+        for tail in [&[0x81u8, 0x00][..], &[0x80, 0x01]] {
+            let mut buf = vec![0xFFu8; 9];
+            buf.extend_from_slice(tail);
+            let err = read_varint(&mut buf.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "tail {tail:?}");
+        }
     }
 
     #[test]

@@ -152,14 +152,14 @@ impl Workload for GraphWorkload {
     }
 
     fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
-        // `BulkKernel`'s native `fill` drains queued accesses in bulk
-        // rather than one `next()` per element.
+        // `BulkKernel`'s windows borrow the kernel's own pending queue,
+        // so the simulation reads generated accesses in place.
         let (lo, hi) = self.vertex_range(thread, threads);
         match self.kernel {
-            GraphKernel::Bfs => Box::new(BulkKernel(BfsTrace::new(self, lo, hi))),
-            GraphKernel::Sssp => Box::new(BulkKernel(SsspTrace::new(self, lo, hi))),
-            GraphKernel::PageRank => Box::new(BulkKernel(PrTrace::new(self, lo, hi))),
-            GraphKernel::Components => Box::new(BulkKernel(CcTrace::new(self, lo, hi))),
+            GraphKernel::Bfs => Box::new(BulkKernel::new(BfsTrace::new(self, lo, hi))),
+            GraphKernel::Sssp => Box::new(BulkKernel::new(SsspTrace::new(self, lo, hi))),
+            GraphKernel::PageRank => Box::new(BulkKernel::new(PrTrace::new(self, lo, hi))),
+            GraphKernel::Components => Box::new(BulkKernel::new(CcTrace::new(self, lo, hi))),
         }
     }
 }
@@ -235,6 +235,10 @@ impl KernelSteps for CcTrace<'_> {
         &mut self.scanner.pending
     }
 
+    fn pending_ref(&self) -> &AccessQueue {
+        &self.scanner.pending
+    }
+
     fn step(&mut self) -> bool {
         CcTrace::step(self)
     }
@@ -285,26 +289,36 @@ impl AccessQueue {
         self.buf.len() - self.head
     }
 
-    fn is_empty(&self) -> bool {
-        self.head == self.buf.len()
-    }
-
     /// The queued accesses, oldest first.
     fn as_slice(&self) -> &[MemoryAccess] {
         &self.buf[self.head..]
     }
 
     /// Releases the `n` oldest accesses; storage is recycled once the
-    /// queue drains.
+    /// queue drains, and a large consumed prefix is compacted away so
+    /// `buf` stays bounded even when windows always leave a tail (the
+    /// zero-copy window protocol consumes in window-sized bites, so
+    /// without compaction `head` would creep forever on billion-access
+    /// traces).
     fn consume(&mut self, n: usize) {
         self.head += n;
         debug_assert!(self.head <= self.buf.len());
         if self.head == self.buf.len() {
             self.buf.clear();
             self.head = 0;
+        } else if self.head >= COMPACT_AT && self.head >= self.buf.len() / 2 {
+            // Amortized O(1): the tail copied here is no longer than
+            // the >= COMPACT_AT elements consumed since the last reset.
+            self.buf.copy_within(self.head.., 0);
+            let tail = self.buf.len() - self.head;
+            self.buf.truncate(tail);
+            self.head = 0;
         }
     }
 }
+
+/// Consumed-prefix length at which [`AccessQueue::consume`] compacts.
+const COMPACT_AT: usize = 1024;
 
 /// A kernel generator reduced to its two primitives: the queue of
 /// already-produced accesses and a `step` that scans one more vertex.
@@ -313,6 +327,8 @@ impl AccessQueue {
 trait KernelSteps {
     /// The scanner holding queued accesses.
     fn pending(&mut self) -> &mut AccessQueue;
+    /// Shared view of the queue (for re-borrowing the current window).
+    fn pending_ref(&self) -> &AccessQueue;
     /// Advances the kernel by one vertex; `false` when the trace is done.
     fn step(&mut self) -> bool;
 }
@@ -336,32 +352,43 @@ impl<T: KernelSteps> Iterator for KernelIter<T> {
     }
 }
 
-/// Chunked adapter giving a [`KernelSteps`] state machine a bulk
-/// [`TraceStream::fill`]: it drains the pending queue with
-/// `Vec::extend` (a memcpy-shaped loop) instead of popping accesses one
-/// `next()` at a time — the graph kernels produce tens of accesses per
-/// scanned vertex, so this is where trace-generation time goes.
-/// (Deliberately NOT an [`Iterator`]: that would collide with the
-/// blanket `impl<I: Iterator> TraceStream for I`.)
-struct BulkKernel<T>(T);
+/// Chunked adapter giving a [`KernelSteps`] state machine a zero-copy
+/// [`TraceStream`]: each window is a direct slice of the kernel's own
+/// pending queue — the simulation reads generated accesses where the
+/// scanner wrote them, no intermediate buffer. The graph kernels
+/// produce tens of accesses per scanned vertex, so this is where
+/// trace-generation time goes.
+///
+/// Consumption is deferred: the window handed out by `next_window`
+/// stays queued (length in `out`) until the *next* call releases it,
+/// because the borrow it returned was a view into the queue.
+struct BulkKernel<T> {
+    kernel: T,
+    /// Length of the outstanding window, consumed on the next call.
+    out: usize,
+}
+
+impl<T: KernelSteps> BulkKernel<T> {
+    fn new(kernel: T) -> Self {
+        BulkKernel { kernel, out: 0 }
+    }
+}
 
 impl<T: KernelSteps> TraceStream for BulkKernel<T> {
-    fn fill(&mut self, buf: &mut Vec<MemoryAccess>, max: usize) -> usize {
-        let mut produced = 0;
-        while produced < max {
-            let pending = self.0.pending();
-            if !pending.is_empty() {
-                let take = pending.len().min(max - produced);
-                buf.extend_from_slice(&pending.as_slice()[..take]);
-                pending.consume(take);
-                produced += take;
-                continue;
-            }
-            if !self.0.step() {
+    fn next_window(&mut self, max: usize) -> &[MemoryAccess] {
+        self.kernel.pending().consume(self.out);
+        while self.kernel.pending_ref().len() < max {
+            if !self.kernel.step() {
                 break;
             }
         }
-        produced
+        let take = self.kernel.pending_ref().len().min(max);
+        self.out = take;
+        &self.kernel.pending_ref().as_slice()[..take]
+    }
+
+    fn window(&self) -> &[MemoryAccess] {
+        &self.kernel.pending_ref().as_slice()[..self.out]
     }
 }
 
@@ -467,6 +494,10 @@ impl KernelSteps for BfsTrace<'_> {
         &mut self.scanner.pending
     }
 
+    fn pending_ref(&self) -> &AccessQueue {
+        &self.scanner.pending
+    }
+
     fn step(&mut self) -> bool {
         BfsTrace::step(self)
     }
@@ -546,6 +577,10 @@ impl KernelSteps for SsspTrace<'_> {
         &mut self.scanner.pending
     }
 
+    fn pending_ref(&self) -> &AccessQueue {
+        &self.scanner.pending
+    }
+
     fn step(&mut self) -> bool {
         SsspTrace::step(self)
     }
@@ -605,6 +640,10 @@ impl<'g> PrTrace<'g> {
 impl KernelSteps for PrTrace<'_> {
     fn pending(&mut self) -> &mut AccessQueue {
         &mut self.scanner.pending
+    }
+
+    fn pending_ref(&self) -> &AccessQueue {
+        &self.scanner.pending
     }
 
     fn step(&mut self) -> bool {
@@ -722,6 +761,33 @@ mod tests {
         // At least one full sweep over all edges.
         assert!(count >= w.graph().edge_count());
         assert_eq!(w.name(), "CC-Kron8");
+    }
+
+    #[test]
+    fn stream_windows_match_thread_trace() {
+        let g = small_graph();
+        let w = GraphWorkload::new(GraphKernel::Bfs, g, "k");
+        for (thread, threads) in [(0, 1), (1, 3)] {
+            let expect: Vec<_> = w.thread_trace(thread, threads).collect();
+            let mut s = w.thread_stream(thread, threads);
+            let mut got = Vec::new();
+            loop {
+                // An awkward window size so windows straddle the
+                // scanner's per-vertex bursts and leave queue tails.
+                let win = s.next_window(7).to_vec();
+                assert_eq!(win, s.window(), "window() must re-borrow");
+                if win.is_empty() {
+                    break;
+                }
+                let full = win.len() == 7;
+                got.extend_from_slice(&win);
+                if !full {
+                    assert!(s.next_window(7).is_empty(), "short window = end");
+                    break;
+                }
+            }
+            assert_eq!(got, expect, "thread {thread}/{threads}");
+        }
     }
 
     #[test]

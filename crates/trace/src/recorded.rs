@@ -1,6 +1,7 @@
 //! Replaying captured traces: a [`Workload`] backed by a recorded access
-//! stream (e.g. an `HPT1` file written by [`TraceWriter`], or a trace
-//! captured from a real binary with a Pin-like tool and converted).
+//! stream (e.g. an `HPT1`/`HPT2` file written by [`TraceWriter`] /
+//! [`Hpt2Writer`], or a trace captured from a real binary with a
+//! Pin-like tool and converted).
 //!
 //! This closes the loop of the paper's methodology: their offline
 //! simulation consumed Pin traces of real executions; ours can consume
@@ -8,7 +9,9 @@
 //! synthetic generators implement.
 //!
 //! [`TraceWriter`]: crate::io::TraceWriter
+//! [`Hpt2Writer`]: crate::hpt2::Hpt2Writer
 
+use crate::hugebuf::HugeVec;
 use crate::io::TraceReader;
 use crate::workload::{TraceStream, Workload};
 use hpage_types::{MemoryAccess, PageSize, Region, VirtAddr};
@@ -19,16 +22,24 @@ use std::io::{self, Read};
 /// The constructor scans the accesses once to derive the footprint (the
 /// set of touched 2 MiB regions, coalesced into contiguous ranges), which
 /// the utility-curve budgets are computed from.
+///
+/// The access array lives in a [`HugeVec`]: huge-page-aligned and
+/// `MADV_HUGEPAGE`-advised, so replaying a multi-gigabyte trace does not
+/// thrash the *simulator's* TLB while it measures the simulated one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordedWorkload {
     name: String,
-    accesses: Vec<MemoryAccess>,
+    accesses: HugeVec<MemoryAccess>,
     regions: Vec<Region>,
 }
 
 impl RecordedWorkload {
     /// Builds a workload from accesses already in memory.
     pub fn new(name: impl Into<String>, accesses: Vec<MemoryAccess>) -> Self {
+        RecordedWorkload::from_huge(name, HugeVec::from(&accesses[..]))
+    }
+
+    pub(crate) fn from_huge(name: impl Into<String>, accesses: HugeVec<MemoryAccess>) -> Self {
         let regions = coalesce_regions(&accesses);
         RecordedWorkload {
             name: name.into(),
@@ -37,15 +48,36 @@ impl RecordedWorkload {
         }
     }
 
-    /// Reads an `HPT1` trace (see [`crate::TraceReader`]) fully into
-    /// memory.
+    /// Reads a trace file fully into memory, auto-detecting the format
+    /// from the magic (`HPT1` record stream or blocked `HPT2`).
     ///
     /// # Errors
     ///
-    /// Propagates I/O and format errors from the reader.
-    pub fn from_reader<R: Read>(name: impl Into<String>, reader: R) -> io::Result<Self> {
-        let accesses = TraceReader::new(reader)?.collect::<io::Result<Vec<_>>>()?;
-        Ok(RecordedWorkload::new(name, accesses))
+    /// Propagates I/O and format errors from the reader; unknown magic
+    /// is `InvalidData`.
+    pub fn from_reader<R: Read>(name: impl Into<String>, mut reader: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        let mut accesses = HugeVec::new();
+        match &magic {
+            crate::io::HPT1_MAGIC => {
+                for rec in TraceReader::after_magic(reader) {
+                    accesses.push(rec?);
+                }
+            }
+            crate::hpt2::HPT2_MAGIC => {
+                for rec in crate::hpt2::Hpt2Reader::after_magic(reader)? {
+                    accesses.push(rec?);
+                }
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not an HPT1/HPT2 trace file",
+                ))
+            }
+        }
+        Ok(RecordedWorkload::from_huge(name, accesses))
     }
 
     /// Number of recorded accesses.
@@ -56,6 +88,11 @@ impl RecordedWorkload {
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
         self.accesses.is_empty()
+    }
+
+    /// The recorded accesses, in order.
+    pub fn accesses(&self) -> &[MemoryAccess] {
+        &self.accesses
     }
 }
 
@@ -68,9 +105,17 @@ fn coalesce_regions(accesses: &[MemoryAccess]) -> Vec<Region> {
         .collect();
     indices.sort_unstable();
     indices.dedup();
+    coalesce_sorted_indices(&indices)
+}
+
+/// Coalesces a sorted, deduplicated list of 2 MiB region indices into
+/// maximal contiguous [`Region`]s. Shared by [`RecordedWorkload`] and
+/// the `HPT2` trailer path so both derive byte-identical footprints
+/// from the same touched set.
+pub(crate) fn coalesce_sorted_indices(indices: &[u64]) -> Vec<Region> {
     let mut regions = Vec::new();
     let mut run: Option<(u64, u64)> = None; // (first, last)
-    for idx in indices {
+    for &idx in indices {
         run = match run {
             Some((first, last)) if last + 1 == idx => Some((first, idx)),
             Some((first, last)) => {
@@ -89,6 +134,52 @@ fn coalesce_regions(accesses: &[MemoryAccess]) -> Vec<Region> {
 fn span(first: u64, last: u64) -> Region {
     let bytes = PageSize::Huge2M.bytes();
     Region::new(VirtAddr::new(first * bytes), (last - first + 1) * bytes)
+}
+
+/// Single-threaded replay stream: every window is a direct subslice of
+/// the recorded access array — zero copies, zero allocation.
+struct SliceStream<'a> {
+    accesses: &'a [MemoryAccess],
+    pos: usize,
+    win: usize,
+}
+
+impl TraceStream for SliceStream<'_> {
+    fn next_window(&mut self, max: usize) -> &[MemoryAccess] {
+        self.pos += self.win;
+        self.win = max.min(self.accesses.len() - self.pos);
+        &self.accesses[self.pos..self.pos + self.win]
+    }
+
+    fn window(&self) -> &[MemoryAccess] {
+        &self.accesses[self.pos..self.pos + self.win]
+    }
+}
+
+/// Multi-threaded replay stream: core `thread` of `stride` replays every
+/// `stride`-th record (same partition as `thread_trace`'s
+/// `skip(thread).step_by(stride)`), gathered window by window.
+struct StridedStream<'a> {
+    accesses: &'a [MemoryAccess],
+    /// Index of the next record this core replays.
+    next: usize,
+    stride: usize,
+    buf: Vec<MemoryAccess>,
+}
+
+impl TraceStream for StridedStream<'_> {
+    fn next_window(&mut self, max: usize) -> &[MemoryAccess] {
+        self.buf.clear();
+        while self.buf.len() < max && self.next < self.accesses.len() {
+            self.buf.push(self.accesses[self.next]);
+            self.next += self.stride;
+        }
+        &self.buf
+    }
+
+    fn window(&self) -> &[MemoryAccess] {
+        &self.buf
+    }
 }
 
 impl Workload for RecordedWorkload {
@@ -120,16 +211,20 @@ impl Workload for RecordedWorkload {
 
     fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
         assert!(thread < threads, "bad thread index");
-        // Box the concrete iterator so `fill`'s loop monomorphises
-        // (and, for the single-threaded replay, reduces to a slice
-        // copy the optimizer vectorises).
-        Box::new(
-            self.accesses
-                .iter()
-                .copied()
-                .skip(thread as usize)
-                .step_by(threads as usize),
-        )
+        if threads == 1 {
+            Box::new(SliceStream {
+                accesses: &self.accesses,
+                pos: 0,
+                win: 0,
+            })
+        } else {
+            Box::new(StridedStream {
+                accesses: &self.accesses,
+                next: thread as usize,
+                stride: threads as usize,
+                buf: Vec::new(),
+            })
+        }
     }
 }
 
@@ -190,6 +285,47 @@ mod tests {
         }
         seen.sort_by_key(|a| a.addr.raw());
         assert_eq!(seen, original);
+    }
+
+    #[test]
+    fn stream_windows_match_thread_trace() {
+        // Regression (satellite): `thread_stream` used to claim a
+        // monomorphised slice fill while actually routing through the
+        // per-element blanket iterator impl. Assert the real stream
+        // implementations replay exactly the `thread_trace` partition.
+        let original: Vec<MemoryAccess> = (0..1013u64).map(|i| acc(i * 0x340)).collect();
+        let w = RecordedWorkload::new("t", original);
+        for (thread, threads) in [(0, 1), (0, 3), (2, 3), (7, 8)] {
+            let expect: Vec<MemoryAccess> = w.thread_trace(thread, threads).collect();
+            let mut s = w.thread_stream(thread, threads);
+            let mut got = Vec::new();
+            loop {
+                let win = s.next_window(64).to_vec();
+                assert_eq!(win, s.window(), "window() must re-borrow");
+                got.extend_from_slice(&win);
+                if win.len() < 64 {
+                    break;
+                }
+            }
+            assert_eq!(got, expect, "thread {thread}/{threads}");
+            assert!(
+                s.next_window(64).is_empty(),
+                "exhausted stream must stay empty"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_stream_resumes_after_window_reborrow() {
+        let original: Vec<MemoryAccess> = (0..10u64).map(|i| acc(i * 0x1000)).collect();
+        let w = RecordedWorkload::new("t", original.clone());
+        let mut s = w.thread_stream(0, 1);
+        assert_eq!(s.next_window(4), &original[0..4]);
+        assert_eq!(s.window(), &original[0..4]);
+        assert_eq!(s.next_window(4), &original[4..8]);
+        assert_eq!(s.next_window(4), &original[8..10], "short final window");
+        assert!(s.next_window(4).is_empty());
+        assert!(s.window().is_empty());
     }
 
     #[test]

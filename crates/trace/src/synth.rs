@@ -8,7 +8,7 @@
 //! (see DESIGN.md's substitution table).
 
 use crate::layout::{AddressSpaceBuilder, ArrayLayout};
-use crate::workload::{TraceStream, Workload};
+use crate::workload::{IterStream, TraceStream, Workload};
 use hpage_types::{MemoryAccess, Region};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -165,11 +165,11 @@ impl Workload for SyntheticWorkload {
 
     fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
         assert!(thread < threads, "bad thread index");
-        // Box the concrete iterator so `fill`'s loop monomorphises.
-        Box::new(SynthTrace::new(
+        // Wrap the concrete iterator so window production monomorphises.
+        Box::new(IterStream::new(SynthTrace::new(
             self,
             self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(thread) + 1)),
-        ))
+        )))
     }
 }
 

@@ -9,26 +9,128 @@ use hpage_types::{MemoryAccess, Region};
 /// The simulator consumes billions of accesses; pulling each one
 /// through a boxed iterator costs a virtual call per element and walls
 /// off the generator from the optimizer. A `TraceStream` amortises the
-/// dynamic dispatch to one `fill` call per chunk: concrete workloads
-/// box their *concrete* iterator type, so the per-element loop inside
-/// `fill` monomorphises and inlines.
+/// dynamic dispatch to one [`next_window`](Self::next_window) call per
+/// chunk — and, unlike the old `fill`-into-a-`Vec` shape, hands the
+/// consumer a **borrowed window** into storage the stream already owns,
+/// so the hot loop reads accesses in place instead of copying every
+/// chunk through an intermediate buffer.
 ///
-/// The blanket implementation makes every access iterator a stream, so
-/// `Box<dyn Iterator>` values (the [`Workload::thread_trace`] output)
-/// still work — they just stay on the slow path.
+/// # Window protocol
+///
+/// * `next_window(max)` returns the next `max` accesses of the trace as
+///   one contiguous slice. It returns **fewer than `max` only when the
+///   trace is exhausted** (streams must keep producing internally until
+///   the window is full or the trace ends — a short window is the
+///   end-of-trace signal, and the sharded simulation loop retires a
+///   core on it).
+/// * Each `next_window` call releases the previous window; the borrow
+///   rules enforce this (the returned slice borrows the stream).
+/// * [`window`](Self::window) re-borrows the *current* window without
+///   advancing — the consumer uses it to resume a partially executed
+///   chunk after a pause (e.g. a page-fault wave) without holding the
+///   borrow across the pause.
 pub trait TraceStream {
+    /// Advances past the current window and returns the next one, up to
+    /// `max` accesses long. Shorter than `max` (possibly empty) exactly
+    /// when the trace is exhausted.
+    fn next_window(&mut self, max: usize) -> &[MemoryAccess];
+
+    /// The current window (the slice the last [`next_window`] returned;
+    /// empty before the first call).
+    ///
+    /// [`next_window`]: Self::next_window
+    fn window(&self) -> &[MemoryAccess];
+
     /// Appends up to `max` accesses to `buf`, returning how many were
-    /// produced. A return of 0 means the trace is exhausted (streams
-    /// are not fused by contract, but every workload's trace ends
-    /// permanently).
-    fn fill(&mut self, buf: &mut Vec<MemoryAccess>, max: usize) -> usize;
+    /// produced. Compatibility shim over [`next_window`]; returns 0
+    /// when the trace is exhausted. Note it advances the stream, so it
+    /// must not be mixed with window-style consumption of the same
+    /// chunk.
+    ///
+    /// [`next_window`]: Self::next_window
+    fn fill(&mut self, buf: &mut Vec<MemoryAccess>, max: usize) -> usize {
+        let w = self.next_window(max);
+        buf.extend_from_slice(w);
+        w.len()
+    }
 }
 
-impl<I: Iterator<Item = MemoryAccess>> TraceStream for I {
-    fn fill(&mut self, buf: &mut Vec<MemoryAccess>, max: usize) -> usize {
-        let before = buf.len();
-        buf.extend(self.by_ref().take(max));
-        buf.len() - before
+/// Adapts any access iterator into a [`TraceStream`] by buffering one
+/// window at a time.
+///
+/// This is the generic slow path (one `next()` per element into the
+/// buffer); concrete workloads implement `TraceStream` natively so
+/// their windows borrow storage the generator fills anyway. There is
+/// deliberately **no** blanket `impl<I: Iterator> TraceStream for I`:
+/// the window API needs a place to own the buffer, and the old blanket
+/// impl made it too easy to route a workload's "monomorphised" stream
+/// through per-element dispatch by accident (see
+/// `RecordedWorkload::thread_stream`'s history).
+pub struct IterStream<I> {
+    iter: I,
+    buf: Vec<MemoryAccess>,
+}
+
+impl<I: Iterator<Item = MemoryAccess>> IterStream<I> {
+    /// Wraps `iter`.
+    pub fn new(iter: I) -> Self {
+        IterStream {
+            iter,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<I: Iterator<Item = MemoryAccess>> TraceStream for IterStream<I> {
+    fn next_window(&mut self, max: usize) -> &[MemoryAccess] {
+        self.buf.clear();
+        self.buf.extend(self.iter.by_ref().take(max));
+        &self.buf
+    }
+
+    fn window(&self) -> &[MemoryAccess] {
+        &self.buf
+    }
+}
+
+/// Adapts a [`TraceStream`] back into a per-element iterator (for
+/// consumers that genuinely want one access at a time, e.g. trace-file
+/// writers and analyzers).
+pub struct StreamIter<S> {
+    stream: S,
+    pos: usize,
+    len: usize,
+}
+
+/// Window size [`StreamIter`] pulls through; one virtual call per this
+/// many elements.
+const STREAM_ITER_CHUNK: usize = 1024;
+
+impl<S: TraceStream> StreamIter<S> {
+    /// Wraps `stream`.
+    pub fn new(stream: S) -> Self {
+        StreamIter {
+            stream,
+            pos: 0,
+            len: 0,
+        }
+    }
+}
+
+impl<S: TraceStream> Iterator for StreamIter<S> {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        if self.pos == self.len {
+            self.len = self.stream.next_window(STREAM_ITER_CHUNK).len();
+            self.pos = 0;
+            if self.len == 0 {
+                return None;
+            }
+        }
+        let a = self.stream.window()[self.pos];
+        self.pos += 1;
+        Some(a)
     }
 }
 
@@ -70,15 +172,15 @@ pub trait Workload {
         threads: u32,
     ) -> Box<dyn Iterator<Item = MemoryAccess> + Send + '_>;
 
-    /// The access trace of thread `thread` as a chunked [`TraceStream`]
+    /// The access trace of thread `thread` as a windowed [`TraceStream`]
     /// — what the simulation hot loop consumes.
     ///
-    /// The default adapts [`Self::thread_trace`] through the blanket
-    /// iterator impl (correct, but dispatches per element); concrete
-    /// workloads override it to box their concrete iterator type so
-    /// `fill`'s inner loop monomorphises.
+    /// The default adapts [`Self::thread_trace`] through [`IterStream`]
+    /// (correct, but dispatches per element into the buffer); concrete
+    /// workloads override it with a native stream whose windows borrow
+    /// generator-owned storage.
     fn thread_stream(&self, thread: u32, threads: u32) -> Box<dyn TraceStream + Send + '_> {
-        Box::new(self.thread_trace(thread, threads))
+        Box::new(IterStream::new(self.thread_trace(thread, threads)))
     }
 
     /// Convenience: the single-threaded trace.
@@ -127,22 +229,49 @@ mod tests {
     #[test]
     fn default_stream_adapts_the_iterator() {
         let mut s = Dummy.thread_stream(0, 1);
-        let mut buf = Vec::new();
-        assert_eq!(s.fill(&mut buf, 16), 1);
-        assert_eq!(buf.len(), 1);
-        assert_eq!(s.fill(&mut buf, 16), 0, "exhausted stream yields 0");
+        assert!(s.window().is_empty(), "no window before the first call");
+        assert_eq!(s.next_window(16).len(), 1);
+        assert_eq!(s.window().len(), 1, "window re-borrows without advancing");
+        assert!(s.next_window(16).is_empty(), "exhausted stream yields 0");
     }
 
     #[test]
-    fn fill_respects_max_and_appends() {
+    fn fill_shim_respects_max_and_appends() {
         let accesses: Vec<MemoryAccess> = (0..10)
             .map(|i| MemoryAccess::read(VirtAddr::new(0x1000 + i * 8)))
             .collect();
-        let mut it = accesses.clone().into_iter();
+        let mut it = IterStream::new(accesses.clone().into_iter());
         let mut buf = Vec::new();
         assert_eq!(it.fill(&mut buf, 4), 4);
         assert_eq!(it.fill(&mut buf, 4), 4);
         assert_eq!(it.fill(&mut buf, 4), 2);
         assert_eq!(buf, accesses);
+    }
+
+    #[test]
+    fn windows_partition_the_trace_exactly() {
+        let accesses: Vec<MemoryAccess> = (0..10)
+            .map(|i| MemoryAccess::read(VirtAddr::new(0x1000 + i * 8)))
+            .collect();
+        let mut s = IterStream::new(accesses.clone().into_iter());
+        let mut seen = Vec::new();
+        loop {
+            let w = s.next_window(4);
+            if w.is_empty() {
+                break;
+            }
+            seen.extend_from_slice(w);
+        }
+        assert_eq!(seen, accesses);
+    }
+
+    #[test]
+    fn stream_iter_round_trips() {
+        let accesses: Vec<MemoryAccess> = (0..2500)
+            .map(|i| MemoryAccess::read(VirtAddr::new(0x1000 + i * 8)))
+            .collect();
+        let s = IterStream::new(accesses.clone().into_iter());
+        let back: Vec<MemoryAccess> = StreamIter::new(s).collect();
+        assert_eq!(back, accesses);
     }
 }
