@@ -108,6 +108,31 @@ grep -q '"consolidation":{"scenario":"consolidation","tenants":32' \
 grep -q '"fairness_index":' BENCH_consolidation.json
 grep -q '"storms":{"flushes":' BENCH_consolidation.json
 
+echo "== virt smoke: nested ablation deterministic, golden-pinned =="
+# The 2D-translation ablation must be byte-identical at any shard/job
+# count, match the committed golden fixture (stdout is the fixture plus
+# repro's trailing blank line), and embed under "virt" in the artifact.
+HPAGE_PROFILE=test ./target/release/repro --virt --sim-threads 1 --jobs 1 \
+    --bench-out BENCH_virt.json --quiet > /tmp/repro_virt_1.txt
+HPAGE_PROFILE=test ./target/release/repro --virt --sim-threads 8 --jobs 8 \
+    --bench-out /tmp/BENCH_virt_8.json --quiet > /tmp/repro_virt_8.txt
+cmp /tmp/repro_virt_1.txt /tmp/repro_virt_8.txt
+cmp <(cat crates/bench/tests/golden/virt_test.txt; echo) /tmp/repro_virt_1.txt
+grep -q 'verdict: PCCs in both dimensions beat either dimension alone' \
+    /tmp/repro_virt_1.txt
+grep -q '"virt":{"scenario":"virt"' BENCH_virt.json
+HPAGE_PROFILE=test ./target/release/hpsim --app bfs --policy pcc --nested \
+    --sim-threads 1 --quiet > /tmp/hpsim_nested_1.txt
+HPAGE_PROFILE=test ./target/release/hpsim --app bfs --policy pcc --nested \
+    --sim-threads 4 --quiet > /tmp/hpsim_nested_4.txt
+cmp /tmp/hpsim_nested_1.txt /tmp/hpsim_nested_4.txt
+grep -q 'host promotions' /tmp/hpsim_nested_1.txt
+if ./target/release/hpsim --app bfs --pcc-placement host --quiet \
+    > /dev/null 2>&1; then
+    echo "hpsim accepted --pcc-placement without --nested" >&2
+    exit 1
+fi
+
 echo "== supervisor smoke: injected panic -> partial output, exit 3 =="
 # With no retry budget the injected cell panic must degrade exactly one
 # section to an n/a row and exit with the partial-failure code, not 1.

@@ -24,7 +24,7 @@ use hpage_trace::{
     instantiate, AnyWorkload, AppId, Dataset, Hpt2Writer, MmapTrace, RecordedWorkload, TraceWriter,
     Workload,
 };
-use hpage_types::{derive_seed, ProcessId, PromotionPolicyKind};
+use hpage_types::{derive_seed, NestedConfig, PccPlacement, ProcessId, PromotionPolicyKind};
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::exit;
@@ -33,6 +33,7 @@ const USAGE: &str = "usage: hpsim --app <bfs|sssp|pr|canneal|omnetpp|xalancbmk|d
              [--dataset kronecker|twitter|web] [--policy base|ideal|linux|hawkeye|pcc|victim|replay]
              [--selection highest-frequency|round-robin] [--demotion] [--bias <pid,...>]
              [--threads N] [--frag PCT] [--budget-pct PCT] [--seed N] [--max-accesses N]
+             [--nested] [--pcc-placement guest|host|both|none]
              [--jobs N|-j N] [--sim-threads N] [--schedule-out FILE] [--schedule-in FILE] [--trace-out FILE]
              [--trace-in FILE] [--trace-format hpt1|hpt2] [--mmap]
              [--trace-info FILE] [--events FILE] [--metrics FILE]
@@ -44,6 +45,13 @@ parallelism: --jobs 2+ runs the 4KB baseline concurrently with the
              the simulation loop itself across N worker threads with
              barrier-synchronized intervals (default 1; reports and
              event streams are byte-identical at any N)
+virtualization: --nested runs the workload as a VM under nested (2D)
+             translation: every guest-walk step is host-translated through
+             per-VM host page tables, with 2D structure caches and a nested
+             TLB; --pcc-placement picks which dimension(s) run PCC-guided
+             promotion (default both; the printed baseline stays native 4KB,
+             so the speedup column reads as nested-vs-native). repro --virt
+             runs the full four-placement ablation
 tracing:     --trace-out dumps the access stream; --trace-format picks the
              container (hpt2, the default, is blocked with per-block restart
              points and checksums; hpt1 is the legacy flat delta stream);
@@ -114,6 +122,8 @@ struct Options {
     trace_info: Option<String>,
     events: Option<String>,
     metrics: Option<String>,
+    nested: bool,
+    pcc_placement: Option<PccPlacement>,
     ledger: bool,
     chrome_trace: Option<String>,
     faults: Option<String>,
@@ -148,6 +158,8 @@ fn parse_args() -> Options {
         trace_info: None,
         events: None,
         metrics: None,
+        nested: false,
+        pcc_placement: None,
         ledger: false,
         chrome_trace: None,
         faults: None,
@@ -259,6 +271,14 @@ fn parse_args() -> Options {
                 opts.trace_format = v;
             }
             "--mmap" => opts.mmap = true,
+            "--nested" => opts.nested = true,
+            "--pcc-placement" => {
+                let raw = value(&mut i);
+                opts.pcc_placement = Some(
+                    PccPlacement::parse(&raw)
+                        .unwrap_or_else(|e| die(&format!("--pcc-placement {raw}: {e}"))),
+                );
+            }
             "--trace-info" => opts.trace_info = Some(value(&mut i)),
             "--events" => opts.events = Some(value(&mut i)),
             "--metrics" => opts.metrics = Some(value(&mut i)),
@@ -440,11 +460,29 @@ fn main() {
         }
         other => die(&format!("unknown policy '{other}'")),
     };
+    if opts.pcc_placement.is_some() && !opts.nested {
+        die("--pcc-placement requires --nested");
+    }
+    let placement = opts.pcc_placement.unwrap_or_default();
+    // The placement gates each dimension's promotion engine: with the
+    // guest dimension disabled the requested guest policy is overridden
+    // to base pages, exactly as `repro --virt` does per ablation cell.
+    let policy = if opts.nested && !placement.guest_enabled() {
+        if opts.verbosity >= 1 && !matches!(policy, PolicyChoice::BasePages) {
+            eprintln!("hpsim: --pcc-placement {placement} disables the guest dimension; guest runs base pages");
+        }
+        PolicyChoice::BasePages
+    } else {
+        policy
+    };
 
     let sized = profile.clone().sized_for(footprint);
     let timing = sized.system.timing;
     let mut sim = Simulation::new(sized.system.clone(), policy);
     sim = sim.with_sim_threads(opts.sim_threads);
+    if opts.nested {
+        sim = sim.with_nested(NestedConfig::typical().with_placement(placement));
+    }
     if let Some(n) = opts.max_accesses.or(profile.max_accesses_per_core) {
         sim = sim.with_max_accesses_per_core(n);
     }
@@ -596,6 +634,23 @@ fn main() {
     ]);
     t.row(["promotions".into(), "0".into(), a.promotions.to_string()]);
     t.row(["demotions".into(), "0".into(), a.demotions.to_string()]);
+    if opts.nested {
+        t.row([
+            "host promotions".into(),
+            "0".into(),
+            a.host_promotions.to_string(),
+        ]);
+        t.row([
+            "host shootdowns".into(),
+            "0".into(),
+            a.host_shootdowns.to_string(),
+        ]);
+        t.row([
+            "2D refs/walk".into(),
+            "-".into(),
+            format!("{:.3}", a.walk_levels as f64 / a.walks.max(1) as f64),
+        ]);
+    }
     t.row([
         "huge pages at end".into(),
         base.huge_pages_at_end.to_string(),

@@ -22,13 +22,16 @@ use hpage_trace::AppId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--consolidation] [--tenants N] [--ledger-out FILE] [--json 1|6|7|ablation|datasets] [--jobs N|-j N] [--sim-threads N] [--bench-out FILE] [--journal FILE | --resume FILE] [--retries N] [--harness-faults FILE] [--soft-deadline-ms N] [--hard-deadline-ms N] [--quiet|-q] [--verbose|-v]
+const USAGE: &str = "usage: repro [--all] [--figure 1|2|5|6|7|8|9a|9b] [--table 1|2|storage] [--ablation] [--datasets] [--timeline] [--consolidation] [--tenants N] [--virt] [--ledger-out FILE] [--json 1|6|7|ablation|datasets] [--jobs N|-j N] [--sim-threads N] [--bench-out FILE] [--journal FILE | --resume FILE] [--retries N] [--harness-faults FILE] [--soft-deadline-ms N] [--hard-deadline-ms N] [--quiet|-q] [--verbose|-v]
 parallelism: --jobs N runs up to N simulation cells concurrently (default: available cores; tables are byte-identical at any N);
-           --sim-threads N shards the consolidation simulation loop across N worker threads (default 1;
+           --sim-threads N shards the consolidation/virt simulation loops across N worker threads (default 1;
            reports are byte-identical at any N — hpsim accepts the same flag for single-scenario runs)
 consolidation: --consolidation co-locates --tenants N mixed tenants (default 32) on one machine under a churn
            plan and reports the Jain fairness index over per-tenant promotion shares plus shootdown-storm
            metrics; both land in BENCH_repro.json under \"consolidation\"
+virtualization: --virt co-locates 4 mixed VMs under nested (2D) translation and ablates the PCC placement
+           (none|guest|host|both), reporting 2D walk cost per placement; the table lands in
+           BENCH_repro.json under \"virt\" (hpsim --nested runs one workload the same way)
 artifacts: runs that simulate anything write wall-clock timings to BENCH_repro.json (override with --bench-out);
            --ledger-out runs the PCC policy with the promotion ledger on, prints the
            predicted-vs-realized attribution summary, and writes per-region entries to FILE as JSONL
@@ -300,9 +303,10 @@ fn main() {
     };
     let sweep: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 100];
     let quick_sweep: &[u64] = &[0, 1, 4, 16, 100];
-    // Filled by the --consolidation section so the fairness/storm
-    // metrics ride along in the BENCH_repro.json artifact.
+    // Filled by the --consolidation / --virt sections so their metrics
+    // ride along in the BENCH_repro.json artifact.
     let consolidation_json: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
+    let virt_json: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
     let run_start = std::time::Instant::now();
 
     let mut i = 0;
@@ -525,6 +529,16 @@ fn main() {
                     })
                 );
             }
+            "--virt" => {
+                println!(
+                    "{}",
+                    sections.run(h, "virt", || {
+                        let (text, json) = render_virt(h, &profile, sim_threads);
+                        *virt_json.borrow_mut() = Some(json);
+                        text
+                    })
+                );
+            }
             "--json" => {
                 i += 1;
                 let which = args.get(i).map(String::as_str).unwrap_or("");
@@ -619,11 +633,19 @@ fn main() {
             eprintln!("repro: warning: {w}");
         }
         let consolidation = consolidation_json.borrow();
+        let virt = virt_json.borrow();
+        let mut extras: Vec<(&str, &str)> = Vec::new();
+        if let Some(j) = consolidation.as_deref() {
+            extras.push(("consolidation", j));
+        }
+        if let Some(j) = virt.as_deref() {
+            extras.push(("virt", j));
+        }
         let artifact = hpage_bench::json::bench_repro_json(
             h,
             profile_name,
             run_start.elapsed().as_secs_f64(),
-            consolidation.as_deref(),
+            &extras,
         );
         if let Err(e) = std::fs::write(&bench_out, artifact + "\n") {
             eprintln!("repro: cannot write {bench_out}: {e}");

@@ -5,7 +5,9 @@
 
 use hpage_obs::json::{esc, num};
 use hpage_perf::UtilityCurve;
-use hpage_sim::{AblationRow, ConsolidationReport, DatasetRow, Fig1Row, Fig6Row, Fig7Row, Harness};
+use hpage_sim::{
+    AblationRow, ConsolidationReport, DatasetRow, Fig1Row, Fig6Row, Fig7Row, Harness, VirtReport,
+};
 
 /// Serializes Fig. 1 rows.
 pub fn fig1_json(rows: &[Fig1Row]) -> String {
@@ -178,22 +180,71 @@ pub fn consolidation_json(r: &ConsolidationReport) -> String {
     )
 }
 
+/// Serializes the virtualization ablation: the per-placement geomean
+/// walk costs and the per-(placement, VM) rows.
+pub fn virt_json(r: &VirtReport) -> String {
+    let placements: Vec<String> = r
+        .placements
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"placement\":\"{}\",\"geomean_cost\":{},\"geomean_refs\":{},\
+                 \"policy\":\"{}\",\"guest_promotions\":{},\"host_promotions\":{},\
+                 \"host_shootdowns\":{}}}",
+                p.placement,
+                num(p.geomean_cost),
+                num(p.geomean_refs),
+                esc(&p.policy),
+                p.guest_promotions,
+                p.host_promotions,
+                p.host_shootdowns
+            )
+        })
+        .collect();
+    let rows: Vec<String> = r
+        .vm_rows
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"vm\":\"{}\",\"mix\":\"{}\",\"placement\":\"{}\",\"mean_refs\":{},\
+                 \"walk_ratio\":{},\"refs_per_access\":{},\"promotions\":{},\
+                 \"host_promotions\":{}}}",
+                esc(&v.vm),
+                esc(v.mix),
+                v.placement,
+                num(v.mean_refs),
+                num(v.walk_ratio),
+                num(v.refs_per_access),
+                v.promotions,
+                v.host_promotions
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scenario\":\"virt\",\"sim_threads\":{},\"placements\":[{}],\"rows\":[{}]}}",
+        r.sim_threads,
+        placements.join(","),
+        rows.join(",")
+    )
+}
+
 /// Serializes the `BENCH_repro.json` perf artifact: run metadata, the
 /// harness's per-section and per-cell wall-clock timings, workload-cache
-/// effectiveness, any rendering warnings, and — when the run included a
-/// consolidation scenario — its fairness/storm metrics under a
-/// `"consolidation"` key (pass the [`consolidation_json`] value as
-/// `extra`).
+/// effectiveness, any rendering warnings, and any scenario fragments the
+/// run produced — each `(key, json)` pair in `extras` embeds verbatim
+/// under its key (e.g. `("consolidation", consolidation_json(..))`,
+/// `("virt", virt_json(..))`).
 pub fn bench_repro_json(
     h: &Harness,
     profile_name: &str,
     total_wall_s: f64,
-    extra: Option<&str>,
+    extras: &[(&str, &str)],
 ) -> String {
     let stats = h.cache().stats();
-    let consolidation = extra
-        .map(|json| format!("\"consolidation\":{json},"))
-        .unwrap_or_default();
+    let scenarios: String = extras
+        .iter()
+        .map(|(key, json)| format!("\"{}\":{json},", esc(key)))
+        .collect();
     format!(
         "{{\"artifact\":\"repro-bench\",\"jobs\":{},\"profile\":\"{}\",\"total_wall_s\":{},\
          \"workload_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},{}{}}}",
@@ -203,7 +254,7 @@ pub fn bench_repro_json(
         h.cache().len(),
         stats.hits,
         stats.misses,
-        consolidation,
+        scenarios,
         h.log().to_json_fields()
     )
 }
@@ -255,7 +306,7 @@ mod tests {
         h.log().record_section("figure 1", 1.5);
         h.log().record_cell("fig1/BFS/base-4k", 0.7);
         h.log().warn("something partial");
-        let j = bench_repro_json(&h, "test", 2.25, None);
+        let j = bench_repro_json(&h, "test", 2.25, &[]);
         hpage_obs::json::assert_json_shape(&j);
         assert!(j.starts_with("{\"artifact\":\"repro-bench\",\"jobs\":2"));
         assert!(j.contains("\"profile\":\"test\""));
@@ -307,9 +358,47 @@ mod tests {
         // And it embeds cleanly in the bench artifact.
         let h = Harness::new(1);
         h.log().record_cell("consolidation/2t/pcc", 0.3);
-        let artifact = bench_repro_json(&h, "test", 0.5, Some(&j));
+        let artifact = bench_repro_json(&h, "test", 0.5, &[("consolidation", &j)]);
         hpage_obs::json::assert_json_shape(&artifact);
         assert!(artifact.contains("\"consolidation\":{\"scenario\":\"consolidation\""));
+    }
+
+    #[test]
+    fn virt_artifact_shape() {
+        use hpage_sim::{VirtPlacementRow, VirtVmRow};
+        let r = VirtReport {
+            sim_threads: 2,
+            vm_rows: vec![VirtVmRow {
+                vm: "vm0-zipf".into(),
+                mix: "zipf",
+                placement: hpage_types::PccPlacement::Both,
+                mean_refs: 2.5,
+                walk_ratio: 0.05,
+                refs_per_access: 0.125,
+                promotions: 3,
+                host_promotions: 2,
+            }],
+            placements: vec![VirtPlacementRow {
+                placement: hpage_types::PccPlacement::Both,
+                geomean_refs: 2.5,
+                geomean_cost: 0.125,
+                policy: "pcc-highest-frequency+nested-both".into(),
+                guest_promotions: 3,
+                host_promotions: 2,
+                host_shootdowns: 2,
+            }],
+        };
+        let j = virt_json(&r);
+        hpage_obs::json::assert_json_shape(&j);
+        assert!(j.contains("\"scenario\":\"virt\""));
+        assert!(j.contains("\"placement\":\"both\""));
+        assert!(j.contains("\"geomean_cost\":0.125000"));
+        assert!(j.contains("\"vm\":\"vm0-zipf\""));
+        let h = Harness::new(1);
+        h.log().record_cell("virt/4vm/both", 0.2);
+        let artifact = bench_repro_json(&h, "test", 0.5, &[("virt", &j)]);
+        hpage_obs::json::assert_json_shape(&artifact);
+        assert!(artifact.contains("\"virt\":{\"scenario\":\"virt\""));
     }
 
     #[test]

@@ -453,6 +453,80 @@ pub fn render_consolidation(
     (text, json)
 }
 
+/// Runs the virtualization ablation (four mixed VMs under nested 2D
+/// translation, once per PCC placement) and renders the per-VM table,
+/// the placement geomean summary, and the FHPM verdict line. Returns
+/// `(table text, JSON fragment)`; the fragment goes into
+/// `BENCH_repro.json` via [`json::bench_repro_json`]'s `extras`.
+pub fn render_virt(h: &Harness, profile: &SimProfile, sim_threads: usize) -> (String, String) {
+    use hpage_types::PccPlacement;
+    let cfg = hpage_sim::VirtConfig::for_profile(profile, sim_threads);
+    let r = hpage_sim::virt_on(h, profile, &cfg);
+    let mut t = TextTable::new([
+        "placement",
+        "vm",
+        "mix",
+        "refs/walk",
+        "PTW rate",
+        "refs/access",
+        "guest promos",
+        "host promos",
+    ]);
+    for row in &r.vm_rows {
+        t.row([
+            row.placement.to_string(),
+            row.vm.clone(),
+            row.mix.to_string(),
+            format!("{:.3}", row.mean_refs),
+            fmt_pct(row.walk_ratio),
+            format!("{:.4}", row.refs_per_access),
+            row.promotions.to_string(),
+            row.host_promotions.to_string(),
+        ]);
+    }
+    let mut s = TextTable::new([
+        "placement",
+        "geomean refs/access",
+        "geomean refs/walk",
+        "guest promos",
+        "host promos",
+        "host shootdowns",
+    ]);
+    for p in &r.placements {
+        s.row([
+            p.placement.to_string(),
+            format!("{:.4}", p.geomean_cost),
+            format!("{:.3}", p.geomean_refs),
+            p.guest_promotions.to_string(),
+            p.host_promotions.to_string(),
+            p.host_shootdowns.to_string(),
+        ]);
+    }
+    let both = r.placement(PccPlacement::Both);
+    let guest = r.placement(PccPlacement::Guest);
+    let host = r.placement(PccPlacement::Host);
+    let verdict = if both.geomean_cost < guest.geomean_cost && both.geomean_cost < host.geomean_cost
+    {
+        "verdict: PCCs in both dimensions beat either dimension alone on geomean walk cost"
+            .to_string()
+    } else {
+        h.log()
+            .warn("virt: both-placement failed to beat a single placement");
+        format!(
+            "verdict: ANOMALY — both ({:.4}) does not beat guest ({:.4}) and host ({:.4})",
+            both.geomean_cost, guest.geomean_cost, host.geomean_cost
+        )
+    };
+    // No --sim-threads in the header: the text must be byte-identical at
+    // any shard count (CI cmp's 1 vs 8); the count lives in the JSON.
+    let text = format!(
+        "Virtualization — 4 VMs under nested (2D) translation, PCC placement ablation\n\
+         {t}\n{s}\n{verdict}\n"
+    );
+    let json = json::virt_json(&r);
+    (text, json)
+}
+
 /// Renders the design-choice ablation table (DESIGN.md's ablation
 /// targets: cold-miss filter, decay, replacement, PWC alternative).
 pub fn render_ablation(h: &Harness, profile: &SimProfile, app: AppId) -> String {
@@ -683,6 +757,29 @@ mod tests {
                 .iter()
                 .any(|c| c.label.starts_with("consolidation/8t")),
             "the run is timed into the bench artifact"
+        );
+    }
+
+    #[test]
+    fn virt_render_reports_verdict_at_any_jobs() {
+        let mut p = SimProfile::test();
+        p.max_accesses_per_core = Some(1_500_000);
+        let (text, json) = render_virt(&Harness::sequential(), &p, 1);
+        assert!(text.contains("PCC placement ablation"));
+        assert!(
+            text.contains("verdict: PCCs in both dimensions beat either dimension alone"),
+            "verdict line must confirm the FHPM claim:\n{text}"
+        );
+        for placement in ["none", "guest", "host", "both"] {
+            assert!(text.contains(placement), "{placement} row renders");
+        }
+        hpage_obs::json::assert_json_shape(&json);
+        assert!(json.contains("\"scenario\":\"virt\""));
+        let par = render_virt(&Harness::new(4), &p, 1);
+        assert_eq!(
+            (text, json),
+            par,
+            "virt must be byte-identical at any --jobs"
         );
     }
 

@@ -1,0 +1,37 @@
+//! Golden-fixture diff test for the nested (2D) translation ablation.
+//!
+//! `tests/golden/virt_test.txt` pins the full `repro --virt` section —
+//! per-VM rows, placement geomeans, and the verdict line — under the
+//! `test` profile at `--sim-threads 1`. Byte-for-byte reproduction
+//! proves the 2D walker, the per-VM host dimension, and the placement
+//! gating stay deterministic across refactors; the FHPM ordering
+//! (`both` beating either single placement) is additionally asserted
+//! programmatically so a regenerated fixture can never silently encode
+//! a regression of the paper's claim.
+//!
+//! Regenerate (only after an *intentional* semantic change):
+//!
+//! ```text
+//! HPAGE_PROFILE=test cargo run --release -p hpage-bench --bin repro -- --virt -j 1 -q
+//! ```
+//! keeping everything up to (not including) the trailing blank line.
+
+use hpage_bench::render_virt;
+use hpage_sim::{Harness, SimProfile};
+
+#[test]
+fn virt_matches_committed_golden() {
+    let (got, json) = render_virt(&Harness::sequential(), &SimProfile::test(), 1);
+    // The claim itself, independent of fixture bytes.
+    assert!(
+        got.contains("verdict: PCCs in both dimensions beat either dimension alone"),
+        "FHPM ordering regressed:\n{got}"
+    );
+    hpage_obs::json::assert_json_shape(&json);
+    let want = include_str!("golden/virt_test.txt");
+    assert!(
+        got == want,
+        "virt output drifted from the committed golden fixture\n\
+         --- expected ---\n{want}\n--- got ---\n{got}"
+    );
+}

@@ -255,10 +255,21 @@ pub enum Event {
         /// Which attempt was abandoned (1-based).
         attempt: u32,
     },
+    /// Nested mode: the host promoted a guest-physical region to a huge
+    /// page (the guest-side decision is the ordinary
+    /// [`PromotionDecision`](Event::PromotionDecision)).
+    HostPromotion {
+        /// The VM (pid of the guest process) whose host mapping changed.
+        process: ProcessId,
+        /// The promoted guest-physical 2 MiB region.
+        region: Vpn,
+        /// The host policy's predicted benefit at decision time.
+        predicted_walks: u64,
+    },
 }
 
 /// Every event kind's wire name, in emission-summary order.
-pub const EVENT_KINDS: [&str; 20] = [
+pub const EVENT_KINDS: [&str; 21] = [
     "tlb_hit",
     "walk",
     "fault",
@@ -279,6 +290,7 @@ pub const EVENT_KINDS: [&str; 20] = [
     "cell_retry",
     "cell_deadline_soft",
     "cell_deadline_hard",
+    "host_promote",
 ];
 
 fn size_str(size: PageSize) -> &'static str {
@@ -314,6 +326,7 @@ impl Event {
             Event::CellRetried { .. } => "cell_retry",
             Event::CellSoftDeadline { .. } => "cell_deadline_soft",
             Event::CellHardDeadline { .. } => "cell_deadline_hard",
+            Event::HostPromotion { .. } => "host_promote",
         }
     }
 
@@ -491,6 +504,16 @@ impl Event {
             Event::CellHardDeadline { cell, attempt } => {
                 format!("\"cell\":{cell},\"attempt\":{attempt}")
             }
+            Event::HostPromotion {
+                process,
+                region,
+                predicted_walks,
+            } => format!(
+                "\"process\":{},\"region\":{},\"predicted_walks\":{}",
+                process.0,
+                region.index(),
+                predicted_walks
+            ),
         };
         format!("{{\"at\":{at},\"type\":\"{kind}\",{body}}}")
     }
@@ -617,6 +640,11 @@ mod tests {
             Event::CellHardDeadline {
                 cell: 0,
                 attempt: 2,
+            },
+            Event::HostPromotion {
+                process: ProcessId(1),
+                region: Vpn::new(0x2000_0000, PageSize::Huge2M),
+                predicted_walks: 17,
             },
         ]
     }

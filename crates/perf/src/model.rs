@@ -31,6 +31,13 @@ pub struct RunCounters {
     pub pages_collapsed: u64,
     /// TLB shootdowns broadcast.
     pub shootdowns: u64,
+    /// Nested mode: host-dimension huge-page promotions (guest
+    /// promotions are counted in `promotions`). Zero in native runs.
+    pub host_promotions: u64,
+    /// Nested mode: host-side shootdowns (nested-TLB / host
+    /// structure-cache invalidations after a host remap). Zero in
+    /// native runs.
+    pub host_shootdowns: u64,
     /// Data-cache L2 hits (zero unless the cache model is enabled).
     pub cache_l2_hits: u64,
     /// Data-cache LLC hits.
@@ -56,6 +63,8 @@ impl RunCounters {
             pages_migrated: self.pages_migrated + other.pages_migrated,
             pages_collapsed: self.pages_collapsed + other.pages_collapsed,
             shootdowns: self.shootdowns + other.shootdowns,
+            host_promotions: self.host_promotions + other.host_promotions,
+            host_shootdowns: self.host_shootdowns + other.host_shootdowns,
             cache_l2_hits: self.cache_l2_hits + other.cache_l2_hits,
             cache_llc_hits: self.cache_llc_hits + other.cache_llc_hits,
             cache_memory: self.cache_memory + other.cache_memory,
@@ -79,7 +88,10 @@ impl RunCounters {
         // A full 4-level walk costs walk_latency; shorter walks (huge
         // leaves) cost proportionally less.
         let walk = self.walk_levels as f64 * timing.walk_latency as f64 / 4.0;
-        let promo = (self.promotions + self.demotions) as f64 * timing.promotion_cost as f64;
+        // Host promotions remap host frames and shoot down nested
+        // translations, the same class of work as a guest promotion.
+        let promo = (self.promotions + self.demotions + self.host_promotions) as f64
+            * timing.promotion_cost as f64;
         let migrate = (self.pages_migrated + self.pages_collapsed) as f64
             * timing.migrate_cost_per_page as f64;
         // Cache-model terms are zero unless the optional cache hierarchy
@@ -211,15 +223,34 @@ mod tests {
             pages_migrated: 10,
             pages_collapsed: 11,
             shootdowns: 12,
-            cache_l2_hits: 13,
-            cache_llc_hits: 14,
-            cache_memory: 15,
+            host_promotions: 13,
+            host_shootdowns: 14,
+            cache_l2_hits: 15,
+            cache_llc_hits: 16,
+            cache_memory: 17,
         };
         let m = a.merged(&a);
         assert_eq!(m.accesses, 2);
         assert_eq!(m.shootdowns, 24);
         assert_eq!(m.walk_levels, 10);
-        assert_eq!(m.cache_memory, 30);
+        assert_eq!(m.host_promotions, 26);
+        assert_eq!(m.host_shootdowns, 28);
+        assert_eq!(m.cache_memory, 34);
+    }
+
+    #[test]
+    fn host_promotions_charged_like_promotions() {
+        let t = timing();
+        let without = RunCounters {
+            accesses: 1000,
+            ..RunCounters::default()
+        };
+        let with = RunCounters {
+            host_promotions: 3,
+            ..without
+        };
+        let delta = with.cycles(&t) - without.cycles(&t);
+        assert!((delta - 3.0 * t.promotion_cost as f64).abs() < 1e-9);
     }
 
     #[test]

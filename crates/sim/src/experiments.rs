@@ -21,7 +21,7 @@ use hpage_trace::{
     AnyWorkload, AppId, Dataset, Pattern, ReuseAnalyzer, SyntheticBuilder, SyntheticWorkload,
     Workload,
 };
-use hpage_types::{derive_seed, PromotionPolicyKind};
+use hpage_types::{derive_seed, NestedConfig, PccPlacement, PromotionPolicyKind};
 use std::sync::Arc;
 
 fn simulation(profile: &SimProfile, policy: PolicyChoice, footprint: u64) -> Simulation {
@@ -888,7 +888,7 @@ pub fn ablation_design_choices_on(
     // geometry scales with the profile's L2 TLB so scaled-down runs see
     // realistic structure-cache pressure (see PwcConfig::scaled_to_tlb).
     let mut pwc = profile.clone();
-    pwc.system.pwc = Some(hpage_types::PwcConfig::scaled_to_tlb(
+    pwc.system.pwc = Some(hpage_types::PwcConfig::scaled_to_tlb_clamped(
         profile.system.tlb.l2.entries,
     ));
     cells.push(plain("pwc-only", &pwc, PolicyChoice::BasePages));
@@ -1200,6 +1200,225 @@ pub fn consolidation_on<R: Recorder>(
     }
 }
 
+// ---------------------------------------------------------------------
+// Nested (2D) virtualization: the PCC-placement ablation
+// ---------------------------------------------------------------------
+
+/// Sizing knobs for the virtualization ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtConfig {
+    /// Accesses issued by a full-length VM (short-trace shapes drain
+    /// earlier, mirroring the consolidation mix).
+    pub accesses_per_vm: u64,
+    /// Worker threads for the sharded simulation loop; results are
+    /// byte-identical at any value.
+    pub sim_threads: usize,
+}
+
+impl VirtConfig {
+    /// Sizes a run for `profile`: each full-length VM covers about four
+    /// promotion intervals, capped so paper-scale intervals stay
+    /// tractable.
+    pub fn for_profile(profile: &SimProfile, sim_threads: usize) -> Self {
+        VirtConfig {
+            accesses_per_vm: profile
+                .system
+                .promotion_interval_accesses
+                .saturating_mul(4)
+                .min(1_000_000),
+            sim_threads,
+        }
+    }
+}
+
+/// One VM's outcome under one PCC placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtVmRow {
+    /// VM label (`vm0-zipf`, ...).
+    pub vm: String,
+    /// Workload shape this VM runs.
+    pub mix: &'static str,
+    /// Which dimension(s) ran a PCC-guided promotion policy.
+    pub placement: PccPlacement,
+    /// Mean effective references per 2D walk (1 ≤ mean ≤ 24).
+    pub mean_refs: f64,
+    /// The VM's residual page-table-walk rate.
+    pub walk_ratio: f64,
+    /// 2D page-table references per memory access
+    /// (`walk_ratio · mean_refs`) — the walk-cost metric the ablation
+    /// compares on. Guest promotion lowers it by eliminating walks,
+    /// host promotion by cheapening the walks that remain; per-walk
+    /// means alone would punish guest reach for leaving only the
+    /// expensive cold tail behind.
+    pub refs_per_access: f64,
+    /// Guest-dimension promotions attributed to the VM.
+    pub promotions: u64,
+    /// Host-dimension promotions performed for the VM.
+    pub host_promotions: u64,
+}
+
+/// One placement's summary over all VMs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtPlacementRow {
+    /// Which dimension(s) ran a PCC-guided promotion policy.
+    pub placement: PccPlacement,
+    /// Geomean of the per-VM mean references per walk.
+    pub geomean_refs: f64,
+    /// Geomean of the per-VM [`VirtVmRow::refs_per_access`] — the
+    /// ablation's headline walk-cost number (lower is better).
+    pub geomean_cost: f64,
+    /// Policy label of the underlying simulation (carries the
+    /// `+nested-<placement>` suffix).
+    pub policy: String,
+    /// Guest-dimension promotions summed over the VMs.
+    pub guest_promotions: u64,
+    /// Host-dimension promotions summed over the VMs.
+    pub host_promotions: u64,
+    /// Nested-TLB/host-structure shootdowns from host promotions.
+    pub host_shootdowns: u64,
+}
+
+/// Everything measured by the virtualization ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtReport {
+    /// Shard count every placement's simulation ran with.
+    pub sim_threads: usize,
+    /// Per-(placement, VM) outcomes: placements in [`PccPlacement::ALL`]
+    /// order, VMs in pid order within each.
+    pub vm_rows: Vec<VirtVmRow>,
+    /// Placement summaries, in [`PccPlacement::ALL`] order.
+    pub placements: Vec<VirtPlacementRow>,
+}
+
+impl VirtReport {
+    /// The placement summary for `placement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report does not contain the placement (it always
+    /// contains all of [`PccPlacement::ALL`]).
+    pub fn placement(&self, placement: PccPlacement) -> &VirtPlacementRow {
+        self.placements
+            .iter()
+            .find(|r| r.placement == placement)
+            .expect("report covers every placement")
+    }
+}
+
+/// The four VM shapes of the virtualization mix — the consolidation
+/// shapes, reseeded on an independent `virt/` purpose stream so the two
+/// scenarios' layouts never correlate.
+fn virt_vm(i: usize, accesses: u64) -> (SyntheticWorkload, &'static str) {
+    let (mix, mb, pattern, writes) = match i % 4 {
+        0 => (
+            "zipf",
+            8u64,
+            Pattern::Zipf {
+                count: accesses,
+                exponent: 0.9,
+            },
+            10,
+        ),
+        1 => (
+            "stream",
+            6,
+            Pattern::Sequential {
+                stride: 1,
+                count: accesses * 3 / 4,
+            },
+            20,
+        ),
+        2 => ("uniform", 8, Pattern::UniformRandom { count: accesses }, 0),
+        _ => (
+            "chase",
+            4,
+            Pattern::PointerChase {
+                count: accesses / 2,
+            },
+            0,
+        ),
+    };
+    let name = format!("vm{i}-{mix}");
+    let seed = derive_seed(SEED, &format!("virt/{i}"));
+    let mut b = SyntheticBuilder::new(name, seed);
+    let arr = b.array(8, (mb << 20) / 8);
+    b.phase(arr, pattern, writes);
+    (b.build(), mix)
+}
+
+/// Runs the virtualization ablation: four mixed VMs co-located under
+/// nested (2D) translation, once per PCC placement (`guest`, `host`,
+/// `both`, `none`). The guest dimension runs the paper's PCC policy
+/// when the placement enables it (base pages otherwise); the host
+/// dimension is driven entirely by the placement. One cell per
+/// placement goes to `h`, and rows assemble in submission order, so the
+/// table is byte-identical at any `--jobs` and any `--sim-threads`.
+pub fn virt_on(h: &Harness, profile: &SimProfile, cfg: &VirtConfig) -> VirtReport {
+    let vms: Vec<(SyntheticWorkload, &'static str)> =
+        (0..4).map(|i| virt_vm(i, cfg.accesses_per_vm)).collect();
+    let footprint: u64 = vms.iter().map(|(w, _)| w.footprint_bytes()).sum();
+    let shared: Vec<SharedWorkload> = vms
+        .iter()
+        .map(|(w, _)| Arc::new(w.clone()) as SharedWorkload)
+        .collect();
+    let cells: Vec<Cell> = PccPlacement::ALL
+        .iter()
+        .map(|&placement| {
+            let guest_policy = if placement.guest_enabled() {
+                PolicyChoice::pcc_default()
+            } else {
+                PolicyChoice::BasePages
+            };
+            let sim = simulation(profile, guest_policy, footprint)
+                .with_nested(NestedConfig::typical().with_placement(placement))
+                .with_sim_threads(cfg.sim_threads);
+            Cell::multiprocess(
+                format!("virt/4vm/{placement}"),
+                sim,
+                shared.iter().map(|w| (Arc::clone(w), 1)).collect(),
+            )
+        })
+        .collect();
+    let reports = h.run(cells);
+
+    let mut vm_rows = Vec::new();
+    let mut placements = Vec::new();
+    for (&placement, report) in PccPlacement::ALL.iter().zip(&reports) {
+        let mut means = Vec::new();
+        let mut costs = Vec::new();
+        for ((w, mix), c) in vms.iter().zip(&report.per_process) {
+            let mean_refs = c.walk_levels as f64 / c.walks.max(1) as f64;
+            let refs_per_access = c.walk_ratio() * mean_refs;
+            means.push(mean_refs);
+            costs.push(refs_per_access);
+            vm_rows.push(VirtVmRow {
+                vm: w.name().to_string(),
+                mix,
+                placement,
+                mean_refs,
+                walk_ratio: c.walk_ratio(),
+                refs_per_access,
+                promotions: c.promotions,
+                host_promotions: c.host_promotions,
+            });
+        }
+        placements.push(VirtPlacementRow {
+            placement,
+            geomean_refs: geomean(&means).expect("four VMs, all walking"),
+            geomean_cost: geomean(&costs).expect("four VMs, all walking"),
+            policy: report.policy.clone(),
+            guest_promotions: report.aggregate.promotions,
+            host_promotions: report.aggregate.host_promotions,
+            host_shootdowns: report.aggregate.host_shootdowns,
+        });
+    }
+    VirtReport {
+        sim_threads: cfg.sim_threads,
+        vm_rows,
+        placements,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1209,6 +1428,77 @@ mod tests {
         let mut p = SimProfile::test();
         p.max_accesses_per_core = Some(1_500_000);
         p
+    }
+
+    #[test]
+    fn virt_ablation_both_beats_single_placements() {
+        // The FHPM conclusion the ablation reproduces: PCCs in both
+        // dimensions beat either dimension alone on geomean 2D walk
+        // cost, and every placement beats running none.
+        let p = profile();
+        let cfg = VirtConfig::for_profile(&p, 1);
+        let r = virt_on(&Harness::sequential(), &p, &cfg);
+        assert_eq!(r.vm_rows.len(), 16, "4 placements x 4 VMs");
+        for row in &r.vm_rows {
+            assert!(
+                (1.0..=24.0).contains(&row.mean_refs),
+                "{}/{}: mean 2D references {} out of range",
+                row.placement,
+                row.vm,
+                row.mean_refs
+            );
+        }
+        let both = r.placement(PccPlacement::Both);
+        let guest = r.placement(PccPlacement::Guest);
+        let host = r.placement(PccPlacement::Host);
+        let none = r.placement(PccPlacement::None);
+        assert!(
+            both.geomean_cost < guest.geomean_cost,
+            "both ({:.4}) must beat guest-only ({:.4})",
+            both.geomean_cost,
+            guest.geomean_cost
+        );
+        assert!(
+            both.geomean_cost < host.geomean_cost,
+            "both ({:.4}) must beat host-only ({:.4})",
+            both.geomean_cost,
+            host.geomean_cost
+        );
+        assert!(guest.geomean_cost < none.geomean_cost);
+        assert!(host.geomean_cost < none.geomean_cost);
+        // Host promotion cheapens the walks that remain; per-walk means
+        // capture that dimension alone.
+        assert!(host.geomean_refs < none.geomean_refs);
+        // Placement gates each dimension's promotion engine.
+        assert!(both.guest_promotions > 0 && both.host_promotions > 0);
+        assert!(guest.host_promotions == 0 && guest.guest_promotions > 0);
+        assert!(host.guest_promotions == 0 && host.host_promotions > 0);
+        assert!(none.guest_promotions == 0 && none.host_promotions == 0);
+        assert!(both.policy.ends_with("+nested-both"));
+        // And the ablation reproduces byte-for-byte across both axes of
+        // parallelism: the harness job pool and the sharded sim loop.
+        let par = virt_on(&Harness::new(8), &p, &cfg);
+        assert_eq!(r, par, "virt rows must not depend on --jobs");
+        let sharded = virt_on(
+            &Harness::sequential(),
+            &p,
+            &VirtConfig {
+                sim_threads: 8,
+                ..cfg
+            },
+        );
+        assert_eq!(r.vm_rows, sharded.vm_rows, "--sim-threads changes nothing");
+        assert_eq!(
+            r.placements
+                .iter()
+                .map(|row| (row.placement, row.geomean_cost, row.policy.clone()))
+                .collect::<Vec<_>>(),
+            sharded
+                .placements
+                .iter()
+                .map(|row| (row.placement, row.geomean_cost, row.policy.clone()))
+                .collect::<Vec<_>>(),
+        );
     }
 
     #[test]
@@ -1223,7 +1513,7 @@ mod tests {
         for app in AppId::ALL {
             let w = hpage_trace::instantiate(app, Dataset::Kronecker, base.workloads, 0xC0FFEE);
             let mut p = base.clone().sized_for(w.footprint_bytes());
-            p.system.pwc = Some(hpage_types::PwcConfig::scaled_to_tlb(
+            p.system.pwc = Some(hpage_types::PwcConfig::scaled_to_tlb_clamped(
                 p.system.tlb.l2.entries,
             ));
             let r = Simulation::new(p.system.clone(), PolicyChoice::BasePages)

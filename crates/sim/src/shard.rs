@@ -62,15 +62,20 @@ use hpage_obs::{
     TlbLevel, FREQ_HISTOGRAM_BUCKETS,
 };
 use hpage_os::{
-    AddressSpace, AllocGate, AuditViolation, Auditor, FaultGrant, FaultOutcome, HugePagePolicy,
-    OsState, PhysicalMemory, PromotionBudget, PromotionLedger, PromotionSchedule, RegionWalks,
-    ScheduledPromotion,
+    AddressSpace, AllocGate, AuditViolation, Auditor, BasePagesPolicy, FaultGrant, FaultOutcome,
+    HugePagePolicy, OsState, PccPolicy, PhysicalMemory, PromotionBudget, PromotionLedger,
+    PromotionSchedule, RegionWalks, ScheduledPromotion,
 };
 use hpage_pcc::{Pcc, PccBank, PccEvent};
 use hpage_perf::RunCounters;
-use hpage_tlb::{PageWalkCache, TlbHierarchy, TlbOutcome, Translation, WalkResult};
+use hpage_tlb::{
+    HostSpace, NestedPwc, PageWalkCache, TlbHierarchy, TlbOutcome, Translation, WalkResult,
+};
 use hpage_trace::TraceStream;
-use hpage_types::{CoreId, HpageError, MemoryAccess, PageSize, ProcessId, VirtAddr, Vpn};
+use hpage_types::{
+    derive_seed, CoreId, HpageError, MemoryAccess, NestedConfig, PageSize, ProcessId,
+    PromotionPolicyKind, VirtAddr, Vpn,
+};
 
 use crate::simulation::{ProcessSpec, SimReport, Simulation};
 
@@ -99,12 +104,101 @@ struct FaultRequest {
     wants_huge: bool,
 }
 
+/// The host half of one guest VM in a nested run: a private host
+/// address space (the VM's guest-physical memory, faulted in on
+/// demand), the host promotion engine, and — when the PCC placement
+/// enables the host dimension — a one-core host PCC bank fed from the
+/// host walks the [`NestedPwc`] actually performs.
+///
+/// Every core of a process lives on the shard that owns the process's
+/// guest address space, so the whole VM travels with that shard between
+/// barriers; the coordinator reclaims it at each interval boundary to
+/// run the single-threaded host promotion phase in pid order.
+struct NestedVm {
+    /// Host OS state: one space (gPA→hPA) over a private
+    /// [`PhysicalMemory`] sized past the guest's.
+    os: OsState,
+    /// Host-dimension promotion engine ([`PccPolicy`] when the
+    /// placement enables the host PCC, [`BasePagesPolicy`] otherwise —
+    /// host faults never allocate huge frames, so without a host PCC
+    /// the host dimension stays all-4K). `Send` because the VM travels
+    /// with its shard's worker thread between barriers.
+    policy: Box<dyn HugePagePolicy + Send>,
+    /// The host PCC bank (one core): resident here only across interval
+    /// barriers.
+    bank: Option<PccBank>,
+    /// The bank's single PCC, taken out while the VM executes on a
+    /// worker so the walk path feeds it without bank indirection.
+    pcc: Option<Pcc>,
+    /// Per-VM invariant auditor over the host OS state.
+    auditor: Option<Auditor>,
+}
+
+impl NestedVm {
+    /// Builds the host half of VM `pid`. Host physical memory is sized
+    /// at twice the guest's plus slack: data gPAs are bounded by guest
+    /// RAM, and the extra headroom covers guest table pages plus the
+    /// bloat of host promotions over sparsely-touched regions.
+    fn new(sim: &Simulation, nested: &NestedConfig, pid: usize) -> Result<NestedVm, HpageError> {
+        let mut phys = PhysicalMemory::new(sim.config.phys_mem_bytes * 2 + (64 << 20));
+        if sim.fragmentation_pct > 0 {
+            // An independent stream per VM: host fragmentation must not
+            // correlate with the guest's (or another VM's) layout.
+            let seed = derive_seed(sim.fragmentation_seed, &format!("host-frag-{pid}"));
+            phys.fragment(sim.fragmentation_pct, seed);
+        }
+        let os = OsState::new(phys, 1, vec![0])?;
+        let host_pcc = nested.placement.host_enabled();
+        let policy: Box<dyn HugePagePolicy + Send> = if host_pcc {
+            Box::new(PccPolicy::new(
+                PromotionPolicyKind::HighestFrequency,
+                sim.config.regions_to_promote,
+            ))
+        } else {
+            Box::new(BasePagesPolicy)
+        };
+        let mut bank = host_pcc.then(|| {
+            PccBank::with_replacement(1, sim.config.pcc_2m, PageSize::Huge2M, sim.replacement)
+        });
+        let pcc = bank.as_mut().map(|b| b.take(CoreId(0)));
+        let auditor = sim.audit.then(|| Auditor::new(&os));
+        Ok(NestedVm {
+            os,
+            policy,
+            bank,
+            pcc,
+            auditor,
+        })
+    }
+}
+
+/// [`HostSpace`] over a VM's host address space: a host walk that finds
+/// the guest-physical page unmapped faults it in with a base frame
+/// (host huge pages come only from host promotion). The mapped check
+/// uses `translate` (no accessed bits) so a first touch still reports
+/// a clear PMD A-bit to the host PCC's cold-miss filter.
+struct VmHost<'a> {
+    space: &'a mut AddressSpace,
+    phys: &'a mut PhysicalMemory,
+}
+
+impl HostSpace for VmHost<'_> {
+    fn walk_gpa(&mut self, gpa: VirtAddr) -> Result<WalkResult, HpageError> {
+        if self.space.page_table().translate(gpa).is_none() {
+            self.space.fault(gpa, false, self.phys)?;
+        }
+        self.space.page_table_mut().walk(gpa)
+    }
+}
+
 /// OS-visible state a shard surrenders at an interval barrier.
 #[derive(Default)]
 struct OsSlice {
     spaces: Vec<(usize, AddressSpace)>,
+    vms: Vec<(usize, NestedVm)>,
     tlbs: Vec<(usize, TlbHierarchy)>,
     pwcs: Vec<(usize, PageWalkCache)>,
+    npwcs: Vec<(usize, NestedPwc)>,
     pccs: Vec<(usize, Pcc)>,
     pccs_1g: Vec<(usize, Pcc)>,
     /// Running per-core counters (overwrite, not delta). Surrendered at
@@ -115,6 +209,9 @@ struct OsSlice {
     /// Drained per-region walk tallies, merged (summed) into the
     /// coordinator's ledger feed.
     region_walks: Vec<((u32, u64), u64)>,
+    /// Same, for the host dimension of a nested run, keyed by
+    /// `(VM pid, gPA 2 MiB region index)`.
+    host_region_walks: Vec<((u32, u64), u64)>,
 }
 
 enum ToShard {
@@ -179,6 +276,9 @@ struct CoreSeat<'w> {
     // always `Some` while the worker executes.
     tlb: Option<TlbHierarchy>,
     pwc: Option<PageWalkCache>,
+    /// Nested mode: the 2D translation-cache complex replacing `pwc`
+    /// (which is forced `None` when the run is nested).
+    npwc: Option<NestedPwc>,
     pcc: Option<Pcc>,
     pcc_1g: Option<Pcc>,
     /// Length of the trace stream's current window.
@@ -209,6 +309,13 @@ struct CoreSeat<'w> {
     pcc_feed: Vec<(Vpn, bool)>,
     /// Same, for the 1 GiB PCC bank.
     pcc_feed_1g: Vec<(Vpn, bool)>,
+    /// Scratch for the host walks one 2D walk performs (nTLB misses);
+    /// recycled across walks, drained into the host PCC feed and the
+    /// host ledger tally immediately after each walk.
+    host_scratch: Vec<WalkResult>,
+    /// Host-dimension walk tallies for the host promotion ledger,
+    /// keyed by `(VM pid, gPA 2 MiB region index)`.
+    host_region_walks: RegionWalks,
 }
 
 /// A shard: a set of cores plus the address spaces they fault into.
@@ -217,6 +324,10 @@ struct ShardWorker<'w> {
     seats: Vec<CoreSeat<'w>>,
     /// Address spaces owned by this shard, keyed by process id.
     spaces: Vec<(usize, Option<AddressSpace>)>,
+    /// Nested mode: the host half of each process's VM, slot-parallel
+    /// to `spaces` (`None` entries in native runs, and while the VM is
+    /// surrendered at a barrier).
+    vms: Vec<Option<NestedVm>>,
     /// The shared data-cache model (forces a single shard, so at most
     /// one worker ever holds it).
     caches: Option<CacheHierarchy>,
@@ -287,6 +398,7 @@ impl<'w> ShardWorker<'w> {
         let ShardWorker {
             seats,
             spaces,
+            vms,
             caches,
             ..
         } = self;
@@ -298,13 +410,14 @@ impl<'w> ShardWorker<'w> {
                 .1
                 .as_mut()
                 .expect("space resident between barriers");
+            let vm = vms[seat.space_slot].as_mut();
             // Monomorphize the hot loop on "is a recorder attached":
             // event pushes and the inline PCC feed compile out of the
             // recorder-less path entirely.
             let ran = if flags.recorder_on {
-                run_seat::<true>(seat, space, caches, flags)
+                run_seat::<true>(seat, space, vm, caches, flags)
             } else {
-                run_seat::<false>(seat, space, caches, flags)
+                run_seat::<false>(seat, space, vm, caches, flags)
             };
             match ran {
                 Ok(Some(req)) => requests.push(req),
@@ -333,8 +446,11 @@ impl<'w> ShardWorker<'w> {
 
     fn take_os(&mut self) -> OsSlice {
         let mut slice = OsSlice::default();
-        for (pid, s) in self.spaces.iter_mut() {
+        for (slot, (pid, s)) in self.spaces.iter_mut().enumerate() {
             slice.spaces.push((*pid, s.take().expect("space resident")));
+            if let Some(vm) = self.vms[slot].take() {
+                slice.vms.push((*pid, vm));
+            }
         }
         for seat in self.seats.iter_mut() {
             slice
@@ -342,6 +458,9 @@ impl<'w> ShardWorker<'w> {
                 .push((seat.core, seat.tlb.take().expect("tlb resident")));
             if let Some(p) = seat.pwc.take() {
                 slice.pwcs.push((seat.core, p));
+            }
+            if let Some(p) = seat.npwc.take() {
+                slice.npwcs.push((seat.core, p));
             }
             if let Some(p) = seat.pcc.take() {
                 slice.pccs.push((seat.core, p));
@@ -351,6 +470,9 @@ impl<'w> ShardWorker<'w> {
             }
             slice.counters.push((seat.core, seat.counters));
             slice.region_walks.extend(seat.region_walks.drain());
+            slice
+                .host_region_walks
+                .extend(seat.host_region_walks.drain());
         }
         slice
     }
@@ -364,11 +486,22 @@ impl<'w> ShardWorker<'w> {
                 .expect("process belongs to this shard");
             slot.1 = Some(space);
         }
+        for (pid, vm) in slice.vms {
+            let slot = self
+                .spaces
+                .iter()
+                .position(|(p, _)| *p == pid)
+                .expect("VM belongs to this shard");
+            self.vms[slot] = Some(vm);
+        }
         for (core, t) in slice.tlbs {
             self.seat_mut(core).tlb = Some(t);
         }
         for (core, p) in slice.pwcs {
             self.seat_mut(core).pwc = Some(p);
+        }
+        for (core, p) in slice.npwcs {
+            self.seat_mut(core).npwc = Some(p);
         }
         for (core, p) in slice.pccs {
             self.seat_mut(core).pcc = Some(p);
@@ -390,6 +523,7 @@ impl<'w> ShardWorker<'w> {
 fn run_seat<const REC: bool>(
     seat: &mut CoreSeat<'_>,
     space: &mut AddressSpace,
+    mut vm: Option<&mut NestedVm>,
     caches: &mut Option<CacheHierarchy>,
     flags: WorkerFlags,
 ) -> Result<Option<FaultRequest>, HpageError> {
@@ -400,6 +534,7 @@ fn run_seat<const REC: bool>(
         trace,
         tlb,
         pwc,
+        npwc,
         pcc,
         pcc_1g,
         chunk_len,
@@ -415,6 +550,8 @@ fn run_seat<const REC: bool>(
         unused_grants,
         pcc_feed,
         pcc_feed_1g,
+        host_scratch,
+        host_region_walks,
         ..
     } = seat;
     let core = *core;
@@ -478,6 +615,10 @@ fn run_seat<const REC: bool>(
                 core,
                 pid,
                 pwc,
+                npwc,
+                vm.as_deref_mut(),
+                host_scratch,
+                host_region_walks,
                 tlb,
                 pcc,
                 pcc_1g,
@@ -490,7 +631,7 @@ fn run_seat<const REC: bool>(
                 at,
                 walk,
                 flags,
-            ))
+            )?)
         } else {
             match tlb.lookup(access.addr) {
                 TlbOutcome::L1Hit(t) => {
@@ -524,6 +665,10 @@ fn run_seat<const REC: bool>(
                         core,
                         pid,
                         pwc,
+                        npwc,
+                        vm.as_deref_mut(),
+                        host_scratch,
+                        host_region_walks,
                         tlb,
                         pcc,
                         pcc_1g,
@@ -536,7 +681,7 @@ fn run_seat<const REC: bool>(
                         at,
                         walk,
                         flags,
-                    )),
+                    )?),
                     Err(_) => {
                         // Page fault: ship the allocation request; the
                         // access retries here once the grant lands.
@@ -596,15 +741,36 @@ fn run_seat<const REC: bool>(
     Ok(None)
 }
 
-/// The post-walk datapath: PWC, ledger tally, TLB fill, PCC feeds. A
-/// free function over the seat's split-borrowed fields so it can run
-/// while the trace window (an immutable borrow of the seat's stream)
-/// is live in [`run_seat`].
+/// The post-walk datapath: PWC (or the nested 2D complex), ledger
+/// tally, TLB fill, PCC feeds. A free function over the seat's
+/// split-borrowed fields so it can run while the trace window (an
+/// immutable borrow of the seat's stream) is live in [`run_seat`].
+///
+/// In nested mode the guest walk's level count is only the first
+/// dimension: every referenced guest level and the data page are
+/// host-translated through the seat's [`NestedPwc`], host faults are
+/// served inline from the VM's private physical memory, and the host
+/// walks actually performed feed the host PCC and the host ledger
+/// tally. `Event::Walk` then carries the *nominal* cold 2D cost
+/// (`guest_levels × 5 + 4`) as `levels` and the real reference count as
+/// `effective_levels`; the host PCC feed runs inline on both the
+/// recorded and unrecorded paths (it emits no events), so recording
+/// stays pure observation.
+///
+/// # Errors
+///
+/// Returns [`HpageError::OutOfMemory`] when a host fault cannot back a
+/// guest-physical page (nested mode only — the native path is
+/// infallible).
 #[allow(clippy::too_many_arguments)]
 fn handle_walk<const REC: bool>(
     core: usize,
     pid: usize,
     pwc: &mut Option<PageWalkCache>,
+    npwc: &mut Option<NestedPwc>,
+    vm: Option<&mut NestedVm>,
+    host_scratch: &mut Vec<WalkResult>,
+    host_region_walks: &mut RegionWalks,
     tlb: &mut TlbHierarchy,
     pcc: &mut Option<Pcc>,
     pcc_1g: &mut Option<Pcc>,
@@ -617,10 +783,44 @@ fn handle_walk<const REC: bool>(
     at: u64,
     walk: WalkResult,
     flags: WorkerFlags,
-) -> Translation {
-    let effective_levels = match pwc.as_mut() {
-        Some(pwc) => pwc.walk(access.addr, walk.levels_referenced),
-        None => walk.levels_referenced,
+) -> Result<Translation, HpageError> {
+    let (nominal_levels, effective_levels) = if let Some(npwc) = npwc.as_mut() {
+        let vm = vm.expect("nested seats always have a VM");
+        let gpa = hpage_tlb::data_gpa(&walk, access.addr);
+        let refs = {
+            let OsState { phys, spaces, .. } = &mut vm.os;
+            let mut host = VmHost {
+                space: &mut spaces[0],
+                phys,
+            };
+            npwc.walk(
+                access.addr,
+                walk.levels_referenced,
+                gpa,
+                &mut host,
+                host_scratch,
+            )?
+        };
+        for hw in host_scratch.iter() {
+            let region = hw.translation.vpn.base().vpn(PageSize::Huge2M);
+            if let Some(host_pcc) = vm.pcc.as_mut() {
+                if hw.translation.size() != PageSize::Huge1G {
+                    host_pcc.record_walk(region, hw.pmd_accessed_before);
+                }
+            }
+            if flags.ledger_on {
+                *host_region_walks
+                    .entry((pid as u32, region.index()))
+                    .or_insert(0) += 1;
+            }
+        }
+        (walk.levels_referenced * 5 + 4, refs)
+    } else {
+        let effective = match pwc.as_mut() {
+            Some(pwc) => pwc.walk(access.addr, walk.levels_referenced),
+            None => walk.levels_referenced,
+        };
+        (walk.levels_referenced, effective)
     };
     counters.walk_levels += u64::from(effective_levels);
     if flags.ledger_on {
@@ -633,7 +833,7 @@ fn handle_walk<const REC: bool>(
             Event::Walk {
                 core: CoreId(core as u32),
                 size: walk.translation.size(),
-                levels: walk.levels_referenced,
+                levels: nominal_levels,
                 effective_levels,
                 a_bit_was_set: walk.pmd_accessed_before,
             },
@@ -690,7 +890,7 @@ fn handle_walk<const REC: bool>(
             }
         }
     }
-    walk.translation
+    Ok(walk.translation)
 }
 
 /// Reports one walk to a per-core PCC and buffers the decision as an
@@ -821,6 +1021,9 @@ fn worker_main(mut worker: ShardWorker<'_>, rx: Receiver<ToShard>, tx: Sender<Fr
 struct Assembled {
     tlbs: Vec<TlbHierarchy>,
     pwcs: Option<Vec<PageWalkCache>>,
+    /// Nested mode: every core's 2D translation-cache complex, so host
+    /// shootdowns can invalidate nested entries at the barrier.
+    npwcs: Option<Vec<NestedPwc>>,
 }
 
 /// Reusable per-round coordinator buffers. A single-core round covers
@@ -857,6 +1060,13 @@ struct Coordinator<'a, 'w, R: Recorder> {
     audit_violations: Vec<(u64, AuditViolation)>,
     ledger: Option<PromotionLedger>,
     region_walks: Option<RegionWalks>,
+    /// Nested mode: one VM (host half) per process, parked here between
+    /// barriers only while its shard has surrendered it. Indexed by pid.
+    vms: Vec<Option<NestedVm>>,
+    /// Nested mode with the ledger on: provenance for *host* promotions,
+    /// keyed by `(VM pid, gPA 2 MiB region)`.
+    host_ledger: Option<PromotionLedger>,
+    host_region_walks: Option<RegionWalks>,
     bank: Option<PccBank>,
     bank_1g: Option<PccBank>,
     has_pwc: bool,
@@ -1078,6 +1288,7 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
         let n = self.core_shard.len();
         let mut tlbs: Vec<Option<TlbHierarchy>> = (0..n).map(|_| None).collect();
         let mut pwcs: Vec<Option<PageWalkCache>> = (0..n).map(|_| None).collect();
+        let mut npwcs: Vec<Option<NestedPwc>> = (0..n).map(|_| None).collect();
         for si in 0..self.shards.len() {
             let slice = match self.shards[si].recv() {
                 FromShard::Os(s) => *s,
@@ -1086,11 +1297,17 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
             for (pid, space) in slice.spaces {
                 self.os.spaces[pid] = space;
             }
+            for (pid, vm) in slice.vms {
+                self.vms[pid] = Some(vm);
+            }
             for (core, t) in slice.tlbs {
                 tlbs[core] = Some(t);
             }
             for (core, p) in slice.pwcs {
                 pwcs[core] = Some(p);
+            }
+            for (core, p) in slice.npwcs {
+                npwcs[core] = Some(p);
             }
             for (core, p) in slice.pccs {
                 self.bank
@@ -1112,6 +1329,11 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                     *rw.entry(k).or_insert(0) += v;
                 }
             }
+            if let Some(rw) = self.host_region_walks.as_mut() {
+                for (k, v) in slice.host_region_walks {
+                    *rw.entry(k).or_insert(0) += v;
+                }
+            }
         }
         Assembled {
             tlbs: tlbs
@@ -1123,15 +1345,23 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                     .map(|p| p.expect("every core surrendered its PWC"))
                     .collect()
             }),
+            npwcs: self.sim.nested.is_some().then(|| {
+                npwcs
+                    .into_iter()
+                    .map(|p| p.expect("every nested core surrendered its caches"))
+                    .collect()
+            }),
         }
     }
 
     /// Hands OS-visible state back to the shards after a barrier.
     fn distribute_os(&mut self, assembled: Assembled) {
-        let Assembled { tlbs, pwcs } = assembled;
+        let Assembled { tlbs, pwcs, npwcs } = assembled;
         let mut tlbs: Vec<Option<TlbHierarchy>> = tlbs.into_iter().map(Some).collect();
         let mut pwcs: Option<Vec<Option<PageWalkCache>>> =
             pwcs.map(|v| v.into_iter().map(Some).collect());
+        let mut npwcs: Option<Vec<Option<NestedPwc>>> =
+            npwcs.map(|v| v.into_iter().map(Some).collect());
         for si in 0..self.shards.len() {
             let mut slice = OsSlice::default();
             for (pid, &shard) in self.process_shard.iter().enumerate() {
@@ -1141,6 +1371,9 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                 let placeholder = AddressSpace::new(ProcessId(pid as u32));
                 let space = std::mem::replace(&mut self.os.spaces[pid], placeholder);
                 slice.spaces.push((pid, space));
+                if let Some(vm) = self.vms[pid].take() {
+                    slice.vms.push((pid, vm));
+                }
             }
             for core in 0..self.core_shard.len() {
                 if self.core_shard[core] != si {
@@ -1153,6 +1386,11 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                     slice
                         .pwcs
                         .push((core, p[core].take().expect("pwc assembled")));
+                }
+                if let Some(p) = npwcs.as_mut() {
+                    slice
+                        .npwcs
+                        .push((core, p[core].take().expect("nested caches assembled")));
                 }
                 if let Some(b) = self.bank.as_mut() {
                     slice.pccs.push((core, b.take(CoreId(core as u32))));
@@ -1213,6 +1451,9 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                     tlb.flush();
                     if let Some(pwcs) = assembled.pwcs.as_mut() {
                         pwcs[core].flush();
+                    }
+                    if let Some(npwcs) = assembled.npwcs.as_mut() {
+                        npwcs[core].flush();
                     }
                     self.recorder.record(
                         total_accesses,
@@ -1372,6 +1613,9 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
                     if let Some(pwcs) = assembled.pwcs.as_mut() {
                         pwcs[core].invalidate_region(region);
                     }
+                    if let Some(npwcs) = assembled.npwcs.as_mut() {
+                        npwcs[core].invalidate_guest_region(region);
+                    }
                     self.per_process[pid.0 as usize].shootdowns += 1;
                 }
             }
@@ -1395,6 +1639,7 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
             self.audit_violations
                 .extend(found.into_iter().map(|v| (interval_index, v)));
         }
+        self.host_interval_block(assembled);
         self.interval_index += 1;
         let row = IntervalRow {
             walk_rate: dw as f64 / da as f64,
@@ -1425,6 +1670,122 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
         self.interval_series.push(row);
     }
 
+    /// The host half of a nested interval barrier: settle the host
+    /// ledger, then run each VM's host promotion policy in pid order —
+    /// single-threaded on fully assembled state, exactly like the guest
+    /// block, so its outputs cannot depend on the shard count. A no-op
+    /// in native runs (`vms` is all `None`).
+    fn host_interval_block(&mut self, assembled: &mut Assembled) {
+        if self.sim.nested.is_none() {
+            return;
+        }
+        let total_accesses = self.total_accesses;
+        // Settle realized host-walk counts before the host policy acts,
+        // mirroring the guest ledger's observe-then-decide ordering.
+        if let (Some(ledger), Some(rw)) =
+            (self.host_ledger.as_mut(), self.host_region_walks.as_mut())
+        {
+            ledger.observe_interval(rw);
+            rw.clear();
+        }
+        let mut any_audit = false;
+        for pid in 0..self.vms.len() {
+            let Some(vm) = self.vms[pid].as_mut() else {
+                continue;
+            };
+            // The seat-resident host PCC returns to its bank for the
+            // policy's dump, and is taken back out afterwards.
+            if let Some(bank) = vm.bank.as_mut() {
+                bank.restore(CoreId(0), vm.pcc.take().expect("host PCC resident"));
+            }
+            // Host promotions are hypervisor work outside the guest
+            // policy's budget; each VM gets a fresh unlimited budget.
+            let mut budget = PromotionBudget::UNLIMITED;
+            let report =
+                vm.policy
+                    .run_interval(&mut vm.os, vm.bank.as_mut(), total_accesses, &mut budget);
+            self.promotion_failures += report.failures;
+            for rec in &report.promotions {
+                let outcome = &rec.outcome;
+                self.per_process[pid].host_promotions += 1;
+                self.per_process[pid].pages_migrated += outcome.pages_migrated;
+                self.per_process[pid].pages_collapsed += outcome.pages_collapsed;
+                if let Some(ledger) = self.host_ledger.as_mut() {
+                    ledger.record_promotion(
+                        ProcessId(pid as u32),
+                        outcome.region,
+                        total_accesses,
+                        rec.predicted_walks,
+                    );
+                }
+                if self.recorder.enabled() {
+                    self.recorder.record(
+                        total_accesses,
+                        Event::HostPromotion {
+                            process: ProcessId(pid as u32),
+                            region: outcome.region,
+                            predicted_walks: rec.predicted_walks,
+                        },
+                    );
+                }
+            }
+            // The host ledger is keyed by the *VM's* pid, not the VM-
+            // internal ProcessId(0) the report carries.
+            for (_, region) in &report.demotions {
+                if let Some(ledger) = self.host_ledger.as_mut() {
+                    ledger.record_demotion(ProcessId(pid as u32), *region);
+                }
+            }
+            // A host remap invalidates nested translations through the
+            // remapped gPA region on every core of the VM.
+            for (_, region) in report.shootdown_regions() {
+                if let Some(npwcs) = assembled.npwcs.as_mut() {
+                    for (core, npwc) in npwcs.iter_mut().enumerate() {
+                        if self.core_process[core] == pid {
+                            npwc.invalidate_host_region(region);
+                            self.per_process[pid].host_shootdowns += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(auditor) = vm.auditor.as_ref() {
+                let found = auditor.run(&vm.os, &[], vm.bank.as_ref());
+                let interval_index = self.interval_index;
+                self.audit_violations
+                    .extend(found.into_iter().map(|v| (interval_index, v)));
+                any_audit = true;
+            }
+            if let Some(bank) = vm.bank.as_mut() {
+                vm.pcc = Some(bank.take(CoreId(0)));
+            }
+        }
+        // Ledger coherence: `Auditor::check_ledger` indexes spaces by
+        // the entry's process id, but host entries are keyed by VM pid
+        // while each VM's OsState holds a single space — so the
+        // cross-check runs here against `spaces[0]` of the entry's VM.
+        if any_audit {
+            if let Some(ledger) = self.host_ledger.as_ref() {
+                let mut found = Vec::new();
+                for e in ledger.open_entries() {
+                    let huge = self.vms[e.process.0 as usize]
+                        .as_ref()
+                        .map(|vm| vm.os.spaces[0].page_table().is_huge_mapped(e.region));
+                    if huge != Some(true) {
+                        found.push(AuditViolation::LedgerMismatch {
+                            what: format!(
+                                "open host entry {} of VM {} is not huge-mapped (missed demotion?)",
+                                e.region, e.process.0
+                            ),
+                        });
+                    }
+                }
+                let interval_index = self.interval_index;
+                self.audit_violations
+                    .extend(found.into_iter().map(|v| (interval_index, v)));
+            }
+        }
+    }
+
     fn finish(mut self) -> Result<SimReport, HpageError> {
         // Pull final state home (spaces for bloat, the 1 GiB bank for
         // the candidate dump; the TLBs are no longer needed).
@@ -1449,8 +1810,12 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
             })
             .unwrap_or_default();
         let bloat_bytes: Vec<u64> = self.os.spaces.iter().map(|s| s.bloat_bytes()).collect();
+        let policy = match self.sim.nested.as_ref() {
+            Some(nc) => format!("{}+nested-{}", self.sim.policy.label(), nc.placement),
+            None => self.sim.policy.label(),
+        };
         Ok(SimReport {
-            policy: self.sim.policy.label(),
+            policy,
             aggregate,
             per_process: self.per_process,
             huge_pages_at_end: self.os.phys.huge_blocks_in_use(),
@@ -1463,6 +1828,7 @@ impl<R: Recorder> Coordinator<'_, '_, R> {
             fault_stats: self.injector.map(|i| *i.stats()),
             audit_violations: self.audit_violations,
             ledger: self.ledger,
+            host_ledger: self.host_ledger,
         })
     }
 }
@@ -1573,6 +1939,7 @@ pub(crate) fn run<R: Recorder>(
         .map(|_| ShardWorker {
             seats: Vec::new(),
             spaces: Vec::new(),
+            vms: Vec::new(),
             caches: None,
             flags,
         })
@@ -1583,7 +1950,12 @@ pub(crate) fn run<R: Recorder>(
     for pid in 0..processes.len() {
         let placeholder = AddressSpace::new(ProcessId(pid as u32));
         let space = std::mem::replace(&mut os.spaces[pid], placeholder);
-        workers[process_shard[pid]].spaces.push((pid, Some(space)));
+        let worker = &mut workers[process_shard[pid]];
+        worker.spaces.push((pid, Some(space)));
+        worker.vms.push(match sim.nested.as_ref() {
+            Some(nc) => Some(NestedVm::new(sim, nc, pid)?),
+            None => None,
+        });
     }
     let mut core_shard = vec![0usize; n_cores];
     let mut core = 0usize;
@@ -1603,10 +1975,18 @@ pub(crate) fn run<R: Recorder>(
                 space_slot,
                 trace: spec.workload.thread_stream(t, spec.threads),
                 tlb: Some(TlbHierarchy::new(sim.config.tlb)),
-                pwc: sim
-                    .config
-                    .pwc
-                    .map(|c| PageWalkCache::new(c.pml4e_entries, c.pdpte_entries, c.pde_entries)),
+                // Nested mode replaces the native PWC with the 2D
+                // cache complex (its guest arrays come from
+                // `NestedConfig::guest_pwc`); `SystemConfig::pwc` is
+                // deliberately ignored there.
+                pwc: if sim.nested.is_some() {
+                    None
+                } else {
+                    sim.config.pwc.map(|c| {
+                        PageWalkCache::new(c.pml4e_entries, c.pdpte_entries, c.pde_entries)
+                    })
+                },
+                npwc: sim.nested.as_ref().map(NestedPwc::new),
                 pcc: bank.as_mut().map(|b| b.take(CoreId(core as u32))),
                 pcc_1g: bank_1g.as_mut().map(|b| b.take(CoreId(core as u32))),
                 chunk_len: 0,
@@ -1622,6 +2002,8 @@ pub(crate) fn run<R: Recorder>(
                 unused_grants: Vec::new(),
                 pcc_feed: Vec::new(),
                 pcc_feed_1g: Vec::new(),
+                host_scratch: Vec::new(),
+                host_region_walks: RegionWalks::default(),
             });
             core += 1;
         }
@@ -1641,9 +2023,12 @@ pub(crate) fn run<R: Recorder>(
         audit_violations: Vec::new(),
         ledger,
         region_walks,
+        vms: (0..processes.len()).map(|_| None).collect(),
+        host_ledger: (sim.ledger && sim.nested.is_some()).then(PromotionLedger::new),
+        host_region_walks: (sim.ledger && sim.nested.is_some()).then(RegionWalks::default),
         bank,
         bank_1g,
-        has_pwc: sim.config.pwc.is_some(),
+        has_pwc: sim.config.pwc.is_some() && sim.nested.is_none(),
         remaining: vec![sim.max_accesses_per_core.unwrap_or(u64::MAX); n_cores],
         live: vec![true; n_cores],
         live_count: n_cores,

@@ -14,7 +14,9 @@ use hpage_os::{
 use hpage_pcc::{Candidate, ReplacementPolicy};
 use hpage_perf::RunCounters;
 use hpage_trace::Workload;
-use hpage_types::{HpageError, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig};
+use hpage_types::{
+    HpageError, NestedConfig, ProcessId, PromotionPolicyKind, SystemConfig, TimingConfig,
+};
 
 /// Which huge-page management policy a run uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,6 +200,11 @@ pub struct SimReport {
     /// promoted region); `Some` only when
     /// [`with_ledger`](Simulation::with_ledger) was set.
     pub ledger: Option<PromotionLedger>,
+    /// The host-dimension promotion ledger of a nested run, keyed by
+    /// `(VM pid, guest-physical 2 MiB region)`; `Some` only when both
+    /// [`with_ledger`](Simulation::with_ledger) and
+    /// [`with_nested`](Simulation::with_nested) were set.
+    pub host_ledger: Option<PromotionLedger>,
 }
 
 impl SimReport {
@@ -237,6 +244,7 @@ pub struct Simulation {
     pub(crate) audit: bool,
     pub(crate) ledger: bool,
     pub(crate) sim_threads: usize,
+    pub(crate) nested: Option<NestedConfig>,
 }
 
 impl Simulation {
@@ -261,7 +269,30 @@ impl Simulation {
             audit: false,
             ledger: false,
             sim_threads: 1,
+            nested: None,
         }
+    }
+
+    /// Runs every process as a guest VM under nested (2D) paging: each
+    /// guest page-table access is itself translated by a private per-VM
+    /// host page table, through the nested TLB and split guest/host
+    /// paging-structure caches of [`hpage_tlb::NestedPwc`]. The run's
+    /// [`PolicyChoice`] drives the *guest* dimension as usual;
+    /// `nested.placement` decides which dimension gets PCC-driven host
+    /// promotion (host faults always start as base pages). Walk counters
+    /// then measure 2D references per walk, and the policy label gains a
+    /// `+nested-<placement>` suffix. The native `SystemConfig::pwc` is
+    /// ignored in nested mode — the guest-side structure caches come
+    /// from `nested.guest_pwc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nested` fails [`NestedConfig::validate`].
+    #[must_use]
+    pub fn with_nested(mut self, nested: NestedConfig) -> Self {
+        nested.validate().expect("invalid nested config");
+        self.nested = Some(nested);
+        self
     }
 
     /// Shards the simulation loop across `n` OS threads. Every core of
@@ -1200,5 +1231,157 @@ mod tests {
             storms.iter().any(|&(_, n)| n > 0),
             "a busy TLB flushes a nonzero number of translations: {storms:?}"
         );
+    }
+
+    #[test]
+    fn nested_walks_cost_more_than_native_with_the_same_guest_caches() {
+        // The 2D tax: same workload, same seed, same guest structure-
+        // cache geometry — a nested walk can only add host references
+        // on top of what the native walk pays, so walk *counts* match
+        // (the host dimension is pure cost-side) while the mean cost
+        // strictly rises, bounded by the 24-reference cold worst case.
+        let w = random_workload(8, 300_000, 7);
+        let nested_cfg = hpage_types::NestedConfig::typical();
+        let mut native_cfg = hpage_types::SystemConfig::tiny();
+        native_cfg.pwc = Some(nested_cfg.guest_pwc);
+        let native =
+            Simulation::new(native_cfg, PolicyChoice::pcc_default()).run(&[ProcessSpec::new(&w)]);
+        let nested = tiny_sim(PolicyChoice::pcc_default())
+            .with_nested(nested_cfg)
+            .run(&[ProcessSpec::new(&w)]);
+        assert_eq!(nested.aggregate.walks, native.aggregate.walks);
+        assert!(nested.aggregate.walk_levels > native.aggregate.walk_levels);
+        let mean = nested.aggregate.walk_levels as f64 / nested.aggregate.walks as f64;
+        assert!(
+            (1.0..=24.0).contains(&mean),
+            "2D mean references out of range: {mean}"
+        );
+        assert!(nested.policy.ends_with("+nested-both"), "{}", nested.policy);
+        assert!(!native.policy.contains("nested"), "{}", native.policy);
+    }
+
+    #[test]
+    fn nested_placement_drives_the_host_dimension() {
+        use hpage_types::{NestedConfig, PccPlacement};
+        let w = random_workload(8, 400_000, 9);
+        let run = |placement: PccPlacement| {
+            tiny_sim(PolicyChoice::pcc_default())
+                .with_nested(NestedConfig::typical().with_placement(placement))
+                .with_ledger()
+                .with_audit()
+                .run(&[ProcessSpec::new(&w)])
+        };
+        let both = run(PccPlacement::Both);
+        let host = run(PccPlacement::Host);
+        let guest = run(PccPlacement::Guest);
+        let none = run(PccPlacement::None);
+        for (r, host_on) in [
+            (&both, true),
+            (&host, true),
+            (&guest, false),
+            (&none, false),
+        ] {
+            assert_eq!(
+                r.aggregate.host_promotions > 0,
+                host_on,
+                "{}: host promotions {}",
+                r.policy,
+                r.aggregate.host_promotions
+            );
+            assert!(
+                r.audit_violations.is_empty(),
+                "{}: {:?}",
+                r.policy,
+                r.audit_violations
+            );
+            let hl = r.host_ledger.as_ref().expect("ledger requested");
+            assert_eq!(hl.len() as u64, r.aggregate.host_promotions, "{}", r.policy);
+        }
+        // A host PCC only helps if the guest dimension leaves host
+        // walks to save; with it on, host shootdowns fire too.
+        assert!(both.aggregate.host_shootdowns > 0);
+        assert_eq!(guest.aggregate.host_shootdowns, 0);
+        // Guest promotions follow the guest policy regardless of the
+        // host side.
+        assert!(both.aggregate.promotions > 0);
+        assert!(host.aggregate.promotions > 0);
+    }
+
+    #[test]
+    fn nested_sharded_runs_are_byte_identical_to_sequential() {
+        // The determinism contract extends to nested mode: each VM's
+        // host state travels with the shard that owns its process, and
+        // the host interval phase runs single-threaded in pid order, so
+        // the report, event stream, and both ledgers must not depend on
+        // `--sim-threads` even under a chaos plan.
+        let w0 = random_workload(8, 150_000, 31);
+        let w1 = seq_workload(4, 120_000);
+        let w2 = random_workload(6, 180_000, 33);
+        let runs: Vec<(SimReport, String)> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&threads| {
+                let mut buf = Vec::new();
+                let mut sink = JsonlSink::new(&mut buf);
+                let report = tiny_sim(PolicyChoice::pcc_default())
+                    .with_nested(hpage_types::NestedConfig::typical())
+                    .with_faults(chaos_plan())
+                    .with_ledger()
+                    .with_audit()
+                    .with_sim_threads(threads)
+                    .run_recorded(
+                        &[
+                            ProcessSpec::new(&w0),
+                            ProcessSpec::new(&w1),
+                            ProcessSpec::new(&w2),
+                        ],
+                        &mut sink,
+                    );
+                sink.finish().expect("stream to memory");
+                (report, String::from_utf8(buf).unwrap())
+            })
+            .collect();
+        for (report, jsonl) in &runs[1..] {
+            assert_eq!(report, &runs[0].0, "nested report differs");
+            assert_eq!(jsonl, &runs[0].1, "nested event stream differs");
+            assert!(report.audit_violations.is_empty());
+        }
+        assert!(runs[0].0.aggregate.host_promotions > 0);
+        assert!(runs[0].1.contains("host_promote"));
+    }
+
+    #[test]
+    fn nested_recording_does_not_perturb_the_simulation() {
+        // The host PCC feed runs inline on both the recorded and the
+        // recorder-less paths (it emits no events), so attaching a
+        // recorder must not change a nested run's outcome.
+        let w = random_workload(8, 250_000, 17);
+        let silent = tiny_sim(PolicyChoice::pcc_default())
+            .with_nested(hpage_types::NestedConfig::typical())
+            .run(&[ProcessSpec::new(&w)]);
+        let mut rec = MemoryRecorder::new();
+        let recorded = tiny_sim(PolicyChoice::pcc_default())
+            .with_nested(hpage_types::NestedConfig::typical())
+            .run_recorded(&[ProcessSpec::new(&w)], &mut rec);
+        assert_eq!(silent, recorded);
+        // Recorded nested walks carry the nominal 2D level count (the
+        // guest chain length interleaved with host walks) alongside the
+        // effective (cache-filtered) references.
+        let mut saw_nested_walk = false;
+        for (_, e) in rec.events() {
+            if let hpage_obs::Event::Walk {
+                levels,
+                effective_levels,
+                ..
+            } = e
+            {
+                assert!(
+                    [14, 19, 24].contains(&levels),
+                    "nominal 2D levels: {levels}"
+                );
+                assert!(effective_levels >= 1);
+                saw_nested_walk = true;
+            }
+        }
+        assert!(saw_nested_walk);
     }
 }

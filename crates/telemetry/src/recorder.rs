@@ -458,6 +458,29 @@ impl Recorder for TelemetryRecorder {
             }
             Event::CellSoftDeadline { .. } => self.metrics.inc("cell.deadline_soft"),
             Event::CellHardDeadline { .. } => self.metrics.inc("cell.deadline_hard"),
+            Event::HostPromotion {
+                process,
+                region,
+                predicted_walks,
+            } => {
+                self.metrics.inc("host_promote");
+                self.metrics
+                    .observe("promotion_predicted_walks", predicted_walks);
+                self.spans.push(
+                    "host_promote",
+                    "os",
+                    PID_OS,
+                    0,
+                    at,
+                    1,
+                    None,
+                    vec![
+                        ("vm", u64::from(process.0)),
+                        ("gpa_region", region.index()),
+                        ("predicted_walks", predicted_walks),
+                    ],
+                );
+            }
         }
     }
 }

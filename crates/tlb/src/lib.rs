@@ -34,11 +34,16 @@
 #![warn(missing_docs)]
 
 mod hierarchy;
+pub mod nested;
 mod pwc;
 mod table;
 mod tlb;
 
 pub use hierarchy::{TlbHierarchy, TlbHierarchyStats, TlbOutcome};
+pub use nested::{
+    data_gpa, table_page_gpa, HostSpace, NestedPwc, NestedPwcStats, ReferenceNestedWalker,
+    SimpleHost, MAX_NESTED_REFS, TABLE_GPA_BASE,
+};
 pub use pwc::{PageWalkCache, PwcStats};
 pub use table::{PageTable, Translation, WalkResult};
 pub use tlb::{SetAssocTlb, TlbStats};

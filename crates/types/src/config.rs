@@ -236,23 +236,64 @@ impl PwcConfig {
     /// coverage ratios hold at small footprints; a full-size PWC against
     /// such a footprint never misses (mean references pins at 1.0
     /// instead of the paper's 1.1–1.4 band). Scaling each array by the
-    /// same factor as the L2 keeps the PWC-reach-to-TLB-reach ratio,
-    /// clamped to at least one entry per array.
-    pub const fn scaled_to_tlb(l2_entries: u32) -> Self {
+    /// same factor as the L2 keeps the PWC-reach-to-TLB-reach ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the scale factor would round any
+    /// structure-cache array down to zero entries. Earlier revisions
+    /// silently clamped such arrays to one entry; that hid geometry bugs
+    /// in nested (2D) mode, where a single walk probes every array up to
+    /// five times and a phantom 1-entry array distorts the measured walk
+    /// cost. Undersized geometries are now a configuration error the
+    /// caller must handle.
+    pub fn scaled_to_tlb(l2_entries: u32) -> Result<Self, ConfigError> {
         const PAPER_L2_ENTRIES: u32 = 1024;
-        const fn scale(entries: u32, l2: u32) -> u32 {
+        fn scale(what: &'static str, entries: u32, l2: u32) -> Result<u32, ConfigError> {
             let scaled = entries * l2 / PAPER_L2_ENTRIES;
             if scaled == 0 {
-                1
-            } else {
-                scaled
+                return Err(ConfigError::new(what));
             }
+            Ok(scaled)
         }
         let t = PwcConfig::typical();
+        Ok(PwcConfig {
+            pml4e_entries: scale(
+                "L2 TLB too small to scale the PML4E cache: array would have 0 entries",
+                t.pml4e_entries,
+                l2_entries,
+            )?,
+            pdpte_entries: scale(
+                "L2 TLB too small to scale the PDPTE cache: array would have 0 entries",
+                t.pdpte_entries,
+                l2_entries,
+            )?,
+            pde_entries: scale(
+                "L2 TLB too small to scale the PDE cache: array would have 0 entries",
+                t.pde_entries,
+                l2_entries,
+            )?,
+        })
+    }
+
+    /// [`scaled_to_tlb`](Self::scaled_to_tlb) with each array floored at
+    /// one entry instead of rejecting.
+    ///
+    /// Native-mode experiment profiles use this: a one-entry upper-level
+    /// array is a legitimate (if tiny) native structure cache, and the
+    /// scaled-down profiles need *some* PWC to show realistic walk-cost
+    /// pressure. Nested (2D) geometry must go through the strict
+    /// constructor — there a phantom one-entry array is probed up to
+    /// five times per walk and distorts the measured cost.
+    #[must_use]
+    pub fn scaled_to_tlb_clamped(l2_entries: u32) -> Self {
+        const PAPER_L2_ENTRIES: u32 = 1024;
+        let t = PwcConfig::typical();
+        let scale = |entries: u32| (entries * l2_entries / PAPER_L2_ENTRIES).max(1);
         PwcConfig {
-            pml4e_entries: scale(t.pml4e_entries, l2_entries),
-            pdpte_entries: scale(t.pdpte_entries, l2_entries),
-            pde_entries: scale(t.pde_entries, l2_entries),
+            pml4e_entries: scale(t.pml4e_entries),
+            pdpte_entries: scale(t.pdpte_entries),
+            pde_entries: scale(t.pde_entries),
         }
     }
 
@@ -273,6 +314,140 @@ impl Default for PwcConfig {
     fn default() -> Self {
         PwcConfig::typical()
     }
+}
+
+/// Which translation dimension(s) get a PCC in nested (virtualized) mode —
+/// the FHPM guest-only / host-only / both ablation axis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PccPlacement {
+    /// PCC-guided promotion in the guest only; host stays base pages.
+    Guest,
+    /// PCC-guided promotion in the host only; guest stays base pages.
+    Host,
+    /// PCCs on both dimensions (the paper's recommended deployment).
+    #[default]
+    Both,
+    /// No PCC anywhere — the 2D base-pages floor.
+    None,
+}
+
+impl PccPlacement {
+    /// All placements, in the canonical ablation order.
+    pub const ALL: [PccPlacement; 4] = [
+        PccPlacement::None,
+        PccPlacement::Guest,
+        PccPlacement::Host,
+        PccPlacement::Both,
+    ];
+
+    /// Whether the guest dimension runs a PCC-guided promotion policy.
+    pub const fn guest_enabled(&self) -> bool {
+        matches!(self, PccPlacement::Guest | PccPlacement::Both)
+    }
+
+    /// Whether the host dimension runs a PCC-guided promotion policy.
+    pub const fn host_enabled(&self) -> bool {
+        matches!(self, PccPlacement::Host | PccPlacement::Both)
+    }
+
+    /// Parses the `hpsim --pcc-placement` spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for anything but `guest|host|both|none`.
+    pub fn parse(s: &str) -> Result<Self, ConfigError> {
+        match s {
+            "guest" => Ok(PccPlacement::Guest),
+            "host" => Ok(PccPlacement::Host),
+            "both" => Ok(PccPlacement::Both),
+            "none" => Ok(PccPlacement::None),
+            _ => Err(ConfigError::new(
+                "PCC placement must be one of guest|host|both|none",
+            )),
+        }
+    }
+}
+
+impl core::fmt::Display for PccPlacement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PccPlacement::Guest => write!(f, "guest"),
+            PccPlacement::Host => write!(f, "host"),
+            PccPlacement::Both => write!(f, "both"),
+            PccPlacement::None => write!(f, "none"),
+        }
+    }
+}
+
+/// Configuration of nested (two-dimensional) translation: each guest-walk
+/// step is itself translated through the host page table, so structure
+/// caches exist on both dimensions and promotion policy can be placed on
+/// either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NestedConfig {
+    /// Which dimension(s) run a PCC-guided promotion policy.
+    pub placement: PccPlacement,
+    /// Guest-side paging-structure cache (VA-tagged).
+    pub guest_pwc: PwcConfig,
+    /// Host-side paging-structure cache (guest-physical-tagged).
+    pub host_pwc: PwcConfig,
+    /// Entries in the fully associative nested TLB caching gPA→hPA
+    /// translations at the host mapping's size — one entry covers a
+    /// 4 KiB page or a whole 2 MiB / 1 GiB host region (a hit skips
+    /// the host walk entirely).
+    pub ntlb_entries: u32,
+}
+
+impl NestedConfig {
+    /// A typical geometry: `typical` PWCs on both dimensions plus a
+    /// 64-entry nested TLB (comparable to documented nTLB capacities on
+    /// EPT-era parts).
+    pub const fn typical() -> Self {
+        NestedConfig {
+            placement: PccPlacement::Both,
+            guest_pwc: PwcConfig::typical(),
+            host_pwc: PwcConfig::typical(),
+            ntlb_entries: 64,
+        }
+    }
+
+    /// Same geometry with a different PCC placement.
+    #[must_use]
+    pub const fn with_placement(mut self, placement: PccPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if either PWC is invalid or the nested TLB
+    /// is empty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.guest_pwc.validate()?;
+        self.host_pwc.validate()?;
+        if self.ntlb_entries == 0 {
+            return Err(ConfigError::new("nested TLB must have at least one entry"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NestedConfig {
+    fn default() -> Self {
+        NestedConfig::typical()
+    }
+}
+
+/// Address-translation mode of the simulated machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TranslationMode {
+    /// Native one-dimensional translation (the paper's evaluation).
+    #[default]
+    Native,
+    /// Nested two-dimensional guest/host translation (virtualized).
+    Nested(NestedConfig),
 }
 
 /// How the OS selects promotion candidates across multiple per-core PCCs
@@ -581,6 +756,69 @@ mod tests {
         assert!(sys.validate().is_err());
         sys.pwc = Some(PwcConfig::typical());
         sys.validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_to_tlb_rejects_undersized_geometry() {
+        // 16-entry L2 scales the 4-entry PML4E cache to 4*16/1024 = 0;
+        // that used to clamp to 1 silently — it must now be an error.
+        assert!(PwcConfig::scaled_to_tlb(16).is_err());
+        // The smallest L2 whose scaled PML4E cache is still nonempty.
+        let ok = PwcConfig::scaled_to_tlb(256).unwrap();
+        assert_eq!(ok.pml4e_entries, 1);
+        assert_eq!(ok.pdpte_entries, 8);
+        assert_eq!(ok.pde_entries, 16);
+        ok.validate().unwrap();
+        // At the paper's L2 size scaling is the identity.
+        assert_eq!(
+            PwcConfig::scaled_to_tlb(1024).unwrap(),
+            PwcConfig::typical()
+        );
+        // The clamped variant agrees wherever the strict one succeeds,
+        // and floors at one entry where it rejects.
+        assert_eq!(PwcConfig::scaled_to_tlb_clamped(256), ok);
+        assert_eq!(PwcConfig::scaled_to_tlb_clamped(1024), PwcConfig::typical());
+        let clamped = PwcConfig::scaled_to_tlb_clamped(128);
+        assert_eq!(clamped.pml4e_entries, 1);
+        assert_eq!(clamped.pdpte_entries, 4);
+        assert_eq!(clamped.pde_entries, 8);
+        clamped.validate().unwrap();
+    }
+
+    #[test]
+    fn pcc_placement_parse_and_flags() {
+        for p in PccPlacement::ALL {
+            assert_eq!(PccPlacement::parse(&p.to_string()).unwrap(), p);
+        }
+        assert!(PccPlacement::parse("everywhere").is_err());
+        assert!(PccPlacement::Both.guest_enabled() && PccPlacement::Both.host_enabled());
+        assert!(PccPlacement::Guest.guest_enabled() && !PccPlacement::Guest.host_enabled());
+        assert!(!PccPlacement::Host.guest_enabled() && PccPlacement::Host.host_enabled());
+        assert!(!PccPlacement::None.guest_enabled() && !PccPlacement::None.host_enabled());
+    }
+
+    #[test]
+    fn nested_config_validation() {
+        NestedConfig::typical().validate().unwrap();
+        let bad = NestedConfig {
+            ntlb_entries: 0,
+            ..NestedConfig::typical()
+        };
+        assert!(bad.validate().is_err());
+        let bad = NestedConfig {
+            host_pwc: PwcConfig {
+                pde_entries: 0,
+                ..PwcConfig::typical()
+            },
+            ..NestedConfig::typical()
+        };
+        assert!(bad.validate().is_err());
+        assert_eq!(
+            NestedConfig::typical()
+                .with_placement(PccPlacement::Host)
+                .placement,
+            PccPlacement::Host
+        );
     }
 
     #[test]

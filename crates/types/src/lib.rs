@@ -34,8 +34,8 @@ mod seed;
 pub use access::{AccessKind, CoreId, MemoryAccess, ProcessId, ThreadId};
 pub use addr::{PageSize, Pfn, PhysAddr, Region, VirtAddr, Vpn};
 pub use config::{
-    PccConfig, PromotionPolicyKind, PwcConfig, SystemConfig, TimingConfig, TlbConfig,
-    TlbLevelConfig,
+    NestedConfig, PccConfig, PccPlacement, PromotionPolicyKind, PwcConfig, SystemConfig,
+    TimingConfig, TlbConfig, TlbLevelConfig, TranslationMode,
 };
 pub use error::{ConfigError, HpageError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

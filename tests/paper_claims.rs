@@ -184,3 +184,52 @@ fn promotion_schededule_is_deterministic() {
     };
     assert_eq!(run().schedule, run().schedule);
 }
+
+/// FHPM (nested translation): a 2D walk references between 1 and 24
+/// page-table entries — the 4×-ish radix-squared blowup the paper's
+/// virtualization discussion starts from — and on the same workload,
+/// seed, and guest-cache geometry its mean walk cost strictly exceeds
+/// the native walker's.
+#[test]
+fn nested_walks_cost_strictly_more_than_native() {
+    use hpage::types::NestedConfig;
+    let w = instantiate(
+        AppId::Bfs,
+        Dataset::Kronecker,
+        SimProfile::test().workloads,
+        42,
+    );
+    let nested_cfg = NestedConfig::typical();
+    // Native run gets the *same* guest-side PWC geometry, so the only
+    // difference is the host dimension of every walk.
+    let mut native_sys = SystemConfig::tiny();
+    native_sys.pwc = Some(nested_cfg.guest_pwc);
+    let native = Simulation::new(native_sys, PolicyChoice::pcc_default())
+        .with_max_accesses_per_core(800_000)
+        .run(&[ProcessSpec::new(&w)]);
+    let nested = Simulation::new(SystemConfig::tiny(), PolicyChoice::pcc_default())
+        .with_nested(nested_cfg)
+        .with_max_accesses_per_core(800_000)
+        .run(&[ProcessSpec::new(&w)]);
+    assert_eq!(
+        native.aggregate.walks, nested.aggregate.walks,
+        "same guest-side TLB behaviour, same walk count"
+    );
+    let mean = |r: &hpage::sim::SimReport| {
+        r.aggregate.walk_levels as f64 / r.aggregate.walks.max(1) as f64
+    };
+    let (native_mean, nested_mean) = (mean(&native), mean(&nested));
+    assert!(
+        (1.0..=24.0).contains(&nested_mean),
+        "2D refs/walk out of the 1..=24 hard bounds: {nested_mean}"
+    );
+    assert!(
+        nested_mean > native_mean,
+        "nested mean ({nested_mean:.3}) must exceed native ({native_mean:.3})"
+    );
+    assert!(
+        nested.policy.ends_with("+nested-both"),
+        "nested run labels its placement: {}",
+        nested.policy
+    );
+}

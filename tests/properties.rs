@@ -4,8 +4,8 @@
 
 use hpage::os::PhysicalMemory;
 use hpage::pcc::{Pcc, PccEvent, ReplacementPolicy};
-use hpage::tlb::{PageTable, SetAssocTlb, Translation};
-use hpage::types::{PageSize, PccConfig, Pfn, TlbLevelConfig, VirtAddr, Vpn};
+use hpage::tlb::{PageTable, PageWalkCache, SetAssocTlb, Translation};
+use hpage::types::{derive_seed, PageSize, PccConfig, Pfn, TlbLevelConfig, VirtAddr, Vpn};
 use proptest::prelude::*;
 
 fn region(i: u64) -> Vpn {
@@ -404,4 +404,158 @@ proptest! {
             va.vpn(PageSize::Huge1G)
         );
     }
+
+    /// The native paging-structure cache is exactly a deepest-hit-wins
+    /// walker over three true-LRU arrays: a BTreeMap reference model
+    /// driven by the same per-walk clock predicts every reference count
+    /// under arbitrary interleavings of walks at all three leaf depths,
+    /// region invalidations, and full flushes — the same technique that
+    /// pins the nested (2D) walker in `hpage::tlb::nested`.
+    #[test]
+    fn pwc_matches_reference_lru_model(
+        ops in prop::collection::vec((0u64..2048, 0u8..3, 0u8..10), 1..500),
+    ) {
+        // Tiny geometry so evictions actually happen.
+        let mut pwc = PageWalkCache::new(1, 2, 4);
+        let mut arrays = [RefLruArray::new(1), RefLruArray::new(2), RefLruArray::new(4)];
+        let mut clock = 0u64;
+        for (i, &(page, leaf_sel, op)) in ops.iter().enumerate() {
+            // Spread pages over several 512G/1G regions so every array
+            // sees distinct tags.
+            let va = VirtAddr::new((page << 12) | ((page & 7) << 30) | ((page & 1) << 39));
+            match op {
+                8 => {
+                    let region = va.vpn(PageSize::Huge2M);
+                    pwc.invalidate_region(region);
+                    let g = region.containing(PageSize::Huge1G).index();
+                    arrays[1].map.remove(&g);
+                    arrays[2].map.remove(&region.index());
+                }
+                9 => {
+                    pwc.flush();
+                    for a in &mut arrays {
+                        a.map.clear();
+                    }
+                }
+                _ => {
+                    let leaf = 2 + (leaf_sel % 3);
+                    let got = pwc.walk(va, leaf);
+                    let want = ref_pwc_walk(&mut arrays, &mut clock, va, leaf);
+                    prop_assert_eq!(got, want, "divergence at op {}", i);
+                    prop_assert!((1..=4).contains(&got));
+                }
+            }
+        }
+    }
+
+    /// `derive_seed` keeps every purpose stream independent: the seeds
+    /// the simulator derives for fragmentation, per-VM host layouts
+    /// (`host-frag-<pid>`), virtualization workloads (`virt/<i>`), and
+    /// consolidation tenants never collide with each other or the root
+    /// seed, and each responds to the root seed changing.
+    #[test]
+    fn derive_seed_purpose_streams_are_independent(seed in any::<u64>()) {
+        let purposes = [
+            "frag",
+            "host-frag-0",
+            "host-frag-1",
+            "host-frag-10",
+            "virt/0",
+            "virt/1",
+            "virt/3",
+            "consolidation/0",
+            "consolidation/1",
+        ];
+        let derived: Vec<u64> = purposes.iter().map(|p| derive_seed(seed, p)).collect();
+        for (i, &a) in derived.iter().enumerate() {
+            prop_assert_ne!(a, seed, "purpose {} must not alias the root", purposes[i]);
+            for (j, &b) in derived.iter().enumerate().skip(i + 1) {
+                prop_assert_ne!(
+                    a, b,
+                    "purposes {} and {} collided", purposes[i], purposes[j]
+                );
+            }
+            // The stream tracks the root seed, not just the purpose.
+            prop_assert_ne!(a, derive_seed(seed ^ 1, purposes[i]));
+        }
+    }
+}
+
+/// One fully associative true-LRU array of the reference PWC model.
+struct RefLruArray {
+    cap: usize,
+    map: std::collections::BTreeMap<u64, u64>,
+}
+
+impl RefLruArray {
+    fn new(cap: usize) -> Self {
+        RefLruArray {
+            cap,
+            map: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Refreshes recency on a hit.
+    fn touch(&mut self, tag: u64, clock: u64) -> bool {
+        if let Some(t) = self.map.get_mut(&tag) {
+            *t = clock;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts, evicting the least recently used entry when full.
+    fn insert(&mut self, tag: u64, clock: u64) {
+        if self.touch(tag, clock) {
+            return;
+        }
+        if self.map.len() == self.cap {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(&k, _)| k)
+                .expect("cap > 0");
+            self.map.remove(&lru);
+        }
+        self.map.insert(tag, clock);
+    }
+}
+
+/// Reference deepest-hit-wins walk mirroring
+/// [`hpage::tlb::PageWalkCache::walk`]: one clock tick per walk, hit
+/// stops the upward probe, every traversed non-leaf prefix installs
+/// (leaves are never cached).
+fn ref_pwc_walk(arrays: &mut [RefLruArray; 3], clock: &mut u64, va: VirtAddr, leaf: u8) -> u8 {
+    *clock += 1;
+    let t512 = va.raw() >> 39;
+    let t1g = va.vpn(PageSize::Huge1G).index();
+    let t2m = va.vpn(PageSize::Huge2M).index();
+    if leaf == 4 && arrays[2].touch(t2m, *clock) {
+        return 1;
+    }
+    if leaf >= 3 && arrays[1].touch(t1g, *clock) {
+        if leaf == 4 {
+            arrays[2].insert(t2m, *clock);
+        }
+        return leaf - 2;
+    }
+    if arrays[0].touch(t512, *clock) {
+        if leaf >= 3 {
+            arrays[1].insert(t1g, *clock);
+        }
+        if leaf == 4 {
+            arrays[2].insert(t2m, *clock);
+        }
+        return leaf - 1;
+    }
+    arrays[0].insert(t512, *clock);
+    if leaf >= 3 {
+        arrays[1].insert(t1g, *clock);
+    }
+    if leaf == 4 {
+        arrays[2].insert(t2m, *clock);
+    }
+    leaf
 }
